@@ -1,0 +1,33 @@
+//! Experiment E11: ablation of MISCELA step (1), linear segmentation.
+//! Measures mining time with and without the smoothing step; the CAP-count
+//! effect is printed by the fig-experiments (segmentation suppresses
+//! noise-induced spurious CAPs at some preprocessing cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use miscela_bench::{santander_bench, santander_params};
+use miscela_core::Miner;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let ds = santander_bench();
+    let mut group = c.benchmark_group("segmentation_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("without_segmentation", |b| {
+        let miner = Miner::new(santander_params().with_segmentation(false)).unwrap();
+        b.iter(|| miner.mine(&ds).unwrap().caps.len());
+    });
+    group.bench_function("with_segmentation", |b| {
+        let miner = Miner::new(
+            santander_params()
+                .with_segmentation(true)
+                .with_segmentation_error(0.02),
+        )
+        .unwrap();
+        b.iter(|| miner.mine(&ds).unwrap().caps.len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Experiment E3 (Figure 3): rendering cost of the visualization layer — the
+//! map with highlighting and the Figure-3 dashboard — for an interactive
+//! system this must stay well below human-perceptible latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use miscela_bench::{santander_bench, santander_params};
+use miscela_core::Miner;
+use miscela_viz::{Dashboard, MapConfig, MapView};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let ds = santander_bench();
+    let caps = Miner::new(santander_params()).unwrap().mine(&ds).unwrap().caps;
+    let selected = caps.caps().first().map(|c| c.sensors()[0]);
+
+    let mut group = c.benchmark_group("viz_render");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("map_with_highlight", |b| {
+        let view = MapView::new(&ds, &caps, MapConfig::default());
+        b.iter(|| view.render(selected).render().len());
+    });
+    group.bench_function("figure3_dashboard", |b| {
+        let dash = Dashboard::new(&ds, &caps);
+        b.iter(|| dash.render_top().map(|d| d.render().len()).unwrap_or(0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Experiment E5: the Section-4 dataset table. Prints the published numbers
+//! next to the generated stand-ins (at bench scale by default; pass
+//! --paper-scale to generate the full-size datasets).
+
+use miscela_bench::{china13, china6, covid, paper_scale_requested, santander};
+use miscela_datagen::DatasetProfile;
+
+fn main() {
+    let paper = paper_scale_requested();
+    println!("== Section 4 dataset table ==");
+    println!("published (paper):");
+    for p in DatasetProfile::all() {
+        println!("  {}", p.table_row());
+    }
+    println!(
+        "\ngenerated stand-ins ({}):",
+        if paper { "paper scale" } else { "bench scale; pass --paper-scale for full size" }
+    );
+    for ds in [
+        santander(paper),
+        china6(paper),
+        china13(paper),
+        covid(paper).generate(),
+    ] {
+        println!("  {}", ds.stats().table_row());
+    }
+}

@@ -1,0 +1,64 @@
+//! Experiment E1 (Figure 1): the traffic/temperature correlation example in
+//! Santander. Mines the synthetic Santander data, picks a CAP containing
+//! both attributes, and reports the sensors' locations, pairwise distances,
+//! Pearson correlation and co-evolution statistics — the content of
+//! Figure 1(a)/(b).
+
+use miscela_bench::{paper_scale_requested, santander, santander_params};
+use miscela_core::{correlation, Miner};
+use miscela_viz::ascii::sparkline;
+
+fn main() {
+    let paper = paper_scale_requested();
+    let ds = santander(paper);
+    println!("== Figure 1: correlation between traffic volume and temperature ==");
+    println!("{}", ds.stats());
+
+    let params = santander_params().with_psi(if paper { 200 } else { 20 });
+    let result = Miner::new(params.clone()).unwrap().mine(&ds).unwrap();
+    println!("mining: {}", result.caps.summary());
+
+    let temp = ds.attributes().id_of("temperature").unwrap();
+    let traffic = ds.attributes().id_of("traffic").unwrap();
+    let Some(cap) = result.caps.with_attributes(&[temp, traffic]).first().copied() else {
+        println!("no temperature/traffic CAP found at these parameters");
+        return;
+    };
+    println!("\nselected CAP: {cap}\n");
+    println!("(a) sensor locations:");
+    for &s in &cap.sensors() {
+        let sensor = ds.sensor(s);
+        println!(
+            "  {}  {:12}  lat {:.5}, lon {:.5}",
+            sensor.id,
+            ds.attributes().name_of(sensor.attribute),
+            sensor.location.lat,
+            sensor.location.lon
+        );
+    }
+    println!("\n(b) correlation of measurements (first week shown):");
+    for &s in &cap.sensors() {
+        let ss = ds.sensor_series(s);
+        println!(
+            "  {:10} {}",
+            ds.attributes().name_of(ss.sensor.attribute),
+            sparkline(&ss.series.window(0, 24 * 7), 72)
+        );
+    }
+    let sensors = cap.sensors();
+    for i in 0..sensors.len() {
+        for j in (i + 1)..sensors.len() {
+            let a = ds.sensor_series(sensors[i]);
+            let b = ds.sensor_series(sensors[j]);
+            println!(
+                "  {} vs {}: distance {:.3} km, pearson {:.3}, co-evolution score {:.3}, support {}",
+                a.sensor.id,
+                b.sensor.id,
+                a.sensor.location.distance_km(&b.sensor.location),
+                correlation::pearson(a.series, b.series).unwrap_or(f64::NAN),
+                correlation::co_evolution_score(a.series, b.series, params.epsilon),
+                cap.support,
+            );
+        }
+    }
+}

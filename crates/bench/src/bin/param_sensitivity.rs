@@ -1,0 +1,31 @@
+//! Experiment E6: parameter sensitivity (Section 2.1). Sweeps epsilon, eta,
+//! mu and psi and reports the number of CAPs, checking the monotone
+//! directions the paper states.
+
+use miscela_bench::{paper_scale_requested, santander, santander_params};
+use miscela_core::Miner;
+
+fn main() {
+    let ds = santander(paper_scale_requested());
+    println!("== Parameter sensitivity (number of CAPs) ==");
+    println!("{}", ds.stats().table_row());
+
+    let count = |p| Miner::new(p).unwrap().mine(&ds).unwrap().caps.len();
+
+    println!("\npsi (minimum support; paper: small psi => more CAPs):");
+    for psi in [5usize, 10, 20, 40, 80, 160] {
+        println!("  psi = {psi:4} -> {} CAPs", count(santander_params().with_psi(psi)));
+    }
+    println!("\neta (distance threshold, km; paper: large eta => more CAPs):");
+    for eta in [0.1f64, 0.2, 0.5, 1.0, 2.0] {
+        println!("  eta = {eta:4.1} -> {} CAPs", count(santander_params().with_eta_km(eta)));
+    }
+    println!("\nepsilon (evolving rate; larger epsilon keeps only large changes):");
+    for eps in [0.1f64, 0.2, 0.4, 0.8, 1.6] {
+        println!("  eps = {eps:4.1} -> {} CAPs", count(santander_params().with_epsilon(eps)));
+    }
+    println!("\nmu (maximum number of CAP attributes):");
+    for mu in [2usize, 3, 4, 5] {
+        println!("  mu  = {mu:4} -> {} CAPs", count(santander_params().with_mu(mu)));
+    }
+}

@@ -1,0 +1,96 @@
+//! Shared fixtures for the benchmark harness and the paper-figure
+//! experiment binaries.
+//!
+//! Every experiment supports two sizes: the default *bench scale* (fast
+//! enough for CI and `cargo bench` on a laptop) and `--paper-scale`
+//! (matching the record counts of Section 4). The scale is controlled by
+//! the functions here so benches and experiments stay consistent.
+
+use miscela_core::MiningParams;
+use miscela_datagen::{ChinaGenerator, ChinaProfile, CovidGenerator, SantanderGenerator};
+use miscela_model::Dataset;
+
+/// Whether `--paper-scale` was passed on the command line.
+pub fn paper_scale_requested() -> bool {
+    std::env::args().any(|a| a == "--paper-scale")
+}
+
+/// The Santander stand-in at bench scale (a few dozen sensors, a few weeks).
+pub fn santander_bench() -> Dataset {
+    SantanderGenerator::small().with_scale(0.04).generate()
+}
+
+/// The Santander stand-in at the requested scale.
+pub fn santander(paper_scale: bool) -> Dataset {
+    if paper_scale {
+        SantanderGenerator::paper_scale().generate()
+    } else {
+        santander_bench()
+    }
+}
+
+/// The China6 stand-in at the requested scale.
+pub fn china6(paper_scale: bool) -> Dataset {
+    if paper_scale {
+        ChinaGenerator::paper_scale(ChinaProfile::China6).generate()
+    } else {
+        ChinaGenerator::small(ChinaProfile::China6)
+            .with_scale(0.006)
+            .generate()
+    }
+}
+
+/// The China13 stand-in at the requested scale.
+pub fn china13(paper_scale: bool) -> Dataset {
+    if paper_scale {
+        ChinaGenerator::paper_scale(ChinaProfile::China13).generate()
+    } else {
+        ChinaGenerator::small(ChinaProfile::China13)
+            .with_scale(0.006)
+            .generate()
+    }
+}
+
+/// The COVID-19 generator at the requested scale (the paper-scale dataset is
+/// already small).
+pub fn covid(paper_scale: bool) -> CovidGenerator {
+    if paper_scale {
+        CovidGenerator::paper_scale()
+    } else {
+        CovidGenerator::small()
+    }
+}
+
+/// The default mining parameters used across benches for the Santander data.
+pub fn santander_params() -> MiningParams {
+    MiningParams::new()
+        .with_epsilon(0.4)
+        .with_eta_km(0.5)
+        .with_mu(3)
+        .with_psi(20)
+        .with_segmentation(false)
+}
+
+/// The default mining parameters used across benches for the China data.
+pub fn china_params() -> MiningParams {
+    MiningParams::new()
+        .with_epsilon(1.0)
+        .with_eta_km(250.0)
+        .with_mu(2)
+        .with_psi(40)
+        .with_max_sensors(Some(2))
+        .with_segmentation(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_nonempty_and_params_valid() {
+        assert!(santander_bench().sensor_count() > 0);
+        assert!(santander_params().validate().is_ok());
+        assert!(china_params().validate().is_ok());
+        assert!(!paper_scale_requested());
+    }
+}

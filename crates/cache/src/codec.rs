@@ -1,0 +1,155 @@
+//! JSON encoding/decoding of CAP sets.
+//!
+//! MISCELA "returns a set of sets of sensors as CAPs [...] and its format is
+//! JSON" (Section 3.4). The persistent cache and the API server both ship
+//! CAP sets as JSON, using the encoding defined here: an array of CAP
+//! objects, each with its member sensors (index + direction), attribute ids,
+//! support and co-evolving timestamps.
+
+use miscela_core::{Cap, CapMember, CapSet, Direction};
+use miscela_model::{AttributeId, SensorIndex};
+use miscela_store::Json;
+use std::collections::BTreeSet;
+
+/// Encodes one CAP as a JSON object.
+pub fn cap_to_json(cap: &Cap) -> Json {
+    let members: Vec<Json> = cap
+        .members
+        .iter()
+        .map(|m| {
+            Json::from_pairs([
+                ("sensor", Json::from(m.sensor.0 as i64)),
+                ("direction", Json::from(m.direction.symbol())),
+            ])
+        })
+        .collect();
+    Json::from_pairs([
+        ("members", Json::Array(members)),
+        (
+            "attributes",
+            Json::Array(cap.attributes.iter().map(|a| Json::from(a.0 as i64)).collect()),
+        ),
+        ("support", Json::from(cap.support)),
+        (
+            "timestamps",
+            Json::Array(cap.timestamps.iter().map(|&t| Json::from(t as i64)).collect()),
+        ),
+    ])
+}
+
+/// Encodes a whole CAP set as a JSON array.
+pub fn capset_to_json(caps: &CapSet) -> Json {
+    Json::Array(caps.caps().iter().map(cap_to_json).collect())
+}
+
+/// Decodes one CAP from its JSON object. Returns `None` on malformed input.
+pub fn cap_from_json(json: &Json) -> Option<Cap> {
+    let members: Vec<CapMember> = json
+        .get("members")?
+        .as_array()?
+        .iter()
+        .map(|m| {
+            let sensor = SensorIndex(m.get("sensor")?.as_i64()? as u32);
+            let direction = match m.get("direction")?.as_str()? {
+                "+" => Direction::Up,
+                "-" => Direction::Down,
+                _ => return None,
+            };
+            Some(CapMember { sensor, direction })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let attributes: BTreeSet<AttributeId> = json
+        .get("attributes")?
+        .as_array()?
+        .iter()
+        .map(|a| a.as_i64().map(|v| AttributeId(v as u16)))
+        .collect::<Option<BTreeSet<_>>>()?;
+    let timestamps: Vec<u32> = json
+        .get("timestamps")?
+        .as_array()?
+        .iter()
+        .map(|t| t.as_i64().map(|v| v as u32))
+        .collect::<Option<Vec<_>>>()?;
+    Some(Cap::new(members, attributes, timestamps))
+}
+
+/// Decodes a CAP set from its JSON array. Returns `None` on malformed input.
+pub fn capset_from_json(json: &Json) -> Option<CapSet> {
+    let caps = json
+        .as_array()?
+        .iter()
+        .map(cap_from_json)
+        .collect::<Option<Vec<_>>>()?;
+    Some(CapSet::from_caps(caps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_capset() -> CapSet {
+        let cap1 = Cap::new(
+            vec![
+                CapMember {
+                    sensor: SensorIndex(3),
+                    direction: Direction::Up,
+                },
+                CapMember {
+                    sensor: SensorIndex(7),
+                    direction: Direction::Down,
+                },
+            ],
+            [AttributeId(0), AttributeId(2)].into_iter().collect(),
+            vec![4, 9, 20],
+        );
+        let cap2 = Cap::new(
+            vec![
+                CapMember {
+                    sensor: SensorIndex(1),
+                    direction: Direction::Up,
+                },
+                CapMember {
+                    sensor: SensorIndex(2),
+                    direction: Direction::Up,
+                },
+            ],
+            [AttributeId(0), AttributeId(1)].into_iter().collect(),
+            vec![1, 2, 3, 4, 5],
+        );
+        CapSet::from_caps(vec![cap1, cap2])
+    }
+
+    #[test]
+    fn round_trip() {
+        let caps = sample_capset();
+        let json = capset_to_json(&caps);
+        let text = json.to_string_compact();
+        let parsed = Json::parse(&text).unwrap();
+        let back = capset_from_json(&parsed).unwrap();
+        assert_eq!(back, caps);
+    }
+
+    #[test]
+    fn json_structure_is_as_documented() {
+        let caps = sample_capset();
+        let json = capset_to_json(&caps);
+        let arr = json.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        let first = &arr[0];
+        assert!(first.get("members").is_some());
+        assert!(first.get("support").is_some());
+        assert_eq!(
+            first.get("support").unwrap().as_i64().unwrap() as usize,
+            caps.caps()[0].support
+        );
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(capset_from_json(&Json::from("not an array")).is_none());
+        let bad_member = Json::parse(r#"[{"members":[{"sensor":1,"direction":"x"}],"attributes":[0],"support":1,"timestamps":[1]}]"#).unwrap();
+        assert!(capset_from_json(&bad_member).is_none());
+        let missing_field = Json::parse(r#"[{"attributes":[0],"support":1,"timestamps":[1]}]"#).unwrap();
+        assert!(capset_from_json(&missing_field).is_none());
+    }
+}

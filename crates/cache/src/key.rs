@@ -1,0 +1,52 @@
+//! Cache keys: dataset name + parameter signature.
+
+use miscela_core::MiningParams;
+use std::fmt;
+
+/// Identifies one cached mining result: the dataset it was mined from and
+/// the exact parameter setting used.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Dataset name (the store key under which the dataset was uploaded).
+    pub dataset: String,
+    /// Canonical parameter signature ([`MiningParams::signature`]).
+    pub signature: String,
+}
+
+impl CacheKey {
+    /// Builds the key for a dataset name and parameter setting.
+    pub fn new(dataset: impl Into<String>, params: &MiningParams) -> Self {
+        CacheKey {
+            dataset: dataset.into(),
+            signature: params.signature(),
+        }
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}", self.dataset, self.signature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_params_equal_keys() {
+        let a = CacheKey::new("santander", &MiningParams::default());
+        let b = CacheKey::new("santander", &MiningParams::default());
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn different_params_or_dataset_differ() {
+        let base = CacheKey::new("santander", &MiningParams::default());
+        let other_params = CacheKey::new("santander", &MiningParams::default().with_psi(99));
+        let other_dataset = CacheKey::new("china6", &MiningParams::default());
+        assert_ne!(base, other_params);
+        assert_ne!(base, other_dataset);
+    }
+}

@@ -1,0 +1,30 @@
+//! # miscela-cache
+//!
+//! The caching mechanism of Miscela-V (Section 3.3 of the paper):
+//!
+//! > "Miscela may take a long time for finding CAPs depending on data and
+//! > user-specified parameters. For efficient interactive analysis, Miscela-V
+//! > caches CAP mining results and reuses the cached results if users specify
+//! > the same parameter setting. [...] We store the name of the dataset,
+//! > parameters, and CAPs (i.e., a set of sets of sensors) to the database.
+//! > Before computing CAPs by Miscela, our system searches for CAPs with the
+//! > same parameters and the name of the dataset from the database."
+//!
+//! [`CacheKey`] is exactly (dataset name, parameter signature);
+//! [`ResultCache`] is the in-memory cache with hit/miss statistics;
+//! [`PersistentCache`] stores entries as JSON documents in a
+//! [`miscela_store::Database`] collection (the MongoDB substitute), so
+//! cached results survive across sessions and can be inspected with the
+//! store's query interface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod key;
+pub mod memory;
+pub mod persistent;
+
+pub use key::CacheKey;
+pub use memory::{CacheStats, ResultCache};
+pub use persistent::PersistentCache;

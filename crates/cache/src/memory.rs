@@ -1,0 +1,202 @@
+//! In-memory result cache with hit/miss statistics.
+
+use crate::key::CacheKey;
+use miscela_core::CapSet;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Hit/miss counters of a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of lookups answered from the cache.
+    pub hits: usize,
+    /// Number of lookups that required mining.
+    pub misses: usize,
+    /// Number of entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (zero when there were no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe in-memory cache from [`CacheKey`] to [`CapSet`], with an
+/// optional capacity bound evicting the least recently inserted entry.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<CacheKey, CapSet>,
+    insertion_order: Vec<CacheKey>,
+    capacity: Option<usize>,
+    hits: usize,
+    misses: usize,
+}
+
+impl ResultCache {
+    /// Creates an unbounded cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a cache that keeps at most `capacity` entries (oldest-in
+    /// evicted first).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                capacity: Some(capacity.max(1)),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// Looks up a key, recording a hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<CapSet> {
+        let mut inner = self.inner.lock();
+        match inner.entries.get(key).cloned() {
+            Some(v) => {
+                inner.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether a key is cached (does not affect statistics).
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.inner.lock().entries.contains_key(key)
+    }
+
+    /// Inserts (or replaces) an entry.
+    pub fn put(&self, key: CacheKey, caps: CapSet) {
+        let mut inner = self.inner.lock();
+        if !inner.entries.contains_key(&key) {
+            inner.insertion_order.push(key.clone());
+        }
+        inner.entries.insert(key, caps);
+        if let Some(cap) = inner.capacity {
+            while inner.entries.len() > cap {
+                let oldest = inner.insertion_order.remove(0);
+                inner.entries.remove(&oldest);
+            }
+        }
+    }
+
+    /// Removes every cached entry for a dataset (used when a dataset is
+    /// re-uploaded under the same name).
+    pub fn invalidate_dataset(&self, dataset: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.entries.len();
+        inner.entries.retain(|k, _| k.dataset != dataset);
+        inner.insertion_order.retain(|k| k.dataset != dataset);
+        before - inner.entries.len()
+    }
+
+    /// Clears the cache (statistics are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.insertion_order.clear();
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miscela_core::MiningParams;
+
+    fn key(dataset: &str, psi: usize) -> CacheKey {
+        CacheKey::new(dataset, &MiningParams::default().with_psi(psi))
+    }
+
+    #[test]
+    fn get_put_and_stats() {
+        let cache = ResultCache::new();
+        let k = key("santander", 10);
+        assert!(cache.get(&k).is_none());
+        cache.put(k.clone(), CapSet::new());
+        assert!(cache.get(&k).is_some());
+        assert!(cache.contains(&k));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let cache = ResultCache::with_capacity(2);
+        cache.put(key("a", 1), CapSet::new());
+        cache.put(key("b", 1), CapSet::new());
+        cache.put(key("c", 1), CapSet::new());
+        assert!(!cache.contains(&key("a", 1)));
+        assert!(cache.contains(&key("b", 1)));
+        assert!(cache.contains(&key("c", 1)));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn invalidate_dataset_removes_only_that_dataset() {
+        let cache = ResultCache::new();
+        cache.put(key("santander", 1), CapSet::new());
+        cache.put(key("santander", 2), CapSet::new());
+        cache.put(key("china6", 1), CapSet::new());
+        assert_eq!(cache.invalidate_dataset("santander"), 2);
+        assert!(!cache.contains(&key("santander", 1)));
+        assert!(cache.contains(&key("china6", 1)));
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn hit_rate_zero_without_lookups() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let cache = Arc::new(ResultCache::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    let k = key(&format!("d{t}"), i);
+                    cache.put(k.clone(), CapSet::new());
+                    assert!(cache.get(&k).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.stats().entries, 100);
+        assert_eq!(cache.stats().hits, 100);
+    }
+}

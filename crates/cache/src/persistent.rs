@@ -1,0 +1,176 @@
+//! Store-backed cache: CAP results persisted as documents.
+//!
+//! This is the faithful counterpart of the paper's mechanism: results live
+//! in a database collection (`cap_results`) keyed by dataset name and
+//! parameter signature, so that a freshly started server can still answer a
+//! repeated request without re-mining, and the documents can be inspected
+//! through the store's query API.
+
+use crate::codec::{capset_from_json, capset_to_json};
+use crate::key::CacheKey;
+use crate::memory::{CacheStats, ResultCache};
+use miscela_core::CapSet;
+use miscela_store::{Database, Filter, Json};
+use std::sync::Arc;
+
+/// Name of the collection holding cached CAP results.
+pub const RESULTS_COLLECTION: &str = "cap_results";
+
+/// A two-level cache: an in-memory [`ResultCache`] in front of a
+/// [`Database`] collection.
+#[derive(Debug)]
+pub struct PersistentCache {
+    db: Arc<Database>,
+    memory: ResultCache,
+}
+
+impl PersistentCache {
+    /// Creates the cache over a shared database, declaring the indexes the
+    /// lookups need.
+    pub fn new(db: Arc<Database>) -> Self {
+        db.create_collection(RESULTS_COLLECTION);
+        db.create_index(RESULTS_COLLECTION, "dataset");
+        db.create_index(RESULTS_COLLECTION, "signature");
+        PersistentCache {
+            db,
+            memory: ResultCache::new(),
+        }
+    }
+
+    /// Looks up a cached result, first in memory, then in the store.
+    pub fn get(&self, key: &CacheKey) -> Option<CapSet> {
+        if let Some(hit) = self.memory.get(key) {
+            return Some(hit);
+        }
+        let filter = Filter::and([
+            Filter::eq("dataset", key.dataset.as_str()),
+            Filter::eq("signature", key.signature.as_str()),
+        ]);
+        let doc = self.db.find_one(RESULTS_COLLECTION, &filter)?;
+        let caps = capset_from_json(doc.get("caps")?)?;
+        // Promote to the memory tier for subsequent lookups.
+        self.memory.put(key.clone(), caps.clone());
+        Some(caps)
+    }
+
+    /// Stores a result under a key (replacing any previous entry for the
+    /// same key).
+    pub fn put(&self, key: &CacheKey, caps: &CapSet) {
+        let filter = Filter::and([
+            Filter::eq("dataset", key.dataset.as_str()),
+            Filter::eq("signature", key.signature.as_str()),
+        ]);
+        self.db.delete_where(RESULTS_COLLECTION, &filter);
+        let mut doc = Json::object();
+        doc.set("dataset", Json::from(key.dataset.as_str()));
+        doc.set("signature", Json::from(key.signature.as_str()));
+        doc.set("cap_count", Json::from(caps.len()));
+        doc.set("caps", capset_to_json(caps));
+        self.db.insert(RESULTS_COLLECTION, doc);
+        self.memory.put(key.clone(), caps.clone());
+    }
+
+    /// Removes every cached result for a dataset. Returns how many store
+    /// documents were removed.
+    pub fn invalidate_dataset(&self, dataset: &str) -> usize {
+        self.memory.invalidate_dataset(dataset);
+        self.db
+            .delete_where(RESULTS_COLLECTION, &Filter::eq("dataset", dataset))
+    }
+
+    /// Number of results stored in the database tier.
+    pub fn stored_results(&self) -> usize {
+        self.db.count(RESULTS_COLLECTION, &Filter::All)
+    }
+
+    /// In-memory tier statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.memory.stats()
+    }
+
+    /// The underlying database handle.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miscela_core::{Cap, CapMember, Direction, MiningParams};
+    use miscela_model::{AttributeId, SensorIndex};
+
+    fn sample_caps() -> CapSet {
+        CapSet::from_caps(vec![Cap::new(
+            vec![
+                CapMember {
+                    sensor: SensorIndex(0),
+                    direction: Direction::Up,
+                },
+                CapMember {
+                    sensor: SensorIndex(1),
+                    direction: Direction::Up,
+                },
+            ],
+            [AttributeId(0), AttributeId(1)].into_iter().collect(),
+            vec![3, 5, 8],
+        )])
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let cache = PersistentCache::new(Arc::new(Database::new()));
+        let key = CacheKey::new("santander", &MiningParams::default());
+        assert!(cache.get(&key).is_none());
+        cache.put(&key, &sample_caps());
+        assert_eq!(cache.get(&key).unwrap(), sample_caps());
+        assert_eq!(cache.stored_results(), 1);
+        // Replacing the same key does not duplicate documents.
+        cache.put(&key, &CapSet::new());
+        assert_eq!(cache.stored_results(), 1);
+        assert!(cache.get(&key).unwrap().is_empty());
+    }
+
+    #[test]
+    fn survives_memory_loss() {
+        // Simulates a server restart: a new PersistentCache over the same
+        // database still answers from the store tier.
+        let db = Arc::new(Database::new());
+        let key = CacheKey::new("santander", &MiningParams::default());
+        {
+            let cache = PersistentCache::new(Arc::clone(&db));
+            cache.put(&key, &sample_caps());
+        }
+        let fresh = PersistentCache::new(Arc::clone(&db));
+        let got = fresh.get(&key).expect("store tier should answer");
+        assert_eq!(got, sample_caps());
+        // The promotion into memory counts one miss then later hits.
+        assert!(fresh.get(&key).is_some());
+        assert!(fresh.stats().hits >= 1);
+    }
+
+    #[test]
+    fn distinct_parameters_are_distinct_entries() {
+        let cache = PersistentCache::new(Arc::new(Database::new()));
+        let k1 = CacheKey::new("santander", &MiningParams::default().with_psi(5));
+        let k2 = CacheKey::new("santander", &MiningParams::default().with_psi(10));
+        cache.put(&k1, &sample_caps());
+        cache.put(&k2, &CapSet::new());
+        assert_eq!(cache.stored_results(), 2);
+        assert_eq!(cache.get(&k1).unwrap().len(), 1);
+        assert!(cache.get(&k2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn invalidate_dataset_clears_both_tiers() {
+        let cache = PersistentCache::new(Arc::new(Database::new()));
+        let k1 = CacheKey::new("santander", &MiningParams::default());
+        let k2 = CacheKey::new("china6", &MiningParams::default());
+        cache.put(&k1, &sample_caps());
+        cache.put(&k2, &sample_caps());
+        assert_eq!(cache.invalidate_dataset("santander"), 1);
+        assert!(cache.get(&k1).is_none());
+        assert!(cache.get(&k2).is_some());
+        assert_eq!(cache.stored_results(), 1);
+    }
+}

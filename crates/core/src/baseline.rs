@@ -1,0 +1,361 @@
+//! The naive level-wise CAP miner used as the efficiency baseline.
+//!
+//! The paper presents MISCELA as "an efficient algorithm for CAP mining"
+//! (Section 2.2) without naming a comparator; the natural reference point is
+//! a generate-and-test search that does none of MISCELA's work-sharing:
+//!
+//! * candidate sensor sets are generated level-wise (size 2, then 3, ...) by
+//!   extending every size-k set with every neighbouring sensor, deduplicated
+//!   through a hash set rather than through an enumeration order;
+//! * connectivity is re-checked per candidate with a BFS over the proximity
+//!   graph;
+//! * support is recomputed from scratch for every candidate and every
+//!   direction assignment by intersecting sorted timestamp lists — no bitset
+//!   reuse along a search tree.
+//!
+//! It produces exactly the same CAP sets as the pattern-tree search (the
+//! equivalence is asserted in the integration tests), only slower — which is
+//! what experiment E7 (`miner_vs_baseline` bench) measures.
+
+use crate::evolving::{Direction, EvolvingSets};
+use crate::params::MiningParams;
+use crate::pattern::{Cap, CapMember, CapSet};
+use crate::spatial::ProximityGraph;
+use miscela_model::{AttributeId, SensorIndex};
+use std::collections::{BTreeSet, HashSet};
+
+/// The naive level-wise miner.
+pub struct NaiveMiner<'a> {
+    /// Evolving sets per dense sensor index.
+    pub evolving: &'a [EvolvingSets],
+    /// Attribute per dense sensor index.
+    pub attributes: &'a [AttributeId],
+    /// η-proximity graph.
+    pub graph: &'a ProximityGraph,
+    /// Mining parameters.
+    pub params: &'a MiningParams,
+}
+
+impl<'a> NaiveMiner<'a> {
+    /// Mines all CAPs of the whole graph (all components) the slow way.
+    pub fn mine(&self) -> CapSet {
+        let mut caps: Vec<Cap> = Vec::new();
+        // Sorted evolving timestamp lists, recomputed representation used by
+        // the naive support counting.
+        let lists: Vec<[Vec<u32>; 2]> = self
+            .evolving
+            .iter()
+            .map(|ev| {
+                [
+                    ev.up.indices().into_iter().map(|i| i as u32).collect(),
+                    ev.down.indices().into_iter().map(|i| i as u32).collect(),
+                ]
+            })
+            .collect();
+
+        let max_size = self.params.max_sensors.unwrap_or(usize::MAX);
+        let n = self.graph.sensor_count();
+
+        // Level 2: all proximity edges.
+        let mut current: Vec<Vec<SensorIndex>> = Vec::new();
+        let mut seen: HashSet<Vec<u32>> = HashSet::new();
+        for i in 0..n {
+            let si = SensorIndex(i as u32);
+            for &sj in self.graph.neighbors(si) {
+                if sj <= si {
+                    continue;
+                }
+                let set = vec![si, sj];
+                if let Some(cap) = self.evaluate(&set, &lists) {
+                    caps.push(cap);
+                }
+                if self.best_support(&set, &lists) >= self.params.psi {
+                    seen.insert(set.iter().map(|s| s.0).collect());
+                    current.push(set);
+                }
+            }
+        }
+
+        // Levels 3..: extend each surviving set by every neighbour of any
+        // member (deduplicating by the sorted sensor vector).
+        let mut size = 2usize;
+        while !current.is_empty() && size < max_size {
+            let mut next: Vec<Vec<SensorIndex>> = Vec::new();
+            for set in &current {
+                let mut extension_candidates: BTreeSet<SensorIndex> = BTreeSet::new();
+                for &m in set {
+                    for &u in self.graph.neighbors(m) {
+                        if !set.contains(&u) {
+                            extension_candidates.insert(u);
+                        }
+                    }
+                }
+                for u in extension_candidates {
+                    let mut new_set = set.clone();
+                    new_set.push(u);
+                    new_set.sort();
+                    let key: Vec<u32> = new_set.iter().map(|s| s.0).collect();
+                    if seen.contains(&key) {
+                        continue;
+                    }
+                    seen.insert(key);
+                    // Connectivity re-check (always true by construction here,
+                    // but the naive algorithm pays for it anyway).
+                    if !self.graph.is_connected_subset(&new_set) {
+                        continue;
+                    }
+                    let attr_count = self.distinct_attributes(&new_set);
+                    if attr_count > self.params.mu {
+                        continue;
+                    }
+                    if self.best_support(&new_set, &lists) < self.params.psi {
+                        continue;
+                    }
+                    if let Some(cap) = self.evaluate(&new_set, &lists) {
+                        caps.push(cap);
+                    }
+                    next.push(new_set);
+                }
+            }
+            current = next;
+            size += 1;
+        }
+
+        CapSet::from_caps(caps)
+    }
+
+    fn distinct_attributes(&self, set: &[SensorIndex]) -> usize {
+        let attrs: BTreeSet<AttributeId> = set.iter().map(|s| self.attributes[s.index()]).collect();
+        attrs.len()
+    }
+
+    /// Best support over all direction assignments (exhaustive 2^k scan with
+    /// sorted-list intersections, recomputed from scratch).
+    fn best_support(&self, set: &[SensorIndex], lists: &[[Vec<u32>; 2]]) -> usize {
+        self.best_assignment(set, lists)
+            .map(|(_, ts)| ts.len())
+            .unwrap_or(0)
+    }
+
+    fn best_assignment(
+        &self,
+        set: &[SensorIndex],
+        lists: &[[Vec<u32>; 2]],
+    ) -> Option<(Vec<Direction>, Vec<u32>)> {
+        let k = set.len();
+        let mut best: Option<(Vec<Direction>, Vec<u32>)> = None;
+        for mask in 0..(1u32 << k) {
+            let dirs: Vec<Direction> = (0..k)
+                .map(|i| {
+                    if mask & (1 << i) == 0 {
+                        Direction::Up
+                    } else {
+                        Direction::Down
+                    }
+                })
+                .collect();
+            let mut inter: Option<Vec<u32>> = None;
+            for (i, &s) in set.iter().enumerate() {
+                let list = &lists[s.index()][if dirs[i] == Direction::Up { 0 } else { 1 }];
+                inter = Some(match inter {
+                    None => list.clone(),
+                    Some(prev) => intersect_sorted(&prev, list),
+                });
+                if inter.as_ref().map(|v| v.is_empty()).unwrap_or(false) {
+                    break;
+                }
+            }
+            let ts = inter.unwrap_or_default();
+            let better = match &best {
+                None => true,
+                Some((bd, bt)) => {
+                    ts.len() > bt.len()
+                        || (ts.len() == bt.len()
+                            && dirs.iter().map(|d| d.symbol()).collect::<Vec<_>>()
+                                < bd.iter().map(|d| d.symbol()).collect::<Vec<_>>())
+                }
+            };
+            if better {
+                best = Some((dirs, ts));
+            }
+        }
+        best
+    }
+
+    /// Evaluates a sensor set against all CAP conditions, producing the CAP
+    /// when it qualifies.
+    fn evaluate(&self, set: &[SensorIndex], lists: &[[Vec<u32>; 2]]) -> Option<Cap> {
+        if set.len() < 2 {
+            return None;
+        }
+        let attrs: BTreeSet<AttributeId> = set.iter().map(|s| self.attributes[s.index()]).collect();
+        if attrs.len() < self.params.min_attributes || attrs.len() > self.params.mu {
+            return None;
+        }
+        if !self.graph.is_connected_subset(set) {
+            return None;
+        }
+        let (dirs, ts) = self.best_assignment(set, lists)?;
+        if ts.len() < self.params.psi {
+            return None;
+        }
+        let members: Vec<CapMember> = set
+            .iter()
+            .zip(dirs)
+            .map(|(&sensor, direction)| CapMember { sensor, direction })
+            .collect();
+        Some(Cap::new(members, attrs, ts))
+    }
+}
+
+/// Intersection of two ascending `u32` lists.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolving::extract_evolving;
+    use crate::search::SearchContext;
+    use miscela_model::{GeoPoint, TimeSeries};
+
+    #[test]
+    fn intersect_sorted_works() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 5, 8]), vec![3, 5]);
+        assert_eq!(intersect_sorted(&[], &[1, 2]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[1, 2, 3], &[1, 2, 3]), vec![1, 2, 3]);
+    }
+
+    /// Pseudo-random series generator (deterministic, no external crates in
+    /// the hot path of this test).
+    fn lcg_series(n: usize, seed: u64) -> TimeSeries {
+        let mut state = seed.wrapping_mul(2685821657736338717).wrapping_add(1);
+        let mut vals = Vec::with_capacity(n);
+        let mut v = 10.0;
+        for _ in 0..n {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let step = ((state >> 33) % 5) as f64 - 2.0;
+            v += step;
+            vals.push(v);
+        }
+        TimeSeries::from_values(vals)
+    }
+
+    #[test]
+    fn naive_and_tree_search_agree() {
+        let n = 150;
+        let sensors = 8;
+        let params = MiningParams::new()
+            .with_epsilon(0.9)
+            .with_eta_km(1.0)
+            .with_psi(8)
+            .with_mu(3)
+            .with_max_sensors(Some(4))
+            .with_segmentation(false);
+        // Mix of correlated pairs (same seed) and independent sensors.
+        let series: Vec<TimeSeries> = (0..sensors)
+            .map(|i| lcg_series(n, (i as u64 % 4) + 1))
+            .collect();
+        let attrs: Vec<AttributeId> = (0..sensors).map(|i| AttributeId((i % 3) as u16)).collect();
+        let evolving: Vec<EvolvingSets> = series
+            .iter()
+            .map(|s| extract_evolving(s, params.epsilon))
+            .collect();
+        let points: Vec<GeoPoint> = (0..sensors)
+            .map(|i| GeoPoint::new_unchecked(43.46 + 0.0015 * i as f64, -3.80))
+            .collect();
+        let graph = ProximityGraph::from_points(&points, params.eta_km);
+
+        let naive = NaiveMiner {
+            evolving: &evolving,
+            attributes: &attrs,
+            graph: &graph,
+            params: &params,
+        }
+        .mine();
+
+        let ctx = SearchContext {
+            evolving: &evolving,
+            attributes: &attrs,
+            graph: &graph,
+            params: &params,
+        };
+        let mut tree_caps = Vec::new();
+        for comp in graph.components() {
+            tree_caps.extend(ctx.search_component(comp));
+        }
+        let tree = CapSet::from_caps(tree_caps);
+
+        // Same sensor sets with the same best supports.
+        let naive_keys: Vec<(Vec<u32>, usize)> = naive
+            .dedup_by_sensors()
+            .caps()
+            .iter()
+            .map(|c| (c.sensor_key(), c.support))
+            .collect();
+        let tree_keys: Vec<(Vec<u32>, usize)> = tree
+            .dedup_by_sensors()
+            .caps()
+            .iter()
+            .map(|c| (c.sensor_key(), c.support))
+            .collect();
+        assert!(!tree_keys.is_empty(), "fixture found no CAPs at all");
+        assert_eq!(naive_keys, tree_keys);
+    }
+
+    #[test]
+    fn naive_respects_constraints() {
+        let n = 100;
+        let series: Vec<TimeSeries> = (0..5).map(|i| lcg_series(n, i + 1)).collect();
+        let attrs: Vec<AttributeId> = vec![
+            AttributeId(0),
+            AttributeId(0),
+            AttributeId(1),
+            AttributeId(1),
+            AttributeId(2),
+        ];
+        let params = MiningParams::new()
+            .with_epsilon(0.9)
+            .with_psi(5)
+            .with_mu(2)
+            .with_segmentation(false);
+        let evolving: Vec<EvolvingSets> = series
+            .iter()
+            .map(|s| extract_evolving(s, params.epsilon))
+            .collect();
+        let points: Vec<GeoPoint> = (0..5)
+            .map(|i| GeoPoint::new_unchecked(43.46 + 0.001 * i as f64, -3.80))
+            .collect();
+        let graph = ProximityGraph::from_points(&points, params.eta_km);
+        let caps = NaiveMiner {
+            evolving: &evolving,
+            attributes: &attrs,
+            graph: &graph,
+            params: &params,
+        }
+        .mine();
+        for cap in caps.caps() {
+            assert!(cap.size() >= 2);
+            assert!(cap.attribute_count() >= 2);
+            assert!(cap.attribute_count() <= 2);
+            assert!(cap.support >= 5);
+            assert!(graph.is_connected_subset(&cap.sensors()));
+        }
+    }
+}

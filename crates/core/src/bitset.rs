@@ -1,0 +1,218 @@
+//! A fixed-capacity bitset over timestamp indices.
+//!
+//! MISCELA's pattern-tree search repeatedly intersects sets of evolving
+//! timestamps; representing those sets as packed bitsets makes each
+//! intersection a word-wise AND over a few kilobytes even for the
+//! country-scale datasets (tens of thousands of timestamps).
+
+/// A fixed-length bitset indexed by timestamp position.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitset {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bitset {
+    /// Creates an all-zero bitset with capacity for `len` bits.
+    pub fn new(len: usize) -> Self {
+        Bitset {
+            len,
+            words: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    /// Builds a bitset from the indices that should be set.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Self {
+        let mut b = Bitset::new(len);
+        for &i in indices {
+            b.set(i);
+        }
+        b
+    }
+
+    /// Bit capacity.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the capacity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`. Panics when out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`. Panics when out of range.
+    #[inline]
+    pub fn unset(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether bit `i` is set (`false` when out of range).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Intersection with another bitset (capacities must match).
+    pub fn and(&self, other: &Bitset) -> Bitset {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        Bitset {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// In-place intersection.
+    pub fn and_assign(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Union with another bitset.
+    pub fn or(&self, other: &Bitset) -> Bitset {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        Bitset {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// Size of the intersection without materializing it.
+    pub fn and_count(&self, other: &Bitset) -> usize {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Indices of the set bits, ascending.
+    pub fn indices(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count());
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// The bitset shifted right by `delta` positions: bit `i` of the result
+    /// is bit `i + delta` of the input. Used by the time-delayed extension to
+    /// align a follower's evolving set with a leader's.
+    pub fn shift_earlier(&self, delta: usize) -> Bitset {
+        let mut out = Bitset::new(self.len);
+        for i in self.indices() {
+            if i >= delta {
+                out.set(i - delta);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = Bitset::new(130);
+        assert_eq!(b.count(), 0);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert!(!b.get(500));
+        assert_eq!(b.count(), 3);
+        b.unset(64);
+        assert_eq!(b.count(), 2);
+        assert!(!b.get(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut b = Bitset::new(10);
+        b.set(10);
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Bitset::from_indices(100, &[1, 5, 50, 99]);
+        let b = Bitset::from_indices(100, &[5, 50, 98]);
+        let i = a.and(&b);
+        assert_eq!(i.indices(), vec![5, 50]);
+        assert_eq!(a.and_count(&b), 2);
+        let u = a.or(&b);
+        assert_eq!(u.count(), 5);
+        let mut c = a.clone();
+        c.and_assign(&b);
+        assert_eq!(c, i);
+    }
+
+    #[test]
+    fn indices_round_trip() {
+        let idx = vec![0, 3, 63, 64, 65, 127, 128];
+        let b = Bitset::from_indices(200, &idx);
+        assert_eq!(b.indices(), idx);
+    }
+
+    #[test]
+    fn shift_earlier_aligns_delayed_events() {
+        // Events at t = 5, 10; shifting earlier by 2 puts them at 3, 8.
+        let b = Bitset::from_indices(20, &[5, 10, 1]);
+        let s = b.shift_earlier(2);
+        assert_eq!(s.indices(), vec![3, 8]);
+        // delta 0 is identity.
+        assert_eq!(b.shift_earlier(0), b);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = Bitset::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count(), 0);
+        assert!(b.indices().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let a = Bitset::new(10);
+        let b = Bitset::new(20);
+        let _ = a.and(&b);
+    }
+}

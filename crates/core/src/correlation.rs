@@ -1,0 +1,182 @@
+//! Correlation measures used by the visualization layer.
+//!
+//! CAP mining itself counts co-evolving timestamps; the visualization layer
+//! additionally reports Pearson correlation and a normalized co-evolution
+//! score for the charts of Figure 3 (so users can see *how strongly* the
+//! highlighted sensors move together), and the Figure-1 experiment reports
+//! both measures for the traffic/temperature example.
+
+use crate::evolving::{extract_evolving, Direction};
+use miscela_model::TimeSeries;
+
+/// Pearson correlation coefficient over timestamps where both series are
+/// present. Returns `None` when fewer than two common points exist or either
+/// side has zero variance.
+pub fn pearson(a: &TimeSeries, b: &TimeSeries) -> Option<f64> {
+    let n = a.len().min(b.len());
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for i in 0..n {
+        if let (Some(x), Some(y)) = (a.get(i), b.get(i)) {
+            xs.push(x);
+            ys.push(y);
+        }
+    }
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / m;
+    let mean_y = ys.iter().sum::<f64>() / m;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x) * (x - mean_x);
+        var_y += (y - mean_y) * (y - mean_y);
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+/// Number of timestamps at which both series evolve (by at least ε) in the
+/// given directions.
+pub fn co_evolution_count(
+    a: &TimeSeries,
+    b: &TimeSeries,
+    epsilon: f64,
+    dir_a: Direction,
+    dir_b: Direction,
+) -> usize {
+    let ea = extract_evolving(a, epsilon);
+    let eb = extract_evolving(b, epsilon);
+    ea.for_direction(dir_a).and_count(eb.for_direction(dir_b))
+}
+
+/// The best co-evolution count over the four direction combinations,
+/// together with the directions achieving it.
+pub fn best_co_evolution(
+    a: &TimeSeries,
+    b: &TimeSeries,
+    epsilon: f64,
+) -> (usize, Direction, Direction) {
+    let ea = extract_evolving(a, epsilon);
+    let eb = extract_evolving(b, epsilon);
+    let mut best = (0usize, Direction::Up, Direction::Up);
+    for &da in &Direction::BOTH {
+        for &db in &Direction::BOTH {
+            let c = ea.for_direction(da).and_count(eb.for_direction(db));
+            if c > best.0 {
+                best = (c, da, db);
+            }
+        }
+    }
+    best
+}
+
+/// Normalized co-evolution score in `[0, 1]`.
+///
+/// The score is the number of aligned evolving timestamps under the better
+/// of the two consistent direction pairings (same-direction:
+/// `up↔up + down↔down`, or opposite-direction: `up↔down + down↔up`),
+/// divided by the smaller of the two evolving-timestamp totals. A score of 1
+/// means the less active series never evolves without the other evolving
+/// consistently at the same timestamp.
+pub fn co_evolution_score(a: &TimeSeries, b: &TimeSeries, epsilon: f64) -> f64 {
+    let ea = extract_evolving(a, epsilon);
+    let eb = extract_evolving(b, epsilon);
+    let denom = ea.total().min(eb.total());
+    if denom == 0 {
+        return 0.0;
+    }
+    let same = ea.up.and_count(&eb.up) + ea.down.and_count(&eb.down);
+    let opposite = ea.up.and_count(&eb.down) + ea.down.and_count(&eb.up);
+    same.max(opposite) as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[f64]) -> TimeSeries {
+        TimeSeries::from_values(vals.to_vec())
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = series(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = series(&[2.0, 4.0, 6.0, 8.0, 10.0]);
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = series(&[5.0, 4.0, 3.0, 2.0, 1.0]);
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_handles_missing_and_degenerate() {
+        let a = TimeSeries::from_options(&[Some(1.0), None, Some(3.0), Some(4.0)]);
+        let b = TimeSeries::from_options(&[Some(2.0), Some(9.0), None, Some(8.0)]);
+        // Only indices 0 and 3 are common: two points, perfectly correlated.
+        assert!(pearson(&a, &b).is_some());
+        // Constant series has zero variance.
+        let flat = series(&[3.0, 3.0, 3.0]);
+        let x = series(&[1.0, 2.0, 3.0]);
+        assert!(pearson(&flat, &x).is_none());
+        // Too few common points.
+        let sparse = TimeSeries::from_options(&[Some(1.0), None, None]);
+        assert!(pearson(&sparse, &x).is_none());
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_small() {
+        let a = series(&(0..200).map(|i| ((i * 7919) % 101) as f64).collect::<Vec<_>>());
+        let b = series(&(0..200).map(|i| ((i * 104729 + 17) % 97) as f64).collect::<Vec<_>>());
+        let r = pearson(&a, &b).unwrap();
+        assert!(r.abs() < 0.35, "pseudo-random series gave r={r}");
+    }
+
+    #[test]
+    fn co_evolution_counts_directions() {
+        let a = series(&[0.0, 1.0, 2.0, 1.0, 0.0, 1.0]);
+        let b = series(&[5.0, 6.0, 7.0, 6.0, 5.0, 6.0]); // same shape
+        assert_eq!(
+            co_evolution_count(&a, &b, 0.5, Direction::Up, Direction::Up),
+            3
+        );
+        assert_eq!(
+            co_evolution_count(&a, &b, 0.5, Direction::Down, Direction::Down),
+            2
+        );
+        assert_eq!(
+            co_evolution_count(&a, &b, 0.5, Direction::Up, Direction::Down),
+            0
+        );
+        let (best, da, db) = best_co_evolution(&a, &b, 0.5);
+        assert_eq!(best, 3);
+        assert_eq!(da, Direction::Up);
+        assert_eq!(db, Direction::Up);
+    }
+
+    #[test]
+    fn anti_correlated_series_best_directions_are_opposite() {
+        let a = series(&[0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0]);
+        let b = series(&[9.0, 8.0, 7.0, 8.0, 9.0, 8.0, 7.0]);
+        let (best, da, db) = best_co_evolution(&a, &b, 0.5);
+        assert!(best >= 4);
+        assert_eq!(da, db.flip());
+    }
+
+    #[test]
+    fn co_evolution_score_bounds() {
+        let a = series(&[0.0, 1.0, 2.0, 1.0, 0.0]);
+        let b = a.clone();
+        assert!((co_evolution_score(&a, &b, 0.5) - 1.0).abs() < 1e-12);
+        let flat = series(&[1.0, 1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(co_evolution_score(&a, &flat, 0.5), 0.0);
+        let c = series(&[0.0, 1.0, 0.0, 1.0, 0.0]);
+        let s = co_evolution_score(&a, &c, 0.5);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for the mining engine.
+
+use std::fmt;
+
+/// Errors raised by CAP mining.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiningError {
+    /// A mining parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name (ε, η, μ, ψ, ...).
+        name: &'static str,
+        /// Explanation of the violation.
+        message: String,
+    },
+    /// The dataset has too few timestamps to mine (fewer than 2).
+    DatasetTooSmall(usize),
+}
+
+impl fmt::Display for MiningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiningError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter {name}: {message}")
+            }
+            MiningError::DatasetTooSmall(n) => {
+                write!(f, "dataset has only {n} timestamps; at least 2 are required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MiningError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MiningError::InvalidParameter {
+            name: "psi",
+            message: "must be at least 1".to_string(),
+        };
+        assert!(e.to_string().contains("psi"));
+        assert!(MiningError::DatasetTooSmall(1).to_string().contains('1'));
+    }
+}

@@ -1,0 +1,223 @@
+//! Step (2) of MISCELA: extracting evolving timestamps.
+//!
+//! Measurements "co-evolve" when they increase/decrease at the same
+//! timestamp; a change only counts when its magnitude is at least the
+//! evolving rate ε ("If the amount of changes from the previous timestamp is
+//! smaller than ε, the timestamps are evaluated as that the measurements do
+//! not change", Section 2.1).
+//!
+//! For each sensor this module produces two [`Bitset`]s over grid indices:
+//! the timestamps at which the measurement rises by at least ε and those at
+//! which it falls by at least ε.
+
+use crate::bitset::Bitset;
+use crate::segmentation;
+use miscela_model::TimeSeries;
+
+/// Direction of evolution at a timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// The measurement increased by at least ε.
+    Up,
+    /// The measurement decreased by at least ε.
+    Down,
+}
+
+impl Direction {
+    /// Both directions, in a fixed order.
+    pub const BOTH: [Direction; 2] = [Direction::Up, Direction::Down];
+
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Up => Direction::Down,
+            Direction::Down => Direction::Up,
+        }
+    }
+
+    /// Short label used by displays and exports (`"+"` / `"-"`).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Direction::Up => "+",
+            Direction::Down => "-",
+        }
+    }
+}
+
+/// The evolving timestamps of one sensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolvingSets {
+    /// Timestamps with a rise of at least ε.
+    pub up: Bitset,
+    /// Timestamps with a fall of at least ε.
+    pub down: Bitset,
+}
+
+impl EvolvingSets {
+    /// The bitset for a direction.
+    pub fn for_direction(&self, dir: Direction) -> &Bitset {
+        match dir {
+            Direction::Up => &self.up,
+            Direction::Down => &self.down,
+        }
+    }
+
+    /// Total number of evolving timestamps (either direction).
+    pub fn total(&self) -> usize {
+        self.up.count() + self.down.count()
+    }
+
+    /// Number of grid positions the bitsets cover.
+    pub fn len(&self) -> usize {
+        self.up.len()
+    }
+
+    /// Whether the bitsets cover no grid positions.
+    pub fn is_empty(&self) -> bool {
+        self.up.is_empty()
+    }
+}
+
+/// Extracts evolving timestamps from a (possibly already smoothed) series.
+///
+/// Timestamp `t` (for `t >= 1`) is Up-evolving when
+/// `x[t] - x[t-1] >= epsilon` and Down-evolving when
+/// `x[t-1] - x[t] >= epsilon`. Missing values never evolve. With
+/// `epsilon == 0`, any strictly positive (negative) change counts.
+pub fn extract_evolving(series: &TimeSeries, epsilon: f64) -> EvolvingSets {
+    let n = series.len();
+    let mut up = Bitset::new(n);
+    let mut down = Bitset::new(n);
+    for t in 1..n {
+        if let Some(delta) = series.delta(t) {
+            if epsilon > 0.0 {
+                if delta >= epsilon {
+                    up.set(t);
+                } else if -delta >= epsilon {
+                    down.set(t);
+                }
+            } else {
+                if delta > 0.0 {
+                    up.set(t);
+                }
+                if delta < 0.0 {
+                    down.set(t);
+                }
+            }
+        }
+    }
+    EvolvingSets { up, down }
+}
+
+/// Applies steps (1) and (2) of the pipeline to one series: optional linear
+/// segmentation followed by evolving-timestamp extraction.
+pub fn extract_with_segmentation(
+    series: &TimeSeries,
+    epsilon: f64,
+    segmentation_enabled: bool,
+    segmentation_error: f64,
+) -> EvolvingSets {
+    if segmentation_enabled && segmentation_error > 0.0 {
+        let smoothed = segmentation::smooth(series, segmentation_error);
+        extract_evolving(&smoothed, epsilon)
+    } else {
+        extract_evolving(series, epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_helpers() {
+        assert_eq!(Direction::Up.flip(), Direction::Down);
+        assert_eq!(Direction::Down.flip(), Direction::Up);
+        assert_eq!(Direction::Up.symbol(), "+");
+        assert_eq!(Direction::Down.symbol(), "-");
+        assert_eq!(Direction::BOTH.len(), 2);
+    }
+
+    #[test]
+    fn extraction_thresholds_on_epsilon() {
+        // deltas: +1.0, +0.3, -1.0, -0.3, 0.0
+        let s = TimeSeries::from_values(vec![0.0, 1.0, 1.3, 0.3, 0.0, 0.0]);
+        let ev = extract_evolving(&s, 0.5);
+        assert_eq!(ev.up.indices(), vec![1]);
+        assert_eq!(ev.down.indices(), vec![3]);
+        assert_eq!(ev.total(), 2);
+
+        // With a smaller epsilon the 0.3-sized changes count too.
+        let ev = extract_evolving(&s, 0.25);
+        assert_eq!(ev.up.indices(), vec![1, 2]);
+        assert_eq!(ev.down.indices(), vec![3, 4]);
+    }
+
+    #[test]
+    fn zero_epsilon_counts_any_strict_change() {
+        let s = TimeSeries::from_values(vec![1.0, 1.0, 1.001, 1.0]);
+        let ev = extract_evolving(&s, 0.0);
+        assert_eq!(ev.up.indices(), vec![2]);
+        assert_eq!(ev.down.indices(), vec![3]);
+    }
+
+    #[test]
+    fn larger_epsilon_never_increases_evolving_count() {
+        let s = TimeSeries::from_values(
+            (0..100).map(|i| ((i as f64) * 0.7).sin() * 3.0).collect(),
+        );
+        let mut prev = usize::MAX;
+        for eps in [0.0, 0.1, 0.5, 1.0, 2.0, 5.0] {
+            let count = extract_evolving(&s, eps).total();
+            assert!(count <= prev, "eps={eps} gave {count} > {prev}");
+            prev = count;
+        }
+    }
+
+    #[test]
+    fn missing_values_do_not_evolve() {
+        let s = TimeSeries::from_options(&[Some(0.0), None, Some(5.0), Some(0.0)]);
+        let ev = extract_evolving(&s, 0.5);
+        // t=1 and t=2 involve a missing value; only t=3 (5.0 -> 0.0) evolves.
+        assert_eq!(ev.up.count(), 0);
+        assert_eq!(ev.down.indices(), vec![3]);
+    }
+
+    #[test]
+    fn first_timestamp_never_evolves() {
+        let s = TimeSeries::from_values(vec![100.0, 100.0]);
+        let ev = extract_evolving(&s, 0.1);
+        assert!(!ev.up.get(0));
+        assert!(!ev.down.get(0));
+    }
+
+    #[test]
+    fn segmentation_suppresses_noise_evolution() {
+        // Rising trend with alternating noise that would otherwise create
+        // spurious Down events.
+        let s = TimeSeries::from_values(
+            (0..200)
+                .map(|i| i as f64 * 0.1 + if i % 2 == 0 { 0.3 } else { -0.3 })
+                .collect(),
+        );
+        let raw = extract_with_segmentation(&s, 0.2, false, 0.05);
+        let smoothed = extract_with_segmentation(&s, 0.2, true, 0.05);
+        assert!(raw.down.count() > 50);
+        assert!(
+            smoothed.down.count() < raw.down.count() / 4,
+            "segmentation left {} down-events",
+            smoothed.down.count()
+        );
+    }
+
+    #[test]
+    fn directional_bitsets_are_disjoint_for_positive_epsilon() {
+        let s = TimeSeries::from_values(
+            (0..300).map(|i| ((i * 37) % 17) as f64 * 0.5).collect(),
+        );
+        let ev = extract_evolving(&s, 0.4);
+        assert_eq!(ev.up.and_count(&ev.down), 0);
+        assert_eq!(ev.for_direction(Direction::Up).count(), ev.up.count());
+        assert_eq!(ev.for_direction(Direction::Down).count(), ev.down.count());
+    }
+}

@@ -1,0 +1,53 @@
+//! # miscela-core
+//!
+//! The MISCELA correlated-attribute-pattern (CAP) mining engine: the primary
+//! contribution reproduced by this workspace (Harada et al., MDM 2019, as
+//! summarized in Section 2 of the EDBT 2021 Miscela-V paper).
+//!
+//! A **CAP** is a set of sensors such that
+//!
+//! 1. the sensors are *spatially connected*: every member is within the
+//!    distance threshold η of another member (the induced subgraph of the
+//!    η-proximity graph is connected),
+//! 2. their measurements *co-evolve frequently*: there are at least ψ
+//!    timestamps at which every member's measurement changes by at least the
+//!    evolving rate ε (each member in its assigned direction),
+//! 3. the member sensors measure at least two distinct attributes, and at
+//!    most μ distinct attributes.
+//!
+//! The four pipeline steps of MISCELA (Section 2.2) map to modules:
+//!
+//! | Step | Module |
+//! |------|--------|
+//! | (1) linear segmentation | [`segmentation`] |
+//! | (2) extracting evolving timestamps | [`evolving`] |
+//! | (3) discovering spatially connected sensor sets | [`spatial`] |
+//! | (4) CAP search over each connected set | [`search`] |
+//!
+//! [`miner::Miner`] runs the whole pipeline; [`baseline::NaiveMiner`] is the
+//! unoptimized level-wise comparator used by the efficiency experiments;
+//! [`delayed`] implements the time-delayed extension of the DPD 2020 paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod bitset;
+pub mod correlation;
+pub mod delayed;
+pub mod error;
+pub mod evolving;
+pub mod miner;
+pub mod params;
+pub mod pattern;
+pub mod search;
+pub mod segmentation;
+pub mod spatial;
+
+pub use bitset::Bitset;
+pub use error::MiningError;
+pub use evolving::{Direction, EvolvingSets};
+pub use miner::{Miner, MiningReport, MiningResult};
+pub use params::MiningParams;
+pub use pattern::{Cap, CapMember, CapSet};
+pub use spatial::ProximityGraph;

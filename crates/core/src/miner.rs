@@ -1,0 +1,371 @@
+//! The full MISCELA pipeline.
+//!
+//! [`Miner`] runs the four steps of Section 2.2 over a [`Dataset`]:
+//! linear segmentation, evolving-timestamp extraction, spatially connected
+//! component discovery, and the per-component CAP search. The result bundles
+//! the [`CapSet`] with a [`MiningReport`] of per-step timings and sizes —
+//! the report is what the Figure-2 pipeline experiment prints.
+//!
+//! Components are searched in parallel with scoped threads when more than
+//! one hardware thread is available; the search itself is read-only over the
+//! shared evolving sets and proximity graph, so no synchronization beyond
+//! the final result merge is needed.
+
+use crate::delayed::{mine_delayed, DelayedCap};
+use crate::error::MiningError;
+use crate::evolving::{extract_with_segmentation, EvolvingSets};
+use crate::params::MiningParams;
+use crate::pattern::{Cap, CapSet};
+use crate::search::SearchContext;
+use crate::spatial::ProximityGraph;
+use miscela_model::{AttributeId, Dataset, SensorIndex};
+use std::time::{Duration, Instant};
+
+/// Per-step timings and intermediate sizes of one mining run.
+#[derive(Debug, Clone, Default)]
+pub struct MiningReport {
+    /// Time spent in segmentation + evolving-timestamp extraction.
+    pub extraction_time: Duration,
+    /// Time spent building the proximity graph and its components.
+    pub spatial_time: Duration,
+    /// Time spent in the CAP search.
+    pub search_time: Duration,
+    /// Total number of evolving timestamps over all sensors (both
+    /// directions).
+    pub evolving_events: usize,
+    /// Number of proximity edges.
+    pub proximity_edges: usize,
+    /// Number of connected components with at least two sensors.
+    pub searchable_components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+    /// Number of CAPs found.
+    pub cap_count: usize,
+}
+
+impl MiningReport {
+    /// Total wall time of the pipeline.
+    pub fn total_time(&self) -> Duration {
+        self.extraction_time + self.spatial_time + self.search_time
+    }
+}
+
+/// The result of one mining run.
+#[derive(Debug, Clone)]
+pub struct MiningResult {
+    /// The discovered CAPs.
+    pub caps: CapSet,
+    /// Pairwise time-delayed CAPs (empty unless `max_delay > 0`).
+    pub delayed: Vec<DelayedCap>,
+    /// Pipeline statistics.
+    pub report: MiningReport,
+}
+
+/// The MISCELA miner.
+#[derive(Debug, Clone)]
+pub struct Miner {
+    params: MiningParams,
+}
+
+impl Miner {
+    /// Creates a miner with the given parameters. The parameters are
+    /// validated here so that invalid requests fail before any work is done.
+    pub fn new(params: MiningParams) -> Result<Self, MiningError> {
+        params.validate()?;
+        Ok(Miner { params })
+    }
+
+    /// The miner's parameters.
+    pub fn params(&self) -> &MiningParams {
+        &self.params
+    }
+
+    /// Runs the full pipeline over a dataset.
+    pub fn mine(&self, dataset: &Dataset) -> Result<MiningResult, MiningError> {
+        if dataset.timestamp_count() < 2 {
+            return Err(MiningError::DatasetTooSmall(dataset.timestamp_count()));
+        }
+        let mut report = MiningReport::default();
+
+        // Steps (1) + (2): segmentation and evolving-timestamp extraction.
+        let t0 = Instant::now();
+        let evolving: Vec<EvolvingSets> = dataset
+            .iter()
+            .map(|ss| {
+                extract_with_segmentation(
+                    ss.series,
+                    self.params.epsilon,
+                    self.params.segmentation,
+                    self.params.segmentation_error,
+                )
+            })
+            .collect();
+        let attributes: Vec<AttributeId> = dataset.iter().map(|ss| ss.sensor.attribute).collect();
+        report.extraction_time = t0.elapsed();
+        report.evolving_events = evolving.iter().map(|e| e.total()).sum();
+
+        // Step (3): proximity graph and connected components.
+        let t1 = Instant::now();
+        let graph = ProximityGraph::build(dataset, self.params.eta_km);
+        report.spatial_time = t1.elapsed();
+        report.proximity_edges = graph.edge_count();
+        report.searchable_components = graph.components_at_least(2).count();
+        report.largest_component = graph
+            .components()
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(0);
+
+        // Step (4): CAP search per component, in parallel.
+        let t2 = Instant::now();
+        let ctx = SearchContext {
+            evolving: &evolving,
+            attributes: &attributes,
+            graph: &graph,
+            params: &self.params,
+        };
+        let components: Vec<&Vec<SensorIndex>> = graph.components_at_least(2).collect();
+        let caps = search_components_parallel(&ctx, &components);
+        report.search_time = t2.elapsed();
+
+        let caps = CapSet::from_caps(caps);
+        report.cap_count = caps.len();
+
+        // Optional time-delayed extension.
+        let delayed = if self.params.max_delay > 0 {
+            mine_delayed(&evolving, &attributes, &graph, &self.params)
+        } else {
+            Vec::new()
+        };
+
+        Ok(MiningResult {
+            caps,
+            delayed,
+            report,
+        })
+    }
+}
+
+/// Searches components in parallel across the available hardware threads.
+fn search_components_parallel(ctx: &SearchContext<'_>, components: &[&Vec<SensorIndex>]) -> Vec<Cap> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(components.len().max(1));
+    if workers <= 1 || components.len() <= 1 {
+        let mut out = Vec::new();
+        for comp in components {
+            out.extend(ctx.search_component(comp));
+        }
+        return out;
+    }
+    // Static round-robin assignment keeps the largest components spread over
+    // workers; crossbeam's scope lets the worker threads borrow the context.
+    let mut results: Vec<Vec<Cap>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let comps: Vec<&Vec<SensorIndex>> = components
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % workers == w)
+                .map(|(_, c)| *c)
+                .collect();
+            handles.push(scope.spawn(move |_| {
+                let mut out = Vec::new();
+                for comp in comps {
+                    out.extend(ctx.search_component(comp));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("search worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miscela_model::{DatasetBuilder, Duration as ModelDuration, GeoPoint, TimeGrid, TimeSeries, Timestamp};
+
+    /// Builds a dataset with `clusters` spatial clusters; within each
+    /// cluster, sensors 0 and 1 co-evolve (different attributes) and sensor 2
+    /// is uncorrelated noise.
+    fn clustered_dataset(clusters: usize, n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new("clustered");
+        let start = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+        b.set_grid(TimeGrid::new(start, ModelDuration::hours(1), n).unwrap());
+        let saw = |amp: f64, period: usize| -> TimeSeries {
+            TimeSeries::from_values(
+                (0..n)
+                    .map(|i| {
+                        let phase = i % period;
+                        if phase < period / 2 {
+                            amp * phase as f64
+                        } else {
+                            amp * (period - phase) as f64
+                        }
+                    })
+                    .collect(),
+            )
+        };
+        let noise = |seed: usize| -> TimeSeries {
+            TimeSeries::from_values(
+                (0..n)
+                    .map(|i| (((i * 2654435761 + seed * 97) % 13) as f64) * 0.01)
+                    .collect(),
+            )
+        };
+        for c in 0..clusters {
+            let base_lat = 43.4 + 0.1 * c as f64;
+            let temp = b
+                .add_sensor(
+                    format!("t{c}"),
+                    "temperature",
+                    GeoPoint::new_unchecked(base_lat, -3.80),
+                )
+                .unwrap();
+            let traffic = b
+                .add_sensor(
+                    format!("v{c}"),
+                    "traffic",
+                    GeoPoint::new_unchecked(base_lat + 0.001, -3.80),
+                )
+                .unwrap();
+            let hum = b
+                .add_sensor(
+                    format!("h{c}"),
+                    "humidity",
+                    GeoPoint::new_unchecked(base_lat + 0.002, -3.80),
+                )
+                .unwrap();
+            b.set_series(temp, saw(1.0, 12)).unwrap();
+            b.set_series(traffic, saw(20.0, 12)).unwrap();
+            b.set_series(hum, noise(c)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn params() -> MiningParams {
+        MiningParams::new()
+            .with_epsilon(0.5)
+            .with_eta_km(1.0)
+            .with_psi(10)
+            .with_mu(3)
+            .with_segmentation(false)
+    }
+
+    #[test]
+    fn rejects_invalid_params_and_tiny_datasets() {
+        assert!(Miner::new(MiningParams::new().with_psi(0)).is_err());
+        let miner = Miner::new(params()).unwrap();
+        let mut b = DatasetBuilder::new("tiny");
+        b.set_grid(TimeGrid::new(Timestamp::EPOCH, ModelDuration::hours(1), 1).unwrap());
+        b.add_sensor("s", "temperature", GeoPoint::new_unchecked(0.0, 0.0))
+            .unwrap();
+        let ds = b.build().unwrap();
+        assert!(matches!(miner.mine(&ds), Err(MiningError::DatasetTooSmall(1))));
+    }
+
+    #[test]
+    fn finds_planted_caps_per_cluster() {
+        let ds = clustered_dataset(3, 240);
+        let miner = Miner::new(params()).unwrap();
+        let result = miner.mine(&ds).unwrap();
+        // Each cluster contributes (at least) the temperature/traffic pair.
+        assert!(result.caps.len() >= 3, "found {}", result.caps.summary());
+        let temp = ds.attributes().id_of("temperature").unwrap();
+        let traffic = ds.attributes().id_of("traffic").unwrap();
+        let pairs = result.caps.with_attributes(&[temp, traffic]);
+        assert!(pairs.len() >= 3);
+        // The humidity noise sensors never co-evolve strongly enough.
+        let hum = ds.attributes().id_of("humidity").unwrap();
+        assert_eq!(result.caps.with_attribute(hum).count(), 0);
+        // Report is filled in.
+        assert_eq!(result.report.cap_count, result.caps.len());
+        assert_eq!(result.report.searchable_components, 3);
+        assert_eq!(result.report.largest_component, 3);
+        assert!(result.report.proximity_edges >= 3);
+        assert!(result.report.evolving_events > 0);
+        assert!(result.report.total_time() >= result.report.search_time);
+        // No delayed patterns requested.
+        assert!(result.delayed.is_empty());
+    }
+
+    #[test]
+    fn delayed_patterns_returned_when_requested() {
+        let ds = clustered_dataset(1, 240);
+        let miner = Miner::new(params().with_max_delay(2).with_psi(5)).unwrap();
+        let result = miner.mine(&ds).unwrap();
+        assert!(!result.delayed.is_empty());
+        // The simultaneous temperature/traffic pair should be among them with
+        // delay 0.
+        assert!(result.delayed.iter().any(|d| d.is_simultaneous()));
+    }
+
+    #[test]
+    fn segmentation_reduces_or_preserves_cap_count_on_noisy_data() {
+        // Noisy sensors: without segmentation the noise creates spurious
+        // co-evolution; with segmentation the count must not increase.
+        let n = 300;
+        let mut b = DatasetBuilder::new("noisy");
+        b.set_grid(
+            TimeGrid::new(Timestamp::EPOCH, ModelDuration::hours(1), n).unwrap(),
+        );
+        let noisy = |seed: u64| -> TimeSeries {
+            let mut state = seed;
+            TimeSeries::from_values(
+                (0..n)
+                    .map(|i| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let noise = ((state >> 33) % 100) as f64 / 100.0 - 0.5;
+                        (i as f64 * 0.01) + noise
+                    })
+                    .collect(),
+            )
+        };
+        for (i, attr) in ["temperature", "traffic", "light", "humidity"].iter().enumerate() {
+            let idx = b
+                .add_sensor(
+                    format!("s{i}"),
+                    attr,
+                    GeoPoint::new_unchecked(43.46 + 0.0005 * i as f64, -3.80),
+                )
+                .unwrap();
+            b.set_series(idx, noisy(i as u64 + 1)).unwrap();
+        }
+        let ds = b.build().unwrap();
+        let base = params().with_epsilon(0.3).with_psi(5);
+        let without = Miner::new(base.clone().with_segmentation(false))
+            .unwrap()
+            .mine(&ds)
+            .unwrap();
+        let with = Miner::new(base.with_segmentation(true).with_segmentation_error(0.05))
+            .unwrap()
+            .mine(&ds)
+            .unwrap();
+        assert!(
+            with.caps.len() <= without.caps.len(),
+            "segmentation increased CAPs: {} -> {}",
+            without.caps.len(),
+            with.caps.len()
+        );
+    }
+
+    #[test]
+    fn psi_and_eta_monotonicity_end_to_end() {
+        let ds = clustered_dataset(2, 240);
+        let count = |p: MiningParams| Miner::new(p).unwrap().mine(&ds).unwrap().caps.len();
+        // Smaller psi => at least as many CAPs (Section 2.1).
+        assert!(count(params().with_psi(5)) >= count(params().with_psi(30)));
+        // Larger eta => at least as many CAPs.
+        assert!(count(params().with_eta_km(5.0)) >= count(params().with_eta_km(0.05)));
+    }
+}

@@ -1,0 +1,262 @@
+//! Mining parameters (Section 2.1 of the paper).
+//!
+//! CAP mining is controlled by four user-facing parameters whose effect on
+//! the number of discovered CAPs the paper spells out:
+//!
+//! * **evolving rate ε** — changes smaller than ε do not count as evolution;
+//! * **distance threshold η** — two sensors closer than η kilometres are
+//!   "spatially close";
+//! * **maximum number of CAP attributes μ** — CAPs may involve at most μ
+//!   distinct attributes;
+//! * **minimum support ψ** — members of a CAP must co-evolve at ψ or more
+//!   timestamps.
+//!
+//! [`MiningParams`] also carries the knobs that the paper mentions in
+//! passing: whether linear segmentation is applied, whether the
+//! "multiple distinct attributes" restriction is enforced ("this restriction
+//! can be easily removed"), and a safety bound on CAP size for the
+//! exhaustive search.
+
+use crate::error::MiningError;
+
+/// The parameter set of one CAP-mining request. Also the cache key
+/// (Section 3.3): two requests with equal parameters and equal dataset name
+/// hit the same cache entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiningParams {
+    /// Evolving rate ε: minimum absolute change between consecutive
+    /// timestamps for the change to count as evolution.
+    pub epsilon: f64,
+    /// Distance threshold η in kilometres.
+    pub eta_km: f64,
+    /// Maximum number of distinct attributes in a CAP (μ).
+    pub mu: usize,
+    /// Minimum support ψ: minimum number of co-evolving timestamps.
+    pub psi: usize,
+    /// Minimum number of distinct attributes (2 by default; 1 disables the
+    /// "different attributes" restriction the paper says can be removed).
+    pub min_attributes: usize,
+    /// Whether to apply the linear-segmentation smoothing step.
+    pub segmentation: bool,
+    /// Segmentation error tolerance, as a fraction of the series' value
+    /// range (only used when `segmentation` is true).
+    pub segmentation_error: f64,
+    /// Upper bound on the number of sensors in one CAP. MISCELA itself has
+    /// no such bound; this is an implementation safeguard against synthetic
+    /// datasets with degenerate all-correlated clusters. `None` removes the
+    /// bound.
+    pub max_sensors: Option<usize>,
+    /// Maximum delay (in grid steps) for the time-delayed extension
+    /// (DPD 2020). `0` mines only simultaneous CAPs, as in the EDBT demo.
+    pub max_delay: usize,
+}
+
+impl Default for MiningParams {
+    fn default() -> Self {
+        MiningParams {
+            epsilon: 0.5,
+            eta_km: 1.0,
+            mu: 3,
+            psi: 10,
+            min_attributes: 2,
+            segmentation: true,
+            segmentation_error: 0.02,
+            max_sensors: Some(5),
+            max_delay: 0,
+        }
+    }
+}
+
+impl MiningParams {
+    /// Creates the default parameter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the evolving rate ε.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the distance threshold η (kilometres).
+    pub fn with_eta_km(mut self, eta_km: f64) -> Self {
+        self.eta_km = eta_km;
+        self
+    }
+
+    /// Sets the maximum number of distinct attributes μ.
+    pub fn with_mu(mut self, mu: usize) -> Self {
+        self.mu = mu;
+        self
+    }
+
+    /// Sets the minimum support ψ.
+    pub fn with_psi(mut self, psi: usize) -> Self {
+        self.psi = psi;
+        self
+    }
+
+    /// Sets the minimum number of distinct attributes (1 removes the
+    /// multiple-attribute restriction).
+    pub fn with_min_attributes(mut self, min_attributes: usize) -> Self {
+        self.min_attributes = min_attributes;
+        self
+    }
+
+    /// Enables or disables the linear-segmentation step.
+    pub fn with_segmentation(mut self, enabled: bool) -> Self {
+        self.segmentation = enabled;
+        self
+    }
+
+    /// Sets the segmentation error tolerance (fraction of the value range).
+    pub fn with_segmentation_error(mut self, error: f64) -> Self {
+        self.segmentation_error = error;
+        self
+    }
+
+    /// Sets (or removes) the CAP size safeguard.
+    pub fn with_max_sensors(mut self, max_sensors: Option<usize>) -> Self {
+        self.max_sensors = max_sensors;
+        self
+    }
+
+    /// Sets the maximum delay for time-delayed CAP mining.
+    pub fn with_max_delay(mut self, max_delay: usize) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Validates the parameter ranges.
+    pub fn validate(&self) -> Result<(), MiningError> {
+        if !(self.epsilon >= 0.0) || self.epsilon.is_nan() {
+            return Err(MiningError::InvalidParameter {
+                name: "epsilon",
+                message: format!("must be >= 0, got {}", self.epsilon),
+            });
+        }
+        if !(self.eta_km > 0.0) || self.eta_km.is_nan() {
+            return Err(MiningError::InvalidParameter {
+                name: "eta_km",
+                message: format!("must be > 0, got {}", self.eta_km),
+            });
+        }
+        if self.mu < 1 {
+            return Err(MiningError::InvalidParameter {
+                name: "mu",
+                message: "must be at least 1".to_string(),
+            });
+        }
+        if self.psi < 1 {
+            return Err(MiningError::InvalidParameter {
+                name: "psi",
+                message: "must be at least 1".to_string(),
+            });
+        }
+        if self.min_attributes < 1 || self.min_attributes > self.mu {
+            return Err(MiningError::InvalidParameter {
+                name: "min_attributes",
+                message: format!(
+                    "must be between 1 and mu ({}), got {}",
+                    self.mu, self.min_attributes
+                ),
+            });
+        }
+        if let Some(max) = self.max_sensors {
+            if max < 2 {
+                return Err(MiningError::InvalidParameter {
+                    name: "max_sensors",
+                    message: "must be at least 2 when set".to_string(),
+                });
+            }
+        }
+        if !(0.0..=1.0).contains(&self.segmentation_error) {
+            return Err(MiningError::InvalidParameter {
+                name: "segmentation_error",
+                message: format!("must be in [0, 1], got {}", self.segmentation_error),
+            });
+        }
+        Ok(())
+    }
+
+    /// A canonical textual signature of the parameters, used as part of the
+    /// cache key. Equal parameters always produce equal signatures.
+    pub fn signature(&self) -> String {
+        format!(
+            "eps={:.6};eta={:.6};mu={};psi={};minattr={};seg={};segerr={:.6};maxs={};delay={}",
+            self.epsilon,
+            self.eta_km,
+            self.mu,
+            self.psi,
+            self.min_attributes,
+            self.segmentation,
+            self.segmentation_error,
+            self.max_sensors.map(|m| m as i64).unwrap_or(-1),
+            self.max_delay
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(MiningParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let p = MiningParams::new()
+            .with_epsilon(0.2)
+            .with_eta_km(2.5)
+            .with_mu(4)
+            .with_psi(20)
+            .with_min_attributes(1)
+            .with_segmentation(false)
+            .with_max_sensors(None)
+            .with_max_delay(3);
+        assert_eq!(p.epsilon, 0.2);
+        assert_eq!(p.eta_km, 2.5);
+        assert_eq!(p.mu, 4);
+        assert_eq!(p.psi, 20);
+        assert_eq!(p.min_attributes, 1);
+        assert!(!p.segmentation);
+        assert_eq!(p.max_sensors, None);
+        assert_eq!(p.max_delay, 3);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(MiningParams::new().with_epsilon(-1.0).validate().is_err());
+        assert!(MiningParams::new().with_epsilon(f64::NAN).validate().is_err());
+        assert!(MiningParams::new().with_eta_km(0.0).validate().is_err());
+        assert!(MiningParams::new().with_mu(0).validate().is_err());
+        assert!(MiningParams::new().with_psi(0).validate().is_err());
+        assert!(MiningParams::new().with_min_attributes(0).validate().is_err());
+        assert!(MiningParams::new()
+            .with_mu(2)
+            .with_min_attributes(3)
+            .validate()
+            .is_err());
+        assert!(MiningParams::new().with_max_sensors(Some(1)).validate().is_err());
+        assert!(MiningParams::new()
+            .with_segmentation_error(1.5)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn signature_is_stable_and_distinguishes() {
+        let a = MiningParams::default();
+        let b = MiningParams::default();
+        assert_eq!(a.signature(), b.signature());
+        let c = MiningParams::default().with_psi(11);
+        assert_ne!(a.signature(), c.signature());
+        let d = MiningParams::default().with_max_sensors(None);
+        assert_ne!(a.signature(), d.signature());
+    }
+}

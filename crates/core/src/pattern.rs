@@ -1,0 +1,363 @@
+//! CAP patterns and result sets.
+//!
+//! MISCELA "returns a set of sets of sensors as CAPs" (Section 3.4). A
+//! [`Cap`] records the member sensors with their evolution directions, the
+//! attribute set, the support, and the co-evolving timestamps; [`CapSet`]
+//! is the full mining result with the lookup operations the visualization
+//! layer needs (most importantly "which sensors are correlated with the
+//! sensor the user clicked", Section 3.1).
+
+use crate::evolving::Direction;
+use miscela_model::{AttributeId, SensorIndex};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One member of a CAP: a sensor and the direction in which it co-evolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CapMember {
+    /// Dense sensor index within the mined dataset.
+    pub sensor: SensorIndex,
+    /// Direction of evolution assigned to this sensor.
+    pub direction: Direction,
+}
+
+/// A correlated attribute pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cap {
+    /// Member sensors with their directions, sorted by sensor index.
+    pub members: Vec<CapMember>,
+    /// Distinct attributes measured by the members, sorted.
+    pub attributes: Vec<AttributeId>,
+    /// Number of timestamps at which every member evolves in its assigned
+    /// direction.
+    pub support: usize,
+    /// The co-evolving timestamp indices (grid positions), ascending.
+    pub timestamps: Vec<u32>,
+}
+
+impl Cap {
+    /// Creates a CAP, normalizing member order.
+    pub fn new(
+        mut members: Vec<CapMember>,
+        attributes: BTreeSet<AttributeId>,
+        timestamps: Vec<u32>,
+    ) -> Self {
+        members.sort();
+        Cap {
+            members,
+            attributes: attributes.into_iter().collect(),
+            support: timestamps.len(),
+            timestamps,
+        }
+    }
+
+    /// Number of member sensors.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of distinct attributes.
+    pub fn attribute_count(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The sensor indices, sorted.
+    pub fn sensors(&self) -> Vec<SensorIndex> {
+        self.members.iter().map(|m| m.sensor).collect()
+    }
+
+    /// Whether the CAP contains the given sensor.
+    pub fn contains(&self, sensor: SensorIndex) -> bool {
+        self.members.iter().any(|m| m.sensor == sensor)
+    }
+
+    /// Whether the CAP involves the given attribute.
+    pub fn has_attribute(&self, attribute: AttributeId) -> bool {
+        self.attributes.binary_search(&attribute).is_ok()
+    }
+
+    /// Direction assigned to a member sensor, if present.
+    pub fn direction_of(&self, sensor: SensorIndex) -> Option<Direction> {
+        self.members
+            .iter()
+            .find(|m| m.sensor == sensor)
+            .map(|m| m.direction)
+    }
+
+    /// Canonical key identifying the sensor set (ignoring directions), used
+    /// for deduplication between miners.
+    pub fn sensor_key(&self) -> Vec<u32> {
+        self.members.iter().map(|m| m.sensor.0).collect()
+    }
+}
+
+impl fmt::Display for Cap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CAP{{")?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}{}", m.sensor, m.direction.symbol())?;
+        }
+        write!(f, " | {} attrs, support {}}}", self.attributes.len(), self.support)
+    }
+}
+
+/// The full result of one mining run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CapSet {
+    caps: Vec<Cap>,
+}
+
+impl CapSet {
+    /// Creates an empty result set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a result set from CAPs, sorting by descending support and
+    /// then by sensor key for determinism.
+    pub fn from_caps(mut caps: Vec<Cap>) -> Self {
+        caps.sort_by(|a, b| {
+            b.support
+                .cmp(&a.support)
+                .then_with(|| a.sensor_key().cmp(&b.sensor_key()))
+                .then_with(|| {
+                    let da: Vec<&str> = a.members.iter().map(|m| m.direction.symbol()).collect();
+                    let db: Vec<&str> = b.members.iter().map(|m| m.direction.symbol()).collect();
+                    da.cmp(&db)
+                })
+        });
+        CapSet { caps }
+    }
+
+    /// Adds a CAP (no re-sorting; call [`CapSet::from_caps`] for sorted
+    /// construction).
+    pub fn push(&mut self, cap: Cap) {
+        self.caps.push(cap);
+    }
+
+    /// All CAPs.
+    pub fn caps(&self) -> &[Cap] {
+        &self.caps
+    }
+
+    /// Number of CAPs.
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Whether no CAPs were found.
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    /// CAPs containing a given sensor.
+    pub fn containing(&self, sensor: SensorIndex) -> impl Iterator<Item = &Cap> {
+        self.caps.iter().filter(move |c| c.contains(sensor))
+    }
+
+    /// Sensors correlated with the given one: every sensor sharing at least
+    /// one CAP with it. This is the set the map view highlights when a
+    /// sensor is clicked (Figure 3 (A)/(B)).
+    pub fn partners_of(&self, sensor: SensorIndex) -> Vec<SensorIndex> {
+        let mut set: BTreeSet<SensorIndex> = BTreeSet::new();
+        for cap in self.containing(sensor) {
+            for m in &cap.members {
+                if m.sensor != sensor {
+                    set.insert(m.sensor);
+                }
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// CAPs involving a given attribute.
+    pub fn with_attribute(&self, attribute: AttributeId) -> impl Iterator<Item = &Cap> {
+        self.caps.iter().filter(move |c| c.has_attribute(attribute))
+    }
+
+    /// CAPs whose attribute set contains every attribute in `attrs`.
+    pub fn with_attributes(&self, attrs: &[AttributeId]) -> Vec<&Cap> {
+        self.caps
+            .iter()
+            .filter(|c| attrs.iter().all(|a| c.has_attribute(*a)))
+            .collect()
+    }
+
+    /// Distinct unordered attribute pairs appearing together in at least one
+    /// CAP, with the number of CAPs for each pair. This is what Figure 4
+    /// (correlation pattern change before/after COVID-19) compares.
+    pub fn attribute_pair_counts(&self) -> Vec<((AttributeId, AttributeId), usize)> {
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<(AttributeId, AttributeId), usize> = BTreeMap::new();
+        for cap in &self.caps {
+            for i in 0..cap.attributes.len() {
+                for j in (i + 1)..cap.attributes.len() {
+                    *counts.entry((cap.attributes[i], cap.attributes[j])).or_insert(0) += 1;
+                }
+            }
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Deduplicates CAPs that share the same sensor set, keeping the one with
+    /// the highest support. Useful when comparing miners that may emit
+    /// multiple direction assignments per sensor set.
+    pub fn dedup_by_sensors(&self) -> CapSet {
+        use std::collections::BTreeMap;
+        let mut best: BTreeMap<Vec<u32>, Cap> = BTreeMap::new();
+        for cap in &self.caps {
+            let key = cap.sensor_key();
+            match best.get(&key) {
+                Some(existing) if existing.support >= cap.support => {}
+                _ => {
+                    best.insert(key, cap.clone());
+                }
+            }
+        }
+        CapSet::from_caps(best.into_values().collect())
+    }
+
+    /// Summary line: CAP count, largest support, mean size.
+    pub fn summary(&self) -> String {
+        if self.caps.is_empty() {
+            return "0 CAPs".to_string();
+        }
+        let max_support = self.caps.iter().map(|c| c.support).max().unwrap_or(0);
+        let mean_size =
+            self.caps.iter().map(|c| c.size()).sum::<usize>() as f64 / self.caps.len() as f64;
+        format!(
+            "{} CAPs (max support {}, mean size {:.1})",
+            self.caps.len(),
+            max_support,
+            mean_size
+        )
+    }
+}
+
+impl IntoIterator for CapSet {
+    type Item = Cap;
+    type IntoIter = std::vec::IntoIter<Cap>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.caps.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a CapSet {
+    type Item = &'a Cap;
+    type IntoIter = std::slice::Iter<'a, Cap>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.caps.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(i: u32, dir: Direction) -> CapMember {
+        CapMember {
+            sensor: SensorIndex(i),
+            direction: dir,
+        }
+    }
+
+    fn cap(sensors: &[u32], attrs: &[u16], timestamps: &[u32]) -> Cap {
+        Cap::new(
+            sensors.iter().map(|&i| member(i, Direction::Up)).collect(),
+            attrs.iter().map(|&a| AttributeId(a)).collect(),
+            timestamps.to_vec(),
+        )
+    }
+
+    #[test]
+    fn cap_basics() {
+        let c = cap(&[3, 1], &[0, 2], &[5, 9, 11]);
+        assert_eq!(c.size(), 2);
+        assert_eq!(c.support, 3);
+        assert_eq!(c.attribute_count(), 2);
+        // Members sorted by sensor index.
+        assert_eq!(c.sensors(), vec![SensorIndex(1), SensorIndex(3)]);
+        assert!(c.contains(SensorIndex(1)));
+        assert!(!c.contains(SensorIndex(2)));
+        assert!(c.has_attribute(AttributeId(2)));
+        assert!(!c.has_attribute(AttributeId(1)));
+        assert_eq!(c.direction_of(SensorIndex(3)), Some(Direction::Up));
+        assert_eq!(c.direction_of(SensorIndex(9)), None);
+        let s = c.to_string();
+        assert!(s.contains("support 3"));
+    }
+
+    #[test]
+    fn capset_sorting_and_lookup() {
+        let set = CapSet::from_caps(vec![
+            cap(&[0, 1], &[0, 1], &[1, 2]),
+            cap(&[1, 2], &[0, 1], &[1, 2, 3, 4]),
+            cap(&[2, 3], &[1, 2], &[7]),
+        ]);
+        assert_eq!(set.len(), 3);
+        // Sorted by descending support.
+        assert_eq!(set.caps()[0].support, 4);
+        assert_eq!(set.caps()[2].support, 1);
+        // Partner lookup: sensor 1 shares CAPs with 0 and 2.
+        assert_eq!(
+            set.partners_of(SensorIndex(1)),
+            vec![SensorIndex(0), SensorIndex(2)]
+        );
+        assert!(set.partners_of(SensorIndex(9)).is_empty());
+        assert_eq!(set.containing(SensorIndex(2)).count(), 2);
+        assert_eq!(set.with_attribute(AttributeId(2)).count(), 1);
+        assert_eq!(set.with_attributes(&[AttributeId(0), AttributeId(1)]).len(), 2);
+        assert!(!set.is_empty());
+        assert!(set.summary().contains("3 CAPs"));
+        assert_eq!(CapSet::new().summary(), "0 CAPs");
+    }
+
+    #[test]
+    fn attribute_pair_counts() {
+        let set = CapSet::from_caps(vec![
+            cap(&[0, 1], &[0, 1], &[1]),
+            cap(&[2, 3], &[0, 1], &[1]),
+            cap(&[4, 5, 6], &[0, 1, 2], &[1]),
+        ]);
+        let pairs = set.attribute_pair_counts();
+        // (0,1) appears in all three CAPs; (0,2) and (1,2) in one each.
+        assert_eq!(pairs.len(), 3);
+        let find = |a: u16, b: u16| {
+            pairs
+                .iter()
+                .find(|((x, y), _)| *x == AttributeId(a) && *y == AttributeId(b))
+                .map(|(_, n)| *n)
+        };
+        assert_eq!(find(0, 1), Some(3));
+        assert_eq!(find(0, 2), Some(1));
+        assert_eq!(find(1, 2), Some(1));
+    }
+
+    #[test]
+    fn dedup_keeps_highest_support() {
+        let a = Cap::new(
+            vec![member(0, Direction::Up), member(1, Direction::Up)],
+            [AttributeId(0), AttributeId(1)].into_iter().collect(),
+            vec![1, 2, 3],
+        );
+        let b = Cap::new(
+            vec![member(0, Direction::Down), member(1, Direction::Down)],
+            [AttributeId(0), AttributeId(1)].into_iter().collect(),
+            vec![7],
+        );
+        let set = CapSet::from_caps(vec![a.clone(), b]);
+        let deduped = set.dedup_by_sensors();
+        assert_eq!(deduped.len(), 1);
+        assert_eq!(deduped.caps()[0].support, 3);
+    }
+
+    #[test]
+    fn iteration() {
+        let set = CapSet::from_caps(vec![cap(&[0, 1], &[0, 1], &[1])]);
+        assert_eq!((&set).into_iter().count(), 1);
+        assert_eq!(set.into_iter().count(), 1);
+    }
+}

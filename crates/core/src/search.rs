@@ -1,0 +1,465 @@
+//! Step (4) of MISCELA: the CAP search.
+//!
+//! "For each set of spatially close sensors, we search for CAPs. We
+//! recursively conduct the CAP search with gradually expanding spatially
+//! close sensors according to a tree structure for CAP mining."
+//! (Section 2.2)
+//!
+//! The tree structure used here is the ESU enumeration of connected induced
+//! subgraphs (each candidate sensor set is visited exactly once), combined
+//! with two anti-monotone prunes:
+//!
+//! * **support**: the co-evolving timestamp set of a pattern only shrinks
+//!   when a sensor is added, so a sensor set none of whose direction
+//!   assignments reaches ψ co-evolving timestamps can never be extended into
+//!   a CAP and its whole subtree is cut;
+//! * **attributes**: the number of distinct attributes only grows, so a set
+//!   already exceeding μ distinct attributes is cut.
+//!
+//! Each surviving sensor set is reported once, with the direction assignment
+//! of maximum support.
+
+use crate::bitset::Bitset;
+use crate::evolving::{Direction, EvolvingSets};
+use crate::params::MiningParams;
+use crate::pattern::{Cap, CapMember};
+use crate::spatial::ProximityGraph;
+use miscela_model::{AttributeId, SensorIndex};
+use std::collections::BTreeSet;
+
+/// Shared, read-only context for the CAP search.
+pub struct SearchContext<'a> {
+    /// Evolving timestamp sets per dense sensor index.
+    pub evolving: &'a [EvolvingSets],
+    /// Attribute per dense sensor index.
+    pub attributes: &'a [AttributeId],
+    /// η-proximity graph over the sensors.
+    pub graph: &'a ProximityGraph,
+    /// Mining parameters.
+    pub params: &'a MiningParams,
+}
+
+/// One partial pattern: a direction assignment (aligned with the insertion
+/// order of the sensor set) and the bitset of timestamps at which every
+/// member evolves in its assigned direction.
+#[derive(Debug, Clone)]
+struct Candidate {
+    directions: Vec<Direction>,
+    bits: Bitset,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Mines all CAPs inside one spatially connected component.
+    pub fn search_component(&self, component: &[SensorIndex]) -> Vec<Cap> {
+        let mut out = Vec::new();
+        if component.len() < 2 {
+            return out;
+        }
+        for (pos, &seed) in component.iter().enumerate() {
+            // Seed candidates: the seed sensor in each direction that alone
+            // already satisfies the support threshold.
+            let seed_candidates: Vec<Candidate> = Direction::BOTH
+                .iter()
+                .filter_map(|&dir| {
+                    let bits = self.evolving[seed.index()].for_direction(dir).clone();
+                    (bits.count() >= self.params.psi).then_some(Candidate {
+                        directions: vec![dir],
+                        bits,
+                    })
+                })
+                .collect();
+            if seed_candidates.is_empty() {
+                continue;
+            }
+            let _ = pos;
+            let mut attrs = BTreeSet::new();
+            attrs.insert(self.attributes[seed.index()]);
+            // Initial extension set: neighbours of the seed with a larger
+            // index (the ESU ordering that guarantees uniqueness).
+            let ext: Vec<SensorIndex> = self
+                .graph
+                .neighbors(seed)
+                .iter()
+                .copied()
+                .filter(|&u| u > seed)
+                .collect();
+            // Closed neighbourhood of the current subset (used to compute
+            // exclusive neighbourhoods during extension).
+            let mut closed: BTreeSet<SensorIndex> = BTreeSet::new();
+            closed.insert(seed);
+            for &u in self.graph.neighbors(seed) {
+                closed.insert(u);
+            }
+            self.extend(
+                seed,
+                &mut vec![seed],
+                &closed,
+                ext,
+                &seed_candidates,
+                &attrs,
+                &mut out,
+            );
+        }
+        out
+    }
+
+    /// ESU extension step.
+    #[allow(clippy::too_many_arguments)]
+    fn extend(
+        &self,
+        seed: SensorIndex,
+        subset: &mut Vec<SensorIndex>,
+        closed: &BTreeSet<SensorIndex>,
+        mut ext: Vec<SensorIndex>,
+        candidates: &[Candidate],
+        attrs: &BTreeSet<AttributeId>,
+        out: &mut Vec<Cap>,
+    ) {
+        if let Some(max) = self.params.max_sensors {
+            if subset.len() >= max {
+                return;
+            }
+        }
+        while let Some(w) = ext.pop() {
+            // Attribute prune.
+            let w_attr = self.attributes[w.index()];
+            let mut new_attrs = attrs.clone();
+            new_attrs.insert(w_attr);
+            if new_attrs.len() > self.params.mu {
+                continue;
+            }
+            // Support prune: extend every surviving candidate by w in both
+            // directions and keep those still meeting ψ.
+            let mut new_candidates = Vec::new();
+            for cand in candidates {
+                for &dir in &Direction::BOTH {
+                    let w_bits = self.evolving[w.index()].for_direction(dir);
+                    if cand.bits.and_count(w_bits) >= self.params.psi {
+                        let mut bits = cand.bits.clone();
+                        bits.and_assign(w_bits);
+                        let mut directions = cand.directions.clone();
+                        directions.push(dir);
+                        new_candidates.push(Candidate { directions, bits });
+                    }
+                }
+            }
+            if new_candidates.is_empty() {
+                continue;
+            }
+            subset.push(w);
+            // Report the pattern when the attribute constraint is met.
+            if subset.len() >= 2 && new_attrs.len() >= self.params.min_attributes {
+                out.push(self.emit(subset, &new_attrs, &new_candidates));
+            }
+            // Exclusive-neighbourhood extension (ESU): neighbours of w that
+            // are beyond the seed, not already in the subset, and not already
+            // reachable from the previous subset.
+            let mut new_ext = ext.clone();
+            let mut new_closed = closed.clone();
+            for &u in self.graph.neighbors(w) {
+                if u > seed && !closed.contains(&u) {
+                    new_ext.push(u);
+                }
+                new_closed.insert(u);
+            }
+            new_closed.insert(w);
+            self.extend(seed, subset, &new_closed, new_ext, &new_candidates, &new_attrs, out);
+            subset.pop();
+        }
+    }
+
+    /// Builds the reported CAP for a sensor set: the direction assignment
+    /// with maximum support wins.
+    fn emit(&self, subset: &[SensorIndex], attrs: &BTreeSet<AttributeId>, candidates: &[Candidate]) -> Cap {
+        let best = candidates
+            .iter()
+            .max_by(|a, b| {
+                a.bits
+                    .count()
+                    .cmp(&b.bits.count())
+                    .then_with(|| b.directions.cmp(&a.directions))
+            })
+            .expect("emit called with at least one candidate");
+        let members: Vec<CapMember> = subset
+            .iter()
+            .zip(&best.directions)
+            .map(|(&sensor, &direction)| CapMember { sensor, direction })
+            .collect();
+        let timestamps: Vec<u32> = best.bits.indices().into_iter().map(|i| i as u32).collect();
+        Cap::new(members, attrs.clone(), timestamps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolving::extract_evolving;
+    use miscela_model::{GeoPoint, TimeSeries};
+
+    /// Builds a small synthetic scenario: `series[i]` is the series of sensor
+    /// i, `attrs[i]` its attribute, all sensors within 200 m of each other
+    /// unless `spread` is true (in which case sensor i is ~i km away).
+    fn context_fixture(
+        series: &[TimeSeries],
+        attrs: &[u16],
+        spread: bool,
+        params: &MiningParams,
+    ) -> (Vec<EvolvingSets>, Vec<AttributeId>, ProximityGraph) {
+        let evolving: Vec<EvolvingSets> = series
+            .iter()
+            .map(|s| extract_evolving(s, params.epsilon))
+            .collect();
+        let attributes: Vec<AttributeId> = attrs.iter().map(|&a| AttributeId(a)).collect();
+        let points: Vec<GeoPoint> = (0..series.len())
+            .map(|i| {
+                if spread {
+                    GeoPoint::new_unchecked(43.46 + 0.01 * i as f64, -3.80)
+                } else {
+                    GeoPoint::new_unchecked(43.46 + 0.001 * i as f64, -3.80)
+                }
+            })
+            .collect();
+        let graph = ProximityGraph::from_points(&points, params.eta_km);
+        (evolving, attributes, graph)
+    }
+
+    fn saw(n: usize, period: usize, amplitude: f64) -> TimeSeries {
+        TimeSeries::from_values(
+            (0..n)
+                .map(|i| {
+                    let phase = i % period;
+                    if phase < period / 2 {
+                        amplitude * phase as f64
+                    } else {
+                        amplitude * (period - phase) as f64
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    fn flat(n: usize) -> TimeSeries {
+        TimeSeries::from_values(vec![5.0; n])
+    }
+
+    #[test]
+    fn finds_planted_two_sensor_cap() {
+        let n = 100;
+        let params = MiningParams::new()
+            .with_epsilon(0.5)
+            .with_eta_km(1.0)
+            .with_psi(10)
+            .with_mu(3)
+            .with_segmentation(false);
+        // Sensors 0 (temperature) and 1 (traffic) share the same sawtooth;
+        // sensor 2 (temperature) is flat and never evolves.
+        let series = vec![saw(n, 10, 1.0), saw(n, 10, 2.0), flat(n)];
+        let (evolving, attributes, graph) = context_fixture(&series, &[0, 1, 0], false, &params);
+        let ctx = SearchContext {
+            evolving: &evolving,
+            attributes: &attributes,
+            graph: &graph,
+            params: &params,
+        };
+        let comps = graph.components();
+        assert_eq!(comps.len(), 1);
+        let caps = ctx.search_component(&comps[0]);
+        assert!(!caps.is_empty());
+        // The pair {0, 1} must be among the results with both directions Up
+        // or both Down (they co-evolve in the same direction).
+        let pair = caps
+            .iter()
+            .find(|c| c.sensors() == vec![SensorIndex(0), SensorIndex(1)])
+            .expect("pair {0,1} not found");
+        assert!(pair.support >= 10);
+        let d0 = pair.direction_of(SensorIndex(0)).unwrap();
+        let d1 = pair.direction_of(SensorIndex(1)).unwrap();
+        assert_eq!(d0, d1);
+        // The flat sensor never appears.
+        assert!(caps.iter().all(|c| !c.contains(SensorIndex(2))));
+    }
+
+    #[test]
+    fn same_attribute_pairs_are_rejected_by_default() {
+        let n = 60;
+        let params = MiningParams::new()
+            .with_epsilon(0.5)
+            .with_psi(5)
+            .with_segmentation(false);
+        // Both sensors measure attribute 0.
+        let series = vec![saw(n, 10, 1.0), saw(n, 10, 1.0)];
+        let (evolving, attributes, graph) = context_fixture(&series, &[0, 0], false, &params);
+        let ctx = SearchContext {
+            evolving: &evolving,
+            attributes: &attributes,
+            graph: &graph,
+            params: &params,
+        };
+        let caps = ctx.search_component(&graph.components()[0]);
+        assert!(caps.is_empty());
+
+        // Removing the restriction (min_attributes = 1) accepts them.
+        let params1 = params.clone().with_min_attributes(1);
+        let ctx1 = SearchContext {
+            evolving: &evolving,
+            attributes: &attributes,
+            graph: &graph,
+            params: &params1,
+        };
+        assert!(!ctx1.search_component(&graph.components()[0]).is_empty());
+    }
+
+    #[test]
+    fn psi_prunes_weak_patterns() {
+        let n = 40;
+        // Series co-evolve at exactly 7 timestamps (one rise of the sawtooth
+        // per period of 12 => ~3 rises of length ~5).
+        let series = vec![saw(n, 12, 1.0), saw(n, 12, 1.0)];
+        let base = MiningParams::new().with_epsilon(0.5).with_segmentation(false);
+        let (evolving, attributes, graph) = context_fixture(&series, &[0, 1], false, &base);
+        let count_with_psi = |psi: usize| {
+            let params = base.clone().with_psi(psi);
+            let ctx = SearchContext {
+                evolving: &evolving,
+                attributes: &attributes,
+                graph: &graph,
+                params: &params,
+            };
+            ctx.search_component(&graph.components()[0]).len()
+        };
+        assert!(count_with_psi(1) >= 1);
+        assert_eq!(count_with_psi(1000), 0);
+        // Monotone: more CAPs with smaller psi.
+        assert!(count_with_psi(1) >= count_with_psi(10));
+    }
+
+    #[test]
+    fn eta_splits_components_and_removes_caps() {
+        let n = 80;
+        let series = vec![saw(n, 10, 1.0), saw(n, 10, 1.0)];
+        let params = MiningParams::new()
+            .with_epsilon(0.5)
+            .with_psi(5)
+            .with_eta_km(0.05) // sensors are ~1.1 km apart in "spread" mode
+            .with_segmentation(false);
+        let (evolving, attributes, graph) = context_fixture(&series, &[0, 1], true, &params);
+        let ctx = SearchContext {
+            evolving: &evolving,
+            attributes: &attributes,
+            graph: &graph,
+            params: &params,
+        };
+        let total: usize = graph
+            .components()
+            .iter()
+            .map(|c| ctx.search_component(c).len())
+            .sum();
+        assert_eq!(total, 0, "distant sensors must not form CAPs");
+    }
+
+    #[test]
+    fn mu_limits_attribute_count() {
+        let n = 80;
+        // Three sensors, three different attributes, all co-evolving.
+        let series = vec![saw(n, 10, 1.0), saw(n, 10, 1.5), saw(n, 10, 2.0)];
+        let base = MiningParams::new().with_epsilon(0.4).with_psi(5).with_segmentation(false);
+        let (evolving, attributes, graph) = context_fixture(&series, &[0, 1, 2], false, &base);
+        let caps_for_mu = |mu: usize| {
+            let params = base.clone().with_mu(mu).with_min_attributes(2.min(mu));
+            let ctx = SearchContext {
+                evolving: &evolving,
+                attributes: &attributes,
+                graph: &graph,
+                params: &params,
+            };
+            ctx.search_component(&graph.components()[0])
+        };
+        let caps3 = caps_for_mu(3);
+        assert!(caps3.iter().any(|c| c.size() == 3), "triple not found with mu=3");
+        let caps2 = caps_for_mu(2);
+        assert!(caps2.iter().all(|c| c.attribute_count() <= 2));
+        assert!(!caps2.iter().any(|c| c.size() == 3));
+        // mu=3 finds at least as many CAPs as mu=2.
+        assert!(caps3.len() >= caps2.len());
+    }
+
+    #[test]
+    fn each_sensor_set_reported_once() {
+        let n = 120;
+        let series = vec![
+            saw(n, 10, 1.0),
+            saw(n, 10, 1.2),
+            saw(n, 10, 1.4),
+            saw(n, 10, 1.6),
+        ];
+        let params = MiningParams::new()
+            .with_epsilon(0.4)
+            .with_psi(5)
+            .with_mu(4)
+            .with_segmentation(false);
+        let (evolving, attributes, graph) = context_fixture(&series, &[0, 1, 0, 1], false, &params);
+        let ctx = SearchContext {
+            evolving: &evolving,
+            attributes: &attributes,
+            graph: &graph,
+            params: &params,
+        };
+        let caps = ctx.search_component(&graph.components()[0]);
+        let mut keys: Vec<Vec<u32>> = caps.iter().map(|c| c.sensor_key()).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "duplicate sensor sets reported");
+        assert!(before > 0);
+    }
+
+    #[test]
+    fn opposite_direction_correlation_is_found() {
+        let n = 100;
+        // Sensor 1 is the mirror image of sensor 0: when 0 rises, 1 falls.
+        let up = saw(n, 10, 1.0);
+        let down = TimeSeries::from_values(up.iter().map(|v| 10.0 - v.unwrap()).collect::<Vec<_>>());
+        let params = MiningParams::new()
+            .with_epsilon(0.5)
+            .with_psi(10)
+            .with_segmentation(false);
+        let (evolving, attributes, graph) = context_fixture(&[up, down], &[0, 1], false, &params);
+        let ctx = SearchContext {
+            evolving: &evolving,
+            attributes: &attributes,
+            graph: &graph,
+            params: &params,
+        };
+        let caps = ctx.search_component(&graph.components()[0]);
+        let pair = caps
+            .iter()
+            .find(|c| c.size() == 2)
+            .expect("anti-correlated pair not found");
+        let d0 = pair.direction_of(SensorIndex(0)).unwrap();
+        let d1 = pair.direction_of(SensorIndex(1)).unwrap();
+        assert_eq!(d0, d1.flip());
+    }
+
+    #[test]
+    fn max_sensors_bounds_pattern_size() {
+        let n = 80;
+        let series: Vec<TimeSeries> = (0..6).map(|_| saw(n, 10, 1.0)).collect();
+        let params = MiningParams::new()
+            .with_epsilon(0.5)
+            .with_psi(5)
+            .with_mu(6)
+            .with_max_sensors(Some(3))
+            .with_segmentation(false);
+        let (evolving, attributes, graph) =
+            context_fixture(&series, &[0, 1, 2, 3, 4, 5], false, &params);
+        let ctx = SearchContext {
+            evolving: &evolving,
+            attributes: &attributes,
+            graph: &graph,
+            params: &params,
+        };
+        let caps = ctx.search_component(&graph.components()[0]);
+        assert!(caps.iter().all(|c| c.size() <= 3));
+        assert!(caps.iter().any(|c| c.size() == 3));
+    }
+}

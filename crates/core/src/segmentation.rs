@@ -1,0 +1,323 @@
+//! Step (1) of MISCELA: linear segmentation.
+//!
+//! "We filter uninteresting data fluctuation by applying a linear
+//! segmentation algorithm to time series data." (Section 2.2)
+//!
+//! The implementation is bottom-up piecewise-linear approximation: the
+//! series starts as a chain of two-point segments which are repeatedly
+//! merged (cheapest merge first) while the merge's maximum deviation from
+//! the fitted line stays within the error tolerance. The smoothed series is
+//! the reconstruction of those segments; small, noisy wiggles disappear
+//! while genuine trends survive, which is exactly what the evolving-rate
+//! test needs.
+
+use miscela_model::TimeSeries;
+
+/// One linear segment over grid indices `[start, end]` (inclusive).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// First grid index of the segment.
+    pub start: usize,
+    /// Last grid index of the segment (inclusive).
+    pub end: usize,
+    /// Fitted value at `start`.
+    pub start_value: f64,
+    /// Fitted value at `end`.
+    pub end_value: f64,
+}
+
+impl Segment {
+    /// Value of the fitted line at grid index `i` (must lie within the
+    /// segment).
+    pub fn value_at(&self, i: usize) -> f64 {
+        if self.end == self.start {
+            return self.start_value;
+        }
+        let frac = (i - self.start) as f64 / (self.end - self.start) as f64;
+        self.start_value + (self.end_value - self.start_value) * frac
+    }
+
+    /// Slope of the segment per grid step.
+    pub fn slope(&self) -> f64 {
+        if self.end == self.start {
+            0.0
+        } else {
+            (self.end_value - self.start_value) / (self.end - self.start) as f64
+        }
+    }
+
+    /// Number of grid points covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Whether the segment covers a single point.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Result of segmenting one series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segmentation {
+    /// The segments, in order, covering every present index range.
+    pub segments: Vec<Segment>,
+    /// Length of the original series.
+    pub len: usize,
+}
+
+impl Segmentation {
+    /// Reconstructs the smoothed series from the segments. Indices that were
+    /// missing in the original series stay missing.
+    pub fn reconstruct(&self, original: &TimeSeries) -> TimeSeries {
+        let mut out = TimeSeries::missing(self.len);
+        for seg in &self.segments {
+            for i in seg.start..=seg.end {
+                if original.is_present(i) {
+                    out.set(i, seg.value_at(i));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+/// Maximum absolute deviation between the observed values and the straight
+/// line joining the endpoints of `values[start..=end]`.
+fn max_deviation(values: &[f64], start: usize, end: usize) -> f64 {
+    if end <= start + 1 {
+        return 0.0;
+    }
+    let v0 = values[start];
+    let v1 = values[end];
+    let span = (end - start) as f64;
+    let mut worst: f64 = 0.0;
+    for (offset, v) in values[start..=end].iter().enumerate() {
+        let fitted = v0 + (v1 - v0) * offset as f64 / span;
+        worst = worst.max((v - fitted).abs());
+    }
+    worst
+}
+
+/// Bottom-up linear segmentation of a series.
+///
+/// `error_fraction` is interpreted relative to the series' value range: an
+/// error tolerance of `0.02` allows each segment to deviate from the data by
+/// up to 2% of `max - min`. Missing values are linearly interpolated before
+/// segmentation (and stay missing in the reconstruction).
+pub fn segment_series(series: &TimeSeries, error_fraction: f64) -> Segmentation {
+    let n = series.len();
+    if n == 0 {
+        return Segmentation {
+            segments: Vec::new(),
+            len: 0,
+        };
+    }
+    let filled = series.interpolate_missing();
+    if filled.present_count() == 0 {
+        // Entirely missing series: nothing to segment.
+        return Segmentation {
+            segments: Vec::new(),
+            len: n,
+        };
+    }
+    let values: Vec<f64> = (0..n).map(|i| filled.get(i).unwrap_or(0.0)).collect();
+    let range = {
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (max - min).max(1e-12)
+    };
+    let tolerance = error_fraction.max(0.0) * range;
+
+    // Greedy left-to-right sliding-window segmentation: extend the current
+    // segment while the straight line through its endpoints stays within the
+    // tolerance of every covered point. This is O(n · s) where s is the mean
+    // segment length, which is fast enough for paper-scale series and
+    // produces the same qualitative smoothing as classical bottom-up merging.
+    let mut segments = Vec::new();
+    let mut start = 0usize;
+    let mut end = (start + 1).min(n - 1);
+    while start < n {
+        if start == n - 1 {
+            segments.push(Segment {
+                start,
+                end: start,
+                start_value: values[start],
+                end_value: values[start],
+            });
+            break;
+        }
+        // Extend as far as the tolerance allows.
+        let mut best_end = end;
+        while best_end + 1 < n && max_deviation(&values, start, best_end + 1) <= tolerance {
+            best_end += 1;
+        }
+        segments.push(Segment {
+            start,
+            end: best_end,
+            start_value: values[start],
+            end_value: values[best_end],
+        });
+        start = best_end;
+        if start == n - 1 {
+            break;
+        }
+        end = start + 1;
+    }
+
+    Segmentation { segments, len: n }
+}
+
+/// Convenience helper: smooths a series by segmentation and reconstruction.
+/// With `error_fraction == 0.0` the series is returned unchanged (every
+/// point is its own breakpoint).
+pub fn smooth(series: &TimeSeries, error_fraction: f64) -> TimeSeries {
+    if error_fraction <= 0.0 {
+        return series.clone();
+    }
+    segment_series(series, error_fraction).reconstruct(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_is_one_segment() {
+        let s = TimeSeries::from_values((0..50).map(|i| 2.0 * i as f64 + 1.0).collect());
+        let seg = segment_series(&s, 0.01);
+        assert_eq!(seg.segment_count(), 1);
+        let rec = seg.reconstruct(&s);
+        for i in 0..50 {
+            assert!((rec.get(i).unwrap() - s.get(i).unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn piecewise_line_finds_breakpoint() {
+        // Up for 20 steps, down for 20 steps: expect ~2 segments.
+        let mut values = Vec::new();
+        for i in 0..20 {
+            values.push(i as f64);
+        }
+        for i in 0..20 {
+            values.push(19.0 - i as f64);
+        }
+        let s = TimeSeries::from_values(values);
+        let seg = segment_series(&s, 0.02);
+        assert!(seg.segment_count() <= 3, "got {}", seg.segment_count());
+        assert!(seg.segment_count() >= 2);
+    }
+
+    #[test]
+    fn noise_is_smoothed_away() {
+        // A rising trend with small alternating noise: with a tolerance larger
+        // than the noise, the reconstruction should be (nearly) monotone — the
+        // spurious decreases introduced by the noise disappear.
+        let n = 200;
+        let s = TimeSeries::from_values(
+            (0..n)
+                .map(|i| i as f64 * 0.1 + if i % 2 == 0 { 0.2 } else { -0.2 })
+                .collect(),
+        );
+        let smoothed = smooth(&s, 0.05);
+        let decreases = |ts: &TimeSeries| {
+            (1..ts.len())
+                .filter_map(|i| ts.delta(i))
+                .filter(|d| *d < -1e-9)
+                .count()
+        };
+        assert!(decreases(&s) > 50);
+        assert!(
+            decreases(&smoothed) < decreases(&s) / 4,
+            "smoothed still has {} decreases",
+            decreases(&smoothed)
+        );
+    }
+
+    #[test]
+    fn large_jumps_survive_smoothing() {
+        // A step function: the jump must not be smoothed away.
+        let mut values = vec![0.0; 30];
+        values.extend(vec![10.0; 30]);
+        let s = TimeSeries::from_values(values);
+        let smoothed = smooth(&s, 0.05);
+        let max_delta = (1..smoothed.len())
+            .filter_map(|i| smoothed.delta(i))
+            .fold(0.0f64, |a, d| a.max(d.abs()));
+        assert!(max_delta > 5.0, "jump was flattened to {max_delta}");
+    }
+
+    #[test]
+    fn missing_values_stay_missing() {
+        let s = TimeSeries::from_options(&[Some(1.0), None, Some(3.0), Some(4.0), None]);
+        let seg = segment_series(&s, 0.1);
+        let rec = seg.reconstruct(&s);
+        assert_eq!(rec.len(), 5);
+        assert!(!rec.is_present(1));
+        assert!(!rec.is_present(4));
+        assert!(rec.is_present(0));
+    }
+
+    #[test]
+    fn fully_missing_series() {
+        let s = TimeSeries::missing(10);
+        let seg = segment_series(&s, 0.1);
+        assert_eq!(seg.segment_count(), 0);
+        let rec = seg.reconstruct(&s);
+        assert_eq!(rec.present_count(), 0);
+        assert_eq!(rec.len(), 10);
+    }
+
+    #[test]
+    fn empty_and_single_point_series() {
+        let empty = TimeSeries::from_values(vec![]);
+        assert_eq!(segment_series(&empty, 0.1).segment_count(), 0);
+        let single = TimeSeries::from_values(vec![5.0]);
+        let seg = segment_series(&single, 0.1);
+        assert_eq!(seg.segment_count(), 1);
+        assert_eq!(seg.segments[0].len(), 1);
+        assert_eq!(seg.segments[0].slope(), 0.0);
+    }
+
+    #[test]
+    fn zero_error_returns_original() {
+        let s = TimeSeries::from_values(vec![1.0, 5.0, 2.0, 8.0]);
+        let out = smooth(&s, 0.0);
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    fn segment_value_interpolation() {
+        let seg = Segment {
+            start: 10,
+            end: 20,
+            start_value: 0.0,
+            end_value: 10.0,
+        };
+        assert!((seg.value_at(15) - 5.0).abs() < 1e-12);
+        assert!((seg.slope() - 1.0).abs() < 1e-12);
+        assert_eq!(seg.len(), 11);
+    }
+
+    #[test]
+    fn segments_cover_whole_series_contiguously() {
+        let s = TimeSeries::from_values((0..97).map(|i| ((i as f64) * 0.3).sin() * 5.0).collect());
+        let seg = segment_series(&s, 0.05);
+        assert_eq!(seg.segments.first().unwrap().start, 0);
+        assert_eq!(seg.segments.last().unwrap().end, 96);
+        for w in seg.segments.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "segments must share breakpoints");
+        }
+        // Reconstruction error bounded by the tolerance (5% of range=10).
+        let rec = seg.reconstruct(&s);
+        for i in 0..97 {
+            assert!((rec.get(i).unwrap() - s.get(i).unwrap()).abs() <= 0.5 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Parsing of `attribute.csv`.
+//!
+//! The simplest of the three upload files: one attribute name per line.
+//!
+//! ```text
+//! temperature
+//! light
+//! ```
+
+use crate::error::CsvError;
+
+/// Parses an `attribute.csv` document into attribute names, preserving
+/// order and dropping blank lines and duplicates.
+pub fn parse_document(content: &str) -> Result<Vec<String>, CsvError> {
+    let mut names = Vec::new();
+    for line in content.lines() {
+        let name = line.trim_end_matches('\r').trim();
+        if name.is_empty() || name.eq_ignore_ascii_case("attribute") {
+            continue;
+        }
+        if !names.iter().any(|n| n == name) {
+            names.push(name.to_string());
+        }
+    }
+    if names.is_empty() {
+        return Err(CsvError::Empty("attribute.csv"));
+    }
+    Ok(names)
+}
+
+/// Formats attribute names back into an `attribute.csv` document.
+pub fn format_document(names: &[String]) -> String {
+    let mut out = String::new();
+    for n in names {
+        out.push_str(n);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_sample() {
+        let names = parse_document("temperature\nlight\n").unwrap();
+        assert_eq!(names, vec!["temperature", "light"]);
+    }
+
+    #[test]
+    fn skips_blanks_header_and_duplicates() {
+        let names = parse_document("attribute\n\ntemperature\n temperature \nlight\n").unwrap();
+        assert_eq!(names, vec!["temperature", "light"]);
+    }
+
+    #[test]
+    fn empty_is_error() {
+        assert!(matches!(parse_document("\n\n"), Err(CsvError::Empty(_))));
+    }
+
+    #[test]
+    fn round_trip() {
+        let names = vec!["PM2.5".to_string(), "SO2".to_string(), "NO2".to_string()];
+        let doc = format_document(&names);
+        assert_eq!(parse_document(&doc).unwrap(), names);
+    }
+}

@@ -1,0 +1,193 @@
+//! Parsing and representation of `data.csv` rows.
+//!
+//! Format (from the paper):
+//!
+//! ```text
+//! id,attribute,time,data
+//! 00000,temperature,2016-03-01 00:00:00,null
+//! 00000,temperature,2016-03-01 01:00:00,9.87
+//! ```
+//!
+//! The header row is optional: chunked uploads only carry it in the first
+//! chunk, so the parser recognises and skips it wherever it appears.
+
+use crate::error::CsvError;
+use crate::reader::CsvReader;
+use miscela_model::{SensorId, Timestamp};
+
+/// One measurement row of `data.csv`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataRow {
+    /// Sensor identifier.
+    pub id: SensorId,
+    /// Attribute name.
+    pub attribute: String,
+    /// Measurement timestamp.
+    pub time: Timestamp,
+    /// Measured value; `None` corresponds to the literal `null`.
+    pub value: Option<f64>,
+}
+
+/// Whether a parsed row is the `id,attribute,time,data` header.
+pub fn is_header(fields: &[String]) -> bool {
+    fields.len() == 4
+        && fields[0].eq_ignore_ascii_case("id")
+        && fields[1].eq_ignore_ascii_case("attribute")
+        && fields[2].eq_ignore_ascii_case("time")
+        && fields[3].eq_ignore_ascii_case("data")
+}
+
+/// Parses the value field: `null` (case-insensitive) or empty means missing.
+pub fn parse_value(raw: &str, line: usize) -> Result<Option<f64>, CsvError> {
+    let raw = raw.trim();
+    if raw.is_empty() || raw.eq_ignore_ascii_case("null") || raw.eq_ignore_ascii_case("nan") {
+        return Ok(None);
+    }
+    raw.parse::<f64>()
+        .map(Some)
+        .map_err(|_| CsvError::BadField {
+            file: "data.csv",
+            line,
+            field: "data",
+            value: raw.to_string(),
+        })
+}
+
+/// Parses one non-header `data.csv` row from its fields.
+pub fn parse_row(fields: &[String], line: usize) -> Result<DataRow, CsvError> {
+    if fields.len() != 4 {
+        return Err(CsvError::WrongFieldCount {
+            file: "data.csv",
+            line,
+            expected: 4,
+            actual: fields.len(),
+        });
+    }
+    let time = Timestamp::parse(&fields[2]).map_err(|_| CsvError::BadField {
+        file: "data.csv",
+        line,
+        field: "time",
+        value: fields[2].clone(),
+    })?;
+    Ok(DataRow {
+        id: SensorId::new(fields[0].clone()),
+        attribute: fields[1].trim().to_string(),
+        time,
+        value: parse_value(&fields[3], line)?,
+    })
+}
+
+/// Parses a whole `data.csv` document (header optional) into rows.
+pub fn parse_document(content: &str) -> Result<Vec<DataRow>, CsvError> {
+    let mut rows = Vec::new();
+    for (line, parsed) in CsvReader::new(content) {
+        let fields = parsed?;
+        if is_header(&fields) {
+            continue;
+        }
+        rows.push(parse_row(&fields, line)?);
+    }
+    Ok(rows)
+}
+
+/// Formats one row back into its CSV representation.
+pub fn format_row(row: &DataRow) -> String {
+    let value = match row.value {
+        Some(v) => format_float(v),
+        None => "null".to_string(),
+    };
+    format!("{},{},{},{}", row.id, row.attribute, row.time.format(), value)
+}
+
+/// Formats a float the way the paper's files do: plain decimal, no
+/// exponent, trailing zeros trimmed.
+pub fn format_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        let s = format!("{:.6}", v);
+        let s = s.trim_end_matches('0');
+        let s = s.trim_end_matches('.');
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "id,attribute,time,data\n\
+00000,temperature,2016-03-01 00:00:00,null\n\
+00000,temperature,2016-03-01 01:00:00,9.87\n\
+00001,traffic,2016-03-01 00:00:00,120\n";
+
+    #[test]
+    fn parses_paper_sample() {
+        let rows = parse_document(SAMPLE).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].value, None);
+        assert_eq!(rows[1].value, Some(9.87));
+        assert_eq!(rows[1].attribute, "temperature");
+        assert_eq!(rows[2].id.as_str(), "00001");
+        assert_eq!(rows[2].time.format(), "2016-03-01 00:00:00");
+    }
+
+    #[test]
+    fn header_detection() {
+        assert!(is_header(&["id".into(), "attribute".into(), "time".into(), "data".into()]));
+        assert!(is_header(&["ID".into(), "Attribute".into(), "Time".into(), "Data".into()]));
+        assert!(!is_header(&["00000".into(), "temperature".into(), "t".into(), "1".into()]));
+    }
+
+    #[test]
+    fn header_in_middle_is_skipped() {
+        // A re-sent chunk may repeat the header.
+        let doc = "00000,temperature,2016-03-01 00:00:00,1.0\nid,attribute,time,data\n00000,temperature,2016-03-01 01:00:00,2.0\n";
+        let rows = parse_document(doc).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn null_and_empty_values() {
+        assert_eq!(parse_value("null", 1).unwrap(), None);
+        assert_eq!(parse_value("NULL", 1).unwrap(), None);
+        assert_eq!(parse_value("", 1).unwrap(), None);
+        assert_eq!(parse_value("3.5", 1).unwrap(), Some(3.5));
+        assert!(parse_value("abc", 1).is_err());
+    }
+
+    #[test]
+    fn wrong_field_count() {
+        let doc = "00000,temperature,2016-03-01 00:00:00\n";
+        assert!(matches!(
+            parse_document(doc),
+            Err(CsvError::WrongFieldCount { actual: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_timestamp() {
+        let doc = "00000,temperature,not-a-time,1.0\n";
+        assert!(matches!(
+            parse_document(doc),
+            Err(CsvError::BadField { field: "time", .. })
+        ));
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let rows = parse_document(SAMPLE).unwrap();
+        for row in &rows {
+            let line = format_row(row);
+            let reparsed = parse_document(&line).unwrap();
+            assert_eq!(&reparsed[0], row);
+        }
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(format_float(9.87), "9.87");
+        assert_eq!(format_float(120.0), "120.0");
+        assert_eq!(format_float(0.123456789), "0.123457");
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for CSV parsing and dataset assembly.
+
+use miscela_model::ModelError;
+use std::fmt;
+
+/// Errors raised while parsing the three-file upload format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    /// A row had the wrong number of fields.
+    WrongFieldCount {
+        /// File the row came from (`data.csv`, `location.csv`, ...).
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// Expected number of fields.
+        expected: usize,
+        /// Actual number of fields.
+        actual: usize,
+    },
+    /// A field could not be parsed as the expected type.
+    BadField {
+        /// File the row came from.
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// Field name.
+        field: &'static str,
+        /// Raw field content.
+        value: String,
+    },
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The header row was missing or malformed.
+    BadHeader {
+        /// File the header came from.
+        file: &'static str,
+        /// What was found instead.
+        found: String,
+    },
+    /// The `data.csv` timestamps do not form a single regular interval.
+    IrregularTimestamps(String),
+    /// The dataset could not be assembled from otherwise-valid rows.
+    Model(ModelError),
+    /// The input was empty where content was required.
+    Empty(&'static str),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::WrongFieldCount { file, line, expected, actual } => write!(
+                f,
+                "{file}:{line}: expected {expected} fields, found {actual}"
+            ),
+            CsvError::BadField { file, line, field, value } => {
+                write!(f, "{file}:{line}: cannot parse {field} from {value:?}")
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+            CsvError::BadHeader { file, found } => {
+                write!(f, "{file}: malformed header: {found:?}")
+            }
+            CsvError::IrregularTimestamps(msg) => write!(f, "irregular timestamps: {msg}"),
+            CsvError::Model(e) => write!(f, "dataset assembly failed: {e}"),
+            CsvError::Empty(file) => write!(f, "{file} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<ModelError> for CsvError {
+    fn from(e: ModelError) -> Self {
+        CsvError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_location() {
+        let e = CsvError::WrongFieldCount {
+            file: "data.csv",
+            line: 42,
+            expected: 4,
+            actual: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("data.csv"));
+        assert!(s.contains("42"));
+    }
+
+    #[test]
+    fn model_error_converts() {
+        let e: CsvError = ModelError::UnknownSensor("x".into()).into();
+        assert!(matches!(e, CsvError::Model(_)));
+        assert!(e.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,34 @@
+//! # miscela-csv
+//!
+//! The upload format of Miscela-V (Section 3.2 of the paper): a dataset is
+//! uploaded as three CSV files —
+//!
+//! * `data.csv` — `id,attribute,time,data`, one row per (sensor, timestamp)
+//!   measurement, with `null` for missing values;
+//! * `location.csv` — `id,attribute,lat,lon`, one row per sensor;
+//! * `attribute.csv` — one attribute name per line.
+//!
+//! Because `data.csv` "might be very large", the paper splits it into
+//! 10,000-line chunks before sending each chunk to the server. The [`chunk`]
+//! module reproduces that chunked-upload protocol; [`loader`] assembles the
+//! three files (or a stream of chunks) into a [`miscela_model::Dataset`];
+//! [`writer`] exports a dataset back to the same three files so every
+//! generated dataset can round-trip through the real upload path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attribute_csv;
+pub mod chunk;
+pub mod data_csv;
+pub mod error;
+pub mod loader;
+pub mod location_csv;
+pub mod reader;
+pub mod writer;
+
+pub use chunk::{split_into_chunks, ChunkedUploader, DEFAULT_CHUNK_LINES};
+pub use error::CsvError;
+pub use loader::DatasetLoader;
+pub use reader::{parse_line, CsvReader};
+pub use writer::DatasetWriter;

@@ -1,0 +1,155 @@
+//! Parsing and representation of `location.csv` rows.
+//!
+//! Format (from the paper):
+//!
+//! ```text
+//! id,attribute,lat,lon
+//! 00000,temperature,43.46192,-3.80176
+//! 00001,temperature,43.46212,-3.79979
+//! ```
+
+use crate::error::CsvError;
+use crate::reader::CsvReader;
+use miscela_model::{GeoPoint, SensorId};
+
+/// One sensor-declaration row of `location.csv`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocationRow {
+    /// Sensor identifier.
+    pub id: SensorId,
+    /// Attribute measured by the sensor.
+    pub attribute: String,
+    /// Sensor location.
+    pub location: GeoPoint,
+}
+
+/// Whether a parsed row is the `id,attribute,lat,lon` header.
+pub fn is_header(fields: &[String]) -> bool {
+    fields.len() == 4
+        && fields[0].eq_ignore_ascii_case("id")
+        && fields[1].eq_ignore_ascii_case("attribute")
+        && fields[2].eq_ignore_ascii_case("lat")
+        && fields[3].eq_ignore_ascii_case("lon")
+}
+
+/// Parses one non-header `location.csv` row.
+pub fn parse_row(fields: &[String], line: usize) -> Result<LocationRow, CsvError> {
+    if fields.len() != 4 {
+        return Err(CsvError::WrongFieldCount {
+            file: "location.csv",
+            line,
+            expected: 4,
+            actual: fields.len(),
+        });
+    }
+    let lat: f64 = fields[2].trim().parse().map_err(|_| CsvError::BadField {
+        file: "location.csv",
+        line,
+        field: "lat",
+        value: fields[2].clone(),
+    })?;
+    let lon: f64 = fields[3].trim().parse().map_err(|_| CsvError::BadField {
+        file: "location.csv",
+        line,
+        field: "lon",
+        value: fields[3].clone(),
+    })?;
+    let location = GeoPoint::new(lat, lon).map_err(|_| CsvError::BadField {
+        file: "location.csv",
+        line,
+        field: "lat/lon",
+        value: format!("{lat},{lon}"),
+    })?;
+    Ok(LocationRow {
+        id: SensorId::new(fields[0].clone()),
+        attribute: fields[1].trim().to_string(),
+        location,
+    })
+}
+
+/// Parses a whole `location.csv` document (header optional).
+pub fn parse_document(content: &str) -> Result<Vec<LocationRow>, CsvError> {
+    let mut rows = Vec::new();
+    for (line, parsed) in CsvReader::new(content) {
+        let fields = parsed?;
+        if is_header(&fields) {
+            continue;
+        }
+        rows.push(parse_row(&fields, line)?);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty("location.csv"));
+    }
+    Ok(rows)
+}
+
+/// Formats one row back into its CSV representation.
+pub fn format_row(row: &LocationRow) -> String {
+    format!(
+        "{},{},{},{}",
+        row.id, row.attribute, row.location.lat, row.location.lon
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "id,attribute,lat,lon\n\
+00000,temperature,43.46192,-3.80176\n\
+00001,temperature,43.46212,-3.79979\n\
+00002,traffic,43.46300,-3.80000\n";
+
+    #[test]
+    fn parses_paper_sample() {
+        let rows = parse_document(SAMPLE).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].id.as_str(), "00000");
+        assert!((rows[0].location.lat - 43.46192).abs() < 1e-9);
+        assert!((rows[1].location.lon + 3.79979).abs() < 1e-9);
+        assert_eq!(rows[2].attribute, "traffic");
+    }
+
+    #[test]
+    fn rejects_bad_coordinates() {
+        let doc = "00000,temperature,abc,-3.8\n";
+        assert!(matches!(
+            parse_document(doc),
+            Err(CsvError::BadField { field: "lat", .. })
+        ));
+        let doc = "00000,temperature,95.0,-3.8\n";
+        assert!(matches!(
+            parse_document(doc),
+            Err(CsvError::BadField { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let doc = "00000,temperature,43.0\n";
+        assert!(matches!(
+            parse_document(doc),
+            Err(CsvError::WrongFieldCount { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_document_is_error() {
+        assert!(matches!(
+            parse_document("id,attribute,lat,lon\n"),
+            Err(CsvError::Empty(_))
+        ));
+    }
+
+    #[test]
+    fn round_trip() {
+        let rows = parse_document(SAMPLE).unwrap();
+        for row in &rows {
+            let line = format_row(row);
+            let reparsed = parse_document(&line).unwrap();
+            assert_eq!(reparsed[0].id, row.id);
+            assert_eq!(reparsed[0].attribute, row.attribute);
+            assert!((reparsed[0].location.lat - row.location.lat).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! A small RFC-4180-style CSV line parser.
+//!
+//! The upload files of the paper are simple comma-separated files, but sensor
+//! ids and attribute names found in the wild occasionally contain commas or
+//! quotes, so the reader supports double-quoted fields with `""` escapes. No
+//! external CSV crate is used; this keeps the substrate self-contained.
+
+use crate::error::CsvError;
+
+/// Parses a single CSV line into fields.
+///
+/// Supports double-quoted fields containing commas and `""`-escaped quotes.
+/// Whitespace around unquoted fields is trimmed (the real upload files have
+/// trailing spaces).
+pub fn parse_line(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        // Skip leading spaces of the field.
+        while matches!(chars.peek(), Some(' ') | Some('\t')) {
+            chars.next();
+        }
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            // Quoted field.
+            let mut closed = false;
+            while let Some(c) = chars.next() {
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        cur.push('"');
+                        chars.next();
+                    } else {
+                        closed = true;
+                        break;
+                    }
+                } else {
+                    cur.push(c);
+                }
+            }
+            if !closed {
+                return Err(CsvError::UnterminatedQuote { line: line_no });
+            }
+            // Consume trailing spaces up to the next comma / end.
+            while matches!(chars.peek(), Some(' ') | Some('\t')) {
+                chars.next();
+            }
+            match chars.next() {
+                None => {
+                    fields.push(std::mem::take(&mut cur));
+                    break;
+                }
+                Some(',') => fields.push(std::mem::take(&mut cur)),
+                Some(_) => return Err(CsvError::UnterminatedQuote { line: line_no }),
+            }
+        } else {
+            // Unquoted field: read until comma or end.
+            let mut ended = false;
+            for c in chars.by_ref() {
+                if c == ',' {
+                    ended = true;
+                    break;
+                }
+                cur.push(c);
+            }
+            fields.push(cur.trim().to_string());
+            cur.clear();
+            if !ended {
+                break;
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Iterates over the non-empty lines of a CSV document, yielding parsed
+/// field vectors with their 1-based line numbers.
+#[derive(Debug, Clone)]
+pub struct CsvReader<'a> {
+    lines: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> CsvReader<'a> {
+    /// Creates a reader over a full document.
+    pub fn new(content: &'a str) -> Self {
+        CsvReader {
+            lines: content.lines(),
+            line_no: 0,
+        }
+    }
+}
+
+impl Iterator for CsvReader<'_> {
+    type Item = (usize, Result<Vec<String>, CsvError>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = self.lines.next()?;
+            self.line_no += 1;
+            let trimmed = line.trim_end_matches('\r');
+            if trimmed.trim().is_empty() {
+                continue;
+            }
+            return Some((self.line_no, parse_line(trimmed, self.line_no)));
+        }
+    }
+}
+
+/// Escapes a field for CSV output, quoting only when necessary.
+pub fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_line() {
+        let f = parse_line("00000,temperature,2016-03-01 00:00:00,null", 1).unwrap();
+        assert_eq!(f, vec!["00000", "temperature", "2016-03-01 00:00:00", "null"]);
+    }
+
+    #[test]
+    fn trims_unquoted_whitespace() {
+        let f = parse_line(" a , b ,c", 1).unwrap();
+        assert_eq!(f, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let f = parse_line(r#""a,b","say ""hi""",plain"#, 1).unwrap();
+        assert_eq!(f, vec!["a,b", r#"say "hi""#, "plain"]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(matches!(
+            parse_line("\"abc,def", 3),
+            Err(CsvError::UnterminatedQuote { line: 3 })
+        ));
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let f = parse_line("a,,c,", 1).unwrap();
+        assert_eq!(f, vec!["a", "", "c", ""]);
+    }
+
+    #[test]
+    fn reader_skips_blank_lines_and_tracks_numbers() {
+        let doc = "a,b\n\n  \nc,d\r\ne,f";
+        let rows: Vec<(usize, Vec<String>)> = CsvReader::new(doc)
+            .map(|(n, r)| (n, r.unwrap()))
+            .collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, 1);
+        assert_eq!(rows[1].0, 4);
+        assert_eq!(rows[1].1, vec!["c", "d"]);
+        assert_eq!(rows[2].1, vec!["e", "f"]);
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        for s in ["plain", "with,comma", "with \"quote\"", "multi\nline"] {
+            let esc = escape_field(s);
+            let parsed = parse_line(&esc, 1).unwrap();
+            assert_eq!(parsed, vec![s.to_string()]);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Synthetic stand-in for the COVID-19 dataset (Figure 4).
+//!
+//! The real dataset covers 12 air-quality sensors in Shanghai and Guangzhou
+//! from 2020-01-01 to 2020-06-30 — a period that spans the outbreak of
+//! COVID-19 and the resulting lockdowns. The paper's Figure 4 shows that the
+//! correlation patterns among pollutants change between the periods before
+//! and after the spread of COVID-19: "our activity changes affect not only
+//! the amounts of air pollutants but also their correlation patterns".
+//!
+//! The generator models the mechanism behind that observation:
+//!
+//! * **before the lockdown**, traffic drives NO2 and CO, which in turn drive
+//!   a large share of PM2.5/PM10 — so NO2, CO and the particulates co-evolve
+//!   with the daily traffic rhythm;
+//! * **after the lockdown**, traffic collapses: NO2 and CO fall to low,
+//!   flat levels; the particulates are dominated by regional background
+//!   episodes (which SO2 follows), and with less NO2 titration, ozone rises
+//!   and follows its photochemical daylight cycle more strongly.
+//!
+//! Mining the two halves therefore produces different attribute-pair
+//! patterns as well as lower pollutant levels after the cut, which is what
+//! experiment E4 checks.
+
+use crate::noise::{diurnal, observe, random_walk, rush_hour_profile, scaled};
+use crate::profiles::DatasetProfile;
+use miscela_model::{Dataset, DatasetBuilder, GeoPoint, TimeGrid, TimeSeries, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The two monitored cities.
+const CITIES: [(&str, f64, f64); 2] = [
+    ("shanghai", 31.2304, 121.4737),
+    ("guangzhou", 23.1291, 113.2644),
+];
+
+/// Generator for the synthetic COVID-19 dataset.
+#[derive(Debug, Clone)]
+pub struct CovidGenerator {
+    /// Fraction of the paper-scale period to generate (sensor count is fixed
+    /// at 12, as in the paper).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability that a measurement is missing.
+    pub missing_rate: f64,
+    /// The lockdown date separating the "before" and "after" regimes.
+    pub lockdown: Timestamp,
+}
+
+impl Default for CovidGenerator {
+    fn default() -> Self {
+        CovidGenerator {
+            scale: 1.0,
+            seed: 2020,
+            missing_rate: 0.005,
+            // Wuhan lockdown; city restrictions across China followed within
+            // days.
+            lockdown: Timestamp::parse("2020-01-23 00:00:00").expect("valid date"),
+        }
+    }
+}
+
+impl CovidGenerator {
+    /// The paper-scale configuration (the dataset is small enough that the
+    /// default is already paper scale: 12 sensors, six months, hourly).
+    pub fn paper_scale() -> Self {
+        Self::default()
+    }
+
+    /// A reduced configuration for fast tests (six weeks around the
+    /// lockdown).
+    pub fn small() -> Self {
+        CovidGenerator {
+            scale: 0.25,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the scale factor.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// The lockdown timestamp used by the generator.
+    pub fn lockdown(&self) -> Timestamp {
+        self.lockdown
+    }
+
+    /// Number of grid timestamps for the configured scale.
+    pub fn timestamp_count(&self) -> usize {
+        scaled(DatasetProfile::covid19().timestamps(), self.scale, 24 * 28)
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        let profile = DatasetProfile::covid19();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut builder = DatasetBuilder::new("covid19");
+        let grid = TimeGrid::new(profile.period.start, profile.interval, self.timestamp_count())
+            .expect("valid grid");
+        builder.set_grid(grid.clone());
+        for attr in &profile.attributes {
+            builder.add_attribute(attr);
+        }
+
+        let lockdown_index = grid
+            .floor_index(self.lockdown)
+            .unwrap_or(grid.len().saturating_sub(1));
+
+        for (city, lat, lon) in CITIES {
+            // Regional particulate background: slow episodes independent of
+            // traffic, present in both regimes.
+            let background = random_walk(&mut rng, &grid, 45.0, 2.0, 0.02);
+
+            let mut pm25 = Vec::with_capacity(grid.len());
+            let mut pm10 = Vec::with_capacity(grid.len());
+            let mut so2 = Vec::with_capacity(grid.len());
+            let mut no2 = Vec::with_capacity(grid.len());
+            let mut co = Vec::with_capacity(grid.len());
+            let mut o3 = Vec::with_capacity(grid.len());
+
+            for (i, t) in grid.iter().enumerate() {
+                let locked = i >= lockdown_index;
+                // Traffic collapses to ~25% of normal after the lockdown.
+                let traffic = rush_hour_profile(t) * if locked { 0.25 } else { 1.0 } * 100.0;
+                let bg = background[i].max(5.0);
+
+                let no2_v = 8.0 + 0.38 * traffic + 0.05 * bg;
+                let co_v = 0.3 + 0.009 * traffic + 0.002 * bg;
+                let traffic_pm = 0.35 * traffic;
+                let pm25_v = 0.65 * bg + if locked { 0.2 * traffic_pm } else { traffic_pm };
+                let pm10_v = 1.45 * pm25_v + 4.0;
+                let so2_v = 6.0 + 0.12 * bg;
+                // Ozone: daylight-driven, suppressed by NO2 titration.
+                let o3_v = (diurnal(t, 50.0, 35.0, 14.0) - 0.45 * no2_v).max(2.0)
+                    * if locked { 1.15 } else { 1.0 };
+
+                pm25.push(pm25_v);
+                pm10.push(pm10_v);
+                so2.push(so2_v);
+                no2.push(no2_v);
+                co.push(co_v);
+                o3.push(o3_v);
+            }
+
+            let signals: [(&str, &Vec<f64>, f64); 6] = [
+                ("PM2.5", &pm25, 1.2),
+                ("PM10", &pm10, 2.0),
+                ("SO2", &so2, 0.4),
+                ("NO2", &no2, 0.8),
+                ("CO", &co, 0.02),
+                ("O3", &o3, 1.0),
+            ];
+            for (attr, clean, noise_std) in signals {
+                let idx = builder
+                    .add_sensor(
+                        format!("{city}-{attr}"),
+                        attr,
+                        GeoPoint::new_unchecked(
+                            lat + rng.gen_range(-0.002..0.002),
+                            lon + rng.gen_range(-0.002..0.002),
+                        ),
+                    )
+                    .expect("unique sensor id");
+                let series: TimeSeries = observe(&mut rng, clean, noise_std, self.missing_rate);
+                builder.set_series(idx, series).expect("series length matches grid");
+            }
+        }
+
+        builder.build().expect("generated dataset is valid")
+    }
+
+    /// Convenience: the generated dataset split at the lockdown date into
+    /// (before, after) windows, as the Figure-4 analysis uses.
+    pub fn generate_split(&self) -> (Dataset, Dataset) {
+        let ds = self.generate();
+        let range = ds.grid().range();
+        let before = ds
+            .slice_time(range.start, self.lockdown)
+            .expect("valid before-window");
+        let after = ds
+            .slice_time(self.lockdown, range.end)
+            .expect("valid after-window");
+        (before, after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let ds = CovidGenerator::small().generate();
+        assert_eq!(ds.name(), "covid19");
+        assert_eq!(ds.sensor_count(), 12);
+        assert_eq!(ds.attributes().len(), 6);
+        assert!(ds.timestamp_count() >= 24 * 28);
+        // Two cities, far apart.
+        let bb = ds.bounding_box().unwrap();
+        assert!(bb.diagonal_km() > 1_000.0);
+    }
+
+    #[test]
+    fn paper_scale_record_count_is_close_to_published() {
+        let g = CovidGenerator::paper_scale();
+        let implied = 12 * g.timestamp_count();
+        let published = DatasetProfile::covid19().records;
+        let diff = implied.abs_diff(published);
+        assert!(
+            (diff as f64) < published as f64 * 0.02,
+            "implied {implied} vs published {published}"
+        );
+    }
+
+    #[test]
+    fn pollutant_levels_drop_after_lockdown() {
+        let gen = CovidGenerator::small();
+        let (before, after) = gen.generate_split();
+        assert!(before.timestamp_count() > 24 * 7);
+        assert!(after.timestamp_count() > 24 * 7);
+        let mean_of = |ds: &Dataset, attr: &str| -> f64 {
+            let id = ds.attributes().id_of(attr).unwrap();
+            let mut sum = 0.0;
+            let mut n = 0;
+            for ss in ds.sensors_with_attribute(id) {
+                if let Some(m) = ss.series.mean() {
+                    sum += m;
+                    n += 1;
+                }
+            }
+            sum / n as f64
+        };
+        // Traffic-driven pollutants collapse.
+        assert!(mean_of(&after, "NO2") < mean_of(&before, "NO2") * 0.75);
+        assert!(mean_of(&after, "CO") < mean_of(&before, "CO") * 0.9);
+        // Ozone rises.
+        assert!(mean_of(&after, "O3") > mean_of(&before, "O3"));
+    }
+
+    #[test]
+    fn correlation_structure_changes_after_lockdown() {
+        use miscela_core::correlation::co_evolution_score;
+        let gen = CovidGenerator::small();
+        let (before, after) = gen.generate_split();
+        let series_of = |ds: &Dataset, city: &str, attr: &str| {
+            let id = ds
+                .index_of_id(&miscela_model::SensorId::new(format!("{city}-{attr}")))
+                .unwrap();
+            ds.series(id).clone()
+        };
+        // NO2 and PM2.5 co-evolve strongly before (traffic drives both), and
+        // much less after.
+        let b = co_evolution_score(
+            &series_of(&before, "shanghai", "NO2"),
+            &series_of(&before, "shanghai", "PM2.5"),
+            0.8,
+        );
+        let a = co_evolution_score(
+            &series_of(&after, "shanghai", "NO2"),
+            &series_of(&after, "shanghai", "PM2.5"),
+            0.8,
+        );
+        assert!(
+            b > a + 0.1,
+            "NO2/PM2.5 co-evolution before={b:.3} after={a:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = CovidGenerator::small().generate();
+        let b = CovidGenerator::small().generate();
+        assert_eq!(
+            a.series(miscela_model::SensorIndex(5)).get(100),
+            b.series(miscela_model::SensorIndex(5)).get(100)
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # miscela-datagen
+//!
+//! Synthetic stand-ins for the four smart-city datasets the paper
+//! demonstrates with (Section 4). The real data (SmartSantander exports and
+//! the Chinese national air-quality network) is not redistributable, so each
+//! generator reproduces the *shape* of its dataset — sensor counts,
+//! attribute inventory, covered period, spatial layout — and plants the
+//! correlation structure that the paper's demonstration scenarios rely on:
+//!
+//! * [`santander`] — 552 sensors, five attributes, city-scale layout, with
+//!   temperature↔traffic and light↔temperature correlations (Example 1.1 and
+//!   the "single city data analysis" scenario);
+//! * [`china`] — country-scale air-quality networks (China6: 9,438 sensors,
+//!   five pollutants; China13: 4,810 sensors with seven extra weather
+//!   attributes) where a west-to-east wind advects pollution, so
+//!   horizontally close sensors correlate and vertically close ones do not
+//!   (the "multiple cities" scenario);
+//! * [`covid`] — 12 sensors in Shanghai and Guangzhou over the first half of
+//!   2020, with a lockdown regime change that alters both pollutant levels
+//!   and which attribute pairs co-evolve (Figure 4);
+//! * [`planted`] — a controlled generator that plants explicit ground-truth
+//!   CAPs, used by the recall/precision tests of the mining engine.
+//!
+//! Every generator is deterministic given its seed, supports a `scale`
+//! factor so tests and benches run on reduced data, and has a
+//! `paper_scale()` constructor matching Section 4's record counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod china;
+pub mod covid;
+pub mod noise;
+pub mod planted;
+pub mod profiles;
+pub mod santander;
+
+pub use china::{ChinaGenerator, ChinaProfile};
+pub use covid::CovidGenerator;
+pub use planted::{PlantedCap, PlantedGenerator};
+pub use profiles::DatasetProfile;
+pub use santander::SantanderGenerator;

@@ -1,0 +1,163 @@
+//! Shared signal-construction helpers for the dataset generators.
+//!
+//! The generators compose three ingredients: deterministic daily/weekly
+//! cycles (temperature, light, traffic), slowly varying random walks
+//! (synoptic weather, pollution background), and white observation noise.
+//! All randomness flows through a caller-supplied `StdRng`, so every dataset
+//! is reproducible from its seed.
+
+use miscela_model::{TimeGrid, TimeSeries, Timestamp};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A smooth diurnal (24-hour) cycle evaluated at a timestamp.
+///
+/// `peak_hour` is where the cycle reaches `base + amplitude`; the minimum is
+/// 12 hours away. Shapes like temperature (peak mid-afternoon) and light
+/// (peak at noon) are instances of this.
+pub fn diurnal(t: Timestamp, base: f64, amplitude: f64, peak_hour: f64) -> f64 {
+    let hour = t.hour_of_day();
+    let phase = (hour - peak_hour) / 24.0 * std::f64::consts::TAU;
+    base + amplitude * phase.cos()
+}
+
+/// A weekday rush-hour profile: two peaks (morning and evening) on weekdays,
+/// a flatter single bump on weekends. Returns a multiplier in `[0, 1]`.
+pub fn rush_hour_profile(t: Timestamp) -> f64 {
+    let hour = t.hour_of_day();
+    let bump = |center: f64, width: f64| -> f64 {
+        let d = (hour - center) / width;
+        (-0.5 * d * d).exp()
+    };
+    if t.is_weekend() {
+        0.25 + 0.45 * bump(14.0, 4.0)
+    } else {
+        0.15 + 0.75 * bump(8.5, 1.8) + 0.65 * bump(18.0, 2.2)
+    }
+}
+
+/// Generates a mean-reverting random walk (Ornstein–Uhlenbeck-like) of the
+/// grid's length. Used for synoptic weather and pollution backgrounds.
+pub fn random_walk(
+    rng: &mut StdRng,
+    grid: &TimeGrid,
+    mean: f64,
+    volatility: f64,
+    reversion: f64,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(grid.len());
+    let mut x = mean;
+    for _ in 0..grid.len() {
+        let shock: f64 = rng.gen_range(-1.0..1.0) * volatility;
+        x += reversion * (mean - x) + shock;
+        out.push(x);
+    }
+    out
+}
+
+/// Adds white noise and random missing values to a clean signal, producing
+/// the final series. `missing_rate` is the probability that a measurement is
+/// dropped (the paper's files contain explicit nulls).
+pub fn observe(
+    rng: &mut StdRng,
+    clean: &[f64],
+    noise_std: f64,
+    missing_rate: f64,
+) -> TimeSeries {
+    TimeSeries::from_options(
+        &clean
+            .iter()
+            .map(|&v| {
+                if missing_rate > 0.0 && rng.gen::<f64>() < missing_rate {
+                    None
+                } else {
+                    let noise = rng.gen_range(-1.0..1.0) * noise_std;
+                    Some(v + noise)
+                }
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Scales a sensor/timestamp count by the generator's `scale` factor,
+/// keeping at least `min`.
+pub fn scaled(count: usize, scale: f64, min: usize) -> usize {
+    ((count as f64 * scale).round() as usize).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miscela_model::Duration;
+    use rand::SeedableRng;
+
+    fn grid(len: usize) -> TimeGrid {
+        TimeGrid::new(
+            Timestamp::parse("2016-03-01 00:00:00").unwrap(),
+            Duration::hours(1),
+            len,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn diurnal_peaks_at_peak_hour() {
+        let base = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+        let at = |h: i64| diurnal(base + Duration::hours(h), 10.0, 5.0, 15.0);
+        assert!((at(15) - 15.0).abs() < 1e-9);
+        assert!(at(3) < at(15));
+        assert!((at(3) - 5.0).abs() < 0.2); // minimum ~12h after the peak
+    }
+
+    #[test]
+    fn rush_hour_weekday_has_two_peaks() {
+        // 2016-03-01 is a Tuesday, 2016-03-05 a Saturday.
+        let tuesday = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+        let saturday = Timestamp::parse("2016-03-05 00:00:00").unwrap();
+        let wk = |h: i64| rush_hour_profile(tuesday + Duration::hours(h));
+        let we = |h: i64| rush_hour_profile(saturday + Duration::hours(h));
+        assert!(wk(8) > wk(3));
+        assert!(wk(18) > wk(12));
+        // Weekend morning rush is much weaker than the weekday one.
+        assert!(we(8) < wk(8));
+        for h in 0..24 {
+            assert!((0.0..=1.6).contains(&wk(h)));
+        }
+    }
+
+    #[test]
+    fn random_walk_is_reproducible_and_bounded() {
+        let g = grid(500);
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let a = random_walk(&mut rng1, &g, 50.0, 1.0, 0.05);
+        let b = random_walk(&mut rng2, &g, 50.0, 1.0, 0.05);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        // Mean reversion keeps the walk in a sane band around the mean.
+        assert!(a.iter().all(|v| (0.0..150.0).contains(v)));
+    }
+
+    #[test]
+    fn observe_injects_missing_values() {
+        let clean = vec![10.0; 1000];
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = observe(&mut rng, &clean, 0.1, 0.1);
+        assert_eq!(s.len(), 1000);
+        let missing = s.missing_count();
+        assert!((40..200).contains(&missing), "missing={missing}");
+        for (_, v) in s.present() {
+            assert!((9.8..10.2).contains(&v));
+        }
+        // No missing values requested -> none produced.
+        let s2 = observe(&mut rng, &clean, 0.0, 0.0);
+        assert_eq!(s2.missing_count(), 0);
+    }
+
+    #[test]
+    fn scaled_respects_minimum() {
+        assert_eq!(scaled(100, 0.5, 1), 50);
+        assert_eq!(scaled(100, 0.001, 5), 5);
+        assert_eq!(scaled(7, 1.0, 1), 7);
+    }
+}

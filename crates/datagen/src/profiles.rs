@@ -1,0 +1,203 @@
+//! Descriptions of the paper's four datasets (Section 4).
+//!
+//! A [`DatasetProfile`] records the published statistics of one dataset —
+//! sensor count, record count, attribute inventory, covered period and
+//! sampling interval — and is used (a) by the generators to size their
+//! output and (b) by the `dataset_stats` experiment (E5) to print the
+//! paper's dataset table next to the generated one.
+
+use miscela_model::{Duration, TimeRange, Timestamp};
+
+/// The published statistics of one demonstration dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Number of sensors.
+    pub sensors: usize,
+    /// Number of records reported in the paper.
+    pub records: usize,
+    /// Attribute names.
+    pub attributes: Vec<&'static str>,
+    /// Covered period.
+    pub period: TimeRange,
+    /// Sampling interval used by the generator for this dataset.
+    pub interval: Duration,
+    /// Where the sensors are located (for the experiment printouts).
+    pub region: &'static str,
+}
+
+impl DatasetProfile {
+    /// Santander, Spain: 552 sensors, 2016-03-01 to 2016-09-30,
+    /// 2,329,936 records; temperature, light, sound, traffic volume,
+    /// humidity.
+    pub fn santander() -> Self {
+        DatasetProfile {
+            name: "Santander",
+            sensors: 552,
+            records: 2_329_936,
+            attributes: vec!["temperature", "light", "sound", "traffic", "humidity"],
+            period: range("2016-03-01 00:00:00", "2016-10-01 00:00:00"),
+            interval: Duration::hours(1),
+            region: "Santander, Spain (city scale)",
+        }
+    }
+
+    /// China6: 9,438 sensors, 2016-09-01 to 2018-10-31, 6,889,740 records;
+    /// PM2.5, SO2, NO2, CO, O3.
+    pub fn china6() -> Self {
+        DatasetProfile {
+            name: "China6",
+            sensors: 9_438,
+            records: 6_889_740,
+            attributes: vec!["PM2.5", "SO2", "NO2", "CO", "O3"],
+            period: range("2016-09-01 00:00:00", "2018-11-01 00:00:00"),
+            interval: Duration::hours(1),
+            region: "China (country scale)",
+        }
+    }
+
+    /// China13: 4,810 sensors, same period as China6, 3,511,300 records;
+    /// the China6 pollutants plus weather attributes.
+    pub fn china13() -> Self {
+        DatasetProfile {
+            name: "China13",
+            sensors: 4_810,
+            records: 3_511_300,
+            attributes: vec![
+                "PM2.5",
+                "SO2",
+                "NO2",
+                "CO",
+                "O3",
+                "temperature",
+                "humidity",
+                "air pressure",
+                "daylight",
+                "rainfall percentage",
+                "rain volume",
+                "wind speed",
+            ],
+            period: range("2016-09-01 00:00:00", "2018-11-01 00:00:00"),
+            interval: Duration::hours(1),
+            region: "China (country scale)",
+        }
+    }
+
+    /// COVID-19: 12 sensors in Shanghai and Guangzhou, 2020-01-01 to
+    /// 2020-06-30, 52,261 records; PM2.5, PM10, SO2, NO2, CO, O3.
+    pub fn covid19() -> Self {
+        DatasetProfile {
+            name: "COVID-19",
+            sensors: 12,
+            records: 52_261,
+            attributes: vec!["PM2.5", "PM10", "SO2", "NO2", "CO", "O3"],
+            period: range("2020-01-01 00:00:00", "2020-07-01 00:00:00"),
+            interval: Duration::hours(1),
+            region: "Shanghai and Guangzhou, China",
+        }
+    }
+
+    /// All four profiles in the order the paper lists them.
+    pub fn all() -> Vec<DatasetProfile> {
+        vec![
+            Self::santander(),
+            Self::china6(),
+            Self::china13(),
+            Self::covid19(),
+        ]
+    }
+
+    /// Number of grid timestamps covered by the period at this profile's
+    /// interval.
+    pub fn timestamps(&self) -> usize {
+        (self.period.duration().as_secs() / self.interval.as_secs()) as usize
+    }
+
+    /// The implied records per sensor (timestamps), for comparison with the
+    /// published record count.
+    pub fn records_per_sensor(&self) -> usize {
+        if self.sensors == 0 {
+            0
+        } else {
+            self.records / self.sensors
+        }
+    }
+
+    /// One row of the Section-4 dataset table.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{} | {} sensors | {} records | {} .. {} | {}",
+            self.name,
+            self.sensors,
+            self.records,
+            self.period.start,
+            self.period.end,
+            self.attributes.join(", ")
+        )
+    }
+}
+
+fn range(start: &str, end: &str) -> TimeRange {
+    TimeRange::new(
+        Timestamp::parse(start).expect("valid start"),
+        Timestamp::parse(end).expect("valid end"),
+    )
+    .expect("valid range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_counts() {
+        let s = DatasetProfile::santander();
+        assert_eq!(s.sensors, 552);
+        assert_eq!(s.records, 2_329_936);
+        assert_eq!(s.attributes.len(), 5);
+
+        let c6 = DatasetProfile::china6();
+        assert_eq!(c6.sensors, 9_438);
+        assert_eq!(c6.records, 6_889_740);
+        assert_eq!(c6.attributes.len(), 5);
+
+        let c13 = DatasetProfile::china13();
+        assert_eq!(c13.sensors, 4_810);
+        assert_eq!(c13.records, 3_511_300);
+        assert!(c13.attributes.len() > c6.attributes.len());
+
+        let cv = DatasetProfile::covid19();
+        assert_eq!(cv.sensors, 12);
+        assert_eq!(cv.records, 52_261);
+        assert_eq!(cv.attributes.len(), 6);
+
+        assert_eq!(DatasetProfile::all().len(), 4);
+    }
+
+    #[test]
+    fn periods_are_plausible() {
+        // Santander: 7 months of hourly data is ~5,136 timestamps.
+        let s = DatasetProfile::santander();
+        assert!((5_000..5_500).contains(&s.timestamps()));
+        // Records per sensor should be within the covered period.
+        assert!(s.records_per_sensor() <= s.timestamps());
+
+        // COVID: 182 days of hourly data.
+        let cv = DatasetProfile::covid19();
+        assert!((4_300..4_400).contains(&cv.timestamps()));
+        // 12 sensors * ~4368 timestamps is close to the published 52,261.
+        let implied = cv.sensors * cv.timestamps();
+        let diff = implied.abs_diff(cv.records);
+        assert!(diff < 1_000, "implied {implied} vs published {}", cv.records);
+    }
+
+    #[test]
+    fn table_rows_mention_key_fields() {
+        for p in DatasetProfile::all() {
+            let row = p.table_row();
+            assert!(row.contains(p.name));
+            assert!(row.contains(&p.sensors.to_string()));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Attribute names and interning.
+//!
+//! The paper's datasets measure a fixed, small vocabulary of attributes
+//! (temperature, light, sound, traffic volume, humidity for Santander;
+//! PM2.5, SO2, NO2, CO, O3 and weather attributes for the China datasets).
+//! CAP mining reasons about *sets of attributes* constantly, so attributes
+//! are interned into small integer ids ([`AttributeId`]) through an
+//! [`AttributeRegistry`]; the mining engine then works with dense bitsets of
+//! attribute ids rather than strings.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense, registry-scoped identifier for an attribute.
+///
+/// Ids are assigned in registration order starting from zero, so they can be
+/// used directly as indices into per-attribute vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttributeId(pub u16);
+
+impl AttributeId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttributeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// An attribute name, e.g. `"temperature"` or `"PM2.5"`.
+///
+/// Attribute names are case-sensitive and compared exactly, matching the
+/// behaviour of the paper's `attribute.csv` upload file, which simply lists
+/// the attribute strings appearing in `data.csv` / `location.csv`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Attribute(String);
+
+impl Attribute {
+    /// Creates an attribute from a name. Leading / trailing whitespace is
+    /// trimmed (the CSV files in the wild contain trailing spaces).
+    pub fn new(name: impl Into<String>) -> Self {
+        let name: String = name.into();
+        Attribute(name.trim().to_string())
+    }
+
+    /// The attribute name as a string slice.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// Whether the attribute name is empty after trimming.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Attribute {
+    fn from(s: &str) -> Self {
+        Attribute::new(s)
+    }
+}
+
+impl From<String> for Attribute {
+    fn from(s: String) -> Self {
+        Attribute::new(s)
+    }
+}
+
+/// Interns attribute names into dense [`AttributeId`]s.
+///
+/// A registry belongs to a dataset: the ids it hands out are only meaningful
+/// relative to it. Registration is idempotent — registering the same name
+/// twice returns the same id.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeRegistry {
+    names: Vec<Attribute>,
+    ids: HashMap<Attribute, AttributeId>,
+}
+
+impl AttributeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry pre-populated with the given attribute names,
+    /// in order.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut reg = Self::new();
+        for n in names {
+            reg.register(Attribute::new(n));
+        }
+        reg
+    }
+
+    /// Registers an attribute, returning its id. Idempotent.
+    pub fn register(&mut self, attr: Attribute) -> AttributeId {
+        if let Some(&id) = self.ids.get(&attr) {
+            return id;
+        }
+        let id = AttributeId(self.names.len() as u16);
+        self.names.push(attr.clone());
+        self.ids.insert(attr, id);
+        id
+    }
+
+    /// Registers an attribute by name.
+    pub fn register_name(&mut self, name: &str) -> AttributeId {
+        self.register(Attribute::new(name))
+    }
+
+    /// Looks up the id for an attribute name, if registered.
+    pub fn id_of(&self, name: &str) -> Option<AttributeId> {
+        self.ids.get(&Attribute::new(name)).copied()
+    }
+
+    /// Looks up the attribute for an id, if it is in range.
+    pub fn attribute(&self, id: AttributeId) -> Option<&Attribute> {
+        self.names.get(id.index())
+    }
+
+    /// The attribute name for an id, panicking-free; returns `"?"` for
+    /// unknown ids (useful in display code).
+    pub fn name_of(&self, id: AttributeId) -> &str {
+        self.names.get(id.index()).map(|a| a.name()).unwrap_or("?")
+    }
+
+    /// Number of registered attributes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, attribute)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttributeId, &Attribute)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttributeId(i as u16), a))
+    }
+
+    /// All attribute names in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(|a| a.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_trims_whitespace() {
+        assert_eq!(Attribute::new("  temperature \n").name(), "temperature");
+        assert_eq!(Attribute::new("PM2.5").name(), "PM2.5");
+    }
+
+    #[test]
+    fn registry_assigns_dense_ids_in_order() {
+        let mut reg = AttributeRegistry::new();
+        let a = reg.register_name("temperature");
+        let b = reg.register_name("light");
+        let c = reg.register_name("traffic");
+        assert_eq!(a, AttributeId(0));
+        assert_eq!(b, AttributeId(1));
+        assert_eq!(c, AttributeId(2));
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut reg = AttributeRegistry::new();
+        let a = reg.register_name("temperature");
+        let b = reg.register_name("temperature");
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let reg = AttributeRegistry::from_names(["temperature", "light"]);
+        assert_eq!(reg.id_of("light"), Some(AttributeId(1)));
+        assert_eq!(reg.id_of("sound"), None);
+        assert_eq!(reg.attribute(AttributeId(0)).unwrap().name(), "temperature");
+        assert_eq!(reg.name_of(AttributeId(1)), "light");
+        assert_eq!(reg.name_of(AttributeId(42)), "?");
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let reg = AttributeRegistry::from_names(["a", "b", "c"]);
+        let names: Vec<&str> = reg.names().collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        let ids: Vec<u16> = reg.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(AttributeId(3).to_string(), "a3");
+        assert_eq!(Attribute::new("humidity").to_string(), "humidity");
+    }
+}

@@ -1,0 +1,493 @@
+//! Datasets: a named collection of sensors and their aligned series.
+//!
+//! A [`Dataset`] corresponds to one uploaded dataset in Miscela-V — the
+//! combination of the paper's `data.csv`, `location.csv` and `attribute.csv`.
+//! All sensors share one [`TimeGrid`]; each sensor owns one [`TimeSeries`]
+//! aligned to that grid.
+
+use crate::attribute::{Attribute, AttributeId, AttributeRegistry};
+use crate::error::ModelError;
+use crate::geo::{BoundingBox, GeoPoint};
+use crate::sensor::{Sensor, SensorId, SensorIndex};
+use crate::series::TimeSeries;
+use crate::stats::DatasetStats;
+use crate::time::{TimeGrid, Timestamp};
+use std::collections::HashMap;
+
+/// A sensor together with its measurement series (borrowed view).
+#[derive(Debug, Clone, Copy)]
+pub struct SensorSeries<'a> {
+    /// Dense index of the sensor within the dataset.
+    pub index: SensorIndex,
+    /// Sensor metadata.
+    pub sensor: &'a Sensor,
+    /// Measurement series aligned to the dataset grid.
+    pub series: &'a TimeSeries,
+}
+
+/// An immutable, fully-built dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    attributes: AttributeRegistry,
+    sensors: Vec<Sensor>,
+    series: Vec<TimeSeries>,
+    grid: TimeGrid,
+    id_index: HashMap<(SensorId, AttributeId), SensorIndex>,
+}
+
+impl Dataset {
+    /// Dataset name (used as the cache / store key, per Section 3.2 of the
+    /// paper: "we can use the dataset without re-uploading by specifying the
+    /// dataset name").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared time grid.
+    pub fn grid(&self) -> &TimeGrid {
+        &self.grid
+    }
+
+    /// The attribute registry.
+    pub fn attributes(&self) -> &AttributeRegistry {
+        &self.attributes
+    }
+
+    /// Number of sensors.
+    pub fn sensor_count(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Number of timestamps on the grid.
+    pub fn timestamp_count(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Total number of records (sensor, timestamp) pairs, counting missing
+    /// values — this is how the paper's Section-4 record counts are defined
+    /// (all timestamps × all sensors, with nulls where a sensor is silent).
+    pub fn record_count(&self) -> usize {
+        self.sensor_count() * self.timestamp_count()
+    }
+
+    /// Number of present (non-null) measurements.
+    pub fn present_count(&self) -> usize {
+        self.series.iter().map(|s| s.present_count()).sum()
+    }
+
+    /// Sensor metadata by dense index.
+    pub fn sensor(&self, idx: SensorIndex) -> &Sensor {
+        &self.sensors[idx.index()]
+    }
+
+    /// Series by dense index.
+    pub fn series(&self, idx: SensorIndex) -> &TimeSeries {
+        &self.series[idx.index()]
+    }
+
+    /// Sensor + series view by dense index.
+    pub fn sensor_series(&self, idx: SensorIndex) -> SensorSeries<'_> {
+        SensorSeries {
+            index: idx,
+            sensor: self.sensor(idx),
+            series: self.series(idx),
+        }
+    }
+
+    /// Looks up a sensor by its external id and attribute.
+    pub fn index_of(&self, id: &SensorId, attribute: AttributeId) -> Option<SensorIndex> {
+        self.id_index.get(&(id.clone(), attribute)).copied()
+    }
+
+    /// Looks up a sensor by external id, returning the first match of any
+    /// attribute (convenient when ids are globally unique).
+    pub fn index_of_id(&self, id: &SensorId) -> Option<SensorIndex> {
+        self.sensors
+            .iter()
+            .position(|s| &s.id == id)
+            .map(|i| SensorIndex(i as u32))
+    }
+
+    /// Iterates over all sensors with their series.
+    pub fn iter(&self) -> impl Iterator<Item = SensorSeries<'_>> {
+        self.sensors.iter().enumerate().map(|(i, sensor)| SensorSeries {
+            index: SensorIndex(i as u32),
+            sensor,
+            series: &self.series[i],
+        })
+    }
+
+    /// All dense sensor indices.
+    pub fn indices(&self) -> impl Iterator<Item = SensorIndex> {
+        (0..self.sensors.len() as u32).map(SensorIndex)
+    }
+
+    /// Sensors measuring a given attribute.
+    pub fn sensors_with_attribute(
+        &self,
+        attribute: AttributeId,
+    ) -> impl Iterator<Item = SensorSeries<'_>> {
+        self.iter().filter(move |s| s.sensor.attribute == attribute)
+    }
+
+    /// Bounding box of all sensor locations (`None` when there are no
+    /// sensors).
+    pub fn bounding_box(&self) -> Option<BoundingBox> {
+        BoundingBox::of(self.sensors.iter().map(|s| &s.location))
+    }
+
+    /// Summary statistics (Section-4 dataset table).
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::of(self)
+    }
+
+    /// Restricts the dataset to the grid points falling inside
+    /// `[start, end)`, producing a new dataset that shares sensor metadata.
+    ///
+    /// The COVID-19 demonstration scenario compares CAPs mined on the
+    /// before/after windows of one dataset; this is the operation it uses.
+    pub fn slice_time(&self, start: Timestamp, end: Timestamp) -> Result<Dataset, ModelError> {
+        let range = crate::time::TimeRange::new(start, end)?;
+        let (first, len) = self.grid.window(range);
+        let grid = TimeGrid::new(
+            self.grid.at(first).unwrap_or(start),
+            self.grid.interval(),
+            len,
+        )?;
+        let series = self
+            .series
+            .iter()
+            .map(|s| s.window(first, len))
+            .collect::<Vec<_>>();
+        Ok(Dataset {
+            name: format!("{}[{}..{})", self.name, start, end),
+            attributes: self.attributes.clone(),
+            sensors: self.sensors.clone(),
+            series,
+            grid,
+            id_index: self.id_index.clone(),
+        })
+    }
+}
+
+/// Incrementally builds a [`Dataset`].
+///
+/// The builder mirrors the paper's upload order: declare attributes
+/// (`attribute.csv`), declare sensors (`location.csv`), then add measurements
+/// (`data.csv`). Measurements for undeclared sensors are rejected, matching
+/// the validation Miscela-V performs at upload time.
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    name: String,
+    attributes: AttributeRegistry,
+    sensors: Vec<Sensor>,
+    id_index: HashMap<(SensorId, AttributeId), SensorIndex>,
+    grid: Option<TimeGrid>,
+    series: Vec<TimeSeries>,
+}
+
+impl DatasetBuilder {
+    /// Creates a builder for a dataset with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DatasetBuilder {
+            name: name.into(),
+            attributes: AttributeRegistry::new(),
+            sensors: Vec::new(),
+            id_index: HashMap::new(),
+            grid: None,
+            series: Vec::new(),
+        }
+    }
+
+    /// Declares an attribute (idempotent) and returns its id.
+    pub fn add_attribute(&mut self, name: &str) -> AttributeId {
+        self.attributes.register(Attribute::new(name))
+    }
+
+    /// Attribute registry built so far.
+    pub fn attributes(&self) -> &AttributeRegistry {
+        &self.attributes
+    }
+
+    /// Declares the time grid shared by every series. Must be called before
+    /// measurements are added.
+    pub fn set_grid(&mut self, grid: TimeGrid) -> &mut Self {
+        let len = grid.len();
+        self.grid = Some(grid);
+        for s in &mut self.series {
+            if s.len() != len {
+                *s = TimeSeries::missing(len);
+            }
+        }
+        self
+    }
+
+    /// Declares a sensor; errors when the same `(id, attribute)` pair is
+    /// declared twice.
+    pub fn add_sensor(
+        &mut self,
+        id: impl Into<SensorId>,
+        attribute_name: &str,
+        location: GeoPoint,
+    ) -> Result<SensorIndex, ModelError> {
+        let id = id.into();
+        let attribute = self.add_attribute(attribute_name);
+        let key = (id.clone(), attribute);
+        if self.id_index.contains_key(&key) {
+            return Err(ModelError::DuplicateSensor(format!(
+                "{id}:{attribute_name}"
+            )));
+        }
+        let idx = SensorIndex(self.sensors.len() as u32);
+        self.sensors.push(Sensor::new(id, attribute, location));
+        let len = self.grid.as_ref().map(|g| g.len()).unwrap_or(0);
+        self.series.push(TimeSeries::missing(len));
+        self.id_index.insert(key, idx);
+        Ok(idx)
+    }
+
+    /// Number of sensors declared so far.
+    pub fn sensor_count(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Adds one measurement for the sensor with external id `id` and
+    /// attribute `attribute_name` at timestamp `t`.
+    ///
+    /// Errors when the sensor is unknown, the grid has not been declared, or
+    /// `t` does not lie on the grid.
+    pub fn add_measurement(
+        &mut self,
+        id: &SensorId,
+        attribute_name: &str,
+        t: Timestamp,
+        value: Option<f64>,
+    ) -> Result<(), ModelError> {
+        let attribute = self
+            .attributes
+            .id_of(attribute_name)
+            .ok_or_else(|| ModelError::UnknownAttribute(attribute_name.to_string()))?;
+        let idx = self
+            .id_index
+            .get(&(id.clone(), attribute))
+            .copied()
+            .ok_or_else(|| ModelError::UnknownSensor(format!("{id}:{attribute_name}")))?;
+        let grid = self
+            .grid
+            .as_ref()
+            .ok_or_else(|| ModelError::EmptyDataset("grid not set".to_string()))?;
+        let ti = grid
+            .index_of(t)
+            .ok_or_else(|| ModelError::TimestampOffGrid(t.format()))?;
+        if let Some(v) = value {
+            self.series[idx.index()].set(ti, v);
+        } else {
+            self.series[idx.index()].clear(ti);
+        }
+        Ok(())
+    }
+
+    /// Directly installs a full series for a sensor (used by the synthetic
+    /// generators, which produce whole series at once).
+    pub fn set_series(&mut self, idx: SensorIndex, series: TimeSeries) -> Result<(), ModelError> {
+        let expected = self.grid.as_ref().map(|g| g.len()).unwrap_or(0);
+        if series.len() != expected {
+            return Err(ModelError::LengthMismatch {
+                expected,
+                actual: series.len(),
+            });
+        }
+        self.series[idx.index()] = series;
+        Ok(())
+    }
+
+    /// Finalizes the dataset. Errors when no grid was declared or there are
+    /// no sensors.
+    pub fn build(self) -> Result<Dataset, ModelError> {
+        let grid = self
+            .grid
+            .ok_or_else(|| ModelError::EmptyDataset(format!("{}: grid not set", self.name)))?;
+        if self.sensors.is_empty() {
+            return Err(ModelError::EmptyDataset(format!(
+                "{}: no sensors declared",
+                self.name
+            )));
+        }
+        for s in &self.series {
+            if s.len() != grid.len() {
+                return Err(ModelError::LengthMismatch {
+                    expected: grid.len(),
+                    actual: s.len(),
+                });
+            }
+        }
+        Ok(Dataset {
+            name: self.name,
+            attributes: self.attributes,
+            sensors: self.sensors,
+            series: self.series,
+            grid,
+            id_index: self.id_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn small_dataset() -> Dataset {
+        let mut b = DatasetBuilder::new("test");
+        let start = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+        b.set_grid(TimeGrid::new(start, Duration::hours(1), 4).unwrap());
+        b.add_sensor("s1", "temperature", GeoPoint::new_unchecked(43.0, -3.0))
+            .unwrap();
+        b.add_sensor("s2", "traffic", GeoPoint::new_unchecked(43.001, -3.001))
+            .unwrap();
+        for (i, v) in [9.0, 10.0, 11.0, 12.0].iter().enumerate() {
+            b.add_measurement(
+                &SensorId::new("s1"),
+                "temperature",
+                start + Duration::hours(i as i64),
+                Some(*v),
+            )
+            .unwrap();
+        }
+        b.add_measurement(
+            &SensorId::new("s2"),
+            "traffic",
+            start + Duration::hours(1),
+            Some(100.0),
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let ds = small_dataset();
+        assert_eq!(ds.name(), "test");
+        assert_eq!(ds.sensor_count(), 2);
+        assert_eq!(ds.timestamp_count(), 4);
+        assert_eq!(ds.record_count(), 8);
+        assert_eq!(ds.present_count(), 5);
+        assert_eq!(ds.attributes().len(), 2);
+        let i1 = ds
+            .index_of(&SensorId::new("s1"), ds.attributes().id_of("temperature").unwrap())
+            .unwrap();
+        assert_eq!(ds.series(i1).get(2), Some(11.0));
+        assert_eq!(ds.sensor(i1).id.as_str(), "s1");
+        assert!(ds.index_of_id(&SensorId::new("s2")).is_some());
+        assert!(ds.index_of_id(&SensorId::new("nope")).is_none());
+    }
+
+    #[test]
+    fn duplicate_sensor_rejected() {
+        let mut b = DatasetBuilder::new("dup");
+        b.set_grid(TimeGrid::new(Timestamp::EPOCH, Duration::hours(1), 2).unwrap());
+        b.add_sensor("s1", "temperature", GeoPoint::new_unchecked(0.0, 0.0))
+            .unwrap();
+        let err = b
+            .add_sensor("s1", "temperature", GeoPoint::new_unchecked(0.0, 0.0))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateSensor(_)));
+        // Same id with a different attribute is fine (paper footnote 2).
+        assert!(b
+            .add_sensor("s1", "humidity", GeoPoint::new_unchecked(0.0, 0.0))
+            .is_ok());
+    }
+
+    #[test]
+    fn measurement_validation() {
+        let mut b = DatasetBuilder::new("val");
+        let start = Timestamp::EPOCH;
+        b.set_grid(TimeGrid::new(start, Duration::hours(1), 2).unwrap());
+        b.add_sensor("s1", "temperature", GeoPoint::new_unchecked(0.0, 0.0))
+            .unwrap();
+        // Unknown attribute.
+        assert!(matches!(
+            b.add_measurement(&SensorId::new("s1"), "light", start, Some(1.0)),
+            Err(ModelError::UnknownAttribute(_))
+        ));
+        // Unknown sensor.
+        b.add_attribute("light");
+        assert!(matches!(
+            b.add_measurement(&SensorId::new("sX"), "light", start, Some(1.0)),
+            Err(ModelError::UnknownSensor(_))
+        ));
+        // Off-grid timestamp.
+        assert!(matches!(
+            b.add_measurement(
+                &SensorId::new("s1"),
+                "temperature",
+                start + Duration::minutes(30),
+                Some(1.0)
+            ),
+            Err(ModelError::TimestampOffGrid(_))
+        ));
+        // Null measurement clears.
+        b.add_measurement(&SensorId::new("s1"), "temperature", start, Some(5.0))
+            .unwrap();
+        b.add_measurement(&SensorId::new("s1"), "temperature", start, None)
+            .unwrap();
+        let ds = b.build().unwrap();
+        assert_eq!(ds.series(SensorIndex(0)).get(0), None);
+    }
+
+    #[test]
+    fn build_requires_grid_and_sensors() {
+        let b = DatasetBuilder::new("no-grid");
+        assert!(matches!(b.build(), Err(ModelError::EmptyDataset(_))));
+
+        let mut b = DatasetBuilder::new("no-sensors");
+        b.set_grid(TimeGrid::new(Timestamp::EPOCH, Duration::hours(1), 2).unwrap());
+        assert!(matches!(b.build(), Err(ModelError::EmptyDataset(_))));
+    }
+
+    #[test]
+    fn sensors_with_attribute_filter() {
+        let ds = small_dataset();
+        let temp = ds.attributes().id_of("temperature").unwrap();
+        let v: Vec<_> = ds.sensors_with_attribute(temp).collect();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].sensor.id.as_str(), "s1");
+    }
+
+    #[test]
+    fn bounding_box_covers_sensors() {
+        let ds = small_dataset();
+        let bb = ds.bounding_box().unwrap();
+        assert!(bb.contains(&GeoPoint::new_unchecked(43.0005, -3.0005)));
+    }
+
+    #[test]
+    fn slice_time_window() {
+        let ds = small_dataset();
+        let start = Timestamp::parse("2016-03-01 01:00:00").unwrap();
+        let end = Timestamp::parse("2016-03-01 03:00:00").unwrap();
+        let sliced = ds.slice_time(start, end).unwrap();
+        assert_eq!(sliced.timestamp_count(), 2);
+        assert_eq!(sliced.sensor_count(), 2);
+        let i1 = sliced.index_of_id(&SensorId::new("s1")).unwrap();
+        assert_eq!(sliced.series(i1).get(0), Some(10.0));
+        assert_eq!(sliced.series(i1).get(1), Some(11.0));
+        assert!(sliced.name().contains("test"));
+    }
+
+    #[test]
+    fn set_series_length_checked() {
+        let mut b = DatasetBuilder::new("gen");
+        b.set_grid(TimeGrid::new(Timestamp::EPOCH, Duration::hours(1), 3).unwrap());
+        let idx = b
+            .add_sensor("s1", "temperature", GeoPoint::new_unchecked(0.0, 0.0))
+            .unwrap();
+        assert!(b
+            .set_series(idx, TimeSeries::from_values(vec![1.0, 2.0]))
+            .is_err());
+        assert!(b
+            .set_series(idx, TimeSeries::from_values(vec![1.0, 2.0, 3.0]))
+            .is_ok());
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type shared by the data-model layer.
+
+use std::fmt;
+
+/// Errors raised while constructing or manipulating model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A latitude or longitude was outside its valid range.
+    InvalidCoordinate {
+        /// Offending latitude value.
+        lat: f64,
+        /// Offending longitude value.
+        lon: f64,
+    },
+    /// A timestamp string could not be parsed.
+    InvalidTimestamp(String),
+    /// A time grid was constructed with a non-positive interval.
+    InvalidInterval(i64),
+    /// A time range had `end < start`.
+    InvalidRange {
+        /// Range start (epoch seconds).
+        start: i64,
+        /// Range end (epoch seconds).
+        end: i64,
+    },
+    /// A series value was supplied for a timestamp that is not on the grid.
+    TimestampOffGrid(String),
+    /// A sensor id was referenced but never declared.
+    UnknownSensor(String),
+    /// An attribute was referenced but never declared.
+    UnknownAttribute(String),
+    /// A sensor id was declared twice with conflicting metadata.
+    DuplicateSensor(String),
+    /// A dataset was built with no sensors or no timestamps.
+    EmptyDataset(String),
+    /// Series lengths within one dataset did not agree.
+    LengthMismatch {
+        /// Expected number of grid points.
+        expected: usize,
+        /// Number of values actually supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidCoordinate { lat, lon } => {
+                write!(f, "invalid coordinate: lat={lat}, lon={lon}")
+            }
+            ModelError::InvalidTimestamp(s) => write!(f, "invalid timestamp: {s:?}"),
+            ModelError::InvalidInterval(i) => write!(f, "invalid grid interval: {i} seconds"),
+            ModelError::InvalidRange { start, end } => {
+                write!(f, "invalid time range: start={start}, end={end}")
+            }
+            ModelError::TimestampOffGrid(s) => write!(f, "timestamp not on grid: {s}"),
+            ModelError::UnknownSensor(s) => write!(f, "unknown sensor: {s}"),
+            ModelError::UnknownAttribute(s) => write!(f, "unknown attribute: {s}"),
+            ModelError::DuplicateSensor(s) => write!(f, "duplicate sensor: {s}"),
+            ModelError::EmptyDataset(s) => write!(f, "empty dataset: {s}"),
+            ModelError::LengthMismatch { expected, actual } => {
+                write!(f, "series length mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = ModelError::InvalidCoordinate { lat: 99.0, lon: 200.0 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("200"));
+
+        let e = ModelError::InvalidTimestamp("abc".to_string());
+        assert!(e.to_string().contains("abc"));
+
+        let e = ModelError::LengthMismatch { expected: 10, actual: 7 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ModelError::UnknownSensor("s1".into()));
+    }
+}

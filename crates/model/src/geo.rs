@@ -1,0 +1,262 @@
+//! Geographic points, distances and bounding boxes.
+//!
+//! CAP mining's distance threshold η is defined over the great-circle
+//! distance between sensor locations; the visualization layer needs bounding
+//! boxes and simple projections. Everything here works in degrees of
+//! latitude/longitude and kilometres.
+
+use crate::error::ModelError;
+
+/// Mean Earth radius in kilometres, used by the haversine formula.
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A point on the Earth's surface (WGS-84 latitude / longitude, degrees).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, in `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, validating the coordinate ranges.
+    pub fn new(lat: f64, lon: f64) -> Result<Self, ModelError> {
+        if !(-90.0..=90.0).contains(&lat)
+            || !(-180.0..=180.0).contains(&lon)
+            || lat.is_nan()
+            || lon.is_nan()
+        {
+            return Err(ModelError::InvalidCoordinate { lat, lon });
+        }
+        Ok(GeoPoint { lat, lon })
+    }
+
+    /// Creates a point without validation. Intended for generated data whose
+    /// ranges are known by construction.
+    pub fn new_unchecked(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle (haversine) distance to another point, in kilometres.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        haversine_km(self.lat, self.lon, other.lat, other.lon)
+    }
+
+    /// Initial bearing from this point towards `other`, in degrees clockwise
+    /// from north, in `[0, 360)`. Used by the China wind-direction analysis
+    /// (east–west vs north–south neighbour classification).
+    pub fn bearing_to(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlon = lon2 - lon1;
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        let brng = y.atan2(x).to_degrees();
+        (brng + 360.0) % 360.0
+    }
+
+    /// Whether the segment between this point and `other` is oriented more
+    /// east–west (horizontal) than north–south (vertical).
+    ///
+    /// The China demonstration scenario in the paper observes that
+    /// horizontally close sensors correlate (wind advection) while vertically
+    /// close sensors do not; this classifier is what the E10 experiment uses.
+    pub fn is_horizontal_pair(&self, other: &GeoPoint) -> bool {
+        let dlat = (self.lat - other.lat).abs();
+        // Longitude degrees shrink with latitude; scale to compare distances.
+        let mean_lat = ((self.lat + other.lat) / 2.0).to_radians();
+        let dlon = (self.lon - other.lon).abs() * mean_lat.cos();
+        dlon >= dlat
+    }
+}
+
+/// Haversine distance between two lat/lon pairs, in kilometres.
+pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    let (phi1, phi2) = (lat1.to_radians(), lat2.to_radians());
+    let dphi = (lat2 - lat1).to_radians();
+    let dlambda = (lon2 - lon1).to_radians();
+    let a = (dphi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+    let a = a.clamp(0.0, 1.0);
+    2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+}
+
+/// An axis-aligned bounding box over latitude/longitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Minimum latitude.
+    pub min_lat: f64,
+    /// Maximum latitude.
+    pub max_lat: f64,
+    /// Minimum longitude.
+    pub min_lon: f64,
+    /// Maximum longitude.
+    pub max_lon: f64,
+}
+
+impl BoundingBox {
+    /// An "empty" box that any point will expand.
+    pub fn empty() -> Self {
+        BoundingBox {
+            min_lat: f64::INFINITY,
+            max_lat: f64::NEG_INFINITY,
+            min_lon: f64::INFINITY,
+            max_lon: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds the bounding box of an iterator of points. Returns `None` when
+    /// the iterator is empty.
+    pub fn of<'a, I: IntoIterator<Item = &'a GeoPoint>>(points: I) -> Option<Self> {
+        let mut bb = BoundingBox::empty();
+        let mut any = false;
+        for p in points {
+            bb.expand(p);
+            any = true;
+        }
+        any.then_some(bb)
+    }
+
+    /// Expands the box to include `p`.
+    pub fn expand(&mut self, p: &GeoPoint) {
+        self.min_lat = self.min_lat.min(p.lat);
+        self.max_lat = self.max_lat.max(p.lat);
+        self.min_lon = self.min_lon.min(p.lon);
+        self.max_lon = self.max_lon.max(p.lon);
+    }
+
+    /// Expands the box outward by `margin_frac` of its width/height on every
+    /// side (used by map rendering so markers do not touch the border).
+    pub fn with_margin(&self, margin_frac: f64) -> Self {
+        let dlat = (self.max_lat - self.min_lat).max(1e-6) * margin_frac;
+        let dlon = (self.max_lon - self.min_lon).max(1e-6) * margin_frac;
+        BoundingBox {
+            min_lat: self.min_lat - dlat,
+            max_lat: self.max_lat + dlat,
+            min_lon: self.min_lon - dlon,
+            max_lon: self.max_lon + dlon,
+        }
+    }
+
+    /// Whether the box contains the point (inclusive).
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+    }
+
+    /// Centre of the box.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new_unchecked(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )
+    }
+
+    /// Width (degrees of longitude) and height (degrees of latitude).
+    pub fn extent(&self) -> (f64, f64) {
+        (self.max_lon - self.min_lon, self.max_lat - self.min_lat)
+    }
+
+    /// Diagonal length of the box in kilometres.
+    pub fn diagonal_km(&self) -> f64 {
+        haversine_km(self.min_lat, self.min_lon, self.max_lat, self.max_lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_point_validation() {
+        assert!(GeoPoint::new(43.46, -3.80).is_ok());
+        assert!(GeoPoint::new(91.0, 0.0).is_err());
+        assert!(GeoPoint::new(0.0, 181.0).is_err());
+        assert!(GeoPoint::new(f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn haversine_zero_for_identical_points() {
+        assert!(haversine_km(43.0, -3.0, 43.0, -3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Santander (43.4623, -3.8099) to Madrid (40.4168, -3.7038): ~339 km.
+        let d = haversine_km(43.4623, -3.8099, 40.4168, -3.7038);
+        assert!((d - 339.0).abs() < 5.0, "distance was {d}");
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        let d1 = haversine_km(31.23, 121.47, 23.13, 113.26); // Shanghai <-> Guangzhou
+        let d2 = haversine_km(23.13, 113.26, 31.23, 121.47);
+        assert!((d1 - d2).abs() < 1e-9);
+        assert!((d1 - 1213.0).abs() < 25.0, "Shanghai-Guangzhou was {d1}");
+    }
+
+    #[test]
+    fn small_distances_are_accurate() {
+        // Two Santander sensors ~170 m apart (from the paper's location.csv sample).
+        let d = haversine_km(43.46192, -3.80176, 43.46212, -3.79979);
+        assert!(d > 0.1 && d < 0.3, "distance was {d}");
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let origin = GeoPoint::new_unchecked(30.0, 120.0);
+        let north = GeoPoint::new_unchecked(31.0, 120.0);
+        let east = GeoPoint::new_unchecked(30.0, 121.0);
+        assert!(origin.bearing_to(&north).abs() < 1.0);
+        assert!((origin.bearing_to(&east) - 90.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn horizontal_pair_classification() {
+        let a = GeoPoint::new_unchecked(30.0, 120.0);
+        let east = GeoPoint::new_unchecked(30.005, 120.5);
+        let north = GeoPoint::new_unchecked(30.5, 120.005);
+        assert!(a.is_horizontal_pair(&east));
+        assert!(!a.is_horizontal_pair(&north));
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = vec![
+            GeoPoint::new_unchecked(43.0, -3.0),
+            GeoPoint::new_unchecked(44.0, -2.0),
+            GeoPoint::new_unchecked(43.5, -2.5),
+        ];
+        let bb = BoundingBox::of(pts.iter()).unwrap();
+        assert_eq!(bb.min_lat, 43.0);
+        assert_eq!(bb.max_lat, 44.0);
+        assert_eq!(bb.min_lon, -3.0);
+        assert_eq!(bb.max_lon, -2.0);
+        assert!(bb.contains(&GeoPoint::new_unchecked(43.5, -2.5)));
+        assert!(!bb.contains(&GeoPoint::new_unchecked(45.0, -2.5)));
+        let c = bb.center();
+        assert!((c.lat - 43.5).abs() < 1e-9);
+        assert!((c.lon + 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounding_box_empty_iterator() {
+        assert!(BoundingBox::of(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn bounding_box_margin_expands() {
+        let bb = BoundingBox {
+            min_lat: 43.0,
+            max_lat: 44.0,
+            min_lon: -3.0,
+            max_lon: -2.0,
+        };
+        let m = bb.with_margin(0.1);
+        assert!(m.min_lat < bb.min_lat);
+        assert!(m.max_lat > bb.max_lat);
+        assert!(m.min_lon < bb.min_lon);
+        assert!(m.max_lon > bb.max_lon);
+        let (w, h) = m.extent();
+        assert!(w > 1.0 && h > 1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # miscela-model
+//!
+//! Core data model for Miscela-RS, the Rust reproduction of the Miscela-V
+//! smart-city analysis system (EDBT 2021).
+//!
+//! Smart-city data, as described in the paper, is produced by a set of
+//! *sensors*. Each sensor:
+//!
+//! * measures exactly one *attribute* (temperature, traffic volume, PM2.5, ...),
+//! * is located at a fixed geographic position (latitude / longitude),
+//! * is synchronized with every other sensor: all sensors report at the same
+//!   regular interval, and a sensor's value at a timestamp may be missing
+//!   (`null` in the paper's `data.csv` format).
+//!
+//! This crate provides the vocabulary types shared by every other crate in
+//! the workspace:
+//!
+//! * [`attribute`] — interned attribute names ([`Attribute`], [`AttributeId`],
+//!   [`AttributeRegistry`]).
+//! * [`sensor`] — sensor identity and metadata ([`SensorId`], [`Sensor`]).
+//! * [`geo`] — geographic points, haversine distances, bounding boxes.
+//! * [`time`] — timestamps, durations, and the regular [`time::TimeGrid`] that
+//!   every series in a dataset shares.
+//! * [`series`] — regular-interval time series with missing values.
+//! * [`dataset`] — a named collection of sensors and their series, mirroring
+//!   the paper's uploaded dataset (`data.csv` + `location.csv` +
+//!   `attribute.csv`).
+//! * [`stats`] — summary statistics used by the Section-4 dataset table and
+//!   the visualization layer.
+//!
+//! The crate is dependency-free so that every substrate (store, server,
+//! mining engine, visualization) can share it cheaply.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attribute;
+pub mod dataset;
+pub mod error;
+pub mod geo;
+pub mod sensor;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use attribute::{Attribute, AttributeId, AttributeRegistry};
+pub use dataset::{Dataset, DatasetBuilder, SensorSeries};
+pub use error::ModelError;
+pub use geo::{BoundingBox, GeoPoint};
+pub use sensor::{Sensor, SensorId, SensorIndex};
+pub use series::TimeSeries;
+pub use stats::{DatasetStats, SeriesSummary};
+pub use time::{Duration, TimeGrid, TimeRange, Timestamp};

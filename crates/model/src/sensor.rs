@@ -1,0 +1,128 @@
+//! Sensor identity and metadata.
+//!
+//! Following the paper (footnote 2 of Section 4): *"We consider sensors with
+//! different attributes as different sensors even if they are located at the
+//! same location."* A [`Sensor`] therefore carries exactly one attribute, and
+//! a physical multi-sensor station appears as several `Sensor` values sharing
+//! a location.
+
+use crate::attribute::AttributeId;
+use crate::geo::GeoPoint;
+use std::fmt;
+
+/// External identifier of a sensor, as it appears in `location.csv` /
+/// `data.csv` (e.g. `"00000"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SensorId(pub String);
+
+impl SensorId {
+    /// Creates an id, trimming surrounding whitespace.
+    pub fn new(id: impl Into<String>) -> Self {
+        SensorId(id.into().trim().to_string())
+    }
+
+    /// The id string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for SensorId {
+    fn from(s: &str) -> Self {
+        SensorId::new(s)
+    }
+}
+
+impl From<String> for SensorId {
+    fn from(s: String) -> Self {
+        SensorId::new(s)
+    }
+}
+
+/// Dense index of a sensor within one dataset (assigned at dataset build
+/// time). The mining engine and the visualization layer use this everywhere
+/// instead of the string id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SensorIndex(pub u32);
+
+impl SensorIndex {
+    /// The index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SensorIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A sensor: identifier, the single attribute it measures, and its location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensor {
+    /// External identifier (string, as uploaded).
+    pub id: SensorId,
+    /// Attribute measured by this sensor.
+    pub attribute: AttributeId,
+    /// Geographic location.
+    pub location: GeoPoint,
+}
+
+impl Sensor {
+    /// Creates a sensor.
+    pub fn new(id: impl Into<SensorId>, attribute: AttributeId, location: GeoPoint) -> Self {
+        Sensor {
+            id: id.into(),
+            attribute,
+            location,
+        }
+    }
+
+    /// Great-circle distance to another sensor, in kilometres.
+    pub fn distance_km(&self, other: &Sensor) -> f64 {
+        self.location.distance_km(&other.location)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::AttributeId;
+
+    #[test]
+    fn sensor_id_trims() {
+        assert_eq!(SensorId::new(" 00000 ").as_str(), "00000");
+        assert_eq!(SensorId::from("abc").to_string(), "abc");
+    }
+
+    #[test]
+    fn sensor_distance() {
+        let a = Sensor::new(
+            "s1",
+            AttributeId(0),
+            GeoPoint::new_unchecked(43.46192, -3.80176),
+        );
+        let b = Sensor::new(
+            "s2",
+            AttributeId(1),
+            GeoPoint::new_unchecked(43.46212, -3.79979),
+        );
+        let d = a.distance_km(&b);
+        assert!(d > 0.1 && d < 0.3);
+        assert!((a.distance_km(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensor_index_display() {
+        assert_eq!(SensorIndex(7).to_string(), "s7");
+        assert_eq!(SensorIndex(7).index(), 7usize);
+    }
+}

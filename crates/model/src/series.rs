@@ -1,0 +1,371 @@
+//! Regular-interval time series with missing values.
+//!
+//! A [`TimeSeries`] stores one value per grid point of its dataset's
+//! [`crate::time::TimeGrid`]. Missing measurements (the `null` entries of the
+//! paper's `data.csv`) are represented internally as `NaN` and exposed as
+//! `Option<f64>`, which keeps storage at 8 bytes per point — relevant because
+//! the China6 dataset has close to seven million records.
+
+use std::fmt;
+
+/// A fixed-length series of optionally-missing measurements aligned to a
+/// dataset-wide time grid.
+#[derive(Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    values: Vec<f64>, // NaN encodes "missing"
+}
+
+impl fmt::Debug for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TimeSeries(len={}, present={})",
+            self.len(),
+            self.present_count()
+        )
+    }
+}
+
+impl TimeSeries {
+    /// A series of `len` missing values.
+    pub fn missing(len: usize) -> Self {
+        TimeSeries {
+            values: vec![f64::NAN; len],
+        }
+    }
+
+    /// Builds a series from present values (no missing entries).
+    pub fn from_values(values: Vec<f64>) -> Self {
+        TimeSeries { values }
+    }
+
+    /// Builds a series from optional values.
+    pub fn from_options(values: &[Option<f64>]) -> Self {
+        TimeSeries {
+            values: values.iter().map(|v| v.unwrap_or(f64::NAN)).collect(),
+        }
+    }
+
+    /// Number of grid points (present or missing).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no points at all.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at index `i`, `None` when missing or out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<f64> {
+        match self.values.get(i) {
+            Some(v) if !v.is_nan() => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Raw value at index `i` (`NaN` when missing). Panics when out of range.
+    #[inline]
+    pub fn raw(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// Sets the value at index `i`. Panics when out of range.
+    pub fn set(&mut self, i: usize, value: f64) {
+        self.values[i] = value;
+    }
+
+    /// Marks index `i` as missing. Panics when out of range.
+    pub fn clear(&mut self, i: usize) {
+        self.values[i] = f64::NAN;
+    }
+
+    /// Whether the value at `i` is present.
+    #[inline]
+    pub fn is_present(&self, i: usize) -> bool {
+        self.values.get(i).map(|v| !v.is_nan()).unwrap_or(false)
+    }
+
+    /// Number of present (non-missing) values.
+    pub fn present_count(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_nan()).count()
+    }
+
+    /// Number of missing values.
+    pub fn missing_count(&self) -> usize {
+        self.len() - self.present_count()
+    }
+
+    /// Iterates over `Option<f64>` values in grid order.
+    pub fn iter(&self) -> impl Iterator<Item = Option<f64>> + '_ {
+        self.values
+            .iter()
+            .map(|v| if v.is_nan() { None } else { Some(*v) })
+    }
+
+    /// Iterates over `(index, value)` for present values only.
+    pub fn present(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_nan())
+            .map(|(i, v)| (i, *v))
+    }
+
+    /// Underlying raw slice (missing values are `NaN`).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The difference `x[i] - x[i-1]`, `None` when either side is missing or
+    /// `i == 0`. This is the quantity compared against the evolving rate ε.
+    #[inline]
+    pub fn delta(&self, i: usize) -> Option<f64> {
+        if i == 0 || i >= self.len() {
+            return None;
+        }
+        let (prev, cur) = (self.values[i - 1], self.values[i]);
+        if prev.is_nan() || cur.is_nan() {
+            None
+        } else {
+            Some(cur - prev)
+        }
+    }
+
+    /// Minimum of present values.
+    pub fn min(&self) -> Option<f64> {
+        self.present().map(|(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.min(v),
+            })
+        })
+    }
+
+    /// Maximum of present values.
+    pub fn max(&self) -> Option<f64> {
+        self.present().map(|(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.max(v),
+            })
+        })
+    }
+
+    /// Mean of present values.
+    pub fn mean(&self) -> Option<f64> {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        for (_, v) in self.present() {
+            n += 1;
+            sum += v;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Population standard deviation of present values.
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let mut n = 0usize;
+        let mut sq = 0.0;
+        for (_, v) in self.present() {
+            n += 1;
+            sq += (v - mean) * (v - mean);
+        }
+        (n > 0).then(|| (sq / n as f64).sqrt())
+    }
+
+    /// Extracts the sub-series `[first, first + len)`, clamped to bounds.
+    pub fn window(&self, first: usize, len: usize) -> TimeSeries {
+        let first = first.min(self.values.len());
+        let end = (first + len).min(self.values.len());
+        TimeSeries {
+            values: self.values[first..end].to_vec(),
+        }
+    }
+
+    /// Fills missing values by linear interpolation between the nearest
+    /// present neighbours; leading/trailing gaps are filled by extending the
+    /// nearest present value. A fully-missing series is left untouched.
+    ///
+    /// The MISCELA pipeline applies this before linear segmentation so that
+    /// isolated nulls do not break the segmentation step.
+    pub fn interpolate_missing(&self) -> TimeSeries {
+        let n = self.values.len();
+        let mut out = self.values.clone();
+        if self.present_count() == 0 {
+            return TimeSeries { values: out };
+        }
+        let mut i = 0usize;
+        while i < n {
+            if !out[i].is_nan() {
+                i += 1;
+                continue;
+            }
+            // Find gap [i, j)
+            let mut j = i;
+            while j < n && out[j].is_nan() {
+                j += 1;
+            }
+            let left = if i > 0 { Some(out[i - 1]) } else { None };
+            let right = if j < n { Some(out[j]) } else { None };
+            match (left, right) {
+                (Some(l), Some(r)) => {
+                    let gap = (j - i + 1) as f64;
+                    for (k, slot) in out.iter_mut().enumerate().take(j).skip(i) {
+                        let frac = (k - i + 1) as f64 / gap;
+                        *slot = l + (r - l) * frac;
+                    }
+                }
+                (Some(l), None) => {
+                    for slot in out.iter_mut().take(j).skip(i) {
+                        *slot = l;
+                    }
+                }
+                (None, Some(r)) => {
+                    for slot in out.iter_mut().take(j).skip(i) {
+                        *slot = r;
+                    }
+                }
+                (None, None) => {}
+            }
+            i = j;
+        }
+        TimeSeries { values: out }
+    }
+
+    /// Fraction of values that are present, in `[0, 1]` (1.0 for empty).
+    pub fn coverage(&self) -> f64 {
+        if self.is_empty() {
+            1.0
+        } else {
+            self.present_count() as f64 / self.len() as f64
+        }
+    }
+}
+
+impl FromIterator<Option<f64>> for TimeSeries {
+    fn from_iter<T: IntoIterator<Item = Option<f64>>>(iter: T) -> Self {
+        TimeSeries {
+            values: iter.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect(),
+        }
+    }
+}
+
+impl FromIterator<f64> for TimeSeries {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        TimeSeries {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let s = TimeSeries::from_options(&[Some(1.0), None, Some(3.0)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(0), Some(1.0));
+        assert_eq!(s.get(1), None);
+        assert_eq!(s.get(2), Some(3.0));
+        assert_eq!(s.get(3), None);
+        assert_eq!(s.present_count(), 2);
+        assert_eq!(s.missing_count(), 1);
+        assert!((s.coverage() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_series() {
+        let s = TimeSeries::missing(5);
+        assert_eq!(s.present_count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.std_dev(), None);
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let mut s = TimeSeries::missing(3);
+        s.set(1, 2.5);
+        assert_eq!(s.get(1), Some(2.5));
+        assert!(s.is_present(1));
+        s.clear(1);
+        assert_eq!(s.get(1), None);
+    }
+
+    #[test]
+    fn delta_handles_missing_and_bounds() {
+        let s = TimeSeries::from_options(&[Some(1.0), Some(3.0), None, Some(7.0)]);
+        assert_eq!(s.delta(0), None);
+        assert_eq!(s.delta(1), Some(2.0));
+        assert_eq!(s.delta(2), None); // current missing
+        assert_eq!(s.delta(3), None); // previous missing
+        assert_eq!(s.delta(4), None); // out of range
+    }
+
+    #[test]
+    fn statistics() {
+        let s = TimeSeries::from_values(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), Some(5.0));
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.std_dev().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_clamps() {
+        let s = TimeSeries::from_values(vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let w = s.window(1, 3);
+        assert_eq!(w.as_slice(), &[1.0, 2.0, 3.0]);
+        let w = s.window(3, 10);
+        assert_eq!(w.as_slice(), &[3.0, 4.0]);
+        let w = s.window(9, 2);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn interpolation_fills_interior_gap() {
+        let s = TimeSeries::from_options(&[Some(0.0), None, None, Some(3.0)]);
+        let f = s.interpolate_missing();
+        assert_eq!(f.get(1), Some(1.0));
+        assert_eq!(f.get(2), Some(2.0));
+        assert_eq!(f.missing_count(), 0);
+    }
+
+    #[test]
+    fn interpolation_extends_edges() {
+        let s = TimeSeries::from_options(&[None, Some(2.0), None]);
+        let f = s.interpolate_missing();
+        assert_eq!(f.get(0), Some(2.0));
+        assert_eq!(f.get(2), Some(2.0));
+    }
+
+    #[test]
+    fn interpolation_leaves_all_missing_untouched() {
+        let s = TimeSeries::missing(4);
+        let f = s.interpolate_missing();
+        assert_eq!(f.present_count(), 0);
+    }
+
+    #[test]
+    fn from_iterators() {
+        let a: TimeSeries = vec![1.0, 2.0].into_iter().collect();
+        assert_eq!(a.len(), 2);
+        let b: TimeSeries = vec![Some(1.0), None].into_iter().collect();
+        assert_eq!(b.present_count(), 1);
+    }
+
+    #[test]
+    fn present_iterator_skips_missing() {
+        let s = TimeSeries::from_options(&[Some(1.0), None, Some(3.0)]);
+        let v: Vec<(usize, f64)> = s.present().collect();
+        assert_eq!(v, vec![(0, 1.0), (2, 3.0)]);
+        let all: Vec<Option<f64>> = s.iter().collect();
+        assert_eq!(all, vec![Some(1.0), None, Some(3.0)]);
+    }
+}

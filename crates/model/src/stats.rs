@@ -1,0 +1,232 @@
+//! Dataset and series summary statistics.
+//!
+//! [`DatasetStats`] reproduces the rows of the paper's Section-4 dataset
+//! description (number of sensors, number of records, attribute inventory,
+//! covered period); [`SeriesSummary`] backs the chart axes and tooltips of
+//! the visualization layer.
+
+use crate::attribute::AttributeId;
+use crate::dataset::Dataset;
+use crate::series::TimeSeries;
+use crate::time::TimeRange;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-series summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSummary {
+    /// Number of grid points.
+    pub len: usize,
+    /// Number of present values.
+    pub present: usize,
+    /// Minimum present value.
+    pub min: Option<f64>,
+    /// Maximum present value.
+    pub max: Option<f64>,
+    /// Mean of present values.
+    pub mean: Option<f64>,
+    /// Population standard deviation of present values.
+    pub std_dev: Option<f64>,
+}
+
+impl SeriesSummary {
+    /// Computes the summary of a series.
+    pub fn of(series: &TimeSeries) -> Self {
+        SeriesSummary {
+            len: series.len(),
+            present: series.present_count(),
+            min: series.min(),
+            max: series.max(),
+            mean: series.mean(),
+            std_dev: series.std_dev(),
+        }
+    }
+
+    /// Fraction of present values (1.0 for an empty series).
+    pub fn coverage(&self) -> f64 {
+        if self.len == 0 {
+            1.0
+        } else {
+            self.present as f64 / self.len as f64
+        }
+    }
+}
+
+/// Dataset-level statistics: the Section-4 table row for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of sensors.
+    pub sensors: usize,
+    /// Number of records (sensors × timestamps), counting nulls, matching
+    /// how the paper reports record counts.
+    pub records: usize,
+    /// Number of present (non-null) measurements.
+    pub present_records: usize,
+    /// Number of timestamps on the grid.
+    pub timestamps: usize,
+    /// Grid interval in seconds.
+    pub interval_seconds: i64,
+    /// Covered time range.
+    pub period: Option<TimeRange>,
+    /// Attribute names in registration order.
+    pub attribute_names: Vec<String>,
+    /// Sensor count per attribute.
+    pub sensors_per_attribute: BTreeMap<String, usize>,
+    /// Mean per-series coverage (fraction of non-null values).
+    pub mean_coverage: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a dataset.
+    pub fn of(ds: &Dataset) -> Self {
+        let mut per_attr: BTreeMap<String, usize> = BTreeMap::new();
+        let mut coverage_sum = 0.0;
+        for ss in ds.iter() {
+            let name = ds.attributes().name_of(ss.sensor.attribute).to_string();
+            *per_attr.entry(name).or_insert(0) += 1;
+            coverage_sum += ss.series.coverage();
+        }
+        let mean_coverage = if ds.sensor_count() == 0 {
+            1.0
+        } else {
+            coverage_sum / ds.sensor_count() as f64
+        };
+        let period = if ds.grid().is_empty() {
+            None
+        } else {
+            Some(ds.grid().range())
+        };
+        DatasetStats {
+            name: ds.name().to_string(),
+            sensors: ds.sensor_count(),
+            records: ds.record_count(),
+            present_records: ds.present_count(),
+            timestamps: ds.timestamp_count(),
+            interval_seconds: ds.grid().interval().as_secs(),
+            period,
+            attribute_names: ds.attributes().names().map(|s| s.to_string()).collect(),
+            sensors_per_attribute: per_attr,
+            mean_coverage,
+        }
+    }
+
+    /// Number of sensors measuring the given attribute id in `ds`.
+    pub fn sensors_for(ds: &Dataset, attribute: AttributeId) -> usize {
+        ds.iter().filter(|s| s.sensor.attribute == attribute).count()
+    }
+
+    /// Renders a one-line table row in the style of the Section-4 dataset
+    /// list: `name | sensors | records | period | attributes`.
+    pub fn table_row(&self) -> String {
+        let period = self
+            .period
+            .map(|r| format!("{} .. {}", r.start, r.end))
+            .unwrap_or_else(|| "-".to_string());
+        format!(
+            "{} | {} sensors | {} records | {} | {}",
+            self.name,
+            self.sensors,
+            self.records,
+            period,
+            self.attribute_names.join(", ")
+        )
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dataset: {}", self.name)?;
+        writeln!(f, "  sensors:    {}", self.sensors)?;
+        writeln!(
+            f,
+            "  records:    {} ({} non-null, {:.1}% coverage)",
+            self.records,
+            self.present_records,
+            self.mean_coverage * 100.0
+        )?;
+        writeln!(f, "  timestamps: {} (interval {}s)", self.timestamps, self.interval_seconds)?;
+        if let Some(p) = self.period {
+            writeln!(f, "  period:     {p}")?;
+        }
+        writeln!(f, "  attributes: {}", self.attribute_names.join(", "))?;
+        for (attr, n) in &self.sensors_per_attribute {
+            writeln!(f, "    {attr}: {n} sensors")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::geo::GeoPoint;
+    use crate::time::{Duration, TimeGrid, Timestamp};
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new("stats-test");
+        let start = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+        b.set_grid(TimeGrid::new(start, Duration::hours(1), 10).unwrap());
+        let s1 = b
+            .add_sensor("s1", "temperature", GeoPoint::new_unchecked(43.0, -3.0))
+            .unwrap();
+        let s2 = b
+            .add_sensor("s2", "temperature", GeoPoint::new_unchecked(43.1, -3.1))
+            .unwrap();
+        let s3 = b
+            .add_sensor("s3", "traffic", GeoPoint::new_unchecked(43.2, -3.2))
+            .unwrap();
+        b.set_series(s1, TimeSeries::from_values((0..10).map(|i| i as f64).collect()))
+            .unwrap();
+        b.set_series(s2, TimeSeries::missing(10)).unwrap();
+        b.set_series(s3, TimeSeries::from_values(vec![1.0; 10])).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dataset_stats_counts() {
+        let ds = dataset();
+        let st = ds.stats();
+        assert_eq!(st.sensors, 3);
+        assert_eq!(st.timestamps, 10);
+        assert_eq!(st.records, 30);
+        assert_eq!(st.present_records, 20);
+        assert_eq!(st.interval_seconds, 3600);
+        assert_eq!(st.attribute_names, vec!["temperature", "traffic"]);
+        assert_eq!(st.sensors_per_attribute["temperature"], 2);
+        assert_eq!(st.sensors_per_attribute["traffic"], 1);
+        assert!((st.mean_coverage - 2.0 / 3.0).abs() < 1e-9);
+        assert!(st.period.is_some());
+    }
+
+    #[test]
+    fn series_summary_values() {
+        let s = TimeSeries::from_values(vec![1.0, 2.0, 3.0, 4.0]);
+        let sum = SeriesSummary::of(&s);
+        assert_eq!(sum.len, 4);
+        assert_eq!(sum.present, 4);
+        assert_eq!(sum.min, Some(1.0));
+        assert_eq!(sum.max, Some(4.0));
+        assert_eq!(sum.mean, Some(2.5));
+        assert!(sum.coverage() > 0.999);
+    }
+
+    #[test]
+    fn table_row_mentions_key_fields() {
+        let ds = dataset();
+        let row = ds.stats().table_row();
+        assert!(row.contains("stats-test"));
+        assert!(row.contains("3 sensors"));
+        assert!(row.contains("30 records"));
+        assert!(row.contains("temperature"));
+    }
+
+    #[test]
+    fn display_is_multiline() {
+        let text = dataset().stats().to_string();
+        assert!(text.lines().count() >= 6);
+        assert!(text.contains("traffic"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # miscela-server
+//!
+//! The API layer of Miscela-V. The original system exposes django REST
+//! endpoints that the JavaScript front end calls; this crate reproduces that
+//! layer as an in-process service so the request flow of Figure 2 —
+//! *data upload → parameter input → CAP mining results → interactive
+//! re-querying* — can be exercised, tested and benchmarked without a network
+//! stack.
+//!
+//! * [`message`] — request/response envelopes (method, path, JSON body,
+//!   status code), mirroring the HTTP shapes of the original API;
+//! * [`service`] — [`service::MiscelaService`]: dataset upload (including the
+//!   10,000-line chunked `data.csv` protocol), dataset registry backed by the
+//!   document store, mining with the parameter-keyed result cache, and
+//!   result retrieval;
+//! * [`router`] — dispatches requests to the service and serializes responses
+//!   as JSON, like the original URL configuration did.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod message;
+pub mod router;
+pub mod service;
+
+pub use message::{ApiError, ApiRequest, ApiResponse, Method, StatusCode};
+pub use router::Router;
+pub use service::{DatasetSummary, MineOutcome, MiscelaService, UploadSession};

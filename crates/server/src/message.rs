@@ -1,0 +1,237 @@
+//! Request and response envelopes.
+//!
+//! The shapes deliberately mirror a small REST API: a method, a path, query
+//! parameters and a JSON body on the way in; a status code and a JSON body
+//! on the way out. Keeping the envelope explicit (rather than calling the
+//! service directly) preserves the paper's architecture, where the front
+//! end, the API server and the miner are separate components "connected by
+//! APIs" so that "we can modify each component individually" (Section 3.4).
+
+use miscela_store::Json;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// HTTP-like request methods used by the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Retrieve data.
+    Get,
+    /// Create or submit data.
+    Post,
+    /// Remove data.
+    Delete,
+}
+
+/// Status codes used by the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusCode {
+    /// Success.
+    Ok,
+    /// The resource was created.
+    Created,
+    /// The request was malformed.
+    BadRequest,
+    /// The resource does not exist.
+    NotFound,
+    /// The server failed to process a valid request.
+    InternalError,
+}
+
+impl StatusCode {
+    /// Numeric code, as HTTP would report it.
+    pub fn as_u16(self) -> u16 {
+        match self {
+            StatusCode::Ok => 200,
+            StatusCode::Created => 201,
+            StatusCode::BadRequest => 400,
+            StatusCode::NotFound => 404,
+            StatusCode::InternalError => 500,
+        }
+    }
+
+    /// Whether the code indicates success.
+    pub fn is_success(self) -> bool {
+        matches!(self, StatusCode::Ok | StatusCode::Created)
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_u16())
+    }
+}
+
+/// An API request.
+#[derive(Debug, Clone)]
+pub struct ApiRequest {
+    /// Request method.
+    pub method: Method,
+    /// Request path, e.g. `/datasets/santander/mine`.
+    pub path: String,
+    /// Query parameters.
+    pub query: BTreeMap<String, String>,
+    /// JSON body (an empty object for body-less requests).
+    pub body: Json,
+}
+
+impl ApiRequest {
+    /// A GET request.
+    pub fn get(path: impl Into<String>) -> Self {
+        ApiRequest {
+            method: Method::Get,
+            path: path.into(),
+            query: BTreeMap::new(),
+            body: Json::object(),
+        }
+    }
+
+    /// A POST request with a JSON body.
+    pub fn post(path: impl Into<String>, body: Json) -> Self {
+        ApiRequest {
+            method: Method::Post,
+            path: path.into(),
+            query: BTreeMap::new(),
+            body,
+        }
+    }
+
+    /// A DELETE request.
+    pub fn delete(path: impl Into<String>) -> Self {
+        ApiRequest {
+            method: Method::Delete,
+            path: path.into(),
+            query: BTreeMap::new(),
+            body: Json::object(),
+        }
+    }
+
+    /// Adds a query parameter.
+    pub fn with_query(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.query.insert(key.into(), value.into());
+        self
+    }
+
+    /// Path split into non-empty segments.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// An API response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiResponse {
+    /// Status code.
+    pub status: StatusCode,
+    /// JSON body.
+    pub body: Json,
+}
+
+impl ApiResponse {
+    /// A 200 response with a body.
+    pub fn ok(body: Json) -> Self {
+        ApiResponse {
+            status: StatusCode::Ok,
+            body,
+        }
+    }
+
+    /// A 201 response with a body.
+    pub fn created(body: Json) -> Self {
+        ApiResponse {
+            status: StatusCode::Created,
+            body,
+        }
+    }
+
+    /// An error response carrying a message.
+    pub fn error(status: StatusCode, message: impl Into<String>) -> Self {
+        ApiResponse {
+            status,
+            body: Json::from_pairs([("error", Json::from(message.into()))]),
+        }
+    }
+
+    /// Whether the response is a success.
+    pub fn is_success(&self) -> bool {
+        self.status.is_success()
+    }
+}
+
+/// Errors produced by the service layer, mapped onto status codes by the
+/// router.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiError {
+    /// The request body or parameters were malformed.
+    BadRequest(String),
+    /// A referenced dataset or resource does not exist.
+    NotFound(String),
+    /// An internal processing failure (store, miner, ...).
+    Internal(String),
+}
+
+impl ApiError {
+    /// The status code this error maps to.
+    pub fn status(&self) -> StatusCode {
+        match self {
+            ApiError::BadRequest(_) => StatusCode::BadRequest,
+            ApiError::NotFound(_) => StatusCode::NotFound,
+            ApiError::Internal(_) => StatusCode::InternalError,
+        }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        match self {
+            ApiError::BadRequest(m) | ApiError::NotFound(m) | ApiError::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.status(), self.message())
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(StatusCode::Ok.as_u16(), 200);
+        assert_eq!(StatusCode::NotFound.as_u16(), 404);
+        assert!(StatusCode::Created.is_success());
+        assert!(!StatusCode::BadRequest.is_success());
+        assert_eq!(StatusCode::InternalError.to_string(), "500");
+    }
+
+    #[test]
+    fn request_builders() {
+        let r = ApiRequest::get("/datasets/santander")
+            .with_query("include", "stats");
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.segments(), vec!["datasets", "santander"]);
+        assert_eq!(r.query["include"], "stats");
+        let p = ApiRequest::post("/datasets", Json::object());
+        assert_eq!(p.method, Method::Post);
+        let d = ApiRequest::delete("/datasets/x");
+        assert_eq!(d.method, Method::Delete);
+    }
+
+    #[test]
+    fn responses_and_errors() {
+        let ok = ApiResponse::ok(Json::from_pairs([("n", Json::from(3i64))]));
+        assert!(ok.is_success());
+        let err = ApiResponse::error(StatusCode::NotFound, "no such dataset");
+        assert!(!err.is_success());
+        assert_eq!(err.body.get("error").unwrap().as_str(), Some("no such dataset"));
+
+        let e = ApiError::NotFound("x".to_string());
+        assert_eq!(e.status(), StatusCode::NotFound);
+        assert_eq!(e.message(), "x");
+        assert!(e.to_string().contains("404"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Request routing: maps API requests onto [`MiscelaService`] calls and
+//! serializes the outcomes as JSON responses.
+//!
+//! Routes (mirroring the original django URL configuration):
+//!
+//! | Method | Path | Purpose |
+//! |--------|------|---------|
+//! | GET    | `/datasets` | list registered datasets |
+//! | GET    | `/datasets/{name}` | dataset statistics |
+//! | DELETE | `/datasets/{name}` | remove a dataset and its cached results |
+//! | POST   | `/datasets/{name}/upload/begin` | start a chunked upload (`location_csv`, `attribute_csv` in the body) |
+//! | POST   | `/datasets/{name}/upload/chunk` | submit one `data.csv` chunk (`index`, `total`, `content`) |
+//! | POST   | `/datasets/{name}/upload/finish` | assemble and register the dataset |
+//! | POST   | `/datasets/{name}/mine` | run CAP mining with the parameters in the body |
+//! | GET    | `/cache/stats` | cache hit/miss statistics |
+
+use crate::message::{ApiError, ApiRequest, ApiResponse, Method};
+use crate::service::MiscelaService;
+use miscela_cache::codec::capset_to_json;
+use miscela_core::MiningParams;
+use miscela_csv::chunk::Chunk;
+use miscela_store::Json;
+use std::sync::Arc;
+
+/// The API router.
+pub struct Router {
+    service: Arc<MiscelaService>,
+}
+
+impl Router {
+    /// Creates a router over a service.
+    pub fn new(service: Arc<MiscelaService>) -> Self {
+        Router { service }
+    }
+
+    /// The underlying service.
+    pub fn service(&self) -> &Arc<MiscelaService> {
+        &self.service
+    }
+
+    /// Handles one request.
+    pub fn handle(&self, request: &ApiRequest) -> ApiResponse {
+        match self.dispatch(request) {
+            Ok(resp) => resp,
+            Err(e) => ApiResponse::error(e.status(), e.message()),
+        }
+    }
+
+    fn dispatch(&self, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+        let segments = request.segments();
+        match (request.method, segments.as_slice()) {
+            (Method::Get, ["datasets"]) => Ok(self.list_datasets()),
+            (Method::Get, ["datasets", name]) => self.dataset_stats(name),
+            (Method::Delete, ["datasets", name]) => {
+                self.service.delete_dataset(name)?;
+                Ok(ApiResponse::ok(Json::from_pairs([(
+                    "deleted",
+                    Json::from(*name),
+                )])))
+            }
+            (Method::Post, ["datasets", name, "upload", "begin"]) => self.begin_upload(name, request),
+            (Method::Post, ["datasets", name, "upload", "chunk"]) => self.upload_chunk(name, request),
+            (Method::Post, ["datasets", name, "upload", "finish"]) => self.finish_upload(name),
+            (Method::Post, ["datasets", name, "mine"]) => self.mine(name, request),
+            (Method::Get, ["cache", "stats"]) => Ok(self.cache_stats()),
+            _ => Err(ApiError::NotFound(format!(
+                "no route for {:?} {}",
+                request.method, request.path
+            ))),
+        }
+    }
+
+    fn list_datasets(&self) -> ApiResponse {
+        let datasets: Vec<Json> = self
+            .service
+            .list_datasets()
+            .into_iter()
+            .map(|d| {
+                Json::from_pairs([
+                    ("name", Json::from(d.name)),
+                    ("sensors", Json::from(d.sensors)),
+                    ("records", Json::from(d.records)),
+                    (
+                        "attributes",
+                        Json::Array(d.attributes.into_iter().map(Json::from).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        ApiResponse::ok(Json::from_pairs([("datasets", Json::Array(datasets))]))
+    }
+
+    fn dataset_stats(&self, name: &str) -> Result<ApiResponse, ApiError> {
+        let stats = self.service.dataset_stats(name)?;
+        Ok(ApiResponse::ok(Json::from_pairs([
+            ("name", Json::from(stats.name)),
+            ("sensors", Json::from(stats.sensors)),
+            ("records", Json::from(stats.records)),
+            ("timestamps", Json::from(stats.timestamps)),
+            ("mean_coverage", Json::from(stats.mean_coverage)),
+            (
+                "attributes",
+                Json::Array(stats.attribute_names.into_iter().map(Json::from).collect()),
+            ),
+        ])))
+    }
+
+    fn begin_upload(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+        let location = body_str(request, "location_csv")?;
+        let attributes = body_str(request, "attribute_csv")?;
+        self.service.begin_upload(name, location, attributes)?;
+        Ok(ApiResponse::created(Json::from_pairs([(
+            "upload",
+            Json::from(name),
+        )])))
+    }
+
+    fn upload_chunk(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+        let index = body_u64(request, "index")? as usize;
+        let total = body_u64(request, "total")? as usize;
+        let content = body_str(request, "content")?.to_string();
+        let chunk = Chunk {
+            index,
+            total,
+            content,
+        };
+        let missing = self.service.upload_chunk(name, &chunk)?;
+        Ok(ApiResponse::ok(Json::from_pairs([
+            ("accepted", Json::from(index)),
+            ("missing_chunks", Json::from(missing)),
+        ])))
+    }
+
+    fn finish_upload(&self, name: &str) -> Result<ApiResponse, ApiError> {
+        let (summary, elapsed) = self.service.finish_upload(name)?;
+        Ok(ApiResponse::created(Json::from_pairs([
+            ("name", Json::from(summary.name)),
+            ("sensors", Json::from(summary.sensors)),
+            ("records", Json::from(summary.records)),
+            ("upload_seconds", Json::from(elapsed.as_secs_f64())),
+        ])))
+    }
+
+    fn mine(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+        let params = params_from_json(&request.body)?;
+        let outcome = self.service.mine(name, &params)?;
+        Ok(ApiResponse::ok(Json::from_pairs([
+            ("dataset", Json::from(name)),
+            ("cache_hit", Json::from(outcome.cache_hit)),
+            ("cap_count", Json::from(outcome.result.caps.len())),
+            ("elapsed_seconds", Json::from(outcome.elapsed.as_secs_f64())),
+            ("caps", capset_to_json(&outcome.result.caps)),
+        ])))
+    }
+
+    fn cache_stats(&self) -> ApiResponse {
+        let stats = self.service.cache_stats();
+        ApiResponse::ok(Json::from_pairs([
+            ("hits", Json::from(stats.hits)),
+            ("misses", Json::from(stats.misses)),
+            ("entries", Json::from(stats.entries)),
+            ("hit_rate", Json::from(stats.hit_rate())),
+        ]))
+    }
+}
+
+/// Parses mining parameters from a JSON body; unspecified fields keep the
+/// defaults of [`MiningParams`].
+pub fn params_from_json(body: &Json) -> Result<MiningParams, ApiError> {
+    let mut params = MiningParams::default();
+    if let Some(v) = body.get("epsilon") {
+        params.epsilon = v
+            .as_f64()
+            .ok_or_else(|| ApiError::BadRequest("epsilon must be a number".into()))?;
+    }
+    if let Some(v) = body.get("eta_km") {
+        params.eta_km = v
+            .as_f64()
+            .ok_or_else(|| ApiError::BadRequest("eta_km must be a number".into()))?;
+    }
+    if let Some(v) = body.get("mu") {
+        params.mu = v
+            .as_i64()
+            .filter(|n| *n >= 0)
+            .ok_or_else(|| ApiError::BadRequest("mu must be a non-negative integer".into()))?
+            as usize;
+    }
+    if let Some(v) = body.get("psi") {
+        params.psi = v
+            .as_i64()
+            .filter(|n| *n >= 0)
+            .ok_or_else(|| ApiError::BadRequest("psi must be a non-negative integer".into()))?
+            as usize;
+    }
+    if let Some(v) = body.get("min_attributes") {
+        params.min_attributes = v
+            .as_i64()
+            .filter(|n| *n >= 0)
+            .ok_or_else(|| ApiError::BadRequest("min_attributes must be a non-negative integer".into()))?
+            as usize;
+    }
+    if let Some(v) = body.get("segmentation") {
+        params.segmentation = v
+            .as_bool()
+            .ok_or_else(|| ApiError::BadRequest("segmentation must be a boolean".into()))?;
+    }
+    if let Some(v) = body.get("max_delay") {
+        params.max_delay = v
+            .as_i64()
+            .filter(|n| *n >= 0)
+            .ok_or_else(|| ApiError::BadRequest("max_delay must be a non-negative integer".into()))?
+            as usize;
+    }
+    params
+        .validate()
+        .map_err(|e| ApiError::BadRequest(e.to_string()))?;
+    Ok(params)
+}
+
+fn body_str<'a>(request: &'a ApiRequest, field: &str) -> Result<&'a str, ApiError> {
+    request
+        .body
+        .get(field)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| ApiError::BadRequest(format!("missing string field {field:?}")))
+}
+
+fn body_u64(request: &ApiRequest, field: &str) -> Result<u64, ApiError> {
+    request
+        .body
+        .get(field)
+        .and_then(|v| v.as_i64())
+        .filter(|n| *n >= 0)
+        .map(|n| n as u64)
+        .ok_or_else(|| ApiError::BadRequest(format!("missing integer field {field:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::StatusCode;
+    use miscela_csv::DatasetWriter;
+    use miscela_datagen::SantanderGenerator;
+
+    fn router_with_dataset() -> Router {
+        let service = Arc::new(MiscelaService::new());
+        service.register_dataset(SantanderGenerator::small().with_scale(0.02).generate());
+        Router::new(Arc::new(MiscelaService::new()));
+        Router::new(service)
+    }
+
+    fn mine_body(psi: usize) -> Json {
+        Json::from_pairs([
+            ("epsilon", Json::from(0.4)),
+            ("eta_km", Json::from(0.5)),
+            ("mu", Json::from(3i64)),
+            ("psi", Json::from(psi)),
+            ("segmentation", Json::from(false)),
+        ])
+    }
+
+    #[test]
+    fn list_and_stats_routes() {
+        let router = router_with_dataset();
+        let resp = router.handle(&ApiRequest::get("/datasets"));
+        assert!(resp.is_success());
+        assert_eq!(
+            resp.body.get("datasets").unwrap().as_array().unwrap().len(),
+            1
+        );
+        let resp = router.handle(&ApiRequest::get("/datasets/santander"));
+        assert!(resp.is_success());
+        assert!(resp.body.get("sensors").unwrap().as_i64().unwrap() > 0);
+        let resp = router.handle(&ApiRequest::get("/datasets/ghost"));
+        assert_eq!(resp.status, StatusCode::NotFound);
+    }
+
+    #[test]
+    fn mine_route_reports_cache_hits() {
+        let router = router_with_dataset();
+        let req = ApiRequest::post("/datasets/santander/mine", mine_body(20));
+        let first = router.handle(&req);
+        assert!(first.is_success(), "{:?}", first.body);
+        assert_eq!(first.body.get("cache_hit").unwrap().as_bool(), Some(false));
+        let second = router.handle(&req);
+        assert_eq!(second.body.get("cache_hit").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            first.body.get("cap_count").unwrap().as_i64(),
+            second.body.get("cap_count").unwrap().as_i64()
+        );
+        // Cache stats route reflects the hit.
+        let stats = router.handle(&ApiRequest::get("/cache/stats"));
+        assert!(stats.body.get("hits").unwrap().as_i64().unwrap() >= 1);
+        // Invalid parameters produce a 400.
+        let bad = router.handle(&ApiRequest::post(
+            "/datasets/santander/mine",
+            Json::from_pairs([("psi", Json::from(0i64))]),
+        ));
+        assert_eq!(bad.status, StatusCode::BadRequest);
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let router = router_with_dataset();
+        let resp = router.handle(&ApiRequest::get("/nope"));
+        assert_eq!(resp.status, StatusCode::NotFound);
+        let resp = router.handle(&ApiRequest::delete("/datasets/santander"));
+        assert!(resp.is_success());
+        let resp = router.handle(&ApiRequest::get("/datasets/santander"));
+        assert_eq!(resp.status, StatusCode::NotFound);
+    }
+
+    #[test]
+    fn upload_routes_round_trip() {
+        let generated = SantanderGenerator::small().with_scale(0.02).generate();
+        let writer = DatasetWriter::new();
+        let data = writer.data_csv(&generated);
+        let service = Arc::new(MiscelaService::new());
+        let router = Router::new(service);
+
+        let begin = router.handle(&ApiRequest::post(
+            "/datasets/uploaded/upload/begin",
+            Json::from_pairs([
+                ("location_csv", Json::from(writer.location_csv(&generated))),
+                ("attribute_csv", Json::from(writer.attribute_csv(&generated))),
+            ]),
+        ));
+        assert_eq!(begin.status, StatusCode::Created);
+
+        let chunks = miscela_csv::split_into_chunks(&data, 5_000);
+        for chunk in &chunks {
+            let resp = router.handle(&ApiRequest::post(
+                "/datasets/uploaded/upload/chunk",
+                Json::from_pairs([
+                    ("index", Json::from(chunk.index)),
+                    ("total", Json::from(chunk.total)),
+                    ("content", Json::from(chunk.content.clone())),
+                ]),
+            ));
+            assert!(resp.is_success(), "{:?}", resp.body);
+        }
+        let finish = router.handle(&ApiRequest::post(
+            "/datasets/uploaded/upload/finish",
+            Json::object(),
+        ));
+        assert_eq!(finish.status, StatusCode::Created);
+        assert_eq!(
+            finish.body.get("sensors").unwrap().as_i64().unwrap() as usize,
+            generated.sensor_count()
+        );
+        // The uploaded dataset is now minable.
+        let mined = router.handle(&ApiRequest::post(
+            "/datasets/uploaded/mine",
+            mine_body(20),
+        ));
+        assert!(mined.is_success());
+        // Missing body fields produce a 400.
+        let bad = router.handle(&ApiRequest::post(
+            "/datasets/x/upload/chunk",
+            Json::from_pairs([("index", Json::from(0i64))]),
+        ));
+        assert_eq!(bad.status, StatusCode::BadRequest);
+    }
+
+    #[test]
+    fn params_from_json_defaults_and_errors() {
+        let p = params_from_json(&Json::object()).unwrap();
+        assert_eq!(p, MiningParams::default());
+        let p = params_from_json(&mine_body(42)).unwrap();
+        assert_eq!(p.psi, 42);
+        assert!(!p.segmentation);
+        assert!(params_from_json(&Json::from_pairs([("epsilon", Json::from("x"))])).is_err());
+        assert!(params_from_json(&Json::from_pairs([("mu", Json::from(0i64))])).is_err());
+    }
+}

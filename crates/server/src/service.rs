@@ -1,0 +1,444 @@
+//! The Miscela-V service: uploads, dataset registry, cached mining.
+//!
+//! This is the component behind the API routes. It owns:
+//!
+//! * the shared document store ([`Database`]), holding the dataset registry
+//!   and the persistent CAP-result cache (Section 3.3: "data and CAPs are
+//!   stored in databases");
+//! * in-progress chunked uploads ([`UploadSession`]), reproducing the
+//!   10,000-line `data.csv` chunk protocol of Section 3.2;
+//! * the in-memory dataset table: once uploaded (or registered directly from
+//!   a generator), a dataset can be mined repeatedly "without re-uploading by
+//!   specifying the dataset name".
+
+use miscela_cache::{CacheKey, CacheStats, PersistentCache};
+use miscela_core::{Miner, MiningParams, MiningResult};
+use miscela_csv::chunk::{Chunk, ChunkedUploader};
+use miscela_csv::loader::DatasetLoader;
+use miscela_csv::location_csv;
+use miscela_model::{Dataset, DatasetStats};
+use miscela_store::{Database, Filter, Json};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::message::ApiError;
+
+/// Name of the store collection recording uploaded datasets.
+pub const DATASETS_COLLECTION: &str = "datasets";
+
+/// An in-progress chunked upload of one dataset.
+#[derive(Debug)]
+pub struct UploadSession {
+    /// Dataset name being uploaded.
+    pub dataset: String,
+    location_csv: String,
+    attribute_csv: String,
+    uploader: ChunkedUploader,
+    started: Instant,
+}
+
+/// Summary information about a registered dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Number of sensors.
+    pub sensors: usize,
+    /// Number of records.
+    pub records: usize,
+    /// Attribute names.
+    pub attributes: Vec<String>,
+}
+
+/// The outcome of one mining request.
+#[derive(Debug, Clone)]
+pub struct MineOutcome {
+    /// The mining result (possibly served from the cache).
+    pub result: MiningResult,
+    /// Whether the CAPs came from the cache.
+    pub cache_hit: bool,
+    /// Wall-clock time spent serving the request.
+    pub elapsed: Duration,
+}
+
+/// The Miscela-V application service.
+pub struct MiscelaService {
+    db: Arc<Database>,
+    cache: PersistentCache,
+    datasets: RwLock<HashMap<String, Arc<Dataset>>>,
+    uploads: Mutex<HashMap<String, UploadSession>>,
+}
+
+impl MiscelaService {
+    /// Creates a service over a fresh in-memory database.
+    pub fn new() -> Self {
+        Self::with_database(Arc::new(Database::new()))
+    }
+
+    /// Creates a service over an existing (possibly persisted) database.
+    pub fn with_database(db: Arc<Database>) -> Self {
+        db.create_collection(DATASETS_COLLECTION);
+        db.create_index(DATASETS_COLLECTION, "name");
+        MiscelaService {
+            cache: PersistentCache::new(Arc::clone(&db)),
+            db,
+            datasets: RwLock::new(HashMap::new()),
+            uploads: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared document store.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Cache statistics (in-memory tier).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    // ----- dataset registry --------------------------------------------
+
+    /// Registers an already-built dataset (the path used by the synthetic
+    /// generators and by completed uploads). Re-registering a name replaces
+    /// the dataset and invalidates its cached results.
+    pub fn register_dataset(&self, dataset: Dataset) -> DatasetSummary {
+        let stats = dataset.stats();
+        let name = dataset.name().to_string();
+        self.cache.invalidate_dataset(&name);
+        self.db
+            .delete_where(DATASETS_COLLECTION, &Filter::eq("name", name.as_str()));
+        self.db.insert(DATASETS_COLLECTION, dataset_record(&stats));
+        self.datasets
+            .write()
+            .insert(name.clone(), Arc::new(dataset));
+        DatasetSummary {
+            name,
+            sensors: stats.sensors,
+            records: stats.records,
+            attributes: stats.attribute_names.clone(),
+        }
+    }
+
+    /// Fetches a registered dataset by name.
+    pub fn dataset(&self, name: &str) -> Result<Arc<Dataset>, ApiError> {
+        self.datasets
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ApiError::NotFound(format!("dataset {name:?} is not registered")))
+    }
+
+    /// Lists registered datasets (from the store, so names uploaded by
+    /// previous sessions appear even if their series are not resident).
+    pub fn list_datasets(&self) -> Vec<DatasetSummary> {
+        self.db
+            .find(DATASETS_COLLECTION, &Filter::All)
+            .into_iter()
+            .filter_map(|doc| {
+                Some(DatasetSummary {
+                    name: doc.get("name")?.as_str()?.to_string(),
+                    sensors: doc.get("sensors")?.as_i64()? as usize,
+                    records: doc.get("records")?.as_i64()? as usize,
+                    attributes: doc
+                        .get("attributes")?
+                        .as_array()?
+                        .iter()
+                        .filter_map(|a| a.as_str().map(|s| s.to_string()))
+                        .collect(),
+                })
+            })
+            .collect()
+    }
+
+    /// Removes a dataset and its cached results.
+    pub fn delete_dataset(&self, name: &str) -> Result<(), ApiError> {
+        let existed = self.datasets.write().remove(name).is_some();
+        let stored = self
+            .db
+            .delete_where(DATASETS_COLLECTION, &Filter::eq("name", name));
+        self.cache.invalidate_dataset(name);
+        if existed || stored > 0 {
+            Ok(())
+        } else {
+            Err(ApiError::NotFound(format!("dataset {name:?} is not registered")))
+        }
+    }
+
+    // ----- chunked upload ------------------------------------------------
+
+    /// Starts a chunked upload: the client sends `location.csv` and
+    /// `attribute.csv` up front, then streams `data.csv` chunks.
+    pub fn begin_upload(
+        &self,
+        dataset: &str,
+        location_csv_text: &str,
+        attribute_csv_text: &str,
+    ) -> Result<(), ApiError> {
+        // Validate the two small files immediately so a typo fails fast.
+        location_csv::parse_document(location_csv_text)
+            .map_err(|e| ApiError::BadRequest(format!("location.csv: {e}")))?;
+        miscela_csv::attribute_csv::parse_document(attribute_csv_text)
+            .map_err(|e| ApiError::BadRequest(format!("attribute.csv: {e}")))?;
+        let mut uploads = self.uploads.lock();
+        uploads.insert(
+            dataset.to_string(),
+            UploadSession {
+                dataset: dataset.to_string(),
+                location_csv: location_csv_text.to_string(),
+                attribute_csv: attribute_csv_text.to_string(),
+                uploader: ChunkedUploader::new(),
+                started: Instant::now(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Accepts one `data.csv` chunk for an upload in progress. Returns the
+    /// number of chunks still missing.
+    pub fn upload_chunk(&self, dataset: &str, chunk: &Chunk) -> Result<usize, ApiError> {
+        let mut uploads = self.uploads.lock();
+        let session = uploads
+            .get_mut(dataset)
+            .ok_or_else(|| ApiError::NotFound(format!("no upload in progress for {dataset:?}")))?;
+        session
+            .uploader
+            .accept(chunk)
+            .map_err(|e| ApiError::BadRequest(format!("chunk {}: {e}", chunk.index)))?;
+        Ok(session.uploader.missing().len())
+    }
+
+    /// Completes an upload: assembles the chunks, builds the dataset and
+    /// registers it. Returns the dataset summary and the upload duration.
+    pub fn finish_upload(&self, dataset: &str) -> Result<(DatasetSummary, Duration), ApiError> {
+        let session = self
+            .uploads
+            .lock()
+            .remove(dataset)
+            .ok_or_else(|| ApiError::NotFound(format!("no upload in progress for {dataset:?}")))?;
+        let elapsed = session.started.elapsed();
+        let rows = session
+            .uploader
+            .finish()
+            .map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        let locations = location_csv::parse_document(&session.location_csv)
+            .map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        let attributes = miscela_csv::attribute_csv::parse_document(&session.attribute_csv)
+            .map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        let ds = DatasetLoader::new(dataset)
+            .assemble(&attributes, &locations, &rows)
+            .map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        Ok((self.register_dataset(ds), elapsed))
+    }
+
+    /// Convenience wrapper: uploads a full `data.csv` document by splitting
+    /// it into paper-sized chunks and driving the chunk protocol.
+    pub fn upload_documents(
+        &self,
+        dataset: &str,
+        data_csv_text: &str,
+        location_csv_text: &str,
+        attribute_csv_text: &str,
+        chunk_lines: usize,
+    ) -> Result<DatasetSummary, ApiError> {
+        self.begin_upload(dataset, location_csv_text, attribute_csv_text)?;
+        for chunk in miscela_csv::split_into_chunks(data_csv_text, chunk_lines) {
+            self.upload_chunk(dataset, &chunk)?;
+        }
+        let (summary, _) = self.finish_upload(dataset)?;
+        Ok(summary)
+    }
+
+    // ----- mining ---------------------------------------------------------
+
+    /// Mines a registered dataset with the given parameters, consulting the
+    /// cache first (Section 3.3).
+    pub fn mine(&self, dataset: &str, params: &MiningParams) -> Result<MineOutcome, ApiError> {
+        let started = Instant::now();
+        params
+            .validate()
+            .map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        let key = CacheKey::new(dataset, params);
+        if let Some(caps) = self.cache.get(&key) {
+            let result = MiningResult {
+                caps,
+                delayed: Vec::new(),
+                report: Default::default(),
+            };
+            return Ok(MineOutcome {
+                result,
+                cache_hit: true,
+                elapsed: started.elapsed(),
+            });
+        }
+        let ds = self.dataset(dataset)?;
+        let miner = Miner::new(params.clone()).map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        let result = miner
+            .mine(&ds)
+            .map_err(|e| ApiError::Internal(e.to_string()))?;
+        self.cache.put(&key, &result.caps);
+        Ok(MineOutcome {
+            result,
+            cache_hit: false,
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// Dataset statistics for a registered dataset.
+    pub fn dataset_stats(&self, name: &str) -> Result<DatasetStats, ApiError> {
+        Ok(self.dataset(name)?.stats())
+    }
+}
+
+impl Default for MiscelaService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn dataset_record(stats: &DatasetStats) -> Json {
+    let mut doc = Json::object();
+    doc.set("name", Json::from(stats.name.as_str()));
+    doc.set("sensors", Json::from(stats.sensors));
+    doc.set("records", Json::from(stats.records));
+    doc.set("timestamps", Json::from(stats.timestamps));
+    doc.set(
+        "attributes",
+        Json::Array(stats.attribute_names.iter().map(|a| Json::from(a.as_str())).collect()),
+    );
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miscela_csv::DatasetWriter;
+    use miscela_datagen::SantanderGenerator;
+
+    fn small_dataset() -> Dataset {
+        SantanderGenerator::small().with_scale(0.02).generate()
+    }
+
+    fn quick_params() -> MiningParams {
+        MiningParams::new()
+            .with_epsilon(0.4)
+            .with_eta_km(0.5)
+            .with_psi(20)
+            .with_mu(3)
+            .with_segmentation(false)
+    }
+
+    #[test]
+    fn register_list_delete() {
+        let svc = MiscelaService::new();
+        assert!(svc.list_datasets().is_empty());
+        let summary = svc.register_dataset(small_dataset());
+        assert_eq!(summary.name, "santander");
+        assert!(summary.sensors > 0);
+        let listed = svc.list_datasets();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0], summary);
+        assert!(svc.dataset("santander").is_ok());
+        assert!(svc.dataset_stats("santander").is_ok());
+        svc.delete_dataset("santander").unwrap();
+        assert!(svc.dataset("santander").is_err());
+        assert!(svc.delete_dataset("santander").is_err());
+    }
+
+    #[test]
+    fn mine_uses_cache_on_repeat_requests() {
+        let svc = MiscelaService::new();
+        svc.register_dataset(small_dataset());
+        let params = quick_params();
+        let first = svc.mine("santander", &params).unwrap();
+        assert!(!first.cache_hit);
+        let second = svc.mine("santander", &params).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.result.caps, first.result.caps);
+        // A different parameter setting misses the cache.
+        let third = svc.mine("santander", &params.clone().with_psi(21)).unwrap();
+        assert!(!third.cache_hit);
+        // Unknown dataset and invalid parameters are rejected.
+        assert!(svc.mine("nope", &params).is_err());
+        assert!(svc
+            .mine("santander", &MiningParams::new().with_psi(0))
+            .is_err());
+    }
+
+    #[test]
+    fn reregistering_invalidates_cache() {
+        let svc = MiscelaService::new();
+        svc.register_dataset(small_dataset());
+        let params = quick_params();
+        let _ = svc.mine("santander", &params).unwrap();
+        assert!(svc.mine("santander", &params).unwrap().cache_hit);
+        // New upload under the same name: cached results must not survive.
+        svc.register_dataset(small_dataset());
+        assert!(!svc.mine("santander", &params).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn chunked_upload_round_trip() {
+        let generated = small_dataset();
+        let writer = DatasetWriter::new();
+        let data = writer.data_csv(&generated);
+        let locations = writer.location_csv(&generated);
+        let attributes = writer.attribute_csv(&generated);
+
+        let svc = MiscelaService::new();
+        svc.begin_upload("uploaded", &locations, &attributes).unwrap();
+        let chunks = miscela_csv::split_into_chunks(&data, 1_000);
+        assert!(chunks.len() > 1);
+        for (i, chunk) in chunks.iter().enumerate() {
+            let missing = svc.upload_chunk("uploaded", chunk).unwrap();
+            assert_eq!(missing, chunks.len() - i - 1);
+        }
+        let (summary, _elapsed) = svc.finish_upload("uploaded").unwrap();
+        assert_eq!(summary.sensors, generated.sensor_count());
+        let uploaded = svc.dataset("uploaded").unwrap();
+        assert_eq!(uploaded.timestamp_count(), generated.timestamp_count());
+        assert_eq!(uploaded.present_count(), generated.present_count());
+    }
+
+    #[test]
+    fn upload_error_paths() {
+        let svc = MiscelaService::new();
+        // Chunk for an unknown upload.
+        let chunk = miscela_csv::split_into_chunks("id,attribute,time,data\n", 10)
+            .into_iter()
+            .next();
+        assert!(chunk.is_none() || svc.upload_chunk("ghost", &chunk.unwrap()).is_err());
+        // Malformed location.csv fails at begin_upload.
+        assert!(svc.begin_upload("bad", "not,a,valid", "temperature\n").is_err());
+        // Finishing an upload that never started.
+        assert!(svc.finish_upload("ghost").is_err());
+        // Incomplete upload cannot be finished.
+        let generated = small_dataset();
+        let writer = DatasetWriter::new();
+        svc.begin_upload("partial", &writer.location_csv(&generated), &writer.attribute_csv(&generated))
+            .unwrap();
+        let chunks = miscela_csv::split_into_chunks(&writer.data_csv(&generated), 2_000);
+        svc.upload_chunk("partial", &chunks[0]).unwrap();
+        assert!(svc.finish_upload("partial").is_err());
+    }
+
+    #[test]
+    fn upload_documents_convenience() {
+        let generated = small_dataset();
+        let writer = DatasetWriter::new();
+        let svc = MiscelaService::new();
+        let summary = svc
+            .upload_documents(
+                "conv",
+                &writer.data_csv(&generated),
+                &writer.location_csv(&generated),
+                &writer.attribute_csv(&generated),
+                miscela_csv::DEFAULT_CHUNK_LINES,
+            )
+            .unwrap();
+        assert_eq!(summary.sensors, generated.sensor_count());
+        assert_eq!(svc.list_datasets().len(), 1);
+    }
+}

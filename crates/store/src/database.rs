@@ -1,0 +1,226 @@
+//! A database: a set of named collections behind a read/write lock.
+//!
+//! Miscela-V stores two kinds of things (Section 3.3): uploaded datasets and
+//! CAP mining results keyed by dataset name + parameters. Both live in
+//! collections of one [`Database`], which the API server and the cache share.
+
+use crate::collection::Collection;
+use crate::error::StoreError;
+use crate::filter::Filter;
+use crate::json::Json;
+use crate::document::{Document, DocumentId};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// A named set of collections. Cheap to share via `Arc<Database>`; all
+/// methods take `&self` and lock internally.
+#[derive(Debug, Default)]
+pub struct Database {
+    collections: RwLock<BTreeMap<String, Collection>>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures a collection exists (no-op when it already does).
+    pub fn create_collection(&self, name: &str) {
+        self.collections
+            .write()
+            .entry(name.to_string())
+            .or_default();
+    }
+
+    /// Drops a collection and all its documents. Returns whether it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.collections.write().remove(name).is_some()
+    }
+
+    /// Names of all collections, sorted.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.collections.read().keys().cloned().collect()
+    }
+
+    /// Whether a collection exists.
+    pub fn has_collection(&self, name: &str) -> bool {
+        self.collections.read().contains_key(name)
+    }
+
+    /// Declares an index on a collection (creating the collection if
+    /// needed).
+    pub fn create_index(&self, collection: &str, path: &str) {
+        let mut cols = self.collections.write();
+        cols.entry(collection.to_string()).or_default().create_index(path);
+    }
+
+    /// Inserts a document, creating the collection if needed.
+    pub fn insert(&self, collection: &str, body: Json) -> DocumentId {
+        let mut cols = self.collections.write();
+        cols.entry(collection.to_string()).or_default().insert(body)
+    }
+
+    /// Fetches a document by id (cloned out of the store).
+    pub fn get(&self, collection: &str, id: DocumentId) -> Result<Option<Document>, StoreError> {
+        let cols = self.collections.read();
+        let col = cols
+            .get(collection)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
+        Ok(col.get(id).cloned())
+    }
+
+    /// Finds documents matching a filter (cloned).
+    pub fn find(&self, collection: &str, filter: &Filter) -> Vec<Document> {
+        let cols = self.collections.read();
+        match cols.get(collection) {
+            Some(col) => col.find(filter).into_iter().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// First document matching a filter (cloned).
+    pub fn find_one(&self, collection: &str, filter: &Filter) -> Option<Document> {
+        let cols = self.collections.read();
+        cols.get(collection)?.find_one(filter).cloned()
+    }
+
+    /// Number of documents matching a filter.
+    pub fn count(&self, collection: &str, filter: &Filter) -> usize {
+        let cols = self.collections.read();
+        cols.get(collection).map(|c| c.count(filter)).unwrap_or(0)
+    }
+
+    /// Deletes a document by id.
+    pub fn delete(&self, collection: &str, id: DocumentId) -> bool {
+        let mut cols = self.collections.write();
+        cols.get_mut(collection).map(|c| c.delete(id)).unwrap_or(false)
+    }
+
+    /// Deletes every document matching a filter, returning the count.
+    pub fn delete_where(&self, collection: &str, filter: &Filter) -> usize {
+        let mut cols = self.collections.write();
+        cols.get_mut(collection)
+            .map(|c| c.delete_where(filter))
+            .unwrap_or(0)
+    }
+
+    /// Replaces the body of a document.
+    pub fn update(&self, collection: &str, id: DocumentId, body: Json) -> Result<(), StoreError> {
+        let mut cols = self.collections.write();
+        let col = cols
+            .get_mut(collection)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
+        col.update(id, body)
+    }
+
+    /// Total number of documents across all collections.
+    pub fn total_documents(&self) -> usize {
+        self.collections.read().values().map(|c| c.len()).sum()
+    }
+
+    /// Runs a closure with read access to a collection, avoiding the clone
+    /// that `find` performs. Returns `None` when the collection is missing.
+    pub fn with_collection<R>(&self, name: &str, f: impl FnOnce(&Collection) -> R) -> Option<R> {
+        let cols = self.collections.read();
+        cols.get(name).map(f)
+    }
+
+    /// Runs a closure with write access to a collection, creating it when
+    /// missing.
+    pub fn with_collection_mut<R>(&self, name: &str, f: impl FnOnce(&mut Collection) -> R) -> R {
+        let mut cols = self.collections.write();
+        f(cols.entry(name.to_string()).or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn collection_lifecycle() {
+        let db = Database::new();
+        assert!(db.collection_names().is_empty());
+        db.create_collection("datasets");
+        db.create_collection("caps");
+        assert_eq!(db.collection_names(), vec!["caps", "datasets"]);
+        assert!(db.has_collection("caps"));
+        assert!(db.drop_collection("caps"));
+        assert!(!db.drop_collection("caps"));
+        assert!(!db.has_collection("caps"));
+    }
+
+    #[test]
+    fn insert_find_update_delete() {
+        let db = Database::new();
+        let id = db.insert("caps", Json::parse(r#"{"dataset":"santander","n":3}"#).unwrap());
+        assert_eq!(db.count("caps", &Filter::All), 1);
+        let doc = db.get("caps", id).unwrap().unwrap();
+        assert_eq!(doc.get("n").unwrap().as_i64(), Some(3));
+        db.update("caps", id, Json::parse(r#"{"dataset":"santander","n":5}"#).unwrap())
+            .unwrap();
+        let doc = db.find_one("caps", &Filter::eq("dataset", "santander")).unwrap();
+        assert_eq!(doc.get("n").unwrap().as_i64(), Some(5));
+        assert!(db.delete("caps", id));
+        assert_eq!(db.count("caps", &Filter::All), 0);
+        // Unknown collection behaviours.
+        assert!(db.get("missing", id).is_err());
+        assert!(db.find("missing", &Filter::All).is_empty());
+        assert_eq!(db.count("missing", &Filter::All), 0);
+        assert!(!db.delete("missing", id));
+        assert!(db.update("missing", id, Json::object()).is_err());
+    }
+
+    #[test]
+    fn indexes_via_database() {
+        let db = Database::new();
+        db.create_index("caps", "dataset");
+        for i in 0..20 {
+            db.insert(
+                "caps",
+                Json::parse(&format!(r#"{{"dataset":"d{}"}}"#, i % 4)).unwrap(),
+            );
+        }
+        assert_eq!(db.find("caps", &Filter::eq("dataset", "d1")).len(), 5);
+        assert_eq!(db.total_documents(), 20);
+    }
+
+    #[test]
+    fn concurrent_inserts_from_threads() {
+        let db = Arc::new(Database::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    db.insert(
+                        "conc",
+                        Json::parse(&format!(r#"{{"thread":{t},"i":{i}}}"#)).unwrap(),
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.count("conc", &Filter::All), 200);
+        for t in 0..4 {
+            assert_eq!(db.count("conc", &Filter::eq("thread", t as i64)), 50);
+        }
+    }
+
+    #[test]
+    fn with_collection_accessors() {
+        let db = Database::new();
+        db.insert("c", Json::object());
+        let len = db.with_collection("c", |c| c.len()).unwrap();
+        assert_eq!(len, 1);
+        assert!(db.with_collection("missing", |c| c.len()).is_none());
+        db.with_collection_mut("c2", |c| {
+            c.insert(Json::object());
+        });
+        assert_eq!(db.count("c2", &Filter::All), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Documents: JSON objects with a store-assigned identity.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier assigned to a document when it is inserted into a collection.
+/// Ids are unique within a collection and monotonically increasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocumentId(pub u64);
+
+impl fmt::Display for DocumentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc:{}", self.0)
+    }
+}
+
+/// A stored document: a JSON object plus its id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Store-assigned identifier.
+    pub id: DocumentId,
+    /// The document body. Always a JSON object.
+    pub body: Json,
+}
+
+impl Document {
+    /// Creates a document with the given id and body. Non-object bodies are
+    /// wrapped in an object under the key `"value"` so that field queries
+    /// always have something to address.
+    pub fn new(id: DocumentId, body: Json) -> Self {
+        let body = match body {
+            obj @ Json::Object(_) => obj,
+            other => {
+                let mut map = BTreeMap::new();
+                map.insert("value".to_string(), other);
+                Json::Object(map)
+            }
+        };
+        Document { id, body }
+    }
+
+    /// Field access (top level).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.body.get(key)
+    }
+
+    /// Nested field access along a dotted path.
+    pub fn get_path(&self, path: &str) -> Option<&Json> {
+        self.body.get_path(path)
+    }
+
+    /// Serializes the document (including its id) as one JSON line for
+    /// persistence.
+    pub fn to_line(&self) -> String {
+        let mut obj = Json::object();
+        obj.set("_id", Json::from(self.id.0 as i64));
+        obj.set("body", self.body.clone());
+        obj.to_string_compact()
+    }
+
+    /// Parses a persisted JSON line back into a document.
+    pub fn from_line(line: &str) -> Result<Document, crate::error::StoreError> {
+        let v = Json::parse(line)?;
+        let id = v
+            .get("_id")
+            .and_then(|j| j.as_i64())
+            .ok_or_else(|| crate::error::StoreError::Corrupt(format!("missing _id in {line}")))?;
+        let body = v
+            .get("body")
+            .cloned()
+            .ok_or_else(|| crate::error::StoreError::Corrupt(format!("missing body in {line}")))?;
+        Ok(Document::new(DocumentId(id as u64), body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_object_body_is_wrapped() {
+        let d = Document::new(DocumentId(1), Json::from(5i64));
+        assert_eq!(d.get("value").unwrap().as_i64(), Some(5));
+    }
+
+    #[test]
+    fn path_access() {
+        let body = Json::parse(r#"{"params":{"epsilon":0.5}}"#).unwrap();
+        let d = Document::new(DocumentId(2), body);
+        assert_eq!(d.get_path("params.epsilon").unwrap().as_f64(), Some(0.5));
+        assert!(d.get_path("params.missing").is_none());
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let body = Json::parse(r#"{"dataset":"santander","n":3}"#).unwrap();
+        let d = Document::new(DocumentId(7), body);
+        let line = d.to_line();
+        let back = Document::from_line(&line).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn from_line_rejects_garbage() {
+        assert!(Document::from_line("not json").is_err());
+        assert!(Document::from_line(r#"{"body":{}}"#).is_err());
+        assert!(Document::from_line(r#"{"_id":1}"#).is_err());
+    }
+}

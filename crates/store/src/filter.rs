@@ -1,0 +1,180 @@
+//! Filter queries over documents.
+//!
+//! The cache and the server look up documents by field equality ("dataset
+//! name is X and the parameter signature is Y"); the experiments also use
+//! range and membership predicates. [`Filter`] is a small composable query
+//! DSL evaluated against a document's JSON body, with dotted paths for
+//! nested fields.
+
+use crate::document::Document;
+use crate::json::Json;
+
+/// A predicate over documents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Matches every document.
+    All,
+    /// Field at `path` equals the value.
+    Eq(String, Json),
+    /// Field at `path` differs from the value (missing fields match).
+    Ne(String, Json),
+    /// Field at `path` is a number greater than the given value.
+    Gt(String, f64),
+    /// Field at `path` is a number greater than or equal to the given value.
+    Gte(String, f64),
+    /// Field at `path` is a number less than the given value.
+    Lt(String, f64),
+    /// Field at `path` is a number less than or equal to the given value.
+    Lte(String, f64),
+    /// Field at `path` is equal to one of the values.
+    In(String, Vec<Json>),
+    /// Field at `path` exists (and is not `null`).
+    Exists(String),
+    /// String field at `path` contains the given substring.
+    Contains(String, String),
+    /// Every sub-filter matches.
+    And(Vec<Filter>),
+    /// At least one sub-filter matches.
+    Or(Vec<Filter>),
+    /// The sub-filter does not match.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// Convenience constructor: field equality.
+    pub fn eq(path: impl Into<String>, value: impl Into<Json>) -> Filter {
+        Filter::Eq(path.into(), value.into())
+    }
+
+    /// Convenience constructor: conjunction.
+    pub fn and(filters: impl IntoIterator<Item = Filter>) -> Filter {
+        Filter::And(filters.into_iter().collect())
+    }
+
+    /// Convenience constructor: disjunction.
+    pub fn or(filters: impl IntoIterator<Item = Filter>) -> Filter {
+        Filter::Or(filters.into_iter().collect())
+    }
+
+    /// Evaluates the filter against a document.
+    pub fn matches(&self, doc: &Document) -> bool {
+        self.matches_json(&doc.body)
+    }
+
+    /// Evaluates the filter against a raw JSON body.
+    pub fn matches_json(&self, body: &Json) -> bool {
+        match self {
+            Filter::All => true,
+            Filter::Eq(path, value) => body.get_path(path).map(|v| v == value).unwrap_or(false),
+            Filter::Ne(path, value) => body.get_path(path).map(|v| v != value).unwrap_or(true),
+            Filter::Gt(path, x) => num(body, path).map(|v| v > *x).unwrap_or(false),
+            Filter::Gte(path, x) => num(body, path).map(|v| v >= *x).unwrap_or(false),
+            Filter::Lt(path, x) => num(body, path).map(|v| v < *x).unwrap_or(false),
+            Filter::Lte(path, x) => num(body, path).map(|v| v <= *x).unwrap_or(false),
+            Filter::In(path, values) => body
+                .get_path(path)
+                .map(|v| values.contains(v))
+                .unwrap_or(false),
+            Filter::Exists(path) => body.get_path(path).map(|v| !v.is_null()).unwrap_or(false),
+            Filter::Contains(path, needle) => body
+                .get_path(path)
+                .and_then(|v| v.as_str())
+                .map(|s| s.contains(needle.as_str()))
+                .unwrap_or(false),
+            Filter::And(fs) => fs.iter().all(|f| f.matches_json(body)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches_json(body)),
+            Filter::Not(f) => !f.matches_json(body),
+        }
+    }
+
+    /// If this filter (or the top level of an `And`) pins `path` to an exact
+    /// value, returns that value. Collections use this to answer equality
+    /// queries from a secondary index instead of scanning.
+    pub fn equality_on(&self, path: &str) -> Option<&Json> {
+        match self {
+            Filter::Eq(p, v) if p == path => Some(v),
+            Filter::And(fs) => fs.iter().find_map(|f| f.equality_on(path)),
+            _ => None,
+        }
+    }
+}
+
+fn num(body: &Json, path: &str) -> Option<f64> {
+    body.get_path(path).and_then(|v| v.as_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::DocumentId;
+
+    fn doc(json: &str) -> Document {
+        Document::new(DocumentId(1), Json::parse(json).unwrap())
+    }
+
+    #[test]
+    fn equality_and_nested_paths() {
+        let d = doc(r#"{"dataset":"santander","params":{"epsilon":0.5,"mu":3}}"#);
+        assert!(Filter::eq("dataset", "santander").matches(&d));
+        assert!(!Filter::eq("dataset", "china6").matches(&d));
+        assert!(Filter::eq("params.mu", 3i64).matches(&d));
+        assert!(!Filter::eq("params.missing", 3i64).matches(&d));
+    }
+
+    #[test]
+    fn comparisons() {
+        let d = doc(r#"{"support":12,"name":"x"}"#);
+        assert!(Filter::Gt("support".into(), 10.0).matches(&d));
+        assert!(!Filter::Gt("support".into(), 12.0).matches(&d));
+        assert!(Filter::Gte("support".into(), 12.0).matches(&d));
+        assert!(Filter::Lt("support".into(), 20.0).matches(&d));
+        assert!(Filter::Lte("support".into(), 12.0).matches(&d));
+        // Non-numeric field never satisfies numeric comparison.
+        assert!(!Filter::Gt("name".into(), 0.0).matches(&d));
+        // Missing field never satisfies.
+        assert!(!Filter::Lt("missing".into(), 1e9).matches(&d));
+    }
+
+    #[test]
+    fn membership_existence_contains() {
+        let d = doc(r#"{"attr":"temperature","note":null}"#);
+        assert!(Filter::In("attr".into(), vec!["light".into(), "temperature".into()]).matches(&d));
+        assert!(!Filter::In("attr".into(), vec!["light".into()]).matches(&d));
+        assert!(Filter::Exists("attr".into()).matches(&d));
+        assert!(!Filter::Exists("note".into()).matches(&d));
+        assert!(!Filter::Exists("missing".into()).matches(&d));
+        assert!(Filter::Contains("attr".into(), "temp".into()).matches(&d));
+        assert!(!Filter::Contains("attr".into(), "xyz".into()).matches(&d));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let d = doc(r#"{"a":1,"b":2}"#);
+        assert!(Filter::and([Filter::eq("a", 1i64), Filter::eq("b", 2i64)]).matches(&d));
+        assert!(!Filter::and([Filter::eq("a", 1i64), Filter::eq("b", 3i64)]).matches(&d));
+        assert!(Filter::or([Filter::eq("a", 9i64), Filter::eq("b", 2i64)]).matches(&d));
+        assert!(!Filter::or([Filter::eq("a", 9i64), Filter::eq("b", 9i64)]).matches(&d));
+        assert!(Filter::Not(Box::new(Filter::eq("a", 9i64))).matches(&d));
+        assert!(Filter::All.matches(&d));
+    }
+
+    #[test]
+    fn ne_treats_missing_as_different() {
+        let d = doc(r#"{"a":1}"#);
+        assert!(Filter::Ne("a".into(), Json::from(2i64)).matches(&d));
+        assert!(!Filter::Ne("a".into(), Json::from(1i64)).matches(&d));
+        assert!(Filter::Ne("zzz".into(), Json::from(1i64)).matches(&d));
+    }
+
+    #[test]
+    fn equality_extraction_for_indexes() {
+        let f = Filter::and([
+            Filter::eq("dataset", "santander"),
+            Filter::eq("signature", "abc"),
+        ]);
+        assert_eq!(f.equality_on("dataset").unwrap().as_str(), Some("santander"));
+        assert_eq!(f.equality_on("signature").unwrap().as_str(), Some("abc"));
+        assert!(f.equality_on("other").is_none());
+        assert!(Filter::Gt("x".into(), 1.0).equality_on("x").is_none());
+    }
+}

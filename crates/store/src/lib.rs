@@ -1,0 +1,39 @@
+//! # miscela-store
+//!
+//! An embedded JSON document store: the reproduction's substitute for the
+//! MongoDB instance used by Miscela-V (Section 3.4 of the paper).
+//!
+//! The paper's rationale for choosing a document store is that MISCELA
+//! "returns a set of sets of sensors as CAPs that might include many sensors
+//! (or empty), and its format is JSON. Since RDBMS is not suitable for
+//! Miscela outputs, we select MongoDB to store datasets and CAP results."
+//! The same workload drives this crate's design:
+//!
+//! * named [`Collection`]s of schemaless JSON [`Document`]s,
+//! * filter queries over (nested) document fields,
+//! * optional secondary indexes for the fields the cache looks up
+//!   (dataset name, parameter signature),
+//! * durable persistence of a whole [`Database`] to a directory of
+//!   JSON-lines files.
+//!
+//! JSON parsing/serialization is implemented in [`json`]; no external JSON
+//! crate is used so the substrate stays self-contained.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod database;
+pub mod document;
+pub mod error;
+pub mod filter;
+pub mod index;
+pub mod json;
+pub mod persist;
+
+pub use collection::Collection;
+pub use database::Database;
+pub use document::{Document, DocumentId};
+pub use error::StoreError;
+pub use filter::Filter;
+pub use json::Json;

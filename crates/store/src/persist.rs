@@ -1,0 +1,228 @@
+//! Persistence: saving and loading a [`Database`] as a directory of
+//! JSON-lines files.
+//!
+//! Miscela-V keeps uploaded datasets and cached CAP results in MongoDB so
+//! that "we can use the dataset without re-uploading by specifying the
+//! dataset name" across sessions. The file format here serves the same
+//! purpose: one `<collection>.jsonl` file per collection, one document per
+//! line, plus a `_manifest.json` describing collections and their indexes.
+//! Writes go to a temporary file first and are renamed into place, so a
+//! crash mid-save never corrupts the previous snapshot.
+
+use crate::database::Database;
+use crate::document::Document;
+use crate::error::StoreError;
+use crate::json::Json;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Name of the manifest file inside a snapshot directory.
+pub const MANIFEST_FILE: &str = "_manifest.json";
+
+/// Saves every collection of `db` under `dir`.
+pub fn save(db: &Database, dir: &Path) -> Result<(), StoreError> {
+    fs::create_dir_all(dir)?;
+    let names = db.collection_names();
+    let mut manifest = Json::object();
+    let mut collections = Vec::new();
+    for name in &names {
+        let mut entry = Json::object();
+        entry.set("name", Json::from(name.as_str()));
+        let indexes: Vec<Json> = db
+            .with_collection(name, |c| {
+                c.index_paths().iter().map(|p| Json::from(*p)).collect()
+            })
+            .unwrap_or_default();
+        entry.set("indexes", Json::Array(indexes));
+        entry.set(
+            "documents",
+            Json::from(db.with_collection(name, |c| c.len()).unwrap_or(0)),
+        );
+        collections.push(entry);
+
+        let path = collection_path(dir, name);
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            db.with_collection(name, |c| -> Result<(), StoreError> {
+                for doc in c.iter() {
+                    writeln!(f, "{}", doc.to_line())?;
+                }
+                Ok(())
+            })
+            .transpose()?;
+            f.flush()?;
+        }
+        fs::rename(&tmp, &path)?;
+    }
+    manifest.set("collections", Json::Array(collections));
+    manifest.set("version", Json::from(1i64));
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    fs::write(&tmp, manifest.to_string_pretty())?;
+    fs::rename(&tmp, &manifest_path)?;
+    Ok(())
+}
+
+/// Loads a database previously written by [`save`].
+pub fn load(dir: &Path) -> Result<Database, StoreError> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let manifest_text = fs::read_to_string(&manifest_path)?;
+    let manifest = Json::parse(&manifest_text)?;
+    let db = Database::new();
+    let collections = manifest
+        .get("collections")
+        .and_then(|c| c.as_array())
+        .ok_or_else(|| StoreError::Corrupt("manifest missing collections".to_string()))?;
+    for entry in collections {
+        let name = entry
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| StoreError::Corrupt("collection entry missing name".to_string()))?;
+        db.create_collection(name);
+        if let Some(indexes) = entry.get("indexes").and_then(|i| i.as_array()) {
+            for idx in indexes {
+                if let Some(path) = idx.as_str() {
+                    db.create_index(name, path);
+                }
+            }
+        }
+        let path = collection_path(dir, name);
+        if !path.exists() {
+            continue;
+        }
+        let content = fs::read_to_string(&path)?;
+        db.with_collection_mut(name, |col| -> Result<(), StoreError> {
+            for line in content.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let doc = Document::from_line(line)?;
+                col.insert_with_id(doc);
+            }
+            Ok(())
+        })?;
+    }
+    Ok(db)
+}
+
+/// Whether a directory contains a snapshot (i.e. a manifest).
+pub fn snapshot_exists(dir: &Path) -> bool {
+    dir.join(MANIFEST_FILE).exists()
+}
+
+fn collection_path(dir: &Path, name: &str) -> PathBuf {
+    // Sanitize the collection name into a file name.
+    let safe: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect();
+    dir.join(format!("{safe}.jsonl"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Filter;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "miscela-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn populated_db() -> Database {
+        let db = Database::new();
+        db.create_index("caps", "dataset");
+        for i in 0..25 {
+            db.insert(
+                "caps",
+                Json::parse(&format!(
+                    r#"{{"dataset":"d{}","support":{},"sensors":[{},{}]}}"#,
+                    i % 3,
+                    i,
+                    i,
+                    i + 1
+                ))
+                .unwrap(),
+            );
+        }
+        db.insert(
+            "datasets",
+            Json::parse(r#"{"name":"santander","sensors":552}"#).unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let db = populated_db();
+        save(&db, &dir).unwrap();
+        assert!(snapshot_exists(&dir));
+
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.collection_names(), db.collection_names());
+        assert_eq!(loaded.total_documents(), db.total_documents());
+        assert_eq!(
+            loaded.count("caps", &Filter::eq("dataset", "d1")),
+            db.count("caps", &Filter::eq("dataset", "d1"))
+        );
+        // Index declarations survive.
+        let paths = loaded
+            .with_collection("caps", |c| c.index_paths().iter().map(|s| s.to_string()).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(paths, vec!["dataset".to_string()]);
+        // Document ids keep increasing after a reload.
+        let new_id = loaded.insert("caps", Json::object());
+        assert!(new_id.0 >= 25);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_is_idempotent_and_overwrites() {
+        let dir = temp_dir("overwrite");
+        let db = populated_db();
+        save(&db, &dir).unwrap();
+        // Add more documents and save again; the snapshot must reflect the
+        // latest state, not append.
+        db.insert("datasets", Json::parse(r#"{"name":"china6"}"#).unwrap());
+        save(&db, &dir).unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.count("datasets", &Filter::All), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_directory_is_error() {
+        let dir = temp_dir("missing");
+        assert!(load(&dir).is_err());
+        assert!(!snapshot_exists(&dir));
+    }
+
+    #[test]
+    fn corrupt_manifest_is_reported() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(MANIFEST_FILE), "{not json").unwrap();
+        assert!(matches!(load(&dir), Err(StoreError::Json(_))));
+        fs::write(dir.join(MANIFEST_FILE), r#"{"version":1}"#).unwrap();
+        assert!(matches!(load(&dir), Err(StoreError::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn collection_names_are_sanitized() {
+        let dir = temp_dir("sanitize");
+        let db = Database::new();
+        db.insert("caps/../weird name", Json::object());
+        save(&db, &dir).unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.count("caps/../weird name", &Filter::All), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,107 @@
+//! Terminal rendering helpers for the runnable examples: sparklines and a
+//! tiny scatter map, so `cargo run --example ...` shows something useful
+//! without opening the generated SVG files.
+
+use miscela_model::TimeSeries;
+
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a series as a unicode sparkline of at most `width` characters
+/// (the series is downsampled by averaging buckets). Missing values render
+/// as spaces.
+pub fn sparkline(series: &TimeSeries, width: usize) -> String {
+    if series.is_empty() || width == 0 {
+        return String::new();
+    }
+    let min = series.min().unwrap_or(0.0);
+    let max = series.max().unwrap_or(1.0);
+    let span = (max - min).max(1e-12);
+    let buckets = width.min(series.len());
+    let per_bucket = series.len() as f64 / buckets as f64;
+    let mut out = String::with_capacity(buckets * 3);
+    for b in 0..buckets {
+        let start = (b as f64 * per_bucket) as usize;
+        let end = (((b + 1) as f64 * per_bucket) as usize).max(start + 1).min(series.len());
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for i in start..end {
+            if let Some(v) = series.get(i) {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            out.push(' ');
+        } else {
+            let frac = ((sum / n as f64) - min) / span;
+            let idx = (frac * (SPARK_LEVELS.len() - 1) as f64).round() as usize;
+            out.push(SPARK_LEVELS[idx.min(SPARK_LEVELS.len() - 1)]);
+        }
+    }
+    out
+}
+
+/// Renders a set of points (fractions of a unit square) as a character grid:
+/// `'.'` for ordinary points, `'*'` for highlighted ones, `'@'` for the
+/// selected one.
+pub fn scatter(points: &[(f64, f64, char)], width: usize, height: usize) -> String {
+    let mut grid = vec![vec![' '; width.max(1)]; height.max(1)];
+    for &(fx, fy, ch) in points {
+        let x = ((fx.clamp(0.0, 1.0)) * (width.saturating_sub(1)) as f64).round() as usize;
+        let y = ((1.0 - fy.clamp(0.0, 1.0)) * (height.saturating_sub(1)) as f64).round() as usize;
+        // Higher-priority glyphs overwrite lower-priority ones.
+        let priority = |c: char| match c {
+            '@' => 3,
+            '*' => 2,
+            '.' => 1,
+            _ => 0,
+        };
+        if priority(ch) >= priority(grid[y][x]) {
+            grid[y][x] = ch;
+        }
+    }
+    grid.into_iter()
+        .map(|row| row.into_iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        let rising = TimeSeries::from_values((0..80).map(|i| i as f64).collect());
+        let s = sparkline(&rising, 10);
+        assert_eq!(s.chars().count(), 10);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+        // Missing values render as spaces.
+        let gappy = TimeSeries::from_options(&[Some(1.0), None, Some(2.0)]);
+        let s = sparkline(&gappy, 3);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.contains(' '));
+        // Degenerate inputs.
+        assert_eq!(sparkline(&TimeSeries::from_values(vec![]), 10), "");
+        assert_eq!(sparkline(&rising, 0), "");
+    }
+
+    #[test]
+    fn scatter_places_and_prioritizes_glyphs() {
+        let pts = vec![
+            (0.0, 0.0, '.'),
+            (1.0, 1.0, '.'),
+            (0.5, 0.5, '*'),
+            (0.5, 0.5, '.'), // lower priority, must not overwrite '*'
+            (0.0, 1.0, '@'),
+        ];
+        let s = scatter(&pts, 11, 5);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[4].chars().next(), Some('.')); // bottom-left
+        assert_eq!(lines[0].chars().last(), Some('.')); // top-right
+        assert_eq!(lines[0].chars().next(), Some('@')); // top-left selected
+        assert_eq!(lines[2].chars().nth(5), Some('*'));
+    }
+}

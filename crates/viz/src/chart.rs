@@ -1,0 +1,248 @@
+//! Time-series charts with zooming (Figure 3 (C)/(D)).
+//!
+//! The paper's panels (C) and (D) show "temporal behaviors of measurements,
+//! which we can zoom in and zoom out"; panel (D) is a zoomed view in which
+//! "you can see that three measurements frequently increase/decrease
+//! together". The chart here renders any number of sensor series over a
+//! selectable index window, normalizes each series to its own value range
+//! (so a 0–1000 lux light series and a 10–25 °C temperature series are
+//! comparable visually, as chart libraries do), and can mark the CAP's
+//! co-evolving timestamps.
+
+use crate::color::{attribute_color, COEVOLUTION_MARK_COLOR, GRID_COLOR};
+use crate::svg::SvgDocument;
+use miscela_model::{Dataset, SensorIndex};
+
+/// Chart rendering options.
+#[derive(Debug, Clone)]
+pub struct ChartConfig {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Number of horizontal grid lines.
+    pub grid_lines: usize,
+    /// Whether to normalize each series to its own min/max range.
+    pub normalize: bool,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        ChartConfig {
+            width: 800,
+            height: 260,
+            grid_lines: 4,
+            normalize: true,
+        }
+    }
+}
+
+/// A chart over a set of sensors of one dataset.
+pub struct TimeSeriesChart<'a> {
+    dataset: &'a Dataset,
+    sensors: Vec<SensorIndex>,
+    window: (usize, usize),
+    marks: Vec<u32>,
+    config: ChartConfig,
+}
+
+impl<'a> TimeSeriesChart<'a> {
+    /// Creates a chart over the given sensors, initially showing the whole
+    /// time range.
+    pub fn new(dataset: &'a Dataset, sensors: Vec<SensorIndex>, config: ChartConfig) -> Self {
+        let len = dataset.timestamp_count();
+        TimeSeriesChart {
+            dataset,
+            sensors,
+            window: (0, len),
+            marks: Vec::new(),
+            config,
+        }
+    }
+
+    /// Restricts the visible window to grid indices `[start, end)` (the zoom
+    /// operation). Out-of-range values are clamped.
+    pub fn zoom(&mut self, start: usize, end: usize) -> &mut Self {
+        let len = self.dataset.timestamp_count();
+        let start = start.min(len);
+        let end = end.clamp(start, len);
+        self.window = (start, end);
+        self
+    }
+
+    /// The current window.
+    pub fn window(&self) -> (usize, usize) {
+        self.window
+    }
+
+    /// Marks co-evolving timestamps (grid indices), e.g. a CAP's timestamp
+    /// list.
+    pub fn with_marks(&mut self, marks: &[u32]) -> &mut Self {
+        self.marks = marks.to_vec();
+        self
+    }
+
+    /// The polyline (pixel points) of one sensor within the current window.
+    /// Missing values break the line (gaps are skipped).
+    pub fn polyline(&self, sensor: SensorIndex) -> Vec<(f64, f64)> {
+        let (start, end) = self.window;
+        let series = self.dataset.series(sensor);
+        let window_len = end.saturating_sub(start).max(1);
+        let (min, max) = if self.config.normalize {
+            let w = series.window(start, window_len);
+            (w.min().unwrap_or(0.0), w.max().unwrap_or(1.0))
+        } else {
+            (series.min().unwrap_or(0.0), series.max().unwrap_or(1.0))
+        };
+        let span = (max - min).max(1e-9);
+        let usable_w = self.config.width as f64 - 60.0;
+        let usable_h = self.config.height as f64 - 40.0;
+        let mut points = Vec::new();
+        for i in start..end {
+            if let Some(v) = series.get(i) {
+                let fx = (i - start) as f64 / window_len.max(1) as f64;
+                let fy = (v - min) / span;
+                points.push((40.0 + fx * usable_w, 20.0 + (1.0 - fy) * usable_h));
+            }
+        }
+        points
+    }
+
+    /// Renders the chart as an SVG document.
+    pub fn render(&self) -> SvgDocument {
+        let mut doc = SvgDocument::new(self.config.width, self.config.height);
+        let w = self.config.width as f64;
+        let h = self.config.height as f64;
+        doc.rect(0.0, 0.0, w, h, "#ffffff");
+        // Grid.
+        for g in 0..=self.config.grid_lines {
+            let y = 20.0 + (h - 40.0) * g as f64 / self.config.grid_lines.max(1) as f64;
+            doc.line(40.0, y, w - 20.0, y, GRID_COLOR, 1.0);
+        }
+        // Co-evolution marks.
+        let (start, end) = self.window;
+        let window_len = end.saturating_sub(start).max(1);
+        for &m in &self.marks {
+            let m = m as usize;
+            if m < start || m >= end {
+                continue;
+            }
+            let fx = (m - start) as f64 / window_len as f64;
+            let x = 40.0 + fx * (w - 60.0);
+            doc.line(x, 20.0, x, h - 20.0, COEVOLUTION_MARK_COLOR, 0.8);
+        }
+        // Series.
+        for &s in &self.sensors {
+            let attr = self.dataset.sensor(s).attribute;
+            doc.polyline(&self.polyline(s), attribute_color(attr), 1.6);
+        }
+        // Axis labels: window start/end timestamps.
+        if let (Some(ts), Some(te)) = (
+            self.dataset.grid().at(start.min(self.dataset.timestamp_count().saturating_sub(1))),
+            self.dataset.grid().at(end.saturating_sub(1).min(self.dataset.timestamp_count().saturating_sub(1))),
+        ) {
+            doc.text(40.0, h - 6.0, 10.0, &ts.format());
+            doc.text(w - 170.0, h - 6.0, 10.0, &te.format());
+        }
+        // Legend: sensor ids.
+        let mut y = 14.0;
+        for &s in &self.sensors {
+            let sensor = self.dataset.sensor(s);
+            let name = self.dataset.attributes().name_of(sensor.attribute);
+            doc.text(
+                44.0,
+                y,
+                10.0,
+                &format!("{} ({name})", sensor.id),
+            );
+            y += 12.0;
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miscela_datagen::SantanderGenerator;
+
+    fn dataset() -> Dataset {
+        SantanderGenerator::small().with_scale(0.02).generate()
+    }
+
+    #[test]
+    fn polylines_stay_inside_viewport() {
+        let ds = dataset();
+        let sensors: Vec<SensorIndex> = ds.indices().take(3).collect();
+        let chart = TimeSeriesChart::new(&ds, sensors.clone(), ChartConfig::default());
+        for &s in &sensors {
+            let pts = chart.polyline(s);
+            assert!(!pts.is_empty());
+            for (x, y) in pts {
+                assert!((0.0..=800.0).contains(&x));
+                assert!((0.0..=260.0).contains(&y));
+            }
+        }
+    }
+
+    #[test]
+    fn zoom_clamps_and_changes_point_count() {
+        let ds = dataset();
+        let s = ds.indices().next().unwrap();
+        let mut chart = TimeSeriesChart::new(&ds, vec![s], ChartConfig::default());
+        let full = chart.polyline(s).len();
+        chart.zoom(10, 60);
+        assert_eq!(chart.window(), (10, 60));
+        let zoomed = chart.polyline(s).len();
+        assert!(zoomed <= 50);
+        assert!(zoomed < full);
+        // Degenerate and out-of-range zooms are clamped, not panicking.
+        chart.zoom(1_000_000, 2_000_000);
+        assert_eq!(chart.window().0, ds.timestamp_count());
+        assert!(chart.polyline(s).is_empty());
+        chart.zoom(50, 10);
+        assert_eq!(chart.window(), (50, 50));
+    }
+
+    #[test]
+    fn render_contains_series_marks_and_labels() {
+        let ds = dataset();
+        let sensors: Vec<SensorIndex> = ds.indices().take(2).collect();
+        let mut chart = TimeSeriesChart::new(&ds, sensors, ChartConfig::default());
+        chart.zoom(0, 100).with_marks(&[5, 20, 99, 5000]);
+        let svg = chart.render().render();
+        assert!(svg.matches("<polyline").count() >= 2);
+        // Three in-window marks (5, 20, 99); the out-of-window one is skipped.
+        assert_eq!(svg.matches(COEVOLUTION_MARK_COLOR).count(), 3);
+        assert!(svg.contains("2016-03-01"));
+    }
+
+    #[test]
+    fn missing_values_shorten_polyline() {
+        use miscela_model::{DatasetBuilder, Duration, GeoPoint, TimeGrid, TimeSeries, Timestamp};
+        let mut b = DatasetBuilder::new("gaps");
+        b.set_grid(TimeGrid::new(Timestamp::EPOCH, Duration::hours(1), 10).unwrap());
+        let idx = b
+            .add_sensor("s", "temperature", GeoPoint::new_unchecked(0.0, 0.0))
+            .unwrap();
+        b.set_series(
+            idx,
+            TimeSeries::from_options(&[
+                Some(1.0),
+                None,
+                Some(3.0),
+                None,
+                None,
+                Some(6.0),
+                Some(7.0),
+                None,
+                Some(9.0),
+                Some(10.0),
+            ]),
+        )
+        .unwrap();
+        let ds = b.build().unwrap();
+        let chart = TimeSeriesChart::new(&ds, vec![idx], ChartConfig::default());
+        assert_eq!(chart.polyline(idx).len(), 6);
+    }
+}

@@ -1,0 +1,57 @@
+//! Attribute colour palette and highlight colours.
+//!
+//! The map view colours markers by attribute so that a CAP spanning, say,
+//! temperature and traffic is visually recognisable; the highlight colours
+//! reproduce the emphasis of Figure 3, where the clicked sensor and its
+//! correlated partners stand out from the rest.
+
+use miscela_model::AttributeId;
+
+/// A categorical palette (colour-blind-friendly hues).
+const PALETTE: [&str; 10] = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
+    "#aa3377", "#bbbbbb", "#e69f00", "#009e73", "#cc79a7",
+];
+
+/// Colour assigned to an attribute (stable across renders: palette indexed
+/// by attribute id).
+pub fn attribute_color(attribute: AttributeId) -> &'static str {
+    PALETTE[attribute.index() % PALETTE.len()]
+}
+
+/// Fill colour of the sensor the user clicked.
+pub const SELECTED_COLOR: &str = "#d62728";
+/// Stroke colour of sensors correlated with the clicked one.
+pub const HIGHLIGHT_COLOR: &str = "#ff7f0e";
+/// Fill colour of unrelated (dimmed) sensors.
+pub const DIMMED_COLOR: &str = "#c8c8c8";
+/// Chart grid-line colour.
+pub const GRID_COLOR: &str = "#e0e0e0";
+/// Colour used to mark co-evolving timestamps on charts.
+pub const COEVOLUTION_MARK_COLOR: &str = "#2ca02c";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colors_are_stable_and_distinct_for_small_ids() {
+        assert_eq!(attribute_color(AttributeId(0)), attribute_color(AttributeId(0)));
+        let all: std::collections::HashSet<&str> =
+            (0..10u16).map(|i| attribute_color(AttributeId(i))).collect();
+        assert_eq!(all.len(), 10);
+        // Wraps around beyond the palette size.
+        assert_eq!(
+            attribute_color(AttributeId(12)),
+            attribute_color(AttributeId(2))
+        );
+    }
+
+    #[test]
+    fn palette_entries_are_hex_colors() {
+        for i in 0..10u16 {
+            let c = attribute_color(AttributeId(i));
+            assert!(c.starts_with('#') && c.len() == 7);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The Figure-3 dashboard: map panels plus chart panels in one document.
+//!
+//! Figure 3 of the paper shows four panels: (A)/(B) sensor locations on a
+//! map with the clicked sensor's correlated partners highlighted, and
+//! (C)/(D) the temporal behaviour of the highlighted sensors at two zoom
+//! levels. [`Dashboard::render_for_cap`] reproduces that layout for one CAP.
+
+use crate::chart::{ChartConfig, TimeSeriesChart};
+use crate::interaction::InteractionState;
+use crate::map::{MapConfig, MapView};
+use crate::svg::SvgDocument;
+use miscela_core::{Cap, CapSet};
+use miscela_model::Dataset;
+
+/// Composes map and chart panels into one SVG document.
+pub struct Dashboard<'a> {
+    dataset: &'a Dataset,
+    caps: &'a CapSet,
+}
+
+impl<'a> Dashboard<'a> {
+    /// Creates a dashboard over a dataset and its mining result.
+    pub fn new(dataset: &'a Dataset, caps: &'a CapSet) -> Self {
+        Dashboard { dataset, caps }
+    }
+
+    /// Renders the Figure-3 layout for one CAP: the map with the CAP's first
+    /// sensor selected (so its partners are highlighted), a full-range chart
+    /// of the CAP's sensors, and a zoomed chart around the densest run of
+    /// co-evolving timestamps.
+    pub fn render_for_cap(&self, cap: &Cap) -> SvgDocument {
+        let selected = cap.sensors().first().copied();
+        let map = MapView::new(
+            self.dataset,
+            self.caps,
+            MapConfig {
+                width: 760,
+                height: 420,
+                ..MapConfig::default()
+            },
+        )
+        .render(selected);
+
+        let chart_cfg = ChartConfig {
+            width: 760,
+            height: 220,
+            ..ChartConfig::default()
+        };
+        let mut full_chart = TimeSeriesChart::new(self.dataset, cap.sensors(), chart_cfg.clone());
+        full_chart.with_marks(&cap.timestamps);
+        let full = full_chart.render();
+
+        // Zoomed panel (D): a window centred on the middle co-evolving
+        // timestamp, one eighth of the full range wide.
+        let mut state = InteractionState::new(self.dataset);
+        let focus = cap
+            .timestamps
+            .get(cap.timestamps.len() / 2)
+            .map(|&t| t as f64 / self.dataset.timestamp_count().max(1) as f64)
+            .unwrap_or(0.5);
+        state.zoom_in(focus);
+        state.zoom_in(focus);
+        state.zoom_in(focus);
+        let (zs, ze) = state.window();
+        let mut zoom_chart = TimeSeriesChart::new(self.dataset, cap.sensors(), chart_cfg);
+        zoom_chart.zoom(zs, ze).with_marks(&cap.timestamps);
+        let zoomed = zoom_chart.render();
+
+        // Compose: map on top, the two charts below (A/B left out of the
+        // composite are the same map at two selections; one is enough here).
+        let mut doc = SvgDocument::new(800, 940);
+        doc.rect(0.0, 0.0, 800.0, 940.0, "#ffffff");
+        doc.text(20.0, 24.0, 14.0, &format!("CAP dashboard: {cap}"));
+        doc.embed(&map, 20.0, 36.0);
+        doc.text(20.0, 480.0, 12.0, "(C) full time range");
+        doc.embed(&full, 20.0, 490.0);
+        doc.text(20.0, 724.0, 12.0, "(D) zoomed on co-evolving timestamps");
+        doc.embed(&zoomed, 20.0, 734.0);
+        doc
+    }
+
+    /// Renders a dashboard for the highest-support CAP, if any.
+    pub fn render_top(&self) -> Option<SvgDocument> {
+        self.caps.caps().first().map(|cap| self.render_for_cap(cap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miscela_core::{Miner, MiningParams};
+    use miscela_datagen::SantanderGenerator;
+
+    #[test]
+    fn renders_figure3_layout_for_top_cap() {
+        let ds = SantanderGenerator::small().with_scale(0.02).generate();
+        let caps = Miner::new(
+            MiningParams::new()
+                .with_epsilon(0.4)
+                .with_eta_km(0.5)
+                .with_psi(20)
+                .with_segmentation(false),
+        )
+        .unwrap()
+        .mine(&ds)
+        .unwrap()
+        .caps;
+        assert!(!caps.is_empty());
+        let dash = Dashboard::new(&ds, &caps);
+        let doc = dash.render_top().expect("a CAP to render");
+        let svg = doc.render();
+        assert!(svg.contains("CAP dashboard"));
+        assert!(svg.contains("(C) full time range"));
+        assert!(svg.contains("(D) zoomed"));
+        // Map markers plus chart polylines are all present.
+        assert!(svg.matches("<circle").count() >= ds.sensor_count());
+        assert!(svg.matches("<polyline").count() >= 2 * caps.caps()[0].size());
+        // The zoomed chart shows a strictly smaller window than the full one.
+        assert!(svg.matches("translate").count() >= 3);
+    }
+
+    #[test]
+    fn empty_capset_renders_nothing() {
+        let ds = SantanderGenerator::small().with_scale(0.02).generate();
+        let caps = miscela_core::CapSet::new();
+        assert!(Dashboard::new(&ds, &caps).render_top().is_none());
+    }
+}

@@ -1,0 +1,209 @@
+//! The interaction model: click-to-highlight and zoom.
+//!
+//! Miscela-V is an *interactive* system; the browser front end keeps a small
+//! amount of state (which sensor is selected, which time window is shown)
+//! and re-renders the two panels whenever it changes. [`InteractionState`]
+//! reproduces that state machine so the examples and tests can script the
+//! demonstration scenarios of Section 4 ("Attendees can interact with our
+//! system...").
+
+use miscela_core::CapSet;
+use miscela_model::{Dataset, SensorIndex};
+
+/// Discrete zoom levels over the dataset's time range. Each level halves the
+/// visible window, centred on the current focus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoomLevel(pub u8);
+
+impl ZoomLevel {
+    /// The whole time range.
+    pub const FULL: ZoomLevel = ZoomLevel(0);
+
+    /// Fraction of the full range visible at this level.
+    pub fn visible_fraction(self) -> f64 {
+        1.0 / (1 << self.0.min(16)) as f64
+    }
+}
+
+/// The interactive state of one analysis session.
+#[derive(Debug, Clone)]
+pub struct InteractionState {
+    selected: Option<SensorIndex>,
+    zoom: ZoomLevel,
+    /// Centre of the zoom window as a fraction of the time range.
+    focus: f64,
+    timestamps: usize,
+}
+
+impl InteractionState {
+    /// Creates the initial state for a dataset: nothing selected, full zoom.
+    pub fn new(dataset: &Dataset) -> Self {
+        InteractionState {
+            selected: None,
+            zoom: ZoomLevel::FULL,
+            focus: 0.5,
+            timestamps: dataset.timestamp_count(),
+        }
+    }
+
+    /// The currently selected sensor.
+    pub fn selected(&self) -> Option<SensorIndex> {
+        self.selected
+    }
+
+    /// The current zoom level.
+    pub fn zoom_level(&self) -> ZoomLevel {
+        self.zoom
+    }
+
+    /// Clicks a sensor: selects it, or clears the selection when the same
+    /// sensor is clicked again (the usual toggle behaviour).
+    pub fn click(&mut self, sensor: SensorIndex) -> Option<SensorIndex> {
+        self.selected = if self.selected == Some(sensor) {
+            None
+        } else {
+            Some(sensor)
+        };
+        self.selected
+    }
+
+    /// The sensors that should be highlighted for the current selection.
+    pub fn highlighted(&self, caps: &CapSet) -> Vec<SensorIndex> {
+        self.selected
+            .map(|s| caps.partners_of(s))
+            .unwrap_or_default()
+    }
+
+    /// Zooms in one level around a focus point (fraction of the time range).
+    pub fn zoom_in(&mut self, focus: f64) -> ZoomLevel {
+        self.focus = focus.clamp(0.0, 1.0);
+        self.zoom = ZoomLevel(self.zoom.0.saturating_add(1).min(12));
+        self.zoom
+    }
+
+    /// Zooms out one level.
+    pub fn zoom_out(&mut self) -> ZoomLevel {
+        self.zoom = ZoomLevel(self.zoom.0.saturating_sub(1));
+        self.zoom
+    }
+
+    /// Resets zoom and selection.
+    pub fn reset(&mut self) {
+        self.zoom = ZoomLevel::FULL;
+        self.selected = None;
+        self.focus = 0.5;
+    }
+
+    /// The visible window `[start, end)` in grid indices for the current
+    /// zoom level and focus.
+    pub fn window(&self) -> (usize, usize) {
+        let visible = ((self.timestamps as f64) * self.zoom.visible_fraction()).max(1.0);
+        let half = visible / 2.0;
+        let center = self.focus * self.timestamps as f64;
+        let start = (center - half).max(0.0);
+        let end = (start + visible).min(self.timestamps as f64);
+        let start = (end - visible).max(0.0);
+        (start.floor() as usize, end.ceil() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miscela_core::{Cap, CapMember, Direction};
+    use miscela_model::{AttributeId, DatasetBuilder, Duration, GeoPoint, TimeGrid, Timestamp};
+
+    fn dataset(timestamps: usize) -> Dataset {
+        let mut b = DatasetBuilder::new("ia");
+        b.set_grid(TimeGrid::new(Timestamp::EPOCH, Duration::hours(1), timestamps).unwrap());
+        for i in 0..4 {
+            b.add_sensor(
+                format!("s{i}"),
+                if i % 2 == 0 { "temperature" } else { "traffic" },
+                GeoPoint::new_unchecked(43.0 + 0.001 * i as f64, -3.8),
+            )
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn caps() -> CapSet {
+        CapSet::from_caps(vec![Cap::new(
+            vec![
+                CapMember {
+                    sensor: SensorIndex(0),
+                    direction: Direction::Up,
+                },
+                CapMember {
+                    sensor: SensorIndex(1),
+                    direction: Direction::Up,
+                },
+            ],
+            [AttributeId(0), AttributeId(1)].into_iter().collect(),
+            vec![1, 2, 3],
+        )])
+    }
+
+    #[test]
+    fn click_toggles_selection_and_highlights_partners() {
+        let ds = dataset(100);
+        let caps = caps();
+        let mut state = InteractionState::new(&ds);
+        assert_eq!(state.selected(), None);
+        assert!(state.highlighted(&caps).is_empty());
+        state.click(SensorIndex(0));
+        assert_eq!(state.selected(), Some(SensorIndex(0)));
+        assert_eq!(state.highlighted(&caps), vec![SensorIndex(1)]);
+        // Clicking a sensor with no CAP highlights nothing.
+        state.click(SensorIndex(3));
+        assert!(state.highlighted(&caps).is_empty());
+        // Clicking the same sensor again clears the selection.
+        state.click(SensorIndex(3));
+        assert_eq!(state.selected(), None);
+    }
+
+    #[test]
+    fn zoom_windows_shrink_and_stay_in_range() {
+        let ds = dataset(1000);
+        let mut state = InteractionState::new(&ds);
+        assert_eq!(state.window(), (0, 1000));
+        state.zoom_in(0.5);
+        let (s1, e1) = state.window();
+        assert!(e1 - s1 <= 501 && e1 - s1 >= 499);
+        state.zoom_in(0.0); // focus at the very start
+        let (s2, e2) = state.window();
+        assert_eq!(s2, 0);
+        assert!(e2 - s2 <= 251);
+        state.zoom_in(1.0); // focus at the very end
+        let (s3, e3) = state.window();
+        assert_eq!(e3, 1000);
+        assert!(e3 > s3);
+        state.zoom_out();
+        state.reset();
+        assert_eq!(state.window(), (0, 1000));
+        assert_eq!(state.zoom_level(), ZoomLevel::FULL);
+    }
+
+    #[test]
+    fn zoom_level_fraction() {
+        assert_eq!(ZoomLevel(0).visible_fraction(), 1.0);
+        assert_eq!(ZoomLevel(1).visible_fraction(), 0.5);
+        assert_eq!(ZoomLevel(3).visible_fraction(), 0.125);
+    }
+
+    #[test]
+    fn zoom_never_exceeds_limits() {
+        let ds = dataset(50);
+        let mut state = InteractionState::new(&ds);
+        for _ in 0..40 {
+            state.zoom_in(0.7);
+        }
+        let (s, e) = state.window();
+        assert!(e > s);
+        assert!(e <= 50);
+        for _ in 0..40 {
+            state.zoom_out();
+        }
+        assert_eq!(state.window(), (0, 50));
+    }
+}

@@ -1,0 +1,42 @@
+//! # miscela-viz
+//!
+//! The visualization layer of Miscela-V, reproduced as a *headless*
+//! rendering engine. The original front end is JavaScript + Google Maps in a
+//! browser; the Rust interactive-web ecosystem cannot reproduce that
+//! directly, so this crate reproduces its *semantics* as inspectable
+//! artifacts:
+//!
+//! * [`map`] — sensor locations on a map (Figure 3 (A)/(B)): a Web-Mercator
+//!   projection of the dataset's bounding box, one marker per sensor
+//!   coloured by attribute, with the sensors correlated to a clicked sensor
+//!   highlighted exactly as the paper describes ("When we click a sensor in
+//!   the map, sensors are highlighted if their measurements are correlated
+//!   to measurements of the clicked sensor");
+//! * [`chart`] — temporal behaviour of measurements (Figure 3 (C)/(D)):
+//!   multi-series line charts over a zoomable time window, with the CAP's
+//!   co-evolving timestamps marked;
+//! * [`interaction`] — the click-to-highlight / zoom state machine driving
+//!   the two views;
+//! * [`dashboard`] — the Figure-3 layout combining map and charts into a
+//!   single SVG document;
+//! * [`svg`], [`color`], [`projection`] — the drawing substrate (an SVG
+//!   document builder, attribute colour palette, Mercator projection);
+//! * [`ascii`] — terminal sparklines used by the runnable examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod chart;
+pub mod color;
+pub mod dashboard;
+pub mod interaction;
+pub mod map;
+pub mod projection;
+pub mod svg;
+
+pub use chart::{ChartConfig, TimeSeriesChart};
+pub use dashboard::Dashboard;
+pub use interaction::{InteractionState, ZoomLevel};
+pub use map::{MapConfig, MapView};
+pub use svg::SvgDocument;

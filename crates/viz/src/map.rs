@@ -1,0 +1,213 @@
+//! The map view: sensor locations with CAP-partner highlighting
+//! (Figure 3 (A)/(B)).
+
+use crate::color::{attribute_color, DIMMED_COLOR, HIGHLIGHT_COLOR, SELECTED_COLOR};
+use crate::projection::MercatorProjection;
+use crate::svg::SvgDocument;
+use miscela_core::CapSet;
+use miscela_model::{Dataset, SensorIndex};
+
+/// Rendering options for the map view.
+#[derive(Debug, Clone)]
+pub struct MapConfig {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Marker radius in pixels.
+    pub marker_radius: f64,
+    /// Whether to draw a legend of attribute colours.
+    pub legend: bool,
+}
+
+impl Default for MapConfig {
+    fn default() -> Self {
+        MapConfig {
+            width: 800,
+            height: 600,
+            marker_radius: 4.0,
+            legend: true,
+        }
+    }
+}
+
+/// A rendered marker (exposed for tests and for the interaction layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Marker {
+    /// The sensor this marker represents.
+    pub sensor: SensorIndex,
+    /// Pixel position.
+    pub position: (f64, f64),
+    /// Whether this is the clicked sensor.
+    pub selected: bool,
+    /// Whether this sensor is highlighted as correlated with the clicked
+    /// one.
+    pub highlighted: bool,
+}
+
+/// The map view of one dataset and one mining result.
+pub struct MapView<'a> {
+    dataset: &'a Dataset,
+    caps: &'a CapSet,
+    config: MapConfig,
+}
+
+impl<'a> MapView<'a> {
+    /// Creates a map view.
+    pub fn new(dataset: &'a Dataset, caps: &'a CapSet, config: MapConfig) -> Self {
+        MapView {
+            dataset,
+            caps,
+            config,
+        }
+    }
+
+    /// Computes the marker set for a given selection. When `selected` is
+    /// `Some(s)`, the markers of `s` and of every sensor sharing a CAP with
+    /// `s` are flagged, exactly as the front end highlights them.
+    pub fn markers(&self, selected: Option<SensorIndex>) -> Vec<Marker> {
+        let bounds = self
+            .dataset
+            .bounding_box()
+            .unwrap_or(miscela_model::BoundingBox {
+                min_lat: 0.0,
+                max_lat: 1.0,
+                min_lon: 0.0,
+                max_lon: 1.0,
+            });
+        let proj = MercatorProjection::new(&bounds, self.config.width, self.config.height, 30.0);
+        let partners: Vec<SensorIndex> = selected
+            .map(|s| self.caps.partners_of(s))
+            .unwrap_or_default();
+        self.dataset
+            .iter()
+            .map(|ss| Marker {
+                sensor: ss.index,
+                position: proj.project(&ss.sensor.location),
+                selected: Some(ss.index) == selected,
+                highlighted: partners.contains(&ss.index),
+            })
+            .collect()
+    }
+
+    /// Renders the map as an SVG document.
+    pub fn render(&self, selected: Option<SensorIndex>) -> SvgDocument {
+        let mut doc = SvgDocument::new(self.config.width, self.config.height);
+        doc.rect(
+            0.0,
+            0.0,
+            self.config.width as f64,
+            self.config.height as f64,
+            "#f4f1ea",
+        );
+        let any_selection = selected.is_some();
+        for marker in self.markers(selected) {
+            let sensor = self.dataset.sensor(marker.sensor);
+            let base_color = attribute_color(sensor.attribute);
+            let (fill, stroke, radius) = if marker.selected {
+                (SELECTED_COLOR, Some("#000000"), self.config.marker_radius * 1.8)
+            } else if marker.highlighted {
+                (base_color, Some(HIGHLIGHT_COLOR), self.config.marker_radius * 1.5)
+            } else if any_selection {
+                (DIMMED_COLOR, None, self.config.marker_radius)
+            } else {
+                (base_color, None, self.config.marker_radius)
+            };
+            doc.circle(marker.position.0, marker.position.1, radius, fill, stroke);
+        }
+        if self.config.legend {
+            let mut y = 20.0;
+            for (id, attr) in self.dataset.attributes().iter() {
+                doc.circle(14.0, y - 4.0, 5.0, attribute_color(id), None);
+                doc.text(24.0, y, 12.0, attr.name());
+                y += 16.0;
+            }
+        }
+        doc.text(
+            8.0,
+            self.config.height as f64 - 8.0,
+            11.0,
+            &format!(
+                "{} sensors, {} CAPs{}",
+                self.dataset.sensor_count(),
+                self.caps.len(),
+                selected
+                    .map(|s| format!(", selected {}", self.dataset.sensor(s).id))
+                    .unwrap_or_default()
+            ),
+        );
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miscela_core::{Miner, MiningParams};
+    use miscela_datagen::SantanderGenerator;
+
+    fn fixture() -> (Dataset, CapSet) {
+        let ds = SantanderGenerator::small().with_scale(0.02).generate();
+        let caps = Miner::new(
+            MiningParams::new()
+                .with_epsilon(0.4)
+                .with_eta_km(0.5)
+                .with_psi(20)
+                .with_segmentation(false),
+        )
+        .unwrap()
+        .mine(&ds)
+        .unwrap()
+        .caps;
+        (ds, caps)
+    }
+
+    #[test]
+    fn markers_cover_all_sensors_and_stay_in_viewport() {
+        let (ds, caps) = fixture();
+        let view = MapView::new(&ds, &caps, MapConfig::default());
+        let markers = view.markers(None);
+        assert_eq!(markers.len(), ds.sensor_count());
+        for m in &markers {
+            assert!((0.0..=800.0).contains(&m.position.0));
+            assert!((0.0..=600.0).contains(&m.position.1));
+            assert!(!m.selected && !m.highlighted);
+        }
+    }
+
+    #[test]
+    fn clicking_a_cap_member_highlights_exactly_its_partners() {
+        let (ds, caps) = fixture();
+        assert!(!caps.is_empty(), "fixture should find CAPs");
+        let member = caps.caps()[0].sensors()[0];
+        let expected = caps.partners_of(member);
+        let view = MapView::new(&ds, &caps, MapConfig::default());
+        let markers = view.markers(Some(member));
+        let highlighted: Vec<SensorIndex> = markers
+            .iter()
+            .filter(|m| m.highlighted)
+            .map(|m| m.sensor)
+            .collect();
+        assert_eq!(highlighted, expected);
+        assert_eq!(
+            markers.iter().filter(|m| m.selected).count(),
+            1,
+            "exactly one selected marker"
+        );
+    }
+
+    #[test]
+    fn render_produces_svg_with_marker_circles() {
+        let (ds, caps) = fixture();
+        let view = MapView::new(&ds, &caps, MapConfig::default());
+        let svg = view.render(None).render();
+        assert!(svg.contains("<svg"));
+        assert!(svg.matches("<circle").count() >= ds.sensor_count());
+        // With a selection the selected colour appears.
+        if let Some(cap) = caps.caps().first() {
+            let svg = view.render(Some(cap.sensors()[0])).render();
+            assert!(svg.contains(SELECTED_COLOR));
+            assert!(svg.contains(HIGHLIGHT_COLOR));
+        }
+    }
+}

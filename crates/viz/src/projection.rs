@@ -1,0 +1,136 @@
+//! Web-Mercator projection of a geographic bounding box onto pixels.
+//!
+//! The original front end delegates this to the Google Maps API; the
+//! headless map view needs it explicitly. Latitude is clamped to the
+//! standard Web-Mercator limit (±85.05°), which comfortably covers every
+//! dataset in the paper.
+
+use miscela_model::{BoundingBox, GeoPoint};
+
+/// Maximum latitude representable in Web Mercator.
+const MAX_LAT: f64 = 85.05112878;
+
+/// Projects geographic coordinates into a pixel viewport.
+#[derive(Debug, Clone)]
+pub struct MercatorProjection {
+    min_x: f64,
+    max_x: f64,
+    min_y: f64,
+    max_y: f64,
+    width: f64,
+    height: f64,
+    padding: f64,
+}
+
+fn mercator_x(lon: f64) -> f64 {
+    lon.to_radians()
+}
+
+fn mercator_y(lat: f64) -> f64 {
+    let lat = lat.clamp(-MAX_LAT, MAX_LAT).to_radians();
+    (std::f64::consts::FRAC_PI_4 + lat / 2.0).tan().ln()
+}
+
+impl MercatorProjection {
+    /// Creates a projection mapping `bounds` into a `width` × `height`
+    /// viewport with `padding` pixels on every side.
+    pub fn new(bounds: &BoundingBox, width: u32, height: u32, padding: f64) -> Self {
+        let b = bounds.with_margin(0.02);
+        MercatorProjection {
+            min_x: mercator_x(b.min_lon),
+            max_x: mercator_x(b.max_lon),
+            min_y: mercator_y(b.min_lat),
+            max_y: mercator_y(b.max_lat),
+            width: width as f64,
+            height: height as f64,
+            padding,
+        }
+    }
+
+    /// Projects a point to `(x, y)` pixel coordinates (y grows downward).
+    pub fn project(&self, p: &GeoPoint) -> (f64, f64) {
+        let span_x = (self.max_x - self.min_x).max(1e-12);
+        let span_y = (self.max_y - self.min_y).max(1e-12);
+        let usable_w = (self.width - 2.0 * self.padding).max(1.0);
+        let usable_h = (self.height - 2.0 * self.padding).max(1.0);
+        let fx = (mercator_x(p.lon) - self.min_x) / span_x;
+        let fy = (mercator_y(p.lat) - self.min_y) / span_y;
+        (
+            self.padding + fx * usable_w,
+            // Invert: north (large latitude) at the top of the image.
+            self.padding + (1.0 - fy) * usable_h,
+        )
+    }
+
+    /// Whether a point projects inside the viewport.
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        let (x, y) = self.project(p);
+        x >= 0.0 && y >= 0.0 && x <= self.width && y <= self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> BoundingBox {
+        BoundingBox {
+            min_lat: 43.40,
+            max_lat: 43.50,
+            min_lon: -3.90,
+            max_lon: -3.70,
+        }
+    }
+
+    #[test]
+    fn corners_map_inside_viewport() {
+        let proj = MercatorProjection::new(&bounds(), 800, 600, 20.0);
+        for p in [
+            GeoPoint::new_unchecked(43.40, -3.90),
+            GeoPoint::new_unchecked(43.50, -3.70),
+            GeoPoint::new_unchecked(43.45, -3.80),
+        ] {
+            let (x, y) = proj.project(&p);
+            assert!((0.0..=800.0).contains(&x), "x={x}");
+            assert!((0.0..=600.0).contains(&y), "y={y}");
+            assert!(proj.contains(&p));
+        }
+    }
+
+    #[test]
+    fn north_is_up_and_east_is_right() {
+        let proj = MercatorProjection::new(&bounds(), 800, 600, 10.0);
+        let south = proj.project(&GeoPoint::new_unchecked(43.41, -3.80));
+        let north = proj.project(&GeoPoint::new_unchecked(43.49, -3.80));
+        assert!(north.1 < south.1, "north should be above south");
+        let west = proj.project(&GeoPoint::new_unchecked(43.45, -3.89));
+        let east = proj.project(&GeoPoint::new_unchecked(43.45, -3.71));
+        assert!(east.0 > west.0, "east should be right of west");
+    }
+
+    #[test]
+    fn extreme_latitudes_are_clamped() {
+        let wide = BoundingBox {
+            min_lat: -89.0,
+            max_lat: 89.0,
+            min_lon: -170.0,
+            max_lon: 170.0,
+        };
+        let proj = MercatorProjection::new(&wide, 400, 400, 0.0);
+        let (_, y) = proj.project(&GeoPoint::new_unchecked(89.9, 0.0));
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn degenerate_bounds_do_not_divide_by_zero() {
+        let point_box = BoundingBox {
+            min_lat: 31.0,
+            max_lat: 31.0,
+            min_lon: 121.0,
+            max_lon: 121.0,
+        };
+        let proj = MercatorProjection::new(&point_box, 100, 100, 5.0);
+        let (x, y) = proj.project(&GeoPoint::new_unchecked(31.0, 121.0));
+        assert!(x.is_finite() && y.is_finite());
+    }
+}

@@ -1,0 +1,174 @@
+//! A minimal SVG document builder.
+//!
+//! Only the primitives the map and chart renderers need: circles, lines,
+//! polylines, rectangles and text, with escaping of attribute/text content.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDocument {
+    width: u32,
+    height: u32,
+    elements: Vec<String>,
+}
+
+/// Escapes text for inclusion in SVG/XML.
+pub fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+impl SvgDocument {
+    /// Creates an empty document of the given pixel size.
+    pub fn new(width: u32, height: u32) -> Self {
+        SvgDocument {
+            width,
+            height,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Document width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Document height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of drawn elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Adds a filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) -> &mut Self {
+        self.elements.push(format!(
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{}"/>"#,
+            escape(fill)
+        ));
+        self
+    }
+
+    /// Adds a circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, stroke: Option<&str>) -> &mut Self {
+        let stroke_attr = match stroke {
+            Some(s) => format!(r#" stroke="{}" stroke-width="2""#, escape(s)),
+            None => String::new(),
+        };
+        self.elements.push(format!(
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{}"{stroke_attr}/>"#,
+            escape(fill)
+        ));
+        self
+    }
+
+    /// Adds a straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) -> &mut Self {
+        self.elements.push(format!(
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{}" stroke-width="{width:.2}"/>"#,
+            escape(stroke)
+        ));
+        self
+    }
+
+    /// Adds a polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) -> &mut Self {
+        if points.is_empty() {
+            return self;
+        }
+        let mut path = String::new();
+        for (i, (x, y)) in points.iter().enumerate() {
+            if i > 0 {
+                path.push(' ');
+            }
+            let _ = write!(path, "{x:.2},{y:.2}");
+        }
+        self.elements.push(format!(
+            r#"<polyline points="{path}" fill="none" stroke="{}" stroke-width="{width:.2}"/>"#,
+            escape(stroke)
+        ));
+        self
+    }
+
+    /// Adds a text label.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str) -> &mut Self {
+        self.elements.push(format!(
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif">{}</text>"#,
+            escape(content)
+        ));
+        self
+    }
+
+    /// Embeds another document at an offset (used by the dashboard layout).
+    pub fn embed(&mut self, other: &SvgDocument, dx: f64, dy: f64) -> &mut Self {
+        self.elements.push(format!(
+            r#"<g transform="translate({dx:.2},{dy:.2})">{}</g>"#,
+            other.elements.join("")
+        ));
+        self
+    }
+
+    /// Renders the full SVG document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+            self.width, self.height, self.width, self.height
+        );
+        for e in &self.elements {
+            out.push_str(e);
+        }
+        out.push_str("</svg>");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_looking_svg() {
+        let mut doc = SvgDocument::new(200, 100);
+        doc.rect(0.0, 0.0, 200.0, 100.0, "#ffffff")
+            .circle(10.0, 10.0, 3.0, "red", Some("black"))
+            .line(0.0, 0.0, 200.0, 100.0, "#333333", 1.0)
+            .polyline(&[(0.0, 0.0), (10.0, 5.0), (20.0, 2.0)], "blue", 1.5)
+            .text(5.0, 95.0, 10.0, "label <1> & \"two\"");
+        let svg = doc.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("circle"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("&lt;1&gt;"));
+        assert!(svg.contains("&amp;"));
+        assert_eq!(doc.element_count(), 5);
+        assert_eq!(doc.width(), 200);
+        assert_eq!(doc.height(), 100);
+    }
+
+    #[test]
+    fn empty_polyline_is_ignored() {
+        let mut doc = SvgDocument::new(10, 10);
+        doc.polyline(&[], "red", 1.0);
+        assert_eq!(doc.element_count(), 0);
+    }
+
+    #[test]
+    fn embed_translates_child() {
+        let mut child = SvgDocument::new(50, 50);
+        child.circle(1.0, 1.0, 1.0, "green", None);
+        let mut parent = SvgDocument::new(100, 100);
+        parent.embed(&child, 25.0, 30.0);
+        let svg = parent.render();
+        assert!(svg.contains("translate(25.00,30.00)"));
+        assert!(svg.contains("circle"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Cross-crate integration tests: the full Miscela-V pipeline from CSV
+//! upload through mining, caching and visualization.
+
+use miscela_v::miscela_core::baseline::NaiveMiner;
+use miscela_v::miscela_core::evolving::extract_with_segmentation;
+use miscela_v::miscela_core::{CapSet, Miner, MiningParams, ProximityGraph};
+use miscela_v::miscela_csv::{split_into_chunks, DatasetWriter};
+use miscela_v::miscela_datagen::{CovidGenerator, PlantedGenerator, SantanderGenerator};
+use miscela_v::miscela_model::AttributeId;
+use miscela_v::miscela_server::{ApiRequest, MiscelaService, Router};
+use miscela_v::miscela_store::{persist, Json};
+use miscela_v::miscela_viz::{Dashboard, MapConfig, MapView};
+use miscela_v::MiscelaV;
+use std::sync::Arc;
+
+fn quick_params() -> MiningParams {
+    MiningParams::new()
+        .with_epsilon(0.4)
+        .with_eta_km(0.5)
+        .with_psi(20)
+        .with_mu(3)
+        .with_segmentation(false)
+}
+
+#[test]
+fn csv_export_upload_mine_visualize_round_trip() {
+    // Generate -> export to the paper's three files -> chunked upload through
+    // the API -> mine -> render, all through public interfaces.
+    let generated = SantanderGenerator::small().with_scale(0.02).generate();
+    let writer = DatasetWriter::new();
+    let system = MiscelaV::new();
+    let summary = system
+        .upload(
+            "uploaded",
+            &writer.data_csv(&generated),
+            &writer.location_csv(&generated),
+            &writer.attribute_csv(&generated),
+        )
+        .expect("upload succeeds");
+    assert_eq!(summary.sensors, generated.sensor_count());
+
+    let outcome = system.mine("uploaded", &quick_params()).unwrap();
+    assert!(!outcome.result.caps.is_empty());
+
+    // The same parameters on the directly registered dataset find the same
+    // CAP count (the CSV round trip loses only float formatting precision).
+    system.register_dataset(generated);
+    let direct = system.mine("santander", &quick_params()).unwrap();
+    assert_eq!(direct.result.caps.len(), outcome.result.caps.len());
+
+    // Visualization layers accept the result.
+    let ds = system.service().dataset("uploaded").unwrap();
+    let dash = Dashboard::new(&ds, &outcome.result.caps);
+    let svg = dash.render_top().expect("at least one CAP").render();
+    assert!(svg.contains("<svg"));
+    let map = MapView::new(&ds, &outcome.result.caps, MapConfig::default());
+    assert_eq!(map.markers(None).len(), ds.sensor_count());
+}
+
+#[test]
+fn miscela_and_naive_baseline_agree_on_generated_data() {
+    let ds = SantanderGenerator::small().with_scale(0.02).with_seed(5).generate();
+    let params = quick_params().with_max_sensors(Some(3));
+    let result = Miner::new(params.clone()).unwrap().mine(&ds).unwrap();
+
+    let evolving: Vec<_> = ds
+        .iter()
+        .map(|ss| {
+            extract_with_segmentation(ss.series, params.epsilon, params.segmentation, params.segmentation_error)
+        })
+        .collect();
+    let attributes: Vec<AttributeId> = ds.iter().map(|ss| ss.sensor.attribute).collect();
+    let graph = ProximityGraph::build(&ds, params.eta_km);
+    let naive = NaiveMiner {
+        evolving: &evolving,
+        attributes: &attributes,
+        graph: &graph,
+        params: &params,
+    }
+    .mine();
+
+    let keys = |set: &CapSet| -> Vec<(Vec<u32>, usize)> {
+        set.dedup_by_sensors()
+            .caps()
+            .iter()
+            .map(|c| (c.sensor_key(), c.support))
+            .collect()
+    };
+    assert!(!result.caps.is_empty());
+    assert_eq!(keys(&result.caps), keys(&naive));
+}
+
+#[test]
+fn planted_patterns_survive_the_whole_pipeline() {
+    let gen = PlantedGenerator {
+        groups: 2,
+        group_size: 3,
+        noise_sensors: 3,
+        timestamps: 300,
+        events_per_group: 40,
+        seed: 3,
+    };
+    let (ds, truth) = gen.generate();
+    let writer = DatasetWriter::new();
+    let system = MiscelaV::new();
+    system
+        .upload(
+            "planted",
+            &writer.data_csv(&ds),
+            &writer.location_csv(&ds),
+            &writer.attribute_csv(&ds),
+        )
+        .unwrap();
+    let params = MiningParams::new()
+        .with_epsilon(5.0)
+        .with_eta_km(1.0)
+        .with_psi(15)
+        .with_mu(3)
+        .with_segmentation(false);
+    let outcome = system.mine("planted", &params).unwrap();
+    let uploaded = system.service().dataset("planted").unwrap();
+    for planted in &truth {
+        let expected: std::collections::BTreeSet<&str> =
+            planted.sensor_ids.iter().map(|s| s.as_str()).collect();
+        let found = outcome.result.caps.caps().iter().any(|cap| {
+            let names: std::collections::BTreeSet<&str> = cap
+                .sensors()
+                .iter()
+                .map(|&idx| uploaded.sensor(idx).id.as_str())
+                .collect();
+            names == expected
+        });
+        assert!(found, "planted group {:?} lost in the pipeline", planted.sensor_ids);
+    }
+}
+
+#[test]
+fn cache_survives_store_persistence() {
+    // Mine once, persist the store to disk, reload it into a fresh service,
+    // and check the repeated request is a cache hit without the dataset's
+    // series even being resident (the CAPs come from the persisted cache).
+    let dir = std::env::temp_dir().join(format!("miscela-integration-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ds = SantanderGenerator::small().with_scale(0.02).generate();
+    let params = quick_params();
+    let first_caps;
+    {
+        let service = Arc::new(MiscelaService::new());
+        service.register_dataset(ds);
+        let outcome = service.mine("santander", &params).unwrap();
+        assert!(!outcome.cache_hit);
+        first_caps = outcome.result.caps.clone();
+        persist::save(service.database(), &dir).unwrap();
+    }
+
+    let reloaded = Arc::new(persist::load(&dir).unwrap());
+    let service = MiscelaService::with_database(reloaded);
+    // The dataset itself is not re-registered, but the cached result is
+    // available for the same (dataset, parameters) key.
+    let outcome = service.mine("santander", &params).unwrap();
+    assert!(outcome.cache_hit);
+    assert_eq!(outcome.result.caps, first_caps);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn covid_before_after_changes_patterns_end_to_end() {
+    let gen = CovidGenerator::small();
+    let ds = gen.generate();
+    let params = MiningParams::new()
+        .with_epsilon(0.8)
+        .with_eta_km(2.0)
+        .with_psi(30)
+        .with_segmentation(false);
+    let analysis = miscela_v::analysis::before_after(&ds, gen.lockdown(), &params).unwrap();
+    assert!(analysis.after_means["NO2"] < analysis.before_means["NO2"]);
+    assert!(analysis.after_means["O3"] > analysis.before_means["O3"]);
+    assert!(!analysis.before.is_empty());
+    // The traffic-driven NO2 <-> PM2.5 coupling weakens after the lockdown
+    // (normalized by window length, since the windows differ in size).
+    let no2 = ds.attributes().id_of("NO2").unwrap();
+    let pm25 = ds.attributes().id_of("PM2.5").unwrap();
+    let rate = |caps: &CapSet, len: usize| {
+        caps.with_attributes(&[no2, pm25])
+            .iter()
+            .map(|c| c.support)
+            .max()
+            .unwrap_or(0) as f64
+            / len.max(1) as f64
+    };
+    let before_len = analysis.before.caps().iter().map(|c| c.timestamps.len()).count();
+    let _ = before_len;
+    let before_ds_len = ds
+        .grid()
+        .window(
+            miscela_v::miscela_model::TimeRange::new(ds.grid().range().start, gen.lockdown())
+                .unwrap(),
+        )
+        .1;
+    let after_ds_len = ds.timestamp_count() - before_ds_len;
+    assert!(
+        rate(&analysis.before, before_ds_len) > rate(&analysis.after, after_ds_len) + 0.05,
+        "NO2/PM2.5 coupling did not weaken"
+    );
+}
+
+#[test]
+fn api_router_full_session() {
+    // A scripted interactive session through the request/response API.
+    let service = Arc::new(MiscelaService::new());
+    let router = Router::new(Arc::clone(&service));
+    let generated = SantanderGenerator::small().with_scale(0.02).generate();
+    let writer = DatasetWriter::new();
+
+    let resp = router.handle(&ApiRequest::post(
+        "/datasets/s1/upload/begin",
+        Json::from_pairs([
+            ("location_csv", Json::from(writer.location_csv(&generated))),
+            ("attribute_csv", Json::from(writer.attribute_csv(&generated))),
+        ]),
+    ));
+    assert!(resp.is_success());
+    for chunk in split_into_chunks(&writer.data_csv(&generated), 3_000) {
+        assert!(router
+            .handle(&ApiRequest::post(
+                "/datasets/s1/upload/chunk",
+                Json::from_pairs([
+                    ("index", Json::from(chunk.index)),
+                    ("total", Json::from(chunk.total)),
+                    ("content", Json::from(chunk.content)),
+                ]),
+            ))
+            .is_success());
+    }
+    assert!(router
+        .handle(&ApiRequest::post("/datasets/s1/upload/finish", Json::object()))
+        .is_success());
+
+    let mine = Json::from_pairs([
+        ("epsilon", Json::from(0.4)),
+        ("eta_km", Json::from(0.5)),
+        ("psi", Json::from(20i64)),
+        ("segmentation", Json::from(false)),
+    ]);
+    let first = router.handle(&ApiRequest::post("/datasets/s1/mine", mine.clone()));
+    assert!(first.is_success());
+    let second = router.handle(&ApiRequest::post("/datasets/s1/mine", mine));
+    assert_eq!(second.body.get("cache_hit").unwrap().as_bool(), Some(true));
+    let stats = router.handle(&ApiRequest::get("/cache/stats"));
+    assert!(stats.body.get("hits").unwrap().as_i64().unwrap() >= 1);
+}

@@ -1,0 +1,170 @@
+//! Property-based tests over the core data structures and invariants.
+
+use miscela_v::miscela_core::evolving::extract_evolving;
+use miscela_v::miscela_core::{Bitset, MiningParams};
+use miscela_v::miscela_csv::data_csv;
+use miscela_v::miscela_model::{GeoPoint, TimeSeries, Timestamp};
+use miscela_v::miscela_store::Json;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Timestamp format/parse round-trips for any representable time.
+    #[test]
+    fn timestamp_roundtrip(secs in -2_000_000_000i64..4_000_000_000i64) {
+        let t = Timestamp::from_epoch_seconds(secs);
+        let parsed = Timestamp::parse(&t.format()).unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+
+    /// Calendar fields stay in range for any timestamp.
+    #[test]
+    fn calendar_fields_in_range(secs in -2_000_000_000i64..4_000_000_000i64) {
+        let t = Timestamp::from_epoch_seconds(secs);
+        let (_, m, d) = t.ymd();
+        let (h, mi, s) = t.hms();
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+        prop_assert!(h < 24 && mi < 60 && s < 60);
+        prop_assert!(t.weekday() < 7);
+    }
+
+    /// Haversine distance is symmetric, non-negative and satisfies the
+    /// identity of indiscernibles (approximately).
+    #[test]
+    fn haversine_properties(
+        lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+        lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+    ) {
+        let a = GeoPoint::new_unchecked(lat1, lon1);
+        let b = GeoPoint::new_unchecked(lat2, lon2);
+        let d1 = a.distance_km(&b);
+        let d2 = b.distance_km(&a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        prop_assert!(a.distance_km(&a) < 1e-9);
+        prop_assert!(d1 <= 20_100.0); // half the Earth's circumference plus slack
+    }
+
+    /// Bitset intersection count never exceeds either operand's count and
+    /// and/or are consistent.
+    #[test]
+    fn bitset_invariants(
+        idx_a in proptest::collection::vec(0usize..500, 0..80),
+        idx_b in proptest::collection::vec(0usize..500, 0..80),
+    ) {
+        let a = Bitset::from_indices(500, &idx_a);
+        let b = Bitset::from_indices(500, &idx_b);
+        let and = a.and(&b);
+        let or = a.or(&b);
+        prop_assert_eq!(and.count(), a.and_count(&b));
+        prop_assert!(and.count() <= a.count().min(b.count()));
+        prop_assert!(or.count() >= a.count().max(b.count()));
+        prop_assert_eq!(and.count() + or.count(), a.count() + b.count());
+        // Round trip through indices.
+        prop_assert_eq!(Bitset::from_indices(500, &a.indices()), a);
+    }
+
+    /// Evolving-event counts are monotone non-increasing in epsilon, and no
+    /// timestamp is both up- and down-evolving for positive epsilon.
+    #[test]
+    fn evolving_monotone_in_epsilon(
+        values in proptest::collection::vec(-50.0f64..50.0, 2..200),
+        eps1 in 0.01f64..5.0,
+        eps2 in 0.01f64..5.0,
+    ) {
+        let series = TimeSeries::from_values(values);
+        let (lo, hi) = if eps1 <= eps2 { (eps1, eps2) } else { (eps2, eps1) };
+        let e_lo = extract_evolving(&series, lo);
+        let e_hi = extract_evolving(&series, hi);
+        prop_assert!(e_hi.total() <= e_lo.total());
+        prop_assert_eq!(e_lo.up.and_count(&e_lo.down), 0);
+    }
+
+    /// JSON serialization round-trips for arbitrary nested values built from
+    /// a small recursive generator.
+    #[test]
+    fn json_roundtrip(value in json_strategy()) {
+        let text = value.to_string_compact();
+        let parsed = Json::parse(&text).unwrap();
+        prop_assert_eq!(parsed, value.clone());
+        let pretty = value.to_string_pretty();
+        prop_assert_eq!(Json::parse(&pretty).unwrap(), value);
+    }
+
+    /// data.csv rows round-trip through format/parse.
+    #[test]
+    fn data_csv_roundtrip(
+        id in "[A-Za-z0-9_-]{1,12}",
+        attr in "[A-Za-z][A-Za-z0-9 .]{0,15}",
+        secs in 0i64..4_000_000_000i64,
+        value in proptest::option::of(-1.0e6f64..1.0e6),
+    ) {
+        let row = data_csv::DataRow {
+            id: miscela_v::miscela_model::SensorId::new(id),
+            attribute: attr.trim().to_string(),
+            time: Timestamp::from_epoch_seconds(secs),
+            value,
+        };
+        let line = data_csv::format_row(&row);
+        let parsed = data_csv::parse_document(&line).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(&parsed[0].id, &row.id);
+        prop_assert_eq!(&parsed[0].attribute, &row.attribute);
+        prop_assert_eq!(parsed[0].time, row.time);
+        match (parsed[0].value, row.value) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() <= (b.abs() * 1e-6).max(1e-6)),
+            (None, None) => {}
+            other => prop_assert!(false, "value mismatch: {:?}", other),
+        }
+    }
+
+    /// Parameter signatures are injective over the fields users actually
+    /// change interactively (psi, mu, epsilon, eta).
+    #[test]
+    fn params_signature_distinguishes(
+        psi1 in 1usize..100, psi2 in 1usize..100,
+        mu1 in 2usize..6, mu2 in 2usize..6,
+    ) {
+        let p1 = MiningParams::new().with_psi(psi1).with_mu(mu1);
+        let p2 = MiningParams::new().with_psi(psi2).with_mu(mu2);
+        prop_assert_eq!(
+            p1.signature() == p2.signature(),
+            psi1 == psi2 && mu1 == mu2
+        );
+    }
+
+    /// Time-series interpolation fills every gap (when at least one value is
+    /// present) and never alters present values.
+    #[test]
+    fn interpolation_properties(
+        values in proptest::collection::vec(proptest::option::of(-100.0f64..100.0), 1..100),
+    ) {
+        let series = TimeSeries::from_options(&values);
+        let filled = series.interpolate_missing();
+        prop_assert_eq!(filled.len(), series.len());
+        if series.present_count() > 0 {
+            prop_assert_eq!(filled.missing_count(), 0);
+        }
+        for (i, v) in series.present() {
+            prop_assert!((filled.get(i).unwrap() - v).abs() < 1e-12);
+        }
+    }
+}
+
+/// Strategy producing small nested JSON values.
+fn json_strategy() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-1.0e9f64..1.0e9).prop_map(|n| Json::Number((n * 1e3).round() / 1e3)),
+        "[a-zA-Z0-9 _.,:\\-]{0,20}".prop_map(Json::String),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            proptest::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Json::Object),
+        ]
+    })
+}
