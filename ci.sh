@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full CI gate for the MISCELA-V workspace. Every step must pass.
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test (workspace: unit + integration + property + doc tests)"
+cargo test --workspace -q
+
+step "cargo doc --no-deps (deny rustdoc warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+printf '\nCI gate passed.\n'

@@ -17,7 +17,9 @@ fn bench(c: &mut Criterion) {
     let lines = data.lines().count();
 
     let mut group = c.benchmark_group("chunked_upload");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.throughput(Throughput::Elements(lines as u64));
 
     for &chunk_lines in &[10_000usize, 2_000, usize::MAX] {
@@ -26,17 +28,21 @@ fn bench(c: &mut Criterion) {
         } else {
             format!("{chunk_lines}-line-chunks")
         };
-        group.bench_with_input(BenchmarkId::new("upload", label), &chunk_lines, |b, &chunk_lines| {
-            b.iter(|| {
-                let svc = MiscelaService::new();
-                svc.begin_upload("bench", &locations, &attributes).unwrap();
-                for chunk in split_into_chunks(&data, chunk_lines.min(lines + 1)) {
-                    svc.upload_chunk("bench", &chunk).unwrap();
-                }
-                let (summary, _) = svc.finish_upload("bench").unwrap();
-                summary.records
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("upload", label),
+            &chunk_lines,
+            |b, &chunk_lines| {
+                b.iter(|| {
+                    let svc = MiscelaService::new();
+                    svc.begin_upload("bench", &locations, &attributes).unwrap();
+                    for chunk in split_into_chunks(&data, chunk_lines.min(lines + 1)) {
+                        svc.upload_chunk("bench", &chunk).unwrap();
+                    }
+                    let (summary, _) = svc.finish_upload("bench").unwrap();
+                    summary.records
+                });
+            },
+        );
     }
     group.finish();
 }

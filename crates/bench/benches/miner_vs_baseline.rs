@@ -4,7 +4,7 @@
 //! number of sensors.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use miscela_bench::{santander_params, santander_bench};
+use miscela_bench::{santander_bench, santander_params};
 use miscela_core::baseline::NaiveMiner;
 use miscela_core::evolving::extract_with_segmentation;
 use miscela_core::{Miner, ProximityGraph};
@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
     let full = santander_bench();
     let params = santander_params().with_max_sensors(Some(3));
     let mut group = c.benchmark_group("miner_vs_baseline");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for &fraction in &[0.3f64, 0.6, 1.0] {
         // Use a spatial prefix of the dataset by restricting eta? Simpler:
@@ -24,7 +26,10 @@ fn bench(c: &mut Criterion) {
         // keeps results comparable.
         let timestamps = ((full.timestamp_count() as f64) * fraction) as usize;
         let range = full.grid().range();
-        let end = full.grid().at(timestamps.saturating_sub(1)).unwrap_or(range.end);
+        let end = full
+            .grid()
+            .at(timestamps.saturating_sub(1))
+            .unwrap_or(range.end);
         let ds = full.slice_time(range.start, end).unwrap();
         let label = format!("{}ts", ds.timestamp_count());
 

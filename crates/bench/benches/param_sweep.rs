@@ -10,7 +10,9 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let ds = santander_bench();
     let mut group = c.benchmark_group("param_sweep");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for psi in [10usize, 40, 160] {
         group.bench_with_input(BenchmarkId::new("psi", psi), &psi, |b, &psi| {
@@ -19,16 +21,24 @@ fn bench(c: &mut Criterion) {
         });
     }
     for eta in [0.2f64, 0.5, 2.0] {
-        group.bench_with_input(BenchmarkId::new("eta_km", format!("{eta}")), &eta, |b, &eta| {
-            let miner = Miner::new(santander_params().with_eta_km(eta)).unwrap();
-            b.iter(|| miner.mine(&ds).unwrap().caps.len());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("eta_km", format!("{eta}")),
+            &eta,
+            |b, &eta| {
+                let miner = Miner::new(santander_params().with_eta_km(eta)).unwrap();
+                b.iter(|| miner.mine(&ds).unwrap().caps.len());
+            },
+        );
     }
     for eps in [0.2f64, 0.4, 1.0] {
-        group.bench_with_input(BenchmarkId::new("epsilon", format!("{eps}")), &eps, |b, &eps| {
-            let miner = Miner::new(santander_params().with_epsilon(eps)).unwrap();
-            b.iter(|| miner.mine(&ds).unwrap().caps.len());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("epsilon", format!("{eps}")),
+            &eps,
+            |b, &eps| {
+                let miner = Miner::new(santander_params().with_epsilon(eps)).unwrap();
+                b.iter(|| miner.mine(&ds).unwrap().caps.len());
+            },
+        );
     }
     for mu in [2usize, 3, 4] {
         group.bench_with_input(BenchmarkId::new("mu", mu), &mu, |b, &mu| {

@@ -18,12 +18,15 @@ fn bench(c: &mut Criterion) {
     let params = santander_params();
 
     let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     group.bench_function("upload_mine_requery", |b| {
         b.iter(|| {
             let svc = MiscelaService::new();
-            svc.begin_upload("santander", &locations, &attributes).unwrap();
+            svc.begin_upload("santander", &locations, &attributes)
+                .unwrap();
             for chunk in split_into_chunks(&data, DEFAULT_CHUNK_LINES) {
                 svc.upload_chunk("santander", &chunk).unwrap();
             }

@@ -11,7 +11,9 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let ds = santander_bench();
     let mut group = c.benchmark_group("segmentation_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function("without_segmentation", |b| {
         let miner = Miner::new(santander_params().with_segmentation(false)).unwrap();

@@ -10,11 +10,17 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let ds = santander_bench();
-    let caps = Miner::new(santander_params()).unwrap().mine(&ds).unwrap().caps;
+    let caps = Miner::new(santander_params())
+        .unwrap()
+        .mine(&ds)
+        .unwrap()
+        .caps;
     let selected = caps.caps().first().map(|c| c.sensors()[0]);
 
     let mut group = c.benchmark_group("viz_render");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function("map_with_highlight", |b| {
         let view = MapView::new(&ds, &caps, MapConfig::default());

@@ -29,6 +29,10 @@ fn main() {
     );
     println!(
         "\nshape check (paper): horizontal rate should exceed vertical rate -> {}",
-        if report.horizontal_correlated_rate > report.vertical_correlated_rate { "holds" } else { "does NOT hold" }
+        if report.horizontal_correlated_rate > report.vertical_correlated_rate {
+            "holds"
+        } else {
+            "does NOT hold"
+        }
     );
 }

@@ -14,7 +14,11 @@ fn main() {
     }
     println!(
         "\ngenerated stand-ins ({}):",
-        if paper { "paper scale" } else { "bench scale; pass --paper-scale for full size" }
+        if paper {
+            "paper scale"
+        } else {
+            "bench scale; pass --paper-scale for full size"
+        }
     );
     for ds in [
         santander(paper),

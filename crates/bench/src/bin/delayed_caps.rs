@@ -1,4 +1,4 @@
-//! Experiment E12: time-delayed CAPs (the DPD 2020 extension, reference [3]
+//! Experiment E12: time-delayed CAPs (the DPD 2020 extension, reference \[3\]
 //! of the demo paper). On the China generator, downwind stations react to
 //! pollution plumes a few hours after upwind ones.
 
@@ -24,7 +24,12 @@ fn main() {
         println!("  delay {delay} h: {n} patterns");
     }
     println!("\ntop delayed (non-simultaneous) patterns:");
-    for d in result.delayed.iter().filter(|d| !d.is_simultaneous()).take(8) {
+    for d in result
+        .delayed
+        .iter()
+        .filter(|d| !d.is_simultaneous())
+        .take(8)
+    {
         let leader = ds.sensor(d.leader);
         let follower = ds.sensor(d.follower);
         println!(

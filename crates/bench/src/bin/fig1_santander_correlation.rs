@@ -20,7 +20,12 @@ fn main() {
 
     let temp = ds.attributes().id_of("temperature").unwrap();
     let traffic = ds.attributes().id_of("traffic").unwrap();
-    let Some(cap) = result.caps.with_attributes(&[temp, traffic]).first().copied() else {
+    let Some(cap) = result
+        .caps
+        .with_attributes(&[temp, traffic])
+        .first()
+        .copied()
+    else {
         println!("no temperature/traffic CAP found at these parameters");
         return;
     };

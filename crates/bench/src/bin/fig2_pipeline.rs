@@ -16,11 +16,16 @@ fn main() {
     let data = writer.data_csv(&ds);
     let locations = writer.location_csv(&ds);
     let attributes = writer.attribute_csv(&ds);
-    println!("export to csv:        {:8.1} ms ({} data.csv lines)", t0.elapsed().as_secs_f64() * 1e3, data.lines().count());
+    println!(
+        "export to csv:        {:8.1} ms ({} data.csv lines)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        data.lines().count()
+    );
 
     let svc = MiscelaService::new();
     let t1 = Instant::now();
-    svc.begin_upload("santander", &locations, &attributes).unwrap();
+    svc.begin_upload("santander", &locations, &attributes)
+        .unwrap();
     let chunks = split_into_chunks(&data, DEFAULT_CHUNK_LINES);
     let n_chunks = chunks.len();
     for chunk in chunks {

@@ -25,7 +25,10 @@ fn main() {
         "clicking {} highlights {} correlated sensors: {:?}",
         ds.sensor(clicked).id,
         highlighted.len(),
-        highlighted.iter().map(|&s| ds.sensor(s).id.to_string()).collect::<Vec<_>>()
+        highlighted
+            .iter()
+            .map(|&s| ds.sensor(s).id.to_string())
+            .collect::<Vec<_>>()
     );
 
     let out_dir = std::env::temp_dir();
@@ -37,7 +40,10 @@ fn main() {
     let dash = Dashboard::new(&ds, &result.caps).render_for_cap(cap);
     let dash_path = out_dir.join("miscela_fig3_dashboard.svg");
     std::fs::write(&dash_path, dash.render()).unwrap();
-    println!("dashboard (A/C/D panels) written to {}", dash_path.display());
+    println!(
+        "dashboard (A/C/D panels) written to {}",
+        dash_path.display()
+    );
 
     // Zoom behaviour (panel D): three zoom-in steps shrink the window 8x.
     state.zoom_in(0.5);

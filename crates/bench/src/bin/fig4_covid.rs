@@ -23,7 +23,10 @@ fn main() {
     println!("\npollutant levels (mean before -> after):");
     for (attr, before) in &result.before_means {
         let after = result.after_means[attr];
-        println!("  {attr:6} {before:8.2} -> {after:8.2} ({:+.1}%)", (after - before) / before * 100.0);
+        println!(
+            "  {attr:6} {before:8.2} -> {after:8.2} ({:+.1}%)",
+            (after - before) / before * 100.0
+        );
     }
     println!("\n(a) before: {}", result.before.summary());
     for ((a, b), n) in &result.before_pairs {
@@ -34,7 +37,11 @@ fn main() {
         println!("    {a:6} <-> {b:6} in {n} CAPs");
     }
     let (disappeared, emerged) = result.pattern_changes();
-    println!("\npattern changes: {} pair kinds disappeared, {} emerged", disappeared.len(), emerged.len());
+    println!(
+        "\npattern changes: {} pair kinds disappeared, {} emerged",
+        disappeared.len(),
+        emerged.len()
+    );
     for (a, b) in disappeared {
         println!("  - {a} <-> {b}");
     }

@@ -14,18 +14,30 @@ fn main() {
 
     println!("\npsi (minimum support; paper: small psi => more CAPs):");
     for psi in [5usize, 10, 20, 40, 80, 160] {
-        println!("  psi = {psi:4} -> {} CAPs", count(santander_params().with_psi(psi)));
+        println!(
+            "  psi = {psi:4} -> {} CAPs",
+            count(santander_params().with_psi(psi))
+        );
     }
     println!("\neta (distance threshold, km; paper: large eta => more CAPs):");
     for eta in [0.1f64, 0.2, 0.5, 1.0, 2.0] {
-        println!("  eta = {eta:4.1} -> {} CAPs", count(santander_params().with_eta_km(eta)));
+        println!(
+            "  eta = {eta:4.1} -> {} CAPs",
+            count(santander_params().with_eta_km(eta))
+        );
     }
     println!("\nepsilon (evolving rate; larger epsilon keeps only large changes):");
     for eps in [0.1f64, 0.2, 0.4, 0.8, 1.6] {
-        println!("  eps = {eps:4.1} -> {} CAPs", count(santander_params().with_epsilon(eps)));
+        println!(
+            "  eps = {eps:4.1} -> {} CAPs",
+            count(santander_params().with_epsilon(eps))
+        );
     }
     println!("\nmu (maximum number of CAP attributes):");
     for mu in [2usize, 3, 4, 5] {
-        println!("  mu  = {mu:4} -> {} CAPs", count(santander_params().with_mu(mu)));
+        println!(
+            "  mu  = {mu:4} -> {} CAPs",
+            count(santander_params().with_mu(mu))
+        );
     }
 }

@@ -5,6 +5,19 @@
 //! enough for CI and `cargo bench` on a laptop) and `--paper-scale`
 //! (matching the record counts of Section 4). The scale is controlled by
 //! the functions here so benches and experiments stay consistent.
+//!
+//! # Example
+//!
+//! ```
+//! use miscela_bench::{santander_bench, santander_params};
+//!
+//! let dataset = santander_bench();
+//! assert!(dataset.sensor_count() > 0);
+//! assert!(santander_params().validate().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use miscela_core::MiningParams;
 use miscela_datagen::{ChinaGenerator, ChinaProfile, CovidGenerator, SantanderGenerator};

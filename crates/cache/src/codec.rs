@@ -27,12 +27,22 @@ pub fn cap_to_json(cap: &Cap) -> Json {
         ("members", Json::Array(members)),
         (
             "attributes",
-            Json::Array(cap.attributes.iter().map(|a| Json::from(a.0 as i64)).collect()),
+            Json::Array(
+                cap.attributes
+                    .iter()
+                    .map(|a| Json::from(a.0 as i64))
+                    .collect(),
+            ),
         ),
         ("support", Json::from(cap.support)),
         (
             "timestamps",
-            Json::Array(cap.timestamps.iter().map(|&t| Json::from(t as i64)).collect()),
+            Json::Array(
+                cap.timestamps
+                    .iter()
+                    .map(|&t| Json::from(t as i64))
+                    .collect(),
+            ),
         ),
     ])
 }
@@ -149,7 +159,8 @@ mod tests {
         assert!(capset_from_json(&Json::from("not an array")).is_none());
         let bad_member = Json::parse(r#"[{"members":[{"sensor":1,"direction":"x"}],"attributes":[0],"support":1,"timestamps":[1]}]"#).unwrap();
         assert!(capset_from_json(&bad_member).is_none());
-        let missing_field = Json::parse(r#"[{"attributes":[0],"support":1,"timestamps":[1]}]"#).unwrap();
+        let missing_field =
+            Json::parse(r#"[{"attributes":[0],"support":1,"timestamps":[1]}]"#).unwrap();
         assert!(capset_from_json(&missing_field).is_none());
     }
 }

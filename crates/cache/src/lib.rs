@@ -16,6 +16,24 @@
 //! [`miscela_store::Database`] collection (the MongoDB substitute), so
 //! cached results survive across sessions and can be inspected with the
 //! store's query interface.
+//!
+//! # Example
+//!
+//! ```
+//! use miscela_cache::{CacheKey, ResultCache};
+//! use miscela_core::{CapSet, MiningParams};
+//!
+//! let cache = ResultCache::new();
+//! let params = MiningParams::new().with_psi(20);
+//! let key = CacheKey::new("santander", &params);
+//!
+//! assert!(cache.get(&key).is_none()); // miss: would trigger mining
+//! cache.put(key.clone(), CapSet::new());
+//! assert!(cache.get(&key).is_some()); // hit: mining skipped
+//!
+//! let stats = cache.stats();
+//! assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

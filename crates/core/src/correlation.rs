@@ -131,8 +131,16 @@ mod tests {
 
     #[test]
     fn pearson_uncorrelated_is_small() {
-        let a = series(&(0..200).map(|i| ((i * 7919) % 101) as f64).collect::<Vec<_>>());
-        let b = series(&(0..200).map(|i| ((i * 104729 + 17) % 97) as f64).collect::<Vec<_>>());
+        let a = series(
+            &(0..200)
+                .map(|i| ((i * 7919) % 101) as f64)
+                .collect::<Vec<_>>(),
+        );
+        let b = series(
+            &(0..200)
+                .map(|i| ((i * 104729 + 17) % 97) as f64)
+                .collect::<Vec<_>>(),
+        );
         let r = pearson(&a, &b).unwrap();
         assert!(r.abs() < 0.35, "pseudo-random series gave r={r}");
     }

@@ -1,6 +1,6 @@
 //! Time-delayed correlated attribute patterns.
 //!
-//! Reference [3] of the demo paper (Harada et al., Distributed and Parallel
+//! Reference \[3\] of the demo paper (Harada et al., Distributed and Parallel
 //! Databases 2020) extends MISCELA from *simultaneous* to *time-delayed*
 //! co-evolution: sensor B's measurement evolves δ grid steps after sensor A's.
 //! The wind-advection scenario of the China demonstration is exactly such a

@@ -23,7 +23,10 @@ impl fmt::Display for MiningError {
                 write!(f, "invalid parameter {name}: {message}")
             }
             MiningError::DatasetTooSmall(n) => {
-                write!(f, "dataset has only {n} timestamps; at least 2 are required")
+                write!(
+                    f,
+                    "dataset has only {n} timestamps; at least 2 are required"
+                )
             }
         }
     }

@@ -163,9 +163,7 @@ mod tests {
 
     #[test]
     fn larger_epsilon_never_increases_evolving_count() {
-        let s = TimeSeries::from_values(
-            (0..100).map(|i| ((i as f64) * 0.7).sin() * 3.0).collect(),
-        );
+        let s = TimeSeries::from_values((0..100).map(|i| ((i as f64) * 0.7).sin() * 3.0).collect());
         let mut prev = usize::MAX;
         for eps in [0.0, 0.1, 0.5, 1.0, 2.0, 5.0] {
             let count = extract_evolving(&s, eps).total();
@@ -212,9 +210,7 @@ mod tests {
 
     #[test]
     fn directional_bitsets_are_disjoint_for_positive_epsilon() {
-        let s = TimeSeries::from_values(
-            (0..300).map(|i| ((i * 37) % 17) as f64 * 0.5).collect(),
-        );
+        let s = TimeSeries::from_values((0..300).map(|i| ((i * 37) % 17) as f64 * 0.5).collect());
         let ev = extract_evolving(&s, 0.4);
         assert_eq!(ev.up.and_count(&ev.down), 0);
         assert_eq!(ev.for_direction(Direction::Up).count(), ev.up.count());

@@ -27,6 +27,39 @@
 //! [`miner::Miner`] runs the whole pipeline; [`baseline::NaiveMiner`] is the
 //! unoptimized level-wise comparator used by the efficiency experiments;
 //! [`delayed`] implements the time-delayed extension of the DPD 2020 paper.
+//!
+//! # Example
+//!
+//! Two spatially close sensors of different attributes whose series evolve
+//! in lock-step form a CAP:
+//!
+//! ```
+//! use miscela_core::{Miner, MiningParams};
+//! use miscela_model::{DatasetBuilder, Duration, GeoPoint, TimeGrid, TimeSeries, Timestamp};
+//!
+//! let mut builder = DatasetBuilder::new("mini");
+//! let start = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+//! let n = 48;
+//! builder.set_grid(TimeGrid::new(start, Duration::hours(1), n).unwrap());
+//! let wave: Vec<f64> = (0..n).map(|i| (i % 6) as f64).collect();
+//! let temp = builder
+//!     .add_sensor("a", "temperature", GeoPoint::new(43.0, -3.0).unwrap())
+//!     .unwrap();
+//! let light = builder
+//!     .add_sensor("b", "light", GeoPoint::new(43.001, -3.0).unwrap())
+//!     .unwrap();
+//! builder.set_series(temp, TimeSeries::from_values(wave.clone())).unwrap();
+//! builder.set_series(light, TimeSeries::from_values(wave)).unwrap();
+//! let dataset = builder.build().unwrap();
+//!
+//! let params = MiningParams::new()
+//!     .with_epsilon(0.5)
+//!     .with_eta_km(1.0)
+//!     .with_psi(10)
+//!     .with_segmentation(false);
+//! let result = Miner::new(params).unwrap().mine(&dataset).unwrap();
+//! assert!(!result.caps.is_empty());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -148,7 +148,10 @@ impl Miner {
 }
 
 /// Searches components in parallel across the available hardware threads.
-fn search_components_parallel(ctx: &SearchContext<'_>, components: &[&Vec<SensorIndex>]) -> Vec<Cap> {
+fn search_components_parallel(
+    ctx: &SearchContext<'_>,
+    components: &[&Vec<SensorIndex>],
+) -> Vec<Cap> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -161,9 +164,9 @@ fn search_components_parallel(ctx: &SearchContext<'_>, components: &[&Vec<Sensor
         return out;
     }
     // Static round-robin assignment keeps the largest components spread over
-    // workers; crossbeam's scope lets the worker threads borrow the context.
+    // workers; a scoped spawn lets the worker threads borrow the context.
     let mut results: Vec<Vec<Cap>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..workers {
             let comps: Vec<&Vec<SensorIndex>> = components
@@ -172,7 +175,7 @@ fn search_components_parallel(ctx: &SearchContext<'_>, components: &[&Vec<Sensor
                 .filter(|(i, _)| i % workers == w)
                 .map(|(_, c)| *c)
                 .collect();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut out = Vec::new();
                 for comp in comps {
                     out.extend(ctx.search_component(comp));
@@ -183,15 +186,16 @@ fn search_components_parallel(ctx: &SearchContext<'_>, components: &[&Vec<Sensor
         for h in handles {
             results.push(h.join().expect("search worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     results.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use miscela_model::{DatasetBuilder, Duration as ModelDuration, GeoPoint, TimeGrid, TimeSeries, Timestamp};
+    use miscela_model::{
+        DatasetBuilder, Duration as ModelDuration, GeoPoint, TimeGrid, TimeSeries, Timestamp,
+    };
 
     /// Builds a dataset with `clusters` spatial clusters; within each
     /// cluster, sensors 0 and 1 co-evolve (different attributes) and sensor 2
@@ -269,7 +273,10 @@ mod tests {
         b.add_sensor("s", "temperature", GeoPoint::new_unchecked(0.0, 0.0))
             .unwrap();
         let ds = b.build().unwrap();
-        assert!(matches!(miner.mine(&ds), Err(MiningError::DatasetTooSmall(1))));
+        assert!(matches!(
+            miner.mine(&ds),
+            Err(MiningError::DatasetTooSmall(1))
+        ));
     }
 
     #[test]
@@ -314,9 +321,7 @@ mod tests {
         // co-evolution; with segmentation the count must not increase.
         let n = 300;
         let mut b = DatasetBuilder::new("noisy");
-        b.set_grid(
-            TimeGrid::new(Timestamp::EPOCH, ModelDuration::hours(1), n).unwrap(),
-        );
+        b.set_grid(TimeGrid::new(Timestamp::EPOCH, ModelDuration::hours(1), n).unwrap());
         let noisy = |seed: u64| -> TimeSeries {
             let mut state = seed;
             TimeSeries::from_values(
@@ -331,7 +336,10 @@ mod tests {
                     .collect(),
             )
         };
-        for (i, attr) in ["temperature", "traffic", "light", "humidity"].iter().enumerate() {
+        for (i, attr) in ["temperature", "traffic", "light", "humidity"]
+            .iter()
+            .enumerate()
+        {
             let idx = b
                 .add_sensor(
                     format!("s{i}"),

@@ -130,13 +130,13 @@ impl MiningParams {
 
     /// Validates the parameter ranges.
     pub fn validate(&self) -> Result<(), MiningError> {
-        if !(self.epsilon >= 0.0) || self.epsilon.is_nan() {
+        if self.epsilon < 0.0 || self.epsilon.is_nan() {
             return Err(MiningError::InvalidParameter {
                 name: "epsilon",
                 message: format!("must be >= 0, got {}", self.epsilon),
             });
         }
-        if !(self.eta_km > 0.0) || self.eta_km.is_nan() {
+        if self.eta_km <= 0.0 || self.eta_km.is_nan() {
             return Err(MiningError::InvalidParameter {
                 name: "eta_km",
                 message: format!("must be > 0, got {}", self.eta_km),
@@ -232,17 +232,26 @@ mod tests {
     #[test]
     fn invalid_parameters_rejected() {
         assert!(MiningParams::new().with_epsilon(-1.0).validate().is_err());
-        assert!(MiningParams::new().with_epsilon(f64::NAN).validate().is_err());
+        assert!(MiningParams::new()
+            .with_epsilon(f64::NAN)
+            .validate()
+            .is_err());
         assert!(MiningParams::new().with_eta_km(0.0).validate().is_err());
         assert!(MiningParams::new().with_mu(0).validate().is_err());
         assert!(MiningParams::new().with_psi(0).validate().is_err());
-        assert!(MiningParams::new().with_min_attributes(0).validate().is_err());
+        assert!(MiningParams::new()
+            .with_min_attributes(0)
+            .validate()
+            .is_err());
         assert!(MiningParams::new()
             .with_mu(2)
             .with_min_attributes(3)
             .validate()
             .is_err());
-        assert!(MiningParams::new().with_max_sensors(Some(1)).validate().is_err());
+        assert!(MiningParams::new()
+            .with_max_sensors(Some(1))
+            .validate()
+            .is_err());
         assert!(MiningParams::new()
             .with_segmentation_error(1.5)
             .validate()

@@ -100,7 +100,12 @@ impl fmt::Display for Cap {
             }
             write!(f, "{}{}", m.sensor, m.direction.symbol())?;
         }
-        write!(f, " | {} attrs, support {}}}", self.attributes.len(), self.support)
+        write!(
+            f,
+            " | {} attrs, support {}}}",
+            self.attributes.len(),
+            self.support
+        )
     }
 }
 
@@ -195,7 +200,9 @@ impl CapSet {
         for cap in &self.caps {
             for i in 0..cap.attributes.len() {
                 for j in (i + 1)..cap.attributes.len() {
-                    *counts.entry((cap.attributes[i], cap.attributes[j])).or_insert(0) += 1;
+                    *counts
+                        .entry((cap.attributes[i], cap.attributes[j]))
+                        .or_insert(0) += 1;
                 }
             }
         }
@@ -309,7 +316,10 @@ mod tests {
         assert!(set.partners_of(SensorIndex(9)).is_empty());
         assert_eq!(set.containing(SensorIndex(2)).count(), 2);
         assert_eq!(set.with_attribute(AttributeId(2)).count(), 1);
-        assert_eq!(set.with_attributes(&[AttributeId(0), AttributeId(1)]).len(), 2);
+        assert_eq!(
+            set.with_attributes(&[AttributeId(0), AttributeId(1)]).len(),
+            2
+        );
         assert!(!set.is_empty());
         assert!(set.summary().contains("3 CAPs"));
         assert_eq!(CapSet::new().summary(), "0 CAPs");

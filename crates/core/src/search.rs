@@ -163,14 +163,27 @@ impl<'a> SearchContext<'a> {
                 new_closed.insert(u);
             }
             new_closed.insert(w);
-            self.extend(seed, subset, &new_closed, new_ext, &new_candidates, &new_attrs, out);
+            self.extend(
+                seed,
+                subset,
+                &new_closed,
+                new_ext,
+                &new_candidates,
+                &new_attrs,
+                out,
+            );
             subset.pop();
         }
     }
 
     /// Builds the reported CAP for a sensor set: the direction assignment
     /// with maximum support wins.
-    fn emit(&self, subset: &[SensorIndex], attrs: &BTreeSet<AttributeId>, candidates: &[Candidate]) -> Cap {
+    fn emit(
+        &self,
+        subset: &[SensorIndex],
+        attrs: &BTreeSet<AttributeId>,
+        candidates: &[Candidate],
+    ) -> Cap {
         let best = candidates
             .iter()
             .max_by(|a, b| {
@@ -315,7 +328,9 @@ mod tests {
         // Series co-evolve at exactly 7 timestamps (one rise of the sawtooth
         // per period of 12 => ~3 rises of length ~5).
         let series = vec![saw(n, 12, 1.0), saw(n, 12, 1.0)];
-        let base = MiningParams::new().with_epsilon(0.5).with_segmentation(false);
+        let base = MiningParams::new()
+            .with_epsilon(0.5)
+            .with_segmentation(false);
         let (evolving, attributes, graph) = context_fixture(&series, &[0, 1], false, &base);
         let count_with_psi = |psi: usize| {
             let params = base.clone().with_psi(psi);
@@ -362,7 +377,10 @@ mod tests {
         let n = 80;
         // Three sensors, three different attributes, all co-evolving.
         let series = vec![saw(n, 10, 1.0), saw(n, 10, 1.5), saw(n, 10, 2.0)];
-        let base = MiningParams::new().with_epsilon(0.4).with_psi(5).with_segmentation(false);
+        let base = MiningParams::new()
+            .with_epsilon(0.4)
+            .with_psi(5)
+            .with_segmentation(false);
         let (evolving, attributes, graph) = context_fixture(&series, &[0, 1, 2], false, &base);
         let caps_for_mu = |mu: usize| {
             let params = base.clone().with_mu(mu).with_min_attributes(2.min(mu));
@@ -375,7 +393,10 @@ mod tests {
             ctx.search_component(&graph.components()[0])
         };
         let caps3 = caps_for_mu(3);
-        assert!(caps3.iter().any(|c| c.size() == 3), "triple not found with mu=3");
+        assert!(
+            caps3.iter().any(|c| c.size() == 3),
+            "triple not found with mu=3"
+        );
         let caps2 = caps_for_mu(2);
         assert!(caps2.iter().all(|c| c.attribute_count() <= 2));
         assert!(!caps2.iter().any(|c| c.size() == 3));
@@ -418,7 +439,8 @@ mod tests {
         let n = 100;
         // Sensor 1 is the mirror image of sensor 0: when 0 rises, 1 falls.
         let up = saw(n, 10, 1.0);
-        let down = TimeSeries::from_values(up.iter().map(|v| 10.0 - v.unwrap()).collect::<Vec<_>>());
+        let down =
+            TimeSeries::from_values(up.iter().map(|v| 10.0 - v.unwrap()).collect::<Vec<_>>());
         let params = MiningParams::new()
             .with_epsilon(0.5)
             .with_psi(10)

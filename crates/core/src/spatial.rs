@@ -245,7 +245,9 @@ mod tests {
         // equal the brute-force all-pairs adjacency.
         let mut state = 12345u64;
         let mut rand01 = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64 / 2.0) / 2.0
         };
         let points: Vec<GeoPoint> = (0..120)
@@ -299,11 +301,7 @@ mod tests {
     #[test]
     fn connected_subset_check() {
         // A chain 0 - 1 - 2 (0 and 2 are not direct neighbours).
-        let points = vec![
-            p(43.4600, -3.80),
-            p(43.4680, -3.80),
-            p(43.4760, -3.80),
-        ];
+        let points = vec![p(43.4600, -3.80), p(43.4680, -3.80), p(43.4760, -3.80)];
         let g = ProximityGraph::from_points(&points, 1.0);
         assert!(g.are_close(s(0), s(1)));
         assert!(g.are_close(s(1), s(2)));
@@ -326,7 +324,9 @@ mod tests {
 
     #[test]
     fn degree_summary_reasonable() {
-        let points: Vec<GeoPoint> = (0..10).map(|i| p(43.46 + 0.0005 * i as f64, -3.80)).collect();
+        let points: Vec<GeoPoint> = (0..10)
+            .map(|i| p(43.46 + 0.0005 * i as f64, -3.80))
+            .collect();
         let g = ProximityGraph::from_points(&points, 1.0);
         let (min, mean, max) = g.degree_summary();
         assert!(min >= 1);

@@ -34,10 +34,7 @@ pub fn split_into_chunks(content: &str, chunk_lines: usize) -> Vec<Chunk> {
     if lines.is_empty() {
         return Vec::new();
     }
-    let chunks_raw: Vec<Vec<&str>> = lines
-        .chunks(chunk_lines)
-        .map(|c| c.to_vec())
-        .collect();
+    let chunks_raw: Vec<Vec<&str>> = lines.chunks(chunk_lines).map(|c| c.to_vec()).collect();
     let total = chunks_raw.len();
     chunks_raw
         .into_iter()
@@ -99,7 +96,10 @@ impl ChunkedUploader {
             self.rows_received += n;
         } else {
             // Re-sent chunk replaces the previous copy.
-            self.rows_received -= self.received[chunk.index].as_ref().map(|r| r.len()).unwrap_or(0);
+            self.rows_received -= self.received[chunk.index]
+                .as_ref()
+                .map(|r| r.len())
+                .unwrap_or(0);
             self.rows_received += n;
         }
         self.received[chunk.index] = Some(rows);

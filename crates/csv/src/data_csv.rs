@@ -96,7 +96,13 @@ pub fn format_row(row: &DataRow) -> String {
         Some(v) => format_float(v),
         None => "null".to_string(),
     };
-    format!("{},{},{},{}", row.id, row.attribute, row.time.format(), value)
+    format!(
+        "{},{},{},{}",
+        row.id,
+        row.attribute,
+        row.time.format(),
+        value
+    )
 }
 
 /// Formats a float the way the paper's files do: plain decimal, no
@@ -134,9 +140,24 @@ mod tests {
 
     #[test]
     fn header_detection() {
-        assert!(is_header(&["id".into(), "attribute".into(), "time".into(), "data".into()]));
-        assert!(is_header(&["ID".into(), "Attribute".into(), "Time".into(), "Data".into()]));
-        assert!(!is_header(&["00000".into(), "temperature".into(), "t".into(), "1".into()]));
+        assert!(is_header(&[
+            "id".into(),
+            "attribute".into(),
+            "time".into(),
+            "data".into()
+        ]));
+        assert!(is_header(&[
+            "ID".into(),
+            "Attribute".into(),
+            "Time".into(),
+            "Data".into()
+        ]));
+        assert!(!is_header(&[
+            "00000".into(),
+            "temperature".into(),
+            "t".into(),
+            "1".into()
+        ]));
     }
 
     #[test]

@@ -51,11 +51,21 @@ pub enum CsvError {
 impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CsvError::WrongFieldCount { file, line, expected, actual } => write!(
+            CsvError::WrongFieldCount {
+                file,
+                line,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "{file}:{line}: expected {expected} fields, found {actual}"
             ),
-            CsvError::BadField { file, line, field, value } => {
+            CsvError::BadField {
+                file,
+                line,
+                field,
+                value,
+            } => {
                 write!(f, "{file}:{line}: cannot parse {field} from {value:?}")
             }
             CsvError::UnterminatedQuote { line } => {

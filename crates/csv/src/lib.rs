@@ -14,6 +14,28 @@
 //! three files (or a stream of chunks) into a [`miscela_model::Dataset`];
 //! [`writer`] exports a dataset back to the same three files so every
 //! generated dataset can round-trip through the real upload path.
+//!
+//! # Example
+//!
+//! ```
+//! use miscela_csv::DatasetLoader;
+//!
+//! let data = "id,attribute,time,data\n\
+//!             s0,temperature,2016-03-01 00:00:00,9.5\n\
+//!             s0,temperature,2016-03-01 01:00:00,null\n\
+//!             s1,traffic volume,2016-03-01 00:00:00,120\n\
+//!             s1,traffic volume,2016-03-01 01:00:00,131\n";
+//! let locations = "id,attribute,lat,lon\n\
+//!                  s0,temperature,43.46,-3.80\n\
+//!                  s1,traffic volume,43.47,-3.79\n";
+//! let attributes = "temperature\ntraffic volume\n";
+//!
+//! let dataset = DatasetLoader::new("santander-mini")
+//!     .load_documents(data, locations, attributes)
+//!     .unwrap();
+//! assert_eq!(dataset.sensor_count(), 2);
+//! assert_eq!(dataset.timestamp_count(), 2);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -117,7 +117,8 @@ impl DatasetLoader {
                 )));
             }
         }
-        let len = ((last.epoch_seconds() - first.epoch_seconds()) / interval.as_secs()) as usize + 1;
+        let len =
+            ((last.epoch_seconds() - first.epoch_seconds()) / interval.as_secs()) as usize + 1;
         TimeGrid::new(first, interval, len).map_err(CsvError::Model)
     }
 }
@@ -146,9 +147,15 @@ s2,traffic,43.46212,-3.79979\n";
     fn data_doc() -> String {
         let mut s = String::from("id,attribute,time,data\n");
         for h in 0..6 {
-            s.push_str(&format!("s1,temperature,2016-03-01 {h:02}:00:00,{}\n", 10.0 + h as f64));
+            s.push_str(&format!(
+                "s1,temperature,2016-03-01 {h:02}:00:00,{}\n",
+                10.0 + h as f64
+            ));
             if h != 3 {
-                s.push_str(&format!("s2,traffic,2016-03-01 {h:02}:00:00,{}\n", 100.0 * h as f64));
+                s.push_str(&format!(
+                    "s2,traffic,2016-03-01 {h:02}:00:00,{}\n",
+                    100.0 * h as f64
+                ));
             }
         }
         s

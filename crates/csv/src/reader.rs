@@ -123,7 +123,10 @@ mod tests {
     #[test]
     fn simple_line() {
         let f = parse_line("00000,temperature,2016-03-01 00:00:00,null", 1).unwrap();
-        assert_eq!(f, vec!["00000", "temperature", "2016-03-01 00:00:00", "null"]);
+        assert_eq!(
+            f,
+            vec!["00000", "temperature", "2016-03-01 00:00:00", "null"]
+        );
     }
 
     #[test]
@@ -155,9 +158,8 @@ mod tests {
     #[test]
     fn reader_skips_blank_lines_and_tracks_numbers() {
         let doc = "a,b\n\n  \nc,d\r\ne,f";
-        let rows: Vec<(usize, Vec<String>)> = CsvReader::new(doc)
-            .map(|(n, r)| (n, r.unwrap()))
-            .collect();
+        let rows: Vec<(usize, Vec<String>)> =
+            CsvReader::new(doc).map(|(n, r)| (n, r.unwrap())).collect();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].0, 1);
         assert_eq!(rows[1].0, 4);

@@ -50,7 +50,11 @@ impl DatasetWriter {
             for (i, t) in ds.grid().iter().enumerate() {
                 match ss.series.get(i) {
                     Some(v) => {
-                        out.push_str(&format!("{id},{attr_esc},{},{}\n", t.format(), format_float(v)));
+                        out.push_str(&format!(
+                            "{id},{attr_esc},{},{}\n",
+                            t.format(),
+                            format_float(v)
+                        ));
                     }
                     None if self.emit_nulls => {
                         out.push_str(&format!("{id},{attr_esc},{},null\n", t.format()));
@@ -103,13 +107,24 @@ mod tests {
         let start = Timestamp::parse("2016-03-01 00:00:00").unwrap();
         b.set_grid(TimeGrid::new(start, Duration::hours(1), 3).unwrap());
         let s1 = b
-            .add_sensor("00000", "temperature", GeoPoint::new_unchecked(43.46192, -3.80176))
+            .add_sensor(
+                "00000",
+                "temperature",
+                GeoPoint::new_unchecked(43.46192, -3.80176),
+            )
             .unwrap();
         let s2 = b
-            .add_sensor("00001", "traffic", GeoPoint::new_unchecked(43.46212, -3.79979))
+            .add_sensor(
+                "00001",
+                "traffic",
+                GeoPoint::new_unchecked(43.46212, -3.79979),
+            )
             .unwrap();
-        b.set_series(s1, TimeSeries::from_options(&[None, Some(9.87), Some(10.5)]))
-            .unwrap();
+        b.set_series(
+            s1,
+            TimeSeries::from_options(&[None, Some(9.87), Some(10.5)]),
+        )
+        .unwrap();
         b.set_series(s2, TimeSeries::from_values(vec![100.0, 120.0, 90.0]))
             .unwrap();
         b.build().unwrap()
@@ -134,7 +149,11 @@ mod tests {
         let ds = dataset();
         let w = DatasetWriter::new();
         let reloaded = DatasetLoader::new("rt")
-            .load_documents(&w.data_csv(&ds), &w.location_csv(&ds), &w.attribute_csv(&ds))
+            .load_documents(
+                &w.data_csv(&ds),
+                &w.location_csv(&ds),
+                &w.attribute_csv(&ds),
+            )
             .unwrap();
         assert_eq!(reloaded.sensor_count(), ds.sensor_count());
         assert_eq!(reloaded.timestamp_count(), ds.timestamp_count());

@@ -103,8 +103,12 @@ impl CovidGenerator {
         let profile = DatasetProfile::covid19();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut builder = DatasetBuilder::new("covid19");
-        let grid = TimeGrid::new(profile.period.start, profile.interval, self.timestamp_count())
-            .expect("valid grid");
+        let grid = TimeGrid::new(
+            profile.period.start,
+            profile.interval,
+            self.timestamp_count(),
+        )
+        .expect("valid grid");
         builder.set_grid(grid.clone());
         for attr in &profile.attributes {
             builder.add_attribute(attr);
@@ -170,7 +174,9 @@ impl CovidGenerator {
                     )
                     .expect("unique sensor id");
                 let series: TimeSeries = observe(&mut rng, clean, noise_std, self.missing_rate);
-                builder.set_series(idx, series).expect("series length matches grid");
+                builder
+                    .set_series(idx, series)
+                    .expect("series length matches grid");
             }
         }
 

@@ -24,6 +24,20 @@
 //! Every generator is deterministic given its seed, supports a `scale`
 //! factor so tests and benches run on reduced data, and has a
 //! `paper_scale()` constructor matching Section 4's record counts.
+//!
+//! # Example
+//!
+//! ```
+//! use miscela_datagen::SantanderGenerator;
+//!
+//! let dataset = SantanderGenerator::small().with_scale(0.02).generate();
+//! assert!(dataset.sensor_count() > 0);
+//! assert!(dataset.attributes().len() >= 2);
+//!
+//! // Generation is deterministic for a given seed.
+//! let again = SantanderGenerator::small().with_scale(0.02).generate();
+//! assert_eq!(dataset.record_count(), again.record_count());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -58,12 +58,7 @@ pub fn random_walk(
 /// Adds white noise and random missing values to a clean signal, producing
 /// the final series. `missing_rate` is the probability that a measurement is
 /// dropped (the paper's files contain explicit nulls).
-pub fn observe(
-    rng: &mut StdRng,
-    clean: &[f64],
-    noise_std: f64,
-    missing_rate: f64,
-) -> TimeSeries {
+pub fn observe(rng: &mut StdRng, clean: &[f64], noise_std: f64, missing_rate: f64) -> TimeSeries {
     TimeSeries::from_options(
         &clean
             .iter()

@@ -7,7 +7,9 @@
 //! groups are spatially separated so that the expected CAP set is known.
 
 use crate::noise::observe;
-use miscela_model::{Dataset, DatasetBuilder, Duration, GeoPoint, SensorId, TimeGrid, TimeSeries, Timestamp};
+use miscela_model::{
+    Dataset, DatasetBuilder, Duration, GeoPoint, SensorId, TimeGrid, TimeSeries, Timestamp,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,7 +63,14 @@ impl PlantedGenerator {
     /// Attribute name for the i-th member of a group (members always get
     /// distinct attributes so the groups qualify as CAPs).
     fn attribute_for(member: usize) -> String {
-        const NAMES: [&str; 6] = ["temperature", "traffic", "light", "humidity", "sound", "pressure"];
+        const NAMES: [&str; 6] = [
+            "temperature",
+            "traffic",
+            "light",
+            "humidity",
+            "sound",
+            "pressure",
+        ];
         NAMES[member % NAMES.len()].to_string()
     }
 
@@ -117,7 +126,11 @@ impl PlantedGenerator {
                 for (i, slot) in values.iter_mut().enumerate() {
                     if event_cursor < event_indices.len() && event_indices[event_cursor] == i {
                         // Alternate up/down jumps so levels stay bounded.
-                        let dir = if event_cursor % 2 == 0 { 1.0 } else { -1.0 };
+                        let dir = if event_cursor.is_multiple_of(2) {
+                            1.0
+                        } else {
+                            -1.0
+                        };
                         level += dir * 10.0;
                         event_cursor += 1;
                     }
@@ -169,7 +182,10 @@ mod tests {
         let gen = PlantedGenerator::default();
         let (ds, truth) = gen.generate();
         assert_eq!(truth.len(), gen.groups);
-        assert_eq!(ds.sensor_count(), gen.groups * gen.group_size + gen.noise_sensors);
+        assert_eq!(
+            ds.sensor_count(),
+            gen.groups * gen.group_size + gen.noise_sensors
+        );
         assert_eq!(ds.timestamp_count(), gen.timestamps);
         for cap in &truth {
             assert_eq!(cap.sensor_ids.len(), gen.group_size);
@@ -211,7 +227,11 @@ mod tests {
                     .collect();
                 names == expected
             });
-            assert!(found, "planted group {:?} not recovered", planted.sensor_ids);
+            assert!(
+                found,
+                "planted group {:?} not recovered",
+                planted.sensor_ids
+            );
         }
         // Precision: no CAP contains a noise sensor.
         for cap in result.caps.caps() {

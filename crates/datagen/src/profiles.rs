@@ -117,11 +117,7 @@ impl DatasetProfile {
     /// The implied records per sensor (timestamps), for comparison with the
     /// published record count.
     pub fn records_per_sensor(&self) -> usize {
-        if self.sensors == 0 {
-            0
-        } else {
-            self.records / self.sensors
-        }
+        self.records.checked_div(self.sensors).unwrap_or(0)
     }
 
     /// One row of the Section-4 dataset table.
@@ -189,7 +185,11 @@ mod tests {
         // 12 sensors * ~4368 timestamps is close to the published 52,261.
         let implied = cv.sensors * cv.timestamps();
         let diff = implied.abs_diff(cv.records);
-        assert!(diff < 1_000, "implied {implied} vs published {}", cv.records);
+        assert!(
+            diff < 1_000,
+            "implied {implied} vs published {}",
+            cv.records
+        );
     }
 
     #[test]

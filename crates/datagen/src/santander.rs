@@ -83,7 +83,11 @@ impl SantanderGenerator {
 
     /// Number of grid timestamps for the configured scale.
     fn timestamp_count(&self) -> usize {
-        scaled(DatasetProfile::santander().timestamps(), self.scale, 24 * 14)
+        scaled(
+            DatasetProfile::santander().timestamps(),
+            self.scale,
+            24 * 14,
+        )
     }
 
     /// Generates the dataset.
@@ -91,8 +95,12 @@ impl SantanderGenerator {
         let profile = DatasetProfile::santander();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut builder = DatasetBuilder::new("santander");
-        let grid = TimeGrid::new(profile.period.start, profile.interval, self.timestamp_count())
-            .expect("valid grid");
+        let grid = TimeGrid::new(
+            profile.period.start,
+            profile.interval,
+            self.timestamp_count(),
+        )
+        .expect("valid grid");
         builder.set_grid(grid.clone());
         for attr in &profile.attributes {
             builder.add_attribute(attr);
@@ -121,8 +129,8 @@ impl SantanderGenerator {
             let mut humidity = Vec::with_capacity(grid.len());
             for (i, t) in grid.iter().enumerate() {
                 let season = seasonal_factor(i, grid.len());
-                let temp = diurnal(t, 14.0 + temp_offset + 6.0 * season, 5.0, 15.0)
-                    + synoptic_temp[i];
+                let temp =
+                    diurnal(t, 14.0 + temp_offset + 6.0 * season, 5.0, 15.0) + synoptic_temp[i];
                 let lux = (diurnal(t, 400.0, 450.0, 13.0) - 100.0).max(0.0)
                     * (1.0 - 0.5 * synoptic_cloud[i].clamp(-1.0, 1.0).abs());
                 let rush = rush_hour_profile(t);
@@ -161,7 +169,13 @@ impl SantanderGenerator {
                 Some(())
             };
 
-            emit("temperature", &temperature, 0.12, &mut rng, &mut sensor_serial);
+            emit(
+                "temperature",
+                &temperature,
+                0.12,
+                &mut rng,
+                &mut sensor_serial,
+            );
             emit("traffic", &traffic, 4.0, &mut rng, &mut sensor_serial);
             if rng.gen::<f64>() < 0.85 {
                 emit("light", &light, 12.0, &mut rng, &mut sensor_serial);
@@ -268,7 +282,10 @@ mod tests {
         // just check the sizing arithmetic.
         let g = SantanderGenerator::paper_scale();
         assert_eq!(g.cluster_count(), 110);
-        assert_eq!(g.timestamp_count(), DatasetProfile::santander().timestamps());
+        assert_eq!(
+            g.timestamp_count(),
+            DatasetProfile::santander().timestamps()
+        );
     }
 
     #[test]

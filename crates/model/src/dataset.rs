@@ -111,11 +111,14 @@ impl Dataset {
 
     /// Iterates over all sensors with their series.
     pub fn iter(&self) -> impl Iterator<Item = SensorSeries<'_>> {
-        self.sensors.iter().enumerate().map(|(i, sensor)| SensorSeries {
-            index: SensorIndex(i as u32),
-            sensor,
-            series: &self.series[i],
-        })
+        self.sensors
+            .iter()
+            .enumerate()
+            .map(|(i, sensor)| SensorSeries {
+                index: SensorIndex(i as u32),
+                sensor,
+                series: &self.series[i],
+            })
     }
 
     /// All dense sensor indices.
@@ -375,7 +378,10 @@ mod tests {
         assert_eq!(ds.present_count(), 5);
         assert_eq!(ds.attributes().len(), 2);
         let i1 = ds
-            .index_of(&SensorId::new("s1"), ds.attributes().id_of("temperature").unwrap())
+            .index_of(
+                &SensorId::new("s1"),
+                ds.attributes().id_of("temperature").unwrap(),
+            )
             .unwrap();
         assert_eq!(ds.series(i1).get(2), Some(11.0));
         assert_eq!(ds.sensor(i1).id.as_str(), "s1");

@@ -59,7 +59,10 @@ impl fmt::Display for ModelError {
             ModelError::DuplicateSensor(s) => write!(f, "duplicate sensor: {s}"),
             ModelError::EmptyDataset(s) => write!(f, "empty dataset: {s}"),
             ModelError::LengthMismatch { expected, actual } => {
-                write!(f, "series length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "series length mismatch: expected {expected}, got {actual}"
+                )
             }
         }
     }
@@ -73,14 +76,20 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = ModelError::InvalidCoordinate { lat: 99.0, lon: 200.0 };
+        let e = ModelError::InvalidCoordinate {
+            lat: 99.0,
+            lon: 200.0,
+        };
         assert!(e.to_string().contains("99"));
         assert!(e.to_string().contains("200"));
 
         let e = ModelError::InvalidTimestamp("abc".to_string());
         assert!(e.to_string().contains("abc"));
 
-        let e = ModelError::LengthMismatch { expected: 10, actual: 7 };
+        let e = ModelError::LengthMismatch {
+            expected: 10,
+            actual: 7,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains('7'));
     }

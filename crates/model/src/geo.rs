@@ -140,7 +140,10 @@ impl BoundingBox {
 
     /// Whether the box contains the point (inclusive).
     pub fn contains(&self, p: &GeoPoint) -> bool {
-        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
     }
 
     /// Centre of the box.
@@ -221,7 +224,7 @@ mod tests {
 
     #[test]
     fn bounding_box_of_points() {
-        let pts = vec![
+        let pts = [
             GeoPoint::new_unchecked(43.0, -3.0),
             GeoPoint::new_unchecked(44.0, -2.0),
             GeoPoint::new_unchecked(43.5, -2.5),

@@ -30,6 +30,26 @@
 //!
 //! The crate is dependency-free so that every substrate (store, server,
 //! mining engine, visualization) can share it cheaply.
+//!
+//! # Example
+//!
+//! ```
+//! use miscela_model::{DatasetBuilder, Duration, GeoPoint, TimeGrid, TimeSeries, Timestamp};
+//!
+//! let mut builder = DatasetBuilder::new("demo");
+//! let start = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+//! builder.set_grid(TimeGrid::new(start, Duration::hours(1), 4).unwrap());
+//! let temp = builder
+//!     .add_sensor("s0", "temperature", GeoPoint::new(43.46, -3.80).unwrap())
+//!     .unwrap();
+//! builder
+//!     .set_series(temp, TimeSeries::from_values(vec![9.5, 10.1, 11.0, 11.6]))
+//!     .unwrap();
+//! let dataset = builder.build().unwrap();
+//!
+//! assert_eq!((dataset.sensor_count(), dataset.timestamp_count()), (1, 4));
+//! assert_eq!(dataset.series(temp).get(2), Some(11.0));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

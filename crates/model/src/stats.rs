@@ -114,7 +114,9 @@ impl DatasetStats {
 
     /// Number of sensors measuring the given attribute id in `ds`.
     pub fn sensors_for(ds: &Dataset, attribute: AttributeId) -> usize {
-        ds.iter().filter(|s| s.sensor.attribute == attribute).count()
+        ds.iter()
+            .filter(|s| s.sensor.attribute == attribute)
+            .count()
     }
 
     /// Renders a one-line table row in the style of the Section-4 dataset
@@ -146,7 +148,11 @@ impl fmt::Display for DatasetStats {
             self.present_records,
             self.mean_coverage * 100.0
         )?;
-        writeln!(f, "  timestamps: {} (interval {}s)", self.timestamps, self.interval_seconds)?;
+        writeln!(
+            f,
+            "  timestamps: {} (interval {}s)",
+            self.timestamps, self.interval_seconds
+        )?;
         if let Some(p) = self.period {
             writeln!(f, "  period:     {p}")?;
         }
@@ -178,10 +184,14 @@ mod tests {
         let s3 = b
             .add_sensor("s3", "traffic", GeoPoint::new_unchecked(43.2, -3.2))
             .unwrap();
-        b.set_series(s1, TimeSeries::from_values((0..10).map(|i| i as f64).collect()))
-            .unwrap();
+        b.set_series(
+            s1,
+            TimeSeries::from_values((0..10).map(|i| i as f64).collect()),
+        )
+        .unwrap();
         b.set_series(s2, TimeSeries::missing(10)).unwrap();
-        b.set_series(s3, TimeSeries::from_values(vec![1.0; 10])).unwrap();
+        b.set_series(s3, TimeSeries::from_values(vec![1.0; 10]))
+            .unwrap();
         b.build().unwrap()
     }
 

@@ -146,7 +146,10 @@ impl Timestamp {
         }
         let days = days_from_civil(year, month, day);
         Ok(Timestamp(
-            days * SECS_PER_DAY + hour as i64 * SECS_PER_HOUR + minute as i64 * SECS_PER_MINUTE + second as i64,
+            days * SECS_PER_DAY
+                + hour as i64 * SECS_PER_HOUR
+                + minute as i64 * SECS_PER_MINUTE
+                + second as i64,
         ))
     }
 
@@ -182,8 +185,7 @@ impl Timestamp {
                 (h, m, sec)
             }
         };
-        Timestamp::from_ymd_hms(year, month, day, hour, minute, second)
-            .map_err(|_| err())
+        Timestamp::from_ymd_hms(year, month, day, hour, minute, second).map_err(|_| err())
     }
 
     /// The civil date `(year, month, day)` of this timestamp.
@@ -318,7 +320,11 @@ impl TimeGrid {
         if interval.0 <= 0 {
             return Err(ModelError::InvalidInterval(interval.0));
         }
-        Ok(TimeGrid { start, interval, len })
+        Ok(TimeGrid {
+            start,
+            interval,
+            len,
+        })
     }
 
     /// Builds the grid covering `[start, end)` at the given interval.
@@ -472,8 +478,15 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for s in ["", "hello", "2016-13-01 00:00:00", "2016-02-30 00:00:00",
-                  "2016-03-01 24:00:00", "2016-03-01 00:61:00", "2016/03/01"] {
+        for s in [
+            "",
+            "hello",
+            "2016-13-01 00:00:00",
+            "2016-02-30 00:00:00",
+            "2016-03-01 24:00:00",
+            "2016-03-01 00:61:00",
+            "2016/03/01",
+        ] {
             assert!(Timestamp::parse(s).is_err(), "{s:?} should fail");
         }
     }

@@ -15,6 +15,34 @@
 //!   result retrieval;
 //! * [`router`] — dispatches requests to the service and serializes responses
 //!   as JSON, like the original URL configuration did.
+//!
+//! # Example
+//!
+//! The chunked upload flow of Section 3.2, end to end:
+//!
+//! ```
+//! use miscela_csv::split_into_chunks;
+//! use miscela_server::MiscelaService;
+//!
+//! let service = MiscelaService::new();
+//! let locations = "id,attribute,lat,lon\n\
+//!                  s0,temperature,43.46,-3.80\n\
+//!                  s1,light,43.47,-3.79\n";
+//! let attributes = "temperature\nlight\n";
+//! let data = "id,attribute,time,data\n\
+//!             s0,temperature,2016-03-01 00:00:00,9.5\n\
+//!             s0,temperature,2016-03-01 01:00:00,10.2\n\
+//!             s1,light,2016-03-01 00:00:00,310\n\
+//!             s1,light,2016-03-01 01:00:00,343\n";
+//!
+//! service.begin_upload("demo", locations, attributes).unwrap();
+//! for chunk in split_into_chunks(data, 2) {
+//!     service.upload_chunk("demo", &chunk).unwrap();
+//! }
+//! let (summary, _elapsed) = service.finish_upload("demo").unwrap();
+//! assert_eq!(summary.sensors, 2);
+//! assert_eq!(summary.records, 4);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -210,8 +210,7 @@ mod tests {
 
     #[test]
     fn request_builders() {
-        let r = ApiRequest::get("/datasets/santander")
-            .with_query("include", "stats");
+        let r = ApiRequest::get("/datasets/santander").with_query("include", "stats");
         assert_eq!(r.method, Method::Get);
         assert_eq!(r.segments(), vec!["datasets", "santander"]);
         assert_eq!(r.query["include"], "stats");
@@ -227,7 +226,10 @@ mod tests {
         assert!(ok.is_success());
         let err = ApiResponse::error(StatusCode::NotFound, "no such dataset");
         assert!(!err.is_success());
-        assert_eq!(err.body.get("error").unwrap().as_str(), Some("no such dataset"));
+        assert_eq!(
+            err.body.get("error").unwrap().as_str(),
+            Some("no such dataset")
+        );
 
         let e = ApiError::NotFound("x".to_string());
         assert_eq!(e.status(), StatusCode::NotFound);

@@ -58,8 +58,12 @@ impl Router {
                     Json::from(*name),
                 )])))
             }
-            (Method::Post, ["datasets", name, "upload", "begin"]) => self.begin_upload(name, request),
-            (Method::Post, ["datasets", name, "upload", "chunk"]) => self.upload_chunk(name, request),
+            (Method::Post, ["datasets", name, "upload", "begin"]) => {
+                self.begin_upload(name, request)
+            }
+            (Method::Post, ["datasets", name, "upload", "chunk"]) => {
+                self.upload_chunk(name, request)
+            }
             (Method::Post, ["datasets", name, "upload", "finish"]) => self.finish_upload(name),
             (Method::Post, ["datasets", name, "mine"]) => self.mine(name, request),
             (Method::Get, ["cache", "stats"]) => Ok(self.cache_stats()),
@@ -193,11 +197,9 @@ pub fn params_from_json(body: &Json) -> Result<MiningParams, ApiError> {
             as usize;
     }
     if let Some(v) = body.get("min_attributes") {
-        params.min_attributes = v
-            .as_i64()
-            .filter(|n| *n >= 0)
-            .ok_or_else(|| ApiError::BadRequest("min_attributes must be a non-negative integer".into()))?
-            as usize;
+        params.min_attributes = v.as_i64().filter(|n| *n >= 0).ok_or_else(|| {
+            ApiError::BadRequest("min_attributes must be a non-negative integer".into())
+        })? as usize;
     }
     if let Some(v) = body.get("segmentation") {
         params.segmentation = v
@@ -205,11 +207,9 @@ pub fn params_from_json(body: &Json) -> Result<MiningParams, ApiError> {
             .ok_or_else(|| ApiError::BadRequest("segmentation must be a boolean".into()))?;
     }
     if let Some(v) = body.get("max_delay") {
-        params.max_delay = v
-            .as_i64()
-            .filter(|n| *n >= 0)
-            .ok_or_else(|| ApiError::BadRequest("max_delay must be a non-negative integer".into()))?
-            as usize;
+        params.max_delay = v.as_i64().filter(|n| *n >= 0).ok_or_else(|| {
+            ApiError::BadRequest("max_delay must be a non-negative integer".into())
+        })? as usize;
     }
     params
         .validate()
@@ -322,7 +322,10 @@ mod tests {
             "/datasets/uploaded/upload/begin",
             Json::from_pairs([
                 ("location_csv", Json::from(writer.location_csv(&generated))),
-                ("attribute_csv", Json::from(writer.attribute_csv(&generated))),
+                (
+                    "attribute_csv",
+                    Json::from(writer.attribute_csv(&generated)),
+                ),
             ]),
         ));
         assert_eq!(begin.status, StatusCode::Created);
@@ -349,10 +352,7 @@ mod tests {
             generated.sensor_count()
         );
         // The uploaded dataset is now minable.
-        let mined = router.handle(&ApiRequest::post(
-            "/datasets/uploaded/mine",
-            mine_body(20),
-        ));
+        let mined = router.handle(&ApiRequest::post("/datasets/uploaded/mine", mine_body(20)));
         assert!(mined.is_success());
         // Missing body fields produce a 400.
         let bad = router.handle(&ApiRequest::post(

@@ -163,7 +163,9 @@ impl MiscelaService {
         if existed || stored > 0 {
             Ok(())
         } else {
-            Err(ApiError::NotFound(format!("dataset {name:?} is not registered")))
+            Err(ApiError::NotFound(format!(
+                "dataset {name:?} is not registered"
+            )))
         }
     }
 
@@ -213,11 +215,10 @@ impl MiscelaService {
     /// Completes an upload: assembles the chunks, builds the dataset and
     /// registers it. Returns the dataset summary and the upload duration.
     pub fn finish_upload(&self, dataset: &str) -> Result<(DatasetSummary, Duration), ApiError> {
-        let session = self
-            .uploads
-            .lock()
-            .remove(dataset)
-            .ok_or_else(|| ApiError::NotFound(format!("no upload in progress for {dataset:?}")))?;
+        let session =
+            self.uploads.lock().remove(dataset).ok_or_else(|| {
+                ApiError::NotFound(format!("no upload in progress for {dataset:?}"))
+            })?;
         let elapsed = session.started.elapsed();
         let rows = session
             .uploader
@@ -306,7 +307,13 @@ fn dataset_record(stats: &DatasetStats) -> Json {
     doc.set("timestamps", Json::from(stats.timestamps));
     doc.set(
         "attributes",
-        Json::Array(stats.attribute_names.iter().map(|a| Json::from(a.as_str())).collect()),
+        Json::Array(
+            stats
+                .attribute_names
+                .iter()
+                .map(|a| Json::from(a.as_str()))
+                .collect(),
+        ),
     );
     doc
 }
@@ -388,7 +395,8 @@ mod tests {
         let attributes = writer.attribute_csv(&generated);
 
         let svc = MiscelaService::new();
-        svc.begin_upload("uploaded", &locations, &attributes).unwrap();
+        svc.begin_upload("uploaded", &locations, &attributes)
+            .unwrap();
         let chunks = miscela_csv::split_into_chunks(&data, 1_000);
         assert!(chunks.len() > 1);
         for (i, chunk) in chunks.iter().enumerate() {
@@ -411,14 +419,20 @@ mod tests {
             .next();
         assert!(chunk.is_none() || svc.upload_chunk("ghost", &chunk.unwrap()).is_err());
         // Malformed location.csv fails at begin_upload.
-        assert!(svc.begin_upload("bad", "not,a,valid", "temperature\n").is_err());
+        assert!(svc
+            .begin_upload("bad", "not,a,valid", "temperature\n")
+            .is_err());
         // Finishing an upload that never started.
         assert!(svc.finish_upload("ghost").is_err());
         // Incomplete upload cannot be finished.
         let generated = small_dataset();
         let writer = DatasetWriter::new();
-        svc.begin_upload("partial", &writer.location_csv(&generated), &writer.attribute_csv(&generated))
-            .unwrap();
+        svc.begin_upload(
+            "partial",
+            &writer.location_csv(&generated),
+            &writer.attribute_csv(&generated),
+        )
+        .unwrap();
         let chunks = miscela_csv::split_into_chunks(&writer.data_csv(&generated), 2_000);
         svc.upload_chunk("partial", &chunks[0]).unwrap();
         assert!(svc.finish_upload("partial").is_err());

@@ -191,7 +191,10 @@ mod tests {
         }
         assert_eq!(c.count(&Filter::eq("dataset", "a")), 5);
         assert_eq!(c.count(&Filter::Gte("support".into(), 5.0)), 5);
-        let both = Filter::and([Filter::eq("dataset", "a"), Filter::Gt("support".into(), 5.0)]);
+        let both = Filter::and([
+            Filter::eq("dataset", "a"),
+            Filter::Gt("support".into(), 5.0),
+        ]);
         let found = c.find(&both);
         assert_eq!(found.len(), 2); // support 6 and 8
         assert_eq!(c.count(&Filter::All), 10);
@@ -238,7 +241,8 @@ mod tests {
         c.delete(id);
         assert_eq!(c.find(&q).len(), via_scan.len() - 1);
         let other = c.find(&Filter::eq("dataset", "d3"))[0].id;
-        c.update(other, body(r#"{"dataset":"d1","params":{"psi":0}}"#)).unwrap();
+        c.update(other, body(r#"{"dataset":"d1","params":{"psi":0}}"#))
+            .unwrap();
         assert_eq!(c.find(&q).len(), via_scan.len());
     }
 
@@ -254,7 +258,10 @@ mod tests {
     fn delete_where_removes_matches() {
         let mut c = Collection::new();
         for i in 0..6 {
-            c.insert(body(&format!(r#"{{"kind":"{}"}}"#, if i < 4 { "x" } else { "y" })));
+            c.insert(body(&format!(
+                r#"{{"kind":"{}"}}"#,
+                if i < 4 { "x" } else { "y" }
+            )));
         }
         let removed = c.delete_where(&Filter::eq("kind", "x"));
         assert_eq!(removed, 4);

@@ -5,10 +5,10 @@
 //! collections of one [`Database`], which the API server and the cache share.
 
 use crate::collection::Collection;
+use crate::document::{Document, DocumentId};
 use crate::error::StoreError;
 use crate::filter::Filter;
 use crate::json::Json;
-use crate::document::{Document, DocumentId};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 
@@ -52,7 +52,9 @@ impl Database {
     /// needed).
     pub fn create_index(&self, collection: &str, path: &str) {
         let mut cols = self.collections.write();
-        cols.entry(collection.to_string()).or_default().create_index(path);
+        cols.entry(collection.to_string())
+            .or_default()
+            .create_index(path);
     }
 
     /// Inserts a document, creating the collection if needed.
@@ -94,7 +96,9 @@ impl Database {
     /// Deletes a document by id.
     pub fn delete(&self, collection: &str, id: DocumentId) -> bool {
         let mut cols = self.collections.write();
-        cols.get_mut(collection).map(|c| c.delete(id)).unwrap_or(false)
+        cols.get_mut(collection)
+            .map(|c| c.delete(id))
+            .unwrap_or(false)
     }
 
     /// Deletes every document matching a filter, returning the count.
@@ -155,13 +159,22 @@ mod tests {
     #[test]
     fn insert_find_update_delete() {
         let db = Database::new();
-        let id = db.insert("caps", Json::parse(r#"{"dataset":"santander","n":3}"#).unwrap());
+        let id = db.insert(
+            "caps",
+            Json::parse(r#"{"dataset":"santander","n":3}"#).unwrap(),
+        );
         assert_eq!(db.count("caps", &Filter::All), 1);
         let doc = db.get("caps", id).unwrap().unwrap();
         assert_eq!(doc.get("n").unwrap().as_i64(), Some(3));
-        db.update("caps", id, Json::parse(r#"{"dataset":"santander","n":5}"#).unwrap())
+        db.update(
+            "caps",
+            id,
+            Json::parse(r#"{"dataset":"santander","n":5}"#).unwrap(),
+        )
+        .unwrap();
+        let doc = db
+            .find_one("caps", &Filter::eq("dataset", "santander"))
             .unwrap();
-        let doc = db.find_one("caps", &Filter::eq("dataset", "santander")).unwrap();
         assert_eq!(doc.get("n").unwrap().as_i64(), Some(5));
         assert!(db.delete("caps", id));
         assert_eq!(db.count("caps", &Filter::All), 0);

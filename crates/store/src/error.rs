@@ -57,6 +57,8 @@ mod tests {
             .to_string()
             .contains("caps"));
         assert!(StoreError::UnknownDocument(7).to_string().contains('7'));
-        assert!(StoreError::Corrupt("bad line".into()).to_string().contains("bad line"));
+        assert!(StoreError::Corrupt("bad line".into())
+            .to_string()
+            .contains("bad line"));
     }
 }

@@ -172,7 +172,10 @@ mod tests {
             Filter::eq("dataset", "santander"),
             Filter::eq("signature", "abc"),
         ]);
-        assert_eq!(f.equality_on("dataset").unwrap().as_str(), Some("santander"));
+        assert_eq!(
+            f.equality_on("dataset").unwrap().as_str(),
+            Some("santander")
+        );
         assert_eq!(f.equality_on("signature").unwrap().as_str(), Some("abc"));
         assert!(f.equality_on("other").is_none());
         assert!(Filter::Gt("x".into(), 1.0).equality_on("x").is_none());

@@ -102,7 +102,10 @@ mod tests {
         idx.insert(&d1);
         idx.insert(&d2);
         idx.insert(&d3);
-        assert_eq!(idx.lookup(&"santander".into()), vec![DocumentId(1), DocumentId(3)]);
+        assert_eq!(
+            idx.lookup(&"santander".into()),
+            vec![DocumentId(1), DocumentId(3)]
+        );
         assert_eq!(idx.lookup(&"china6".into()), vec![DocumentId(2)]);
         assert!(idx.lookup(&"covid".into()).is_empty());
         assert_eq!(idx.cardinality(), 2);
@@ -135,7 +138,7 @@ mod tests {
 
     #[test]
     fn rebuild_from_documents() {
-        let docs = vec![
+        let docs = [
             doc(1, r#"{"k":"a"}"#),
             doc(2, r#"{"k":"b"}"#),
             doc(3, r#"{"k":"a"}"#),

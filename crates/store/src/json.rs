@@ -343,7 +343,10 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(JsonError::new(self.pos, format!("expected {:?}", b as char)))
+            Err(JsonError::new(
+                self.pos,
+                format!("expected {:?}", b as char),
+            ))
         }
     }
 
@@ -357,7 +360,10 @@ impl Parser<'_> {
             Some(b'[') => self.parse_array(),
             Some(b'{') => self.parse_object(),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
-            Some(c) => Err(JsonError::new(self.pos, format!("unexpected {:?}", c as char))),
+            Some(c) => Err(JsonError::new(
+                self.pos,
+                format!("unexpected {:?}", c as char),
+            )),
             None => Err(JsonError::new(self.pos, "unexpected end of input")),
         }
     }
@@ -601,7 +607,10 @@ mod tests {
         assert_eq!(format_number(5.0), "5");
         assert_eq!(format_number(-0.5), "-0.5");
         assert_eq!(format_number(f64::NAN), "null");
-        assert_eq!(Json::Number(1e20).to_string_compact(), "100000000000000000000");
+        assert_eq!(
+            Json::Number(1e20).to_string_compact(),
+            "100000000000000000000"
+        );
     }
 
     #[test]

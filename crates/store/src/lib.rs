@@ -18,6 +18,21 @@
 //!
 //! JSON parsing/serialization is implemented in [`json`]; no external JSON
 //! crate is used so the substrate stays self-contained.
+//!
+//! # Example
+//!
+//! ```
+//! use miscela_store::{Database, Filter, Json};
+//!
+//! let db = Database::new();
+//! db.create_collection("caps");
+//! db.insert("caps", Json::parse(r#"{"dataset":"santander","cap_count":3}"#).unwrap());
+//! db.insert("caps", Json::parse(r#"{"dataset":"china6","cap_count":9}"#).unwrap());
+//!
+//! let hits = db.find("caps", &Filter::eq("dataset", "santander"));
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(db.count("caps", &Filter::eq("cap_count", 9i64)), 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -116,7 +116,13 @@ fn collection_path(dir: &Path, name: &str) -> PathBuf {
     // Sanitize the collection name into a file name.
     let safe: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     dir.join(format!("{safe}.jsonl"))
 }
@@ -127,10 +133,8 @@ mod tests {
     use crate::filter::Filter;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "miscela-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("miscela-store-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -174,7 +178,12 @@ mod tests {
         );
         // Index declarations survive.
         let paths = loaded
-            .with_collection("caps", |c| c.index_paths().iter().map(|s| s.to_string()).collect::<Vec<_>>())
+            .with_collection("caps", |c| {
+                c.index_paths()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+            })
             .unwrap();
         assert_eq!(paths, vec!["dataset".to_string()]);
         // Document ids keep increasing after a reload.

@@ -21,7 +21,9 @@ pub fn sparkline(series: &TimeSeries, width: usize) -> String {
     let mut out = String::with_capacity(buckets * 3);
     for b in 0..buckets {
         let start = (b as f64 * per_bucket) as usize;
-        let end = (((b + 1) as f64 * per_bucket) as usize).max(start + 1).min(series.len());
+        let end = (((b + 1) as f64 * per_bucket) as usize)
+            .max(start + 1)
+            .min(series.len());
         let mut sum = 0.0;
         let mut n = 0usize;
         for i in start..end {

@@ -138,8 +138,12 @@ impl<'a> TimeSeriesChart<'a> {
         }
         // Axis labels: window start/end timestamps.
         if let (Some(ts), Some(te)) = (
-            self.dataset.grid().at(start.min(self.dataset.timestamp_count().saturating_sub(1))),
-            self.dataset.grid().at(end.saturating_sub(1).min(self.dataset.timestamp_count().saturating_sub(1))),
+            self.dataset
+                .grid()
+                .at(start.min(self.dataset.timestamp_count().saturating_sub(1))),
+            self.dataset.grid().at(end
+                .saturating_sub(1)
+                .min(self.dataset.timestamp_count().saturating_sub(1))),
         ) {
             doc.text(40.0, h - 6.0, 10.0, &ts.format());
             doc.text(w - 170.0, h - 6.0, 10.0, &te.format());
@@ -149,12 +153,7 @@ impl<'a> TimeSeriesChart<'a> {
         for &s in &self.sensors {
             let sensor = self.dataset.sensor(s);
             let name = self.dataset.attributes().name_of(sensor.attribute);
-            doc.text(
-                44.0,
-                y,
-                10.0,
-                &format!("{} ({name})", sensor.id),
-            );
+            doc.text(44.0, y, 10.0, &format!("{} ({name})", sensor.id));
             y += 12.0;
         }
         doc

@@ -9,8 +9,8 @@ use miscela_model::AttributeId;
 
 /// A categorical palette (colour-blind-friendly hues).
 const PALETTE: [&str; 10] = [
-    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
-    "#aa3377", "#bbbbbb", "#e69f00", "#009e73", "#cc79a7",
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb", "#e69f00",
+    "#009e73", "#cc79a7",
 ];
 
 /// Colour assigned to an attribute (stable across renders: palette indexed
@@ -36,9 +36,13 @@ mod tests {
 
     #[test]
     fn colors_are_stable_and_distinct_for_small_ids() {
-        assert_eq!(attribute_color(AttributeId(0)), attribute_color(AttributeId(0)));
-        let all: std::collections::HashSet<&str> =
-            (0..10u16).map(|i| attribute_color(AttributeId(i))).collect();
+        assert_eq!(
+            attribute_color(AttributeId(0)),
+            attribute_color(AttributeId(0))
+        );
+        let all: std::collections::HashSet<&str> = (0..10u16)
+            .map(|i| attribute_color(AttributeId(i)))
+            .collect();
         assert_eq!(all.len(), 10);
         // Wraps around beyond the palette size.
         assert_eq!(

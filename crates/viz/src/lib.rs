@@ -22,6 +22,28 @@
 //! * [`svg`], [`color`], [`projection`] — the drawing substrate (an SVG
 //!   document builder, attribute colour palette, Mercator projection);
 //! * [`ascii`] — terminal sparklines used by the runnable examples.
+//!
+//! # Example
+//!
+//! ```
+//! use miscela_core::CapSet;
+//! use miscela_model::{DatasetBuilder, Duration, GeoPoint, TimeGrid, TimeSeries, Timestamp};
+//! use miscela_viz::{MapConfig, MapView};
+//!
+//! let mut builder = DatasetBuilder::new("mini");
+//! let start = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+//! builder.set_grid(TimeGrid::new(start, Duration::hours(1), 2).unwrap());
+//! let s = builder
+//!     .add_sensor("s0", "temperature", GeoPoint::new(43.46, -3.80).unwrap())
+//!     .unwrap();
+//! builder.set_series(s, TimeSeries::from_values(vec![9.5, 10.1])).unwrap();
+//! let dataset = builder.build().unwrap();
+//!
+//! let caps = CapSet::new();
+//! let map = MapView::new(&dataset, &caps, MapConfig::default());
+//! let svg = map.render(None).render();
+//! assert!(svg.contains("<svg"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

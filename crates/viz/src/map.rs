@@ -105,9 +105,17 @@ impl<'a> MapView<'a> {
             let sensor = self.dataset.sensor(marker.sensor);
             let base_color = attribute_color(sensor.attribute);
             let (fill, stroke, radius) = if marker.selected {
-                (SELECTED_COLOR, Some("#000000"), self.config.marker_radius * 1.8)
+                (
+                    SELECTED_COLOR,
+                    Some("#000000"),
+                    self.config.marker_radius * 1.8,
+                )
             } else if marker.highlighted {
-                (base_color, Some(HIGHLIGHT_COLOR), self.config.marker_radius * 1.5)
+                (
+                    base_color,
+                    Some(HIGHLIGHT_COLOR),
+                    self.config.marker_radius * 1.5,
+                )
             } else if any_selection {
                 (DIMMED_COLOR, None, self.config.marker_radius)
             } else {

@@ -56,7 +56,14 @@ impl SvgDocument {
     }
 
     /// Adds a circle.
-    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, stroke: Option<&str>) -> &mut Self {
+    pub fn circle(
+        &mut self,
+        cx: f64,
+        cy: f64,
+        r: f64,
+        fill: &str,
+        stroke: Option<&str>,
+    ) -> &mut Self {
         let stroke_attr = match stroke {
             Some(s) => format!(r#" stroke="{}" stroke-width="2""#, escape(s)),
             None => String::new(),
@@ -69,7 +76,15 @@ impl SvgDocument {
     }
 
     /// Adds a straight line.
-    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) -> &mut Self {
+    pub fn line(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: &str,
+        width: f64,
+    ) -> &mut Self {
         self.elements.push(format!(
             r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{}" stroke-width="{width:.2}"/>"#,
             escape(stroke)

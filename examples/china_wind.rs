@@ -42,7 +42,9 @@ fn main() {
         report.vertical_correlated_rate * 100.0
     );
     if report.horizontal_correlated_rate > report.vertical_correlated_rate {
-        println!("  -> horizontally close sensors correlate more, matching the paper's observation");
+        println!(
+            "  -> horizontally close sensors correlate more, matching the paper's observation"
+        );
     }
 
     // Time-delayed extension (DPD 2020): let the miner search for delayed

@@ -30,7 +30,10 @@ fn main() {
         println!("  {attr:6} {before:8.2} -> {after:8.2}   ({change:+.1}%)");
     }
 
-    println!("\ncorrelation patterns BEFORE ({}):", result.before.summary());
+    println!(
+        "\ncorrelation patterns BEFORE ({}):",
+        result.before.summary()
+    );
     for ((a, b), n) in &result.before_pairs {
         println!("  {a:6} <-> {b:6}  in {n} CAPs");
     }

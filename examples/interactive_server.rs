@@ -89,7 +89,10 @@ fn main() {
         println!(
             "POST mine ({label}) -> {}: {} CAPs, cache_hit={}, {:.1} ms",
             resp.status,
-            resp.body.get("cap_count").and_then(|v| v.as_i64()).unwrap_or(0),
+            resp.body
+                .get("cap_count")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0),
             resp.body
                 .get("cache_hit")
                 .and_then(|v| v.as_bool())

@@ -12,6 +12,9 @@ use miscela_model::{AttributeId, Dataset, Timestamp};
 use miscela_server::ApiError;
 use std::collections::BTreeMap;
 
+/// A pair of attribute names that co-occur in a CAP.
+pub type AttributePair = (String, String);
+
 /// The result of a before/after comparison (Figure 4).
 #[derive(Debug, Clone)]
 pub struct BeforeAfter {
@@ -24,17 +27,17 @@ pub struct BeforeAfter {
     /// Mean value per attribute in the after window.
     pub after_means: BTreeMap<String, f64>,
     /// Attribute pairs (by name) co-occurring in CAPs before, with counts.
-    pub before_pairs: Vec<((String, String), usize)>,
+    pub before_pairs: Vec<(AttributePair, usize)>,
     /// Attribute pairs (by name) co-occurring in CAPs after, with counts.
-    pub after_pairs: Vec<((String, String), usize)>,
+    pub after_pairs: Vec<(AttributePair, usize)>,
 }
 
 impl BeforeAfter {
     /// Attribute pairs that appear before but not after (disappearing
     /// correlations) and vice versa (emerging correlations).
-    pub fn pattern_changes(&self) -> (Vec<(String, String)>, Vec<(String, String)>) {
-        let before: Vec<&(String, String)> = self.before_pairs.iter().map(|(p, _)| p).collect();
-        let after: Vec<&(String, String)> = self.after_pairs.iter().map(|(p, _)| p).collect();
+    pub fn pattern_changes(&self) -> (Vec<AttributePair>, Vec<AttributePair>) {
+        let before: Vec<&AttributePair> = self.before_pairs.iter().map(|(p, _)| p).collect();
+        let after: Vec<&AttributePair> = self.after_pairs.iter().map(|(p, _)| p).collect();
         let disappeared = before
             .iter()
             .filter(|p| !after.contains(p))
@@ -89,7 +92,10 @@ pub fn attribute_means(dataset: &Dataset) -> BTreeMap<String, f64> {
     let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
     for ss in dataset.iter() {
         if let Some(mean) = ss.series.mean() {
-            let name = dataset.attributes().name_of(ss.sensor.attribute).to_string();
+            let name = dataset
+                .attributes()
+                .name_of(ss.sensor.attribute)
+                .to_string();
             let entry = sums.entry(name).or_insert((0.0, 0));
             entry.0 += mean;
             entry.1 += 1;
@@ -161,7 +167,8 @@ pub fn wind_direction(dataset: &Dataset, caps: &CapSet, eta_km: f64) -> WindDire
         }
     }
     if report.horizontal_pairs > 0 {
-        report.horizontal_correlated_rate = horizontal_correlated as f64 / report.horizontal_pairs as f64;
+        report.horizontal_correlated_rate =
+            horizontal_correlated as f64 / report.horizontal_pairs as f64;
     }
     if report.vertical_pairs > 0 {
         report.vertical_correlated_rate = vertical_correlated as f64 / report.vertical_pairs as f64;

@@ -59,14 +59,22 @@ fn csv_export_upload_mine_visualize_round_trip() {
 
 #[test]
 fn miscela_and_naive_baseline_agree_on_generated_data() {
-    let ds = SantanderGenerator::small().with_scale(0.02).with_seed(5).generate();
+    let ds = SantanderGenerator::small()
+        .with_scale(0.02)
+        .with_seed(5)
+        .generate();
     let params = quick_params().with_max_sensors(Some(3));
     let result = Miner::new(params.clone()).unwrap().mine(&ds).unwrap();
 
     let evolving: Vec<_> = ds
         .iter()
         .map(|ss| {
-            extract_with_segmentation(ss.series, params.epsilon, params.segmentation, params.segmentation_error)
+            extract_with_segmentation(
+                ss.series,
+                params.epsilon,
+                params.segmentation,
+                params.segmentation_error,
+            )
         })
         .collect();
     let attributes: Vec<AttributeId> = ds.iter().map(|ss| ss.sensor.attribute).collect();
@@ -130,7 +138,11 @@ fn planted_patterns_survive_the_whole_pipeline() {
                 .collect();
             names == expected
         });
-        assert!(found, "planted group {:?} lost in the pipeline", planted.sensor_ids);
+        assert!(
+            found,
+            "planted group {:?} lost in the pipeline",
+            planted.sensor_ids
+        );
     }
 }
 
@@ -189,8 +201,6 @@ fn covid_before_after_changes_patterns_end_to_end() {
             .unwrap_or(0) as f64
             / len.max(1) as f64
     };
-    let before_len = analysis.before.caps().iter().map(|c| c.timestamps.len()).count();
-    let _ = before_len;
     let before_ds_len = ds
         .grid()
         .window(
@@ -217,7 +227,10 @@ fn api_router_full_session() {
         "/datasets/s1/upload/begin",
         Json::from_pairs([
             ("location_csv", Json::from(writer.location_csv(&generated))),
-            ("attribute_csv", Json::from(writer.attribute_csv(&generated))),
+            (
+                "attribute_csv",
+                Json::from(writer.attribute_csv(&generated)),
+            ),
         ]),
     ));
     assert!(resp.is_success());
@@ -234,7 +247,10 @@ fn api_router_full_session() {
             .is_success());
     }
     assert!(router
-        .handle(&ApiRequest::post("/datasets/s1/upload/finish", Json::object()))
+        .handle(&ApiRequest::post(
+            "/datasets/s1/upload/finish",
+            Json::object()
+        ))
         .is_success());
 
     let mine = Json::from_pairs([

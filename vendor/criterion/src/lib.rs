@@ -1,0 +1,317 @@
+//! Offline stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness used
+//! by this workspace.
+//!
+//! The build environment has no crate-registry access, so `crates/bench`
+//! links against this shim instead. It keeps the same authoring surface —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! [`criterion_group!`] and [`criterion_main!`] — and implements a simple
+//! wall-clock measurement loop: each benchmark is warmed up once, run for up
+//! to `sample_size` samples bounded by a quarter of `measurement_time`, and
+//! the mean time per iteration is printed to stdout. There is no statistical
+//! analysis, outlier rejection, HTML report, or baseline comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub use std::hint::black_box;
+
+/// The benchmark harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the default measurement-time budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        run_benchmark(&id.into().label, sample_size, measurement_time, None, f);
+    }
+}
+
+/// A measure of work done per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The iteration processes this many logical elements (rows, records…).
+    Elements(u64),
+    /// The iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// An identifier for one benchmark within a group: a function name plus a
+/// parameter rendering, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A group of related benchmarks sharing sample/measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the measurement-time budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declare the throughput of each iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(
+            &label,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Run one benchmark that borrows a prepared input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group. (The shim prints per-benchmark lines eagerly, so
+    /// this only exists for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// The timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, executing it once per recorded iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+
+    /// Time `routine` on a fresh input from `setup`, excluding the setup
+    /// cost from the measurement.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up (also surfaces panics before timing starts).
+    let mut warmup = Bencher::default();
+    f(&mut warmup);
+
+    let budget = measurement_time / 4;
+    let started = Instant::now();
+    let mut b = Bencher::default();
+    for _ in 0..sample_size {
+        f(&mut b);
+        if started.elapsed() > budget {
+            break;
+        }
+    }
+    if b.iterations == 0 {
+        b = warmup;
+    }
+    let per_iter = b.elapsed.as_nanos() / u128::from(b.iterations.max(1));
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0 => {
+            format!("  ({:.0} elem/s)", n as f64 * 1e9 / per_iter as f64)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0 => {
+            format!("  ({:.0} B/s)", n as f64 * 1e9 / per_iter as f64)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench: {label}: {per_iter} ns/iter over {} iters{rate}",
+        b.iterations
+    );
+}
+
+/// Collect benchmark functions into a runnable group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50));
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 10), &3u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        assert!(runs >= 2, "warm-up plus at least one sample, got {runs}");
+    }
+
+    #[test]
+    fn bench_function_accepts_str_ids() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = false;
+        c.bench_function("plain", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(ran);
+    }
+}

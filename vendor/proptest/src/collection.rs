@@ -1,0 +1,92 @@
+//! Collection strategies; mirrors `proptest::collection`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// A strategy for `Vec`s whose length is drawn from `size` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for `BTreeMap`s with `size`-many key/value draws (duplicate
+/// keys collapse, so the realized length may be smaller).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy { key, value, size }
+}
+
+/// The strategy returned by [`btree_map`].
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> BTreeMap<K::Value, V::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len)
+            .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    #[test]
+    fn vec_respects_size_and_element_ranges() {
+        let mut rng = rng_for_test("vec_respects_size_and_element_ranges");
+        let s = vec(5i64..10, 2..7);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (5..10).contains(x)));
+        }
+    }
+
+    #[test]
+    fn btree_map_draws_bounded_entries() {
+        let mut rng = rng_for_test("btree_map_draws_bounded_entries");
+        let s = btree_map(0usize..50, 0.0f64..1.0, 0..6);
+        for _ in 0..100 {
+            let m = s.generate(&mut rng);
+            assert!(m.len() < 6);
+            assert!(m.keys().all(|k| *k < 50));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Offline stand-in for the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) property-testing crate
+//! used by this workspace.
+//!
+//! The build environment has no crate-registry access, so the workspace's
+//! property tests link against this shim. It supports the authoring surface
+//! the tests use — the [`proptest!`] macro with an inline
+//! `#![proptest_config(...)]`, range and char-class string strategies,
+//! [`collection::vec`] / [`collection::btree_map`], [`option::of`],
+//! [`prop_oneof!`], [`strategy::Just`], [`arbitrary::any`], `prop_map`,
+//! `prop_recursive`, and `prop_assert*` macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways: inputs are
+//! drawn from a deterministic per-test RNG (seeded from the test name, so
+//! failures reproduce across runs), and there is **no shrinking** — a
+//! failing case panics with the generated inputs left to the assertion
+//! message. For the regression-style invariants this workspace checks, that
+//! trade-off keeps the shim small while preserving the tests' power.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+pub mod option;
+
+pub mod string;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a property test; mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property test; mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property test; mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Build a strategy that uniformly picks one of several strategies with a
+/// common value type; mirrors `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests; mirrors `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item becomes a regular
+/// `#[test]`-able function that draws `config.cases` input tuples and runs
+/// the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}

@@ -1,0 +1,162 @@
+//! Char-class pattern generation backing the `&str` strategy.
+//!
+//! Real proptest treats string-literal strategies as full regexes. This shim
+//! supports the subset the workspace's tests use: a sequence of terms, where
+//! each term is a character class `[...]` (ranges like `a-z`, literal
+//! characters, and backslash escapes) or a literal character, optionally
+//! followed by a `{n}` or `{m,n}` repetition count.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug)]
+struct Term {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut choices = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in pattern"));
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    choices.push(p);
+                }
+                return choices;
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(
+                    chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in pattern")),
+                ) {
+                    choices.push(p);
+                }
+            }
+            '-' if pending.is_some() && chars.peek().is_some_and(|&next| next != ']') => {
+                let start = pending.take().unwrap();
+                let end = chars.next().unwrap();
+                assert!(start <= end, "inverted range {start}-{end} in pattern");
+                choices.extend(start..=end);
+            }
+            _ => {
+                if let Some(p) = pending.replace(c) {
+                    choices.push(p);
+                }
+            }
+        }
+    }
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    let parse = |s: &str| -> usize {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad repetition count {s:?} in pattern"))
+    };
+    match spec.split_once(',') {
+        Some((lo, hi)) => (parse(lo), parse(hi)),
+        None => {
+            let n = parse(&spec);
+            (n, n)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Term> {
+    let mut chars = pattern.chars().peekable();
+    let mut terms = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => parse_class(&mut chars),
+            '\\' => vec![chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in pattern"))],
+            _ => vec![c],
+        };
+        assert!(
+            !choices.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+        let (min, max) = parse_repeat(&mut chars);
+        terms.push(Term { choices, min, max });
+    }
+    terms
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for term in parse_pattern(pattern) {
+        let count = if term.min == term.max {
+            term.min
+        } else {
+            rng.gen_range(term.min..=term.max)
+        };
+        for _ in 0..count {
+            let idx = rng.gen_range(0..term.choices.len());
+            out.push(term.choices[idx]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        let mut rng = rng_for_test("class_with_ranges_and_escapes");
+        for _ in 0..200 {
+            let s = generate_pattern("[a-zA-Z0-9 _.,:\\-]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.,:-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn bounded_lengths_and_leading_class() {
+        let mut rng = rng_for_test("bounded_lengths_and_leading_class");
+        for _ in 0..200 {
+            let s = generate_pattern("[A-Za-z][A-Za-z0-9 .]{0,15}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 16);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = rng_for_test("trailing_dash_is_literal");
+        let mut saw_dash = false;
+        for _ in 0..500 {
+            let s = generate_pattern("[A-Za-z0-9_-]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            saw_dash |= s.contains('-');
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+        assert!(saw_dash, "dash never generated — class parse dropped it");
+    }
+}
