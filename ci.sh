@@ -22,4 +22,8 @@ cargo test --workspace -q
 step "cargo doc --no-deps (deny rustdoc warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+step "bench smoke (tiny-scale, executes the bench binaries)"
+MISCELA_BENCH_SMOKE=1 cargo bench -p miscela-bench --bench miner_vs_baseline
+MISCELA_BENCH_SMOKE=1 cargo bench -p miscela-bench --bench search_scaling
+
 printf '\nCI gate passed.\n'

@@ -1,0 +1,47 @@
+//! Search-phase scaling on a single giant spatially connected component —
+//! the realistic city-scale shape where the old static round-robin scheduler
+//! serialized the whole run on one worker. Sizes above 32 sensors exercise
+//! the per-seed work-stealing split; all sizes exercise the zero-allocation
+//! iterative search core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use miscela_core::{Miner, MiningParams};
+use miscela_datagen::chain_component;
+use std::time::Duration;
+
+fn params() -> MiningParams {
+    MiningParams::new()
+        .with_epsilon(0.5)
+        .with_eta_km(1.0)
+        .with_psi(20)
+        .with_mu(3)
+        .with_max_sensors(Some(3))
+        .with_segmentation(false)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    for &sensors in &[16usize, 48, 96] {
+        let ds = chain_component(sensors, 240);
+        let miner = Miner::new(params()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("giant_component", sensors),
+            &ds,
+            |b, ds| {
+                b.iter(|| {
+                    let result = miner.mine(ds).unwrap();
+                    assert_eq!(result.report.searchable_components, 1);
+                    result.caps.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

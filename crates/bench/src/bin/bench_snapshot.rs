@@ -1,0 +1,125 @@
+//! Machine-readable pipeline-timing snapshot.
+//!
+//! Runs the full mining pipeline at fixed bench scales, records the median
+//! per-step timings over several repeats, and writes them as JSON — the perf
+//! trajectory baseline committed as `BENCH_pipeline.json` so future PRs can
+//! compare search-phase numbers against a recorded reference.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p miscela-bench --bin bench_snapshot [-- --out PATH]
+//! ```
+//!
+//! The default output path is `BENCH_pipeline.json` in the working
+//! directory. `MISCELA_BENCH_SMOKE=1` reduces the repeat count for CI smoke
+//! runs. Timings are nanoseconds; they are machine-dependent and meaningful
+//! as *relative* step weights and as a trajectory on comparable hardware.
+
+use miscela_bench::{china6, santander_bench, santander_params};
+use miscela_core::{Miner, MiningParams, MiningReport};
+use miscela_model::Dataset;
+use miscela_store::Json;
+
+/// Median of a sample vector (ns). The vector is sorted in place.
+fn median_ns(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2
+    }
+}
+
+/// Runs the miner `repeats` times and reports the median-per-step timings
+/// together with the (run-invariant) pipeline statistics.
+fn snapshot_scale(name: &str, dataset: &Dataset, params: &MiningParams, repeats: usize) -> Json {
+    let miner = Miner::new(params.clone()).expect("snapshot params must validate");
+    let mut extraction: Vec<u128> = Vec::with_capacity(repeats);
+    let mut spatial: Vec<u128> = Vec::with_capacity(repeats);
+    let mut search: Vec<u128> = Vec::with_capacity(repeats);
+    let mut last: Option<MiningReport> = None;
+    for _ in 0..repeats {
+        let result = miner.mine(dataset).expect("snapshot mining failed");
+        extraction.push(result.report.extraction_time.as_nanos());
+        spatial.push(result.report.spatial_time.as_nanos());
+        search.push(result.report.search_time.as_nanos());
+        last = Some(result.report);
+    }
+    let report = last.expect("at least one repeat");
+    let extraction = median_ns(&mut extraction);
+    let spatial = median_ns(&mut spatial);
+    let search = median_ns(&mut search);
+    Json::from_pairs([
+        ("name", Json::String(name.to_string())),
+        ("sensors", Json::Number(dataset.sensor_count() as f64)),
+        ("timestamps", Json::Number(dataset.timestamp_count() as f64)),
+        ("extraction_ns", Json::Number(extraction as f64)),
+        ("spatial_ns", Json::Number(spatial as f64)),
+        ("search_ns", Json::Number(search as f64)),
+        (
+            "total_ns",
+            Json::Number((extraction + spatial + search) as f64),
+        ),
+        (
+            "evolving_events",
+            Json::Number(report.evolving_events as f64),
+        ),
+        (
+            "proximity_edges",
+            Json::Number(report.proximity_edges as f64),
+        ),
+        (
+            "searchable_components",
+            Json::Number(report.searchable_components as f64),
+        ),
+        (
+            "largest_component",
+            Json::Number(report.largest_component as f64),
+        ),
+        ("cap_count", Json::Number(report.cap_count as f64)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let repeats = if std::env::var_os("MISCELA_BENCH_SMOKE").is_some() {
+        2
+    } else {
+        5
+    };
+
+    let santander = santander_bench();
+    let china = china6(false);
+    let china_params = miscela_bench::china_params();
+    let scales = vec![
+        snapshot_scale("santander_bench", &santander, &santander_params(), repeats),
+        snapshot_scale("china6_bench", &china, &china_params, repeats),
+    ];
+
+    let doc = Json::from_pairs([
+        ("schema", Json::Number(1.0)),
+        ("unit", Json::String("nanoseconds".to_string())),
+        ("repeats", Json::Number(repeats as f64)),
+        (
+            "note",
+            Json::String(
+                "Median per-step pipeline timings at fixed bench scales; \
+                 regenerate with `cargo run --release -p miscela-bench --bin bench_snapshot`."
+                    .to_string(),
+            ),
+        ),
+        ("scales", Json::Array(scales)),
+    ]);
+    let text = doc.to_string_pretty();
+    println!("{text}");
+    std::fs::write(&out_path, text + "\n").expect("failed to write snapshot");
+    eprintln!("wrote {out_path}");
+}

@@ -90,6 +90,45 @@ impl Bitset {
         }
     }
 
+    /// Overwrites `self` with `a & b`, reusing `self`'s word buffer.
+    ///
+    /// This is the allocation-free workhorse of the CAP search's bitset
+    /// arena: intersections along the pattern tree write into recycled
+    /// buffers instead of `clone()`-ing a fresh `Vec<u64>` per extension
+    /// step. `self`'s previous capacity and contents are irrelevant.
+    pub fn assign_and(&mut self, a: &Bitset, b: &Bitset) {
+        assert_eq!(a.len, b.len, "bitset length mismatch");
+        self.len = a.len;
+        self.words.clear();
+        self.words
+            .extend(a.words.iter().zip(&b.words).map(|(x, y)| x & y));
+    }
+
+    /// Overwrites `self` with `a & b` and returns the number of set bits of
+    /// the result, computed in the same pass over the words. Lets the search
+    /// core materialize a candidate intersection and test it against ψ with
+    /// a single traversal instead of an `and_count` followed by a re-AND.
+    pub fn assign_and_count(&mut self, a: &Bitset, b: &Bitset) -> usize {
+        assert_eq!(a.len, b.len, "bitset length mismatch");
+        self.len = a.len;
+        self.words.clear();
+        let mut count = 0;
+        self.words
+            .extend(a.words.iter().zip(&b.words).map(|(x, y)| {
+                let w = x & y;
+                count += w.count_ones() as usize;
+                w
+            }));
+        count
+    }
+
+    /// Overwrites `self` with a copy of `other`, reusing `self`'s buffer.
+    pub fn assign_from(&mut self, other: &Bitset) {
+        self.len = other.len;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
     /// Union with another bitset.
     pub fn or(&self, other: &Bitset) -> Bitset {
         assert_eq!(self.len, other.len, "bitset length mismatch");
@@ -131,11 +170,30 @@ impl Bitset {
     /// The bitset shifted right by `delta` positions: bit `i` of the result
     /// is bit `i + delta` of the input. Used by the time-delayed extension to
     /// align a follower's evolving set with a leader's.
+    ///
+    /// Implemented as word-level shifts (one funnel shift per output word)
+    /// rather than a per-bit round trip through [`Bitset::indices`]; this is
+    /// on the `delayed` mining hot path, which evaluates every (pair, delay,
+    /// direction²) combination.
     pub fn shift_earlier(&self, delta: usize) -> Bitset {
         let mut out = Bitset::new(self.len);
-        for i in self.indices() {
-            if i >= delta {
-                out.set(i - delta);
+        if delta >= self.len {
+            return out;
+        }
+        let word_shift = delta / 64;
+        let bit_shift = delta % 64;
+        let n = self.words.len();
+        if bit_shift == 0 {
+            out.words[..n - word_shift].copy_from_slice(&self.words[word_shift..]);
+        } else {
+            for i in 0..n - word_shift {
+                let lo = self.words[i + word_shift] >> bit_shift;
+                let hi = if i + word_shift + 1 < n {
+                    self.words[i + word_shift + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
+                out.words[i] = lo | hi;
             }
         }
         out
@@ -198,6 +256,45 @@ mod tests {
         assert_eq!(s.indices(), vec![3, 8]);
         // delta 0 is identity.
         assert_eq!(b.shift_earlier(0), b);
+    }
+
+    #[test]
+    fn shift_earlier_crosses_word_boundaries() {
+        // Bits straddling the 64-bit word boundary must funnel into the
+        // lower word: 64 - 3 = 61, 65 - 3 = 62, 130 - 3 = 127.
+        let b = Bitset::from_indices(200, &[64, 65, 130, 2]);
+        assert_eq!(b.shift_earlier(3).indices(), vec![61, 62, 127]);
+        // Word-aligned shift (delta = 64) and beyond-a-word shift (delta = 67).
+        assert_eq!(b.shift_earlier(64).indices(), vec![0, 1, 66]);
+        assert_eq!(b.shift_earlier(67).indices(), vec![63]);
+        // Shifting past the capacity empties the set.
+        assert_eq!(b.shift_earlier(200).count(), 0);
+        assert_eq!(b.shift_earlier(10_000).count(), 0);
+        // Exhaustive check against the index-based definition.
+        let b = Bitset::from_indices(300, &[0, 1, 63, 64, 100, 191, 192, 255, 299]);
+        for delta in [0, 1, 5, 63, 64, 65, 128, 150, 299, 300] {
+            let expected: Vec<usize> = b
+                .indices()
+                .into_iter()
+                .filter(|&i| i >= delta)
+                .map(|i| i - delta)
+                .collect();
+            assert_eq!(b.shift_earlier(delta).indices(), expected, "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn assign_and_reuses_buffer() {
+        let a = Bitset::from_indices(100, &[1, 5, 50, 99]);
+        let b = Bitset::from_indices(100, &[5, 50, 98]);
+        let mut scratch = Bitset::from_indices(300, &[7, 250]);
+        scratch.assign_and(&a, &b);
+        assert_eq!(scratch, a.and(&b));
+        scratch.assign_from(&a);
+        assert_eq!(scratch, a);
+        let mut counted = Bitset::new(0);
+        assert_eq!(counted.assign_and_count(&a, &b), a.and_count(&b));
+        assert_eq!(counted, a.and(&b));
     }
 
     #[test]

@@ -9,16 +9,23 @@
 //! Components are searched in parallel with scoped threads when more than
 //! one hardware thread is available; the search itself is read-only over the
 //! shared evolving sets and proximity graph, so no synchronization beyond
-//! the final result merge is needed.
+//! the final result merge is needed. Scheduling is work-stealing rather than
+//! static: work units (whole components, or individual ESU seeds of
+//! oversized components) are sorted by estimated cost, largest first, and
+//! workers claim them through a shared atomic cursor, so one giant component
+//! — the realistic city-scale shape — no longer gates wall-clock time. Each
+//! worker owns one reusable [`SearchScratch`], keeping the hot path
+//! allocation-free across all the units it processes.
 
 use crate::delayed::{mine_delayed, DelayedCap};
 use crate::error::MiningError;
 use crate::evolving::{extract_with_segmentation, EvolvingSets};
 use crate::params::MiningParams;
 use crate::pattern::{Cap, CapSet};
-use crate::search::SearchContext;
+use crate::search::{SearchContext, SearchScratch};
 use crate::spatial::ProximityGraph;
 use miscela_model::{AttributeId, Dataset, SensorIndex};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Per-step timings and intermediate sizes of one mining run.
@@ -147,47 +154,102 @@ impl Miner {
     }
 }
 
-/// Searches components in parallel across the available hardware threads.
+/// Components at or above this many sensors are split into one work unit
+/// per ESU seed, so the subtrees of a single giant component can be mined
+/// by many workers concurrently. ESU uniqueness makes the per-seed searches
+/// independent: their union is exactly the per-component result.
+const SPLIT_COMPONENT_SIZE: usize = 32;
+
+/// One claimable unit of CAP-search work.
+enum WorkUnit<'c> {
+    /// A whole (small) spatially connected component.
+    Component(&'c [SensorIndex]),
+    /// A single ESU seed of an oversized component.
+    Seed(SensorIndex),
+}
+
+/// Searches components in parallel with a work-stealing scheduler.
+///
+/// Work units are sorted by estimated search cost (largest first) and
+/// claimed through a shared atomic cursor, so fast workers steal the
+/// remaining tail instead of idling behind a static assignment. Results are
+/// re-assembled in unit order, which makes the output deterministic
+/// regardless of thread timing.
 fn search_components_parallel(
     ctx: &SearchContext<'_>,
     components: &[&Vec<SensorIndex>],
 ) -> Vec<Cap> {
+    let mut units: Vec<(usize, WorkUnit<'_>)> = Vec::new();
+    for comp in components {
+        if comp.len() >= SPLIT_COMPONENT_SIZE {
+            // The ESU subtree rooted at a seed only explores sensors beyond
+            // it, so cost a seed as the suffix cost of its (ascending-sorted)
+            // component. This keeps seed units on the same scale as whole
+            // small components: the lowest seed — which owns the largest
+            // subtree — ranks like the whole component and starts first.
+            let mut suffix = 0usize;
+            for &seed in comp.iter().rev() {
+                suffix += ctx.graph.degree(seed) + 1;
+                units.push((suffix, WorkUnit::Seed(seed)));
+            }
+        } else {
+            units.push((
+                ctx.graph.estimated_search_cost(comp),
+                WorkUnit::Component(comp),
+            ));
+        }
+    }
+    if units.is_empty() {
+        return Vec::new();
+    }
+    // Largest units first: the expensive subtrees start immediately and the
+    // cheap tail backfills idle workers.
+    units.sort_by_key(|u| std::cmp::Reverse(u.0));
+
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(components.len().max(1));
-    if workers <= 1 || components.len() <= 1 {
+        .min(units.len());
+    let run_unit =
+        |unit: &WorkUnit<'_>, scratch: &mut SearchScratch, out: &mut Vec<Cap>| match *unit {
+            WorkUnit::Component(comp) => ctx.search_component_into(comp, scratch, out),
+            WorkUnit::Seed(seed) => ctx.search_seed_into(seed, scratch, out),
+        };
+    if workers <= 1 {
+        let mut scratch = SearchScratch::new();
         let mut out = Vec::new();
-        for comp in components {
-            out.extend(ctx.search_component(comp));
+        for (_, unit) in &units {
+            run_unit(unit, &mut scratch, &mut out);
         }
         return out;
     }
-    // Static round-robin assignment keeps the largest components spread over
-    // workers; a scoped spawn lets the worker threads borrow the context.
-    let mut results: Vec<Vec<Cap>> = Vec::new();
+
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, Vec<Cap>)> = Vec::with_capacity(units.len());
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for w in 0..workers {
-            let comps: Vec<&Vec<SensorIndex>> = components
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| i % workers == w)
-                .map(|(_, c)| *c)
-                .collect();
-            handles.push(scope.spawn(move || {
-                let mut out = Vec::new();
-                for comp in comps {
-                    out.extend(ctx.search_component(comp));
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut scratch = SearchScratch::new();
+                let mut local: Vec<(usize, Vec<Cap>)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= units.len() {
+                        break;
+                    }
+                    let mut caps = Vec::new();
+                    run_unit(&units[i].1, &mut scratch, &mut caps);
+                    local.push((i, caps));
                 }
-                out
+                local
             }));
         }
         for h in handles {
-            results.push(h.join().expect("search worker panicked"));
+            indexed.extend(h.join().expect("search worker panicked"));
         }
     });
-    results.into_iter().flatten().collect()
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().flat_map(|(_, caps)| caps).collect()
 }
 
 #[cfg(test)]
@@ -365,6 +427,52 @@ mod tests {
             without.caps.len(),
             with.caps.len()
         );
+    }
+
+    #[test]
+    fn work_stealing_split_matches_sequential_on_giant_component() {
+        // One 60-sensor chain component — above SPLIT_COMPONENT_SIZE, so the
+        // scheduler decomposes it into per-seed work units. The result must
+        // be identical to the sequential per-component search, and stable
+        // across runs regardless of thread timing. The fixture is shared
+        // with the `search_scaling` bench so both exercise the same shape.
+        let ds = miscela_datagen::chain_component(60, 240);
+        let p = params().with_psi(20).with_max_sensors(Some(3));
+        let miner = Miner::new(p.clone()).unwrap();
+        let result = miner.mine(&ds).unwrap();
+        assert_eq!(result.report.searchable_components, 1);
+        assert!(
+            result.report.largest_component >= SPLIT_COMPONENT_SIZE,
+            "fixture must exercise the per-seed split path"
+        );
+        assert!(!result.caps.is_empty());
+        // Deterministic across runs.
+        assert_eq!(miner.mine(&ds).unwrap().caps, result.caps);
+        // Identical to the sequential per-component search.
+        let evolving: Vec<EvolvingSets> = ds
+            .iter()
+            .map(|ss| {
+                extract_with_segmentation(
+                    ss.series,
+                    p.epsilon,
+                    p.segmentation,
+                    p.segmentation_error,
+                )
+            })
+            .collect();
+        let attributes: Vec<AttributeId> = ds.iter().map(|ss| ss.sensor.attribute).collect();
+        let graph = ProximityGraph::build(&ds, p.eta_km);
+        let ctx = SearchContext {
+            evolving: &evolving,
+            attributes: &attributes,
+            graph: &graph,
+            params: &p,
+        };
+        let mut sequential = Vec::new();
+        for comp in graph.components_at_least(2) {
+            sequential.extend(ctx.search_component(comp));
+        }
+        assert_eq!(CapSet::from_caps(sequential), result.caps);
     }
 
     #[test]

@@ -51,6 +51,25 @@ impl Cap {
         }
     }
 
+    /// Creates a CAP from parts that are already normalized: `attributes`
+    /// must be sorted ascending and deduplicated. Used by the allocation-free
+    /// search core, which maintains its attribute set as a sorted vector and
+    /// would otherwise rebuild a `BTreeSet` per reported pattern.
+    pub fn from_sorted_parts(
+        mut members: Vec<CapMember>,
+        attributes: Vec<AttributeId>,
+        timestamps: Vec<u32>,
+    ) -> Self {
+        debug_assert!(attributes.windows(2).all(|w| w[0] < w[1]));
+        members.sort();
+        Cap {
+            members,
+            attributes,
+            support: timestamps.len(),
+            timestamps,
+        }
+    }
+
     /// Number of member sensors.
     pub fn size(&self) -> usize {
         self.members.len()

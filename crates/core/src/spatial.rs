@@ -136,6 +136,20 @@ impl ProximityGraph {
         &self.adjacency[s.index()]
     }
 
+    /// Degree of a sensor: the number of its η-neighbours.
+    pub fn degree(&self, s: SensorIndex) -> usize {
+        self.adjacency[s.index()].len()
+    }
+
+    /// A cheap estimate of the CAP-search cost of a sensor set: the sum of
+    /// `degree + 1` over the members. The search tree fan-out at each vertex
+    /// is bounded by its degree, so denser and larger sets rank higher. The
+    /// work-stealing scheduler sorts work units by this estimate,
+    /// largest first, so a giant component no longer gates wall-clock time.
+    pub fn estimated_search_cost(&self, sensors: &[SensorIndex]) -> usize {
+        sensors.iter().map(|&s| self.degree(s) + 1).sum()
+    }
+
     /// Whether two sensors are within η of each other.
     pub fn are_close(&self, a: SensorIndex, b: SensorIndex) -> bool {
         self.adjacency[a.index()].binary_search(&b).is_ok()

@@ -1,0 +1,62 @@
+//! The giant-chain-component fixture: one spatially connected chain of
+//! sensors, the realistic city-scale shape where a single large component
+//! dominates the CAP search.
+//!
+//! Shared by the `search_scaling` bench and the work-stealing regression
+//! test of the mining engine, so both always exercise exactly the same
+//! component shape.
+
+use miscela_model::{Dataset, DatasetBuilder, Duration, GeoPoint, TimeGrid, TimeSeries, Timestamp};
+
+/// Attribute names cycled along the chain (three distinct attributes, so
+/// neighbouring sensors differ and satisfy the ≥ 2 distinct-attribute rule).
+const CHAIN_ATTRIBUTES: [&str; 3] = ["temperature", "traffic", "humidity"];
+
+/// Builds one chain component of `sensors` sensors ~110 m apart (0.001° of
+/// latitude), cycling three attributes, each with a co-evolving sawtooth
+/// series of period 12 and amplitude `1.0 + (i mod 4)` over `timestamps`
+/// hourly grid points. With η ≥ 1 km the proximity graph is a single
+/// connected component.
+pub fn chain_component(sensors: usize, timestamps: usize) -> Dataset {
+    let mut b = DatasetBuilder::new("giant-chain");
+    let start = Timestamp::parse("2016-03-01 00:00:00").expect("fixture start timestamp");
+    b.set_grid(TimeGrid::new(start, Duration::hours(1), timestamps).expect("fixture grid"));
+    for i in 0..sensors {
+        let attr = CHAIN_ATTRIBUTES[i % CHAIN_ATTRIBUTES.len()];
+        let idx = b
+            .add_sensor(
+                format!("s{i}"),
+                attr,
+                GeoPoint::new_unchecked(43.4 + 0.001 * i as f64, -3.80),
+            )
+            .expect("fixture sensor");
+        let amp = 1.0 + (i % 4) as f64;
+        let series = TimeSeries::from_values(
+            (0..timestamps)
+                .map(|t| {
+                    let phase = t % 12;
+                    if phase < 6 {
+                        amp * phase as f64
+                    } else {
+                        amp * (12 - phase) as f64
+                    }
+                })
+                .collect(),
+        );
+        b.set_series(idx, series).expect("fixture series");
+    }
+    b.build().expect("fixture dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_expected_shape() {
+        let ds = chain_component(10, 48);
+        assert_eq!(ds.sensor_count(), 10);
+        assert_eq!(ds.timestamp_count(), 48);
+        assert_eq!(ds.attributes().len(), 3);
+    }
+}

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chain;
 pub mod china;
 pub mod covid;
 pub mod noise;
@@ -49,6 +50,7 @@ pub mod planted;
 pub mod profiles;
 pub mod santander;
 
+pub use chain::chain_component;
 pub use china::{ChinaGenerator, ChinaProfile};
 pub use covid::CovidGenerator;
 pub use planted::{PlantedCap, PlantedGenerator};

@@ -6,11 +6,21 @@
 //! links against this shim instead. It keeps the same authoring surface —
 //! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
 //! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
-//! [`criterion_group!`] and [`criterion_main!`] — and implements a simple
-//! wall-clock measurement loop: each benchmark is warmed up once, run for up
-//! to `sample_size` samples bounded by a quarter of `measurement_time`, and
-//! the mean time per iteration is printed to stdout. There is no statistical
-//! analysis, outlier rejection, HTML report, or baseline comparison.
+//! [`criterion_group!`] and [`criterion_main!`] — and implements a
+//! wall-clock measurement loop with outlier-robust statistics: each
+//! benchmark is warmed up for [`Criterion::warm_up_time`] (at least one
+//! call, which also surfaces panics before timing starts), then up to
+//! `sample_size` independent samples are taken within a quarter of
+//! `measurement_time`, and the **median** time per iteration together with
+//! the median absolute deviation (MAD) is printed to stdout. The median/MAD
+//! pair is insensitive to the occasional scheduler-induced outlier sample,
+//! which matters now that benchmark numbers drive optimisation decisions.
+//! There is still no HTML report or baseline comparison.
+//!
+//! Setting the `MISCELA_BENCH_SMOKE` environment variable (to any value)
+//! clamps every benchmark to a single warm-up call, two samples and a tiny
+//! time budget — used by `ci.sh` to *execute* (not just compile) the bench
+//! binaries on every gate without inflating CI time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,11 +31,17 @@ use std::time::{Duration, Instant};
 /// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
 pub use std::hint::black_box;
 
+/// Whether the `MISCELA_BENCH_SMOKE` tiny-scale mode is active.
+fn smoke_mode() -> bool {
+    std::env::var_os("MISCELA_BENCH_SMOKE").is_some()
+}
+
 /// The benchmark harness entry point, mirroring `criterion::Criterion`.
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
+    warm_up_time: Duration,
 }
 
 impl Default for Criterion {
@@ -33,6 +49,7 @@ impl Default for Criterion {
         Criterion {
             sample_size: 20,
             measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(200),
         }
     }
 }
@@ -50,6 +67,12 @@ impl Criterion {
         self
     }
 
+    /// Set the default warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
@@ -58,6 +81,7 @@ impl Criterion {
             name,
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
             throughput: None,
             _criterion: self,
         }
@@ -68,8 +92,14 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
-        run_benchmark(&id.into().label, sample_size, measurement_time, None, f);
+        run_benchmark(
+            &id.into().label,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            None,
+            f,
+        );
     }
 }
 
@@ -125,6 +155,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    warm_up_time: Duration,
     throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
@@ -139,6 +170,12 @@ impl BenchmarkGroup<'_> {
     /// Set the measurement-time budget for benchmarks in this group.
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
         self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up duration for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
         self
     }
 
@@ -158,6 +195,7 @@ impl BenchmarkGroup<'_> {
             &label,
             self.sample_size,
             self.measurement_time,
+            self.warm_up_time,
             self.throughput,
             f,
         );
@@ -214,45 +252,90 @@ impl Bencher {
     }
 }
 
+/// Median of a sample set. The slice is sorted in place.
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Median absolute deviation around a given center.
+fn median_abs_deviation(samples: &[f64], center: f64) -> f64 {
+    let mut dev: Vec<f64> = samples.iter().map(|&x| (x - center).abs()).collect();
+    median(&mut dev)
+}
+
 fn run_benchmark<F>(
     label: &str,
     sample_size: usize,
     measurement_time: Duration,
+    warm_up_time: Duration,
     throughput: Option<Throughput>,
     mut f: F,
 ) where
     F: FnMut(&mut Bencher),
 {
-    // Warm-up (also surfaces panics before timing starts).
+    let smoke = smoke_mode();
+    let (sample_size, measurement_time, warm_up_time) = if smoke {
+        (
+            sample_size.min(2),
+            measurement_time.min(Duration::from_millis(100)),
+            Duration::ZERO,
+        )
+    } else {
+        (sample_size, measurement_time, warm_up_time)
+    };
+
+    // Warm-up: always at least one call (which also surfaces panics before
+    // timing starts), then keep going until the warm-up budget is spent.
+    let warm_started = Instant::now();
     let mut warmup = Bencher::default();
     f(&mut warmup);
+    while warm_started.elapsed() < warm_up_time {
+        let mut b = Bencher::default();
+        f(&mut b);
+    }
 
+    // Measurement: one independent Bencher per sample so each sample is a
+    // separate ns/iter observation for the robust statistics.
     let budget = measurement_time / 4;
     let started = Instant::now();
-    let mut b = Bencher::default();
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
+        let mut b = Bencher::default();
         f(&mut b);
+        if b.iterations > 0 {
+            samples.push(b.elapsed.as_nanos() as f64 / b.iterations as f64);
+        }
         if started.elapsed() > budget {
             break;
         }
     }
-    if b.iterations == 0 {
-        b = warmup;
-    }
-    let per_iter = b.elapsed.as_nanos() / u128::from(b.iterations.max(1));
-    let rate = match throughput {
-        Some(Throughput::Elements(n)) if per_iter > 0 => {
-            format!("  ({:.0} elem/s)", n as f64 * 1e9 / per_iter as f64)
+    if samples.is_empty() {
+        if warmup.iterations == 0 {
+            println!("bench: {label}: no iterations recorded");
+            return;
         }
-        Some(Throughput::Bytes(n)) if per_iter > 0 => {
-            format!("  ({:.0} B/s)", n as f64 * 1e9 / per_iter as f64)
+        samples.push(warmup.elapsed.as_nanos() as f64 / warmup.iterations as f64);
+    }
+
+    let n = samples.len();
+    let med = median(&mut samples);
+    let mad = median_abs_deviation(&samples, med);
+    let rate = match throughput {
+        Some(Throughput::Elements(els)) if med > 0.0 => {
+            format!("  ({:.0} elem/s)", els as f64 * 1e9 / med)
+        }
+        Some(Throughput::Bytes(bytes)) if med > 0.0 => {
+            format!("  ({:.0} B/s)", bytes as f64 * 1e9 / med)
         }
         _ => String::new(),
     };
-    println!(
-        "bench: {label}: {per_iter} ns/iter over {} iters{rate}",
-        b.iterations
-    );
+    println!("bench: {label}: {med:.0} ns/iter (median of {n} samples, ±{mad:.0} ns MAD){rate}");
 }
 
 /// Collect benchmark functions into a runnable group function, mirroring
@@ -288,7 +371,8 @@ mod tests {
         let mut group = c.benchmark_group("shim");
         group
             .sample_size(5)
-            .measurement_time(Duration::from_millis(50));
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
         group.throughput(Throughput::Elements(10));
         let mut runs = 0u32;
         group.bench_with_input(BenchmarkId::new("count", 10), &3u64, |b, &x| {
@@ -305,7 +389,8 @@ mod tests {
     fn bench_function_accepts_str_ids() {
         let mut c = Criterion::default()
             .sample_size(2)
-            .measurement_time(Duration::from_millis(10));
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
         let mut ran = false;
         c.bench_function("plain", |b| {
             b.iter(|| {
@@ -313,5 +398,18 @@ mod tests {
             })
         });
         assert!(ran);
+    }
+
+    #[test]
+    fn median_and_mad_are_outlier_robust() {
+        // A wild outlier moves the mean but not the median/MAD.
+        let mut odd = vec![10.0, 12.0, 11.0, 1_000_000.0, 9.0];
+        assert_eq!(median(&mut odd), 11.0);
+        assert_eq!(median_abs_deviation(&odd, 11.0), 1.0);
+        let mut even = vec![4.0, 8.0, 2.0, 6.0];
+        assert_eq!(median(&mut even), 5.0);
+        let mut single = vec![7.5];
+        assert_eq!(median(&mut single), 7.5);
+        assert_eq!(median_abs_deviation(&single, 7.5), 0.0);
     }
 }
