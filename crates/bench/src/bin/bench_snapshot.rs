@@ -99,9 +99,30 @@ fn main() {
     let santander = santander_bench();
     let china = china6(false);
     let china_params = miscela_bench::china_params();
+    // The two `*_seg` scales enable linear segmentation, making
+    // `extraction_ns` cover the full step-(1)+(2) front end (the
+    // feasible-slope-cone segmenter plus the word-level evolving scan); the
+    // plain scales isolate the scan.
     let scales = vec![
         snapshot_scale("santander_bench", &santander, &santander_params(), repeats),
+        snapshot_scale(
+            "santander_bench_seg",
+            &santander,
+            &santander_params()
+                .with_segmentation(true)
+                .with_segmentation_error(0.02),
+            repeats,
+        ),
         snapshot_scale("china6_bench", &china, &china_params, repeats),
+        snapshot_scale(
+            "china6_bench_seg",
+            &china,
+            &china_params
+                .clone()
+                .with_segmentation(true)
+                .with_segmentation_error(0.02),
+            repeats,
+        ),
     ];
 
     let doc = Json::from_pairs([

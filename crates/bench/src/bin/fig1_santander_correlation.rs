@@ -5,6 +5,7 @@
 //! Figure 1(a)/(b).
 
 use miscela_bench::{paper_scale_requested, santander, santander_params};
+use miscela_core::evolving::extract_evolving;
 use miscela_core::{correlation, Miner};
 use miscela_viz::ascii::sparkline;
 
@@ -51,6 +52,11 @@ fn main() {
         );
     }
     let sensors = cap.sensors();
+    // Extract each member once; the pair loop scores precomputed sets.
+    let evolving: Vec<_> = sensors
+        .iter()
+        .map(|&s| extract_evolving(ds.series(s), params.epsilon))
+        .collect();
     for i in 0..sensors.len() {
         for j in (i + 1)..sensors.len() {
             let a = ds.sensor_series(sensors[i]);
@@ -61,7 +67,7 @@ fn main() {
                 b.sensor.id,
                 a.sensor.location.distance_km(&b.sensor.location),
                 correlation::pearson(a.series, b.series).unwrap_or(f64::NAN),
-                correlation::co_evolution_score(a.series, b.series, params.epsilon),
+                correlation::co_evolution_score_sets(&evolving[i], &evolving[j]),
                 cap.support,
             );
         }

@@ -1,0 +1,195 @@
+//! Per-series extraction cache: the front-end companion of the CAP result
+//! cache.
+//!
+//! The result cache (Section 3.3) only helps when the *entire* parameter
+//! setting repeats. The interactive exploration loop, however, mostly
+//! re-mines with tweaked support/distance parameters (ψ, η, μ) — which do
+//! not affect steps (1)+(2) at all. [`EvolvingSetsCache`] memoizes the
+//! per-series [`EvolvingSets`] keyed by
+//! [`ExtractionKey`] (series content fingerprint + ε + segmentation
+//! parameters), so those re-mining calls skip segmentation and extraction
+//! entirely and pay only for the search.
+
+use miscela_core::evolving::{EvolvingCache, EvolvingSets, ExtractionKey};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Default capacity: enough for every sensor of several city-scale datasets
+/// at a handful of ε/segmentation settings.
+pub const DEFAULT_EXTRACTION_CAPACITY: usize = 16_384;
+
+/// A thread-safe, capacity-bounded cache from [`ExtractionKey`] to
+/// [`EvolvingSets`], evicting the least recently inserted entry.
+///
+/// Keys are content fingerprints, so no dataset-level invalidation is
+/// needed: re-uploading changed data simply misses (and the stale entries
+/// age out through the capacity bound).
+#[derive(Debug)]
+pub struct EvolvingSetsCache {
+    inner: Mutex<Inner>,
+}
+
+// Entries are `Arc`ed so the critical section of a hit is one reference
+// bump: the deep bitset clone the `EvolvingCache` contract requires happens
+// outside the lock, keeping the parallel warm-extraction path from
+// serializing on the mutex.
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<ExtractionKey, Arc<EvolvingSets>>,
+    insertion_order: VecDeque<ExtractionKey>,
+    capacity: usize,
+    hits: usize,
+    misses: usize,
+}
+
+impl EvolvingSetsCache {
+    /// Creates a cache with [`DEFAULT_EXTRACTION_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_EXTRACTION_CAPACITY)
+    }
+
+    /// Creates a cache that keeps at most `capacity` series entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EvolvingSetsCache {
+            inner: Mutex::new(Inner {
+                capacity: capacity.max(1),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// `(hits, misses, entries)` counters.
+    pub fn stats(&self) -> (usize, usize, usize) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses, inner.entries.len())
+    }
+
+    /// Removes every entry (statistics are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.insertion_order.clear();
+    }
+}
+
+impl Default for EvolvingSetsCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvolvingCache for EvolvingSetsCache {
+    fn get(&self, key: &ExtractionKey) -> Option<EvolvingSets> {
+        let shared = {
+            let mut inner = self.inner.lock();
+            let found = inner.entries.get(key).map(Arc::clone);
+            if found.is_some() {
+                inner.hits += 1;
+            } else {
+                inner.misses += 1;
+            }
+            found
+        };
+        shared.map(|sets| (*sets).clone())
+    }
+
+    fn put(&self, key: ExtractionKey, sets: &EvolvingSets) {
+        let sets = Arc::new(sets.clone());
+        let mut inner = self.inner.lock();
+        if !inner.entries.contains_key(&key) {
+            inner.insertion_order.push_back(key);
+        }
+        inner.entries.insert(key, sets);
+        while inner.entries.len() > inner.capacity {
+            let oldest = inner
+                .insertion_order
+                .pop_front()
+                .expect("eviction with empty insertion order");
+            inner.entries.remove(&oldest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miscela_core::evolving::extract_evolving;
+    use miscela_model::TimeSeries;
+
+    fn series(shift: f64) -> TimeSeries {
+        TimeSeries::from_values(
+            (0..96)
+                .map(|i| ((i as f64) * 0.4).sin() * 3.0 + shift)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn get_put_round_trip_and_stats() {
+        let cache = EvolvingSetsCache::new();
+        let s = series(0.0);
+        let key = ExtractionKey::new(&s, 0.5, false, 0.0);
+        assert!(cache.get(&key).is_none());
+        let sets = extract_evolving(&s, 0.5);
+        cache.put(key, &sets);
+        assert_eq!(cache.get(&key).unwrap(), sets);
+        assert_eq!(cache.stats(), (1, 1, 1));
+        cache.clear();
+        assert_eq!(cache.stats().2, 0);
+    }
+
+    #[test]
+    fn keys_distinguish_content_and_parameters() {
+        let a = series(0.0);
+        let b = series(1.0);
+        let base = ExtractionKey::new(&a, 0.5, false, 0.0);
+        assert_ne!(base, ExtractionKey::new(&b, 0.5, false, 0.0));
+        assert_ne!(base, ExtractionKey::new(&a, 0.6, false, 0.0));
+        assert_ne!(base, ExtractionKey::new(&a, 0.5, true, 0.05));
+        // A disabled tolerance does not split the key space.
+        assert_eq!(base, ExtractionKey::new(&a, 0.5, true, 0.0));
+        assert_eq!(base, ExtractionKey::new(&a, 0.5, false, 0.05));
+        // Missingness patterns are part of the fingerprint.
+        let mut gapped = a.clone();
+        gapped.clear(10);
+        assert_ne!(base, ExtractionKey::new(&gapped, 0.5, false, 0.0));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let cache = EvolvingSetsCache::with_capacity(2);
+        let keys: Vec<ExtractionKey> = (0..3)
+            .map(|i| ExtractionKey::new(&series(i as f64), 0.5, false, 0.0))
+            .collect();
+        let sets = extract_evolving(&series(0.0), 0.5);
+        for &k in &keys {
+            cache.put(k, &sets);
+        }
+        assert!(cache.get(&keys[0]).is_none());
+        assert!(cache.get(&keys[1]).is_some());
+        assert!(cache.get(&keys[2]).is_some());
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let cache = Arc::new(EvolvingSetsCache::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20 {
+                    let s = series((t * 100 + i) as f64);
+                    let key = ExtractionKey::new(&s, 0.5, false, 0.0);
+                    cache.put(key, &extract_evolving(&s, 0.5));
+                    assert!(cache.get(&key).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.stats().2, 80);
+    }
+}

@@ -17,6 +17,12 @@
 //! cached results survive across sessions and can be inspected with the
 //! store's query interface.
 //!
+//! [`EvolvingSetsCache`] is the front-end companion: a per-series cache of
+//! extraction results keyed by series content fingerprint and the
+//! parameters steps (1)+(2) depend on, so re-mining with tweaked
+//! search-side parameters (ψ, η, μ) skips segmentation and extraction
+//! entirely.
+//!
 //! # Example
 //!
 //! ```
@@ -39,10 +45,12 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod extraction;
 pub mod key;
 pub mod memory;
 pub mod persistent;
 
+pub use extraction::EvolvingSetsCache;
 pub use key::CacheKey;
 pub use memory::{CacheStats, ResultCache};
 pub use persistent::PersistentCache;

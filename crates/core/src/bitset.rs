@@ -153,6 +153,13 @@ impl Bitset {
             .sum()
     }
 
+    /// Mutable view of the backing words, for bulk word-level writers (the
+    /// evolving-timestamp scan). Callers must keep bits at positions
+    /// `>= len` zero — every other operation assumes the tail is clear.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Indices of the set bits, ascending.
     pub fn indices(&self) -> Vec<usize> {
         let mut out = Vec::with_capacity(self.count());

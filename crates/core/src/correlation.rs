@@ -6,7 +6,12 @@
 //! highlighted sensors move together), and the Figure-1 experiment reports
 //! both measures for the traffic/temperature example.
 
-use crate::evolving::{extract_evolving, Direction};
+//! Each measure comes in two forms: a `*_sets` function over precomputed
+//! [`EvolvingSets`] (so callers scoring many pairs extract each series
+//! once, not once per pair per measure) and a thin series-taking
+//! convenience wrapper that extracts and delegates.
+
+use crate::evolving::{extract_evolving, Direction, EvolvingSets};
 use miscela_model::TimeSeries;
 
 /// Pearson correlation coefficient over timestamps where both series are
@@ -42,8 +47,21 @@ pub fn pearson(a: &TimeSeries, b: &TimeSeries) -> Option<f64> {
     Some(cov / (var_x.sqrt() * var_y.sqrt()))
 }
 
+/// Number of timestamps at which both evolving sets evolve in the given
+/// directions.
+pub fn co_evolution_count_sets(
+    ea: &EvolvingSets,
+    eb: &EvolvingSets,
+    dir_a: Direction,
+    dir_b: Direction,
+) -> usize {
+    ea.for_direction(dir_a).and_count(eb.for_direction(dir_b))
+}
+
 /// Number of timestamps at which both series evolve (by at least ε) in the
-/// given directions.
+/// given directions. Convenience wrapper over
+/// [`co_evolution_count_sets`]; callers scoring several pairs or measures
+/// should extract once and use the `_sets` form.
 pub fn co_evolution_count(
     a: &TimeSeries,
     b: &TimeSeries,
@@ -51,20 +69,20 @@ pub fn co_evolution_count(
     dir_a: Direction,
     dir_b: Direction,
 ) -> usize {
-    let ea = extract_evolving(a, epsilon);
-    let eb = extract_evolving(b, epsilon);
-    ea.for_direction(dir_a).and_count(eb.for_direction(dir_b))
+    co_evolution_count_sets(
+        &extract_evolving(a, epsilon),
+        &extract_evolving(b, epsilon),
+        dir_a,
+        dir_b,
+    )
 }
 
 /// The best co-evolution count over the four direction combinations,
 /// together with the directions achieving it.
-pub fn best_co_evolution(
-    a: &TimeSeries,
-    b: &TimeSeries,
-    epsilon: f64,
+pub fn best_co_evolution_sets(
+    ea: &EvolvingSets,
+    eb: &EvolvingSets,
 ) -> (usize, Direction, Direction) {
-    let ea = extract_evolving(a, epsilon);
-    let eb = extract_evolving(b, epsilon);
     let mut best = (0usize, Direction::Up, Direction::Up);
     for &da in &Direction::BOTH {
         for &db in &Direction::BOTH {
@@ -77,6 +95,16 @@ pub fn best_co_evolution(
     best
 }
 
+/// The best co-evolution count over the four direction combinations.
+/// Convenience wrapper over [`best_co_evolution_sets`].
+pub fn best_co_evolution(
+    a: &TimeSeries,
+    b: &TimeSeries,
+    epsilon: f64,
+) -> (usize, Direction, Direction) {
+    best_co_evolution_sets(&extract_evolving(a, epsilon), &extract_evolving(b, epsilon))
+}
+
 /// Normalized co-evolution score in `[0, 1]`.
 ///
 /// The score is the number of aligned evolving timestamps under the better
@@ -85,9 +113,7 @@ pub fn best_co_evolution(
 /// divided by the smaller of the two evolving-timestamp totals. A score of 1
 /// means the less active series never evolves without the other evolving
 /// consistently at the same timestamp.
-pub fn co_evolution_score(a: &TimeSeries, b: &TimeSeries, epsilon: f64) -> f64 {
-    let ea = extract_evolving(a, epsilon);
-    let eb = extract_evolving(b, epsilon);
+pub fn co_evolution_score_sets(ea: &EvolvingSets, eb: &EvolvingSets) -> f64 {
     let denom = ea.total().min(eb.total());
     if denom == 0 {
         return 0.0;
@@ -95,6 +121,12 @@ pub fn co_evolution_score(a: &TimeSeries, b: &TimeSeries, epsilon: f64) -> f64 {
     let same = ea.up.and_count(&eb.up) + ea.down.and_count(&eb.down);
     let opposite = ea.up.and_count(&eb.down) + ea.down.and_count(&eb.up);
     same.max(opposite) as f64 / denom as f64
+}
+
+/// Normalized co-evolution score in `[0, 1]`. Convenience wrapper over
+/// [`co_evolution_score_sets`].
+pub fn co_evolution_score(a: &TimeSeries, b: &TimeSeries, epsilon: f64) -> f64 {
+    co_evolution_score_sets(&extract_evolving(a, epsilon), &extract_evolving(b, epsilon))
 }
 
 #[cfg(test)]
@@ -174,6 +206,30 @@ mod tests {
         let (best, da, db) = best_co_evolution(&a, &b, 0.5);
         assert!(best >= 4);
         assert_eq!(da, db.flip());
+    }
+
+    #[test]
+    fn sets_variants_match_series_wrappers() {
+        let a = series(&[0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.5]);
+        let b = series(&[9.0, 8.0, 7.0, 8.0, 9.0, 8.0, 6.5]);
+        let ea = extract_evolving(&a, 0.5);
+        let eb = extract_evolving(&b, 0.5);
+        for &da in &Direction::BOTH {
+            for &db in &Direction::BOTH {
+                assert_eq!(
+                    co_evolution_count_sets(&ea, &eb, da, db),
+                    co_evolution_count(&a, &b, 0.5, da, db)
+                );
+            }
+        }
+        assert_eq!(
+            best_co_evolution_sets(&ea, &eb),
+            best_co_evolution(&a, &b, 0.5)
+        );
+        assert_eq!(
+            co_evolution_score_sets(&ea, &eb),
+            co_evolution_score(&a, &b, 0.5)
+        );
     }
 
     #[test]

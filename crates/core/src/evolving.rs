@@ -84,29 +84,60 @@ impl EvolvingSets {
 /// `x[t] - x[t-1] >= epsilon` and Down-evolving when
 /// `x[t-1] - x[t] >= epsilon`. Missing values never evolve. With
 /// `epsilon == 0`, any strictly positive (negative) change counts.
+///
+/// The scan streams over the raw value slice and accumulates whole 64-bit
+/// words of the `up`/`down` bitsets branchlessly: a missing value is `NaN`,
+/// its delta is `NaN`, and every threshold comparison on `NaN` is false —
+/// so there is no per-timestamp `Option` branch at all.
 pub fn extract_evolving(series: &TimeSeries, epsilon: f64) -> EvolvingSets {
     let n = series.len();
     let mut up = Bitset::new(n);
     let mut down = Bitset::new(n);
-    for t in 1..n {
-        if let Some(delta) = series.delta(t) {
-            if epsilon > 0.0 {
-                if delta >= epsilon {
-                    up.set(t);
-                } else if -delta >= epsilon {
-                    down.set(t);
-                }
-            } else {
-                if delta > 0.0 {
-                    up.set(t);
-                }
-                if delta < 0.0 {
-                    down.set(t);
-                }
-            }
+    if n >= 2 {
+        let values = series.as_slice();
+        if epsilon > 0.0 {
+            scan_words(values, up.words_mut(), down.words_mut(), |delta| {
+                (delta >= epsilon, -delta >= epsilon)
+            });
+        } else {
+            scan_words(values, up.words_mut(), down.words_mut(), |delta| {
+                (delta > 0.0, delta < 0.0)
+            });
         }
     }
     EvolvingSets { up, down }
+}
+
+/// Word-level delta scan: classifies `values[t] - values[t-1]` for every
+/// `t >= 1` and ORs the verdicts into the corresponding bit of the output
+/// words. `classify` must return `(false, false)` for `NaN` deltas, which
+/// all comparison-based classifiers do for free.
+#[inline(always)]
+fn scan_words(
+    values: &[f64],
+    up_words: &mut [u64],
+    down_words: &mut [u64],
+    classify: impl Fn(f64) -> (bool, bool),
+) {
+    let n = values.len();
+    for (wi, (uw, dw)) in up_words.iter_mut().zip(down_words.iter_mut()).enumerate() {
+        let first = (wi * 64).max(1);
+        let last = ((wi + 1) * 64).min(n);
+        let mut u = 0u64;
+        let mut d = 0u64;
+        // `windows(2)` over the block (plus the preceding point) keeps the
+        // inner loop free of bounds checks; the pair window also reuses the
+        // previous load as the next subtrahend.
+        for (k, pair) in values[first - 1..last].windows(2).enumerate() {
+            let delta = pair[1] - pair[0];
+            let (is_up, is_down) = classify(delta);
+            let bit = (first + k) & 63;
+            u |= u64::from(is_up) << bit;
+            d |= u64::from(is_down) << bit;
+        }
+        *uw = u;
+        *dw = d;
+    }
 }
 
 /// Applies steps (1) and (2) of the pipeline to one series: optional linear
@@ -122,6 +153,123 @@ pub fn extract_with_segmentation(
         extract_evolving(&smoothed, epsilon)
     } else {
         extract_evolving(series, epsilon)
+    }
+}
+
+/// Cache key for one series' extraction result: a content fingerprint of
+/// the series plus the exact parameters steps (1)+(2) depend on.
+///
+/// Keying on the series *content* (not the dataset/sensor name) means a
+/// re-uploaded dataset hits for every unchanged series and misses only for
+/// the ones whose data actually changed, and that parameter changes which
+/// do not affect extraction — ψ, η, μ, the delay bound — keep hitting.
+/// Parameters are stored as IEEE bit patterns so the key is `Eq + Hash`
+/// without any float-equality subtleties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExtractionKey {
+    /// 128-bit fingerprint of the series contents (bit patterns + length).
+    pub fingerprint: u128,
+    /// `epsilon.to_bits()`.
+    pub epsilon_bits: u64,
+    /// Whether segmentation is effectively applied (`segmentation` flag AND
+    /// a positive error tolerance, mirroring
+    /// [`extract_with_segmentation`]).
+    pub segmentation: bool,
+    /// `segmentation_error.to_bits()` when segmentation is effective, else
+    /// `0` (a disabled tolerance must not split the key space).
+    pub segmentation_error_bits: u64,
+}
+
+impl ExtractionKey {
+    /// Builds the key for one series and extraction-parameter setting.
+    pub fn new(
+        series: &TimeSeries,
+        epsilon: f64,
+        segmentation_enabled: bool,
+        segmentation_error: f64,
+    ) -> Self {
+        let effective = segmentation_enabled && segmentation_error > 0.0;
+        ExtractionKey {
+            fingerprint: series_fingerprint(series),
+            epsilon_bits: epsilon.to_bits(),
+            segmentation: effective,
+            segmentation_error_bits: if effective {
+                segmentation_error.to_bits()
+            } else {
+                0
+            },
+        }
+    }
+}
+
+/// 128-bit content fingerprint over a series' length and raw value bit
+/// patterns (`NaN` missing markers included, so presence patterns are part
+/// of the fingerprint): two independent FNV-1a streams — the second with a
+/// different offset basis and bit-rotated input — packed into one `u128`.
+/// A single 64-bit FNV collision is constructible; colliding both streams
+/// simultaneously is not practically so, which is what lets the extraction
+/// cache trust a key hit and skip steps (1)+(2).
+pub fn series_fingerprint(series: &TimeSeries) -> u128 {
+    const OFFSET_1: u64 = 0xcbf2_9ce4_8422_2325;
+    const OFFSET_2: u64 = 0x9e37_79b9_7f4a_7c15;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h1 = OFFSET_1 ^ (series.len() as u64);
+    let mut h2 = OFFSET_2 ^ (series.len() as u64).rotate_left(32);
+    h1 = h1.wrapping_mul(PRIME);
+    h2 = h2.wrapping_mul(PRIME);
+    for &v in series.as_slice() {
+        let bits = v.to_bits();
+        h1 ^= bits;
+        h1 = h1.wrapping_mul(PRIME);
+        h2 ^= bits.rotate_left(29);
+        h2 = h2.wrapping_mul(PRIME);
+    }
+    ((h1 as u128) << 64) | h2 as u128
+}
+
+/// A cache of per-series extraction results, consulted by
+/// [`crate::Miner::mine_with_cache`] so repeated mining of unchanged series
+/// skips steps (1)+(2) entirely. Implemented by `miscela-cache`'s
+/// `EvolvingSetsCache`; `Sync` because lookups happen from the parallel
+/// extraction map's worker threads.
+pub trait EvolvingCache: Sync {
+    /// Returns the cached sets for a key, if present.
+    fn get(&self, key: &ExtractionKey) -> Option<EvolvingSets>;
+    /// Stores the sets computed for a key.
+    fn put(&self, key: ExtractionKey, sets: &EvolvingSets);
+}
+
+/// The pre-refactor per-timestamp extractor, retained verbatim as the
+/// equivalence oracle for the word-level scan. Only compiled into test
+/// builds.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    /// The original `delta()`-per-timestamp extraction loop.
+    pub(crate) fn extract_evolving_reference(series: &TimeSeries, epsilon: f64) -> EvolvingSets {
+        let n = series.len();
+        let mut up = Bitset::new(n);
+        let mut down = Bitset::new(n);
+        for t in 1..n {
+            if let Some(delta) = series.delta(t) {
+                if epsilon > 0.0 {
+                    if delta >= epsilon {
+                        up.set(t);
+                    } else if -delta >= epsilon {
+                        down.set(t);
+                    }
+                } else {
+                    if delta > 0.0 {
+                        up.set(t);
+                    }
+                    if delta < 0.0 {
+                        down.set(t);
+                    }
+                }
+            }
+        }
+        EvolvingSets { up, down }
     }
 }
 
@@ -206,6 +354,62 @@ mod tests {
             "segmentation left {} down-events",
             smoothed.down.count()
         );
+    }
+
+    #[test]
+    fn word_scan_matches_reference_on_fixtures() {
+        let fixtures: Vec<TimeSeries> = vec![
+            TimeSeries::from_values(vec![]),
+            TimeSeries::from_values(vec![5.0]),
+            TimeSeries::from_values(vec![1.0, 2.0]),
+            TimeSeries::missing(100),
+            TimeSeries::from_values((0..333).map(|i| ((i as f64) * 0.7).sin() * 3.0).collect()),
+            // Cross-word boundaries with a gap pattern.
+            TimeSeries::from_options(
+                &(0..200)
+                    .map(|i| (i % 7 != 2).then_some(((i * 37) % 17) as f64 * 0.5))
+                    .collect::<Vec<_>>(),
+            ),
+            // Exactly 64 and 65 points (word-boundary lengths).
+            TimeSeries::from_values((0..64).map(|i| (i % 5) as f64).collect()),
+            TimeSeries::from_values((0..65).map(|i| (i % 5) as f64).collect()),
+        ];
+        for series in &fixtures {
+            for eps in [0.0, 0.3, 1.0, 10.0] {
+                let fast = extract_evolving(series, eps);
+                let slow = reference::extract_evolving_reference(series, eps);
+                assert_eq!(fast, slow, "eps={eps} on {series:?}");
+            }
+        }
+    }
+
+    mod equivalence_proptest {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// The branchless word-level scan and the retained
+            /// per-timestamp oracle agree bit-for-bit on randomized series
+            /// with NaN gaps, including epsilon == 0.
+            #[test]
+            fn word_scan_matches_reference(
+                values in proptest::collection::vec(-20.0f64..20.0, 0..200),
+                gap_seed in 0usize..11,
+                epsilon in 0.0f64..3.0,
+            ) {
+                let options: Vec<Option<f64>> = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| ((i * 5 + gap_seed) % 11 != 0).then_some(v))
+                    .collect();
+                let series = TimeSeries::from_options(&options);
+                let fast = extract_evolving(&series, epsilon);
+                let slow = reference::extract_evolving_reference(&series, epsilon);
+                prop_assert_eq!(fast, slow);
+            }
+        }
     }
 
     #[test]

@@ -73,13 +73,14 @@ pub mod evolving;
 pub mod miner;
 pub mod params;
 pub mod pattern;
+pub mod scheduler;
 pub mod search;
 pub mod segmentation;
 pub mod spatial;
 
 pub use bitset::Bitset;
 pub use error::MiningError;
-pub use evolving::{Direction, EvolvingSets};
+pub use evolving::{Direction, EvolvingCache, EvolvingSets, ExtractionKey};
 pub use miner::{Miner, MiningReport, MiningResult};
 pub use params::MiningParams;
 pub use pattern::{Cap, CapMember, CapSet};

@@ -6,22 +6,27 @@
 //! the [`CapSet`] with a [`MiningReport`] of per-step timings and sizes —
 //! the report is what the Figure-2 pipeline experiment prints.
 //!
-//! Components are searched in parallel with scoped threads when more than
-//! one hardware thread is available; the search itself is read-only over the
-//! shared evolving sets and proximity graph, so no synchronization beyond
-//! the final result merge is needed. Scheduling is work-stealing rather than
-//! static: work units (whole components, or individual ESU seeds of
-//! oversized components) are sorted by estimated cost, largest first, and
-//! workers claim them through a shared atomic cursor, so one giant component
-//! — the realistic city-scale shape — no longer gates wall-clock time. Each
-//! worker owns one reusable [`SearchScratch`], keeping the hot path
-//! allocation-free across all the units it processes.
+//! Both parallel phases — the per-series extraction map of steps (1)+(2)
+//! and the per-component CAP search of step (4) — run on the shared
+//! work-stealing scheduler ([`crate::scheduler`]): work units are sorted by
+//! estimated cost where costs are known, claimed through a shared atomic
+//! cursor, and reassembled in unit order, so one giant component — the
+//! realistic city-scale shape — no longer gates wall-clock time and the
+//! output never depends on thread timing. Each search worker owns one
+//! reusable [`SearchScratch`], keeping the hot path allocation-free across
+//! all the units it processes.
+//!
+//! [`Miner::mine_with_cache`] additionally consults an
+//! [`EvolvingCache`] keyed by series fingerprint and extraction parameters,
+//! so interactive re-mining with tweaked ψ/η/μ skips steps (1)+(2)
+//! entirely on unchanged series.
 
 use crate::delayed::{mine_delayed, DelayedCap};
 use crate::error::MiningError;
-use crate::evolving::{extract_with_segmentation, EvolvingSets};
+use crate::evolving::{extract_with_segmentation, EvolvingCache, EvolvingSets, ExtractionKey};
 use crate::params::MiningParams;
 use crate::pattern::{Cap, CapSet};
+use crate::scheduler;
 use crate::search::{SearchContext, SearchScratch};
 use crate::spatial::ProximityGraph;
 use miscela_model::{AttributeId, Dataset, SensorIndex};
@@ -33,6 +38,9 @@ use std::time::{Duration, Instant};
 pub struct MiningReport {
     /// Time spent in segmentation + evolving-timestamp extraction.
     pub extraction_time: Duration,
+    /// Number of series whose extraction was served from the evolving-sets
+    /// cache (always 0 for [`Miner::mine`], which runs cache-less).
+    pub extraction_cache_hits: usize,
     /// Time spent building the proximity graph and its components.
     pub spatial_time: Duration,
     /// Time spent in the CAP search.
@@ -89,26 +97,65 @@ impl Miner {
 
     /// Runs the full pipeline over a dataset.
     pub fn mine(&self, dataset: &Dataset) -> Result<MiningResult, MiningError> {
+        self.mine_with_cache(dataset, None)
+    }
+
+    /// Runs the full pipeline, consulting `extraction_cache` (when given)
+    /// for per-series evolving sets so steps (1)+(2) are skipped on series
+    /// whose content and extraction parameters are unchanged. This is the
+    /// entry point the server's interactive path uses: re-mining with
+    /// tweaked ψ/η/μ pays only for the search.
+    pub fn mine_with_cache(
+        &self,
+        dataset: &Dataset,
+        extraction_cache: Option<&dyn EvolvingCache>,
+    ) -> Result<MiningResult, MiningError> {
         if dataset.timestamp_count() < 2 {
             return Err(MiningError::DatasetTooSmall(dataset.timestamp_count()));
         }
         let mut report = MiningReport::default();
 
-        // Steps (1) + (2): segmentation and evolving-timestamp extraction.
+        // Steps (1) + (2): segmentation and evolving-timestamp extraction,
+        // parallelized over series by the shared scheduler once the dataset
+        // is large enough for the thread fan-out to pay for itself.
         let t0 = Instant::now();
-        let evolving: Vec<EvolvingSets> = dataset
-            .iter()
-            .map(|ss| {
-                extract_with_segmentation(
-                    ss.series,
+        let series: Vec<&miscela_model::TimeSeries> = dataset.iter().map(|ss| ss.series).collect();
+        let cells = series.len() * dataset.timestamp_count();
+        let workers = if cells >= PARALLEL_EXTRACTION_CELLS {
+            scheduler::available_workers()
+        } else {
+            1
+        };
+        let cache_hits = AtomicUsize::new(0);
+        let evolving: Vec<EvolvingSets> = scheduler::parallel_map(&series, workers, |&s| {
+            let key = extraction_cache.map(|_| {
+                ExtractionKey::new(
+                    s,
                     self.params.epsilon,
                     self.params.segmentation,
                     self.params.segmentation_error,
                 )
-            })
-            .collect();
+            });
+            if let (Some(cache), Some(key)) = (extraction_cache, key.as_ref()) {
+                if let Some(sets) = cache.get(key) {
+                    cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return sets;
+                }
+            }
+            let sets = extract_with_segmentation(
+                s,
+                self.params.epsilon,
+                self.params.segmentation,
+                self.params.segmentation_error,
+            );
+            if let (Some(cache), Some(key)) = (extraction_cache, key) {
+                cache.put(key, &sets);
+            }
+            sets
+        });
         let attributes: Vec<AttributeId> = dataset.iter().map(|ss| ss.sensor.attribute).collect();
         report.extraction_time = t0.elapsed();
+        report.extraction_cache_hits = cache_hits.into_inner();
         report.evolving_events = evolving.iter().map(|e| e.total()).sum();
 
         // Step (3): proximity graph and connected components.
@@ -160,6 +207,11 @@ impl Miner {
 /// independent: their union is exactly the per-component result.
 const SPLIT_COMPONENT_SIZE: usize = 32;
 
+/// Minimum dataset size (sensors × timestamps) before the extraction map
+/// fans out to threads; below this the per-series work is so small that
+/// thread spawn overhead would dominate, so it runs on the caller's thread.
+const PARALLEL_EXTRACTION_CELLS: usize = 1 << 16;
+
 /// One claimable unit of CAP-search work.
 enum WorkUnit<'c> {
     /// A whole (small) spatially connected component.
@@ -206,50 +258,15 @@ fn search_components_parallel(
     // cheap tail backfills idle workers.
     units.sort_by_key(|u| std::cmp::Reverse(u.0));
 
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(units.len());
-    let run_unit =
-        |unit: &WorkUnit<'_>, scratch: &mut SearchScratch, out: &mut Vec<Cap>| match *unit {
+    scheduler::run_units(
+        &units,
+        scheduler::available_workers(),
+        SearchScratch::new,
+        |(_, unit), scratch, out| match *unit {
             WorkUnit::Component(comp) => ctx.search_component_into(comp, scratch, out),
             WorkUnit::Seed(seed) => ctx.search_seed_into(seed, scratch, out),
-        };
-    if workers <= 1 {
-        let mut scratch = SearchScratch::new();
-        let mut out = Vec::new();
-        for (_, unit) in &units {
-            run_unit(unit, &mut scratch, &mut out);
-        }
-        return out;
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, Vec<Cap>)> = Vec::with_capacity(units.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..workers {
-            handles.push(scope.spawn(|| {
-                let mut scratch = SearchScratch::new();
-                let mut local: Vec<(usize, Vec<Cap>)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= units.len() {
-                        break;
-                    }
-                    let mut caps = Vec::new();
-                    run_unit(&units[i].1, &mut scratch, &mut caps);
-                    local.push((i, caps));
-                }
-                local
-            }));
-        }
-        for h in handles {
-            indexed.extend(h.join().expect("search worker panicked"));
-        }
-    });
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().flat_map(|(_, caps)| caps).collect()
+        },
+    )
 }
 
 #[cfg(test)]
@@ -473,6 +490,45 @@ mod tests {
             sequential.extend(ctx.search_component(comp));
         }
         assert_eq!(CapSet::from_caps(sequential), result.caps);
+    }
+
+    #[test]
+    fn mine_with_cache_is_equivalent_and_reports_hits() {
+        use crate::evolving::EvolvingCache;
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct MapCache(Mutex<HashMap<ExtractionKey, EvolvingSets>>);
+        impl EvolvingCache for MapCache {
+            fn get(&self, key: &ExtractionKey) -> Option<EvolvingSets> {
+                self.0.lock().unwrap().get(key).cloned()
+            }
+            fn put(&self, key: ExtractionKey, sets: &EvolvingSets) {
+                self.0.lock().unwrap().insert(key, sets.clone());
+            }
+        }
+
+        let ds = clustered_dataset(2, 240);
+        let cache = MapCache::default();
+        let miner = Miner::new(params().with_segmentation(true)).unwrap();
+        let cold = miner.mine_with_cache(&ds, Some(&cache)).unwrap();
+        // Content-keyed lookups dedupe even within one run: the two
+        // clusters share identical temperature and traffic waveforms, so
+        // the second cluster's copies hit the entries the first just put.
+        assert_eq!(cold.report.extraction_cache_hits, 2);
+        let warm = miner.mine_with_cache(&ds, Some(&cache)).unwrap();
+        assert_eq!(warm.report.extraction_cache_hits, ds.sensor_count());
+        let uncached = miner.mine(&ds).unwrap();
+        assert_eq!(uncached.report.extraction_cache_hits, 0);
+        assert_eq!(cold.caps, uncached.caps);
+        assert_eq!(warm.caps, uncached.caps);
+        // A search-side parameter tweak reuses every cached extraction.
+        let tweaked = Miner::new(params().with_segmentation(true).with_psi(5))
+            .unwrap()
+            .mine_with_cache(&ds, Some(&cache))
+            .unwrap();
+        assert_eq!(tweaked.report.extraction_cache_hits, ds.sensor_count());
     }
 
     #[test]

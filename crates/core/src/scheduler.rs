@@ -1,0 +1,173 @@
+//! Shared work-stealing scheduler for the mining pipeline.
+//!
+//! Both parallel phases of the pipeline — the per-series extraction map of
+//! steps (1)+(2) and the per-component/per-seed CAP search of step (4) —
+//! have the same shape: a fixed slice of independent work units of uneven
+//! cost, workers that each own a reusable scratch state, and a result that
+//! must not depend on thread timing. This module factors that shape out of
+//! the step-(4) search (where PR 2 introduced it) into one reusable
+//! primitive:
+//!
+//! * units are claimed through a shared **atomic cursor** — work stealing
+//!   rather than a static split, so a fast worker drains the tail instead
+//!   of idling behind a slow one (callers sort units most-expensive-first
+//!   when costs are known);
+//! * each worker builds one scratch value and reuses it across every unit
+//!   it claims, preserving the allocation-free steady state of the search
+//!   core;
+//! * results are reassembled in **unit order**, so the output is
+//!   deterministic regardless of which worker ran which unit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of workers the host offers (`available_parallelism`, 1 on error).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs every unit in `units` through `run`, on up to `workers` threads
+/// claiming units through a shared atomic cursor.
+///
+/// `new_scratch` is called once per worker; the scratch value is reused
+/// across all units that worker claims. Results are concatenated in unit
+/// order (not completion order), so the output equals the serial
+/// `for unit in units { run(unit, scratch, out) }` regardless of thread
+/// timing. With `workers <= 1` (or a single unit) no threads are spawned.
+pub fn run_units<U, S, R, NS, RU>(units: &[U], workers: usize, new_scratch: NS, run: RU) -> Vec<R>
+where
+    U: Sync,
+    R: Send,
+    NS: Fn() -> S + Sync,
+    RU: Fn(&U, &mut S, &mut Vec<R>) + Sync,
+{
+    if units.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, units.len());
+    if workers == 1 {
+        let mut scratch = new_scratch();
+        let mut out = Vec::new();
+        for unit in units {
+            run(unit, &mut scratch, &mut out);
+        }
+        return out;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, Vec<R>)> = Vec::with_capacity(units.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut scratch = new_scratch();
+                let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= units.len() {
+                        break;
+                    }
+                    let mut out = Vec::new();
+                    run(&units[i], &mut scratch, &mut out);
+                    local.push((i, out));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            indexed.extend(h.join().expect("scheduler worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().flat_map(|(_, out)| out).collect()
+}
+
+/// Order-preserving parallel map over a slice: `out[i] == f(&items[i])`,
+/// computed by up to `workers` work-stealing threads. The scratch-free
+/// convenience form of [`run_units`] used by the extraction front-end.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_units(items, workers, || (), |item, (), out| out.push(f(item)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn empty_and_single_unit() {
+        let out: Vec<i32> = run_units(&[] as &[i32], 8, || (), |_, (), _| unreachable!());
+        assert!(out.is_empty());
+        let out = parallel_map(&[7], 8, |&x| x * 2);
+        assert_eq!(out, vec![14]);
+    }
+
+    #[test]
+    fn preserves_unit_order_across_workers() {
+        let items: Vec<usize> = (0..500).collect();
+        for workers in [1, 2, 4, 8] {
+            let out = parallel_map(&items, workers, |&i| i * i);
+            assert_eq!(out, items.iter().map(|&i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn units_can_emit_zero_or_many_results() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = run_units(
+            &items,
+            4,
+            || (),
+            |&i, (), out| {
+                for _ in 0..(i % 3) {
+                    out.push(i);
+                }
+            },
+        );
+        let expected: Vec<usize> = items.iter().flat_map(|&i| vec![i; i % 3]).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker() {
+        // Each worker's scratch counts the units it ran; the counts must sum
+        // to the unit total and every scratch must have been built by
+        // `new_scratch`.
+        let built = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..200).collect();
+        let out = run_units(
+            &items,
+            4,
+            || {
+                built.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |&i, count, out| {
+                *count += 1;
+                out.push((i, *count));
+            },
+        );
+        assert_eq!(out.len(), items.len());
+        // Unit order is preserved even though per-worker counts interleave.
+        assert!(out.iter().enumerate().all(|(idx, &(i, _))| idx == i));
+        let builds = built.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&builds), "scratch built {builds} times");
+        // A counter above 1 proves a scratch served more than one unit; the
+        // counters can never exceed the unit total.
+        assert!(out.iter().map(|&(_, c)| c).max().unwrap() <= items.len());
+        assert!(out.iter().map(|&(_, c)| c).max().unwrap() > 1);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(parallel_map(&[1, 2], 1000, |&x: &i32| x + 1), vec![2, 3]);
+        assert_eq!(parallel_map(&[1, 2], 0, |&x: &i32| x + 1), vec![2, 3]);
+        assert!(available_workers() >= 1);
+    }
+}

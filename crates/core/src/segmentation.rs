@@ -3,13 +3,31 @@
 //! "We filter uninteresting data fluctuation by applying a linear
 //! segmentation algorithm to time series data." (Section 2.2)
 //!
-//! The implementation is bottom-up piecewise-linear approximation: the
-//! series starts as a chain of two-point segments which are repeatedly
-//! merged (cheapest merge first) while the merge's maximum deviation from
-//! the fitted line stays within the error tolerance. The smoothed series is
-//! the reconstruction of those segments; small, noisy wiggles disappear
-//! while genuine trends survive, which is exactly what the evolving-rate
-//! test needs.
+//! The segmenter is greedy left-to-right: each segment is the straight line
+//! joining its endpoints, extended as long as that line stays within the
+//! error tolerance of every covered point. The smoothed series is the
+//! reconstruction of those segments; small, noisy wiggles disappear while
+//! genuine trends survive, which is exactly what the evolving-rate test
+//! needs.
+//!
+//! # The O(n) feasible-slope cone
+//!
+//! The naive greedy test re-scans the whole segment on every one-point
+//! extension (`max_deviation` over `[start, end]`), which is O(n·s²) for
+//! mean segment length s — quadratic in segment length on smooth series,
+//! exactly the shape segmentation is for. The implementation here is
+//! incremental instead: a point `i` interior to the segment constrains the
+//! endpoint-joining slope `m` to the interval
+//! `[(vᵢ − tol − v₀)/dᵢ, (vᵢ + tol − v₀)/dᵢ]` (with `dᵢ = i − start`), so
+//! the segment can absorb its next point iff the candidate slope lies in
+//! the running intersection of those intervals — the *feasible slope cone*,
+//! maintained as two scalars. Each extension test is O(1); the whole
+//! segmentation is O(n).
+//!
+//! The pre-refactor sliding-window implementation is retained under
+//! `#[cfg(test)]` ([`reference`]) as the equivalence oracle; fixture and
+//! property tests assert both produce identical segmentations and identical
+//! evolving sets downstream.
 
 use miscela_model::TimeSeries;
 
@@ -69,6 +87,12 @@ pub struct Segmentation {
 impl Segmentation {
     /// Reconstructs the smoothed series from the segments. Indices that were
     /// missing in the original series stay missing.
+    ///
+    /// Deliberately evaluates [`Segment::value_at`] per point (division and
+    /// all): a hoisted per-segment reciprocal would be faster but rounds
+    /// differently in the last bit, and the reconstruction must stay
+    /// bit-identical to the pre-refactor pipeline so the segmentation
+    /// equivalence oracles extend through the evolving sets downstream.
     pub fn reconstruct(&self, original: &TimeSeries) -> TimeSeries {
         let mut out = TimeSeries::missing(self.len);
         for seg in &self.segments {
@@ -87,29 +111,13 @@ impl Segmentation {
     }
 }
 
-/// Maximum absolute deviation between the observed values and the straight
-/// line joining the endpoints of `values[start..=end]`.
-fn max_deviation(values: &[f64], start: usize, end: usize) -> f64 {
-    if end <= start + 1 {
-        return 0.0;
-    }
-    let v0 = values[start];
-    let v1 = values[end];
-    let span = (end - start) as f64;
-    let mut worst: f64 = 0.0;
-    for (offset, v) in values[start..=end].iter().enumerate() {
-        let fitted = v0 + (v1 - v0) * offset as f64 / span;
-        worst = worst.max((v - fitted).abs());
-    }
-    worst
-}
-
-/// Bottom-up linear segmentation of a series.
+/// Greedy linear segmentation of a series in O(n).
 ///
 /// `error_fraction` is interpreted relative to the series' value range: an
 /// error tolerance of `0.02` allows each segment to deviate from the data by
 /// up to 2% of `max - min`. Missing values are linearly interpolated before
-/// segmentation (and stay missing in the reconstruction).
+/// segmentation (and stay missing in the reconstruction); fully-present
+/// series are segmented straight off the raw value slice without any copy.
 pub fn segment_series(series: &TimeSeries, error_fraction: f64) -> Segmentation {
     let n = series.len();
     if n == 0 {
@@ -118,56 +126,93 @@ pub fn segment_series(series: &TimeSeries, error_fraction: f64) -> Segmentation 
             len: 0,
         };
     }
-    let filled = series.interpolate_missing();
-    if filled.present_count() == 0 {
+    // One pass over the raw slice: value range (interpolation never leaves
+    // the range of the present values) and missingness.
+    let raw = series.as_slice();
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut missing = 0usize;
+    for &v in raw {
+        if v.is_nan() {
+            missing += 1;
+        } else {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    if missing == n {
         // Entirely missing series: nothing to segment.
         return Segmentation {
             segments: Vec::new(),
             len: n,
         };
     }
-    let values: Vec<f64> = (0..n).map(|i| filled.get(i).unwrap_or(0.0)).collect();
-    let range = {
-        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        (max - min).max(1e-12)
+    let filled;
+    let values: &[f64] = if missing == 0 {
+        raw
+    } else {
+        filled = series.interpolate_missing();
+        filled.as_slice()
     };
-    let tolerance = error_fraction.max(0.0) * range;
+    let tolerance = error_fraction.max(0.0) * (max - min).max(1e-12);
 
-    // Greedy left-to-right sliding-window segmentation: extend the current
-    // segment while the straight line through its endpoints stays within the
-    // tolerance of every covered point. This is O(n · s) where s is the mean
-    // segment length, which is fast enough for paper-scale series and
-    // produces the same qualitative smoothing as classical bottom-up merging.
     let mut segments = Vec::new();
+    if n == 1 {
+        segments.push(Segment {
+            start: 0,
+            end: 0,
+            start_value: values[0],
+            end_value: values[0],
+        });
+        return Segmentation { segments, len: n };
+    }
     let mut start = 0usize;
-    let mut end = (start + 1).min(n - 1);
-    while start < n {
-        if start == n - 1 {
-            segments.push(Segment {
-                start,
-                end: start,
-                start_value: values[start],
-                end_value: values[start],
-            });
-            break;
-        }
-        // Extend as far as the tolerance allows.
-        let mut best_end = end;
-        while best_end + 1 < n && max_deviation(&values, start, best_end + 1) <= tolerance {
-            best_end += 1;
+    while start < n - 1 {
+        let v0 = values[start];
+        // A two-point segment fits its endpoints exactly, so the first
+        // candidate end is always accepted; from there the feasible slope
+        // cone over the interior points decides each one-point extension in
+        // O(1) amortized. The cone bounds are kept as fractions
+        // (`num / den`, all denominators positive) and every comparison is
+        // cross-multiplied, so the hot loop performs no division at all —
+        // on noisy series the segments are short and per-point `divsd`
+        // latency would otherwise dominate the whole front end.
+        let mut end = start + 1;
+        let mut lo_num = f64::NEG_INFINITY;
+        let mut lo_den = 1.0f64;
+        let mut hi_num = f64::INFINITY;
+        let mut hi_den = 1.0f64;
+        while end + 1 < n {
+            // `end` becomes an interior point of the extended candidate:
+            // tighten the cone with its slope interval
+            // `[(v - tol - v0)/d, (v + tol - v0)/d]`.
+            let d = (end - start) as f64;
+            let lo_cand = values[end] - tolerance - v0;
+            if lo_cand * lo_den > lo_num * d {
+                lo_num = lo_cand;
+                lo_den = d;
+            }
+            let hi_cand = values[end] + tolerance - v0;
+            if hi_cand * hi_den < hi_num * d {
+                hi_num = hi_cand;
+                hi_den = d;
+            }
+            // Candidate slope `(values[end + 1] - v0) / (d + 1)` must lie
+            // inside the cone.
+            let m_num = values[end + 1] - v0;
+            let m_den = d + 1.0;
+            if m_num * lo_den < lo_num * m_den || m_num * hi_den > hi_num * m_den {
+                break;
+            }
+            end += 1;
         }
         segments.push(Segment {
             start,
-            end: best_end,
-            start_value: values[start],
-            end_value: values[best_end],
+            end,
+            start_value: v0,
+            end_value: values[end],
         });
-        start = best_end;
-        if start == n - 1 {
-            break;
-        }
-        end = start + 1;
+        start = end;
     }
 
     Segmentation { segments, len: n }
@@ -181,6 +226,92 @@ pub fn smooth(series: &TimeSeries, error_fraction: f64) -> TimeSeries {
         return series.clone();
     }
     segment_series(series, error_fraction).reconstruct(series)
+}
+
+/// The pre-refactor sliding-window segmenter, retained verbatim as the
+/// equivalence oracle for the O(n) feasible-slope-cone implementation. Only
+/// compiled into test builds.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    /// Maximum absolute deviation between the observed values and the
+    /// straight line joining the endpoints of `values[start..=end]`.
+    fn max_deviation(values: &[f64], start: usize, end: usize) -> f64 {
+        if end <= start + 1 {
+            return 0.0;
+        }
+        let v0 = values[start];
+        let v1 = values[end];
+        let span = (end - start) as f64;
+        let mut worst: f64 = 0.0;
+        for (offset, v) in values[start..=end].iter().enumerate() {
+            let fitted = v0 + (v1 - v0) * offset as f64 / span;
+            worst = worst.max((v - fitted).abs());
+        }
+        worst
+    }
+
+    /// The original greedy sliding-window segmentation: O(n·s) per
+    /// extension scan, O(n·s²) overall on smooth series.
+    pub(crate) fn segment_series_reference(
+        series: &TimeSeries,
+        error_fraction: f64,
+    ) -> Segmentation {
+        let n = series.len();
+        if n == 0 {
+            return Segmentation {
+                segments: Vec::new(),
+                len: 0,
+            };
+        }
+        let filled = series.interpolate_missing();
+        if filled.present_count() == 0 {
+            return Segmentation {
+                segments: Vec::new(),
+                len: n,
+            };
+        }
+        let values: Vec<f64> = (0..n).map(|i| filled.get(i).unwrap_or(0.0)).collect();
+        let range = {
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            (max - min).max(1e-12)
+        };
+        let tolerance = error_fraction.max(0.0) * range;
+
+        let mut segments = Vec::new();
+        let mut start = 0usize;
+        let mut end = (start + 1).min(n - 1);
+        while start < n {
+            if start == n - 1 {
+                segments.push(Segment {
+                    start,
+                    end: start,
+                    start_value: values[start],
+                    end_value: values[start],
+                });
+                break;
+            }
+            let mut best_end = end;
+            while best_end + 1 < n && max_deviation(&values, start, best_end + 1) <= tolerance {
+                best_end += 1;
+            }
+            segments.push(Segment {
+                start,
+                end: best_end,
+                start_value: values[start],
+                end_value: values[best_end],
+            });
+            start = best_end;
+            if start == n - 1 {
+                break;
+            }
+            end = start + 1;
+        }
+
+        Segmentation { segments, len: n }
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +434,116 @@ mod tests {
         assert!((seg.value_at(15) - 5.0).abs() < 1e-12);
         assert!((seg.slope() - 1.0).abs() < 1e-12);
         assert_eq!(seg.len(), 11);
+    }
+
+    /// Asserts the O(n) cone segmenter matches the retained oracle exactly:
+    /// same segments, and identical evolving sets downstream of
+    /// reconstruction.
+    fn assert_matches_oracle(series: &TimeSeries, error_fraction: f64, epsilon: f64) {
+        let fast = segment_series(series, error_fraction);
+        let oracle = reference::segment_series_reference(series, error_fraction);
+        assert_eq!(
+            fast, oracle,
+            "segmentations diverge (error_fraction={error_fraction})"
+        );
+        let fast_smoothed = fast.reconstruct(series);
+        let oracle_smoothed = oracle.reconstruct(series);
+        // Point-wise Option comparison: raw `PartialEq` would fail on the
+        // NaN encoding of missing values (NaN != NaN).
+        assert_eq!(fast_smoothed.len(), oracle_smoothed.len());
+        for i in 0..fast_smoothed.len() {
+            assert_eq!(fast_smoothed.get(i), oracle_smoothed.get(i), "index {i}");
+        }
+        let fast_ev = crate::evolving::extract_evolving(&fast_smoothed, epsilon);
+        let oracle_ev = crate::evolving::extract_evolving(&oracle_smoothed, epsilon);
+        assert_eq!(fast_ev, oracle_ev, "evolving sets diverge downstream");
+    }
+
+    #[test]
+    fn cone_matches_oracle_on_fixtures() {
+        let smooth_sine =
+            TimeSeries::from_values((0..400).map(|i| (i as f64 * 0.05).sin() * 5.0).collect());
+        let noisy_trend = TimeSeries::from_values(
+            (0..300)
+                .map(|i| i as f64 * 0.1 + if i % 2 == 0 { 0.3 } else { -0.3 })
+                .collect(),
+        );
+        let step = {
+            let mut v = vec![0.0; 40];
+            v.extend(vec![10.0; 40]);
+            TimeSeries::from_values(v)
+        };
+        let constant = TimeSeries::from_values(vec![3.25; 64]);
+        let single = TimeSeries::from_values(vec![7.5]);
+        let two = TimeSeries::from_values(vec![1.0, 4.0]);
+        let all_missing = TimeSeries::missing(25);
+        let nan_gaps = TimeSeries::from_options(
+            &(0..120)
+                .map(|i| {
+                    if i % 11 == 3 || (40..47).contains(&i) {
+                        None
+                    } else {
+                        Some((i as f64 * 0.2).cos() * 2.0 + i as f64 * 0.05)
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        let leading_trailing_gaps = TimeSeries::from_options(&[
+            None,
+            None,
+            Some(1.0),
+            Some(2.0),
+            Some(2.5),
+            None,
+            Some(4.0),
+            None,
+        ]);
+        for series in [
+            &smooth_sine,
+            &noisy_trend,
+            &step,
+            &constant,
+            &single,
+            &two,
+            &all_missing,
+            &nan_gaps,
+            &leading_trailing_gaps,
+        ] {
+            for error_fraction in [0.005, 0.02, 0.05, 0.2, 0.9] {
+                assert_matches_oracle(series, error_fraction, 0.3);
+            }
+        }
+    }
+
+    mod equivalence_proptest {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// The O(n) cone segmenter and the retained sliding-window
+            /// oracle produce identical segmentations — and identical
+            /// evolving sets downstream — on randomized series with NaN
+            /// gaps.
+            #[test]
+            fn cone_matches_oracle(
+                values in proptest::collection::vec(-40.0f64..40.0, 1..160),
+                gap_seed in 0usize..13,
+                error_fraction in 0.001f64..0.25,
+                epsilon in 0.01f64..2.0,
+            ) {
+                // Knock out a deterministic subset of points so NaN gaps
+                // (and the interpolation path) are exercised too.
+                let options: Vec<Option<f64>> = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| ((i * 7 + gap_seed) % 13 != 0).then_some(v))
+                    .collect();
+                let series = TimeSeries::from_options(&options);
+                assert_matches_oracle(&series, error_fraction, epsilon);
+            }
+        }
     }
 
     #[test]

@@ -263,7 +263,7 @@ impl ChinaGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use miscela_core::correlation::co_evolution_score;
+    use miscela_core::correlation::co_evolution_score_sets;
 
     #[test]
     fn china6_shape() {
@@ -296,6 +296,11 @@ mod tests {
         let ds = gen.generate();
         let pm = ds.attributes().id_of("PM2.5").unwrap();
         let stations: Vec<_> = ds.sensors_with_attribute(pm).collect();
+        // Extract each station once, not once per pair.
+        let evolving: Vec<_> = stations
+            .iter()
+            .map(|s| miscela_core::evolving::extract_evolving(s.series, 1.0))
+            .collect();
         let mut horizontal = Vec::new();
         let mut vertical = Vec::new();
         for i in 0..stations.len() {
@@ -304,7 +309,7 @@ mod tests {
                 let b = &stations[j];
                 let dlat = (a.sensor.location.lat - b.sensor.location.lat).abs();
                 let dlon = (a.sensor.location.lon - b.sensor.location.lon).abs();
-                let score = co_evolution_score(a.series, b.series, 1.0);
+                let score = co_evolution_score_sets(&evolving[i], &evolving[j]);
                 // Horizontal: nearly the same latitude, some longitude gap.
                 if dlat < 1.0 && dlon > 0.5 && dlon < 6.0 {
                     horizontal.push(score);

@@ -11,7 +11,7 @@
 //!   a generator), a dataset can be mined repeatedly "without re-uploading by
 //!   specifying the dataset name".
 
-use miscela_cache::{CacheKey, CacheStats, PersistentCache};
+use miscela_cache::{CacheKey, CacheStats, EvolvingSetsCache, PersistentCache};
 use miscela_core::{Miner, MiningParams, MiningResult};
 use miscela_csv::chunk::{Chunk, ChunkedUploader};
 use miscela_csv::loader::DatasetLoader;
@@ -67,6 +67,7 @@ pub struct MineOutcome {
 pub struct MiscelaService {
     db: Arc<Database>,
     cache: PersistentCache,
+    extraction: EvolvingSetsCache,
     datasets: RwLock<HashMap<String, Arc<Dataset>>>,
     uploads: Mutex<HashMap<String, UploadSession>>,
 }
@@ -83,6 +84,7 @@ impl MiscelaService {
         db.create_index(DATASETS_COLLECTION, "name");
         MiscelaService {
             cache: PersistentCache::new(Arc::clone(&db)),
+            extraction: EvolvingSetsCache::new(),
             db,
             datasets: RwLock::new(HashMap::new()),
             uploads: Mutex::new(HashMap::new()),
@@ -97,6 +99,12 @@ impl MiscelaService {
     /// Cache statistics (in-memory tier).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Extraction-cache statistics: `(hits, misses, entries)` of the
+    /// per-series evolving-sets cache.
+    pub fn extraction_cache_stats(&self) -> (usize, usize, usize) {
+        self.extraction.stats()
     }
 
     // ----- dataset registry --------------------------------------------
@@ -276,8 +284,11 @@ impl MiscelaService {
         }
         let ds = self.dataset(dataset)?;
         let miner = Miner::new(params.clone()).map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        // The full-result cache missed, but the per-series extraction cache
+        // still lets unchanged series skip steps (1)+(2) — the common case
+        // when only search-side parameters (ψ, η, μ) were tweaked.
         let result = miner
-            .mine(&ds)
+            .mine_with_cache(&ds, Some(&self.extraction))
             .map_err(|e| ApiError::Internal(e.to_string()))?;
         self.cache.put(&key, &result.caps);
         Ok(MineOutcome {
@@ -372,6 +383,33 @@ mod tests {
         assert!(svc
             .mine("santander", &MiningParams::new().with_psi(0))
             .is_err());
+    }
+
+    #[test]
+    fn extraction_cache_skips_front_end_on_parameter_tweaks() {
+        let svc = MiscelaService::new();
+        svc.register_dataset(small_dataset());
+        let params = quick_params();
+        let first = svc.mine("santander", &params).unwrap();
+        assert_eq!(first.result.report.extraction_cache_hits, 0);
+        let sensors = svc.dataset("santander").unwrap().sensor_count();
+        assert_eq!(svc.extraction_cache_stats(), (0, sensors, sensors));
+        // A ψ tweak misses the result cache but hits the extraction cache
+        // for every series — steps (1)+(2) are skipped entirely.
+        let tweaked = svc.mine("santander", &params.clone().with_psi(25)).unwrap();
+        assert!(!tweaked.cache_hit);
+        assert_eq!(tweaked.result.report.extraction_cache_hits, sensors);
+        // The cached front-end must not change the mined CAPs.
+        let direct = Miner::new(params.clone().with_psi(25))
+            .unwrap()
+            .mine(&svc.dataset("santander").unwrap())
+            .unwrap();
+        assert_eq!(tweaked.result.caps, direct.caps);
+        // An ε change re-extracts (different extraction key).
+        let new_eps = svc
+            .mine("santander", &params.clone().with_epsilon(0.7))
+            .unwrap();
+        assert_eq!(new_eps.result.report.extraction_cache_hits, 0);
     }
 
     #[test]

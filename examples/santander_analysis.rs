@@ -5,6 +5,7 @@
 //! Run with: `cargo run --example santander_analysis`
 
 use miscela_v::analysis::named_pairs;
+use miscela_v::miscela_core::evolving::extract_evolving;
 use miscela_v::miscela_core::{correlation, MiningParams};
 use miscela_v::miscela_datagen::SantanderGenerator;
 use miscela_v::MiscelaV;
@@ -43,11 +44,16 @@ fn main() {
     if let Some(cap) = caps.with_attributes(&[temp, traffic]).first() {
         println!("\nexample temperature/traffic CAP: {cap}");
         let sensors = cap.sensors();
-        for pair in sensors.windows(2) {
+        // Extract each member once; score pairs from the precomputed sets.
+        let evolving: Vec<_> = sensors
+            .iter()
+            .map(|&s| extract_evolving(ds.series(s), params.epsilon))
+            .collect();
+        for (k, pair) in sensors.windows(2).enumerate() {
             let a = ds.sensor_series(pair[0]);
             let b = ds.sensor_series(pair[1]);
             let r = correlation::pearson(a.series, b.series).unwrap_or(f64::NAN);
-            let score = correlation::co_evolution_score(a.series, b.series, params.epsilon);
+            let score = correlation::co_evolution_score_sets(&evolving[k], &evolving[k + 1]);
             println!(
                 "  {} ({}) vs {} ({}): pearson {:.2}, co-evolution score {:.2}, distance {:.2} km",
                 a.sensor.id,
