@@ -1,0 +1,90 @@
+//! E16: streaming append + incremental re-mine vs full rebuild + re-mine.
+//!
+//! A live smart-city feed delivers readings continuously; the question this
+//! bench answers is what one new batch costs. The `append_remine` rows
+//! measure the append-aware path — `Dataset::append_rows` extends the grid
+//! and series in place, then `mine_with_cache` resumes every series'
+//! extraction from its cached prefix state (re-segmenting only from the
+//! last unstable segment boundary and extending the bitset words in place).
+//! The `rebuild_remine` rows measure what a batch-only system must do for
+//! the same new data: reassemble the whole dataset and mine it cold.
+//!
+//! The extraction cache is warmed with the *prefix* states once and then
+//! frozen behind [`ReadOnlyExtractionCache`], so every iteration faces the
+//! cache a live server faces on a fresh append: full-content miss,
+//! prefix-state hit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use miscela_bench::{china6, china_params, split_for_append, ReadOnlyExtractionCache};
+use miscela_cache::EvolvingSetsCache;
+use miscela_core::Miner;
+use miscela_model::{Dataset, DatasetBuilder};
+use std::time::Duration;
+
+/// Rebuilds the dataset from its parts, as a batch re-upload must before
+/// every re-mine (measured without the CSV parse, so the comparison is
+/// conservative in the rebuild path's favour).
+fn rebuild(dataset: &Dataset) -> Dataset {
+    let mut b = DatasetBuilder::new(dataset.name());
+    b.set_grid(dataset.grid().clone());
+    for ss in dataset.iter() {
+        let idx = b
+            .add_sensor(
+                ss.sensor.id.clone(),
+                dataset.attributes().name_of(ss.sensor.attribute),
+                ss.sensor.location,
+            )
+            .expect("unique sensors");
+        b.set_series(idx, ss.series.clone()).expect("grid lengths");
+    }
+    b.build().expect("rebuild")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_append");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    // Segmentation on: the china-scale front end is extraction-dominated,
+    // which is the shape the incremental path is for.
+    let params = china_params()
+        .with_segmentation(true)
+        .with_segmentation_error(0.02);
+    let full = china6(false);
+    let miner = Miner::new(params).expect("valid params");
+
+    for &tail in &[8usize, 32, 128] {
+        let (prefix, rows) = split_for_append(&full, tail);
+        let cache = EvolvingSetsCache::new();
+        miner
+            .mine_with_cache(&prefix, Some(&cache))
+            .expect("warm prefix mine");
+        let frozen = ReadOnlyExtractionCache(&cache);
+        group.bench_with_input(BenchmarkId::new("append_remine", tail), &rows, |b, rows| {
+            b.iter(|| {
+                let mut ds = prefix.clone();
+                ds.append_rows(rows).expect("append");
+                miner
+                    .mine_with_cache(&ds, Some(&frozen))
+                    .expect("incremental mine")
+                    .caps
+                    .len()
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("rebuild_remine", tail),
+            &full,
+            |b, full| {
+                b.iter(|| {
+                    let ds = rebuild(full);
+                    miner.mine(&ds).expect("cold mine").caps.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

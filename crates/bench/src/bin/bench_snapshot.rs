@@ -15,11 +15,22 @@
 //! directory. `MISCELA_BENCH_SMOKE=1` reduces the repeat count for CI smoke
 //! runs. Timings are nanoseconds; they are machine-dependent and meaningful
 //! as *relative* step weights and as a trajectory on comparable hardware.
+//!
+//! Schema 2 adds `append_remine_ns` per scale: the median cost of appending
+//! a small batch ([`APPEND_TAIL`] timestamps) to the scale's dataset and
+//! re-mining it with the extraction cache warmed with the prefix states —
+//! the streaming-append path the `streaming_append` bench studies in depth.
 
-use miscela_bench::{china6, santander_bench, santander_params};
+use miscela_bench::{
+    china6, santander_bench, santander_params, split_for_append, ReadOnlyExtractionCache,
+};
+use miscela_cache::EvolvingSetsCache;
 use miscela_core::{Miner, MiningParams, MiningReport};
 use miscela_model::Dataset;
 use miscela_store::Json;
+
+/// How many trailing timestamps the `append_remine_ns` measurement appends.
+const APPEND_TAIL: usize = 8;
 
 /// Median of a sample vector (ns). The vector is sorted in place.
 fn median_ns(samples: &mut [u128]) -> u128 {
@@ -51,6 +62,29 @@ fn snapshot_scale(name: &str, dataset: &Dataset, params: &MiningParams, repeats:
     let extraction = median_ns(&mut extraction);
     let spatial = median_ns(&mut spatial);
     let search = median_ns(&mut search);
+
+    // Streaming-append measurement: warm the extraction cache with the
+    // prefix states once, then time append + incremental re-mine. The
+    // cache is frozen behind a read-only view so every repeat faces a
+    // fresh-append cache shape (full-content miss, prefix-state hit).
+    let (prefix, rows) = split_for_append(dataset, APPEND_TAIL);
+    let cache = EvolvingSetsCache::new();
+    miner
+        .mine_with_cache(&prefix, Some(&cache))
+        .expect("prefix warm mine failed");
+    let frozen = ReadOnlyExtractionCache(&cache);
+    let mut append_remine: Vec<u128> = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let mut appended = prefix.clone();
+        let t = std::time::Instant::now();
+        appended.append_rows(&rows).expect("snapshot append failed");
+        miner
+            .mine_with_cache(&appended, Some(&frozen))
+            .expect("snapshot append re-mine failed");
+        append_remine.push(t.elapsed().as_nanos());
+    }
+    let append_remine = median_ns(&mut append_remine);
+
     Json::from_pairs([
         ("name", Json::String(name.to_string())),
         ("sensors", Json::Number(dataset.sensor_count() as f64)),
@@ -62,6 +96,7 @@ fn snapshot_scale(name: &str, dataset: &Dataset, params: &MiningParams, repeats:
             "total_ns",
             Json::Number((extraction + spatial + search) as f64),
         ),
+        ("append_remine_ns", Json::Number(append_remine as f64)),
         (
             "evolving_events",
             Json::Number(report.evolving_events as f64),
@@ -126,7 +161,7 @@ fn main() {
     ];
 
     let doc = Json::from_pairs([
-        ("schema", Json::Number(1.0)),
+        ("schema", Json::Number(2.0)),
         ("unit", Json::String("nanoseconds".to_string())),
         ("repeats", Json::Number(repeats as f64)),
         (

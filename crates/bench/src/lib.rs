@@ -19,9 +19,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use miscela_cache::EvolvingSetsCache;
+use miscela_core::evolving::{EvolvingCache, EvolvingSets, ExtractionKey, ExtractionState};
 use miscela_core::MiningParams;
 use miscela_datagen::{ChinaGenerator, ChinaProfile, CovidGenerator, SantanderGenerator};
-use miscela_model::Dataset;
+use miscela_model::{AppendRow, Dataset};
 
 /// Whether `--paper-scale` was passed on the command line.
 pub fn paper_scale_requested() -> bool {
@@ -72,6 +74,81 @@ pub fn covid(paper_scale: bool) -> CovidGenerator {
     } else {
         CovidGenerator::small()
     }
+}
+
+/// Splits a dataset into its first `len - tail` timestamps plus the append
+/// rows reproducing the final `tail` timestamps: appending the rows to the
+/// returned prefix rebuilds the original content exactly. This is the
+/// fixture shape of the `streaming_append` bench (E16) and of
+/// `bench_snapshot`'s `append_remine_ns` measurement.
+///
+/// # Panics
+///
+/// Panics when `tail` is zero or not smaller than the dataset's timestamp
+/// count.
+pub fn split_for_append(dataset: &Dataset, tail: usize) -> (Dataset, Vec<AppendRow>) {
+    let n = dataset.timestamp_count();
+    assert!(tail > 0 && tail < n, "tail {tail} out of range for {n}");
+    let split = n - tail;
+    let split_t = dataset.grid().at(split).expect("split on grid");
+    let prefix = dataset
+        .slice_time(dataset.grid().start(), split_t)
+        .expect("prefix slice");
+    let mut rows = Vec::new();
+    for ss in dataset.iter() {
+        let attribute = dataset
+            .attributes()
+            .name_of(ss.sensor.attribute)
+            .to_string();
+        for i in split..n {
+            if let Some(v) = ss.series.get(i) {
+                rows.push(AppendRow {
+                    sensor: ss.sensor.id.clone(),
+                    attribute: attribute.clone(),
+                    time: dataset.grid().at(i).expect("index on grid"),
+                    value: Some(v),
+                });
+            }
+        }
+    }
+    // `append_rows` grows the grid only to the latest *mentioned*
+    // timestamp; if the final grid point(s) are missing for every sensor,
+    // emit one explicit null row at the last timestamp so the reassembled
+    // dataset covers the full grid — otherwise the benchmark would quietly
+    // time a shorter, non-equivalent workload.
+    let last_t = dataset.grid().at(n - 1).expect("last index on grid");
+    if !rows.iter().any(|r| r.time == last_t) {
+        let ss = dataset.iter().next().expect("non-empty dataset");
+        rows.push(AppendRow {
+            sensor: ss.sensor.id.clone(),
+            attribute: dataset
+                .attributes()
+                .name_of(ss.sensor.attribute)
+                .to_string(),
+            time: last_t,
+            value: None,
+        });
+    }
+    (prefix, rows)
+}
+
+/// A read-only view over an [`EvolvingSetsCache`]: lookups pass through,
+/// stores are dropped. Append benchmarks warm a cache with the *prefix*
+/// extraction states once and then iterate behind this view, so every
+/// iteration faces the same cache a live server would on a fresh append —
+/// full-content miss, prefix-state hit — instead of the second iteration
+/// degenerating into a pure content hit.
+pub struct ReadOnlyExtractionCache<'a>(pub &'a EvolvingSetsCache);
+
+impl EvolvingCache for ReadOnlyExtractionCache<'_> {
+    fn get(&self, key: &ExtractionKey) -> Option<EvolvingSets> {
+        self.0.get(key)
+    }
+    fn put(&self, _key: ExtractionKey, _sets: &EvolvingSets) {}
+    fn get_state(&self, key: &ExtractionKey) -> Option<std::sync::Arc<ExtractionState>> {
+        self.0.get_state(key)
+    }
+    fn put_state(&self, _key: ExtractionKey, _state: &ExtractionState) {}
 }
 
 /// The default mining parameters used across benches for the Santander data.

@@ -5,12 +5,20 @@
 //! setting repeats. The interactive exploration loop, however, mostly
 //! re-mines with tweaked support/distance parameters (ψ, η, μ) — which do
 //! not affect steps (1)+(2) at all. [`EvolvingSetsCache`] memoizes the
-//! per-series [`EvolvingSets`] keyed by
+//! per-series [`ExtractionState`] keyed by
 //! [`ExtractionKey`] (series content fingerprint + ε + segmentation
 //! parameters), so those re-mining calls skip segmentation and extraction
 //! entirely and pay only for the search.
+//!
+//! Since the pipeline became append-aware, the cache also serves the
+//! *streaming* loop: entries retain the full [`ExtractionState`] (evolving
+//! sets plus segmentation), and the miner probes them with
+//! prefix-fingerprint keys of appended series — a hit seeds
+//! `miscela_core::evolving::extract_resume`, which re-extracts only the
+//! appended tail. [`ExtractionCacheStats::prefix_hits`] counts those
+//! resumptions.
 
-use miscela_core::evolving::{EvolvingCache, EvolvingSets, ExtractionKey};
+use miscela_core::evolving::{EvolvingCache, EvolvingSets, ExtractionKey, ExtractionState};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -19,12 +27,47 @@ use std::sync::Arc;
 /// at a handful of ε/segmentation settings.
 pub const DEFAULT_EXTRACTION_CAPACITY: usize = 16_384;
 
+/// Counters of the per-series extraction cache.
+///
+/// Replaces the old unnamed `(hits, misses, entries)` tuple: callers had to
+/// guess the field order, and the append-aware cache needed two more
+/// counters anyway.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractionCacheStats {
+    /// Full-content lookups answered from the cache (steps (1)+(2) skipped
+    /// entirely).
+    pub hits: usize,
+    /// Full-content lookups that required extraction.
+    pub misses: usize,
+    /// Prefix-state lookups answered from the cache (extraction *resumed*
+    /// over the appended tail only).
+    pub prefix_hits: usize,
+    /// Prefix-state lookups that found no reusable prefix.
+    pub prefix_misses: usize,
+    /// Number of series entries currently stored.
+    pub entries: usize,
+}
+
+impl ExtractionCacheStats {
+    /// Fraction of full-content lookups served from the cache, in `[0, 1]`
+    /// (zero when there were no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// A thread-safe, capacity-bounded cache from [`ExtractionKey`] to
-/// [`EvolvingSets`], evicting the least recently inserted entry.
+/// [`ExtractionState`], evicting the least recently inserted entry.
 ///
 /// Keys are content fingerprints, so no dataset-level invalidation is
 /// needed: re-uploading changed data simply misses (and the stale entries
-/// age out through the capacity bound).
+/// age out through the capacity bound). Appended data *reuses* its prefix
+/// entry through the prefix-fingerprint scheme instead of missing.
 #[derive(Debug)]
 pub struct EvolvingSetsCache {
     inner: Mutex<Inner>,
@@ -36,11 +79,10 @@ pub struct EvolvingSetsCache {
 // serializing on the mutex.
 #[derive(Debug, Default)]
 struct Inner {
-    entries: HashMap<ExtractionKey, Arc<EvolvingSets>>,
+    entries: HashMap<ExtractionKey, Arc<ExtractionState>>,
     insertion_order: VecDeque<ExtractionKey>,
     capacity: usize,
-    hits: usize,
-    misses: usize,
+    stats: ExtractionCacheStats,
 }
 
 impl EvolvingSetsCache {
@@ -59,10 +101,13 @@ impl EvolvingSetsCache {
         }
     }
 
-    /// `(hits, misses, entries)` counters.
-    pub fn stats(&self) -> (usize, usize, usize) {
+    /// Current counters.
+    pub fn stats(&self) -> ExtractionCacheStats {
         let inner = self.inner.lock();
-        (inner.hits, inner.misses, inner.entries.len())
+        ExtractionCacheStats {
+            entries: inner.entries.len(),
+            ..inner.stats
+        }
     }
 
     /// Removes every entry (statistics are kept).
@@ -70,6 +115,33 @@ impl EvolvingSetsCache {
         let mut inner = self.inner.lock();
         inner.entries.clear();
         inner.insertion_order.clear();
+    }
+
+    fn lookup(&self, key: &ExtractionKey, prefix: bool) -> Option<Arc<ExtractionState>> {
+        let mut inner = self.inner.lock();
+        let found = inner.entries.get(key).map(Arc::clone);
+        match (prefix, found.is_some()) {
+            (false, true) => inner.stats.hits += 1,
+            (false, false) => inner.stats.misses += 1,
+            (true, true) => inner.stats.prefix_hits += 1,
+            (true, false) => inner.stats.prefix_misses += 1,
+        }
+        found
+    }
+
+    fn store(&self, key: ExtractionKey, state: Arc<ExtractionState>) {
+        let mut inner = self.inner.lock();
+        if !inner.entries.contains_key(&key) {
+            inner.insertion_order.push_back(key);
+        }
+        inner.entries.insert(key, state);
+        while inner.entries.len() > inner.capacity {
+            let oldest = inner
+                .insertion_order
+                .pop_front()
+                .expect("eviction with empty insertion order");
+            inner.entries.remove(&oldest);
+        }
     }
 }
 
@@ -81,40 +153,32 @@ impl Default for EvolvingSetsCache {
 
 impl EvolvingCache for EvolvingSetsCache {
     fn get(&self, key: &ExtractionKey) -> Option<EvolvingSets> {
-        let shared = {
-            let mut inner = self.inner.lock();
-            let found = inner.entries.get(key).map(Arc::clone);
-            if found.is_some() {
-                inner.hits += 1;
-            } else {
-                inner.misses += 1;
-            }
-            found
-        };
-        shared.map(|sets| (*sets).clone())
+        self.lookup(key, false).map(|state| state.sets.clone())
     }
 
     fn put(&self, key: ExtractionKey, sets: &EvolvingSets) {
-        let sets = Arc::new(sets.clone());
-        let mut inner = self.inner.lock();
-        if !inner.entries.contains_key(&key) {
-            inner.insertion_order.push_back(key);
-        }
-        inner.entries.insert(key, sets);
-        while inner.entries.len() > inner.capacity {
-            let oldest = inner
-                .insertion_order
-                .pop_front()
-                .expect("eviction with empty insertion order");
-            inner.entries.remove(&oldest);
-        }
+        self.store(
+            key,
+            Arc::new(ExtractionState {
+                sets: sets.clone(),
+                segmentation: None,
+            }),
+        );
+    }
+
+    fn get_state(&self, key: &ExtractionKey) -> Option<Arc<ExtractionState>> {
+        self.lookup(key, true)
+    }
+
+    fn put_state(&self, key: ExtractionKey, state: &ExtractionState) {
+        self.store(key, Arc::new(state.clone()));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use miscela_core::evolving::extract_evolving;
+    use miscela_core::evolving::{extract_evolving, extract_resume, extract_state};
     use miscela_model::TimeSeries;
 
     fn series(shift: f64) -> TimeSeries {
@@ -134,9 +198,37 @@ mod tests {
         let sets = extract_evolving(&s, 0.5);
         cache.put(key, &sets);
         assert_eq!(cache.get(&key).unwrap(), sets);
-        assert_eq!(cache.stats(), (1, 1, 1));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!((stats.prefix_hits, stats.prefix_misses), (0, 0));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
         cache.clear();
-        assert_eq!(cache.stats().2, 0);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn prefix_states_round_trip_and_seed_resume() {
+        let cache = EvolvingSetsCache::new();
+        let full =
+            TimeSeries::from_values((0..160).map(|i| ((i as f64) * 0.3).sin() * 4.0).collect());
+        let prefix = full.window(0, 120);
+        let pkey = ExtractionKey::new(&prefix, 0.5, true, 0.05);
+        let state = extract_state(&prefix, 0.5, true, 0.05);
+        cache.put_state(pkey, &state);
+        // The appended series' prefix key is the prefix's own key.
+        assert_eq!(pkey, ExtractionKey::for_prefix(&full, 120, 0.5, true, 0.05));
+        let recovered = cache.get_state(&pkey).unwrap();
+        assert_eq!(*recovered, state);
+        let resumed = extract_resume(&full, 0.5, true, 0.05, &recovered);
+        assert_eq!(resumed, extract_state(&full, 0.5, true, 0.05));
+        let stats = cache.stats();
+        assert_eq!(stats.prefix_hits, 1);
+        assert_eq!(stats.prefix_misses, 0);
+        // An unknown prefix misses and is counted separately.
+        assert!(cache
+            .get_state(&ExtractionKey::for_prefix(&full, 60, 0.5, true, 0.05))
+            .is_none());
+        assert_eq!(cache.stats().prefix_misses, 1);
     }
 
     #[test]
@@ -190,6 +282,6 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(cache.stats().2, 80);
+        assert_eq!(cache.stats().entries, 80);
     }
 }

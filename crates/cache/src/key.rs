@@ -1,23 +1,38 @@
-//! Cache keys: dataset name + parameter signature.
+//! Cache keys: dataset name + revision + parameter signature.
 
 use miscela_core::MiningParams;
 use std::fmt;
 
-/// Identifies one cached mining result: the dataset it was mined from and
-/// the exact parameter setting used.
+/// Identifies one cached mining result: the dataset it was mined from, the
+/// dataset's revision at mining time, and the exact parameter setting used.
+///
+/// The revision is the versioned-invalidation mechanism of the append-aware
+/// pipeline: every append bumps the dataset's revision counter, so cached
+/// results for older content become unreachable by key instead of relying
+/// solely on explicit invalidation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Dataset name (the store key under which the dataset was uploaded).
     pub dataset: String,
+    /// Dataset revision at mining time (0 when the caller does not track
+    /// revisions).
+    pub revision: u64,
     /// Canonical parameter signature ([`MiningParams::signature`]).
     pub signature: String,
 }
 
 impl CacheKey {
-    /// Builds the key for a dataset name and parameter setting.
+    /// Builds the key for an unversioned dataset name and parameter setting
+    /// (revision 0).
     pub fn new(dataset: impl Into<String>, params: &MiningParams) -> Self {
+        Self::for_revision(dataset, 0, params)
+    }
+
+    /// Builds the key for a specific dataset revision.
+    pub fn for_revision(dataset: impl Into<String>, revision: u64, params: &MiningParams) -> Self {
         CacheKey {
             dataset: dataset.into(),
+            revision,
             signature: params.signature(),
         }
     }
@@ -25,7 +40,7 @@ impl CacheKey {
 
 impl fmt::Display for CacheKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}::{}", self.dataset, self.signature)
+        write!(f, "{}@r{}::{}", self.dataset, self.revision, self.signature)
     }
 }
 
@@ -39,14 +54,18 @@ mod tests {
         let b = CacheKey::new("santander", &MiningParams::default());
         assert_eq!(a, b);
         assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a.revision, 0);
     }
 
     #[test]
-    fn different_params_or_dataset_differ() {
+    fn different_params_dataset_or_revision_differ() {
         let base = CacheKey::new("santander", &MiningParams::default());
         let other_params = CacheKey::new("santander", &MiningParams::default().with_psi(99));
         let other_dataset = CacheKey::new("china6", &MiningParams::default());
+        let other_revision = CacheKey::for_revision("santander", 3, &MiningParams::default());
         assert_ne!(base, other_params);
         assert_ne!(base, other_dataset);
+        assert_ne!(base, other_revision);
+        assert!(other_revision.to_string().contains("@r3"));
     }
 }

@@ -21,7 +21,11 @@
 //! extraction results keyed by series content fingerprint and the
 //! parameters steps (1)+(2) depend on, so re-mining with tweaked
 //! search-side parameters (ψ, η, μ) skips segmentation and extraction
-//! entirely.
+//! entirely. Entries retain the full extraction state (evolving sets plus
+//! segmentation), and appended series reuse their cached *prefix* through
+//! rolling-fingerprint keys instead of missing — the cache side of the
+//! streaming append pipeline. [`CacheKey`] carries the dataset revision,
+//! so results mined from superseded content become unreachable by key.
 //!
 //! # Example
 //!
@@ -50,7 +54,7 @@ pub mod key;
 pub mod memory;
 pub mod persistent;
 
-pub use extraction::EvolvingSetsCache;
+pub use extraction::{EvolvingSetsCache, ExtractionCacheStats};
 pub use key::CacheKey;
 pub use memory::{CacheStats, ResultCache};
 pub use persistent::PersistentCache;

@@ -42,11 +42,7 @@ impl PersistentCache {
         if let Some(hit) = self.memory.get(key) {
             return Some(hit);
         }
-        let filter = Filter::and([
-            Filter::eq("dataset", key.dataset.as_str()),
-            Filter::eq("signature", key.signature.as_str()),
-        ]);
-        let doc = self.db.find_one(RESULTS_COLLECTION, &filter)?;
+        let doc = self.db.find_one(RESULTS_COLLECTION, &key_filter(key))?;
         let caps = capset_from_json(doc.get("caps")?)?;
         // Promote to the memory tier for subsequent lookups.
         self.memory.put(key.clone(), caps.clone());
@@ -56,13 +52,10 @@ impl PersistentCache {
     /// Stores a result under a key (replacing any previous entry for the
     /// same key).
     pub fn put(&self, key: &CacheKey, caps: &CapSet) {
-        let filter = Filter::and([
-            Filter::eq("dataset", key.dataset.as_str()),
-            Filter::eq("signature", key.signature.as_str()),
-        ]);
-        self.db.delete_where(RESULTS_COLLECTION, &filter);
+        self.db.delete_where(RESULTS_COLLECTION, &key_filter(key));
         let mut doc = Json::object();
         doc.set("dataset", Json::from(key.dataset.as_str()));
+        doc.set("revision", Json::from(key.revision as i64));
         doc.set("signature", Json::from(key.signature.as_str()));
         doc.set("cap_count", Json::from(caps.len()));
         doc.set("caps", capset_to_json(caps));
@@ -92,6 +85,17 @@ impl PersistentCache {
     pub fn database(&self) -> &Arc<Database> {
         &self.db
     }
+}
+
+/// The store filter selecting exactly one key's document. Documents written
+/// before revisions existed lack the `revision` field and are simply never
+/// matched again (they age out with the next `invalidate_dataset`).
+fn key_filter(key: &CacheKey) -> Filter {
+    Filter::and([
+        Filter::eq("dataset", key.dataset.as_str()),
+        Filter::eq("revision", Json::from(key.revision as i64)),
+        Filter::eq("signature", key.signature.as_str()),
+    ])
 }
 
 #[cfg(test)]
@@ -159,6 +163,25 @@ mod tests {
         assert_eq!(cache.stored_results(), 2);
         assert_eq!(cache.get(&k1).unwrap().len(), 1);
         assert!(cache.get(&k2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn revisions_partition_the_key_space() {
+        let cache = PersistentCache::new(Arc::new(Database::new()));
+        let params = MiningParams::default();
+        let r1 = CacheKey::for_revision("santander", 1, &params);
+        let r2 = CacheKey::for_revision("santander", 2, &params);
+        cache.put(&r1, &sample_caps());
+        // The appended dataset's revision misses even though name and
+        // parameters match — versioned invalidation without any explicit
+        // invalidate call.
+        assert!(cache.get(&r2).is_none());
+        cache.put(&r2, &CapSet::new());
+        assert_eq!(cache.get(&r1).unwrap(), sample_caps());
+        assert!(cache.get(&r2).unwrap().is_empty());
+        assert_eq!(cache.stored_results(), 2);
+        // Dataset-level invalidation still clears every revision.
+        assert_eq!(cache.invalidate_dataset("santander"), 2);
     }
 
     #[test]

@@ -160,6 +160,13 @@ impl Bitset {
         &mut self.words
     }
 
+    /// Read-only view of the backing words (bits at positions `>= len` are
+    /// zero). Used by the tail-resume extraction to carry unchanged prefix
+    /// words into a lengthened bitset without a per-bit round trip.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Indices of the set bits, ascending.
     pub fn indices(&self) -> Vec<usize> {
         let mut out = Vec::with_capacity(self.count());

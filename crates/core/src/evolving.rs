@@ -11,7 +11,7 @@
 //! which it falls by at least ε.
 
 use crate::bitset::Bitset;
-use crate::segmentation;
+use crate::segmentation::{self, Segmentation};
 use miscela_model::TimeSeries;
 
 /// Direction of evolution at a timestamp.
@@ -119,8 +119,30 @@ fn scan_words(
     down_words: &mut [u64],
     classify: impl Fn(f64) -> (bool, bool),
 ) {
+    scan_words_from(values, up_words, down_words, 0, classify);
+}
+
+/// [`scan_words`] restricted to words at index `first_word` and beyond; the
+/// earlier words are left untouched. This is the in-place word extension of
+/// the tail-resume path: bits strictly below the first recomputed word are
+/// carried over from the previous extraction, and the (possibly partial)
+/// boundary word is recomputed in full from values that are unchanged below
+/// the append point — producing the identical word.
+#[inline(always)]
+fn scan_words_from(
+    values: &[f64],
+    up_words: &mut [u64],
+    down_words: &mut [u64],
+    first_word: usize,
+    classify: impl Fn(f64) -> (bool, bool),
+) {
     let n = values.len();
-    for (wi, (uw, dw)) in up_words.iter_mut().zip(down_words.iter_mut()).enumerate() {
+    for (wi, (uw, dw)) in up_words
+        .iter_mut()
+        .zip(down_words.iter_mut())
+        .enumerate()
+        .skip(first_word)
+    {
         let first = (wi * 64).max(1);
         let last = ((wi + 1) * 64).min(n);
         let mut u = 0u64;
@@ -156,6 +178,158 @@ pub fn extract_with_segmentation(
     }
 }
 
+/// The full front-end state of one series: the evolving sets plus the
+/// segmentation they were derived from. Retaining the segmentation is what
+/// makes extraction *resumable* — when the series is later appended to,
+/// [`extract_resume`] re-segments only from the last unstable segment
+/// boundary and extends the bitset words in place instead of recomputing
+/// steps (1)+(2) from scratch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionState {
+    /// The extracted evolving sets (what the search consumes).
+    pub sets: EvolvingSets,
+    /// The segmentation behind the smoothed series; `None` when
+    /// segmentation was not effective for this extraction.
+    pub segmentation: Option<Segmentation>,
+}
+
+impl ExtractionState {
+    /// Number of grid points the state covers.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the state covers no grid points.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+/// Steps (1)+(2) for one series, retaining the segmentation so the result
+/// can later seed [`extract_resume`]. The `sets` are identical to what
+/// [`extract_with_segmentation`] produces for the same inputs.
+pub fn extract_state(
+    series: &TimeSeries,
+    epsilon: f64,
+    segmentation_enabled: bool,
+    segmentation_error: f64,
+) -> ExtractionState {
+    if segmentation_enabled && segmentation_error > 0.0 {
+        let seg = segmentation::segment_series(series, segmentation_error);
+        let smoothed = seg.reconstruct(series);
+        ExtractionState {
+            sets: extract_evolving(&smoothed, epsilon),
+            segmentation: Some(seg),
+        }
+    } else {
+        ExtractionState {
+            sets: extract_evolving(series, epsilon),
+            segmentation: None,
+        }
+    }
+}
+
+/// Tail-resume of steps (1)+(2) for an appended series.
+///
+/// `prev` must be the [`ExtractionState`] of this series' prefix of length
+/// `prev.len()` under the **same** extraction parameters; the caller
+/// guarantees the prefix values are unchanged (the miner enforces this with
+/// content fingerprints). The result is byte-identical to
+/// [`extract_state`] on the full series — segmentation resumes from the
+/// last unstable segment boundary (falling back to a full recompute when
+/// the resume conditions of [`segmentation::segment_series_tail`] do not
+/// hold), and the evolving bitsets are extended word-in-place: only words
+/// at or beyond the first changed smoothed value are rescanned.
+pub fn extract_resume(
+    series: &TimeSeries,
+    epsilon: f64,
+    segmentation_enabled: bool,
+    segmentation_error: f64,
+    prev: &ExtractionState,
+) -> ExtractionState {
+    let n = series.len();
+    let old_len = prev.len();
+    let effective = segmentation_enabled && segmentation_error > 0.0;
+    if old_len > n || effective != prev.segmentation.is_some() {
+        // Shape or parameter mismatch: the state cannot seed a resume.
+        return extract_state(series, epsilon, segmentation_enabled, segmentation_error);
+    }
+    if old_len == n {
+        return prev.clone();
+    }
+    if let Some(prev_seg) = &prev.segmentation {
+        let (seg, changed_from) =
+            segmentation::segment_series_tail(series, segmentation_error, prev_seg, old_len);
+        // Reconstruct smoothed values only where the word scan reads them:
+        // from one point before the first recomputed word onwards.
+        let first_word = changed_from / 64;
+        let lo = (first_word * 64).max(1) - 1;
+        let mut values = vec![f64::NAN; n];
+        for s in &seg.segments {
+            if s.end < lo {
+                continue;
+            }
+            let from = s.start.max(lo);
+            for (i, slot) in values.iter_mut().enumerate().take(s.end + 1).skip(from) {
+                if series.is_present(i) {
+                    *slot = s.value_at(i);
+                }
+            }
+        }
+        let sets = resume_scan(&values, &prev.sets, changed_from, epsilon);
+        ExtractionState {
+            sets,
+            segmentation: Some(seg),
+        }
+    } else {
+        let sets = resume_scan(series.as_slice(), &prev.sets, old_len, epsilon);
+        ExtractionState {
+            sets,
+            segmentation: None,
+        }
+    }
+}
+
+/// Rebuilds the evolving sets of a lengthened series: words whose 64 bits
+/// all lie below `changed_from` are copied from `prev`; every word at or
+/// beyond it is recomputed from `values`. Bit `t` depends only on
+/// `values[t-1]` and `values[t]`, so bits below `changed_from` are
+/// unchanged by construction and the recomputed boundary word comes out
+/// identical in its unchanged low bits.
+fn resume_scan(
+    values: &[f64],
+    prev: &EvolvingSets,
+    changed_from: usize,
+    epsilon: f64,
+) -> EvolvingSets {
+    let n = values.len();
+    let mut up = Bitset::new(n);
+    let mut down = Bitset::new(n);
+    if n >= 2 {
+        let first_word = (changed_from / 64).min(prev.up.words().len());
+        up.words_mut()[..first_word].copy_from_slice(&prev.up.words()[..first_word]);
+        down.words_mut()[..first_word].copy_from_slice(&prev.down.words()[..first_word]);
+        if epsilon > 0.0 {
+            scan_words_from(
+                values,
+                up.words_mut(),
+                down.words_mut(),
+                first_word,
+                |delta| (delta >= epsilon, -delta >= epsilon),
+            );
+        } else {
+            scan_words_from(
+                values,
+                up.words_mut(),
+                down.words_mut(),
+                first_word,
+                |delta| (delta > 0.0, delta < 0.0),
+            );
+        }
+    }
+    EvolvingSets { up, down }
+}
+
 /// Cache key for one series' extraction result: a content fingerprint of
 /// the series plus the exact parameters steps (1)+(2) depend on.
 ///
@@ -188,9 +362,46 @@ impl ExtractionKey {
         segmentation_enabled: bool,
         segmentation_error: f64,
     ) -> Self {
+        Self::from_fingerprint(
+            series_fingerprint(series),
+            epsilon,
+            segmentation_enabled,
+            segmentation_error,
+        )
+    }
+
+    /// Builds the key for the first `prefix_len` values of a series — the
+    /// key under which the extraction of the pre-append prefix was cached.
+    pub fn for_prefix(
+        series: &TimeSeries,
+        prefix_len: usize,
+        epsilon: f64,
+        segmentation_enabled: bool,
+        segmentation_error: f64,
+    ) -> Self {
+        let mut fp = SeriesFingerprinter::new();
+        for &v in &series.as_slice()[..prefix_len.min(series.len())] {
+            fp.push(v);
+        }
+        Self::from_fingerprint(
+            fp.checkpoint(),
+            epsilon,
+            segmentation_enabled,
+            segmentation_error,
+        )
+    }
+
+    /// Builds a key from an already-computed content fingerprint (e.g. a
+    /// rolling [`SeriesFingerprinter`] checkpoint).
+    pub fn from_fingerprint(
+        fingerprint: u128,
+        epsilon: f64,
+        segmentation_enabled: bool,
+        segmentation_error: f64,
+    ) -> Self {
         let effective = segmentation_enabled && segmentation_error > 0.0;
         ExtractionKey {
-            fingerprint: series_fingerprint(series),
+            fingerprint,
             epsilon_bits: epsilon.to_bits(),
             segmentation: effective,
             segmentation_error_bits: if effective {
@@ -202,29 +413,86 @@ impl ExtractionKey {
     }
 }
 
-/// 128-bit content fingerprint over a series' length and raw value bit
-/// patterns (`NaN` missing markers included, so presence patterns are part
-/// of the fingerprint): two independent FNV-1a streams — the second with a
-/// different offset basis and bit-rotated input — packed into one `u128`.
-/// A single 64-bit FNV collision is constructible; colliding both streams
-/// simultaneously is not practically so, which is what lets the extraction
-/// cache trust a key hit and skip steps (1)+(2).
-pub fn series_fingerprint(series: &TimeSeries) -> u128 {
-    const OFFSET_1: u64 = 0xcbf2_9ce4_8422_2325;
-    const OFFSET_2: u64 = 0x9e37_79b9_7f4a_7c15;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h1 = OFFSET_1 ^ (series.len() as u64);
-    let mut h2 = OFFSET_2 ^ (series.len() as u64).rotate_left(32);
-    h1 = h1.wrapping_mul(PRIME);
-    h2 = h2.wrapping_mul(PRIME);
-    for &v in series.as_slice() {
-        let bits = v.to_bits();
-        h1 ^= bits;
-        h1 = h1.wrapping_mul(PRIME);
-        h2 ^= bits.rotate_left(29);
-        h2 = h2.wrapping_mul(PRIME);
+const FNV_OFFSET_1: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET_2: u64 = 0x9e37_79b9_7f4a_7c15;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Rolling two-stream FNV-1a fingerprinter over raw series values.
+///
+/// Values are streamed left to right and [`checkpoint`](Self::checkpoint)
+/// yields the fingerprint of everything pushed so far (the stream state is
+/// finalized with the current length, so prefixes of different lengths
+/// never collide trivially). This is the prefix-fingerprint scheme of the
+/// append-aware extraction cache: while fingerprinting an appended series,
+/// the miner takes checkpoints at each recorded pre-append length and
+/// probes the cache for a reusable prefix extraction — one pass over the
+/// values serves every candidate prefix.
+#[derive(Debug, Clone)]
+pub struct SeriesFingerprinter {
+    h1: u64,
+    h2: u64,
+    len: usize,
+}
+
+impl SeriesFingerprinter {
+    /// A fingerprinter over the empty prefix.
+    pub fn new() -> Self {
+        SeriesFingerprinter {
+            h1: FNV_OFFSET_1,
+            h2: FNV_OFFSET_2,
+            len: 0,
+        }
     }
-    ((h1 as u128) << 64) | h2 as u128
+
+    /// Streams one raw value (`NaN` missing markers included, so presence
+    /// patterns are part of the fingerprint).
+    #[inline]
+    pub fn push(&mut self, raw: f64) {
+        let bits = raw.to_bits();
+        self.h1 ^= bits;
+        self.h1 = self.h1.wrapping_mul(FNV_PRIME);
+        self.h2 ^= bits.rotate_left(29);
+        self.h2 = self.h2.wrapping_mul(FNV_PRIME);
+        self.len += 1;
+    }
+
+    /// Number of values streamed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no values have been streamed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fingerprint of everything pushed so far. Two independent FNV-1a
+    /// streams — the second with a different offset basis and bit-rotated
+    /// input — are finalized with the current length and packed into one
+    /// `u128`. A single 64-bit FNV collision is constructible; colliding
+    /// both streams simultaneously is not practically so, which is what
+    /// lets the extraction cache trust a key hit and skip steps (1)+(2).
+    pub fn checkpoint(&self) -> u128 {
+        let h1 = (self.h1 ^ self.len as u64).wrapping_mul(FNV_PRIME);
+        let h2 = (self.h2 ^ (self.len as u64).rotate_left(32)).wrapping_mul(FNV_PRIME);
+        ((h1 as u128) << 64) | h2 as u128
+    }
+}
+
+impl Default for SeriesFingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// 128-bit content fingerprint over a series' length and raw value bit
+/// patterns: the final [`SeriesFingerprinter`] checkpoint.
+pub fn series_fingerprint(series: &TimeSeries) -> u128 {
+    let mut fp = SeriesFingerprinter::new();
+    for &v in series.as_slice() {
+        fp.push(v);
+    }
+    fp.checkpoint()
 }
 
 /// A cache of per-series extraction results, consulted by
@@ -237,6 +505,19 @@ pub trait EvolvingCache: Sync {
     fn get(&self, key: &ExtractionKey) -> Option<EvolvingSets>;
     /// Stores the sets computed for a key.
     fn put(&self, key: ExtractionKey, sets: &EvolvingSets);
+    /// Returns the full [`ExtractionState`] for a key, if the cache retains
+    /// states. The miner probes this with *prefix* keys of appended series
+    /// to seed [`extract_resume`]; a cache that does not retain states
+    /// (the default) simply disables resumption. Shared as an `Arc` so a
+    /// hit is a reference bump, not a deep bitset-and-segments clone.
+    fn get_state(&self, _key: &ExtractionKey) -> Option<std::sync::Arc<ExtractionState>> {
+        None
+    }
+    /// Stores the full extraction state for a key. The default forwards the
+    /// sets to [`EvolvingCache::put`], so set-only caches keep working.
+    fn put_state(&self, key: ExtractionKey, state: &ExtractionState) {
+        self.put(key, &state.sets);
+    }
 }
 
 /// The pre-refactor per-timestamp extractor, retained verbatim as the
@@ -408,6 +689,155 @@ mod tests {
                 let fast = extract_evolving(&series, epsilon);
                 let slow = reference::extract_evolving_reference(&series, epsilon);
                 prop_assert_eq!(fast, slow);
+            }
+        }
+    }
+
+    /// Asserts that extraction resumed through a chain of append splits is
+    /// byte-identical (sets *and* retained segmentation) to a cold
+    /// [`extract_state`] at every step, with and without segmentation.
+    fn assert_resume_chain(series: &TimeSeries, epsilon: f64, seg_error: f64, splits: &[usize]) {
+        for seg_on in [false, true] {
+            let first = splits.first().copied().unwrap_or(0).min(series.len());
+            let mut state = extract_state(&series.window(0, first), epsilon, seg_on, seg_error);
+            for &split in &splits[1..] {
+                let split = split.min(series.len());
+                let win = series.window(0, split);
+                state = extract_resume(&win, epsilon, seg_on, seg_error, &state);
+                assert_eq!(
+                    state,
+                    extract_state(&win, epsilon, seg_on, seg_error),
+                    "resume diverged at split {split} (seg={seg_on})"
+                );
+            }
+            state = extract_resume(series, epsilon, seg_on, seg_error, &state);
+            assert_eq!(
+                state,
+                extract_state(series, epsilon, seg_on, seg_error),
+                "final resume diverged (seg={seg_on})"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_matches_full_on_fixtures() {
+        let fixtures: Vec<TimeSeries> = vec![
+            TimeSeries::from_values(vec![]),
+            TimeSeries::from_values(vec![5.0]),
+            TimeSeries::from_values(vec![1.0, 2.0]),
+            TimeSeries::missing(100),
+            TimeSeries::from_values((0..333).map(|i| ((i as f64) * 0.7).sin() * 3.0).collect()),
+            // Gap pattern crossing word boundaries.
+            TimeSeries::from_options(
+                &(0..200)
+                    .map(|i| (i % 7 != 2).then_some(((i * 37) % 17) as f64 * 0.5))
+                    .collect::<Vec<_>>(),
+            ),
+            // A level shift in the tail (tolerance-changed fallback).
+            {
+                let mut v: Vec<f64> = (0..90).map(|i| (i as f64 * 0.3).sin()).collect();
+                v.extend((0..40).map(|i| 20.0 + (i as f64 * 0.3).cos()));
+                TimeSeries::from_values(v)
+            },
+        ];
+        for series in &fixtures {
+            let n = series.len();
+            // Splits straddling 64-bit word boundaries and degenerate ends.
+            for splits in [
+                vec![0, 1, n / 2],
+                vec![63, 64, 65],
+                vec![n.saturating_sub(1), n],
+                vec![n / 4, n / 2, 3 * n / 4],
+            ] {
+                for eps in [0.0, 0.3, 1.0] {
+                    assert_resume_chain(series, eps, 0.05, &splits);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_with_mismatched_state_falls_back_to_full() {
+        let series =
+            TimeSeries::from_values((0..150).map(|i| ((i as f64) * 0.7).sin() * 3.0).collect());
+        // State computed *with* segmentation must not seed a raw resume
+        // (and vice versa); both fall back to a clean full extraction.
+        let seg_state = extract_state(&series.window(0, 100), 0.3, true, 0.05);
+        let raw_resumed = extract_resume(&series, 0.3, false, 0.0, &seg_state);
+        assert_eq!(raw_resumed, extract_state(&series, 0.3, false, 0.0));
+        let raw_state = extract_state(&series.window(0, 100), 0.3, false, 0.0);
+        let seg_resumed = extract_resume(&series, 0.3, true, 0.05, &raw_state);
+        assert_eq!(seg_resumed, extract_state(&series, 0.3, true, 0.05));
+        // A state longer than the series cannot resume either.
+        let long_state = extract_state(&series, 0.3, false, 0.0);
+        let short = series.window(0, 80);
+        assert_eq!(
+            extract_resume(&short, 0.3, false, 0.0, &long_state),
+            extract_state(&short, 0.3, false, 0.0)
+        );
+    }
+
+    #[test]
+    fn fingerprinter_checkpoints_match_whole_series_fingerprints() {
+        let series = TimeSeries::from_options(
+            &(0..130)
+                .map(|i| (i % 9 != 4).then_some((i as f64 * 0.17).sin() * 2.0))
+                .collect::<Vec<_>>(),
+        );
+        let mut fp = SeriesFingerprinter::new();
+        assert!(fp.is_empty());
+        for (i, &v) in series.as_slice().iter().enumerate() {
+            assert_eq!(fp.checkpoint(), series_fingerprint(&series.window(0, i)));
+            fp.push(v);
+            assert_eq!(fp.len(), i + 1);
+        }
+        assert_eq!(fp.checkpoint(), series_fingerprint(&series));
+        // Prefix keys agree with keys computed over materialized prefixes.
+        assert_eq!(
+            ExtractionKey::for_prefix(&series, 77, 0.5, true, 0.05),
+            ExtractionKey::new(&series.window(0, 77), 0.5, true, 0.05)
+        );
+        // Different prefix lengths of a constant series still differ.
+        let constant = TimeSeries::from_values(vec![1.0; 50]);
+        assert_ne!(
+            series_fingerprint(&constant.window(0, 10)),
+            series_fingerprint(&constant.window(0, 11)),
+        );
+    }
+
+    mod resume_proptest {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// Resuming extraction over one or two appended tails is
+            /// byte-identical to cold extraction, for random series, gap
+            /// patterns, epsilons and split points, with segmentation on
+            /// and off.
+            #[test]
+            fn resume_matches_full(
+                values in proptest::collection::vec(-20.0f64..20.0, 0..200),
+                gap_seed in 0usize..11,
+                epsilon in 0.0f64..3.0,
+                seg_error in 0.001f64..0.25,
+                split_a_ppm in 0u32..1_000_000,
+                split_b_ppm in 0u32..1_000_000,
+            ) {
+                let options: Vec<Option<f64>> = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| ((i * 5 + gap_seed) % 11 != 0).then_some(v))
+                    .collect();
+                let series = TimeSeries::from_options(&options);
+                let n = series.len() as u64;
+                let mut splits = [
+                    (n * split_a_ppm as u64 / 1_000_000) as usize,
+                    (n * split_b_ppm as u64 / 1_000_000) as usize,
+                ];
+                splits.sort_unstable();
+                assert_resume_chain(&series, epsilon, seg_error, &splits);
             }
         }
     }

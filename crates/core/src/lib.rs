@@ -80,7 +80,9 @@ pub mod spatial;
 
 pub use bitset::Bitset;
 pub use error::MiningError;
-pub use evolving::{Direction, EvolvingCache, EvolvingSets, ExtractionKey};
+pub use evolving::{
+    Direction, EvolvingCache, EvolvingSets, ExtractionKey, ExtractionState, SeriesFingerprinter,
+};
 pub use miner::{Miner, MiningReport, MiningResult};
 pub use params::MiningParams;
 pub use pattern::{Cap, CapMember, CapSet};

@@ -23,7 +23,10 @@
 
 use crate::delayed::{mine_delayed, DelayedCap};
 use crate::error::MiningError;
-use crate::evolving::{extract_with_segmentation, EvolvingCache, EvolvingSets, ExtractionKey};
+use crate::evolving::{
+    extract_resume, extract_state, extract_with_segmentation, EvolvingCache, EvolvingSets,
+    ExtractionKey, ExtractionState, SeriesFingerprinter,
+};
 use crate::params::MiningParams;
 use crate::pattern::{Cap, CapSet};
 use crate::scheduler;
@@ -41,6 +44,11 @@ pub struct MiningReport {
     /// Number of series whose extraction was served from the evolving-sets
     /// cache (always 0 for [`Miner::mine`], which runs cache-less).
     pub extraction_cache_hits: usize,
+    /// Number of series whose extraction *resumed* from a cached prefix
+    /// state — the appended-series path: the cache missed on the full
+    /// content but hit on a pre-append prefix fingerprint, so only the
+    /// appended tail was re-extracted.
+    pub extraction_prefix_hits: usize,
     /// Time spent building the proximity graph and its components.
     pub spatial_time: Duration,
     /// Time spent in the CAP search.
@@ -127,35 +135,58 @@ impl Miner {
             1
         };
         let cache_hits = AtomicUsize::new(0);
+        let prefix_hits = AtomicUsize::new(0);
+        let append_bases = dataset.append_bases();
         let evolving: Vec<EvolvingSets> = scheduler::parallel_map(&series, workers, |&s| {
-            let key = extraction_cache.map(|_| {
-                ExtractionKey::new(
+            let Some(cache) = extraction_cache else {
+                return extract_with_segmentation(
                     s,
                     self.params.epsilon,
                     self.params.segmentation,
                     self.params.segmentation_error,
-                )
-            });
-            if let (Some(cache), Some(key)) = (extraction_cache, key.as_ref()) {
-                if let Some(sets) = cache.get(key) {
-                    cache_hits.fetch_add(1, Ordering::Relaxed);
-                    return sets;
-                }
-            }
-            let sets = extract_with_segmentation(
-                s,
+                );
+            };
+            // One rolling-fingerprint pass yields both the full-content key
+            // and the checkpoint at every recorded pre-append length.
+            let (fingerprint, checkpoints) = fingerprint_with_checkpoints(s, append_bases);
+            let key = ExtractionKey::from_fingerprint(
+                fingerprint,
                 self.params.epsilon,
                 self.params.segmentation,
                 self.params.segmentation_error,
             );
-            if let (Some(cache), Some(key)) = (extraction_cache, key) {
-                cache.put(key, &sets);
+            if let Some(sets) = cache.get(&key) {
+                cache_hits.fetch_add(1, Ordering::Relaxed);
+                return sets;
             }
-            sets
+            // The full content missed; on an appended dataset, probe the
+            // checkpoints for a cached prefix state and resume extraction
+            // over just the tail.
+            let state = match self.lookup_prefix_state(cache, &checkpoints) {
+                Some(prev) => {
+                    prefix_hits.fetch_add(1, Ordering::Relaxed);
+                    extract_resume(
+                        s,
+                        self.params.epsilon,
+                        self.params.segmentation,
+                        self.params.segmentation_error,
+                        &prev,
+                    )
+                }
+                None => extract_state(
+                    s,
+                    self.params.epsilon,
+                    self.params.segmentation,
+                    self.params.segmentation_error,
+                ),
+            };
+            cache.put_state(key, &state);
+            state.sets
         });
         let attributes: Vec<AttributeId> = dataset.iter().map(|ss| ss.sensor.attribute).collect();
         report.extraction_time = t0.elapsed();
         report.extraction_cache_hits = cache_hits.into_inner();
+        report.extraction_prefix_hits = prefix_hits.into_inner();
         report.evolving_events = evolving.iter().map(|e| e.total()).sum();
 
         // Step (3): proximity graph and connected components.
@@ -199,6 +230,54 @@ impl Miner {
             report,
         })
     }
+
+    /// Probes the extraction cache with prefix-fingerprint checkpoints,
+    /// newest first, for a state that can seed a tail-resume.
+    fn lookup_prefix_state(
+        &self,
+        cache: &dyn EvolvingCache,
+        checkpoints: &[(usize, u128)],
+    ) -> Option<std::sync::Arc<ExtractionState>> {
+        for &(len, fingerprint) in checkpoints.iter().rev() {
+            let key = ExtractionKey::from_fingerprint(
+                fingerprint,
+                self.params.epsilon,
+                self.params.segmentation,
+                self.params.segmentation_error,
+            );
+            if let Some(state) = cache.get_state(&key) {
+                if state.len() == len {
+                    return Some(state);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// One pass over a series' raw values computing the full-content
+/// fingerprint together with the rolling checkpoint at each length in
+/// `bases` (ascending; lengths at or beyond the series length are ignored,
+/// as is the empty prefix).
+fn fingerprint_with_checkpoints(
+    series: &miscela_model::TimeSeries,
+    bases: &[usize],
+) -> (u128, Vec<(usize, u128)>) {
+    let mut fp = SeriesFingerprinter::new();
+    let mut checkpoints: Vec<(usize, u128)> = Vec::with_capacity(bases.len());
+    let mut bi = 0usize;
+    for (i, &v) in series.as_slice().iter().enumerate() {
+        if bi < bases.len() {
+            while bi < bases.len() && bases[bi] == i {
+                if i > 0 {
+                    checkpoints.push((i, fp.checkpoint()));
+                }
+                bi += 1;
+            }
+        }
+        fp.push(v);
+    }
+    (fp.checkpoint(), checkpoints)
 }
 
 /// Components at or above this many sensors are split into one work unit
@@ -529,6 +608,99 @@ mod tests {
             .mine_with_cache(&ds, Some(&cache))
             .unwrap();
         assert_eq!(tweaked.report.extraction_cache_hits, ds.sensor_count());
+    }
+
+    #[test]
+    fn append_resume_mines_identical_caps_and_reports_prefix_hits() {
+        use crate::evolving::EvolvingCache;
+        use miscela_model::AppendRow;
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct StateCache(Mutex<HashMap<ExtractionKey, ExtractionState>>);
+        impl EvolvingCache for StateCache {
+            fn get(&self, key: &ExtractionKey) -> Option<EvolvingSets> {
+                self.0.lock().unwrap().get(key).map(|s| s.sets.clone())
+            }
+            fn put(&self, key: ExtractionKey, sets: &EvolvingSets) {
+                self.0.lock().unwrap().insert(
+                    key,
+                    ExtractionState {
+                        sets: sets.clone(),
+                        segmentation: None,
+                    },
+                );
+            }
+            fn get_state(&self, key: &ExtractionKey) -> Option<std::sync::Arc<ExtractionState>> {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .get(key)
+                    .cloned()
+                    .map(std::sync::Arc::new)
+            }
+            fn put_state(&self, key: ExtractionKey, state: &ExtractionState) {
+                self.0.lock().unwrap().insert(key, state.clone());
+            }
+        }
+
+        // The clustered fixture's series are pure functions of the index,
+        // so the 200-timestamp build is exactly the prefix of the
+        // 240-timestamp build — appending the tail rows must reproduce the
+        // full dataset's content.
+        let full = clustered_dataset(2, 240);
+        let mut appended = clustered_dataset(2, 200);
+        let mut rows: Vec<AppendRow> = Vec::new();
+        for ss in full.iter() {
+            let attribute = full.attributes().name_of(ss.sensor.attribute).to_string();
+            for i in 200..240 {
+                if let Some(v) = ss.series.get(i) {
+                    rows.push(AppendRow {
+                        sensor: ss.sensor.id.clone(),
+                        attribute: attribute.clone(),
+                        time: full.grid().at(i).unwrap(),
+                        value: Some(v),
+                    });
+                }
+            }
+        }
+        let stats = appended.append_rows(&rows).unwrap();
+        assert_eq!(stats.new_timestamps, 40);
+        assert_eq!(appended.append_bases(), &[200]);
+
+        for p in [
+            params(),
+            params()
+                .with_segmentation(true)
+                .with_segmentation_error(0.05),
+        ] {
+            let cache = StateCache::default();
+            let miner = Miner::new(p).unwrap();
+            let before = miner
+                .mine_with_cache(&clustered_dataset(2, 200), Some(&cache))
+                .unwrap();
+            assert_eq!(before.report.extraction_prefix_hits, 0);
+            let warm = miner.mine_with_cache(&appended, Some(&cache)).unwrap();
+            // Clusters share the temperature/traffic waveforms, so the
+            // second cluster's copies hit the full-content entries the
+            // first cluster just stored; every other sensor resumes from
+            // its own prefix state.
+            assert_eq!(
+                warm.report.extraction_cache_hits + warm.report.extraction_prefix_hits,
+                appended.sensor_count()
+            );
+            assert!(warm.report.extraction_prefix_hits >= 4);
+            // Equivalence oracle: identical CAPs to a cold full mine of
+            // the equivalent cold-built dataset.
+            let cold = miner.mine(&full).unwrap();
+            assert_eq!(warm.caps, cold.caps);
+            assert_eq!(miner.mine(&appended).unwrap().caps, cold.caps);
+            // Re-mining the appended dataset is now a pure content hit.
+            let again = miner.mine_with_cache(&appended, Some(&cache)).unwrap();
+            assert_eq!(again.report.extraction_cache_hits, appended.sensor_count());
+            assert_eq!(again.caps, cold.caps);
+        }
     }
 
     #[test]

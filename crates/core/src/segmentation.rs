@@ -166,7 +166,26 @@ pub fn segment_series(series: &TimeSeries, error_fraction: f64) -> Segmentation 
         });
         return Segmentation { segments, len: n };
     }
-    let mut start = 0usize;
+    segment_values(values, tolerance, 0, 0, &mut segments);
+
+    Segmentation { segments, len: n }
+}
+
+/// Runs the greedy feasible-slope-cone loop over `values[from..]`, pushing
+/// segments whose indices are offset by `base` (the absolute grid index of
+/// `values[0]`). Factored out of [`segment_series`] so the full run and the
+/// tail-resume path ([`segment_series_tail`]) execute the exact same float
+/// operations — byte-identical segmentations are what the append
+/// equivalence oracles assert.
+fn segment_values(
+    values: &[f64],
+    tolerance: f64,
+    base: usize,
+    from: usize,
+    segments: &mut Vec<Segment>,
+) {
+    let n = values.len();
+    let mut start = from;
     while start < n - 1 {
         let v0 = values[start];
         // A two-point segment fits its endpoints exactly, so the first
@@ -207,15 +226,97 @@ pub fn segment_series(series: &TimeSeries, error_fraction: f64) -> Segmentation 
             end += 1;
         }
         segments.push(Segment {
-            start,
-            end,
+            start: base + start,
+            end: base + end,
             start_value: v0,
             end_value: values[end],
         });
         start = end;
     }
+}
 
-    Segmentation { segments, len: n }
+/// Tail-resume segmentation for an appended series: re-segments only from
+/// the start of the last (unstable) segment of `prev`, reusing every
+/// earlier segment verbatim.
+///
+/// `prev` must be the segmentation of the series' prefix of length
+/// `old_len` (same `error_fraction`); the caller guarantees the first
+/// `old_len` values are unchanged. Returns the new segmentation together
+/// with `changed_from`, the first grid index whose smoothed reconstruction
+/// may differ from `prev`'s (`0` when the resume conditions do not hold and
+/// a full recompute ran; `series.len()` when nothing was appended).
+///
+/// The greedy cone segmenter is left-to-right deterministic, so every
+/// segment that closed on a failed extension test is final — only the last
+/// segment (which closed by running out of data) can change. Resuming is
+/// only byte-identical to a cold full run when the global context the
+/// segmenter consults is itself unchanged, so the resume path falls back to
+/// [`segment_series`] whenever the append could have shifted it:
+///
+/// * appended present values outside the prefix's `[min, max]` (they would
+///   change the tolerance, which is relative to the value range);
+/// * a trailing missing run in the prefix (its interpolation gains a right
+///   neighbour and changes retroactively);
+/// * an all-missing or sub-2-point prefix, or a `prev` that does not match
+///   `old_len`.
+pub fn segment_series_tail(
+    series: &TimeSeries,
+    error_fraction: f64,
+    prev: &Segmentation,
+    old_len: usize,
+) -> (Segmentation, usize) {
+    let n = series.len();
+    let full = || (segment_series(series, error_fraction), 0);
+    if prev.len != old_len || old_len < 2 || n < old_len {
+        return full();
+    }
+    if n == old_len {
+        return (prev.clone(), n);
+    }
+    let raw = series.as_slice();
+    // Prefix value range: the tolerance of the cold run on the prefix.
+    // Branchless select — a NaN comparison is false, so missing values
+    // never update either bound and the scan needs no `is_nan` branch.
+    let mut pmin = f64::INFINITY;
+    let mut pmax = f64::NEG_INFINITY;
+    for &v in &raw[..old_len] {
+        pmin = if v < pmin { v } else { pmin };
+        pmax = if v > pmax { v } else { pmax };
+    }
+    if pmin > pmax || raw[old_len - 1].is_nan() {
+        // All-missing prefix, or a trailing gap whose interpolation the
+        // append changes retroactively.
+        return full();
+    }
+    // Appended values outside the prefix range change the tolerance
+    // (NaN compares false on both sides, so missing appends never do).
+    if raw[old_len..].iter().any(|&v| v < pmin || v > pmax) {
+        return full();
+    }
+    let Some(last) = prev.segments.last() else {
+        return full();
+    };
+    if last.end + 1 != old_len {
+        return full();
+    }
+    let resume = last.start;
+    // The window needs a present left anchor so its interpolation matches
+    // the full series' interpolation point-for-point.
+    let Some(wstart) = (0..=resume).rev().find(|&i| !raw[i].is_nan()) else {
+        return full();
+    };
+    let wseries = TimeSeries::from_values(raw[wstart..].to_vec());
+    let filled;
+    let values: &[f64] = if wseries.as_slice().iter().any(|v| v.is_nan()) {
+        filled = wseries.interpolate_missing();
+        filled.as_slice()
+    } else {
+        wseries.as_slice()
+    };
+    let tolerance = error_fraction.max(0.0) * (pmax - pmin).max(1e-12);
+    let mut segments = prev.segments[..prev.segments.len() - 1].to_vec();
+    segment_values(values, tolerance, wstart, resume - wstart, &mut segments);
+    (Segmentation { segments, len: n }, resume)
 }
 
 /// Convenience helper: smooths a series by segmentation and reconstruction.
@@ -542,6 +643,132 @@ mod tests {
                     .collect();
                 let series = TimeSeries::from_options(&options);
                 assert_matches_oracle(&series, error_fraction, epsilon);
+            }
+        }
+    }
+
+    /// Asserts the tail-resume segmentation of `series` split at `split`
+    /// equals a cold full run, and that `changed_from` is honest (every
+    /// smoothed value before it is identical to the prefix run's).
+    fn assert_tail_matches_full(series: &TimeSeries, error_fraction: f64, split: usize) {
+        let prefix = series.window(0, split);
+        let prev = segment_series(&prefix, error_fraction);
+        let (resumed, changed_from) = segment_series_tail(series, error_fraction, &prev, split);
+        let cold = segment_series(series, error_fraction);
+        assert_eq!(
+            resumed, cold,
+            "tail resume diverges (split={split}, error_fraction={error_fraction})"
+        );
+        let rec_prev = prev.reconstruct(&prefix);
+        let rec_new = resumed.reconstruct(series);
+        for i in 0..changed_from.min(split) {
+            assert_eq!(rec_prev.get(i), rec_new.get(i), "changed_from lied at {i}");
+        }
+    }
+
+    #[test]
+    fn tail_resume_matches_full_on_fixtures() {
+        let smooth_sine =
+            TimeSeries::from_values((0..400).map(|i| (i as f64 * 0.05).sin() * 5.0).collect());
+        let noisy_trend = TimeSeries::from_values(
+            (0..300)
+                .map(|i| i as f64 * 0.1 + if i % 2 == 0 { 0.3 } else { -0.3 })
+                .collect(),
+        );
+        // A step in the appended tail: outside the prefix range for small
+        // splits, exercising the tolerance-changed fallback.
+        let late_step = {
+            let mut v = vec![1.0; 80];
+            v.extend(vec![10.0; 20]);
+            TimeSeries::from_values(v)
+        };
+        let constant = TimeSeries::from_values(vec![3.25; 64]);
+        let all_missing = TimeSeries::missing(25);
+        let nan_gaps = TimeSeries::from_options(
+            &(0..120)
+                .map(|i| {
+                    if i % 11 == 3 || (40..47).contains(&i) {
+                        None
+                    } else {
+                        Some((i as f64 * 0.2).cos() * 2.0 + i as f64 * 0.05)
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        // A trailing gap right at a split point (44/45/46 fall inside the
+        // missing run), exercising the trailing-gap fallback.
+        for series in [
+            &smooth_sine,
+            &noisy_trend,
+            &late_step,
+            &constant,
+            &all_missing,
+            &nan_gaps,
+        ] {
+            let n = series.len();
+            for split in [
+                0,
+                1,
+                2,
+                3,
+                n / 3,
+                45,
+                n.saturating_sub(2),
+                n.saturating_sub(1),
+                n,
+            ] {
+                let split = split.min(n);
+                for error_fraction in [0.005, 0.05, 0.2] {
+                    assert_tail_matches_full(series, error_fraction, split);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_resume_shape_mismatches_fall_back() {
+        let series =
+            TimeSeries::from_values((0..100).map(|i| (i as f64 * 0.05).sin() * 5.0).collect());
+        let cold = segment_series(&series, 0.05);
+        // A prev whose recorded length disagrees with old_len falls back.
+        let bogus = Segmentation {
+            segments: Vec::new(),
+            len: 7,
+        };
+        let (seg, changed_from) = segment_series_tail(&series, 0.05, &bogus, 50);
+        assert_eq!(seg, cold);
+        assert_eq!(changed_from, 0);
+        // Nothing appended: the previous segmentation is returned verbatim.
+        let (seg, changed_from) = segment_series_tail(&series, 0.05, &cold, 100);
+        assert_eq!(seg, cold);
+        assert_eq!(changed_from, 100);
+    }
+
+    mod tail_resume_proptest {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// For any series, NaN-gap pattern, and split point, resuming
+            /// segmentation over the appended tail is byte-identical to a
+            /// cold full run.
+            #[test]
+            fn tail_resume_matches_full(
+                values in proptest::collection::vec(-40.0f64..40.0, 2..160),
+                gap_seed in 0usize..13,
+                error_fraction in 0.001f64..0.25,
+                split_ppm in 0u32..1_000_000,
+            ) {
+                let options: Vec<Option<f64>> = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| ((i * 7 + gap_seed) % 13 != 0).then_some(v))
+                    .collect();
+                let series = TimeSeries::from_options(&options);
+                let split = (series.len() as u64 * split_ppm as u64 / 1_000_000) as usize;
+                assert_tail_matches_full(&series, error_fraction, split);
             }
         }
     }

@@ -10,7 +10,9 @@ use crate::attribute_csv;
 use crate::data_csv::{self, DataRow};
 use crate::error::CsvError;
 use crate::location_csv::{self, LocationRow};
-use miscela_model::{Dataset, DatasetBuilder, Duration, TimeGrid, Timestamp};
+use miscela_model::{
+    AppendRow, AppendStats, Dataset, DatasetBuilder, Duration, TimeGrid, Timestamp,
+};
 use std::collections::BTreeSet;
 
 /// Builds [`Dataset`]s from upload files or pre-parsed rows.
@@ -78,6 +80,30 @@ impl DatasetLoader {
                 .map_err(CsvError::Model)?;
         }
         builder.build().map_err(CsvError::Model)
+    }
+
+    /// Applies pre-parsed `data.csv` rows to an **existing** dataset as an
+    /// append: the grid and every series are extended in place with
+    /// missing-value fill (the append-session counterpart of
+    /// [`DatasetLoader::assemble`], sharing the same chunked-upload
+    /// machinery — chunks are parsed by [`crate::chunk::ChunkedUploader`]
+    /// exactly as for a cold upload, then land here instead of in a fresh
+    /// builder).
+    ///
+    /// Sensors and attributes must already exist, every timestamp must lie
+    /// on the dataset's grid spacing strictly beyond the current end, and a
+    /// failed append leaves the dataset untouched.
+    pub fn append(dataset: &mut Dataset, data: &[DataRow]) -> Result<AppendStats, CsvError> {
+        let rows: Vec<AppendRow> = data
+            .iter()
+            .map(|r| AppendRow {
+                sensor: r.id.clone(),
+                attribute: r.attribute.clone(),
+                time: r.time,
+                value: r.value,
+            })
+            .collect();
+        dataset.append_rows(&rows).map_err(CsvError::Model)
     }
 
     /// Infers the regular grid covering all timestamps in `data`.
@@ -229,6 +255,39 @@ s1,temperature,2016-03-01 00:37:00,2\n";
             .unwrap();
         assert_eq!(ds.timestamp_count(), 1);
         assert_eq!(ds.grid().interval(), Duration::hours(1));
+    }
+
+    #[test]
+    fn append_extends_loaded_dataset_through_same_rows() {
+        let mut ds = DatasetLoader::new("santander-mini")
+            .load_documents(&data_doc(), LOCATIONS, ATTRIBUTES)
+            .unwrap();
+        assert_eq!(ds.timestamp_count(), 6);
+        // An append chunk: two more hours for s1, one (with a null) for s2.
+        let tail = "id,attribute,time,data\n\
+s1,temperature,2016-03-01 06:00:00,16\n\
+s1,temperature,2016-03-01 07:00:00,17\n\
+s2,traffic,2016-03-01 06:00:00,null\n";
+        let rows = data_csv::parse_document(tail).unwrap();
+        let stats = DatasetLoader::append(&mut ds, &rows).unwrap();
+        assert_eq!(stats.new_timestamps, 2);
+        assert_eq!(stats.measurements, 3);
+        assert_eq!(ds.timestamp_count(), 8);
+        let temp = ds.attributes().id_of("temperature").unwrap();
+        let s1 = ds.index_of(&SensorId::new("s1"), temp).unwrap();
+        assert_eq!(ds.series(s1).get(7), Some(17.0));
+        // s2 was silent at hour 7: missing-filled.
+        let traffic = ds.attributes().id_of("traffic").unwrap();
+        let s2 = ds.index_of(&SensorId::new("s2"), traffic).unwrap();
+        assert_eq!(ds.series(s2).get(6), None);
+        assert_eq!(ds.series(s2).get(7), None);
+        assert_eq!(ds.append_bases(), &[6]);
+        // Rows inside the existing grid are rejected as an append.
+        let stale = data_csv::parse_document("s1,temperature,2016-03-01 02:00:00,9\n").unwrap();
+        assert!(matches!(
+            DatasetLoader::append(&mut ds, &stale),
+            Err(CsvError::Model(_))
+        ));
     }
 
     #[test]

@@ -25,7 +25,50 @@ pub struct SensorSeries<'a> {
     pub series: &'a TimeSeries,
 }
 
+/// One measurement row submitted to [`Dataset::append_rows`]: the model-level
+/// equivalent of a `data.csv` line arriving after the dataset was built.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendRow {
+    /// External sensor id.
+    pub sensor: SensorId,
+    /// Attribute name (must already be registered).
+    pub attribute: String,
+    /// Measurement timestamp; must lie on the grid spacing and beyond the
+    /// current grid end.
+    pub time: Timestamp,
+    /// Measurement value (`None` for an explicit `null`).
+    pub value: Option<f64>,
+}
+
+/// The outcome of one [`Dataset::append_rows`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AppendStats {
+    /// How many grid points the append added.
+    pub new_timestamps: usize,
+    /// How many measurement rows were applied.
+    pub measurements: usize,
+}
+
+/// How many append-base lengths a dataset remembers (see
+/// [`Dataset::append_bases`]). Old bases beyond this are forgotten; callers
+/// resuming from them simply fall back to a full recompute.
+pub const MAX_APPEND_BASES: usize = 8;
+
+/// Upper bound on how many grid points one [`Dataset::append_rows`] batch
+/// may add. The grid is extended (and every series NaN-filled) up to the
+/// latest appended timestamp, so without a cap a single row with a far
+/// future timestamp — a year-off typo, or milliseconds passed as seconds —
+/// would allocate `points × sensors × 8` bytes before anything notices.
+/// One million points is ~114 years of hourly data: far beyond any real
+/// batch, far below an allocation that could hurt.
+pub const MAX_APPEND_TIMESTAMPS: usize = 1 << 20;
+
 /// An immutable, fully-built dataset.
+///
+/// The one sanctioned mutation is [`Dataset::append_rows`], which extends
+/// the grid and every series in place — existing indices and values are
+/// never changed, which is the invariant the incremental re-mining path
+/// builds on.
 #[derive(Debug, Clone)]
 pub struct Dataset {
     name: String,
@@ -34,6 +77,8 @@ pub struct Dataset {
     series: Vec<TimeSeries>,
     grid: TimeGrid,
     id_index: HashMap<(SensorId, AttributeId), SensorIndex>,
+    /// Grid lengths this dataset had before recent appends, oldest first.
+    append_bases: Vec<usize>,
 }
 
 impl Dataset {
@@ -170,6 +215,102 @@ impl Dataset {
             series,
             grid,
             id_index: self.id_index.clone(),
+            append_bases: Vec::new(),
+        })
+    }
+
+    /// Grid lengths this dataset had just before recent appends, oldest
+    /// first (empty for a cold-built dataset). Incremental re-mining probes
+    /// these, newest first, as candidate prefix lengths whose extraction
+    /// state may still be cached; at most [`MAX_APPEND_BASES`] are kept.
+    pub fn append_bases(&self) -> &[usize] {
+        &self.append_bases
+    }
+
+    /// Appends measurement rows beyond the current grid end, extending the
+    /// grid and **all** series in place with missing-value fill.
+    ///
+    /// Every row is validated first — unknown sensors/attributes,
+    /// timestamps that are off the grid spacing or not strictly beyond the
+    /// existing grid, and batches that would grow the grid by more than
+    /// [`MAX_APPEND_TIMESTAMPS`] points are rejected before anything is
+    /// modified, so a failed append leaves the dataset untouched. The grid
+    /// grows to cover the latest appended timestamp; grid points no row
+    /// mentions stay missing for every sensor (the paper's `null`).
+    pub fn append_rows(&mut self, rows: &[AppendRow]) -> Result<AppendStats, ModelError> {
+        if rows.is_empty() {
+            return Ok(AppendStats::default());
+        }
+        let old_len = self.grid.len();
+        let start = self.grid.start().epoch_seconds();
+        let interval = self.grid.interval().as_secs();
+        let mut resolved = Vec::with_capacity(rows.len());
+        let mut new_len = old_len;
+        // Append batches arrive overwhelmingly grouped by sensor (that is
+        // how `data.csv` is written), so memoizing the previous row's
+        // lookups turns the per-row hash-and-clone of the sensor/attribute
+        // resolution into a string compare on the hot path.
+        let mut last: Option<(&SensorId, &str, SensorIndex)> = None;
+        for row in rows {
+            let idx = match last {
+                Some((id, attr, idx)) if *id == row.sensor && attr == row.attribute => idx,
+                _ => {
+                    let attribute = self
+                        .attributes
+                        .id_of(&row.attribute)
+                        .ok_or_else(|| ModelError::UnknownAttribute(row.attribute.clone()))?;
+                    let idx = self
+                        .id_index
+                        .get(&(row.sensor.clone(), attribute))
+                        .copied()
+                        .ok_or_else(|| {
+                            ModelError::UnknownSensor(format!("{}:{}", row.sensor, row.attribute))
+                        })?;
+                    last = Some((&row.sensor, &row.attribute, idx));
+                    idx
+                }
+            };
+            let off = row.time.epoch_seconds() - start;
+            if off < 0 || off % interval != 0 {
+                return Err(ModelError::TimestampOffGrid(row.time.format()));
+            }
+            let ti = (off / interval) as usize;
+            if ti < old_len {
+                return Err(ModelError::TimestampOffGrid(format!(
+                    "{} does not extend the grid (append-only)",
+                    row.time.format()
+                )));
+            }
+            if ti - old_len >= MAX_APPEND_TIMESTAMPS {
+                return Err(ModelError::TimestampOffGrid(format!(
+                    "{} would grow the grid by {} points (max {MAX_APPEND_TIMESTAMPS} per append)",
+                    row.time.format(),
+                    ti + 1 - old_len
+                )));
+            }
+            new_len = new_len.max(ti + 1);
+            resolved.push((idx, ti, row.value));
+        }
+        let added = new_len - old_len;
+        self.grid.extend(added);
+        for s in &mut self.series {
+            s.extend_missing(added);
+        }
+        for (idx, ti, value) in &resolved {
+            match value {
+                Some(v) => self.series[idx.index()].set(*ti, *v),
+                None => self.series[idx.index()].clear(*ti),
+            }
+        }
+        if self.append_bases.last() != Some(&old_len) {
+            self.append_bases.push(old_len);
+            if self.append_bases.len() > MAX_APPEND_BASES {
+                self.append_bases.remove(0);
+            }
+        }
+        Ok(AppendStats {
+            new_timestamps: added,
+            measurements: resolved.len(),
         })
     }
 }
@@ -332,6 +473,7 @@ impl DatasetBuilder {
             series: self.series,
             grid,
             id_index: self.id_index,
+            append_bases: Vec::new(),
         })
     }
 }
@@ -480,6 +622,128 @@ mod tests {
         assert_eq!(sliced.series(i1).get(0), Some(10.0));
         assert_eq!(sliced.series(i1).get(1), Some(11.0));
         assert!(sliced.name().contains("test"));
+    }
+
+    fn append_row(id: &str, attr: &str, t: Timestamp, value: Option<f64>) -> AppendRow {
+        AppendRow {
+            sensor: SensorId::new(id),
+            attribute: attr.to_string(),
+            time: t,
+            value,
+        }
+    }
+
+    #[test]
+    fn append_rows_extends_grid_and_fills_missing() {
+        let mut ds = small_dataset();
+        let start = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+        assert!(ds.append_bases().is_empty());
+        // Append hours 5 and 6 for s1 only; hour 4 is mentioned by nobody.
+        let stats = ds
+            .append_rows(&[
+                append_row("s1", "temperature", start + Duration::hours(5), Some(14.0)),
+                append_row("s1", "temperature", start + Duration::hours(6), Some(15.0)),
+            ])
+            .unwrap();
+        assert_eq!(stats.new_timestamps, 3);
+        assert_eq!(stats.measurements, 2);
+        assert_eq!(ds.timestamp_count(), 7);
+        assert_eq!(ds.append_bases(), &[4]);
+        let i1 = ds.index_of_id(&SensorId::new("s1")).unwrap();
+        let i2 = ds.index_of_id(&SensorId::new("s2")).unwrap();
+        // Existing prefix untouched.
+        assert_eq!(ds.series(i1).get(2), Some(11.0));
+        // The gap hour and the silent sensor are missing-filled.
+        assert_eq!(ds.series(i1).get(4), None);
+        assert_eq!(ds.series(i1).get(5), Some(14.0));
+        assert_eq!(ds.series(i1).get(6), Some(15.0));
+        assert_eq!(ds.series(i2).get(5), None);
+        // A second append records a second base.
+        ds.append_rows(&[append_row(
+            "s2",
+            "traffic",
+            start + Duration::hours(7),
+            Some(120.0),
+        )])
+        .unwrap();
+        assert_eq!(ds.append_bases(), &[4, 7]);
+        assert_eq!(ds.timestamp_count(), 8);
+    }
+
+    #[test]
+    fn append_rows_validation_leaves_dataset_untouched() {
+        let mut ds = small_dataset();
+        let start = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+        let bad_batches: Vec<Vec<AppendRow>> = vec![
+            // Unknown attribute.
+            vec![append_row("s1", "light", start + Duration::hours(5), None)],
+            // Unknown sensor.
+            vec![append_row(
+                "sX",
+                "temperature",
+                start + Duration::hours(5),
+                None,
+            )],
+            // Off the grid spacing.
+            vec![append_row(
+                "s1",
+                "temperature",
+                start + Duration::minutes(90 + 4 * 60),
+                Some(1.0),
+            )],
+            // Inside the existing grid (append-only).
+            vec![append_row("s1", "temperature", start, Some(1.0))],
+            // Runaway future timestamp (would NaN-fill gigabytes).
+            vec![append_row(
+                "s1",
+                "temperature",
+                start + Duration::hours(4 + MAX_APPEND_TIMESTAMPS as i64),
+                Some(1.0),
+            )],
+            // One good row, one bad: nothing may be applied.
+            vec![
+                append_row("s1", "temperature", start + Duration::hours(9), Some(1.0)),
+                append_row("sX", "temperature", start + Duration::hours(9), Some(1.0)),
+            ],
+        ];
+        for batch in &bad_batches {
+            assert!(ds.append_rows(batch).is_err(), "batch {batch:?}");
+            assert_eq!(ds.timestamp_count(), 4);
+            assert!(ds.append_bases().is_empty());
+        }
+        // Null values clear, and empty appends are no-ops.
+        assert_eq!(ds.append_rows(&[]).unwrap(), AppendStats::default());
+        ds.append_rows(&[append_row(
+            "s1",
+            "temperature",
+            start + Duration::hours(4),
+            None,
+        )])
+        .unwrap();
+        assert_eq!(ds.timestamp_count(), 5);
+        assert_eq!(ds.series(SensorIndex(0)).get(4), None);
+    }
+
+    #[test]
+    fn append_bases_are_bounded_and_deduped() {
+        let mut ds = small_dataset();
+        let start = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+        for i in 0..(MAX_APPEND_BASES + 3) {
+            ds.append_rows(&[append_row(
+                "s1",
+                "temperature",
+                start + Duration::hours(4 + i as i64),
+                Some(i as f64),
+            )])
+            .unwrap();
+        }
+        assert_eq!(ds.append_bases().len(), MAX_APPEND_BASES);
+        // Oldest bases were dropped; the newest base is the length before
+        // the final append.
+        assert_eq!(*ds.append_bases().last().unwrap(), ds.timestamp_count() - 1);
+        // Slicing resets lineage.
+        let sliced = ds.slice_time(start, start + Duration::hours(3)).unwrap();
+        assert!(sliced.append_bases().is_empty());
     }
 
     #[test]

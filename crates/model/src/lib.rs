@@ -64,7 +64,10 @@ pub mod stats;
 pub mod time;
 
 pub use attribute::{Attribute, AttributeId, AttributeRegistry};
-pub use dataset::{Dataset, DatasetBuilder, SensorSeries};
+pub use dataset::{
+    AppendRow, AppendStats, Dataset, DatasetBuilder, SensorSeries, MAX_APPEND_BASES,
+    MAX_APPEND_TIMESTAMPS,
+};
 pub use error::ModelError;
 pub use geo::{BoundingBox, GeoPoint};
 pub use sensor::{Sensor, SensorId, SensorIndex};

@@ -235,6 +235,15 @@ impl TimeSeries {
         TimeSeries { values: out }
     }
 
+    /// Appends `n` missing points in place. This is the missing-value fill
+    /// of the dataset append path: when the grid grows, every series is
+    /// first padded with `null`s and the appended measurements then
+    /// overwrite the points that actually arrived.
+    pub fn extend_missing(&mut self, n: usize) {
+        let new_len = self.values.len() + n;
+        self.values.resize(new_len, f64::NAN);
+    }
+
     /// Fraction of values that are present, in `[0, 1]` (1.0 for empty).
     pub fn coverage(&self) -> f64 {
         if self.is_empty() {

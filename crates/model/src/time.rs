@@ -407,6 +407,15 @@ impl TimeGrid {
         (0..self.len).map(move |i| Timestamp(self.start.0 + i as i64 * self.interval.0))
     }
 
+    /// Extends the grid by `additional` points in place, keeping the start
+    /// and interval. This is the grid half of the dataset append path: new
+    /// sensor readings beyond the current end lengthen the grid without
+    /// rebuilding it (existing indices, and therefore every index-keyed
+    /// structure downstream, stay valid).
+    pub fn extend(&mut self, additional: usize) {
+        self.len += additional;
+    }
+
     /// The sub-grid of indices whose timestamps fall in `range`.
     /// Returns `(first_index, len)`.
     pub fn window(&self, range: TimeRange) -> (usize, usize) {

@@ -53,4 +53,6 @@ pub mod service;
 
 pub use message::{ApiError, ApiRequest, ApiResponse, Method, StatusCode};
 pub use router::Router;
-pub use service::{DatasetSummary, MineOutcome, MiscelaService, UploadSession};
+pub use service::{
+    AppendSession, AppendSummary, DatasetSummary, MineOutcome, MiscelaService, UploadSession,
+};

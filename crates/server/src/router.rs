@@ -11,8 +11,11 @@
 //! | POST   | `/datasets/{name}/upload/begin` | start a chunked upload (`location_csv`, `attribute_csv` in the body) |
 //! | POST   | `/datasets/{name}/upload/chunk` | submit one `data.csv` chunk (`index`, `total`, `content`) |
 //! | POST   | `/datasets/{name}/upload/finish` | assemble and register the dataset |
-//! | POST   | `/datasets/{name}/mine` | run CAP mining with the parameters in the body |
-//! | GET    | `/cache/stats` | cache hit/miss statistics |
+//! | POST   | `/datasets/{name}/append/begin` | start a chunked append of new rows to an existing dataset |
+//! | POST   | `/datasets/{name}/append/chunk` | submit one append `data.csv` chunk (`index`, `total`, `content`) |
+//! | POST   | `/datasets/{name}/append/finish` | apply the appended rows in place and bump the revision |
+//! | POST   | `/datasets/{name}/mine` | run CAP mining with the parameters in the body (revision-aware) |
+//! | GET    | `/cache/stats` | result- and extraction-cache hit/miss statistics |
 
 use crate::message::{ApiError, ApiRequest, ApiResponse, Method};
 use crate::service::MiscelaService;
@@ -65,6 +68,17 @@ impl Router {
                 self.upload_chunk(name, request)
             }
             (Method::Post, ["datasets", name, "upload", "finish"]) => self.finish_upload(name),
+            (Method::Post, ["datasets", name, "append", "begin"]) => {
+                self.service.begin_append(name)?;
+                Ok(ApiResponse::created(Json::from_pairs([(
+                    "append",
+                    Json::from(*name),
+                )])))
+            }
+            (Method::Post, ["datasets", name, "append", "chunk"]) => {
+                self.append_chunk(name, request)
+            }
+            (Method::Post, ["datasets", name, "append", "finish"]) => self.finish_append(name),
             (Method::Post, ["datasets", name, "mine"]) => self.mine(name, request),
             (Method::Get, ["cache", "stats"]) => Ok(self.cache_stats()),
             _ => Err(ApiError::NotFound(format!(
@@ -120,19 +134,9 @@ impl Router {
     }
 
     fn upload_chunk(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
-        let index = body_u64(request, "index")? as usize;
-        let total = body_u64(request, "total")? as usize;
-        let content = body_str(request, "content")?.to_string();
-        let chunk = Chunk {
-            index,
-            total,
-            content,
-        };
+        let chunk = chunk_from_body(request)?;
         let missing = self.service.upload_chunk(name, &chunk)?;
-        Ok(ApiResponse::ok(Json::from_pairs([
-            ("accepted", Json::from(index)),
-            ("missing_chunks", Json::from(missing)),
-        ])))
+        Ok(chunk_accepted(&chunk, missing))
     }
 
     fn finish_upload(&self, name: &str) -> Result<ApiResponse, ApiError> {
@@ -145,12 +149,39 @@ impl Router {
         ])))
     }
 
+    fn append_chunk(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+        let chunk = chunk_from_body(request)?;
+        let missing = self.service.append_chunk(name, &chunk)?;
+        Ok(chunk_accepted(&chunk, missing))
+    }
+
+    fn finish_append(&self, name: &str) -> Result<ApiResponse, ApiError> {
+        let (summary, elapsed) = self.service.finish_append(name)?;
+        Ok(ApiResponse::ok(Json::from_pairs([
+            ("name", Json::from(summary.name)),
+            ("new_timestamps", Json::from(summary.new_timestamps)),
+            ("measurements", Json::from(summary.measurements)),
+            ("timestamps", Json::from(summary.timestamps)),
+            ("revision", Json::from(summary.revision as i64)),
+            ("append_seconds", Json::from(elapsed.as_secs_f64())),
+        ])))
+    }
+
     fn mine(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
         let params = params_from_json(&request.body)?;
         let outcome = self.service.mine(name, &params)?;
         Ok(ApiResponse::ok(Json::from_pairs([
             ("dataset", Json::from(name)),
+            ("revision", Json::from(outcome.revision as i64)),
             ("cache_hit", Json::from(outcome.cache_hit)),
+            (
+                "extraction_cache_hits",
+                Json::from(outcome.result.report.extraction_cache_hits),
+            ),
+            (
+                "extraction_prefix_hits",
+                Json::from(outcome.result.report.extraction_prefix_hits),
+            ),
             ("cap_count", Json::from(outcome.result.caps.len())),
             ("elapsed_seconds", Json::from(outcome.elapsed.as_secs_f64())),
             ("caps", capset_to_json(&outcome.result.caps)),
@@ -159,11 +190,22 @@ impl Router {
 
     fn cache_stats(&self) -> ApiResponse {
         let stats = self.service.cache_stats();
+        let extraction = self.service.extraction_cache_stats();
         ApiResponse::ok(Json::from_pairs([
             ("hits", Json::from(stats.hits)),
             ("misses", Json::from(stats.misses)),
             ("entries", Json::from(stats.entries)),
             ("hit_rate", Json::from(stats.hit_rate())),
+            (
+                "extraction",
+                Json::from_pairs([
+                    ("hits", Json::from(extraction.hits)),
+                    ("misses", Json::from(extraction.misses)),
+                    ("prefix_hits", Json::from(extraction.prefix_hits)),
+                    ("prefix_misses", Json::from(extraction.prefix_misses)),
+                    ("entries", Json::from(extraction.entries)),
+                ]),
+            ),
         ]))
     }
 }
@@ -215,6 +257,24 @@ pub fn params_from_json(body: &Json) -> Result<MiningParams, ApiError> {
         .validate()
         .map_err(|e| ApiError::BadRequest(e.to_string()))?;
     Ok(params)
+}
+
+/// Parses the shared chunk envelope (`index`, `total`, `content`) used by
+/// both the upload and append chunk routes.
+fn chunk_from_body(request: &ApiRequest) -> Result<Chunk, ApiError> {
+    Ok(Chunk {
+        index: body_u64(request, "index")? as usize,
+        total: body_u64(request, "total")? as usize,
+        content: body_str(request, "content")?.to_string(),
+    })
+}
+
+/// The shared response for an accepted chunk.
+fn chunk_accepted(chunk: &Chunk, missing: usize) -> ApiResponse {
+    ApiResponse::ok(Json::from_pairs([
+        ("accepted", Json::from(chunk.index)),
+        ("missing_chunks", Json::from(missing)),
+    ]))
 }
 
 fn body_str<'a>(request: &'a ApiRequest, field: &str) -> Result<&'a str, ApiError> {
@@ -360,6 +420,90 @@ mod tests {
             Json::from_pairs([("index", Json::from(0i64))]),
         ));
         assert_eq!(bad.status, StatusCode::BadRequest);
+    }
+
+    #[test]
+    fn append_routes_round_trip() {
+        let full = SantanderGenerator::small().with_scale(0.02).generate();
+        let split_t = full.grid().at(full.timestamp_count() - 12).unwrap();
+        let prefix = full.slice_time(full.grid().start(), split_t).unwrap();
+        let tail = full.slice_time(split_t, full.grid().range().end).unwrap();
+        let writer = DatasetWriter::new();
+
+        let service = Arc::new(MiscelaService::new());
+        let router = Router::new(service);
+        // Appending before the dataset exists is a 404.
+        let missing = router.handle(&ApiRequest::post(
+            "/datasets/santander/append/begin",
+            Json::object(),
+        ));
+        assert_eq!(missing.status, StatusCode::NotFound);
+
+        router
+            .service()
+            .upload_documents(
+                "santander",
+                &writer.data_csv(&prefix),
+                &writer.location_csv(&prefix),
+                &writer.attribute_csv(&prefix),
+                10_000,
+            )
+            .unwrap();
+        let mined = router.handle(&ApiRequest::post("/datasets/santander/mine", mine_body(20)));
+        assert_eq!(mined.body.get("revision").unwrap().as_i64(), Some(1));
+
+        let begin = router.handle(&ApiRequest::post(
+            "/datasets/santander/append/begin",
+            Json::object(),
+        ));
+        assert_eq!(begin.status, StatusCode::Created);
+        for chunk in miscela_csv::split_into_chunks(&writer.data_csv(&tail), 1_000) {
+            let resp = router.handle(&ApiRequest::post(
+                "/datasets/santander/append/chunk",
+                Json::from_pairs([
+                    ("index", Json::from(chunk.index)),
+                    ("total", Json::from(chunk.total)),
+                    ("content", Json::from(chunk.content.clone())),
+                ]),
+            ));
+            assert!(resp.is_success(), "{:?}", resp.body);
+        }
+        let finish = router.handle(&ApiRequest::post(
+            "/datasets/santander/append/finish",
+            Json::object(),
+        ));
+        assert!(finish.is_success(), "{:?}", finish.body);
+        assert_eq!(
+            finish.body.get("new_timestamps").unwrap().as_i64(),
+            Some(12)
+        );
+        assert_eq!(finish.body.get("revision").unwrap().as_i64(), Some(2));
+
+        // Re-mining sees the new revision and reports the prefix resumes;
+        // the cache stats envelope mirrors the extraction counters.
+        let remined = router.handle(&ApiRequest::post("/datasets/santander/mine", mine_body(20)));
+        assert!(remined.is_success());
+        assert_eq!(remined.body.get("revision").unwrap().as_i64(), Some(2));
+        assert_eq!(
+            remined.body.get("cache_hit").unwrap().as_bool(),
+            Some(false)
+        );
+        let resumed = remined
+            .body
+            .get("extraction_prefix_hits")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert!(resumed > 0, "expected prefix resumes, got {remined:?}");
+        let stats = router.handle(&ApiRequest::get("/cache/stats"));
+        let extraction = stats.body.get("extraction").unwrap();
+        assert!(extraction.get("prefix_hits").unwrap().as_i64().unwrap() >= resumed);
+        // The appended grid end moved forward.
+        let ds_stats = router.handle(&ApiRequest::get("/datasets/santander"));
+        assert_eq!(
+            ds_stats.body.get("timestamps").unwrap().as_i64().unwrap() as usize,
+            full.timestamp_count()
+        );
     }
 
     #[test]

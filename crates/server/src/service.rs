@@ -5,13 +5,19 @@
 //! * the shared document store ([`Database`]), holding the dataset registry
 //!   and the persistent CAP-result cache (Section 3.3: "data and CAPs are
 //!   stored in databases");
-//! * in-progress chunked uploads ([`UploadSession`]), reproducing the
-//!   10,000-line `data.csv` chunk protocol of Section 3.2;
-//! * the in-memory dataset table: once uploaded (or registered directly from
-//!   a generator), a dataset can be mined repeatedly "without re-uploading by
-//!   specifying the dataset name".
+//! * in-progress chunked uploads ([`UploadSession`]) and append sessions
+//!   ([`AppendSession`]), both speaking the 10,000-line `data.csv` chunk
+//!   protocol of Section 3.2 — an append session targets an *existing*
+//!   dataset and extends it in place instead of building a fresh one;
+//! * the in-memory dataset table with per-dataset **revision counters**:
+//!   once uploaded (or registered directly from a generator), a dataset can
+//!   be mined repeatedly "without re-uploading by specifying the dataset
+//!   name", and every append bumps the revision so cached results for
+//!   superseded content become unreachable by key.
 
-use miscela_cache::{CacheKey, CacheStats, EvolvingSetsCache, PersistentCache};
+use miscela_cache::{
+    CacheKey, CacheStats, EvolvingSetsCache, ExtractionCacheStats, PersistentCache,
+};
 use miscela_core::{Miner, MiningParams, MiningResult};
 use miscela_csv::chunk::{Chunk, ChunkedUploader};
 use miscela_csv::loader::DatasetLoader;
@@ -39,6 +45,39 @@ pub struct UploadSession {
     started: Instant,
 }
 
+/// An in-progress chunked append targeting an existing dataset. No
+/// `location.csv`/`attribute.csv` accompany an append — the sensors must
+/// already exist; only new `data.csv` rows stream in.
+#[derive(Debug)]
+pub struct AppendSession {
+    /// Dataset name being appended to.
+    pub dataset: String,
+    uploader: ChunkedUploader,
+    started: Instant,
+}
+
+/// A registered dataset together with its revision counter.
+#[derive(Debug, Clone)]
+struct DatasetEntry {
+    dataset: Arc<Dataset>,
+    revision: u64,
+}
+
+/// The outcome of one completed append session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Grid points the append added.
+    pub new_timestamps: usize,
+    /// Measurement rows applied.
+    pub measurements: usize,
+    /// Total grid points after the append.
+    pub timestamps: usize,
+    /// The dataset's revision after the append.
+    pub revision: u64,
+}
+
 /// Summary information about a registered dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSummary {
@@ -59,6 +98,8 @@ pub struct MineOutcome {
     pub result: MiningResult,
     /// Whether the CAPs came from the cache.
     pub cache_hit: bool,
+    /// The dataset revision the result corresponds to.
+    pub revision: u64,
     /// Wall-clock time spent serving the request.
     pub elapsed: Duration,
 }
@@ -68,8 +109,9 @@ pub struct MiscelaService {
     db: Arc<Database>,
     cache: PersistentCache,
     extraction: EvolvingSetsCache,
-    datasets: RwLock<HashMap<String, Arc<Dataset>>>,
+    datasets: RwLock<HashMap<String, DatasetEntry>>,
     uploads: Mutex<HashMap<String, UploadSession>>,
+    appends: Mutex<HashMap<String, AppendSession>>,
 }
 
 impl MiscelaService {
@@ -88,6 +130,7 @@ impl MiscelaService {
             db,
             datasets: RwLock::new(HashMap::new()),
             uploads: Mutex::new(HashMap::new()),
+            appends: Mutex::new(HashMap::new()),
         }
     }
 
@@ -101,9 +144,8 @@ impl MiscelaService {
         self.cache.stats()
     }
 
-    /// Extraction-cache statistics: `(hits, misses, entries)` of the
-    /// per-series evolving-sets cache.
-    pub fn extraction_cache_stats(&self) -> (usize, usize, usize) {
+    /// Extraction-cache statistics of the per-series evolving-sets cache.
+    pub fn extraction_cache_stats(&self) -> ExtractionCacheStats {
         self.extraction.stats()
     }
 
@@ -111,17 +153,27 @@ impl MiscelaService {
 
     /// Registers an already-built dataset (the path used by the synthetic
     /// generators and by completed uploads). Re-registering a name replaces
-    /// the dataset and invalidates its cached results.
+    /// the dataset, bumps its revision and invalidates its cached results.
     pub fn register_dataset(&self, dataset: Dataset) -> DatasetSummary {
         let stats = dataset.stats();
         let name = dataset.name().to_string();
         self.cache.invalidate_dataset(&name);
+        let revision = {
+            let mut registry = self.datasets.write();
+            let revision = registry.get(&name).map(|e| e.revision).unwrap_or(0) + 1;
+            registry.insert(
+                name.clone(),
+                DatasetEntry {
+                    dataset: Arc::new(dataset),
+                    revision,
+                },
+            );
+            revision
+        };
         self.db
             .delete_where(DATASETS_COLLECTION, &Filter::eq("name", name.as_str()));
-        self.db.insert(DATASETS_COLLECTION, dataset_record(&stats));
-        self.datasets
-            .write()
-            .insert(name.clone(), Arc::new(dataset));
+        self.db
+            .insert(DATASETS_COLLECTION, dataset_record(&stats, revision));
         DatasetSummary {
             name,
             sensors: stats.sensors,
@@ -132,6 +184,27 @@ impl MiscelaService {
 
     /// Fetches a registered dataset by name.
     pub fn dataset(&self, name: &str) -> Result<Arc<Dataset>, ApiError> {
+        self.entry(name).map(|e| e.dataset)
+    }
+
+    /// The current revision counter of a registered dataset. Revisions
+    /// start at 1 and bump on every re-registration and every completed
+    /// append; the mining cache keys results by them. Datasets whose
+    /// series are not resident (a reloaded store from a previous session)
+    /// resolve through their store record, so cached results stay
+    /// servable without a re-upload.
+    pub fn dataset_revision(&self, name: &str) -> Result<u64, ApiError> {
+        if let Some(e) = self.datasets.read().get(name) {
+            return Ok(e.revision);
+        }
+        self.db
+            .find_one(DATASETS_COLLECTION, &Filter::eq("name", name))
+            .and_then(|doc| doc.get("revision").and_then(|r| r.as_i64()))
+            .map(|r| r as u64)
+            .ok_or_else(|| ApiError::NotFound(format!("dataset {name:?} is not registered")))
+    }
+
+    fn entry(&self, name: &str) -> Result<DatasetEntry, ApiError> {
         self.datasets
             .read()
             .get(name)
@@ -242,6 +315,119 @@ impl MiscelaService {
         Ok((self.register_dataset(ds), elapsed))
     }
 
+    // ----- chunked append -----------------------------------------------
+
+    /// Starts an append session for an already-registered dataset: the
+    /// client then streams `data.csv` chunks of new rows through
+    /// [`MiscelaService::append_chunk`]. Unlike an upload, no
+    /// `location.csv`/`attribute.csv` are sent — the sensors must already
+    /// exist.
+    pub fn begin_append(&self, dataset: &str) -> Result<(), ApiError> {
+        // Fail fast when the target does not exist.
+        self.entry(dataset)?;
+        self.appends.lock().insert(
+            dataset.to_string(),
+            AppendSession {
+                dataset: dataset.to_string(),
+                uploader: ChunkedUploader::new(),
+                started: Instant::now(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Accepts one `data.csv` chunk for an append in progress — the same
+    /// chunk envelope and parsing as [`MiscelaService::upload_chunk`].
+    /// Returns the number of chunks still missing.
+    pub fn append_chunk(&self, dataset: &str, chunk: &Chunk) -> Result<usize, ApiError> {
+        let mut appends = self.appends.lock();
+        let session = appends
+            .get_mut(dataset)
+            .ok_or_else(|| ApiError::NotFound(format!("no append in progress for {dataset:?}")))?;
+        session
+            .uploader
+            .accept(chunk)
+            .map_err(|e| ApiError::BadRequest(format!("chunk {}: {e}", chunk.index)))?;
+        Ok(session.uploader.missing().len())
+    }
+
+    /// Completes an append: applies the assembled rows to the registered
+    /// dataset in place (grid and every series extended with missing-value
+    /// fill), bumps the dataset revision, and drops cached results of the
+    /// superseded revisions. Returns the summary and the session duration.
+    pub fn finish_append(&self, dataset: &str) -> Result<(AppendSummary, Duration), ApiError> {
+        let session =
+            self.appends.lock().remove(dataset).ok_or_else(|| {
+                ApiError::NotFound(format!("no append in progress for {dataset:?}"))
+            })?;
+        let elapsed = session.started.elapsed();
+        let rows = session
+            .uploader
+            .finish()
+            .map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        // Clone the Arc under a read lock and apply the append outside any
+        // lock — deep-cloning and extending a large dataset must not block
+        // concurrent mining/listing. The brief write lock at the end swaps
+        // the new dataset in, re-checking the revision so a concurrent
+        // re-registration (or racing append) is detected instead of
+        // silently overwritten.
+        let base = self.entry(dataset)?;
+        let mut ds = (*base.dataset).clone();
+        let append = DatasetLoader::append(&mut ds, &rows)
+            .map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        let stats = ds.stats();
+        let summary = {
+            let mut registry = self.datasets.write();
+            let entry = registry.get_mut(dataset).ok_or_else(|| {
+                ApiError::NotFound(format!("dataset {dataset:?} is not registered"))
+            })?;
+            if entry.revision != base.revision {
+                return Err(ApiError::BadRequest(format!(
+                    "dataset {dataset:?} changed while the append was being applied \
+                     (revision {} -> {}); retry the append",
+                    base.revision, entry.revision
+                )));
+            }
+            entry.revision += 1;
+            entry.dataset = Arc::new(ds);
+            AppendSummary {
+                name: dataset.to_string(),
+                new_timestamps: append.new_timestamps,
+                measurements: append.measurements,
+                timestamps: stats.timestamps,
+                revision: entry.revision,
+            }
+        };
+        // The revision bump already makes superseded results unreachable by
+        // key; dropping them too keeps the store collection from growing
+        // one generation per append.
+        self.cache.invalidate_dataset(dataset);
+        self.db
+            .delete_where(DATASETS_COLLECTION, &Filter::eq("name", dataset));
+        self.db.insert(
+            DATASETS_COLLECTION,
+            dataset_record(&stats, summary.revision),
+        );
+        Ok((summary, elapsed))
+    }
+
+    /// Convenience wrapper: appends a full `data.csv` document of new rows
+    /// by splitting it into paper-sized chunks and driving the append-chunk
+    /// protocol.
+    pub fn append_documents(
+        &self,
+        dataset: &str,
+        data_csv_text: &str,
+        chunk_lines: usize,
+    ) -> Result<AppendSummary, ApiError> {
+        self.begin_append(dataset)?;
+        for chunk in miscela_csv::split_into_chunks(data_csv_text, chunk_lines) {
+            self.append_chunk(dataset, &chunk)?;
+        }
+        let (summary, _) = self.finish_append(dataset)?;
+        Ok(summary)
+    }
+
     /// Convenience wrapper: uploads a full `data.csv` document by splitting
     /// it into paper-sized chunks and driving the chunk protocol.
     pub fn upload_documents(
@@ -263,13 +449,29 @@ impl MiscelaService {
     // ----- mining ---------------------------------------------------------
 
     /// Mines a registered dataset with the given parameters, consulting the
-    /// cache first (Section 3.3).
+    /// cache first (Section 3.3). The cache key carries the dataset's
+    /// current revision, so results mined before an append can never be
+    /// served for the appended content.
     pub fn mine(&self, dataset: &str, params: &MiningParams) -> Result<MineOutcome, ApiError> {
         let started = Instant::now();
         params
             .validate()
             .map_err(|e| ApiError::BadRequest(e.to_string()))?;
-        let key = CacheKey::new(dataset, params);
+        // One registry snapshot drives both the cache key and the content
+        // that is mined: deriving the revision and the dataset Arc from the
+        // same `DatasetEntry` means a concurrent append can never make this
+        // request cache one revision's CAPs under another revision's key
+        // (its bumped entry simply is not this snapshot). Datasets whose
+        // series are not resident (a reloaded store) have no entry but
+        // still resolve a revision through their store record, so their
+        // persisted results can be served from the cache without a
+        // re-upload.
+        let entry = self.entry(dataset).ok();
+        let revision = match &entry {
+            Some(e) => e.revision,
+            None => self.dataset_revision(dataset)?,
+        };
+        let key = CacheKey::for_revision(dataset, revision, params);
         if let Some(caps) = self.cache.get(&key) {
             let result = MiningResult {
                 caps,
@@ -279,21 +481,27 @@ impl MiscelaService {
             return Ok(MineOutcome {
                 result,
                 cache_hit: true,
+                revision,
                 elapsed: started.elapsed(),
             });
         }
-        let ds = self.dataset(dataset)?;
+        let entry = entry.ok_or_else(|| {
+            ApiError::NotFound(format!("dataset {dataset:?} is not resident; re-upload it"))
+        })?;
         let miner = Miner::new(params.clone()).map_err(|e| ApiError::BadRequest(e.to_string()))?;
         // The full-result cache missed, but the per-series extraction cache
         // still lets unchanged series skip steps (1)+(2) — the common case
-        // when only search-side parameters (ψ, η, μ) were tweaked.
+        // when only search-side parameters (ψ, η, μ) were tweaked — and
+        // appended series resume from their cached prefix states instead of
+        // re-extracting from scratch.
         let result = miner
-            .mine_with_cache(&ds, Some(&self.extraction))
+            .mine_with_cache(&entry.dataset, Some(&self.extraction))
             .map_err(|e| ApiError::Internal(e.to_string()))?;
         self.cache.put(&key, &result.caps);
         Ok(MineOutcome {
             result,
             cache_hit: false,
+            revision: entry.revision,
             elapsed: started.elapsed(),
         })
     }
@@ -310,9 +518,10 @@ impl Default for MiscelaService {
     }
 }
 
-fn dataset_record(stats: &DatasetStats) -> Json {
+fn dataset_record(stats: &DatasetStats, revision: u64) -> Json {
     let mut doc = Json::object();
     doc.set("name", Json::from(stats.name.as_str()));
+    doc.set("revision", Json::from(revision as i64));
     doc.set("sensors", Json::from(stats.sensors));
     doc.set("records", Json::from(stats.records));
     doc.set("timestamps", Json::from(stats.timestamps));
@@ -393,7 +602,11 @@ mod tests {
         let first = svc.mine("santander", &params).unwrap();
         assert_eq!(first.result.report.extraction_cache_hits, 0);
         let sensors = svc.dataset("santander").unwrap().sensor_count();
-        assert_eq!(svc.extraction_cache_stats(), (0, sensors, sensors));
+        let stats = svc.extraction_cache_stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.entries),
+            (0, sensors, sensors)
+        );
         // A ψ tweak misses the result cache but hits the extraction cache
         // for every series — steps (1)+(2) are skipped entirely.
         let tweaked = svc.mine("santander", &params.clone().with_psi(25)).unwrap();
@@ -474,6 +687,101 @@ mod tests {
         let chunks = miscela_csv::split_into_chunks(&writer.data_csv(&generated), 2_000);
         svc.upload_chunk("partial", &chunks[0]).unwrap();
         assert!(svc.finish_upload("partial").is_err());
+    }
+
+    #[test]
+    fn append_session_extends_dataset_and_bumps_revision() {
+        let full = small_dataset();
+        let writer = DatasetWriter::new();
+        let n = full.timestamp_count();
+        let split_t = full.grid().at(n - 24).unwrap();
+        let start = full.grid().start();
+        let end = full.grid().range().end;
+        let prefix = full.slice_time(start, split_t).unwrap();
+        let tail = full.slice_time(split_t, end).unwrap();
+
+        // Register the prefix through the real upload path, then stream the
+        // tail through the append-chunk protocol.
+        let svc = MiscelaService::new();
+        svc.upload_documents(
+            "santander",
+            &writer.data_csv(&prefix),
+            &writer.location_csv(&prefix),
+            &writer.attribute_csv(&prefix),
+            5_000,
+        )
+        .unwrap();
+        assert_eq!(svc.dataset_revision("santander").unwrap(), 1);
+        let params = quick_params();
+        let before = svc.mine("santander", &params).unwrap();
+        assert_eq!(before.revision, 1);
+        assert!(svc.mine("santander", &params).unwrap().cache_hit);
+
+        svc.begin_append("santander").unwrap();
+        let chunks = miscela_csv::split_into_chunks(&writer.data_csv(&tail), 100);
+        assert!(chunks.len() > 1);
+        for (i, chunk) in chunks.iter().enumerate() {
+            let missing = svc.append_chunk("santander", chunk).unwrap();
+            assert_eq!(missing, chunks.len() - i - 1);
+        }
+        let (summary, _elapsed) = svc.finish_append("santander").unwrap();
+        assert_eq!(summary.new_timestamps, 24);
+        assert_eq!(summary.timestamps, n);
+        assert_eq!(summary.revision, 2);
+        assert_eq!(svc.dataset_revision("santander").unwrap(), 2);
+
+        // The revision bump makes the pre-append cached result unreachable,
+        // and the re-mine resumes extraction from cached prefix states.
+        let after = svc.mine("santander", &params).unwrap();
+        assert!(!after.cache_hit);
+        assert_eq!(after.revision, 2);
+        let report = &after.result.report;
+        assert_eq!(
+            report.extraction_cache_hits + report.extraction_prefix_hits,
+            svc.dataset("santander").unwrap().sensor_count()
+        );
+        assert!(report.extraction_prefix_hits > 0);
+        assert!(svc.extraction_cache_stats().prefix_hits > 0);
+        // Equivalence: identical CAPs to a cold mine of the full upload.
+        let cold = MiscelaService::new();
+        cold.upload_documents(
+            "santander",
+            &writer.data_csv(&full),
+            &writer.location_csv(&full),
+            &writer.attribute_csv(&full),
+            5_000,
+        )
+        .unwrap();
+        assert_eq!(
+            after.result.caps,
+            cold.mine("santander", &params).unwrap().result.caps
+        );
+        // The appended revision is itself cached now.
+        assert!(svc.mine("santander", &params).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn append_error_paths() {
+        let svc = MiscelaService::new();
+        // Appending to an unregistered dataset fails at begin.
+        assert!(svc.begin_append("ghost").is_err());
+        svc.register_dataset(small_dataset());
+        // Chunk/finish without a session in progress.
+        let chunk = miscela_csv::split_into_chunks("id,attribute,time,data\n", 10).pop();
+        assert!(chunk.is_none() || svc.append_chunk("santander", &chunk.unwrap()).is_err());
+        assert!(svc.finish_append("santander").is_err());
+        // Rows inside the existing grid are rejected at finish and leave
+        // the dataset untouched.
+        let writer = DatasetWriter::new();
+        let ds = svc.dataset("santander").unwrap();
+        let n = ds.timestamp_count();
+        let stale_csv = writer.data_csv(&ds);
+        drop(ds);
+        assert!(svc
+            .append_documents("santander", &stale_csv, 10_000)
+            .is_err());
+        assert_eq!(svc.dataset("santander").unwrap().timestamp_count(), n);
+        assert_eq!(svc.dataset_revision("santander").unwrap(), 1);
     }
 
     #[test]

@@ -52,3 +52,4 @@ pub use document::{Document, DocumentId};
 pub use error::StoreError;
 pub use filter::Filter;
 pub use json::Json;
+pub use persist::{load_with_report, LoadReport};

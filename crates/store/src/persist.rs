@@ -65,12 +65,43 @@ pub fn save(db: &Database, dir: &Path) -> Result<(), StoreError> {
     Ok(())
 }
 
-/// Loads a database previously written by [`save`].
+/// What [`load_with_report`] recovered from, beyond a clean snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Documents dropped because a collection file ended in a truncated
+    /// (unparseable) final line — the signature of a crash mid-write.
+    pub dropped_documents: usize,
+}
+
+/// Loads a database previously written by [`save`], refusing any data loss:
+/// a snapshot whose JSON-lines tail was truncated by a crash is reported as
+/// [`StoreError::Corrupt`] rather than silently shortened. Use
+/// [`load_with_report`] to recover from a truncated tail and learn how many
+/// documents were dropped.
 pub fn load(dir: &Path) -> Result<Database, StoreError> {
+    let (db, report) = load_with_report(dir)?;
+    if report.dropped_documents > 0 {
+        return Err(StoreError::Corrupt(format!(
+            "snapshot has a truncated JSON-lines tail ({} document(s) would be dropped); \
+             recover explicitly with load_with_report",
+            report.dropped_documents
+        )));
+    }
+    Ok(db)
+}
+
+/// Loads a database previously written by [`save`], recovering from a
+/// partial write: a final collection-file line that fails to parse (the
+/// typical result of a crash mid-append to the file) is dropped and counted
+/// in the returned [`LoadReport`] instead of failing the whole load. A
+/// malformed line that is *not* the last one is still a hard
+/// [`StoreError::Corrupt`] — that shape is corruption, not truncation.
+pub fn load_with_report(dir: &Path) -> Result<(Database, LoadReport), StoreError> {
     let manifest_path = dir.join(MANIFEST_FILE);
     let manifest_text = fs::read_to_string(&manifest_path)?;
     let manifest = Json::parse(&manifest_text)?;
     let db = Database::new();
+    let mut report = LoadReport::default();
     let collections = manifest
         .get("collections")
         .and_then(|c| c.as_array())
@@ -93,18 +124,29 @@ pub fn load(dir: &Path) -> Result<Database, StoreError> {
             continue;
         }
         let content = fs::read_to_string(&path)?;
+        let lines: Vec<&str> = content
+            .lines()
+            .filter(|line| !line.trim().is_empty())
+            .collect();
         db.with_collection_mut(name, |col| -> Result<(), StoreError> {
-            for line in content.lines() {
-                if line.trim().is_empty() {
-                    continue;
+            for (i, line) in lines.iter().enumerate() {
+                match Document::from_line(line) {
+                    Ok(doc) => {
+                        col.insert_with_id(doc);
+                    }
+                    Err(e) if i + 1 == lines.len() => {
+                        // Truncated tail: the previous documents are intact;
+                        // drop the torn line and report it.
+                        let _ = e;
+                        report.dropped_documents += 1;
+                    }
+                    Err(e) => return Err(e),
                 }
-                let doc = Document::from_line(line)?;
-                col.insert_with_id(doc);
             }
             Ok(())
         })?;
     }
-    Ok(db)
+    Ok((db, report))
 }
 
 /// Whether a directory contains a snapshot (i.e. a manifest).
@@ -221,6 +263,67 @@ mod tests {
         assert!(matches!(load(&dir), Err(StoreError::Json(_))));
         fs::write(dir.join(MANIFEST_FILE), r#"{"version":1}"#).unwrap();
         assert!(matches!(load(&dir), Err(StoreError::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_recovers_with_report() {
+        // Simulate a crash mid-write: the last JSON line of a collection
+        // file is cut off halfway through a document.
+        let dir = temp_dir("truncated");
+        let db = populated_db();
+        save(&db, &dir).unwrap();
+        let caps_path = dir.join("caps.jsonl");
+        let content = fs::read_to_string(&caps_path).unwrap();
+        let intact_lines = content.lines().count();
+        let cut = content.len() - 17;
+        fs::write(&caps_path, &content[..cut]).unwrap();
+
+        // The strict loader refuses rather than silently dropping data…
+        let err = load(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("truncated"));
+
+        // …and the recovering loader drops exactly the torn document and
+        // says so.
+        let (recovered, report) = load_with_report(&dir).unwrap();
+        assert_eq!(report.dropped_documents, 1);
+        assert_eq!(
+            recovered.count("caps", &Filter::All),
+            intact_lines - 1,
+            "all intact documents must survive"
+        );
+        // The untouched collection is unaffected.
+        assert_eq!(recovered.count("datasets", &Filter::All), 1);
+        // Inserting after recovery keeps ids monotone.
+        let new_id = recovered.insert("caps", Json::object());
+        assert!(new_id.0 >= intact_lines as u64 - 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_still_an_error() {
+        let dir = temp_dir("midfile");
+        let db = populated_db();
+        save(&db, &dir).unwrap();
+        let caps_path = dir.join("caps.jsonl");
+        let content = fs::read_to_string(&caps_path).unwrap();
+        let mut lines: Vec<&str> = content.lines().collect();
+        lines[3] = "{torn in the middle";
+        fs::write(&caps_path, lines.join("\n")).unwrap();
+        // A torn line with intact lines after it is corruption, not a
+        // partial write — both loaders must refuse.
+        assert!(matches!(load(&dir), Err(StoreError::Json(_))));
+        assert!(matches!(load_with_report(&dir), Err(StoreError::Json(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clean_snapshot_reports_nothing_dropped() {
+        let dir = temp_dir("clean-report");
+        save(&populated_db(), &dir).unwrap();
+        let (_db, report) = load_with_report(&dir).unwrap();
+        assert_eq!(report, LoadReport::default());
         fs::remove_dir_all(&dir).unwrap();
     }
 

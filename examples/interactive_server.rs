@@ -1,6 +1,9 @@
 //! Drive the system through its API layer exactly as the web front end
 //! would: chunked upload of the three CSV files, parameter input, CAP
-//! results as JSON, and cache-accelerated re-querying (Figure 2's loop).
+//! results as JSON, cache-accelerated re-querying (Figure 2's loop) — and
+//! the live-feed loop on top: append a chunk of new readings and re-mine
+//! incrementally, with the cache hit/reuse counters printed so the
+//! incremental win is visible from the output alone.
 //!
 //! Run with: `cargo run --example interactive_server`
 
@@ -14,16 +17,26 @@ fn main() {
     let system = MiscelaV::new();
     let router: &Router = system.router();
 
-    // Export a generated dataset to the paper's three-file upload format.
+    // Export a generated dataset to the paper's three-file upload format,
+    // holding back the final day of readings to play the live feed later.
     let generated = SantanderGenerator::small().with_scale(0.02).generate();
+    let n = generated.timestamp_count();
+    let split_t = generated.grid().at(n - 24).unwrap();
+    let history = generated
+        .slice_time(generated.grid().start(), split_t)
+        .unwrap();
+    let live_tail = generated
+        .slice_time(split_t, generated.grid().range().end)
+        .unwrap();
     let writer = DatasetWriter::new();
-    let data_csv = writer.data_csv(&generated);
-    let location_csv = writer.location_csv(&generated);
-    let attribute_csv = writer.attribute_csv(&generated);
+    let data_csv = writer.data_csv(&history);
+    let location_csv = writer.location_csv(&history);
+    let attribute_csv = writer.attribute_csv(&history);
     println!(
-        "upload payload: data.csv {} lines, location.csv {} lines",
+        "upload payload: data.csv {} lines, location.csv {} lines ({} timestamps held back as the live feed)",
         data_csv.lines().count(),
-        location_csv.lines().count()
+        location_csv.lines().count(),
+        live_tail.timestamp_count(),
     );
 
     // 1. Begin the upload (location.csv + attribute.csv up front).
@@ -76,6 +89,38 @@ fn main() {
         ("psi", Json::from(20i64)),
         ("segmentation", Json::from(false)),
     ]);
+    let print_mine = |label: &str, resp: &miscela_v::miscela_server::ApiResponse| {
+        println!(
+            "POST mine ({label}) -> {}: {} CAPs, revision={}, cache_hit={}, \
+             extraction hits={} prefix_resumes={}, {:.1} ms",
+            resp.status,
+            resp.body
+                .get("cap_count")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0),
+            resp.body
+                .get("revision")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0),
+            resp.body
+                .get("cache_hit")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
+            resp.body
+                .get("extraction_cache_hits")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0),
+            resp.body
+                .get("extraction_prefix_hits")
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0),
+            resp.body
+                .get("elapsed_seconds")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+                * 1000.0
+        );
+    };
     for (label, body) in [
         ("first request", mine_body.clone()),
         ("same parameters again", mine_body.clone()),
@@ -86,30 +131,58 @@ fn main() {
         }),
     ] {
         let resp = router.handle(&ApiRequest::post("/datasets/santander-upload/mine", body));
-        println!(
-            "POST mine ({label}) -> {}: {} CAPs, cache_hit={}, {:.1} ms",
-            resp.status,
-            resp.body
-                .get("cap_count")
-                .and_then(|v| v.as_i64())
-                .unwrap_or(0),
-            resp.body
-                .get("cache_hit")
-                .and_then(|v| v.as_bool())
-                .unwrap_or(false),
-            resp.body
-                .get("elapsed_seconds")
-                .and_then(|v| v.as_f64())
-                .unwrap_or(0.0)
-                * 1000.0
-        );
+        print_mine(label, &resp);
     }
 
-    // 5. Inspect the cache statistics endpoint.
+    // 5. The live loop: a day of new readings arrives. Stream it through
+    //    the append-chunk protocol — no re-upload, no rebuild.
+    let resp = router.handle(&ApiRequest::post(
+        "/datasets/santander-upload/append/begin",
+        Json::object(),
+    ));
+    println!("POST append/begin -> {}", resp.status);
+    for chunk in split_into_chunks(&writer.data_csv(&live_tail), 2_000) {
+        let resp = router.handle(&ApiRequest::post(
+            "/datasets/santander-upload/append/chunk",
+            Json::from_pairs([
+                ("index", Json::from(chunk.index)),
+                ("total", Json::from(chunk.total)),
+                ("content", Json::from(chunk.content.clone())),
+            ]),
+        ));
+        println!(
+            "POST append/chunk {}/{} -> {}",
+            chunk.index + 1,
+            chunk.total,
+            resp.status
+        );
+    }
+    let resp = router.handle(&ApiRequest::post(
+        "/datasets/santander-upload/append/finish",
+        Json::object(),
+    ));
+    println!("POST append/finish -> {}: {}", resp.status, resp.body);
+
+    // 6. Re-mine: the revision moved, so this is a true re-mine — but the
+    //    extraction cache resumes every unchanged series from its prefix
+    //    state, so only the appended tail is re-extracted.
+    let resp = router.handle(&ApiRequest::post(
+        "/datasets/santander-upload/mine",
+        mine_body.clone(),
+    ));
+    print_mine("after append (incremental)", &resp);
+    let resp = router.handle(&ApiRequest::post(
+        "/datasets/santander-upload/mine",
+        mine_body,
+    ));
+    print_mine("after append, repeated", &resp);
+
+    // 7. Inspect the cache statistics endpoint (now including the
+    //    extraction tier with its prefix-resume counters).
     let resp = router.handle(&ApiRequest::get("/cache/stats"));
     println!("GET cache/stats -> {}", resp.body);
 
-    // 6. List registered datasets.
+    // 8. List registered datasets.
     let resp = router.handle(&ApiRequest::get("/datasets"));
     println!("GET datasets -> {}", resp.body);
 }

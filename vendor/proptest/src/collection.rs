@@ -19,12 +19,41 @@ pub struct VecStrategy<S> {
     size: Range<usize>,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
         let len = rng.gen_range(self.size.clone());
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    /// Truncation first (to the minimum length, to half, drop one), then
+    /// one element-shrink candidate per position — enough for the greedy
+    /// shrink loop to reach a short vector of small elements.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let min = self.size.start;
+        let len = value.len();
+        if len > min {
+            let mut lens = vec![min, min + (len - min) / 2, len - 1];
+            lens.dedup();
+            for l in lens {
+                if l < len {
+                    out.push(value[..l].to_vec());
+                }
+            }
+        }
+        for (i, v) in value.iter().enumerate() {
+            if let Some(candidate) = self.element.shrink(v).into_iter().next() {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 
@@ -77,6 +106,23 @@ mod tests {
             assert!((2..7).contains(&v.len()));
             assert!(v.iter().all(|x| (5..10).contains(x)));
         }
+    }
+
+    #[test]
+    fn vec_shrinks_by_truncation_and_element() {
+        let s = vec(2usize..50, 1..10);
+        let value = vec![30usize, 40, 45];
+        let candidates = s.shrink(&value);
+        // Truncations respect the minimum length and come first.
+        assert_eq!(candidates[0], vec![30]);
+        assert_eq!(candidates[1], vec![30, 40]);
+        assert!(candidates
+            .iter()
+            .all(|c| !c.is_empty() && (c.len() < 3 || c != &value)));
+        // Element shrinks keep the length.
+        assert!(candidates.iter().any(|c| c.len() == 3 && c[0] == 2));
+        // A minimal vector has no candidates.
+        assert!(s.shrink(&vec![2]).is_empty());
     }
 
     #[test]

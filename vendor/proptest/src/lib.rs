@@ -12,10 +12,14 @@
 //!
 //! Semantics differ from real proptest in two deliberate ways: inputs are
 //! drawn from a deterministic per-test RNG (seeded from the test name, so
-//! failures reproduce across runs), and there is **no shrinking** — a
-//! failing case panics with the generated inputs left to the assertion
-//! message. For the regression-style invariants this workspace checks, that
-//! trade-off keeps the shim small while preserving the tests' power.
+//! failures reproduce across runs), and shrinking is **minimal** rather
+//! than tree-based — on failure, integers and floats halve toward their
+//! range's lower bound and vectors truncate and shrink elements, greedily,
+//! one argument at a time (see `test_runner::check_case`); combinators
+//! without an obvious inverse (`prop_map`, unions, maps, strings) do not
+//! shrink. The minimized input is printed and the case re-run un-caught,
+//! so the test fails with a readable assertion on a small input instead of
+//! a generated-size one.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -96,9 +100,14 @@ macro_rules! __proptest_fns {
         fn $name() {
             let config = $config;
             let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+            let strategies = ($($strategy,)+);
             for _case in 0..config.cases {
-                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
-                $body
+                let values =
+                    $crate::strategy::TupleStrategy::generate_tuple(&strategies, &mut rng);
+                $crate::test_runner::check_case(&strategies, values, &|values| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(values);
+                    $body
+                });
             }
         }
     )*};

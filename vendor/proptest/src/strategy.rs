@@ -8,14 +8,25 @@ use rand::Rng;
 
 /// A recipe for generating values of type [`Strategy::Value`].
 ///
-/// Unlike real proptest there is no value tree and no shrinking: a strategy
-/// simply draws a fresh value from the RNG on every call.
+/// Unlike real proptest there is no value tree: a strategy draws a fresh
+/// value from the RNG on every call. Minimal shrinking is supported through
+/// [`Strategy::shrink`] — numeric ranges halve toward their lower bound and
+/// vectors truncate and shrink elements; combinators without an obvious
+/// inverse (`prop_map`, unions) do not shrink.
 pub trait Strategy {
     /// The type of value this strategy produces.
     type Value;
 
     /// Draw one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Propose strictly-simpler variants of a failing value, most
+    /// aggressive first. The default proposes nothing (no shrinking).
+    /// Every candidate must itself be a value this strategy could have
+    /// generated.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transform every generated value with `map_fn`.
     fn prop_map<O, F>(self, map_fn: F) -> Map<Self, F>
@@ -80,6 +91,10 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn generate(&self, rng: &mut StdRng) -> T {
         self.0.generate(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink(value)
+    }
 }
 
 /// Strategy returning a clone of a fixed value; mirrors
@@ -135,13 +150,51 @@ impl<T> Strategy for Union<T> {
     }
 }
 
+/// Shrink candidates for an integer drawn from a range starting at `lo`:
+/// jump to the minimum, halve the distance, step down by one.
+fn shrink_int<T>(lo: T, value: T) -> Vec<T>
+where
+    T: Copy + PartialOrd + std::ops::Sub<Output = T> + std::ops::Add<Output = T> + IntHalf,
+{
+    let mut out = Vec::new();
+    if value > lo {
+        out.push(lo);
+        let half = lo + (value - lo).half();
+        if half > lo && half < value {
+            out.push(half);
+        }
+        let dec = value - T::one();
+        if dec > lo && dec != half {
+            out.push(dec);
+        }
+    }
+    out
+}
+
+/// Helper for [`shrink_int`]: halving and the unit, per integer type.
+trait IntHalf {
+    /// Self divided by two.
+    fn half(self) -> Self;
+    /// The value 1.
+    fn one() -> Self;
+}
+
 macro_rules! numeric_range_strategy {
     ($($t:ty),*) => {$(
+        impl IntHalf for $t {
+            fn half(self) -> Self { self / 2 }
+            fn one() -> Self { 1 }
+        }
+
         impl Strategy for Range<$t> {
             type Value = $t;
 
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(self.start, *value)
             }
         }
 
@@ -150,6 +203,10 @@ macro_rules! numeric_range_strategy {
 
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*self.start(), *value)
             }
         }
     )*};
@@ -165,11 +222,78 @@ macro_rules! float_range_strategy {
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            /// Halve toward the range's lower bound: jump to `lo`, then to
+            /// the midpoint. Candidates stay inside `[lo, value)`.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let mut out = Vec::new();
+                if *value > lo {
+                    out.push(lo);
+                    let half = lo + (*value - lo) / 2.0;
+                    if half > lo && half < *value {
+                        out.push(half);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
 
 float_range_strategy!(f64, f32);
+
+/// The strategy tuple behind one `proptest!` property: generates the whole
+/// argument tuple at once and shrinks it one component at a time (the
+/// other components held fixed), which is what makes failing cases
+/// minimizable without cross-argument search.
+pub trait TupleStrategy {
+    /// The tuple of argument values.
+    type Value: Clone;
+
+    /// Draw one argument tuple.
+    fn generate_tuple(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Propose simpler argument tuples, varying one component per
+    /// candidate.
+    fn shrink_tuple(&self, value: &Self::Value) -> Vec<Self::Value>;
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> TupleStrategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+
+            fn generate_tuple(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink_tuple(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
 
 impl Strategy for &'static str {
     type Value = String;
@@ -211,8 +335,39 @@ mod tests {
     }
 
     #[test]
+    fn int_and_float_ranges_shrink_toward_lower_bound() {
+        let s = 3usize..100;
+        assert_eq!(s.shrink(&3), Vec::<usize>::new());
+        let candidates = s.shrink(&40);
+        assert_eq!(candidates, vec![3, 21, 39]);
+        assert!(candidates.iter().all(|&c| (3..40).contains(&c)));
+        let s = -5i64..=5;
+        assert_eq!(s.shrink(&-5), Vec::<i64>::new());
+        assert_eq!(s.shrink(&5), vec![-5, 0, 4]);
+
+        let f = 1.0f64..9.0;
+        let candidates = f.shrink(&5.0);
+        assert_eq!(candidates, vec![1.0, 3.0]);
+        assert!(f.shrink(&1.0).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let strategies = (0usize..10, 0i64..10);
+        let candidates = strategies.shrink_tuple(&(4, 6));
+        assert!(!candidates.is_empty());
+        for (a, b) in &candidates {
+            let first_changed = *a != 4;
+            let second_changed = *b != 6;
+            assert!(first_changed ^ second_changed, "({a}, {b})");
+        }
+        // The fully-minimal tuple has no candidates.
+        assert!(strategies.shrink_tuple(&(0, 0)).is_empty());
+    }
+
+    #[test]
     fn recursive_reaches_multiple_depths() {
-        #[derive(Debug)]
+        #[derive(Debug, Clone)]
         enum Tree {
             Leaf,
             Node(Vec<Tree>),

@@ -24,6 +24,105 @@ impl Default for ProptestConfig {
     }
 }
 
+/// The panic hook saved by the first active shrink loop, with a count of
+/// how many loops are active. `cargo test` runs tests on multiple threads,
+/// so swapping the process-global hook must be refcounted: a naive
+/// take/set/restore pair racing across two concurrently-shrinking
+/// properties could "restore" the silencer itself and leave every later
+/// panic in the binary unreported.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+static HOOK_SILENCER: std::sync::Mutex<(usize, Option<PanicHook>)> =
+    std::sync::Mutex::new((0, None));
+
+/// RAII guard silencing the default panic hook; the saved hook comes back
+/// when the last concurrent guard drops.
+struct SilencedPanics;
+
+impl SilencedPanics {
+    fn enter() -> Self {
+        let mut state = HOOK_SILENCER.lock().unwrap();
+        if state.0 == 0 {
+            state.1 = Some(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        state.0 += 1;
+        SilencedPanics
+    }
+}
+
+impl Drop for SilencedPanics {
+    fn drop(&mut self) {
+        let mut state = HOOK_SILENCER.lock().unwrap();
+        state.0 -= 1;
+        if state.0 == 0 {
+            if let Some(hook) = state.1.take() {
+                std::panic::set_hook(hook);
+            }
+        }
+    }
+}
+
+/// Runs one generated case, shrinking on failure.
+///
+/// If `run` panics, the input tuple is greedily minimized: candidates from
+/// [`crate::strategy::TupleStrategy::shrink_tuple`] are tried in order and
+/// the first one that still fails becomes the new input, until no candidate
+/// fails or the step budget runs out. The minimal input is printed and the case is
+/// re-run un-caught so the test fails with the original assertion message.
+/// The default panic hook is silenced while probing candidates, so a
+/// failing property reports one clean panic instead of dozens.
+pub fn check_case<S, F>(strategies: &S, mut values: S::Value, run: &F)
+where
+    S: crate::strategy::TupleStrategy,
+    S::Value: std::fmt::Debug,
+    F: Fn(&S::Value),
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    if catch_unwind(AssertUnwindSafe(|| run(&values))).is_ok() {
+        return;
+    }
+    let mut steps = 0usize;
+    {
+        let _silenced = SilencedPanics::enter();
+        let mut budget = 512usize;
+        loop {
+            let mut advanced = false;
+            for candidate in strategies.shrink_tuple(&values) {
+                if budget == 0 {
+                    break;
+                }
+                budget -= 1;
+                if catch_unwind(AssertUnwindSafe(|| run(&candidate))).is_err() {
+                    values = candidate;
+                    steps += 1;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced || budget == 0 {
+                break;
+            }
+        }
+    }
+    eprintln!("proptest shim: minimal failing input after {steps} shrink steps: {values:?}");
+    // Re-run the minimal case caught and print its message ourselves: the
+    // global hook may still be silenced by *another* property shrinking
+    // concurrently, and `resume_unwind` never consults the hook, so the
+    // assertion text is reported identically either way.
+    match catch_unwind(AssertUnwindSafe(|| run(&values))) {
+        Ok(()) => unreachable!("minimized input no longer fails"),
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("(non-string panic payload)");
+            eprintln!("proptest shim: minimal failing case panicked: {message}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
 /// Build the RNG for one property test, seeded from the test's name so each
 /// test draws a distinct but run-to-run reproducible input stream.
 pub fn rng_for_test(name: &str) -> StdRng {
@@ -39,7 +138,47 @@ pub fn rng_for_test(name: &str) -> StdRng {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::TupleStrategy;
     use rand::Rng;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex;
+
+    #[test]
+    fn check_case_minimizes_failing_input() {
+        // Property: "vectors shorter than 4 with elements below 90". The
+        // shrinker must reduce any failing case to the minimal one: either
+        // a length-4 vector of all-zero elements, or a shorter vector whose
+        // only offending element collapsed to 90.
+        let strategies = (crate::collection::vec(0usize..100, 0..20),);
+        let last_seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let run = |values: &(Vec<usize>,)| {
+            *last_seen.lock().unwrap() = values.0.clone();
+            assert!(values.0.len() < 4, "too long");
+        };
+        let mut rng = rng_for_test("check_case_minimizes_failing_input");
+        let mut values = strategies.generate_tuple(&mut rng);
+        while values.0.len() < 4 {
+            values = strategies.generate_tuple(&mut rng);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            check_case(&strategies, values, &run);
+        }));
+        assert!(outcome.is_err(), "failing case must still fail");
+        // The final (re-run) input is the minimal one: exactly the length
+        // bound, with every element shrunk to the range minimum.
+        assert_eq!(*last_seen.lock().unwrap(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn check_case_passes_without_shrinking() {
+        let strategies = (0usize..10,);
+        let calls = Mutex::new(0usize);
+        let run = |_: &(usize,)| {
+            *calls.lock().unwrap() += 1;
+        };
+        check_case(&strategies, (5,), &run);
+        assert_eq!(*calls.lock().unwrap(), 1);
+    }
 
     #[test]
     fn rng_is_deterministic_per_name() {
