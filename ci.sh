@@ -28,12 +28,13 @@ MISCELA_BENCH_SMOKE=1 cargo bench -p miscela-bench --bench search_scaling
 MISCELA_BENCH_SMOKE=1 cargo bench -p miscela-bench --bench extraction_scaling
 MISCELA_BENCH_SMOKE=1 cargo bench -p miscela-bench --bench streaming_append
 
-step "bench_snapshot smoke (schema-2 JSON emitted)"
+step "bench_snapshot smoke (schema-3 JSON emitted)"
 snapshot_out="$(mktemp)"
 MISCELA_BENCH_SMOKE=1 cargo run --release -q -p miscela-bench --bin bench_snapshot -- --out "$snapshot_out" >/dev/null
-grep -q '"schema": 2' "$snapshot_out" || { echo "bench_snapshot did not emit schema-2 JSON" >&2; rm -f "$snapshot_out"; exit 1; }
+grep -q '"schema": 3' "$snapshot_out" || { echo "bench_snapshot did not emit schema-3 JSON" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"extraction_ns"' "$snapshot_out" || { echo "bench_snapshot is missing extraction_ns" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"append_remine_ns"' "$snapshot_out" || { echo "bench_snapshot is missing append_remine_ns" >&2; rm -f "$snapshot_out"; exit 1; }
+grep -q '"append_retained_ns"' "$snapshot_out" || { echo "bench_snapshot is missing append_retained_ns" >&2; rm -f "$snapshot_out"; exit 1; }
 rm -f "$snapshot_out"
 
 printf '\nCI gate passed.\n'

@@ -13,13 +13,28 @@
 //! frozen behind [`ReadOnlyExtractionCache`], so every iteration faces the
 //! cache a live server faces on a fresh append: full-content miss,
 //! prefix-state hit.
+//!
+//! The `append_remine_retained` / `append_remine_window` rows add the
+//! sliding-window story: the same small append measured on a dataset that
+//! has streamed 10× its window of history behind a `RetentionPolicy`
+//! (structurally shared blocks, block-granular trims) versus a cold-built
+//! dataset holding only the window. Their medians match — append+re-mine
+//! cost is O(tail), independent of total history length.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use miscela_bench::{china6, china_params, split_for_append, ReadOnlyExtractionCache};
+use miscela_bench::{
+    china6, china_params, periodic_append_rows, retained_history, split_for_append,
+    ReadOnlyExtractionCache,
+};
 use miscela_cache::EvolvingSetsCache;
 use miscela_core::Miner;
-use miscela_model::{Dataset, DatasetBuilder};
+use miscela_model::{Dataset, DatasetBuilder, RetentionPolicy};
 use std::time::Duration;
+
+/// How many copies of the waveform the retained-window variant streams
+/// through the bounded dataset before measuring (i.e. the long-history
+/// dataset has seen 10× the retained window).
+const HISTORY_COPIES: usize = 10;
 
 /// Rebuilds the dataset from its parts, as a batch re-upload must before
 /// every re-mine (measured without the CSV parse, so the comparison is
@@ -82,6 +97,47 @@ fn bench(c: &mut Criterion) {
                 });
             },
         );
+    }
+
+    // Retained-window variant: the same append lands on (a) a dataset that
+    // has streamed 10× its window of history behind a sliding retention
+    // policy, and (b) a cold-built dataset holding only that window.
+    // Structural sharing + block-granular trims make the two
+    // indistinguishable in cost — append+re-mine is O(tail), independent
+    // of how much history the dataset has ever seen.
+    let window = full.timestamp_count();
+    let long = retained_history(&full, HISTORY_COPIES, window);
+    let mut short = long
+        .slice_time(long.grid().start(), long.grid().range().end)
+        .expect("window twin");
+    short.set_retention(RetentionPolicy::unbounded());
+    assert_eq!(short.timestamp_count(), long.timestamp_count());
+    for &tail in &[8usize, 32] {
+        // One row batch generated from the long dataset's feed position and
+        // appended to both arms: `short` holds the identical window content
+        // on the identical grid, so the comparison is apples-to-apples.
+        let rows = periodic_append_rows(&full, &long, tail);
+        for (label, ds) in [
+            ("append_remine_retained", &long),
+            ("append_remine_window", &short),
+        ] {
+            let cache = EvolvingSetsCache::new();
+            miner
+                .mine_with_cache(ds, Some(&cache))
+                .expect("warm window mine");
+            let frozen = ReadOnlyExtractionCache(&cache);
+            group.bench_with_input(BenchmarkId::new(label, tail), &rows, |b, rows| {
+                b.iter(|| {
+                    let mut appended = ds.clone();
+                    appended.append_rows(rows).expect("append");
+                    miner
+                        .mine_with_cache(&appended, Some(&frozen))
+                        .expect("incremental mine")
+                        .caps
+                        .len()
+                });
+            });
+        }
     }
     group.finish();
 }

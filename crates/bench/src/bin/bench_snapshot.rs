@@ -20,17 +20,30 @@
 //! a small batch ([`APPEND_TAIL`] timestamps) to the scale's dataset and
 //! re-mining it with the extraction cache warmed with the prefix states —
 //! the streaming-append path the `streaming_append` bench studies in depth.
+//!
+//! Schema 3 adds the retained-window pair: `append_retained_ns` measures
+//! the same small append on a dataset that has streamed
+//! [`HISTORY_COPIES`]× its window of history behind a sliding
+//! `RetentionPolicy` (structurally shared blocks, block-granular trims),
+//! and `append_window_ns` on a cold-built dataset holding only that
+//! window. The two medians matching is the O(tail) claim: append+re-mine
+//! cost does not depend on how much history the dataset has ever seen.
 
 use miscela_bench::{
-    china6, santander_bench, santander_params, split_for_append, ReadOnlyExtractionCache,
+    china6, periodic_append_rows, retained_history, santander_bench, santander_params,
+    split_for_append, ReadOnlyExtractionCache,
 };
 use miscela_cache::EvolvingSetsCache;
 use miscela_core::{Miner, MiningParams, MiningReport};
-use miscela_model::Dataset;
+use miscela_model::{AppendRow, Dataset, RetentionPolicy};
 use miscela_store::Json;
 
 /// How many trailing timestamps the `append_remine_ns` measurement appends.
 const APPEND_TAIL: usize = 8;
+
+/// How many copies of the waveform the retained-window measurements stream
+/// through the bounded dataset before timing.
+const HISTORY_COPIES: usize = 10;
 
 /// Median of a sample vector (ns). The vector is sorted in place.
 fn median_ns(samples: &mut [u128]) -> u128 {
@@ -68,22 +81,22 @@ fn snapshot_scale(name: &str, dataset: &Dataset, params: &MiningParams, repeats:
     // cache is frozen behind a read-only view so every repeat faces a
     // fresh-append cache shape (full-content miss, prefix-state hit).
     let (prefix, rows) = split_for_append(dataset, APPEND_TAIL);
-    let cache = EvolvingSetsCache::new();
-    miner
-        .mine_with_cache(&prefix, Some(&cache))
-        .expect("prefix warm mine failed");
-    let frozen = ReadOnlyExtractionCache(&cache);
-    let mut append_remine: Vec<u128> = Vec::with_capacity(repeats);
-    for _ in 0..repeats {
-        let mut appended = prefix.clone();
-        let t = std::time::Instant::now();
-        appended.append_rows(&rows).expect("snapshot append failed");
-        miner
-            .mine_with_cache(&appended, Some(&frozen))
-            .expect("snapshot append re-mine failed");
-        append_remine.push(t.elapsed().as_nanos());
-    }
-    let append_remine = median_ns(&mut append_remine);
+    let append_remine = measure_append(&miner, &prefix, &rows, repeats);
+
+    // Retained-window pair: the same append on a 10×-history dataset slid
+    // behind a retention window, and on a cold twin of just the window.
+    let window = dataset.timestamp_count();
+    let long = retained_history(dataset, HISTORY_COPIES, window);
+    let mut short = long
+        .slice_time(long.grid().start(), long.grid().range().end)
+        .expect("window twin");
+    short.set_retention(RetentionPolicy::unbounded());
+    // One row batch generated from the long dataset's feed position and
+    // appended to both arms: `short` holds the identical window content on
+    // the identical grid, so the pair is apples-to-apples.
+    let retained_rows = periodic_append_rows(dataset, &long, APPEND_TAIL);
+    let append_retained = measure_append(&miner, &long, &retained_rows, repeats);
+    let append_window = measure_append(&miner, &short, &retained_rows, repeats);
 
     Json::from_pairs([
         ("name", Json::String(name.to_string())),
@@ -97,6 +110,8 @@ fn snapshot_scale(name: &str, dataset: &Dataset, params: &MiningParams, repeats:
             Json::Number((extraction + spatial + search) as f64),
         ),
         ("append_remine_ns", Json::Number(append_remine as f64)),
+        ("append_retained_ns", Json::Number(append_retained as f64)),
+        ("append_window_ns", Json::Number(append_window as f64)),
         (
             "evolving_events",
             Json::Number(report.evolving_events as f64),
@@ -115,6 +130,28 @@ fn snapshot_scale(name: &str, dataset: &Dataset, params: &MiningParams, repeats:
         ),
         ("cap_count", Json::Number(report.cap_count as f64)),
     ])
+}
+
+/// Warms the extraction cache on `base`, freezes it, then reports the
+/// median cost over `repeats` of `clone + append_rows + mine_with_cache` —
+/// the cost of absorbing one new batch into a live dataset.
+fn measure_append(miner: &Miner, base: &Dataset, rows: &[AppendRow], repeats: usize) -> u128 {
+    let cache = EvolvingSetsCache::new();
+    miner
+        .mine_with_cache(base, Some(&cache))
+        .expect("warm mine failed");
+    let frozen = ReadOnlyExtractionCache(&cache);
+    let mut samples: Vec<u128> = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let mut appended = base.clone();
+        let t = std::time::Instant::now();
+        appended.append_rows(rows).expect("snapshot append failed");
+        miner
+            .mine_with_cache(&appended, Some(&frozen))
+            .expect("snapshot append re-mine failed");
+        samples.push(t.elapsed().as_nanos());
+    }
+    median_ns(&mut samples)
 }
 
 fn main() {
@@ -161,7 +198,7 @@ fn main() {
     ];
 
     let doc = Json::from_pairs([
-        ("schema", Json::Number(2.0)),
+        ("schema", Json::Number(3.0)),
         ("unit", Json::String("nanoseconds".to_string())),
         ("repeats", Json::Number(repeats as f64)),
         (

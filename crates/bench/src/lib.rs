@@ -23,7 +23,7 @@ use miscela_cache::EvolvingSetsCache;
 use miscela_core::evolving::{EvolvingCache, EvolvingSets, ExtractionKey, ExtractionState};
 use miscela_core::MiningParams;
 use miscela_datagen::{ChinaGenerator, ChinaProfile, CovidGenerator, SantanderGenerator};
-use miscela_model::{AppendRow, Dataset};
+use miscela_model::{AppendRow, Dataset, DatasetBuilder, RetentionPolicy, TimeGrid, TimeSeries};
 
 /// Whether `--paper-scale` was passed on the command line.
 pub fn paper_scale_requested() -> bool {
@@ -132,6 +132,102 @@ pub fn split_for_append(dataset: &Dataset, tail: usize) -> (Dataset, Vec<AppendR
     (prefix, rows)
 }
 
+/// Replicates a dataset's waveform `copies` times along the time axis:
+/// the result has the same sensors and grid start/interval but `copies ×`
+/// the timestamps, with series values repeating periodically (missing
+/// patterns included). This synthesizes a *long-history* variant of a
+/// bench dataset without changing its per-window statistics — the fixture
+/// behind the retained-window streaming benchmarks.
+///
+/// # Panics
+///
+/// Panics when `copies` is zero or the dataset is empty.
+pub fn extend_history(dataset: &Dataset, copies: usize) -> Dataset {
+    assert!(copies >= 1, "need at least one copy");
+    let n = dataset.timestamp_count();
+    assert!(n > 0, "cannot extend an empty dataset");
+    let mut b = DatasetBuilder::new(dataset.name());
+    b.set_grid(
+        TimeGrid::new(
+            dataset.grid().start(),
+            dataset.grid().interval(),
+            n * copies,
+        )
+        .expect("valid grid"),
+    );
+    for ss in dataset.iter() {
+        let idx = b
+            .add_sensor(
+                ss.sensor.id.clone(),
+                dataset.attributes().name_of(ss.sensor.attribute),
+                ss.sensor.location,
+            )
+            .expect("unique sensors");
+        let base = ss.series.copy_values();
+        let mut values = Vec::with_capacity(n * copies);
+        for _ in 0..copies {
+            values.extend_from_slice(&base);
+        }
+        b.set_series(idx, TimeSeries::from_values(values))
+            .expect("grid length");
+    }
+    b.build().expect("extend_history build")
+}
+
+/// A long-history dataset already slid behind a retained window:
+/// [`extend_history`] with `copies` of the waveform, a
+/// `RetentionPolicy::keep_last(window)` installed, and the policy applied
+/// once — the in-memory state a streaming server reaches after feeding
+/// `copies × window` points through a bounded dataset. Because trims are
+/// block-granular the retained length may exceed `window` by a partial
+/// block.
+pub fn retained_history(dataset: &Dataset, copies: usize, window: usize) -> Dataset {
+    let mut ds = extend_history(dataset, copies);
+    ds.set_retention(RetentionPolicy::keep_last(window));
+    ds.trim_expired();
+    ds
+}
+
+/// Append rows continuing `target`'s feed for `tail` more timestamps,
+/// sampling values periodically from `source`'s waveform (absolute step
+/// `a` takes `source` at `a % source.len`). `target` must descend from
+/// [`extend_history`]`(source, ..)` (possibly trimmed/appended) so its
+/// absolute step count is `target.trimmed() + target.timestamp_count()`.
+/// The final timestamp is always mentioned (with an explicit null if the
+/// waveform is missing there), so the grid grows by exactly `tail`.
+pub fn periodic_append_rows(source: &Dataset, target: &Dataset, tail: usize) -> Vec<AppendRow> {
+    assert!(tail > 0, "tail must be positive");
+    let period = source.timestamp_count();
+    let interval = source.grid().interval();
+    let next_t = target.grid().range().end;
+    let abs_base = target.trimmed() + target.timestamp_count();
+    let mut rows = Vec::new();
+    for ss in source.iter() {
+        let attribute = source.attributes().name_of(ss.sensor.attribute).to_string();
+        for j in 0..tail {
+            if let Some(v) = ss.series.get((abs_base + j) % period) {
+                rows.push(AppendRow {
+                    sensor: ss.sensor.id.clone(),
+                    attribute: attribute.clone(),
+                    time: next_t + miscela_model::Duration::seconds(interval.as_secs() * j as i64),
+                    value: Some(v),
+                });
+            }
+        }
+    }
+    let last_t = next_t + miscela_model::Duration::seconds(interval.as_secs() * (tail as i64 - 1));
+    if !rows.iter().any(|r| r.time == last_t) {
+        let ss = source.iter().next().expect("non-empty dataset");
+        rows.push(AppendRow {
+            sensor: ss.sensor.id.clone(),
+            attribute: source.attributes().name_of(ss.sensor.attribute).to_string(),
+            time: last_t,
+            value: None,
+        });
+    }
+    rows
+}
+
 /// A read-only view over an [`EvolvingSetsCache`]: lookups pass through,
 /// stores are dropped. Append benchmarks warm a cache with the *prefix*
 /// extraction states once and then iterate behind this view, so every
@@ -182,5 +278,32 @@ mod tests {
         assert!(santander_params().validate().is_ok());
         assert!(china_params().validate().is_ok());
         assert!(!paper_scale_requested());
+    }
+
+    #[test]
+    fn retained_history_slides_the_window_and_appends_continue_it() {
+        let base = santander_bench();
+        let n = base.timestamp_count();
+        let long = extend_history(&base, 3);
+        assert_eq!(long.timestamp_count(), 3 * n);
+        // The waveform repeats (spot-check one sensor across copies).
+        let ss = base.iter().next().unwrap();
+        let idx = long.index_of_id(&ss.sensor.id).unwrap();
+        for i in (0..n).step_by(37) {
+            assert_eq!(long.series(idx).get(n + i), ss.series.get(i));
+        }
+        let retained = retained_history(&base, 3, n);
+        assert!(retained.timestamp_count() >= n);
+        assert!(retained.timestamp_count() < 3 * n);
+        assert_eq!(
+            retained.trimmed() + retained.timestamp_count(),
+            3 * n,
+            "window plus trimmed must cover the full history"
+        );
+        // Continuing the feed appends exactly `tail` new grid points.
+        let mut appended = retained.clone();
+        let rows = periodic_append_rows(&base, &retained, 8);
+        let stats = appended.append_rows(&rows).unwrap();
+        assert_eq!(stats.new_timestamps, 8);
     }
 }

@@ -27,6 +27,20 @@ use std::sync::Arc;
 /// at a handful of ε/segmentation settings.
 pub const DEFAULT_EXTRACTION_CAPACITY: usize = 16_384;
 
+/// How many dataset *generations* (revision bumps — appends, trims,
+/// re-registrations) an entry may go untouched before
+/// [`EvolvingSetsCache::collect_superseded`] considers it dead.
+///
+/// Entries are content-keyed, so the cache cannot attribute them to a
+/// dataset directly; instead every hit re-stamps the entry with the
+/// current generation, and states that no mining pass has touched for this
+/// many revision bumps — superseded pre-append prefixes, pre-trim windows
+/// whose indices slid out from under them — are garbage-collected instead
+/// of lingering until capacity eviction. Mirrors
+/// `miscela_model::MAX_APPEND_BASES`: a prefix state older than the bases
+/// any dataset still remembers can never seed a resume again.
+pub const DEFAULT_KEEP_GENERATIONS: u64 = 8;
+
 /// Counters of the per-series extraction cache.
 ///
 /// Replaces the old unnamed `(hits, misses, entries)` tuple: callers had to
@@ -46,6 +60,10 @@ pub struct ExtractionCacheStats {
     pub prefix_misses: usize,
     /// Number of series entries currently stored.
     pub entries: usize,
+    /// Entries garbage-collected because they went untouched across
+    /// [`DEFAULT_KEEP_GENERATIONS`] dataset revisions — the dead-revision
+    /// states of superseded or out-of-window content (cumulative).
+    pub evicted: usize,
 }
 
 impl ExtractionCacheStats {
@@ -76,12 +94,14 @@ pub struct EvolvingSetsCache {
 // Entries are `Arc`ed so the critical section of a hit is one reference
 // bump: the deep bitset clone the `EvolvingCache` contract requires happens
 // outside the lock, keeping the parallel warm-extraction path from
-// serializing on the mutex.
+// serializing on the mutex. Each entry carries the generation stamp of its
+// last touch for the revision GC.
 #[derive(Debug, Default)]
 struct Inner {
-    entries: HashMap<ExtractionKey, Arc<ExtractionState>>,
+    entries: HashMap<ExtractionKey, (Arc<ExtractionState>, u64)>,
     insertion_order: VecDeque<ExtractionKey>,
     capacity: usize,
+    generation: u64,
     stats: ExtractionCacheStats,
 }
 
@@ -117,9 +137,47 @@ impl EvolvingSetsCache {
         inner.insertion_order.clear();
     }
 
+    /// Advances the cache's generation counter. The server calls this once
+    /// per dataset revision bump (append, trim, re-registration); entries
+    /// untouched for [`DEFAULT_KEEP_GENERATIONS`] generations become
+    /// eligible for [`EvolvingSetsCache::collect_superseded`]. Returns the
+    /// new generation.
+    pub fn bump_generation(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.generation += 1;
+        inner.generation
+    }
+
+    /// Garbage-collects entries whose last touch is more than
+    /// `keep_generations` generation bumps old — the extraction-tier
+    /// stale-revision fix: superseded prefix states and out-of-window
+    /// pre-trim states stop occupying capacity once no mining pass can use
+    /// them. Returns how many entries were collected.
+    pub fn collect_superseded(&self, keep_generations: u64) -> usize {
+        let mut inner = self.inner.lock();
+        let horizon = inner.generation.saturating_sub(keep_generations);
+        if horizon == 0 {
+            return 0;
+        }
+        let before = inner.entries.len();
+        inner.entries.retain(|_, (_, touched)| *touched >= horizon);
+        let removed = before - inner.entries.len();
+        if removed > 0 {
+            let entries = std::mem::take(&mut inner.entries);
+            inner.insertion_order.retain(|k| entries.contains_key(k));
+            inner.entries = entries;
+            inner.stats.evicted += removed;
+        }
+        removed
+    }
+
     fn lookup(&self, key: &ExtractionKey, prefix: bool) -> Option<Arc<ExtractionState>> {
         let mut inner = self.inner.lock();
-        let found = inner.entries.get(key).map(Arc::clone);
+        let generation = inner.generation;
+        let found = inner.entries.get_mut(key).map(|(state, touched)| {
+            *touched = generation;
+            Arc::clone(state)
+        });
         match (prefix, found.is_some()) {
             (false, true) => inner.stats.hits += 1,
             (false, false) => inner.stats.misses += 1,
@@ -134,7 +192,8 @@ impl EvolvingSetsCache {
         if !inner.entries.contains_key(&key) {
             inner.insertion_order.push_back(key);
         }
-        inner.entries.insert(key, state);
+        let generation = inner.generation;
+        inner.entries.insert(key, (state, generation));
         while inner.entries.len() > inner.capacity {
             let oldest = inner
                 .insertion_order
@@ -246,6 +305,37 @@ mod tests {
         let mut gapped = a.clone();
         gapped.clear(10);
         assert_ne!(base, ExtractionKey::new(&gapped, 0.5, false, 0.0));
+    }
+
+    #[test]
+    fn generation_gc_collects_untouched_entries_and_keeps_hot_ones() {
+        let cache = EvolvingSetsCache::new();
+        let hot = series(1.0);
+        let cold = series(2.0);
+        let hot_key = ExtractionKey::new(&hot, 0.5, false, 0.0);
+        let cold_key = ExtractionKey::new(&cold, 0.5, false, 0.0);
+        cache.put(hot_key, &extract_evolving(&hot, 0.5));
+        cache.put(cold_key, &extract_evolving(&cold, 0.5));
+        // Bump through `keep` generations, touching only the hot entry:
+        // the cold entry (stamped at generation 0) survives while the
+        // horizon has not passed it.
+        for _ in 0..3 {
+            cache.bump_generation();
+            assert!(cache.get(&hot_key).is_some());
+            assert_eq!(cache.collect_superseded(3), 0);
+        }
+        // One more bump pushes the cold entry past the horizon.
+        cache.bump_generation();
+        assert!(cache.get(&hot_key).is_some());
+        assert_eq!(cache.collect_superseded(3), 1);
+        assert!(cache.get(&cold_key).is_none());
+        assert!(cache.get(&hot_key).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.entries, 1);
+        // Re-inserting after GC works (insertion order was compacted).
+        cache.put(cold_key, &extract_evolving(&cold, 0.5));
+        assert!(cache.get(&cold_key).is_some());
     }
 
     #[test]

@@ -1,15 +1,19 @@
-//! Cache keys: dataset name + revision + parameter signature.
+//! Cache keys: dataset name + revision + trim offset + parameter signature.
 
 use miscela_core::MiningParams;
 use std::fmt;
 
 /// Identifies one cached mining result: the dataset it was mined from, the
-/// dataset's revision at mining time, and the exact parameter setting used.
+/// dataset's revision and sliding-window trim offset at mining time, and
+/// the exact parameter setting used.
 ///
 /// The revision is the versioned-invalidation mechanism of the append-aware
 /// pipeline: every append bumps the dataset's revision counter, so cached
 /// results for older content become unreachable by key instead of relying
-/// solely on explicit invalidation.
+/// solely on explicit invalidation. The trim offset (total points the
+/// retention window has dropped from the front) makes the key trim-aware as
+/// defense in depth: even a caller that forgets to bump revisions on trim
+/// can never serve a pre-trim result for a post-trim window.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Dataset name (the store key under which the dataset was uploaded).
@@ -17,22 +21,36 @@ pub struct CacheKey {
     /// Dataset revision at mining time (0 when the caller does not track
     /// revisions).
     pub revision: u64,
+    /// Total grid points the dataset's retention window had trimmed from
+    /// the front at mining time (0 for unbounded datasets).
+    pub trimmed: u64,
     /// Canonical parameter signature ([`MiningParams::signature`]).
     pub signature: String,
 }
 
 impl CacheKey {
     /// Builds the key for an unversioned dataset name and parameter setting
-    /// (revision 0).
+    /// (revision 0, no trim).
     pub fn new(dataset: impl Into<String>, params: &MiningParams) -> Self {
-        Self::for_revision(dataset, 0, params)
+        Self::for_state(dataset, 0, 0, params)
     }
 
-    /// Builds the key for a specific dataset revision.
+    /// Builds the key for a specific dataset revision (no trim).
     pub fn for_revision(dataset: impl Into<String>, revision: u64, params: &MiningParams) -> Self {
+        Self::for_state(dataset, revision, 0, params)
+    }
+
+    /// Builds the key for a specific dataset revision and trim offset.
+    pub fn for_state(
+        dataset: impl Into<String>,
+        revision: u64,
+        trimmed: u64,
+        params: &MiningParams,
+    ) -> Self {
         CacheKey {
             dataset: dataset.into(),
             revision,
+            trimmed,
             signature: params.signature(),
         }
     }
@@ -40,7 +58,11 @@ impl CacheKey {
 
 impl fmt::Display for CacheKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@r{}::{}", self.dataset, self.revision, self.signature)
+        write!(
+            f,
+            "{}@r{}~{}::{}",
+            self.dataset, self.revision, self.trimmed, self.signature
+        )
     }
 }
 
@@ -55,17 +77,21 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.to_string(), b.to_string());
         assert_eq!(a.revision, 0);
+        assert_eq!(a.trimmed, 0);
     }
 
     #[test]
-    fn different_params_dataset_or_revision_differ() {
+    fn different_params_dataset_revision_or_trim_differ() {
         let base = CacheKey::new("santander", &MiningParams::default());
         let other_params = CacheKey::new("santander", &MiningParams::default().with_psi(99));
         let other_dataset = CacheKey::new("china6", &MiningParams::default());
         let other_revision = CacheKey::for_revision("santander", 3, &MiningParams::default());
+        let other_trim = CacheKey::for_state("santander", 0, 256, &MiningParams::default());
         assert_ne!(base, other_params);
         assert_ne!(base, other_dataset);
         assert_ne!(base, other_revision);
+        assert_ne!(base, other_trim);
         assert!(other_revision.to_string().contains("@r3"));
+        assert!(other_trim.to_string().contains("~256"));
     }
 }

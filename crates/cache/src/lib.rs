@@ -24,8 +24,12 @@
 //! entirely. Entries retain the full extraction state (evolving sets plus
 //! segmentation), and appended series reuse their cached *prefix* through
 //! rolling-fingerprint keys instead of missing — the cache side of the
-//! streaming append pipeline. [`CacheKey`] carries the dataset revision,
-//! so results mined from superseded content become unreachable by key.
+//! streaming append pipeline. [`CacheKey`] carries the dataset revision
+//! and sliding-window trim offset, so results mined from superseded or
+//! trimmed content become unreachable by key; the revision GC
+//! ([`PersistentCache::evict_superseded`],
+//! [`EvolvingSetsCache::collect_superseded`]) then reclaims those dead
+//! entries instead of letting them leak until capacity pressure.
 //!
 //! # Example
 //!
@@ -54,7 +58,7 @@ pub mod key;
 pub mod memory;
 pub mod persistent;
 
-pub use extraction::{EvolvingSetsCache, ExtractionCacheStats};
+pub use extraction::{EvolvingSetsCache, ExtractionCacheStats, DEFAULT_KEEP_GENERATIONS};
 pub use key::CacheKey;
 pub use memory::{CacheStats, ResultCache};
 pub use persistent::PersistentCache;

@@ -14,6 +14,10 @@ pub struct CacheStats {
     pub misses: usize,
     /// Number of entries currently stored.
     pub entries: usize,
+    /// Number of entries garbage-collected because their dataset revision
+    /// was superseded by an append, trim or re-registration (cumulative,
+    /// across both cache tiers).
+    pub evicted: usize,
 }
 
 impl CacheStats {
@@ -42,6 +46,7 @@ struct Inner {
     capacity: Option<usize>,
     hits: usize,
     misses: usize,
+    evicted: usize,
 }
 
 impl ResultCache {
@@ -106,6 +111,32 @@ impl ResultCache {
         before - inner.entries.len()
     }
 
+    /// Garbage-collects every entry of `dataset` whose revision is older
+    /// than `current_revision` — the stale-revision leak fix: revisions
+    /// made unreachable by an append/trim revision bump no longer linger
+    /// until a whole-dataset invalidation. Returns how many entries were
+    /// collected.
+    pub fn evict_superseded(&self, dataset: &str, current_revision: u64) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.entries.len();
+        inner
+            .entries
+            .retain(|k, _| k.dataset != dataset || k.revision >= current_revision);
+        inner
+            .insertion_order
+            .retain(|k| k.dataset != dataset || k.revision >= current_revision);
+        let removed = before - inner.entries.len();
+        inner.evicted += removed;
+        removed
+    }
+
+    /// Adds externally performed evictions (the store tier's revision GC)
+    /// to the [`CacheStats::evicted`] counter, so one counter reports both
+    /// tiers.
+    pub fn record_evictions(&self, n: usize) {
+        self.inner.lock().evicted += n;
+    }
+
     /// Clears the cache (statistics are kept).
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
@@ -120,6 +151,7 @@ impl ResultCache {
             hits: inner.hits,
             misses: inner.misses,
             entries: inner.entries.len(),
+            evicted: inner.evicted,
         }
     }
 }

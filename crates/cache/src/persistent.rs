@@ -56,6 +56,7 @@ impl PersistentCache {
         let mut doc = Json::object();
         doc.set("dataset", Json::from(key.dataset.as_str()));
         doc.set("revision", Json::from(key.revision as i64));
+        doc.set("trimmed", Json::from(key.trimmed as i64));
         doc.set("signature", Json::from(key.signature.as_str()));
         doc.set("cap_count", Json::from(caps.len()));
         doc.set("caps", capset_to_json(caps));
@@ -69,6 +70,33 @@ impl PersistentCache {
         self.memory.invalidate_dataset(dataset);
         self.db
             .delete_where(RESULTS_COLLECTION, &Filter::eq("dataset", dataset))
+    }
+
+    /// Garbage-collects every result of `dataset` mined at a revision older
+    /// than `current_revision`, in both tiers. Without this, the
+    /// revision-partitioned store grows one dead generation per append —
+    /// the stale-revision leak. Returns the total number of entries
+    /// collected (memory + store).
+    pub fn evict_superseded(&self, dataset: &str, current_revision: u64) -> usize {
+        let from_memory = self.memory.evict_superseded(dataset, current_revision);
+        // Collect documents below the live revision, plus legacy documents
+        // written before the `revision`/`trimmed` fields existed: those are
+        // unreachable by `key_filter` (equality on a missing field never
+        // matches) but `Filter::Lt` would never match them either, so
+        // without the explicit `Exists` arms they would linger forever.
+        let from_store = self.db.delete_where(
+            RESULTS_COLLECTION,
+            &Filter::And(vec![
+                Filter::eq("dataset", dataset),
+                Filter::Or(vec![
+                    Filter::Lt("revision".to_string(), current_revision as f64),
+                    Filter::Not(Box::new(Filter::Exists("revision".to_string()))),
+                    Filter::Not(Box::new(Filter::Exists("trimmed".to_string()))),
+                ]),
+            ]),
+        );
+        self.memory.record_evictions(from_store);
+        from_memory + from_store
     }
 
     /// Number of results stored in the database tier.
@@ -88,12 +116,15 @@ impl PersistentCache {
 }
 
 /// The store filter selecting exactly one key's document. Documents written
-/// before revisions existed lack the `revision` field and are simply never
-/// matched again (they age out with the next `invalidate_dataset`).
+/// before revisions (or the trim offset) existed lack those fields and are
+/// simply never matched again; [`PersistentCache::evict_superseded`]
+/// explicitly collects such field-less legacy documents (equality and `Lt`
+/// both skip missing fields, so the GC matches on non-existence instead).
 fn key_filter(key: &CacheKey) -> Filter {
     Filter::and([
         Filter::eq("dataset", key.dataset.as_str()),
         Filter::eq("revision", Json::from(key.revision as i64)),
+        Filter::eq("trimmed", Json::from(key.trimmed as i64)),
         Filter::eq("signature", key.signature.as_str()),
     ])
 }
@@ -182,6 +213,63 @@ mod tests {
         assert_eq!(cache.stored_results(), 2);
         // Dataset-level invalidation still clears every revision.
         assert_eq!(cache.invalidate_dataset("santander"), 2);
+    }
+
+    #[test]
+    fn evict_superseded_collects_only_dead_revisions() {
+        let cache = PersistentCache::new(Arc::new(Database::new()));
+        let params = MiningParams::default();
+        for r in 1..=3u64 {
+            cache.put(
+                &CacheKey::for_revision("santander", r, &params),
+                &sample_caps(),
+            );
+        }
+        cache.put(
+            &CacheKey::for_revision("china6", 1, &params),
+            &sample_caps(),
+        );
+        // Collect everything of santander below revision 3: two memory
+        // entries and two store documents.
+        assert_eq!(cache.evict_superseded("santander", 3), 4);
+        assert!(cache
+            .get(&CacheKey::for_revision("santander", 2, &params))
+            .is_none());
+        assert!(cache
+            .get(&CacheKey::for_revision("santander", 3, &params))
+            .is_some());
+        // Other datasets are untouched.
+        assert!(cache
+            .get(&CacheKey::for_revision("china6", 1, &params))
+            .is_some());
+        assert_eq!(cache.stored_results(), 2);
+        assert_eq!(cache.stats().evicted, 4);
+        // Nothing further to collect.
+        assert_eq!(cache.evict_superseded("santander", 3), 0);
+        // Legacy documents written before the revision/trimmed fields
+        // existed are unreachable by key; the GC must still collect them.
+        let mut legacy = Json::object();
+        legacy.set("dataset", Json::from("santander"));
+        legacy.set("signature", Json::from("old"));
+        cache.database().insert(RESULTS_COLLECTION, legacy);
+        assert_eq!(cache.evict_superseded("santander", 3), 1);
+        // The live santander revision and the china6 result both remain.
+        assert_eq!(cache.stored_results(), 2);
+    }
+
+    #[test]
+    fn trim_offsets_partition_the_key_space() {
+        let cache = PersistentCache::new(Arc::new(Database::new()));
+        let params = MiningParams::default();
+        let untrimmed = CacheKey::for_state("santander", 1, 0, &params);
+        let trimmed = CacheKey::for_state("santander", 1, 256, &params);
+        cache.put(&untrimmed, &sample_caps());
+        // A post-trim window misses even at the same name/revision/params.
+        assert!(cache.get(&trimmed).is_none());
+        cache.put(&trimmed, &CapSet::new());
+        assert_eq!(cache.get(&untrimmed).unwrap(), sample_caps());
+        assert!(cache.get(&trimmed).unwrap().is_empty());
+        assert_eq!(cache.stored_results(), 2);
     }
 
     #[test]

@@ -94,13 +94,12 @@ pub fn extract_evolving(series: &TimeSeries, epsilon: f64) -> EvolvingSets {
     let mut up = Bitset::new(n);
     let mut down = Bitset::new(n);
     if n >= 2 {
-        let values = series.as_slice();
         if epsilon > 0.0 {
-            scan_words(values, up.words_mut(), down.words_mut(), |delta| {
+            scan_series_from(series, up.words_mut(), down.words_mut(), 0, |delta| {
                 (delta >= epsilon, -delta >= epsilon)
             });
         } else {
-            scan_words(values, up.words_mut(), down.words_mut(), |delta| {
+            scan_series_from(series, up.words_mut(), down.words_mut(), 0, |delta| {
                 (delta > 0.0, delta < 0.0)
             });
         }
@@ -108,21 +107,71 @@ pub fn extract_evolving(series: &TimeSeries, epsilon: f64) -> EvolvingSets {
     EvolvingSets { up, down }
 }
 
-/// Word-level delta scan: classifies `values[t] - values[t-1]` for every
-/// `t >= 1` and ORs the verdicts into the corresponding bit of the output
-/// words. `classify` must return `(false, false)` for `NaN` deltas, which
-/// all comparison-based classifiers do for free.
-#[inline(always)]
-fn scan_words(
-    values: &[f64],
+/// Word-level delta scan over a series' storage chunks, recomputing words
+/// at index `first_word` and beyond (earlier words are left untouched).
+///
+/// The series' sealed blocks are multiples of 64 long
+/// (`miscela_model::SERIES_BLOCK_LEN`), so every 64-bit word's values lie
+/// inside a single chunk and the scan runs over the shared blocks in place
+/// — no contiguous copy of the series is ever materialized. The one value
+/// a word needs from *before* its chunk (the left operand of its first
+/// delta) is carried across the chunk boundary in a register. `classify`
+/// must return `(false, false)` for `NaN` deltas, which all
+/// comparison-based classifiers do for free.
+fn scan_series_from(
+    series: &TimeSeries,
     up_words: &mut [u64],
     down_words: &mut [u64],
+    first_word: usize,
     classify: impl Fn(f64) -> (bool, bool),
 ) {
-    scan_words_from(values, up_words, down_words, 0, classify);
+    let n = series.len();
+    let mut g = 0usize; // global index of the current chunk's first value
+    let mut carry = f64::NAN; // value at g - 1 (meaningful once g >= 1)
+    for chunk in series.chunks() {
+        let end = g + chunk.len();
+        let wend = end.div_ceil(64);
+        let wstart = (g / 64).max(first_word);
+        for wi in wstart..wend {
+            let first = (wi * 64).max(1);
+            let last = ((wi + 1) * 64).min(end).min(n);
+            let mut u = 0u64;
+            let mut d = 0u64;
+            if first > g {
+                // The whole pair window lives in this chunk.
+                for (k, pair) in chunk[first - 1 - g..last - g].windows(2).enumerate() {
+                    let delta = pair[1] - pair[0];
+                    let (is_up, is_down) = classify(delta);
+                    let bit = (first + k) & 63;
+                    u |= u64::from(is_up) << bit;
+                    d |= u64::from(is_down) << bit;
+                }
+            } else {
+                // `first == g`: the first delta's left operand is the last
+                // value of the previous chunk, carried in `carry`.
+                let (is_up, is_down) = classify(chunk[0] - carry);
+                u |= u64::from(is_up) << (first & 63);
+                d |= u64::from(is_down) << (first & 63);
+                for (k, pair) in chunk[..last - g].windows(2).enumerate() {
+                    let delta = pair[1] - pair[0];
+                    let (is_up, is_down) = classify(delta);
+                    let bit = (first + 1 + k) & 63;
+                    u |= u64::from(is_up) << bit;
+                    d |= u64::from(is_down) << bit;
+                }
+            }
+            up_words[wi] = u;
+            down_words[wi] = d;
+        }
+        carry = *chunk.last().expect("series chunks are never empty");
+        g = end;
+    }
 }
 
-/// [`scan_words`] restricted to words at index `first_word` and beyond; the
+/// Word-level delta scan over one contiguous slice restricted to words at
+/// index `first_word` and beyond — the slice twin of
+/// [`scan_series_from`], used where the resume path has already
+/// materialized a contiguous smoothed-value window; the
 /// earlier words are left untouched. This is the in-place word extension of
 /// the tail-resume path: bits strictly below the first recomputed word are
 /// carried over from the previous extraction, and the (possibly partial)
@@ -261,9 +310,12 @@ pub fn extract_resume(
         let (seg, changed_from) =
             segmentation::segment_series_tail(series, segmentation_error, prev_seg, old_len);
         // Reconstruct smoothed values only where the word scan reads them:
-        // from one point before the first recomputed word onwards.
+        // from one point before the first recomputed word onwards. The
+        // presence test reads a flat copy of that window (one memcpy)
+        // instead of a per-point block lookup.
         let first_word = changed_from / 64;
         let lo = (first_word * 64).max(1) - 1;
+        let raw = series.copy_range(lo, n);
         let mut values = vec![f64::NAN; n];
         for s in &seg.segments {
             if s.end < lo {
@@ -271,7 +323,7 @@ pub fn extract_resume(
             }
             let from = s.start.max(lo);
             for (i, slot) in values.iter_mut().enumerate().take(s.end + 1).skip(from) {
-                if series.is_present(i) {
+                if !raw[i - lo].is_nan() {
                     *slot = s.value_at(i);
                 }
             }
@@ -282,12 +334,50 @@ pub fn extract_resume(
             segmentation: Some(seg),
         }
     } else {
-        let sets = resume_scan(series.as_slice(), &prev.sets, old_len, epsilon);
+        let sets = resume_scan_series(series, &prev.sets, old_len, epsilon);
         ExtractionState {
             sets,
             segmentation: None,
         }
     }
+}
+
+/// [`resume_scan`] operating directly on a series' storage chunks (no
+/// contiguous materialization): words whose 64 bits all lie below
+/// `changed_from` are copied from `prev`; every word at or beyond it is
+/// recomputed in place over the shared blocks.
+fn resume_scan_series(
+    series: &TimeSeries,
+    prev: &EvolvingSets,
+    changed_from: usize,
+    epsilon: f64,
+) -> EvolvingSets {
+    let n = series.len();
+    let mut up = Bitset::new(n);
+    let mut down = Bitset::new(n);
+    if n >= 2 {
+        let first_word = (changed_from / 64).min(prev.up.words().len());
+        up.words_mut()[..first_word].copy_from_slice(&prev.up.words()[..first_word]);
+        down.words_mut()[..first_word].copy_from_slice(&prev.down.words()[..first_word]);
+        if epsilon > 0.0 {
+            scan_series_from(
+                series,
+                up.words_mut(),
+                down.words_mut(),
+                first_word,
+                |delta| (delta >= epsilon, -delta >= epsilon),
+            );
+        } else {
+            scan_series_from(
+                series,
+                up.words_mut(),
+                down.words_mut(),
+                first_word,
+                |delta| (delta > 0.0, delta < 0.0),
+            );
+        }
+    }
+    EvolvingSets { up, down }
 }
 
 /// Rebuilds the evolving sets of a lengthened series: words whose 64 bits
@@ -380,8 +470,16 @@ impl ExtractionKey {
         segmentation_error: f64,
     ) -> Self {
         let mut fp = SeriesFingerprinter::new();
-        for &v in &series.as_slice()[..prefix_len.min(series.len())] {
-            fp.push(v);
+        let mut remaining = prefix_len.min(series.len());
+        for chunk in series.chunks() {
+            let take = remaining.min(chunk.len());
+            for &v in &chunk[..take] {
+                fp.push(v);
+            }
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
         }
         Self::from_fingerprint(
             fp.checkpoint(),
@@ -489,8 +587,10 @@ impl Default for SeriesFingerprinter {
 /// patterns: the final [`SeriesFingerprinter`] checkpoint.
 pub fn series_fingerprint(series: &TimeSeries) -> u128 {
     let mut fp = SeriesFingerprinter::new();
-    for &v in series.as_slice() {
-        fp.push(v);
+    for chunk in series.chunks() {
+        for &v in chunk {
+            fp.push(v);
+        }
     }
     fp.checkpoint()
 }
@@ -786,7 +886,7 @@ mod tests {
         );
         let mut fp = SeriesFingerprinter::new();
         assert!(fp.is_empty());
-        for (i, &v) in series.as_slice().iter().enumerate() {
+        for (i, &v) in series.copy_values().iter().enumerate() {
             assert_eq!(fp.checkpoint(), series_fingerprint(&series.window(0, i)));
             fp.push(v);
             assert_eq!(fp.len(), i + 1);
@@ -839,6 +939,44 @@ mod tests {
                 splits.sort_unstable();
                 assert_resume_chain(&series, epsilon, seg_error, &splits);
             }
+        }
+    }
+
+    #[test]
+    fn trimmed_series_extract_identically_to_rechunked_copies() {
+        // A sliding-window trim drops whole front blocks: the retained
+        // storage stays word-aligned, so the chunked scan over the shared
+        // blocks must agree bit-for-bit with a scan over a fresh
+        // re-chunked copy of the same values — with and without
+        // segmentation, at every trim depth.
+        use miscela_model::SERIES_BLOCK_LEN;
+        let full = TimeSeries::from_options(
+            &(0..3 * SERIES_BLOCK_LEN + 70)
+                .map(|i| ((i * 3 + 1) % 11 != 0).then_some((i as f64 * 0.21).sin() * 5.0))
+                .collect::<Vec<_>>(),
+        );
+        for drop_blocks in [1usize, 2, 3] {
+            let mut trimmed = full.clone();
+            trimmed.drop_front_blocks(drop_blocks);
+            let copy = TimeSeries::from_values(trimmed.copy_values());
+            for eps in [0.0, 0.3, 1.0] {
+                for (seg_on, seg_err) in [(false, 0.0), (true, 0.05)] {
+                    let shared = extract_state(&trimmed, eps, seg_on, seg_err);
+                    let cold = extract_state(&copy, eps, seg_on, seg_err);
+                    assert_eq!(shared, cold, "drop={drop_blocks} eps={eps} seg={seg_on}");
+                    // The content fingerprint is storage-independent too.
+                    assert_eq!(series_fingerprint(&trimmed), series_fingerprint(&copy));
+                }
+            }
+            // Appending after the trim resumes byte-identically as well.
+            let mut appended = trimmed.clone();
+            appended.extend_missing(40);
+            for i in 0..40 {
+                appended.set(trimmed.len() + i, (i as f64 * 0.4).cos() * 3.0);
+            }
+            let prev = extract_state(&trimmed, 0.3, true, 0.05);
+            let resumed = extract_resume(&appended, 0.3, true, 0.05, &prev);
+            assert_eq!(resumed, extract_state(&appended, 0.3, true, 0.05));
         }
     }
 

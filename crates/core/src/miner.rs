@@ -266,16 +266,22 @@ fn fingerprint_with_checkpoints(
     let mut fp = SeriesFingerprinter::new();
     let mut checkpoints: Vec<(usize, u128)> = Vec::with_capacity(bases.len());
     let mut bi = 0usize;
-    for (i, &v) in series.as_slice().iter().enumerate() {
-        if bi < bases.len() {
-            while bi < bases.len() && bases[bi] == i {
-                if i > 0 {
-                    checkpoints.push((i, fp.checkpoint()));
+    let mut i = 0usize;
+    // Stream the shared storage blocks in place — the rolling pass never
+    // materializes a contiguous copy of the series.
+    for chunk in series.chunks() {
+        for &v in chunk {
+            if bi < bases.len() {
+                while bi < bases.len() && bases[bi] == i {
+                    if i > 0 {
+                        checkpoints.push((i, fp.checkpoint()));
+                    }
+                    bi += 1;
                 }
-                bi += 1;
             }
+            fp.push(v);
+            i += 1;
         }
-        fp.push(v);
     }
     (fp.checkpoint(), checkpoints)
 }
@@ -610,40 +616,40 @@ mod tests {
         assert_eq!(tweaked.report.extraction_cache_hits, ds.sensor_count());
     }
 
+    /// A minimal state-retaining extraction cache for the append/trim
+    /// equivalence tests.
+    #[derive(Default)]
+    struct StateCache(std::sync::Mutex<std::collections::HashMap<ExtractionKey, ExtractionState>>);
+
+    impl crate::evolving::EvolvingCache for StateCache {
+        fn get(&self, key: &ExtractionKey) -> Option<EvolvingSets> {
+            self.0.lock().unwrap().get(key).map(|s| s.sets.clone())
+        }
+        fn put(&self, key: ExtractionKey, sets: &EvolvingSets) {
+            self.0.lock().unwrap().insert(
+                key,
+                ExtractionState {
+                    sets: sets.clone(),
+                    segmentation: None,
+                },
+            );
+        }
+        fn get_state(&self, key: &ExtractionKey) -> Option<std::sync::Arc<ExtractionState>> {
+            self.0
+                .lock()
+                .unwrap()
+                .get(key)
+                .cloned()
+                .map(std::sync::Arc::new)
+        }
+        fn put_state(&self, key: ExtractionKey, state: &ExtractionState) {
+            self.0.lock().unwrap().insert(key, state.clone());
+        }
+    }
+
     #[test]
     fn append_resume_mines_identical_caps_and_reports_prefix_hits() {
-        use crate::evolving::EvolvingCache;
         use miscela_model::AppendRow;
-        use std::collections::HashMap;
-        use std::sync::Mutex;
-
-        #[derive(Default)]
-        struct StateCache(Mutex<HashMap<ExtractionKey, ExtractionState>>);
-        impl EvolvingCache for StateCache {
-            fn get(&self, key: &ExtractionKey) -> Option<EvolvingSets> {
-                self.0.lock().unwrap().get(key).map(|s| s.sets.clone())
-            }
-            fn put(&self, key: ExtractionKey, sets: &EvolvingSets) {
-                self.0.lock().unwrap().insert(
-                    key,
-                    ExtractionState {
-                        sets: sets.clone(),
-                        segmentation: None,
-                    },
-                );
-            }
-            fn get_state(&self, key: &ExtractionKey) -> Option<std::sync::Arc<ExtractionState>> {
-                self.0
-                    .lock()
-                    .unwrap()
-                    .get(key)
-                    .cloned()
-                    .map(std::sync::Arc::new)
-            }
-            fn put_state(&self, key: ExtractionKey, state: &ExtractionState) {
-                self.0.lock().unwrap().insert(key, state.clone());
-            }
-        }
 
         // The clustered fixture's series are pure functions of the index,
         // so the 200-timestamp build is exactly the prefix of the
@@ -700,6 +706,87 @@ mod tests {
             let again = miner.mine_with_cache(&appended, Some(&cache)).unwrap();
             assert_eq!(again.report.extraction_cache_hits, appended.sensor_count());
             assert_eq!(again.caps, cold.caps);
+        }
+    }
+
+    #[test]
+    fn append_trim_interleavings_mine_identical_to_cold_window() {
+        use miscela_model::{AppendRow, RetentionPolicy, SERIES_BLOCK_LEN};
+
+        // Source waveform long enough to feed every append; the working
+        // dataset streams through a window of it under appends and
+        // block-granular trims. After every operation, mining the shared
+        // (trimmed, resumed) storage with a warm cache must be
+        // byte-identical to cold-mining a freshly re-chunked copy of the
+        // retained window.
+        let source = clustered_dataset(2, 3 * SERIES_BLOCK_LEN + 200);
+        let append_rows = |from_abs: usize, to_abs: usize| -> Vec<AppendRow> {
+            let mut rows = Vec::new();
+            for ss in source.iter() {
+                let attribute = source.attributes().name_of(ss.sensor.attribute).to_string();
+                for abs in from_abs..to_abs {
+                    rows.push(AppendRow {
+                        sensor: ss.sensor.id.clone(),
+                        attribute: attribute.clone(),
+                        time: source.grid().at(abs).expect("abs on source grid"),
+                        value: ss.series.get(abs),
+                    });
+                }
+            }
+            rows
+        };
+
+        for p in [
+            params(),
+            params()
+                .with_segmentation(true)
+                .with_segmentation_error(0.05),
+        ] {
+            let miner = Miner::new(p).unwrap();
+            let cache = StateCache::default();
+            let mut ds = source
+                .slice_time(
+                    source.grid().start(),
+                    source.grid().at(SERIES_BLOCK_LEN + 60).unwrap(),
+                )
+                .unwrap();
+            miner.mine_with_cache(&ds, Some(&cache)).unwrap();
+
+            // (append k) and (trim keep_last w) interleavings; windows are
+            // chosen so trims actually drop blocks.
+            let ops: [(bool, usize); 6] = [
+                (true, 40),
+                (false, SERIES_BLOCK_LEN + 20),
+                (true, 30),
+                (true, SERIES_BLOCK_LEN),
+                (false, SERIES_BLOCK_LEN / 2),
+                (true, 12),
+            ];
+            for &(is_append, k) in &ops {
+                if is_append {
+                    let from = ds.trimmed() + ds.timestamp_count();
+                    let rows = append_rows(from, from + k);
+                    ds.append_rows(&rows).unwrap();
+                } else {
+                    ds.set_retention(RetentionPolicy::keep_last(k));
+                    ds.trim_expired();
+                    ds.set_retention(RetentionPolicy::unbounded());
+                }
+                let warm = miner.mine_with_cache(&ds, Some(&cache)).unwrap();
+                // Cold twin: the same retained window, re-chunked from
+                // zero with no lineage and no cache.
+                let twin = ds
+                    .slice_time(ds.grid().start(), ds.grid().range().end)
+                    .unwrap();
+                assert_eq!(twin.timestamp_count(), ds.timestamp_count());
+                let cold = miner.mine(&twin).unwrap();
+                assert_eq!(
+                    warm.caps, cold.caps,
+                    "append={is_append} k={k} diverged from the cold window"
+                );
+                // The cache-less path over the shared storage agrees too.
+                assert_eq!(miner.mine(&ds).unwrap().caps, cold.caps);
+            }
         }
     }
 

@@ -94,15 +94,19 @@ impl Segmentation {
     /// bit-identical to the pre-refactor pipeline so the segmentation
     /// equivalence oracles extend through the evolving sets downstream.
     pub fn reconstruct(&self, original: &TimeSeries) -> TimeSeries {
-        let mut out = TimeSeries::missing(self.len);
+        // One contiguous view of the original (borrowed for single-chunk
+        // series) and one flat output buffer: the per-point work stays a
+        // plain array read/write instead of a per-index block lookup.
+        let orig = original.contiguous();
+        let mut out = vec![f64::NAN; self.len];
         for seg in &self.segments {
             for i in seg.start..=seg.end {
-                if original.is_present(i) {
-                    out.set(i, seg.value_at(i));
+                if i < orig.len() && !orig[i].is_nan() {
+                    out[i] = seg.value_at(i);
                 }
             }
         }
-        out
+        TimeSeries::from_values(out)
     }
 
     /// Number of segments.
@@ -126,18 +130,19 @@ pub fn segment_series(series: &TimeSeries, error_fraction: f64) -> Segmentation 
             len: 0,
         };
     }
-    // One pass over the raw slice: value range (interpolation never leaves
-    // the range of the present values) and missingness.
-    let raw = series.as_slice();
+    // One pass over the storage chunks: value range (interpolation never
+    // leaves the range of the present values) and missingness.
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
     let mut missing = 0usize;
-    for &v in raw {
-        if v.is_nan() {
-            missing += 1;
-        } else {
-            min = min.min(v);
-            max = max.max(v);
+    for chunk in series.chunks() {
+        for &v in chunk {
+            if v.is_nan() {
+                missing += 1;
+            } else {
+                min = min.min(v);
+                max = max.max(v);
+            }
         }
     }
     if missing == n {
@@ -147,13 +152,17 @@ pub fn segment_series(series: &TimeSeries, error_fraction: f64) -> Segmentation 
             len: n,
         };
     }
-    let filled;
-    let values: &[f64] = if missing == 0 {
-        raw
+    // The cone loop wants one contiguous slice: fully-present single-chunk
+    // series borrow it straight from storage; multi-block or gappy series
+    // materialize (and interpolate) one flat copy.
+    let storage: std::borrow::Cow<'_, [f64]> = if missing == 0 {
+        series.contiguous()
     } else {
-        filled = series.interpolate_missing();
-        filled.as_slice()
+        let mut filled = series.copy_values();
+        miscela_model::interpolate_in_place(&mut filled);
+        std::borrow::Cow::Owned(filled)
     };
+    let values: &[f64] = &storage;
     let tolerance = error_fraction.max(0.0) * (max - min).max(1e-12);
 
     let mut segments = Vec::new();
@@ -273,25 +282,42 @@ pub fn segment_series_tail(
     if n == old_len {
         return (prev.clone(), n);
     }
-    let raw = series.as_slice();
     // Prefix value range: the tolerance of the cold run on the prefix.
     // Branchless select — a NaN comparison is false, so missing values
     // never update either bound and the scan needs no `is_nan` branch.
+    // The scan walks the shared storage blocks in place.
     let mut pmin = f64::INFINITY;
     let mut pmax = f64::NEG_INFINITY;
-    for &v in &raw[..old_len] {
-        pmin = if v < pmin { v } else { pmin };
-        pmax = if v > pmax { v } else { pmax };
+    let mut remaining = old_len;
+    for chunk in series.chunks() {
+        let take = remaining.min(chunk.len());
+        for &v in &chunk[..take] {
+            pmin = if v < pmin { v } else { pmin };
+            pmax = if v > pmax { v } else { pmax };
+        }
+        remaining -= take;
+        if remaining == 0 {
+            break;
+        }
     }
-    if pmin > pmax || raw[old_len - 1].is_nan() {
+    if pmin > pmax || series.raw(old_len - 1).is_nan() {
         // All-missing prefix, or a trailing gap whose interpolation the
         // append changes retroactively.
         return full();
     }
     // Appended values outside the prefix range change the tolerance
     // (NaN compares false on both sides, so missing appends never do).
-    if raw[old_len..].iter().any(|&v| v < pmin || v > pmax) {
-        return full();
+    // Chunk-level iteration: the appended range lives in the last chunks.
+    let mut g = 0usize;
+    for chunk in series.chunks() {
+        let end = g + chunk.len();
+        if end > old_len {
+            let from = old_len.saturating_sub(g);
+            if chunk[from..].iter().any(|&v| v < pmin || v > pmax) {
+                return full();
+            }
+        }
+        g = end;
     }
     let Some(last) = prev.segments.last() else {
         return full();
@@ -302,17 +328,16 @@ pub fn segment_series_tail(
     let resume = last.start;
     // The window needs a present left anchor so its interpolation matches
     // the full series' interpolation point-for-point.
-    let Some(wstart) = (0..=resume).rev().find(|&i| !raw[i].is_nan()) else {
+    let Some(wstart) = (0..=resume).rev().find(|&i| !series.raw(i).is_nan()) else {
         return full();
     };
-    let wseries = TimeSeries::from_values(raw[wstart..].to_vec());
-    let filled;
-    let values: &[f64] = if wseries.as_slice().iter().any(|v| v.is_nan()) {
-        filled = wseries.interpolate_missing();
-        filled.as_slice()
-    } else {
-        wseries.as_slice()
-    };
+    // Materialize only the re-segmented window `[wstart, n)` — O(last
+    // segment + appended tail), not O(series).
+    let mut window = series.copy_range(wstart, n);
+    if window.iter().any(|v| v.is_nan()) {
+        miscela_model::interpolate_in_place(&mut window);
+    }
+    let values: &[f64] = &window;
     let tolerance = error_fraction.max(0.0) * (pmax - pmin).max(1e-12);
     let mut segments = prev.segments[..prev.segments.len() - 1].to_vec();
     segment_values(values, tolerance, wstart, resume - wstart, &mut segments);

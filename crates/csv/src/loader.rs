@@ -11,7 +11,7 @@ use crate::data_csv::{self, DataRow};
 use crate::error::CsvError;
 use crate::location_csv::{self, LocationRow};
 use miscela_model::{
-    AppendRow, AppendStats, Dataset, DatasetBuilder, Duration, TimeGrid, Timestamp,
+    AppendRowRef, AppendStats, Dataset, DatasetBuilder, Duration, TimeGrid, Timestamp,
 };
 use std::collections::BTreeSet;
 
@@ -94,16 +94,19 @@ impl DatasetLoader {
     /// on the dataset's grid spacing strictly beyond the current end, and a
     /// failed append leaves the dataset untouched.
     pub fn append(dataset: &mut Dataset, data: &[DataRow]) -> Result<AppendStats, CsvError> {
-        let rows: Vec<AppendRow> = data
+        // Borrowed-row adaptation: the parsed `DataRow`s already own their
+        // strings, so the model sees references instead of two fresh
+        // `String` clones per ingested line.
+        let rows: Vec<AppendRowRef<'_>> = data
             .iter()
-            .map(|r| AppendRow {
-                sensor: r.id.clone(),
-                attribute: r.attribute.clone(),
+            .map(|r| AppendRowRef {
+                sensor: &r.id,
+                attribute: &r.attribute,
                 time: r.time,
                 value: r.value,
             })
             .collect();
-        dataset.append_rows(&rows).map_err(CsvError::Model)
+        dataset.append_rows_borrowed(&rows).map_err(CsvError::Model)
     }
 
     /// Infers the regular grid covering all timestamps in `data`.

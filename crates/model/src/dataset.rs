@@ -8,8 +8,9 @@
 use crate::attribute::{Attribute, AttributeId, AttributeRegistry};
 use crate::error::ModelError;
 use crate::geo::{BoundingBox, GeoPoint};
+use crate::retention::RetentionPolicy;
 use crate::sensor::{Sensor, SensorId, SensorIndex};
-use crate::series::TimeSeries;
+use crate::series::{TimeSeries, SERIES_BLOCK_LEN};
 use crate::stats::DatasetStats;
 use crate::time::{TimeGrid, Timestamp};
 use std::collections::HashMap;
@@ -40,6 +41,23 @@ pub struct AppendRow {
     pub value: Option<f64>,
 }
 
+/// A borrowed measurement row for [`Dataset::append_rows_borrowed`]: the
+/// zero-copy view an ingestion front-end (e.g. the csv loader's parsed
+/// `DataRow`s) adapts its rows into without cloning the sensor id or
+/// attribute-name strings.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendRowRef<'a> {
+    /// External sensor id.
+    pub sensor: &'a SensorId,
+    /// Attribute name (must already be registered).
+    pub attribute: &'a str,
+    /// Measurement timestamp; must lie on the grid spacing and beyond the
+    /// current grid end.
+    pub time: Timestamp,
+    /// Measurement value (`None` for an explicit `null`).
+    pub value: Option<f64>,
+}
+
 /// The outcome of one [`Dataset::append_rows`] batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AppendStats {
@@ -47,6 +65,9 @@ pub struct AppendStats {
     pub new_timestamps: usize,
     /// How many measurement rows were applied.
     pub measurements: usize,
+    /// How many leading grid points the dataset's [`RetentionPolicy`]
+    /// trimmed right after the append (0 for unbounded datasets).
+    pub trimmed_timestamps: usize,
 }
 
 /// How many append-base lengths a dataset remembers (see
@@ -79,6 +100,13 @@ pub struct Dataset {
     id_index: HashMap<(SensorId, AttributeId), SensorIndex>,
     /// Grid lengths this dataset had before recent appends, oldest first.
     append_bases: Vec<usize>,
+    /// Sliding-window retention applied after every append.
+    retention: RetentionPolicy,
+    /// Total grid points trimmed from the front since the dataset was built.
+    trimmed: usize,
+    /// Cumulative [`Dataset::trimmed`] totals recorded at recent trims,
+    /// oldest first (the trim counterpart of `append_bases`).
+    trim_bases: Vec<usize>,
 }
 
 impl Dataset {
@@ -216,6 +244,9 @@ impl Dataset {
             grid,
             id_index: self.id_index.clone(),
             append_bases: Vec::new(),
+            retention: self.retention,
+            trimmed: 0,
+            trim_bases: Vec::new(),
         })
     }
 
@@ -223,8 +254,78 @@ impl Dataset {
     /// first (empty for a cold-built dataset). Incremental re-mining probes
     /// these, newest first, as candidate prefix lengths whose extraction
     /// state may still be cached; at most [`MAX_APPEND_BASES`] are kept.
+    /// Bases are expressed in the *current* (post-trim) indexing: a trim
+    /// rebases them and drops bases that fell out of the window entirely.
     pub fn append_bases(&self) -> &[usize] {
         &self.append_bases
+    }
+
+    /// The dataset's sliding-window retention policy.
+    pub fn retention(&self) -> &RetentionPolicy {
+        &self.retention
+    }
+
+    /// Installs a retention policy. The policy is applied on every
+    /// subsequent [`Dataset::append_rows`]; call
+    /// [`Dataset::trim_expired`] to apply it immediately.
+    pub fn set_retention(&mut self, policy: RetentionPolicy) {
+        self.retention = policy;
+    }
+
+    /// Total grid points trimmed from the front since the dataset was
+    /// built. The grid start has advanced by this many intervals.
+    pub fn trimmed(&self) -> usize {
+        self.trimmed
+    }
+
+    /// Cumulative trimmed-point totals recorded at recent trims, oldest
+    /// first (empty while nothing was ever trimmed; at most
+    /// [`MAX_APPEND_BASES`] are kept). This is the trim counterpart of
+    /// [`Dataset::append_bases`] — a diagnostic record of recent window
+    /// slides for observability and tests. The incremental extraction
+    /// layer does not need to consult it: trim safety comes from
+    /// [`Dataset::append_bases`] being rebased (or dropped) on trim plus
+    /// the content-fingerprint keying of extraction states — a slid
+    /// window's shifted content simply misses every pre-trim prefix key,
+    /// so the first post-trim extraction runs cold over the bounded
+    /// window, re-caches it, and subsequent appends resume incrementally
+    /// again.
+    pub fn trim_bases(&self) -> &[usize] {
+        &self.trim_bases
+    }
+
+    /// Applies the retention policy now: drops expired leading points from
+    /// the window, rounded *down* to whole storage blocks
+    /// ([`SERIES_BLOCK_LEN`]), so a trim is one `Arc` drop per block per
+    /// series and retained data is never rewritten. Returns how many grid
+    /// points were trimmed (0 when nothing has expired a full block yet).
+    ///
+    /// After a trim the grid start has advanced, every series index has
+    /// shifted down by the returned amount, and
+    /// [`Dataset::append_bases`] are rebased to the new indexing.
+    pub fn trim_expired(&mut self) -> usize {
+        let expired = self.retention.expired_points(&self.grid);
+        let trim = expired - expired % SERIES_BLOCK_LEN;
+        if trim == 0 {
+            return 0;
+        }
+        debug_assert!(trim <= self.grid.len().saturating_sub(1));
+        for s in &mut self.series {
+            s.drop_front_blocks(trim / SERIES_BLOCK_LEN);
+        }
+        self.grid.advance(trim);
+        self.append_bases = self
+            .append_bases
+            .iter()
+            .filter(|&&b| b > trim)
+            .map(|&b| b - trim)
+            .collect();
+        self.trimmed += trim;
+        self.trim_bases.push(self.trimmed);
+        if self.trim_bases.len() > MAX_APPEND_BASES {
+            self.trim_bases.remove(0);
+        }
+        trim
     }
 
     /// Appends measurement rows beyond the current grid end, extending the
@@ -237,7 +338,35 @@ impl Dataset {
     /// modified, so a failed append leaves the dataset untouched. The grid
     /// grows to cover the latest appended timestamp; grid points no row
     /// mentions stay missing for every sensor (the paper's `null`).
+    ///
+    /// Only the mutable series tails (and freshly sealed blocks) are
+    /// written: the sealed prefix blocks stay `Arc`-shared with any clone
+    /// taken before the append, so appending costs O(tail), not
+    /// O(dataset). After a successful append the dataset's
+    /// [`RetentionPolicy`] is applied ([`Dataset::trim_expired`]); the
+    /// returned [`AppendStats::trimmed_timestamps`] reports what it
+    /// trimmed.
     pub fn append_rows(&mut self, rows: &[AppendRow]) -> Result<AppendStats, ModelError> {
+        let refs: Vec<AppendRowRef<'_>> = rows
+            .iter()
+            .map(|r| AppendRowRef {
+                sensor: &r.sensor,
+                attribute: &r.attribute,
+                time: r.time,
+                value: r.value,
+            })
+            .collect();
+        self.append_rows_borrowed(&refs)
+    }
+
+    /// [`Dataset::append_rows`] over borrowed rows: the zero-copy entry
+    /// point for ingestion front-ends that already own parsed rows (the
+    /// csv loader routes through this, saving two `String` clones per
+    /// ingested line).
+    pub fn append_rows_borrowed(
+        &mut self,
+        rows: &[AppendRowRef<'_>],
+    ) -> Result<AppendStats, ModelError> {
         if rows.is_empty() {
             return Ok(AppendStats::default());
         }
@@ -253,12 +382,12 @@ impl Dataset {
         let mut last: Option<(&SensorId, &str, SensorIndex)> = None;
         for row in rows {
             let idx = match last {
-                Some((id, attr, idx)) if *id == row.sensor && attr == row.attribute => idx,
+                Some((id, attr, idx)) if id == row.sensor && attr == row.attribute => idx,
                 _ => {
                     let attribute = self
                         .attributes
-                        .id_of(&row.attribute)
-                        .ok_or_else(|| ModelError::UnknownAttribute(row.attribute.clone()))?;
+                        .id_of(row.attribute)
+                        .ok_or_else(|| ModelError::UnknownAttribute(row.attribute.to_string()))?;
                     let idx = self
                         .id_index
                         .get(&(row.sensor.clone(), attribute))
@@ -266,7 +395,7 @@ impl Dataset {
                         .ok_or_else(|| {
                             ModelError::UnknownSensor(format!("{}:{}", row.sensor, row.attribute))
                         })?;
-                    last = Some((&row.sensor, &row.attribute, idx));
+                    last = Some((row.sensor, row.attribute, idx));
                     idx
                 }
             };
@@ -308,9 +437,15 @@ impl Dataset {
                 self.append_bases.remove(0);
             }
         }
+        let trimmed = if self.retention.is_unbounded() {
+            0
+        } else {
+            self.trim_expired()
+        };
         Ok(AppendStats {
             new_timestamps: added,
             measurements: resolved.len(),
+            trimmed_timestamps: trimmed,
         })
     }
 }
@@ -329,6 +464,7 @@ pub struct DatasetBuilder {
     id_index: HashMap<(SensorId, AttributeId), SensorIndex>,
     grid: Option<TimeGrid>,
     series: Vec<TimeSeries>,
+    retention: RetentionPolicy,
 }
 
 impl DatasetBuilder {
@@ -341,7 +477,15 @@ impl DatasetBuilder {
             id_index: HashMap::new(),
             grid: None,
             series: Vec::new(),
+            retention: RetentionPolicy::unbounded(),
         }
+    }
+
+    /// Declares the sliding-window retention policy the built dataset will
+    /// apply on appends. The policy is *not* applied to the initial build.
+    pub fn set_retention(&mut self, policy: RetentionPolicy) -> &mut Self {
+        self.retention = policy;
+        self
     }
 
     /// Declares an attribute (idempotent) and returns its id.
@@ -474,6 +618,9 @@ impl DatasetBuilder {
             grid,
             id_index: self.id_index,
             append_bases: Vec::new(),
+            retention: self.retention,
+            trimmed: 0,
+            trim_bases: Vec::new(),
         })
     }
 }
@@ -744,6 +891,211 @@ mod tests {
         // Slicing resets lineage.
         let sliced = ds.slice_time(start, start + Duration::hours(3)).unwrap();
         assert!(sliced.append_bases().is_empty());
+    }
+
+    /// A 2-sensor dataset over `len` hourly points whose values are pure
+    /// functions of the *absolute* grid step, so appended tails and trimmed
+    /// windows can be recomputed exactly.
+    fn streaming_dataset(len: usize) -> Dataset {
+        let mut b = DatasetBuilder::new("stream");
+        let start = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+        b.set_grid(TimeGrid::new(start, Duration::hours(1), len).unwrap());
+        let s0 = b
+            .add_sensor("s0", "temperature", GeoPoint::new_unchecked(43.0, -3.0))
+            .unwrap();
+        let s1 = b
+            .add_sensor("s1", "humidity", GeoPoint::new_unchecked(43.001, -3.001))
+            .unwrap();
+        for (idx, s) in [(s0, 0usize), (s1, 1usize)] {
+            let options: Vec<Option<f64>> = (0..len).map(|t| value_at(s, t)).collect();
+            b.set_series(idx, TimeSeries::from_options(&options))
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// Sensor `s`'s value at absolute grid step `t` (`None` = missing).
+    fn value_at(s: usize, t: usize) -> Option<f64> {
+        match s {
+            0 => Some((t as f64 * 0.17).sin() * 4.0),
+            _ => (t % 5 != 2).then(|| (t as f64 * 0.05).cos() * 2.0 + 1.0),
+        }
+    }
+
+    /// Append rows reproducing absolute steps `[from, to)` of the
+    /// streaming fixture (every point mentioned, missing ones as explicit
+    /// nulls, so the grid always grows through `to - 1`).
+    fn streaming_rows(from: usize, to: usize) -> Vec<AppendRow> {
+        let start = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+        let mut rows = Vec::new();
+        for (s, (id, attr)) in [("s0", "temperature"), ("s1", "humidity")]
+            .iter()
+            .enumerate()
+        {
+            for t in from..to {
+                rows.push(AppendRow {
+                    sensor: SensorId::new(*id),
+                    attribute: attr.to_string(),
+                    time: start + Duration::hours(t as i64),
+                    value: value_at(s, t),
+                });
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn retention_trims_whole_blocks_on_append() {
+        let mut ds = streaming_dataset(3 * SERIES_BLOCK_LEN);
+        ds.set_retention(RetentionPolicy::keep_last(SERIES_BLOCK_LEN));
+        assert_eq!(ds.trimmed(), 0);
+        let n = ds.timestamp_count();
+        let stats = ds.append_rows(&streaming_rows(n, n + 4)).unwrap();
+        assert_eq!(stats.new_timestamps, 4);
+        // 3*B + 4 points, window B => expired = 2*B + 4, block-rounded to 2*B.
+        assert_eq!(stats.trimmed_timestamps, 2 * SERIES_BLOCK_LEN);
+        assert_eq!(ds.timestamp_count(), SERIES_BLOCK_LEN + 4);
+        assert_eq!(ds.trimmed(), 2 * SERIES_BLOCK_LEN);
+        assert_eq!(ds.trim_bases(), &[2 * SERIES_BLOCK_LEN]);
+        // The grid start advanced and absolute timestamps are preserved.
+        let start = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+        assert_eq!(
+            ds.grid().start(),
+            start + Duration::hours(2 * SERIES_BLOCK_LEN as i64)
+        );
+        // Retained values match the absolute waveform at shifted indices.
+        for s in 0..2 {
+            let series = ds.series(SensorIndex(s as u32));
+            for i in 0..ds.timestamp_count() {
+                assert_eq!(
+                    series.get(i),
+                    value_at(s, i + 2 * SERIES_BLOCK_LEN),
+                    "sensor {s} index {i}"
+                );
+            }
+        }
+        // append_bases were rebased: the pre-append length 3*B becomes B.
+        assert_eq!(ds.append_bases(), &[SERIES_BLOCK_LEN]);
+    }
+
+    #[test]
+    fn trim_expired_is_block_granular_and_never_empties() {
+        let mut ds = streaming_dataset(SERIES_BLOCK_LEN + 10);
+        // Sub-block expiry: nothing to trim yet.
+        ds.set_retention(RetentionPolicy::keep_last(SERIES_BLOCK_LEN));
+        assert_eq!(ds.trim_expired(), 0);
+        assert!(ds.trim_bases().is_empty());
+        // A window of 1 can trim at most the sealed blocks.
+        ds.set_retention(RetentionPolicy::keep_last(1));
+        assert_eq!(ds.trim_expired(), SERIES_BLOCK_LEN);
+        assert_eq!(ds.timestamp_count(), 10);
+        // Trimming again with everything expired leaves the tail: a trim
+        // can never empty the dataset.
+        assert_eq!(ds.trim_expired(), 0);
+        assert_eq!(ds.timestamp_count(), 10);
+        assert_eq!(ds.trimmed(), SERIES_BLOCK_LEN);
+    }
+
+    #[test]
+    fn append_clone_shares_prefix_blocks() {
+        // The finish_append regression shape: clone, append to the clone —
+        // the stable prefix must stay pointer-shared (no deep copy).
+        let ds = streaming_dataset(2 * SERIES_BLOCK_LEN + 20);
+        let mut appended = ds.clone();
+        let n = ds.timestamp_count();
+        appended.append_rows(&streaming_rows(n, n + 8)).unwrap();
+        for idx in ds.indices() {
+            let before = ds.series(idx);
+            let after = appended.series(idx);
+            assert_eq!(
+                after.shares_blocks_with(before),
+                before.block_count(),
+                "append copied the stable prefix of sensor {idx:?}"
+            );
+        }
+        // The original is untouched.
+        assert_eq!(ds.timestamp_count(), n);
+    }
+
+    #[test]
+    fn slice_resets_trim_lineage() {
+        let mut ds = streaming_dataset(2 * SERIES_BLOCK_LEN);
+        ds.set_retention(RetentionPolicy::keep_last(SERIES_BLOCK_LEN));
+        ds.trim_expired();
+        assert_eq!(ds.trimmed(), SERIES_BLOCK_LEN);
+        let sliced = ds
+            .slice_time(ds.grid().start(), ds.grid().range().end)
+            .unwrap();
+        assert_eq!(sliced.trimmed(), 0);
+        assert!(sliced.trim_bases().is_empty());
+        // The policy itself is carried over.
+        assert_eq!(*sliced.retention(), *ds.retention());
+    }
+
+    mod append_trim_proptest {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Random interleavings of appends and trims leave the dataset
+            /// holding exactly the absolute-waveform window a naive mirror
+            /// predicts — values, grid start, trim totals and base
+            /// rebasing all agree.
+            #[test]
+            fn interleavings_match_naive_mirror(
+                initial in 2usize..700,
+                ops in proptest::collection::vec((any::<bool>(), 1usize..600), 1..8),
+            ) {
+                let mut ds = streaming_dataset(initial);
+                // Mirror: absolute index of the window start + its length.
+                let mut mirror_start = 0usize;
+                let mut mirror_len = initial;
+                for &(is_append, k) in &ops {
+                    if is_append {
+                        let k = k.min(200);
+                        let abs_end = mirror_start + mirror_len;
+                        let rows = streaming_rows(abs_end, abs_end + k);
+                        let stats = ds.append_rows(&rows).unwrap();
+                        prop_assert_eq!(stats.new_timestamps, k);
+                        mirror_len += k;
+                    } else {
+                        let window = k;
+                        ds.set_retention(RetentionPolicy::keep_last(window));
+                        let trimmed = ds.trim_expired();
+                        // Disarm the policy again so the mirror only has to
+                        // model *explicit* trims, not append-time re-trims.
+                        ds.set_retention(RetentionPolicy::unbounded());
+                        let expired =
+                            mirror_len.saturating_sub(window.max(1)).min(mirror_len - 1);
+                        let expect = expired - expired % SERIES_BLOCK_LEN;
+                        prop_assert_eq!(trimmed, expect);
+                        mirror_start += expect;
+                        mirror_len -= expect;
+                    }
+                    prop_assert_eq!(ds.timestamp_count(), mirror_len);
+                    prop_assert_eq!(ds.trimmed(), mirror_start);
+                    // Every retained value equals the absolute waveform.
+                    for s in 0..2usize {
+                        let series = ds.series(SensorIndex(s as u32));
+                        for i in 0..mirror_len {
+                            prop_assert_eq!(series.get(i), value_at(s, mirror_start + i));
+                        }
+                    }
+                    // Grid start tracks the trim offset.
+                    let start = Timestamp::parse("2016-03-01 00:00:00").unwrap();
+                    prop_assert_eq!(
+                        ds.grid().start(),
+                        start + Duration::hours(mirror_start as i64)
+                    );
+                    // Bases stay within the window and below the length.
+                    for &b in ds.append_bases() {
+                        prop_assert!(b > 0 && b <= mirror_len);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //! * [`geo`] — geographic points, haversine distances, bounding boxes.
 //! * [`time`] — timestamps, durations, and the regular [`time::TimeGrid`] that
 //!   every series in a dataset shares.
-//! * [`series`] — regular-interval time series with missing values.
+//! * [`series`] — regular-interval time series with missing values, stored
+//!   as structurally shared blocks (`Arc`'d immutable prefix blocks plus a
+//!   mutable tail) so cloning and appending cost O(tail).
+//! * [`retention`] — sliding-window [`RetentionPolicy`] bounding streaming
+//!   datasets to a trailing window.
 //! * [`dataset`] — a named collection of sensors and their series, mirroring
 //!   the paper's uploaded dataset (`data.csv` + `location.csv` +
 //!   `attribute.csv`).
@@ -58,6 +62,7 @@ pub mod attribute;
 pub mod dataset;
 pub mod error;
 pub mod geo;
+pub mod retention;
 pub mod sensor;
 pub mod series;
 pub mod stats;
@@ -65,12 +70,13 @@ pub mod time;
 
 pub use attribute::{Attribute, AttributeId, AttributeRegistry};
 pub use dataset::{
-    AppendRow, AppendStats, Dataset, DatasetBuilder, SensorSeries, MAX_APPEND_BASES,
+    AppendRow, AppendRowRef, AppendStats, Dataset, DatasetBuilder, SensorSeries, MAX_APPEND_BASES,
     MAX_APPEND_TIMESTAMPS,
 };
 pub use error::ModelError;
 pub use geo::{BoundingBox, GeoPoint};
+pub use retention::RetentionPolicy;
 pub use sensor::{Sensor, SensorId, SensorIndex};
-pub use series::TimeSeries;
+pub use series::{interpolate_in_place, TimeSeries, SERIES_BLOCK_LEN};
 pub use stats::{DatasetStats, SeriesSummary};
 pub use time::{Duration, TimeGrid, TimeRange, Timestamp};

@@ -1,0 +1,146 @@
+//! Sliding-window retention policies for streaming datasets.
+//!
+//! A smart-city feed is unbounded; the dataset holding it must not be. A
+//! [`RetentionPolicy`] bounds a dataset to a trailing window — by point
+//! count, by age relative to the newest grid point, or both — and the
+//! dataset applies it after every append by trimming expired *whole storage
+//! blocks* from the front (see [`crate::series::SERIES_BLOCK_LEN`] and
+//! [`crate::Dataset::trim_expired`]). Block granularity keeps trims O(1)
+//! per block (an `Arc` drop per series) and means a dataset may retain up
+//! to one extra partial block beyond the configured window; the window is a
+//! floor, never a ceiling violation in the other direction.
+
+use crate::time::{Duration, TimeGrid};
+
+/// A sliding-window retention policy: how much trailing history a dataset
+/// keeps. The default ([`RetentionPolicy::unbounded`]) keeps everything.
+///
+/// When both bounds are set, the *stricter* one wins (the retained window
+/// is the intersection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetentionPolicy {
+    /// Keep at least the last `max_timestamps` grid points (`None` = no
+    /// count bound).
+    pub max_timestamps: Option<usize>,
+    /// Keep at least the grid points younger than `max_age` relative to the
+    /// newest grid point (`None` = no age bound).
+    pub max_age: Option<Duration>,
+}
+
+impl RetentionPolicy {
+    /// The policy that never expires anything.
+    pub fn unbounded() -> Self {
+        RetentionPolicy::default()
+    }
+
+    /// Keep (at least) the last `n` grid points.
+    pub fn keep_last(n: usize) -> Self {
+        RetentionPolicy {
+            max_timestamps: Some(n.max(1)),
+            max_age: None,
+        }
+    }
+
+    /// Keep (at least) the grid points younger than `age` relative to the
+    /// newest grid point.
+    pub fn keep_age(age: Duration) -> Self {
+        RetentionPolicy {
+            max_timestamps: None,
+            max_age: Some(age),
+        }
+    }
+
+    /// Restricts this policy with a count bound too (builder-style).
+    pub fn with_max_timestamps(mut self, n: usize) -> Self {
+        self.max_timestamps = Some(n.max(1));
+        self
+    }
+
+    /// Whether the policy never expires anything.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_timestamps.is_none() && self.max_age.is_none()
+    }
+
+    /// How many *leading* grid points of `grid` fall outside the retained
+    /// window. Never returns more than `grid.len() - 1`: retention by
+    /// itself never empties a dataset (the newest point is always within
+    /// any window).
+    pub fn expired_points(&self, grid: &TimeGrid) -> usize {
+        let len = grid.len();
+        if len == 0 {
+            return 0;
+        }
+        let mut expired = 0usize;
+        if let Some(max_ts) = self.max_timestamps {
+            expired = expired.max(len.saturating_sub(max_ts.max(1)));
+        }
+        if let (Some(max_age), Some(newest)) = (self.max_age, grid.end()) {
+            // A point expires when it is strictly older than newest - age.
+            let cutoff = newest.epoch_seconds() - max_age.as_secs();
+            let start = grid.start().epoch_seconds();
+            if cutoff > start {
+                let interval = grid.interval().as_secs();
+                // Count of indices i with start + i*interval < cutoff.
+                let by_age = ((cutoff - start + interval - 1) / interval) as usize;
+                expired = expired.max(by_age);
+            }
+        }
+        expired.min(len - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn grid(len: usize) -> TimeGrid {
+        TimeGrid::new(Timestamp::EPOCH, Duration::hours(1), len).unwrap()
+    }
+
+    #[test]
+    fn unbounded_expires_nothing() {
+        let p = RetentionPolicy::unbounded();
+        assert!(p.is_unbounded());
+        assert_eq!(p.expired_points(&grid(1000)), 0);
+        assert_eq!(p.expired_points(&grid(0)), 0);
+    }
+
+    #[test]
+    fn count_bound_expires_the_leading_excess() {
+        let p = RetentionPolicy::keep_last(300);
+        assert!(!p.is_unbounded());
+        assert_eq!(p.expired_points(&grid(1000)), 700);
+        assert_eq!(p.expired_points(&grid(300)), 0);
+        assert_eq!(p.expired_points(&grid(10)), 0);
+        // keep_last(0) is clamped to keep at least one point.
+        assert_eq!(RetentionPolicy::keep_last(0).expired_points(&grid(5)), 4);
+    }
+
+    #[test]
+    fn age_bound_expires_points_older_than_the_window() {
+        // 10 hourly points, newest at t=9h; a 3h window keeps t in [6h, 9h].
+        let p = RetentionPolicy::keep_age(Duration::hours(3));
+        assert_eq!(p.expired_points(&grid(10)), 6);
+        // A window covering everything expires nothing.
+        assert_eq!(
+            RetentionPolicy::keep_age(Duration::hours(100)).expired_points(&grid(10)),
+            0
+        );
+        // A zero-length window still keeps the newest point.
+        assert_eq!(
+            RetentionPolicy::keep_age(Duration::hours(0)).expired_points(&grid(10)),
+            9
+        );
+    }
+
+    #[test]
+    fn both_bounds_intersect() {
+        let p = RetentionPolicy::keep_age(Duration::hours(8)).with_max_timestamps(3);
+        // Count bound (keep 3 => expire 7) is stricter than age (expire 1).
+        assert_eq!(p.expired_points(&grid(10)), 7);
+        let p = RetentionPolicy::keep_age(Duration::hours(2)).with_max_timestamps(300);
+        // Age bound (expire 7) is stricter than count (expire 0).
+        assert_eq!(p.expired_points(&grid(10)), 7);
+    }
+}

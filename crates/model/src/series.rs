@@ -1,95 +1,302 @@
-//! Regular-interval time series with missing values.
+//! Regular-interval time series with missing values, stored as structurally
+//! shared blocks.
 //!
 //! A [`TimeSeries`] stores one value per grid point of its dataset's
 //! [`crate::time::TimeGrid`]. Missing measurements (the `null` entries of the
 //! paper's `data.csv`) are represented internally as `NaN` and exposed as
 //! `Option<f64>`, which keeps storage at 8 bytes per point — relevant because
 //! the China6 dataset has close to seven million records.
+//!
+//! # Shared-block storage
+//!
+//! Values are held as a sequence of sealed, immutable, `Arc`-shared *blocks*
+//! of exactly [`SERIES_BLOCK_LEN`] points followed by one mutable *tail* of
+//! fewer than [`SERIES_BLOCK_LEN`] points:
+//!
+//! ```text
+//! [ Arc(block 0) | Arc(block 1) | ... | Arc(block k-1) | tail ]
+//!    256 values     256 values           256 values      < 256 values
+//! ```
+//!
+//! Cloning a series bumps the block reference counts and copies only the
+//! tail, so cloning is O(tail) instead of O(series) — the representation
+//! that makes the streaming server's per-append dataset copy cheap
+//! (structural sharing / copy-on-extend). Appending pushes onto the tail
+//! and seals it into a new block whenever it reaches [`SERIES_BLOCK_LEN`];
+//! sealed blocks of the stable prefix are never touched, which appending
+//! code asserts via [`TimeSeries::shares_blocks_with`]. Writing *into* a
+//! sealed block (the dataset-build path, or appended measurements landing
+//! in a freshly sealed block) copies that one block on demand when — and
+//! only when — it is actually shared.
+//!
+//! [`SERIES_BLOCK_LEN`] is a multiple of 64, so block boundaries always fall
+//! on 64-bit bitset word boundaries — the property the word-level evolving
+//! scan in `miscela-core` relies on to process blocks without copying them
+//! into one contiguous buffer.
+//!
+//! Sliding-window retention drops expired *whole blocks* from the front
+//! ([`TimeSeries::drop_front_blocks`]); freeing a block is one `Arc` drop,
+//! so trimming is O(blocks dropped) and never rewrites retained data.
 
+use std::borrow::Cow;
 use std::fmt;
+use std::sync::Arc;
+
+/// Number of values per sealed block: 256 points (a multiple of 64, so
+/// blocks always cover whole bitset words downstream).
+pub const SERIES_BLOCK_LEN: usize = 256;
 
 /// A fixed-length series of optionally-missing measurements aligned to a
-/// dataset-wide time grid.
-#[derive(Clone, PartialEq, Default)]
+/// dataset-wide time grid, stored as `Arc`-shared blocks plus a mutable
+/// tail (see the module docs).
+#[derive(Clone, Default)]
 pub struct TimeSeries {
-    values: Vec<f64>, // NaN encodes "missing"
+    /// Sealed blocks of exactly [`SERIES_BLOCK_LEN`] values each.
+    blocks: Vec<Arc<Vec<f64>>>,
+    /// The mutable tail: fewer than [`SERIES_BLOCK_LEN`] values.
+    tail: Vec<f64>, // NaN encodes "missing"
 }
 
 impl fmt::Debug for TimeSeries {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "TimeSeries(len={}, present={})",
+            "TimeSeries(len={}, present={}, blocks={})",
             self.len(),
-            self.present_count()
+            self.present_count(),
+            self.blocks.len()
         )
+    }
+}
+
+/// Element-wise value equality (`NaN != NaN`, matching the semantics the
+/// pre-block representation inherited from `Vec<f64>`).
+impl PartialEq for TimeSeries {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self
+                .chunks()
+                .flatten()
+                .zip(other.chunks().flatten())
+                .all(|(a, b)| a == b)
+    }
+}
+
+/// Linearly interpolates `NaN` runs in place: interior gaps between the
+/// nearest present neighbours, leading/trailing gaps by extending the
+/// nearest present value, an all-`NaN` slice untouched. This is the exact
+/// missing-value fill of [`TimeSeries::interpolate_missing`], exposed on a
+/// raw slice so the segmentation layer can fill an already-materialized
+/// window without round-tripping through a second series.
+pub fn interpolate_in_place(out: &mut [f64]) {
+    let n = out.len();
+    let mut i = 0usize;
+    while i < n {
+        if !out[i].is_nan() {
+            i += 1;
+            continue;
+        }
+        // Find gap [i, j)
+        let mut j = i;
+        while j < n && out[j].is_nan() {
+            j += 1;
+        }
+        let left = if i > 0 { Some(out[i - 1]) } else { None };
+        let right = if j < n { Some(out[j]) } else { None };
+        match (left, right) {
+            (Some(l), Some(r)) => {
+                let gap = (j - i + 1) as f64;
+                for (k, slot) in out.iter_mut().enumerate().take(j).skip(i) {
+                    let frac = (k - i + 1) as f64 / gap;
+                    *slot = l + (r - l) * frac;
+                }
+            }
+            (Some(l), None) => {
+                for slot in out.iter_mut().take(j).skip(i) {
+                    *slot = l;
+                }
+            }
+            (None, Some(r)) => {
+                for slot in out.iter_mut().take(j).skip(i) {
+                    *slot = r;
+                }
+            }
+            (None, None) => {}
+        }
+        i = j;
     }
 }
 
 impl TimeSeries {
     /// A series of `len` missing values.
     pub fn missing(len: usize) -> Self {
-        TimeSeries {
-            values: vec![f64::NAN; len],
-        }
+        TimeSeries::from_values(vec![f64::NAN; len])
     }
 
     /// Builds a series from present values (no missing entries).
-    pub fn from_values(values: Vec<f64>) -> Self {
-        TimeSeries { values }
+    pub fn from_values(mut values: Vec<f64>) -> Self {
+        let sealed = (values.len() / SERIES_BLOCK_LEN) * SERIES_BLOCK_LEN;
+        let tail = values.split_off(sealed);
+        let blocks = values
+            .chunks(SERIES_BLOCK_LEN)
+            .map(|c| Arc::new(c.to_vec()))
+            .collect();
+        TimeSeries { blocks, tail }
     }
 
     /// Builds a series from optional values.
     pub fn from_options(values: &[Option<f64>]) -> Self {
-        TimeSeries {
-            values: values.iter().map(|v| v.unwrap_or(f64::NAN)).collect(),
-        }
+        TimeSeries::from_values(values.iter().map(|v| v.unwrap_or(f64::NAN)).collect())
     }
 
     /// Number of grid points (present or missing).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.blocks.len() * SERIES_BLOCK_LEN + self.tail.len()
     }
 
     /// Whether the series has no points at all.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.blocks.is_empty() && self.tail.is_empty()
+    }
+
+    /// Number of values covered by sealed blocks (always
+    /// `len() - len() % SERIES_BLOCK_LEN`).
+    #[inline]
+    pub fn sealed_len(&self) -> usize {
+        self.blocks.len() * SERIES_BLOCK_LEN
+    }
+
+    /// Number of sealed blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// How many leading sealed blocks `self` and `other` share *by pointer*
+    /// (`Arc::ptr_eq`). This is the structural-sharing observable: after an
+    /// append, every pre-existing sealed block must still be the same
+    /// allocation — appends extend, they do not copy the stable prefix.
+    pub fn shares_blocks_with(&self, other: &TimeSeries) -> usize {
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .take_while(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Drops the first `count` sealed blocks — the sliding-window trim.
+    /// Indices shift down by `count * SERIES_BLOCK_LEN`; each dropped block
+    /// is released with one `Arc` drop (other series revisions sharing it
+    /// keep it alive). Panics when fewer than `count` blocks exist.
+    pub fn drop_front_blocks(&mut self, count: usize) {
+        assert!(
+            count <= self.blocks.len(),
+            "cannot drop {count} of {} blocks",
+            self.blocks.len()
+        );
+        self.blocks.drain(..count);
+    }
+
+    /// The storage chunks in order: every sealed block, then the tail (if
+    /// non-empty). Chunk boundaries fall on multiples of
+    /// [`SERIES_BLOCK_LEN`], hence on 64-bit word boundaries.
+    pub fn chunks(&self) -> impl Iterator<Item = &[f64]> {
+        self.blocks
+            .iter()
+            .map(|b| b.as_slice())
+            .chain(std::iter::once(self.tail.as_slice()).filter(|t| !t.is_empty()))
+    }
+
+    /// The raw values as one contiguous slice, borrowed when the series
+    /// occupies a single chunk and copied otherwise (missing values are
+    /// `NaN`).
+    pub fn contiguous(&self) -> Cow<'_, [f64]> {
+        if self.blocks.is_empty() {
+            Cow::Borrowed(&self.tail)
+        } else if self.blocks.len() == 1 && self.tail.is_empty() {
+            Cow::Borrowed(self.blocks[0].as_slice())
+        } else {
+            Cow::Owned(self.copy_range(0, self.len()))
+        }
+    }
+
+    /// Copies all raw values into a fresh contiguous `Vec` (missing values
+    /// are `NaN`).
+    pub fn copy_values(&self) -> Vec<f64> {
+        self.copy_range(0, self.len())
+    }
+
+    /// Copies the raw values of `[start, end)` (clamped to bounds) into a
+    /// fresh contiguous `Vec`.
+    pub fn copy_range(&self, start: usize, end: usize) -> Vec<f64> {
+        let n = self.len();
+        let start = start.min(n);
+        let end = end.clamp(start, n);
+        let mut out = Vec::with_capacity(end - start);
+        let mut g = 0usize;
+        for chunk in self.chunks() {
+            let ce = g + chunk.len();
+            if ce > start && g < end {
+                let lo = start.saturating_sub(g);
+                let hi = (end - g).min(chunk.len());
+                out.extend_from_slice(&chunk[lo..hi]);
+            }
+            g = ce;
+            if g >= end {
+                break;
+            }
+        }
+        out
     }
 
     /// Value at index `i`, `None` when missing or out of range.
     #[inline]
     pub fn get(&self, i: usize) -> Option<f64> {
-        match self.values.get(i) {
-            Some(v) if !v.is_nan() => Some(*v),
-            _ => None,
+        if i >= self.len() {
+            return None;
         }
+        let v = self.raw(i);
+        (!v.is_nan()).then_some(v)
     }
 
     /// Raw value at index `i` (`NaN` when missing). Panics when out of range.
     #[inline]
     pub fn raw(&self, i: usize) -> f64 {
-        self.values[i]
+        let sealed = self.sealed_len();
+        if i < sealed {
+            self.blocks[i / SERIES_BLOCK_LEN][i % SERIES_BLOCK_LEN]
+        } else {
+            self.tail[i - sealed]
+        }
     }
 
-    /// Sets the value at index `i`. Panics when out of range.
+    /// Sets the value at index `i`. Panics when out of range. Writing into a
+    /// sealed block copies that block first when it is shared with another
+    /// series (copy-on-write, O([`SERIES_BLOCK_LEN`]) worst case); writes
+    /// into the tail or an unshared block are in place.
     pub fn set(&mut self, i: usize, value: f64) {
-        self.values[i] = value;
+        let sealed = self.sealed_len();
+        if i < sealed {
+            Arc::make_mut(&mut self.blocks[i / SERIES_BLOCK_LEN])[i % SERIES_BLOCK_LEN] = value;
+        } else {
+            self.tail[i - sealed] = value;
+        }
     }
 
     /// Marks index `i` as missing. Panics when out of range.
     pub fn clear(&mut self, i: usize) {
-        self.values[i] = f64::NAN;
+        self.set(i, f64::NAN);
     }
 
     /// Whether the value at `i` is present.
     #[inline]
     pub fn is_present(&self, i: usize) -> bool {
-        self.values.get(i).map(|v| !v.is_nan()).unwrap_or(false)
+        i < self.len() && !self.raw(i).is_nan()
     }
 
     /// Number of present (non-missing) values.
     pub fn present_count(&self) -> usize {
-        self.values.iter().filter(|v| !v.is_nan()).count()
+        self.chunks().flatten().filter(|v| !v.is_nan()).count()
     }
 
     /// Number of missing values.
@@ -99,23 +306,18 @@ impl TimeSeries {
 
     /// Iterates over `Option<f64>` values in grid order.
     pub fn iter(&self) -> impl Iterator<Item = Option<f64>> + '_ {
-        self.values
-            .iter()
+        self.chunks()
+            .flatten()
             .map(|v| if v.is_nan() { None } else { Some(*v) })
     }
 
     /// Iterates over `(index, value)` for present values only.
     pub fn present(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.values
-            .iter()
+        self.chunks()
+            .flatten()
             .enumerate()
             .filter(|(_, v)| !v.is_nan())
             .map(|(i, v)| (i, *v))
-    }
-
-    /// Underlying raw slice (missing values are `NaN`).
-    pub fn as_slice(&self) -> &[f64] {
-        &self.values
     }
 
     /// The difference `x[i] - x[i-1]`, `None` when either side is missing or
@@ -125,7 +327,7 @@ impl TimeSeries {
         if i == 0 || i >= self.len() {
             return None;
         }
-        let (prev, cur) = (self.values[i - 1], self.values[i]);
+        let (prev, cur) = (self.raw(i - 1), self.raw(i));
         if prev.is_nan() || cur.is_nan() {
             None
         } else {
@@ -177,12 +379,12 @@ impl TimeSeries {
     }
 
     /// Extracts the sub-series `[first, first + len)`, clamped to bounds.
+    /// The window is a fresh series (re-chunked from zero) — windows do not
+    /// share blocks with their source.
     pub fn window(&self, first: usize, len: usize) -> TimeSeries {
-        let first = first.min(self.values.len());
-        let end = (first + len).min(self.values.len());
-        TimeSeries {
-            values: self.values[first..end].to_vec(),
-        }
+        let first = first.min(self.len());
+        let end = first.saturating_add(len).min(self.len());
+        TimeSeries::from_values(self.copy_range(first, end))
     }
 
     /// Fills missing values by linear interpolation between the nearest
@@ -192,56 +394,29 @@ impl TimeSeries {
     /// The MISCELA pipeline applies this before linear segmentation so that
     /// isolated nulls do not break the segmentation step.
     pub fn interpolate_missing(&self) -> TimeSeries {
-        let n = self.values.len();
-        let mut out = self.values.clone();
-        if self.present_count() == 0 {
-            return TimeSeries { values: out };
-        }
-        let mut i = 0usize;
-        while i < n {
-            if !out[i].is_nan() {
-                i += 1;
-                continue;
-            }
-            // Find gap [i, j)
-            let mut j = i;
-            while j < n && out[j].is_nan() {
-                j += 1;
-            }
-            let left = if i > 0 { Some(out[i - 1]) } else { None };
-            let right = if j < n { Some(out[j]) } else { None };
-            match (left, right) {
-                (Some(l), Some(r)) => {
-                    let gap = (j - i + 1) as f64;
-                    for (k, slot) in out.iter_mut().enumerate().take(j).skip(i) {
-                        let frac = (k - i + 1) as f64 / gap;
-                        *slot = l + (r - l) * frac;
-                    }
-                }
-                (Some(l), None) => {
-                    for slot in out.iter_mut().take(j).skip(i) {
-                        *slot = l;
-                    }
-                }
-                (None, Some(r)) => {
-                    for slot in out.iter_mut().take(j).skip(i) {
-                        *slot = r;
-                    }
-                }
-                (None, None) => {}
-            }
-            i = j;
-        }
-        TimeSeries { values: out }
+        let mut out = self.copy_values();
+        interpolate_in_place(&mut out);
+        TimeSeries::from_values(out)
     }
 
-    /// Appends `n` missing points in place. This is the missing-value fill
-    /// of the dataset append path: when the grid grows, every series is
-    /// first padded with `null`s and the appended measurements then
-    /// overwrite the points that actually arrived.
+    /// Appends `n` missing points in place, sealing the tail into shared
+    /// blocks as it fills. This is the missing-value fill of the dataset
+    /// append path: when the grid grows, every series is first padded with
+    /// `null`s and the appended measurements then overwrite the points that
+    /// actually arrived. Sealed prefix blocks are never touched.
     pub fn extend_missing(&mut self, n: usize) {
-        let new_len = self.values.len() + n;
-        self.values.resize(new_len, f64::NAN);
+        self.tail.extend(std::iter::repeat_n(f64::NAN, n));
+        self.seal_full_tail();
+    }
+
+    /// Seals the tail into blocks while it holds at least one full block of
+    /// values, restoring the `tail.len() < SERIES_BLOCK_LEN` invariant.
+    fn seal_full_tail(&mut self) {
+        while self.tail.len() >= SERIES_BLOCK_LEN {
+            let rest = self.tail.split_off(SERIES_BLOCK_LEN);
+            let sealed = std::mem::replace(&mut self.tail, rest);
+            self.blocks.push(Arc::new(sealed));
+        }
     }
 
     /// Fraction of values that are present, in `[0, 1]` (1.0 for empty).
@@ -256,17 +431,13 @@ impl TimeSeries {
 
 impl FromIterator<Option<f64>> for TimeSeries {
     fn from_iter<T: IntoIterator<Item = Option<f64>>>(iter: T) -> Self {
-        TimeSeries {
-            values: iter.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect(),
-        }
+        TimeSeries::from_values(iter.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect())
     }
 }
 
 impl FromIterator<f64> for TimeSeries {
     fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
-        TimeSeries {
-            values: iter.into_iter().collect(),
-        }
+        TimeSeries::from_values(iter.into_iter().collect())
     }
 }
 
@@ -330,9 +501,9 @@ mod tests {
     fn window_clamps() {
         let s = TimeSeries::from_values(vec![0.0, 1.0, 2.0, 3.0, 4.0]);
         let w = s.window(1, 3);
-        assert_eq!(w.as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(w.copy_values(), vec![1.0, 2.0, 3.0]);
         let w = s.window(3, 10);
-        assert_eq!(w.as_slice(), &[3.0, 4.0]);
+        assert_eq!(w.copy_values(), vec![3.0, 4.0]);
         let w = s.window(9, 2);
         assert!(w.is_empty());
     }
@@ -376,5 +547,148 @@ mod tests {
         assert_eq!(v, vec![(0, 1.0), (2, 3.0)]);
         let all: Vec<Option<f64>> = s.iter().collect();
         assert_eq!(all, vec![Some(1.0), None, Some(3.0)]);
+    }
+
+    // ---- shared-block storage -------------------------------------------
+
+    /// A multi-block fixture: 2 sealed blocks plus a 40-point tail.
+    fn long_series() -> TimeSeries {
+        TimeSeries::from_values(
+            (0..2 * SERIES_BLOCK_LEN + 40)
+                .map(|i| (i as f64 * 0.37).sin() * 3.0)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn blocks_seal_at_block_len_and_chunks_are_aligned() {
+        let s = long_series();
+        assert_eq!(s.block_count(), 2);
+        assert_eq!(s.sealed_len(), 2 * SERIES_BLOCK_LEN);
+        let chunks: Vec<usize> = s.chunks().map(|c| c.len()).collect();
+        assert_eq!(chunks, vec![SERIES_BLOCK_LEN, SERIES_BLOCK_LEN, 40]);
+        // Values round-trip exactly through the chunked representation.
+        let flat = s.copy_values();
+        assert_eq!(flat.len(), s.len());
+        for (i, v) in flat.iter().enumerate() {
+            assert_eq!(s.raw(i), *v, "index {i}");
+        }
+        // Short series stay tail-only and borrow contiguously.
+        let short = TimeSeries::from_values(vec![1.0; 40]);
+        assert_eq!(short.block_count(), 0);
+        assert!(matches!(short.contiguous(), Cow::Borrowed(_)));
+        // An exactly-one-block series also borrows.
+        let one = TimeSeries::from_values(vec![1.0; SERIES_BLOCK_LEN]);
+        assert_eq!(one.block_count(), 1);
+        assert!(one.tail.is_empty());
+        assert!(matches!(one.contiguous(), Cow::Borrowed(_)));
+        // Multi-chunk series materialize.
+        assert!(matches!(s.contiguous(), Cow::Owned(_)));
+        assert_eq!(&s.contiguous()[..], &flat[..]);
+    }
+
+    #[test]
+    fn clones_share_blocks_and_extends_do_not_copy_the_prefix() {
+        let mut s = long_series();
+        let snapshot = s.clone();
+        assert_eq!(snapshot.shares_blocks_with(&s), 2);
+        // Extending the clone seals new blocks but the pre-existing sealed
+        // prefix stays pointer-identical in both directions.
+        s.extend_missing(SERIES_BLOCK_LEN);
+        assert_eq!(s.block_count(), 3);
+        assert_eq!(s.shares_blocks_with(&snapshot), 2);
+        // Tail writes never touch shared blocks.
+        let last = s.len() - 1;
+        s.set(last, 42.0);
+        assert_eq!(s.shares_blocks_with(&snapshot), 2);
+        // Writing into a *shared* sealed block copies only that block.
+        s.set(0, 99.0);
+        assert_eq!(s.shares_blocks_with(&snapshot), 0);
+        assert_eq!(s.shares_blocks_with(&snapshot.clone()), 0);
+        assert_eq!(snapshot.get(0), long_series().get(0));
+        assert_eq!(s.get(0), Some(99.0));
+        // Block 1 is still shared by pointer even though block 0 diverged.
+        assert!(Arc::ptr_eq(&s.blocks[1], &snapshot.blocks[1]));
+    }
+
+    #[test]
+    fn drop_front_blocks_trims_the_window() {
+        let mut s = long_series();
+        let expect: Vec<f64> = s.copy_range(SERIES_BLOCK_LEN, s.len());
+        let before = s.clone();
+        s.drop_front_blocks(1);
+        assert_eq!(s.len(), SERIES_BLOCK_LEN + 40);
+        assert_eq!(s.copy_values(), expect);
+        // The retained block is still shared with the pre-trim clone.
+        assert!(Arc::ptr_eq(&s.blocks[0], &before.blocks[1]));
+        s.drop_front_blocks(1);
+        assert_eq!(s.len(), 40);
+        assert_eq!(s.block_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drop")]
+    fn drop_front_blocks_rejects_overshoot() {
+        let mut s = long_series();
+        s.drop_front_blocks(3);
+    }
+
+    #[test]
+    fn copy_range_spans_chunks() {
+        let s = long_series();
+        let n = s.len();
+        for (start, end) in [
+            (0, n),
+            (10, 20),
+            (SERIES_BLOCK_LEN - 3, SERIES_BLOCK_LEN + 5),
+            (2 * SERIES_BLOCK_LEN - 1, n),
+            (n - 1, n),
+            (n, n + 10),
+            (7, 7),
+        ] {
+            let got = s.copy_range(start, end);
+            let expect: Vec<f64> = (start.min(n)..end.min(n)).map(|i| s.raw(i)).collect();
+            assert_eq!(got, expect, "range {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn equality_is_element_wise_and_nan_sensitive() {
+        let a = long_series();
+        let b = long_series();
+        assert_eq!(a, b);
+        let mut c = long_series();
+        c.set(SERIES_BLOCK_LEN + 3, 1234.5);
+        assert_ne!(a, c);
+        // NaN != NaN: a series with a missing value is not equal to itself's
+        // clone under PartialEq, exactly like the old Vec<f64> derive.
+        let mut d = long_series();
+        d.clear(5);
+        assert_ne!(d, d.clone());
+        // Different lengths are never equal.
+        assert_ne!(a, a.window(0, a.len() - 1));
+    }
+
+    #[test]
+    fn interpolate_in_place_matches_interpolate_missing() {
+        let fixtures = [
+            vec![Some(0.0), None, None, Some(3.0)],
+            vec![None, Some(2.0), None],
+            vec![None, None],
+            vec![Some(1.0)],
+            (0..600)
+                .map(|i| ((i * 3 + 1) % 7 != 0).then_some((i as f64 * 0.2).cos()))
+                .collect::<Vec<_>>(),
+        ];
+        for options in &fixtures {
+            let s = TimeSeries::from_options(options);
+            let mut flat = s.copy_values();
+            interpolate_in_place(&mut flat);
+            let via_series = s.interpolate_missing();
+            // Compare as Options: raw f64 equality would fail on NaN slots.
+            let from_flat: Vec<Option<f64>> = TimeSeries::from_values(flat).iter().collect();
+            let from_series: Vec<Option<f64>> = via_series.iter().collect();
+            assert_eq!(from_flat, from_series);
+        }
     }
 }

@@ -416,6 +416,17 @@ impl TimeGrid {
         self.len += additional;
     }
 
+    /// Advances the grid start by `points` intervals in place, shortening
+    /// the grid accordingly (clamped to the grid length). This is the grid
+    /// half of sliding-window retention: trimming the oldest points moves
+    /// the window's left edge forward without touching the interval or the
+    /// (index-shifted) remainder.
+    pub fn advance(&mut self, points: usize) {
+        let points = points.min(self.len);
+        self.start = Timestamp(self.start.0 + points as i64 * self.interval.0);
+        self.len -= points;
+    }
+
     /// The sub-grid of indices whose timestamps fall in `range`.
     /// Returns `(first_index, len)`.
     pub fn window(&self, range: TimeRange) -> (usize, usize) {

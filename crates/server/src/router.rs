@@ -79,6 +79,8 @@ impl Router {
                 self.append_chunk(name, request)
             }
             (Method::Post, ["datasets", name, "append", "finish"]) => self.finish_append(name),
+            (Method::Get, ["datasets", name, "retention"]) => self.get_retention(name),
+            (Method::Post, ["datasets", name, "retention"]) => self.set_retention(name, request),
             (Method::Post, ["datasets", name, "mine"]) => self.mine(name, request),
             (Method::Get, ["cache", "stats"]) => Ok(self.cache_stats()),
             _ => Err(ApiError::NotFound(format!(
@@ -161,9 +163,43 @@ impl Router {
             ("name", Json::from(summary.name)),
             ("new_timestamps", Json::from(summary.new_timestamps)),
             ("measurements", Json::from(summary.measurements)),
+            ("trimmed_timestamps", Json::from(summary.trimmed_timestamps)),
             ("timestamps", Json::from(summary.timestamps)),
             ("revision", Json::from(summary.revision as i64)),
             ("append_seconds", Json::from(elapsed.as_secs_f64())),
+        ])))
+    }
+
+    fn get_retention(&self, name: &str) -> Result<ApiResponse, ApiError> {
+        let policy = self.service.retention(name)?;
+        let ds = self.service.dataset(name)?;
+        Ok(ApiResponse::ok(Json::from_pairs([
+            ("name", Json::from(name)),
+            (
+                "max_timestamps",
+                policy.max_timestamps.map(Json::from).unwrap_or(Json::Null),
+            ),
+            (
+                "max_age_seconds",
+                policy
+                    .max_age
+                    .map(|a| Json::from(a.as_secs()))
+                    .unwrap_or(Json::Null),
+            ),
+            ("trimmed_total", Json::from(ds.trimmed())),
+            ("timestamps", Json::from(ds.timestamp_count())),
+        ])))
+    }
+
+    fn set_retention(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+        let policy = retention_from_json(&request.body)?;
+        let summary = self.service.set_retention(name, policy)?;
+        Ok(ApiResponse::ok(Json::from_pairs([
+            ("name", Json::from(summary.name)),
+            ("trimmed_timestamps", Json::from(summary.trimmed_timestamps)),
+            ("trimmed_total", Json::from(summary.trimmed_total)),
+            ("timestamps", Json::from(summary.timestamps)),
+            ("revision", Json::from(summary.revision as i64)),
         ])))
     }
 
@@ -195,6 +231,7 @@ impl Router {
             ("hits", Json::from(stats.hits)),
             ("misses", Json::from(stats.misses)),
             ("entries", Json::from(stats.entries)),
+            ("evicted", Json::from(stats.evicted)),
             ("hit_rate", Json::from(stats.hit_rate())),
             (
                 "extraction",
@@ -204,6 +241,7 @@ impl Router {
                     ("prefix_hits", Json::from(extraction.prefix_hits)),
                     ("prefix_misses", Json::from(extraction.prefix_misses)),
                     ("entries", Json::from(extraction.entries)),
+                    ("evicted", Json::from(extraction.evicted)),
                 ]),
             ),
         ]))
@@ -257,6 +295,26 @@ pub fn params_from_json(body: &Json) -> Result<MiningParams, ApiError> {
         .validate()
         .map_err(|e| ApiError::BadRequest(e.to_string()))?;
     Ok(params)
+}
+
+/// Parses a retention policy from a JSON body: optional `max_timestamps`
+/// (positive integer) and `max_age_seconds` (non-negative integer); an
+/// empty body means unbounded (retention disabled).
+pub fn retention_from_json(body: &Json) -> Result<miscela_model::RetentionPolicy, ApiError> {
+    let mut policy = miscela_model::RetentionPolicy::unbounded();
+    if let Some(v) = body.get("max_timestamps") {
+        let n = v.as_i64().filter(|n| *n > 0).ok_or_else(|| {
+            ApiError::BadRequest("max_timestamps must be a positive integer".into())
+        })?;
+        policy.max_timestamps = Some(n as usize);
+    }
+    if let Some(v) = body.get("max_age_seconds") {
+        let n = v.as_i64().filter(|n| *n >= 0).ok_or_else(|| {
+            ApiError::BadRequest("max_age_seconds must be a non-negative integer".into())
+        })?;
+        policy.max_age = Some(miscela_model::Duration::seconds(n));
+    }
+    Ok(policy)
 }
 
 /// Parses the shared chunk envelope (`index`, `total`, `content`) used by
@@ -504,6 +562,57 @@ mod tests {
             ds_stats.body.get("timestamps").unwrap().as_i64().unwrap() as usize,
             full.timestamp_count()
         );
+    }
+
+    #[test]
+    fn retention_routes_round_trip() {
+        use miscela_model::SERIES_BLOCK_LEN;
+        let router = router_with_dataset();
+        // Defaults: unbounded, nothing trimmed.
+        let got = router.handle(&ApiRequest::get("/datasets/santander/retention"));
+        assert!(got.is_success(), "{:?}", got.body);
+        assert!(got.body.get("max_timestamps").unwrap().is_null());
+        assert_eq!(got.body.get("trimmed_total").unwrap().as_i64(), Some(0));
+        let n = got.body.get("timestamps").unwrap().as_i64().unwrap();
+        assert!(n as usize > SERIES_BLOCK_LEN);
+        // Mine once so a result exists, then install a trimming policy.
+        router.handle(&ApiRequest::post("/datasets/santander/mine", mine_body(20)));
+        let set = router.handle(&ApiRequest::post(
+            "/datasets/santander/retention",
+            Json::from_pairs([("max_timestamps", Json::from(16i64))]),
+        ));
+        assert!(set.is_success(), "{:?}", set.body);
+        assert_eq!(
+            set.body.get("trimmed_timestamps").unwrap().as_i64(),
+            Some(SERIES_BLOCK_LEN as i64)
+        );
+        assert_eq!(set.body.get("revision").unwrap().as_i64(), Some(2));
+        // GET reflects the new policy and the advanced window.
+        let got = router.handle(&ApiRequest::get("/datasets/santander/retention"));
+        assert_eq!(got.body.get("max_timestamps").unwrap().as_i64(), Some(16));
+        assert_eq!(
+            got.body.get("trimmed_total").unwrap().as_i64(),
+            Some(SERIES_BLOCK_LEN as i64)
+        );
+        // The revision GC shows up in /cache/stats.
+        let remined = router.handle(&ApiRequest::post("/datasets/santander/mine", mine_body(20)));
+        assert_eq!(remined.body.get("revision").unwrap().as_i64(), Some(2));
+        let stats = router.handle(&ApiRequest::get("/cache/stats"));
+        assert!(stats.body.get("evicted").unwrap().as_i64().unwrap() >= 1);
+        assert!(stats
+            .body
+            .get("extraction")
+            .unwrap()
+            .get("evicted")
+            .is_some());
+        // Bad bodies and unknown datasets error.
+        let bad = router.handle(&ApiRequest::post(
+            "/datasets/santander/retention",
+            Json::from_pairs([("max_timestamps", Json::from(0i64))]),
+        ));
+        assert_eq!(bad.status, StatusCode::BadRequest);
+        let missing = router.handle(&ApiRequest::get("/datasets/ghost/retention"));
+        assert_eq!(missing.status, StatusCode::NotFound);
     }
 
     #[test]

@@ -17,12 +17,13 @@
 
 use miscela_cache::{
     CacheKey, CacheStats, EvolvingSetsCache, ExtractionCacheStats, PersistentCache,
+    DEFAULT_KEEP_GENERATIONS,
 };
 use miscela_core::{Miner, MiningParams, MiningResult};
 use miscela_csv::chunk::{Chunk, ChunkedUploader};
 use miscela_csv::loader::DatasetLoader;
 use miscela_csv::location_csv;
-use miscela_model::{Dataset, DatasetStats};
+use miscela_model::{Dataset, DatasetStats, RetentionPolicy};
 use miscela_store::{Database, Filter, Json};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -72,9 +73,27 @@ pub struct AppendSummary {
     pub new_timestamps: usize,
     /// Measurement rows applied.
     pub measurements: usize,
-    /// Total grid points after the append.
+    /// Grid points the dataset's retention policy trimmed right after the
+    /// append (0 for unbounded datasets).
+    pub trimmed_timestamps: usize,
+    /// Total grid points after the append (and trim).
     pub timestamps: usize,
     /// The dataset's revision after the append.
+    pub revision: u64,
+}
+
+/// The outcome of one retention-policy update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetentionSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Grid points trimmed by applying the new policy immediately.
+    pub trimmed_timestamps: usize,
+    /// Total grid points trimmed from the front over the dataset's life.
+    pub trimmed_total: usize,
+    /// Total grid points after the trim.
+    pub timestamps: usize,
+    /// The dataset's revision (bumped when the policy trimmed anything).
     pub revision: u64,
 }
 
@@ -108,7 +127,11 @@ pub struct MineOutcome {
 pub struct MiscelaService {
     db: Arc<Database>,
     cache: PersistentCache,
-    extraction: EvolvingSetsCache,
+    /// One extraction cache per dataset: generation bumps (and their GC)
+    /// are scoped to the dataset whose revision actually moved, so a busy
+    /// feed can never evict the still-valid extraction states of a quiet
+    /// one.
+    extraction: RwLock<HashMap<String, Arc<EvolvingSetsCache>>>,
     datasets: RwLock<HashMap<String, DatasetEntry>>,
     uploads: Mutex<HashMap<String, UploadSession>>,
     appends: Mutex<HashMap<String, AppendSession>>,
@@ -126,12 +149,33 @@ impl MiscelaService {
         db.create_index(DATASETS_COLLECTION, "name");
         MiscelaService {
             cache: PersistentCache::new(Arc::clone(&db)),
-            extraction: EvolvingSetsCache::new(),
+            extraction: RwLock::new(HashMap::new()),
             db,
             datasets: RwLock::new(HashMap::new()),
             uploads: Mutex::new(HashMap::new()),
             appends: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The extraction cache serving one dataset (created on first use).
+    fn extraction_for(&self, name: &str) -> Arc<EvolvingSetsCache> {
+        if let Some(cache) = self.extraction.read().get(name) {
+            return Arc::clone(cache);
+        }
+        Arc::clone(
+            self.extraction
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(EvolvingSetsCache::new())),
+        )
+    }
+
+    /// Ages one dataset's extraction cache by one revision and collects
+    /// its superseded states.
+    fn age_extraction(&self, name: &str) {
+        let cache = self.extraction_for(name);
+        cache.bump_generation();
+        cache.collect_superseded(DEFAULT_KEEP_GENERATIONS);
     }
 
     /// The shared document store.
@@ -144,9 +188,21 @@ impl MiscelaService {
         self.cache.stats()
     }
 
-    /// Extraction-cache statistics of the per-series evolving-sets cache.
+    /// Extraction-cache statistics, aggregated over the per-dataset
+    /// evolving-sets caches.
     pub fn extraction_cache_stats(&self) -> ExtractionCacheStats {
-        self.extraction.stats()
+        let caches = self.extraction.read();
+        let mut total = ExtractionCacheStats::default();
+        for cache in caches.values() {
+            let s = cache.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.prefix_hits += s.prefix_hits;
+            total.prefix_misses += s.prefix_misses;
+            total.entries += s.entries;
+            total.evicted += s.evicted;
+        }
+        total
     }
 
     // ----- dataset registry --------------------------------------------
@@ -155,16 +211,20 @@ impl MiscelaService {
     /// generators and by completed uploads). Re-registering a name replaces
     /// the dataset, bumps its revision and invalidates its cached results.
     pub fn register_dataset(&self, dataset: Dataset) -> DatasetSummary {
-        let stats = dataset.stats();
         let name = dataset.name().to_string();
         self.cache.invalidate_dataset(&name);
+        // A re-registration is a revision bump like any other: age this
+        // dataset's extraction tier so states of the replaced content can
+        // be collected once nothing touches them anymore.
+        self.age_extraction(&name);
+        let dataset = Arc::new(dataset);
         let revision = {
             let mut registry = self.datasets.write();
             let revision = registry.get(&name).map(|e| e.revision).unwrap_or(0) + 1;
             registry.insert(
                 name.clone(),
                 DatasetEntry {
-                    dataset: Arc::new(dataset),
+                    dataset: Arc::clone(&dataset),
                     revision,
                 },
             );
@@ -173,12 +233,16 @@ impl MiscelaService {
         self.db
             .delete_where(DATASETS_COLLECTION, &Filter::eq("name", name.as_str()));
         self.db
-            .insert(DATASETS_COLLECTION, dataset_record(&stats, revision));
+            .insert(DATASETS_COLLECTION, dataset_record(&dataset, revision));
         DatasetSummary {
             name,
-            sensors: stats.sensors,
-            records: stats.records,
-            attributes: stats.attribute_names.clone(),
+            sensors: dataset.sensor_count(),
+            records: dataset.record_count(),
+            attributes: dataset
+                .attributes()
+                .names()
+                .map(|s| s.to_string())
+                .collect(),
         }
     }
 
@@ -204,12 +268,90 @@ impl MiscelaService {
             .ok_or_else(|| ApiError::NotFound(format!("dataset {name:?} is not registered")))
     }
 
+    /// Resolves `(revision, trimmed)` for a dataset whose series are not
+    /// resident, from its store record (datasets recorded before the trim
+    /// field existed resolve as untrimmed).
+    fn stored_version(&self, name: &str) -> Result<(u64, u64), ApiError> {
+        let doc = self
+            .db
+            .find_one(DATASETS_COLLECTION, &Filter::eq("name", name))
+            .ok_or_else(|| ApiError::NotFound(format!("dataset {name:?} is not registered")))?;
+        let revision = doc
+            .get("revision")
+            .and_then(|r| r.as_i64())
+            .ok_or_else(|| ApiError::NotFound(format!("dataset {name:?} is not registered")))?;
+        let trimmed = doc.get("trimmed").and_then(|t| t.as_i64()).unwrap_or(0);
+        Ok((revision as u64, trimmed as u64))
+    }
+
     fn entry(&self, name: &str) -> Result<DatasetEntry, ApiError> {
         self.datasets
             .read()
             .get(name)
             .cloned()
             .ok_or_else(|| ApiError::NotFound(format!("dataset {name:?} is not registered")))
+    }
+
+    // ----- sliding-window retention --------------------------------------
+
+    /// The retention policy of a resident dataset.
+    pub fn retention(&self, name: &str) -> Result<RetentionPolicy, ApiError> {
+        Ok(*self.entry(name)?.dataset.retention())
+    }
+
+    /// Installs a sliding-window retention policy on a registered dataset
+    /// and applies it immediately. The policy then re-applies on every
+    /// subsequent append.
+    ///
+    /// Like `finish_append`, the mutation happens on a copy-on-extend clone
+    /// outside any lock (cheap: `Arc`-shared blocks) and is swapped in
+    /// under a brief write lock with a revision re-check. When the
+    /// immediate trim dropped anything the revision is bumped — trimmed
+    /// content must never be served from cache — and superseded cache
+    /// generations are collected.
+    pub fn set_retention(
+        &self,
+        name: &str,
+        policy: RetentionPolicy,
+    ) -> Result<RetentionSummary, ApiError> {
+        let base = self.entry(name)?;
+        let mut ds = (*base.dataset).clone();
+        ds.set_retention(policy);
+        let trimmed = ds.trim_expired();
+        let ds = Arc::new(ds);
+        let summary = {
+            let mut registry = self.datasets.write();
+            let entry = registry
+                .get_mut(name)
+                .ok_or_else(|| ApiError::NotFound(format!("dataset {name:?} is not registered")))?;
+            if entry.revision != base.revision {
+                return Err(ApiError::BadRequest(format!(
+                    "dataset {name:?} changed while the retention policy was being applied \
+                     (revision {} -> {}); retry",
+                    base.revision, entry.revision
+                )));
+            }
+            if trimmed > 0 {
+                entry.revision += 1;
+            }
+            entry.dataset = Arc::clone(&ds);
+            RetentionSummary {
+                name: name.to_string(),
+                trimmed_timestamps: trimmed,
+                trimmed_total: ds.trimmed(),
+                timestamps: ds.timestamp_count(),
+                revision: entry.revision,
+            }
+        };
+        if trimmed > 0 {
+            self.cache.evict_superseded(name, summary.revision);
+            self.age_extraction(name);
+            self.db
+                .delete_where(DATASETS_COLLECTION, &Filter::eq("name", name));
+            self.db
+                .insert(DATASETS_COLLECTION, dataset_record(&ds, summary.revision));
+        }
+        Ok(summary)
     }
 
     /// Lists registered datasets (from the store, so names uploaded by
@@ -234,9 +376,11 @@ impl MiscelaService {
             .collect()
     }
 
-    /// Removes a dataset and its cached results.
+    /// Removes a dataset and its cached results (including its extraction
+    /// cache, whose states can never be valid for another dataset name).
     pub fn delete_dataset(&self, name: &str) -> Result<(), ApiError> {
         let existed = self.datasets.write().remove(name).is_some();
+        self.extraction.write().remove(name);
         let stored = self
             .db
             .delete_where(DATASETS_COLLECTION, &Filter::eq("name", name));
@@ -366,16 +510,17 @@ impl MiscelaService {
             .finish()
             .map_err(|e| ApiError::BadRequest(e.to_string()))?;
         // Clone the Arc under a read lock and apply the append outside any
-        // lock — deep-cloning and extending a large dataset must not block
-        // concurrent mining/listing. The brief write lock at the end swaps
-        // the new dataset in, re-checking the revision so a concurrent
-        // re-registration (or racing append) is detected instead of
-        // silently overwritten.
+        // lock — the clone is a copy-on-extend view (series blocks stay
+        // `Arc`-shared; only the mutable tails are copied), so this costs
+        // O(tail), not O(dataset), no matter how old the dataset is. The
+        // brief write lock at the end swaps the new dataset in, re-checking
+        // the revision so a concurrent re-registration (or racing append)
+        // is detected instead of silently overwritten.
         let base = self.entry(dataset)?;
         let mut ds = (*base.dataset).clone();
         let append = DatasetLoader::append(&mut ds, &rows)
             .map_err(|e| ApiError::BadRequest(e.to_string()))?;
-        let stats = ds.stats();
+        let ds = Arc::new(ds);
         let summary = {
             let mut registry = self.datasets.write();
             let entry = registry.get_mut(dataset).ok_or_else(|| {
@@ -389,25 +534,29 @@ impl MiscelaService {
                 )));
             }
             entry.revision += 1;
-            entry.dataset = Arc::new(ds);
+            entry.dataset = Arc::clone(&ds);
             AppendSummary {
                 name: dataset.to_string(),
                 new_timestamps: append.new_timestamps,
                 measurements: append.measurements,
-                timestamps: stats.timestamps,
+                trimmed_timestamps: append.trimmed_timestamps,
+                timestamps: ds.timestamp_count(),
                 revision: entry.revision,
             }
         };
         // The revision bump already makes superseded results unreachable by
-        // key; dropping them too keeps the store collection from growing
-        // one generation per append.
-        self.cache.invalidate_dataset(dataset);
+        // key; garbage-collecting them too keeps the store collection from
+        // growing one dead generation per append, and aging this dataset's
+        // extraction tier lets superseded prefix states be reclaimed once
+        // no mining pass touches them anymore. (Everything here — including
+        // the store record below — reads only O(1) dataset accessors, so
+        // the whole service append stays O(tail).)
+        self.cache.evict_superseded(dataset, summary.revision);
+        self.age_extraction(dataset);
         self.db
             .delete_where(DATASETS_COLLECTION, &Filter::eq("name", dataset));
-        self.db.insert(
-            DATASETS_COLLECTION,
-            dataset_record(&stats, summary.revision),
-        );
+        self.db
+            .insert(DATASETS_COLLECTION, dataset_record(&ds, summary.revision));
         Ok((summary, elapsed))
     }
 
@@ -467,11 +616,11 @@ impl MiscelaService {
         // persisted results can be served from the cache without a
         // re-upload.
         let entry = self.entry(dataset).ok();
-        let revision = match &entry {
-            Some(e) => e.revision,
-            None => self.dataset_revision(dataset)?,
+        let (revision, trimmed) = match &entry {
+            Some(e) => (e.revision, e.dataset.trimmed() as u64),
+            None => self.stored_version(dataset)?,
         };
-        let key = CacheKey::for_revision(dataset, revision, params);
+        let key = CacheKey::for_state(dataset, revision, trimmed, params);
         if let Some(caps) = self.cache.get(&key) {
             let result = MiningResult {
                 caps,
@@ -494,8 +643,9 @@ impl MiscelaService {
         // when only search-side parameters (ψ, η, μ) were tweaked — and
         // appended series resume from their cached prefix states instead of
         // re-extracting from scratch.
+        let extraction = self.extraction_for(dataset);
         let result = miner
-            .mine_with_cache(&entry.dataset, Some(&self.extraction))
+            .mine_with_cache(&entry.dataset, Some(&*extraction))
             .map_err(|e| ApiError::Internal(e.to_string()))?;
         self.cache.put(&key, &result.caps);
         Ok(MineOutcome {
@@ -518,22 +668,20 @@ impl Default for MiscelaService {
     }
 }
 
-fn dataset_record(stats: &DatasetStats, revision: u64) -> Json {
+/// The registry document for one dataset revision. Reads only O(1) dataset
+/// accessors — no per-value scans — so writing it on the append path keeps
+/// the service append O(tail).
+fn dataset_record(ds: &Dataset, revision: u64) -> Json {
     let mut doc = Json::object();
-    doc.set("name", Json::from(stats.name.as_str()));
+    doc.set("name", Json::from(ds.name()));
     doc.set("revision", Json::from(revision as i64));
-    doc.set("sensors", Json::from(stats.sensors));
-    doc.set("records", Json::from(stats.records));
-    doc.set("timestamps", Json::from(stats.timestamps));
+    doc.set("trimmed", Json::from(ds.trimmed()));
+    doc.set("sensors", Json::from(ds.sensor_count()));
+    doc.set("records", Json::from(ds.record_count()));
+    doc.set("timestamps", Json::from(ds.timestamp_count()));
     doc.set(
         "attributes",
-        Json::Array(
-            stats
-                .attribute_names
-                .iter()
-                .map(|a| Json::from(a.as_str()))
-                .collect(),
-        ),
+        Json::Array(ds.attributes().names().map(Json::from).collect()),
     );
     doc
 }
@@ -782,6 +930,242 @@ mod tests {
             .is_err());
         assert_eq!(svc.dataset("santander").unwrap().timestamp_count(), n);
         assert_eq!(svc.dataset_revision("santander").unwrap(), 1);
+    }
+
+    #[test]
+    fn finish_append_shares_prefix_blocks_with_the_previous_revision() {
+        // The deep-clone-per-append regression test: the dataset swapped in
+        // by finish_append must share every pre-existing sealed series
+        // block with the previous revision by pointer (`Arc::ptr_eq`
+        // through `shares_blocks_with`) — appends extend, they never copy
+        // the stable prefix.
+        let full = SantanderGenerator::small().with_scale(0.04).generate();
+        let n = full.timestamp_count();
+        let split_t = full.grid().at(n - 8).unwrap();
+        let prefix = full.slice_time(full.grid().start(), split_t).unwrap();
+        let tail = full.slice_time(split_t, full.grid().range().end).unwrap();
+        let writer = DatasetWriter::new();
+
+        let svc = MiscelaService::new();
+        svc.upload_documents(
+            "santander",
+            &writer.data_csv(&prefix),
+            &writer.location_csv(&prefix),
+            &writer.attribute_csv(&prefix),
+            10_000,
+        )
+        .unwrap();
+        let before = svc.dataset("santander").unwrap();
+        assert!(
+            before.iter().next().unwrap().series.block_count() > 0,
+            "fixture must be long enough to have sealed blocks"
+        );
+        let summary = svc
+            .append_documents("santander", &writer.data_csv(&tail), 10_000)
+            .unwrap();
+        assert_eq!(summary.new_timestamps, 8);
+        assert_eq!(summary.trimmed_timestamps, 0);
+        let after = svc.dataset("santander").unwrap();
+        for idx in before.indices() {
+            let old = before.series(idx);
+            let new = after.series(idx);
+            assert_eq!(
+                new.shares_blocks_with(old),
+                old.block_count(),
+                "append deep-copied the prefix of sensor {idx:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn retention_policy_trims_bumps_revision_and_stays_equivalent() {
+        use miscela_model::{RetentionPolicy, SERIES_BLOCK_LEN};
+
+        let svc = MiscelaService::new();
+        svc.register_dataset(small_dataset());
+        let params = quick_params();
+        let before = svc.mine("santander", &params).unwrap();
+        assert_eq!(before.revision, 1);
+
+        // A policy that trims nothing yet does not bump the revision.
+        let n = svc.dataset("santander").unwrap().timestamp_count();
+        assert!(n > SERIES_BLOCK_LEN, "fixture must span multiple blocks");
+        let noop = svc
+            .set_retention("santander", RetentionPolicy::keep_last(n))
+            .unwrap();
+        assert_eq!(noop.trimmed_timestamps, 0);
+        assert_eq!(noop.revision, 1);
+        assert!(svc.mine("santander", &params).unwrap().cache_hit);
+
+        // A tight window trims whole blocks, bumps the revision, and makes
+        // the pre-trim cached result unreachable.
+        let tight = svc
+            .set_retention("santander", RetentionPolicy::keep_last(16))
+            .unwrap();
+        assert_eq!(tight.trimmed_timestamps, SERIES_BLOCK_LEN);
+        assert_eq!(tight.trimmed_total, SERIES_BLOCK_LEN);
+        assert_eq!(tight.timestamps, n - SERIES_BLOCK_LEN);
+        assert_eq!(tight.revision, 2);
+        assert_eq!(
+            svc.retention("santander").unwrap(),
+            RetentionPolicy::keep_last(16)
+        );
+        let after = svc.mine("santander", &params).unwrap();
+        assert!(!after.cache_hit);
+        assert_eq!(after.revision, 2);
+        // Equivalence: the trimmed window mines identically to a cold
+        // re-chunked copy of the same content.
+        let ds = svc.dataset("santander").unwrap();
+        let twin = ds
+            .slice_time(ds.grid().start(), ds.grid().range().end)
+            .unwrap();
+        let cold = Miner::new(params.clone()).unwrap().mine(&twin).unwrap();
+        assert_eq!(after.result.caps, cold.caps);
+        // The stale revision was garbage-collected from the result cache.
+        assert!(svc.cache_stats().evicted > 0);
+    }
+
+    #[test]
+    fn append_sessions_apply_retention_and_stay_equivalent() {
+        use miscela_model::{RetentionPolicy, SERIES_BLOCK_LEN};
+
+        // Stream a long waveform through a retained window over the *real*
+        // upload/retention/append-session routes: after every append (with
+        // its policy-driven trims), mining must equal a cold mine of the
+        // retained window, and dead revisions must be collected instead of
+        // accumulating.
+        let source = SantanderGenerator::small().with_scale(0.12).generate();
+        let total = source.timestamp_count();
+        let window_end = SERIES_BLOCK_LEN + 40;
+        let rounds = 8usize;
+        let batch = 32usize;
+        assert!(
+            total > window_end + rounds * batch,
+            "source too short: {total}"
+        );
+        let writer = DatasetWriter::new();
+        let initial = source
+            .slice_time(source.grid().start(), source.grid().at(window_end).unwrap())
+            .unwrap();
+
+        let svc = MiscelaService::new();
+        svc.upload_documents(
+            "stream",
+            &writer.data_csv(&initial),
+            &writer.location_csv(&initial),
+            &writer.attribute_csv(&initial),
+            10_000,
+        )
+        .unwrap();
+        svc.set_retention("stream", RetentionPolicy::keep_last(SERIES_BLOCK_LEN))
+            .unwrap();
+        let params = quick_params();
+        svc.mine("stream", &params).unwrap();
+
+        let mut appended_through = window_end;
+        let mut mirror_len = window_end;
+        let mut total_trimmed = 0usize;
+        for round in 0..rounds {
+            let tail = source
+                .slice_time(
+                    source.grid().at(appended_through).unwrap(),
+                    source.grid().at(appended_through + batch).unwrap(),
+                )
+                .unwrap();
+            appended_through += batch;
+            let summary = svc
+                .append_documents("stream", &writer.data_csv(&tail), 10_000)
+                .unwrap();
+            assert_eq!(summary.new_timestamps, batch);
+            // Mirror the policy: trims are block-granular over the excess.
+            mirror_len += batch;
+            let expired = mirror_len - SERIES_BLOCK_LEN;
+            let expect_trim = expired - expired % SERIES_BLOCK_LEN;
+            assert_eq!(summary.trimmed_timestamps, expect_trim, "round {round}");
+            mirror_len -= expect_trim;
+            total_trimmed += expect_trim;
+            assert_eq!(summary.timestamps, mirror_len);
+            let warm = svc.mine("stream", &params).unwrap();
+            assert_eq!(warm.revision, summary.revision);
+            let ds = svc.dataset("stream").unwrap();
+            let twin = ds
+                .slice_time(ds.grid().start(), ds.grid().range().end)
+                .unwrap();
+            let cold = Miner::new(params.clone()).unwrap().mine(&twin).unwrap();
+            assert_eq!(
+                warm.result.caps, cold.caps,
+                "round {round} diverged from the cold window"
+            );
+            // The in-memory window stays bounded by the policy plus one
+            // partial block.
+            assert!(ds.timestamp_count() < 2 * SERIES_BLOCK_LEN + batch);
+        }
+        // The stream actually slid (at least one block-granular trim ran).
+        assert!(total_trimmed >= SERIES_BLOCK_LEN);
+        assert_eq!(svc.dataset("stream").unwrap().trimmed(), total_trimmed);
+        // Dead revisions were garbage-collected from the result cache: only
+        // the live revision's entry remains stored.
+        assert_eq!(svc.cache.stored_results(), 1);
+        assert!(svc.cache_stats().evicted > 0);
+    }
+
+    #[test]
+    fn busy_feeds_do_not_evict_quiet_datasets_extraction_states() {
+        use miscela_datagen::{ChinaGenerator, ChinaProfile};
+
+        // Extraction caches are per dataset: revision churn on one feed
+        // must never garbage-collect the still-valid extraction states of
+        // a quiet dataset.
+        let svc = MiscelaService::new();
+        svc.register_dataset(small_dataset()); // busy feed "santander"
+        let quiet = ChinaGenerator::small(ChinaProfile::China6)
+            .with_scale(0.006)
+            .generate();
+        let quiet_sensors = quiet.sensor_count();
+        svc.register_dataset(quiet); // quiet dataset "china6"
+        let params = quick_params();
+        svc.mine("china6", &params).unwrap();
+
+        // Churn the busy feed far past DEFAULT_KEEP_GENERATIONS.
+        for _ in 0..(2 * miscela_cache::DEFAULT_KEEP_GENERATIONS + 2) {
+            svc.register_dataset(small_dataset());
+        }
+
+        // A psi tweak forces the extraction path for the quiet dataset:
+        // every one of its series must still hit its cached state.
+        let outcome = svc.mine("china6", &params.clone().with_psi(21)).unwrap();
+        assert_eq!(
+            outcome.result.report.extraction_cache_hits, quiet_sensors,
+            "churn on the busy feed evicted the quiet dataset's states"
+        );
+    }
+
+    #[test]
+    fn retention_can_trim_to_a_tail_only_window() {
+        use miscela_model::{RetentionPolicy, SERIES_BLOCK_LEN};
+
+        // Edge fixture: a window tighter than one block trims *every*
+        // sealed block, leaving only the mutable tail — the dataset must
+        // survive (retention never empties the grid) and keep mining.
+        let svc = MiscelaService::new();
+        svc.register_dataset(small_dataset());
+        let n = svc.dataset("santander").unwrap().timestamp_count();
+        let summary = svc
+            .set_retention("santander", RetentionPolicy::keep_last(1))
+            .unwrap();
+        let ds = svc.dataset("santander").unwrap();
+        assert_eq!(ds.iter().next().unwrap().series.block_count(), 0);
+        assert_eq!(ds.timestamp_count(), n - summary.trimmed_timestamps);
+        assert_eq!(ds.timestamp_count(), n % SERIES_BLOCK_LEN);
+        assert!(ds.timestamp_count() > 0);
+        // The tail-only window still mines (equivalently to its cold twin).
+        let params = quick_params();
+        let warm = svc.mine("santander", &params).unwrap();
+        let twin = ds
+            .slice_time(ds.grid().start(), ds.grid().range().end)
+            .unwrap();
+        let cold = Miner::new(params.clone()).unwrap().mine(&twin).unwrap();
+        assert_eq!(warm.result.caps, cold.caps);
     }
 
     #[test]

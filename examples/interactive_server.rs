@@ -173,16 +173,36 @@ fn main() {
     print_mine("after append (incremental)", &resp);
     let resp = router.handle(&ApiRequest::post(
         "/datasets/santander-upload/mine",
-        mine_body,
+        mine_body.clone(),
     ));
     print_mine("after append, repeated", &resp);
 
-    // 7. Inspect the cache statistics endpoint (now including the
-    //    extraction tier with its prefix-resume counters).
+    // 7. Bound the live feed: install a sliding-window retention policy.
+    //    The tight window trims expired whole storage blocks immediately,
+    //    bumps the revision (trimmed content must never be served from
+    //    cache), and keeps re-applying on every future append.
+    let resp = router.handle(&ApiRequest::post(
+        "/datasets/santander-upload/retention",
+        Json::from_pairs([("max_timestamps", Json::from(48i64))]),
+    ));
+    println!(
+        "POST retention (keep last 48) -> {}: {}",
+        resp.status, resp.body
+    );
+    let resp = router.handle(&ApiRequest::get("/datasets/santander-upload/retention"));
+    println!("GET retention -> {}", resp.body);
+    let resp = router.handle(&ApiRequest::post(
+        "/datasets/santander-upload/mine",
+        mine_body,
+    ));
+    print_mine("after trim (bounded window)", &resp);
+
+    // 8. Inspect the cache statistics endpoint (extraction tier with its
+    //    prefix-resume counters, plus the revision-GC eviction counts).
     let resp = router.handle(&ApiRequest::get("/cache/stats"));
     println!("GET cache/stats -> {}", resp.body);
 
-    // 8. List registered datasets.
+    // 9. List registered datasets.
     let resp = router.handle(&ApiRequest::get("/datasets"));
     println!("GET datasets -> {}", resp.body);
 }

@@ -259,6 +259,11 @@ pub trait TupleStrategy {
     fn shrink_tuple(&self, value: &Self::Value) -> Vec<Self::Value>;
 }
 
+/// Emits, for one tuple arity, both the [`TupleStrategy`] impl (the
+/// top-level `proptest!` argument tuple) and a plain [`Strategy`] impl, so
+/// tuples of strategies also compose with combinators like
+/// `collection::vec((a, b), n)`. One shrink body serves both: one
+/// component varied per candidate, the others held fixed.
 macro_rules! tuple_strategy {
     ($($S:ident . $idx:tt),+) => {
         impl<$($S: Strategy),+> TupleStrategy for ($($S,)+)
@@ -268,10 +273,25 @@ macro_rules! tuple_strategy {
             type Value = ($($S::Value,)+);
 
             fn generate_tuple(&self, rng: &mut StdRng) -> Self::Value {
-                ($(self.$idx.generate(rng),)+)
+                Strategy::generate(self, rng)
             }
 
             fn shrink_tuple(&self, value: &Self::Value) -> Vec<Self::Value> {
+                Strategy::shrink(self, value)
+            }
+        }
+
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
                 let mut out = Vec::new();
                 $(
                     for candidate in self.$idx.shrink(&value.$idx) {
