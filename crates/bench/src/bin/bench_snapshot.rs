@@ -28,6 +28,15 @@
 //! and `append_window_ns` on a cold-built dataset holding only that
 //! window. The two medians matching is the O(tail) claim: append+re-mine
 //! cost does not depend on how much history the dataset has ever seen.
+//!
+//! Schema 4 adds the durability pair: `recovery_replay_ns` is the median
+//! cost of constructing a durable service over a directory whose WAL holds
+//! one committed [`RECOVERY_TAIL`]-timestamp append session beyond the
+//! snapshot (snapshot load + session replay), and `recovery_snapshot_ns`
+//! the same over a directory with a fresh snapshot and an empty WAL. Their
+//! difference is the replay cost of the tail alone — recovery is O(rows
+//! since the last snapshot), never O(append history), because sealing a
+//! 256-point block compacts the WAL into a new snapshot.
 
 use miscela_bench::{
     china6, periodic_append_rows, retained_history, santander_bench, santander_params,
@@ -35,11 +44,18 @@ use miscela_bench::{
 };
 use miscela_cache::EvolvingSetsCache;
 use miscela_core::{Miner, MiningParams, MiningReport};
-use miscela_model::{AppendRow, Dataset, RetentionPolicy};
-use miscela_store::Json;
+use miscela_csv::DatasetWriter;
+use miscela_model::{AppendRow, Dataset, RetentionPolicy, SERIES_BLOCK_LEN};
+use miscela_server::MiscelaService;
+use miscela_store::{Database, Json};
+use std::sync::Arc;
 
 /// How many trailing timestamps the `append_remine_ns` measurement appends.
 const APPEND_TAIL: usize = 8;
+
+/// How many timestamps the `recovery_replay_ns` measurement leaves in the
+/// WAL beyond the last snapshot.
+const RECOVERY_TAIL: usize = 8;
 
 /// How many copies of the waveform the retained-window measurements stream
 /// through the bounded dataset before timing.
@@ -98,6 +114,10 @@ fn snapshot_scale(name: &str, dataset: &Dataset, params: &MiningParams, repeats:
     let append_retained = measure_append(&miner, &long, &retained_rows, repeats);
     let append_window = measure_append(&miner, &short, &retained_rows, repeats);
 
+    // Durability pair: recovery with a WAL tail to replay vs. a snapshot
+    // alone.
+    let (recovery_replay, recovery_snapshot) = measure_recovery(name, dataset, repeats);
+
     Json::from_pairs([
         ("name", Json::String(name.to_string())),
         ("sensors", Json::Number(dataset.sensor_count() as f64)),
@@ -112,6 +132,11 @@ fn snapshot_scale(name: &str, dataset: &Dataset, params: &MiningParams, repeats:
         ("append_remine_ns", Json::Number(append_remine as f64)),
         ("append_retained_ns", Json::Number(append_retained as f64)),
         ("append_window_ns", Json::Number(append_window as f64)),
+        ("recovery_replay_ns", Json::Number(recovery_replay as f64)),
+        (
+            "recovery_snapshot_ns",
+            Json::Number(recovery_snapshot as f64),
+        ),
         (
             "evolving_events",
             Json::Number(report.evolving_events as f64),
@@ -152,6 +177,80 @@ fn measure_append(miner: &Miner, base: &Dataset, rows: &[AppendRow], repeats: us
         samples.push(t.elapsed().as_nanos());
     }
     median_ns(&mut samples)
+}
+
+/// Prepares two durable-service directories — one whose WAL holds a
+/// committed [`RECOVERY_TAIL`]-timestamp append session beyond the
+/// snapshot, one with a snapshot alone — and reports the median cost of
+/// recovering each (constructing a service over the directory with a fresh
+/// in-memory database). The tail window is placed clear of the 256-point
+/// block boundary so the committing append does not itself compact the WAL.
+fn measure_recovery(name: &str, dataset: &Dataset, repeats: usize) -> (u128, u128) {
+    let n = dataset.timestamp_count();
+    let split = [n - RECOVERY_TAIL, n - 2 * RECOVERY_TAIL]
+        .into_iter()
+        .find(|m| m % SERIES_BLOCK_LEN + RECOVERY_TAIL < SERIES_BLOCK_LEN)
+        .expect("two adjacent tail windows cannot both cross a block boundary");
+    let grid = dataset.grid();
+    let prefix = dataset
+        .slice_time(grid.start(), grid.at(split).expect("split on grid"))
+        .expect("prefix slice");
+    let tail_end = if split + RECOVERY_TAIL == n {
+        grid.range().end
+    } else {
+        grid.at(split + RECOVERY_TAIL).expect("tail end on grid")
+    };
+    let tail = dataset
+        .slice_time(grid.at(split).expect("split on grid"), tail_end)
+        .expect("tail slice");
+    let writer = DatasetWriter::new();
+    let base = std::env::temp_dir()
+        .join(format!("miscela-bench-recovery-{}", std::process::id()))
+        .join(name);
+    let _ = std::fs::remove_dir_all(&base);
+    let replay_dir = base.join("replay");
+    let snapshot_dir = base.join("snapshot");
+    for dir in [&replay_dir, &snapshot_dir] {
+        let svc = MiscelaService::with_durability(dir).expect("durable service");
+        svc.upload_documents(
+            "bench",
+            &writer.data_csv(&prefix),
+            &writer.location_csv(&prefix),
+            &writer.attribute_csv(&prefix),
+            10_000,
+        )
+        .expect("bench upload");
+        if dir == &replay_dir {
+            svc.append_documents("bench", &writer.data_csv(&tail), 10_000)
+                .expect("bench append");
+        }
+    }
+    let mut replay_ns: Vec<u128> = Vec::with_capacity(repeats);
+    let mut snapshot_ns: Vec<u128> = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let t = std::time::Instant::now();
+        let svc =
+            MiscelaService::with_database_and_durability(Arc::new(Database::new()), &replay_dir)
+                .expect("recovery with a WAL tail");
+        replay_ns.push(t.elapsed().as_nanos());
+        let stats = svc.durability_stats("bench").expect("durability stats");
+        assert!(
+            stats.replayed_records >= 3,
+            "recovery had no WAL tail to replay: {stats:?}"
+        );
+        let t = std::time::Instant::now();
+        let svc =
+            MiscelaService::with_database_and_durability(Arc::new(Database::new()), &snapshot_dir)
+                .expect("recovery from a snapshot alone");
+        snapshot_ns.push(t.elapsed().as_nanos());
+        let stats = svc.durability_stats("bench").expect("durability stats");
+        assert_eq!(
+            stats.replayed_records, 0,
+            "the snapshot-only directory had WAL records: {stats:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    (median_ns(&mut replay_ns), median_ns(&mut snapshot_ns))
 }
 
 fn main() {
@@ -198,7 +297,7 @@ fn main() {
     ];
 
     let doc = Json::from_pairs([
-        ("schema", Json::Number(3.0)),
+        ("schema", Json::Number(4.0)),
         ("unit", Json::String("nanoseconds".to_string())),
         ("repeats", Json::Number(repeats as f64)),
         (

@@ -258,6 +258,40 @@ mod tests {
     }
 
     #[test]
+    fn evict_superseded_handles_multi_revision_jumps_after_replay() {
+        // Crash recovery replays several committed append sessions in one
+        // startup, so the live revision jumps by more than one step and the
+        // GC runs against a cache whose memory tier is empty (the process
+        // that filled it is gone). Every store document below the replayed
+        // revision must go in a single sweep.
+        let db = Arc::new(Database::new());
+        let params = MiningParams::default();
+        {
+            let cache = PersistentCache::new(Arc::clone(&db));
+            for r in 1..=4u64 {
+                cache.put(
+                    &CacheKey::for_revision("santander", r, &params),
+                    &sample_caps(),
+                );
+            }
+        }
+        let fresh = PersistentCache::new(Arc::clone(&db));
+        // Replay bumped 4 -> 7: revisions 1..=4 are all superseded at once.
+        assert_eq!(fresh.evict_superseded("santander", 7), 4);
+        assert_eq!(fresh.stored_results(), 0);
+        for r in 1..=4u64 {
+            assert!(fresh
+                .get(&CacheKey::for_revision("santander", r, &params))
+                .is_none());
+        }
+        // A result mined at the replayed revision is reachable again.
+        let live = CacheKey::for_revision("santander", 7, &params);
+        fresh.put(&live, &sample_caps());
+        assert_eq!(fresh.evict_superseded("santander", 7), 0);
+        assert_eq!(fresh.get(&live).unwrap(), sample_caps());
+    }
+
+    #[test]
     fn trim_offsets_partition_the_key_space() {
         let cache = PersistentCache::new(Arc::new(Database::new()));
         let params = MiningParams::default();

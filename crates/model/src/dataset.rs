@@ -137,6 +137,16 @@ impl Dataset {
         self.grid.len()
     }
 
+    /// Number of grid points covered by *sealed* series blocks: the largest
+    /// multiple of [`SERIES_BLOCK_LEN`] not exceeding the grid length.
+    /// Sealed blocks are immutable (`Arc`-shared across revisions), which
+    /// makes this the natural alignment boundary for durability snapshots —
+    /// a snapshot taken when a block seals never has to be rewritten by
+    /// later appends to the open tail block.
+    pub fn sealed_timestamps(&self) -> usize {
+        self.grid.len() - self.grid.len() % SERIES_BLOCK_LEN
+    }
+
     /// Total number of records (sensor, timestamp) pairs, counting missing
     /// values — this is how the paper's Section-4 record counts are defined
     /// (all timestamps × all sensors, with nulls where a sensor is silent).
@@ -676,6 +686,26 @@ mod tests {
         assert_eq!(ds.sensor(i1).id.as_str(), "s1");
         assert!(ds.index_of_id(&SensorId::new("s2")).is_some());
         assert!(ds.index_of_id(&SensorId::new("nope")).is_none());
+    }
+
+    #[test]
+    fn sealed_timestamps_align_to_block_boundaries() {
+        // 4 points: no block sealed yet.
+        assert_eq!(small_dataset().sealed_timestamps(), 0);
+        let mut b = DatasetBuilder::new("sealed");
+        b.set_grid(
+            TimeGrid::new(
+                Timestamp::EPOCH,
+                Duration::hours(1),
+                SERIES_BLOCK_LEN * 2 + 7,
+            )
+            .unwrap(),
+        );
+        b.add_sensor("s1", "temperature", GeoPoint::new_unchecked(0.0, 0.0))
+            .unwrap();
+        let ds = b.build().unwrap();
+        assert_eq!(ds.sealed_timestamps(), SERIES_BLOCK_LEN * 2);
+        assert!(ds.sealed_timestamps() <= ds.timestamp_count());
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //!   document store, mining with the parameter-keyed result cache, and
 //!   result retrieval;
 //! * [`router`] — dispatches requests to the service and serializes responses
-//!   as JSON, like the original URL configuration did.
+//!   as JSON, like the original URL configuration did;
+//! * [`durability`] — the snapshot codec and WAL record vocabulary behind
+//!   durable append sessions ([`service::MiscelaService::with_durability`]):
+//!   `append_chunk` fsyncs a WAL record before acknowledging, `finish_append`
+//!   commits, and service startup replays outstanding WAL tails.
 //!
 //! # Example
 //!
@@ -47,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durability;
 pub mod message;
 pub mod router;
 pub mod service;

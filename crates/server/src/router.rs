@@ -15,6 +15,7 @@
 //! | POST   | `/datasets/{name}/append/chunk` | submit one append `data.csv` chunk (`index`, `total`, `content`) |
 //! | POST   | `/datasets/{name}/append/finish` | apply the appended rows in place and bump the revision |
 //! | POST   | `/datasets/{name}/mine` | run CAP mining with the parameters in the body (revision-aware) |
+//! | GET    | `/datasets/{name}/durability` | WAL/snapshot statistics for a durable dataset |
 //! | GET    | `/cache/stats` | result- and extraction-cache hit/miss statistics |
 
 use crate::message::{ApiError, ApiRequest, ApiResponse, Method};
@@ -81,6 +82,7 @@ impl Router {
             (Method::Post, ["datasets", name, "append", "finish"]) => self.finish_append(name),
             (Method::Get, ["datasets", name, "retention"]) => self.get_retention(name),
             (Method::Post, ["datasets", name, "retention"]) => self.set_retention(name, request),
+            (Method::Get, ["datasets", name, "durability"]) => self.durability(name),
             (Method::Post, ["datasets", name, "mine"]) => self.mine(name, request),
             (Method::Get, ["cache", "stats"]) => Ok(self.cache_stats()),
             _ => Err(ApiError::NotFound(format!(
@@ -200,6 +202,27 @@ impl Router {
             ("trimmed_total", Json::from(summary.trimmed_total)),
             ("timestamps", Json::from(summary.timestamps)),
             ("revision", Json::from(summary.revision as i64)),
+        ])))
+    }
+
+    fn durability(&self, name: &str) -> Result<ApiResponse, ApiError> {
+        let stats = self.service.durability_stats(name)?;
+        Ok(ApiResponse::ok(Json::from_pairs([
+            ("name", Json::from(name)),
+            ("wal_records", Json::from(stats.wal_records as i64)),
+            ("wal_bytes", Json::from(stats.wal_bytes as i64)),
+            ("wal_pending", Json::from(stats.wal_pending as i64)),
+            ("wal_syncs", Json::from(stats.wal_syncs as i64)),
+            (
+                "replayed_records",
+                Json::from(stats.replayed_records as i64),
+            ),
+            ("torn_bytes", Json::from(stats.torn_bytes as i64)),
+            (
+                "snapshot_generation",
+                Json::from(stats.snapshot_generation as i64),
+            ),
+            ("compactions", Json::from(stats.compactions as i64)),
         ])))
     }
 
@@ -613,6 +636,46 @@ mod tests {
         assert_eq!(bad.status, StatusCode::BadRequest);
         let missing = router.handle(&ApiRequest::get("/datasets/ghost/retention"));
         assert_eq!(missing.status, StatusCode::NotFound);
+    }
+
+    #[test]
+    fn durability_route_reports_wal_stats() {
+        // Without durability the route is a 404 on any dataset.
+        let router = router_with_dataset();
+        let resp = router.handle(&ApiRequest::get("/datasets/santander/durability"));
+        assert_eq!(resp.status, StatusCode::NotFound);
+
+        let dir =
+            std::env::temp_dir().join(format!("miscela-router-durability-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Arc::new(MiscelaService::with_durability(&dir).unwrap());
+        service.register_dataset(SantanderGenerator::small().with_scale(0.02).generate());
+        let router = Router::new(service);
+
+        let resp = router.handle(&ApiRequest::get("/datasets/santander/durability"));
+        assert!(resp.is_success(), "{:?}", resp.body);
+        assert_eq!(resp.body.get("name").unwrap().as_str(), Some("santander"));
+        // Registration installed the first snapshot and left an empty WAL.
+        assert_eq!(
+            resp.body.get("snapshot_generation").unwrap().as_i64(),
+            Some(1)
+        );
+        assert_eq!(resp.body.get("wal_records").unwrap().as_i64(), Some(0));
+        assert_eq!(resp.body.get("wal_pending").unwrap().as_i64(), Some(0));
+        assert_eq!(resp.body.get("torn_bytes").unwrap().as_i64(), Some(0));
+        // An append session writes framed, fsynced records.
+        router.handle(&ApiRequest::post(
+            "/datasets/santander/append/begin",
+            Json::object(),
+        ));
+        let resp = router.handle(&ApiRequest::get("/datasets/santander/durability"));
+        assert!(resp.body.get("wal_records").unwrap().as_i64().unwrap() >= 1);
+        assert!(resp.body.get("wal_bytes").unwrap().as_i64().unwrap() > 0);
+        assert!(resp.body.get("wal_syncs").unwrap().as_i64().unwrap() >= 1);
+        // Unknown datasets are still a 404.
+        let missing = router.handle(&ApiRequest::get("/datasets/ghost/durability"));
+        assert_eq!(missing.status, StatusCode::NotFound);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

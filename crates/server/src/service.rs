@@ -24,12 +24,16 @@ use miscela_csv::chunk::{Chunk, ChunkedUploader};
 use miscela_csv::loader::DatasetLoader;
 use miscela_csv::location_csv;
 use miscela_model::{Dataset, DatasetStats, RetentionPolicy};
-use miscela_store::{Database, Filter, Json};
+use miscela_store::recovery::{DatasetLog, DurabilityStats, RecoveryStore};
+use miscela_store::wal::SinkOpener;
+use miscela_store::{Database, Filter, Json, StoreError};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::durability::{self, WalOp};
 use crate::message::ApiError;
 
 /// Name of the store collection recording uploaded datasets.
@@ -55,6 +59,11 @@ pub struct AppendSession {
     pub dataset: String,
     uploader: ChunkedUploader,
     started: Instant,
+    /// Durable session id (0 when durability is disabled).
+    session: u64,
+    /// Raw chunks as acknowledged, kept only when durability is enabled so
+    /// a snapshot-triggered WAL reset can re-log the in-flight session.
+    chunks: Vec<Chunk>,
 }
 
 /// A registered dataset together with its revision counter.
@@ -123,6 +132,29 @@ pub struct MineOutcome {
     pub elapsed: Duration,
 }
 
+/// Durable bookkeeping for one dataset: its open WAL/snapshot log plus the
+/// session counters that make replay idempotent.
+struct DurableState {
+    log: DatasetLog,
+    /// Next append-session id to hand out (monotone per dataset).
+    next_session: u64,
+    /// Highest session id whose outcome is reflected in the resident
+    /// dataset (or is stale) — the `applied_session` watermark written into
+    /// snapshots.
+    watermark: u64,
+    /// `Dataset::sealed_timestamps()` when the current snapshot was taken;
+    /// an append that seals further 256-point blocks triggers the next
+    /// snapshot, keeping the WAL tail O(rows since last snapshot).
+    sealed_at_snapshot: usize,
+}
+
+/// The service's durability layer: a [`RecoveryStore`] directory plus one
+/// [`DurableState`] per dataset.
+struct Durability {
+    store: RecoveryStore,
+    states: Mutex<HashMap<String, DurableState>>,
+}
+
 /// The Miscela-V application service.
 pub struct MiscelaService {
     db: Arc<Database>,
@@ -135,6 +167,14 @@ pub struct MiscelaService {
     datasets: RwLock<HashMap<String, DatasetEntry>>,
     uploads: Mutex<HashMap<String, UploadSession>>,
     appends: Mutex<HashMap<String, AppendSession>>,
+    /// Present when the service persists append sessions through a WAL +
+    /// snapshot directory (see [`MiscelaService::with_durability`]).
+    durability: Option<Durability>,
+}
+
+/// Maps a store-layer durability failure into a typed API error.
+fn wal_err(e: StoreError) -> ApiError {
+    ApiError::Internal(format!("durability: {e}"))
 }
 
 impl MiscelaService {
@@ -154,7 +194,250 @@ impl MiscelaService {
             datasets: RwLock::new(HashMap::new()),
             uploads: Mutex::new(HashMap::new()),
             appends: Mutex::new(HashMap::new()),
+            durability: None,
         }
+    }
+
+    /// Creates a durable service over a fresh in-memory database: dataset
+    /// registrations and append sessions are persisted to `dir` (snapshot +
+    /// write-ahead log per dataset), and any state already under `dir` is
+    /// recovered — snapshots reloaded, committed WAL sessions replayed with
+    /// revision bumps, uncommitted sessions restored as in-progress.
+    pub fn with_durability(dir: impl Into<PathBuf>) -> Result<Self, ApiError> {
+        Self::with_database_and_durability(Arc::new(Database::new()), dir)
+    }
+
+    /// Like [`MiscelaService::with_durability`] over an existing database.
+    pub fn with_database_and_durability(
+        db: Arc<Database>,
+        dir: impl Into<PathBuf>,
+    ) -> Result<Self, ApiError> {
+        Self::with_database(db).attach_durability(RecoveryStore::open(dir))
+    }
+
+    /// Like [`MiscelaService::with_database_and_durability`], but writing
+    /// through an injected [`SinkOpener`] — the hook the fault-injection
+    /// harness uses to kill the durable write path at a precise byte.
+    pub fn with_durability_opener(
+        db: Arc<Database>,
+        dir: impl Into<PathBuf>,
+        opener: Arc<dyn SinkOpener>,
+    ) -> Result<Self, ApiError> {
+        Self::with_database(db).attach_durability(RecoveryStore::with_opener(dir, opener))
+    }
+
+    /// Recovers every dataset logged under `store` and attaches the
+    /// durability layer. For each dataset: load the snapshot, replay the
+    /// WAL's committed append sessions on top of it (bumping the revision
+    /// once per replayed commit, exactly as the live path did), restore any
+    /// uncommitted session as in-progress, and garbage-collect cache
+    /// entries keyed to the replayed-over revisions. Recovery itself is
+    /// read-only unless the replay sealed new blocks or trimmed the window,
+    /// in which case it compacts — so startup costs O(snapshot) + O(rows
+    /// since last snapshot), never O(full append history).
+    fn attach_durability(mut self, store: RecoveryStore) -> Result<Self, ApiError> {
+        let replay_err =
+            |e: &dyn std::fmt::Display| ApiError::Internal(format!("durability replay: {e}"));
+        let mut states = HashMap::new();
+        for name in store.dataset_names().map_err(wal_err)? {
+            let mut log = store.dataset(&name).map_err(wal_err)?;
+            let Some(snapshot) = log.load_snapshot().map_err(wal_err)? else {
+                // A WAL with no snapshot means the very first registration
+                // crashed before its snapshot rename: nothing was ever
+                // acknowledged for this dataset, so there is nothing to
+                // recover.
+                continue;
+            };
+            let restored = durability::restore_dataset(&snapshot.data)?;
+            let applied = restored.applied_session;
+            let mut ds = restored.dataset;
+            let mut revision = restored.revision;
+            let sealed_at_load = ds.sealed_timestamps();
+            let mut max_session = applied;
+            let mut watermark = applied;
+            let mut replayed_commits = 0u64;
+            let mut replayed_trim = false;
+            // The in-flight (begun, not committed) session, with its raw
+            // chunks. A begin for a session at or below the snapshot's
+            // watermark is stale — its outcome is already in the snapshot.
+            let mut outstanding: Option<(u64, Vec<Chunk>)> = None;
+            for record in log.take_replay() {
+                match durability::parse_op(&record)? {
+                    WalOp::Begin { session } => {
+                        max_session = max_session.max(session);
+                        outstanding = (session > applied).then_some((session, Vec::new()));
+                    }
+                    WalOp::Chunk { session, chunk } => {
+                        if let Some((current, chunks)) = &mut outstanding {
+                            if *current == session {
+                                chunks.push(chunk);
+                            }
+                        }
+                    }
+                    WalOp::Commit { session } => {
+                        max_session = max_session.max(session);
+                        let Some((current, chunks)) = outstanding.take() else {
+                            continue;
+                        };
+                        if current != session {
+                            continue;
+                        }
+                        let mut uploader = ChunkedUploader::new();
+                        for chunk in &chunks {
+                            uploader.accept(chunk).map_err(|e| replay_err(&e))?;
+                        }
+                        let rows = uploader.finish().map_err(|e| replay_err(&e))?;
+                        let stats =
+                            DatasetLoader::append(&mut ds, &rows).map_err(|e| replay_err(&e))?;
+                        if stats.trimmed_timestamps > 0 {
+                            replayed_trim = true;
+                        }
+                        revision += 1;
+                        replayed_commits += 1;
+                        watermark = session;
+                    }
+                }
+            }
+            let ds = Arc::new(ds);
+            self.datasets.write().insert(
+                name.clone(),
+                DatasetEntry {
+                    dataset: Arc::clone(&ds),
+                    revision,
+                },
+            );
+            self.db
+                .delete_where(DATASETS_COLLECTION, &Filter::eq("name", name.as_str()));
+            self.db
+                .insert(DATASETS_COLLECTION, dataset_record(&ds, revision));
+            if replayed_commits > 0 {
+                // Revision GC on the replayed revisions: results keyed to
+                // the revisions the replay superseded are unreachable now.
+                self.cache.evict_superseded(&name, revision);
+                for _ in 0..replayed_commits {
+                    self.age_extraction(&name);
+                }
+            }
+            let mut sealed_at_snapshot = sealed_at_load;
+            if replayed_commits > 0 && (replayed_trim || ds.sealed_timestamps() > sealed_at_load) {
+                // The replay sealed blocks (or trimmed): fold it into a
+                // fresh snapshot and re-log the in-flight session into the
+                // reset WAL so its acked chunks stay durable.
+                log.install_snapshot(&durability::snapshot_data(&ds, revision, watermark))
+                    .map_err(wal_err)?;
+                sealed_at_snapshot = ds.sealed_timestamps();
+                if let Some((session, chunks)) = &outstanding {
+                    log.log(&durability::begin_record(*session))
+                        .map_err(wal_err)?;
+                    for chunk in chunks {
+                        log.log(&durability::chunk_record(*session, chunk))
+                            .map_err(wal_err)?;
+                    }
+                    log.commit().map_err(wal_err)?;
+                }
+            }
+            if let Some((session, chunks)) = outstanding {
+                let mut uploader = ChunkedUploader::new();
+                for chunk in &chunks {
+                    uploader.accept(chunk).map_err(|e| replay_err(&e))?;
+                }
+                self.appends.lock().insert(
+                    name.clone(),
+                    AppendSession {
+                        dataset: name.clone(),
+                        uploader,
+                        started: Instant::now(),
+                        session,
+                        chunks,
+                    },
+                );
+            }
+            states.insert(
+                name.clone(),
+                DurableState {
+                    log,
+                    next_session: max_session + 1,
+                    watermark,
+                    sealed_at_snapshot,
+                },
+            );
+        }
+        self.durability = Some(Durability {
+            store,
+            states: Mutex::new(states),
+        });
+        Ok(self)
+    }
+
+    /// Runs `f` against the durable state for `name` (creating a fresh log
+    /// on first use). Returns `None` when durability is disabled.
+    ///
+    /// Lock discipline: only the durability-states mutex is held while `f`
+    /// runs; no caller holds the uploads/appends mutex across this call
+    /// (though `f` itself may briefly take it, e.g. to re-log an in-flight
+    /// session after a snapshot).
+    fn durable<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut DurableState) -> Result<R, ApiError>,
+    ) -> Option<Result<R, ApiError>> {
+        let d = self.durability.as_ref()?;
+        let mut states = d.states.lock();
+        if !states.contains_key(name) {
+            match d.store.dataset(name) {
+                Ok(log) => {
+                    states.insert(
+                        name.to_string(),
+                        DurableState {
+                            log,
+                            next_session: 1,
+                            watermark: 0,
+                            sealed_at_snapshot: 0,
+                        },
+                    );
+                }
+                Err(e) => return Some(Err(wal_err(e))),
+            }
+        }
+        Some(f(states.get_mut(name).expect("state just ensured")))
+    }
+
+    /// Re-logs the in-flight append session for `name` (if any) into the
+    /// WAL — called after a snapshot reset the log, so acknowledged chunks
+    /// of a session that has not committed yet stay durable.
+    fn relog_inflight(&self, name: &str, state: &mut DurableState) -> Result<(), ApiError> {
+        let inflight = {
+            let appends = self.appends.lock();
+            appends.get(name).map(|s| (s.session, s.chunks.clone()))
+        };
+        let Some((session, chunks)) = inflight else {
+            return Ok(());
+        };
+        state
+            .log
+            .log(&durability::begin_record(session))
+            .map_err(wal_err)?;
+        for chunk in &chunks {
+            state
+                .log
+                .log(&durability::chunk_record(session, chunk))
+                .map_err(wal_err)?;
+        }
+        state.log.commit().map_err(wal_err)
+    }
+
+    /// WAL/snapshot statistics for one dataset's durability log, served by
+    /// `GET /datasets/{name}/durability`.
+    pub fn durability_stats(&self, name: &str) -> Result<DurabilityStats, ApiError> {
+        let d = self.durability.as_ref().ok_or_else(|| {
+            ApiError::NotFound("durability is not enabled for this service".to_string())
+        })?;
+        self.dataset_revision(name)?;
+        let states = d.states.lock();
+        let state = states
+            .get(name)
+            .ok_or_else(|| ApiError::NotFound(format!("dataset {name:?} has no durability log")))?;
+        Ok(state.log.stats())
     }
 
     /// The extraction cache serving one dataset (created on first use).
@@ -210,7 +493,25 @@ impl MiscelaService {
     /// Registers an already-built dataset (the path used by the synthetic
     /// generators and by completed uploads). Re-registering a name replaces
     /// the dataset, bumps its revision and invalidates its cached results.
+    ///
+    /// On a durable service the registration is snapshotted; a snapshot
+    /// failure is swallowed here (the in-memory registration stands) — use
+    /// [`MiscelaService::register_dataset_checked`] when the caller needs
+    /// the durable acknowledgment.
     pub fn register_dataset(&self, dataset: Dataset) -> DatasetSummary {
+        let (summary, _durable) = self.register_dataset_impl(dataset);
+        summary
+    }
+
+    /// Like [`MiscelaService::register_dataset`], but surfaces a durable
+    /// snapshot failure as an error: on `Ok` the registration is on disk
+    /// and survives a crash.
+    pub fn register_dataset_checked(&self, dataset: Dataset) -> Result<DatasetSummary, ApiError> {
+        let (summary, durable) = self.register_dataset_impl(dataset);
+        durable.map(|()| summary)
+    }
+
+    fn register_dataset_impl(&self, dataset: Dataset) -> (DatasetSummary, Result<(), ApiError>) {
         let name = dataset.name().to_string();
         self.cache.invalidate_dataset(&name);
         // A re-registration is a revision bump like any other: age this
@@ -234,7 +535,29 @@ impl MiscelaService {
             .delete_where(DATASETS_COLLECTION, &Filter::eq("name", name.as_str()));
         self.db
             .insert(DATASETS_COLLECTION, dataset_record(&dataset, revision));
-        DatasetSummary {
+        let durable = match self.durable(&name, |state| {
+            // The replaced content makes any in-flight append session
+            // meaningless (its begin/chunk records would not survive the
+            // snapshot's WAL reset), so drop it: its `finish_append` will
+            // report "no append in progress" instead of silently applying
+            // to the new dataset while losing durability.
+            drop(self.appends.lock().remove(&name));
+            state.watermark = state.next_session - 1;
+            state
+                .log
+                .install_snapshot(&durability::snapshot_data(
+                    &dataset,
+                    revision,
+                    state.watermark,
+                ))
+                .map_err(wal_err)?;
+            state.sealed_at_snapshot = dataset.sealed_timestamps();
+            Ok(())
+        }) {
+            Some(result) => result,
+            None => Ok(()),
+        };
+        let summary = DatasetSummary {
             name,
             sensors: dataset.sensor_count(),
             records: dataset.record_count(),
@@ -243,7 +566,8 @@ impl MiscelaService {
                 .names()
                 .map(|s| s.to_string())
                 .collect(),
-        }
+        };
+        (summary, durable)
     }
 
     /// Fetches a registered dataset by name.
@@ -351,6 +675,23 @@ impl MiscelaService {
             self.db
                 .insert(DATASETS_COLLECTION, dataset_record(&ds, summary.revision));
         }
+        // A retention change is only durable through a snapshot (there is
+        // no WAL record for it), and a retention *trim* is exactly when the
+        // WAL should compact — the trimmed history must not be replayed.
+        if let Some(result) = self.durable(name, |state| {
+            state
+                .log
+                .install_snapshot(&durability::snapshot_data(
+                    &ds,
+                    summary.revision,
+                    state.watermark,
+                ))
+                .map_err(wal_err)?;
+            state.sealed_at_snapshot = ds.sealed_timestamps();
+            self.relog_inflight(name, state)
+        }) {
+            result?;
+        }
         Ok(summary)
     }
 
@@ -377,10 +718,18 @@ impl MiscelaService {
     }
 
     /// Removes a dataset and its cached results (including its extraction
-    /// cache, whose states can never be valid for another dataset name).
+    /// cache, whose states can never be valid for another dataset name),
+    /// along with any in-flight upload/append session targeting it and its
+    /// on-disk durability log.
     pub fn delete_dataset(&self, name: &str) -> Result<(), ApiError> {
         let existed = self.datasets.write().remove(name).is_some();
         self.extraction.write().remove(name);
+        self.uploads.lock().remove(name);
+        self.appends.lock().remove(name);
+        if let Some(d) = &self.durability {
+            d.states.lock().remove(name);
+            d.store.remove_dataset(name).map_err(wal_err)?;
+        }
         let stored = self
             .db
             .delete_where(DATASETS_COLLECTION, &Filter::eq("name", name));
@@ -456,7 +805,7 @@ impl MiscelaService {
         let ds = DatasetLoader::new(dataset)
             .assemble(&attributes, &locations, &rows)
             .map_err(|e| ApiError::BadRequest(e.to_string()))?;
-        Ok((self.register_dataset(ds), elapsed))
+        Ok((self.register_dataset_checked(ds)?, elapsed))
     }
 
     // ----- chunked append -----------------------------------------------
@@ -469,12 +818,30 @@ impl MiscelaService {
     pub fn begin_append(&self, dataset: &str) -> Result<(), ApiError> {
         // Fail fast when the target does not exist.
         self.entry(dataset)?;
+        // On a durable service the session id and its begin record are made
+        // durable before the session exists: a crash right after this call
+        // restores the (empty) session on recovery.
+        let session = match self.durable(dataset, |state| {
+            let id = state.next_session;
+            state
+                .log
+                .log(&durability::begin_record(id))
+                .map_err(wal_err)?;
+            state.log.commit().map_err(wal_err)?;
+            state.next_session = id + 1;
+            Ok(id)
+        }) {
+            Some(result) => result?,
+            None => 0,
+        };
         self.appends.lock().insert(
             dataset.to_string(),
             AppendSession {
                 dataset: dataset.to_string(),
                 uploader: ChunkedUploader::new(),
                 started: Instant::now(),
+                session,
+                chunks: Vec::new(),
             },
         );
         Ok(())
@@ -483,16 +850,36 @@ impl MiscelaService {
     /// Accepts one `data.csv` chunk for an append in progress — the same
     /// chunk envelope and parsing as [`MiscelaService::upload_chunk`].
     /// Returns the number of chunks still missing.
+    ///
+    /// On a durable service the chunk is logged to the WAL and fsynced
+    /// *before* this returns `Ok`: an acknowledged chunk survives a crash
+    /// at any later point, recoverable into the restored session.
     pub fn append_chunk(&self, dataset: &str, chunk: &Chunk) -> Result<usize, ApiError> {
-        let mut appends = self.appends.lock();
-        let session = appends
-            .get_mut(dataset)
-            .ok_or_else(|| ApiError::NotFound(format!("no append in progress for {dataset:?}")))?;
-        session
-            .uploader
-            .accept(chunk)
-            .map_err(|e| ApiError::BadRequest(format!("chunk {}: {e}", chunk.index)))?;
-        Ok(session.uploader.missing().len())
+        let durable = self.durability.is_some();
+        let (missing, session_id) = {
+            let mut appends = self.appends.lock();
+            let session = appends.get_mut(dataset).ok_or_else(|| {
+                ApiError::NotFound(format!("no append in progress for {dataset:?}"))
+            })?;
+            session
+                .uploader
+                .accept(chunk)
+                .map_err(|e| ApiError::BadRequest(format!("chunk {}: {e}", chunk.index)))?;
+            if durable {
+                session.chunks.push(chunk.clone());
+            }
+            (session.uploader.missing().len(), session.session)
+        };
+        if let Some(result) = self.durable(dataset, |state| {
+            state
+                .log
+                .log(&durability::chunk_record(session_id, chunk))
+                .map_err(wal_err)?;
+            state.log.commit().map_err(wal_err)
+        }) {
+            result?;
+        }
+        Ok(missing)
     }
 
     /// Completes an append: applies the assembled rows to the registered
@@ -505,6 +892,7 @@ impl MiscelaService {
                 ApiError::NotFound(format!("no append in progress for {dataset:?}"))
             })?;
         let elapsed = session.started.elapsed();
+        let session_id = session.session;
         let rows = session
             .uploader
             .finish()
@@ -557,6 +945,33 @@ impl MiscelaService {
             .delete_where(DATASETS_COLLECTION, &Filter::eq("name", dataset));
         self.db
             .insert(DATASETS_COLLECTION, dataset_record(&ds, summary.revision));
+        // Durable commit: the session's commit record is fsynced before the
+        // ack. When the append sealed new 256-point blocks (or trimmed the
+        // window) a snapshot follows, compacting the WAL so recovery stays
+        // O(rows since last snapshot).
+        if let Some(result) = self.durable(dataset, |state| {
+            state
+                .log
+                .log(&durability::commit_record(session_id))
+                .map_err(wal_err)?;
+            state.log.commit().map_err(wal_err)?;
+            state.watermark = session_id;
+            if summary.trimmed_timestamps > 0 || ds.sealed_timestamps() > state.sealed_at_snapshot {
+                state
+                    .log
+                    .install_snapshot(&durability::snapshot_data(
+                        &ds,
+                        summary.revision,
+                        state.watermark,
+                    ))
+                    .map_err(wal_err)?;
+                state.sealed_at_snapshot = ds.sealed_timestamps();
+                self.relog_inflight(dataset, state)?;
+            }
+            Ok(())
+        }) {
+            result?;
+        }
         Ok((summary, elapsed))
     }
 
@@ -1184,5 +1599,142 @@ mod tests {
             .unwrap();
         assert_eq!(summary.sensors, generated.sensor_count());
         assert_eq!(svc.list_datasets().len(), 1);
+    }
+
+    #[test]
+    fn finish_append_without_a_session_is_a_typed_not_found() {
+        // Regression: finishing an append that was never begun must be a
+        // typed NotFound, never a panic — including after the session was
+        // cleared out from under the client by a delete or re-register.
+        let svc = MiscelaService::new();
+        let err = svc.finish_append("ghost").unwrap_err();
+        assert!(matches!(err, ApiError::NotFound(_)), "{err:?}");
+        svc.register_dataset(small_dataset());
+        let err = svc.finish_append("santander").unwrap_err();
+        assert!(matches!(err, ApiError::NotFound(_)), "{err:?}");
+        // delete_dataset clears the in-flight session.
+        svc.begin_append("santander").unwrap();
+        svc.delete_dataset("santander").unwrap();
+        svc.register_dataset(small_dataset());
+        let err = svc.finish_append("santander").unwrap_err();
+        assert!(matches!(err, ApiError::NotFound(_)), "{err:?}");
+    }
+
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("miscela-service-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_service_replays_committed_appends_after_restart() {
+        let full = small_dataset();
+        let n = full.timestamp_count();
+        let split_t = full.grid().at(n - 12).unwrap();
+        let prefix = full.slice_time(full.grid().start(), split_t).unwrap();
+        let tail = full.slice_time(split_t, full.grid().range().end).unwrap();
+        let writer = DatasetWriter::new();
+        let tail_csv = writer.data_csv(&tail);
+        let params = quick_params();
+
+        let dir = durable_dir("replay");
+        let before_caps;
+        {
+            let svc = MiscelaService::with_durability(&dir).unwrap();
+            svc.upload_documents(
+                "santander",
+                &writer.data_csv(&prefix),
+                &writer.location_csv(&prefix),
+                &writer.attribute_csv(&prefix),
+                10_000,
+            )
+            .unwrap();
+            let summary = svc.append_documents("santander", &tail_csv, 100).unwrap();
+            assert_eq!(summary.revision, 2);
+            before_caps = svc.mine("santander", &params).unwrap().result.caps;
+            // Drop without any shutdown hook: durability must not rely on one.
+        }
+        let svc = MiscelaService::with_durability(&dir).unwrap();
+        assert_eq!(svc.dataset_revision("santander").unwrap(), 2);
+        assert_eq!(svc.dataset("santander").unwrap().timestamp_count(), n);
+        // The 12-point tail sealed no new block, so the session survived in
+        // the WAL (not a snapshot) and was replayed record by record.
+        let stats = svc.durability_stats("santander").unwrap();
+        assert!(stats.replayed_records >= 3, "{stats:?}");
+        assert_eq!(stats.snapshot_generation, 1);
+        assert_eq!(stats.torn_bytes, 0);
+        // Byte-identical mining outcome on the recovered dataset.
+        let after = svc.mine("santander", &params).unwrap();
+        assert!(!after.cache_hit);
+        assert_eq!(after.revision, 2);
+        assert_eq!(after.result.caps, before_caps);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_service_restores_uncommitted_sessions_across_restart() {
+        use miscela_model::RetentionPolicy;
+
+        let full = small_dataset();
+        let n = full.timestamp_count();
+        let split_t = full.grid().at(n - 12).unwrap();
+        let prefix = full.slice_time(full.grid().start(), split_t).unwrap();
+        let tail = full.slice_time(split_t, full.grid().range().end).unwrap();
+        let writer = DatasetWriter::new();
+        let chunks = miscela_csv::split_into_chunks(&writer.data_csv(&tail), 50);
+        assert!(chunks.len() >= 2, "fixture must span several chunks");
+        let params = quick_params();
+
+        let dir = durable_dir("inflight");
+        {
+            let svc = MiscelaService::with_durability(&dir).unwrap();
+            svc.upload_documents(
+                "santander",
+                &writer.data_csv(&prefix),
+                &writer.location_csv(&prefix),
+                &writer.attribute_csv(&prefix),
+                10_000,
+            )
+            .unwrap();
+            svc.begin_append("santander").unwrap();
+            let (first, rest) = chunks.split_at(chunks.len() / 2);
+            for chunk in first {
+                svc.append_chunk("santander", chunk).unwrap();
+            }
+            // A mid-session retention snapshot resets the WAL; the acked
+            // chunks must be re-logged into it (relog_inflight) or the
+            // session would be silently lost below.
+            svc.set_retention("santander", RetentionPolicy::keep_last(n))
+                .unwrap();
+            for chunk in rest {
+                svc.append_chunk("santander", chunk).unwrap();
+            }
+            // Crash before finish_append.
+        }
+        let svc = MiscelaService::with_durability(&dir).unwrap();
+        assert_eq!(svc.dataset_revision("santander").unwrap(), 1);
+        let (summary, _elapsed) = svc.finish_append("santander").unwrap();
+        assert_eq!(summary.new_timestamps, 12);
+        assert_eq!(summary.timestamps, n);
+        assert_eq!(summary.revision, 2);
+        // The restored session produced the same dataset (and CAPs) as an
+        // uninterrupted twin driving the same appends.
+        let twin = MiscelaService::new();
+        twin.upload_documents(
+            "santander",
+            &writer.data_csv(&prefix),
+            &writer.location_csv(&prefix),
+            &writer.attribute_csv(&prefix),
+            10_000,
+        )
+        .unwrap();
+        twin.append_documents("santander", &writer.data_csv(&tail), 50)
+            .unwrap();
+        assert_eq!(
+            svc.mine("santander", &params).unwrap().result.caps,
+            twin.mine("santander", &params).unwrap().result.caps
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

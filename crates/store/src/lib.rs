@@ -14,7 +14,11 @@
 //! * optional secondary indexes for the fields the cache looks up
 //!   (dataset name, parameter signature),
 //! * durable persistence of a whole [`Database`] to a directory of
-//!   JSON-lines files.
+//!   JSON-lines files,
+//! * a durability substrate for streaming appends: a checksummed
+//!   write-ahead log ([`wal`]) plus snapshot/replay management
+//!   ([`recovery`]) with a deterministic fault-injection hook
+//!   ([`wal::FailPoint`]).
 //!
 //! JSON parsing/serialization is implemented in [`json`]; no external JSON
 //! crate is used so the substrate stays self-contained.
@@ -45,6 +49,8 @@ pub mod filter;
 pub mod index;
 pub mod json;
 pub mod persist;
+pub mod recovery;
+pub mod wal;
 
 pub use collection::Collection;
 pub use database::Database;
@@ -52,4 +58,6 @@ pub use document::{Document, DocumentId};
 pub use error::StoreError;
 pub use filter::Filter;
 pub use json::Json;
-pub use persist::{load_with_report, LoadReport};
+pub use persist::{load_with_report, LoadReport, SkippedRange};
+pub use recovery::{DatasetLog, DurabilityStats, RecoveryStore};
+pub use wal::{DiskOpener, FailPoint, FailingOpener, SinkOpener, Wal};

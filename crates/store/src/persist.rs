@@ -65,21 +65,44 @@ pub fn save(db: &Database, dir: &Path) -> Result<(), StoreError> {
     Ok(())
 }
 
+/// A contiguous run of malformed mid-file records skipped by
+/// [`load_with_report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedRange {
+    /// Collection whose file held the malformed records.
+    pub collection: String,
+    /// Zero-based index of the first malformed record in the run.
+    pub first_record: usize,
+    /// Zero-based index of the last malformed record in the run.
+    pub last_record: usize,
+}
+
 /// What [`load_with_report`] recovered from, beyond a clean snapshot.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LoadReport {
     /// Documents dropped because a collection file ended in a truncated
     /// (unparseable) final line — the signature of a crash mid-write.
     pub dropped_documents: usize,
+    /// Runs of malformed records *before* the final line — mid-file
+    /// corruption, not truncation — skipped in report mode.
+    pub skipped: Vec<SkippedRange>,
 }
 
 /// Loads a database previously written by [`save`], refusing any data loss:
 /// a snapshot whose JSON-lines tail was truncated by a crash is reported as
-/// [`StoreError::Corrupt`] rather than silently shortened. Use
-/// [`load_with_report`] to recover from a truncated tail and learn how many
-/// documents were dropped.
+/// [`StoreError::Corrupt`] rather than silently shortened, and mid-file
+/// corruption is refused with the precise record index of the first
+/// malformed record. Use [`load_with_report`] to recover explicitly and
+/// learn exactly what was dropped or skipped.
 pub fn load(dir: &Path) -> Result<Database, StoreError> {
     let (db, report) = load_with_report(dir)?;
+    if let Some(range) = report.skipped.first() {
+        return Err(StoreError::Corrupt(format!(
+            "collection {:?} is corrupt mid-file at record index {} (not a truncated tail); \
+             recover explicitly with load_with_report",
+            range.collection, range.first_record
+        )));
+    }
     if report.dropped_documents > 0 {
         return Err(StoreError::Corrupt(format!(
             "snapshot has a truncated JSON-lines tail ({} document(s) would be dropped); \
@@ -90,12 +113,12 @@ pub fn load(dir: &Path) -> Result<Database, StoreError> {
     Ok(db)
 }
 
-/// Loads a database previously written by [`save`], recovering from a
-/// partial write: a final collection-file line that fails to parse (the
-/// typical result of a crash mid-append to the file) is dropped and counted
-/// in the returned [`LoadReport`] instead of failing the whole load. A
-/// malformed line that is *not* the last one is still a hard
-/// [`StoreError::Corrupt`] — that shape is corruption, not truncation.
+/// Loads a database previously written by [`save`], recovering from
+/// damage: a final collection-file line that fails to parse (the typical
+/// result of a crash mid-append) is dropped and counted in the returned
+/// [`LoadReport`], and malformed lines *before* the final one — mid-file
+/// corruption — are skipped with their record ranges surfaced in
+/// [`LoadReport::skipped`]. The strict [`load`] refuses both shapes.
 pub fn load_with_report(dir: &Path) -> Result<(Database, LoadReport), StoreError> {
     let manifest_path = dir.join(MANIFEST_FILE);
     let manifest_text = fs::read_to_string(&manifest_path)?;
@@ -128,23 +151,37 @@ pub fn load_with_report(dir: &Path) -> Result<(Database, LoadReport), StoreError
             .lines()
             .filter(|line| !line.trim().is_empty())
             .collect();
-        db.with_collection_mut(name, |col| -> Result<(), StoreError> {
+        db.with_collection_mut(name, |col| {
             for (i, line) in lines.iter().enumerate() {
                 match Document::from_line(line) {
                     Ok(doc) => {
                         col.insert_with_id(doc);
                     }
-                    Err(e) if i + 1 == lines.len() => {
+                    Err(_) if i + 1 == lines.len() => {
                         // Truncated tail: the previous documents are intact;
                         // drop the torn line and report it.
-                        let _ = e;
                         report.dropped_documents += 1;
                     }
-                    Err(e) => return Err(e),
+                    Err(_) => {
+                        // Mid-file corruption: skip the record but remember
+                        // exactly which range was lost. Contiguous bad
+                        // records extend the current range.
+                        match report.skipped.last_mut() {
+                            Some(range)
+                                if range.collection == name && range.last_record + 1 == i =>
+                            {
+                                range.last_record = i;
+                            }
+                            _ => report.skipped.push(SkippedRange {
+                                collection: name.to_string(),
+                                first_record: i,
+                                last_record: i,
+                            }),
+                        }
+                    }
                 }
             }
-            Ok(())
-        })?;
+        });
     }
     Ok((db, report))
 }
@@ -302,19 +339,61 @@ mod tests {
     }
 
     #[test]
-    fn mid_file_corruption_is_still_an_error() {
+    fn mid_file_corruption_refuses_strictly_and_recovers_with_report() {
         let dir = temp_dir("midfile");
         let db = populated_db();
         save(&db, &dir).unwrap();
         let caps_path = dir.join("caps.jsonl");
         let content = fs::read_to_string(&caps_path).unwrap();
+        let total = content.lines().count();
         let mut lines: Vec<&str> = content.lines().collect();
         lines[3] = "{torn in the middle";
+        lines[4] = "also not json";
         fs::write(&caps_path, lines.join("\n")).unwrap();
+
         // A torn line with intact lines after it is corruption, not a
-        // partial write — both loaders must refuse.
-        assert!(matches!(load(&dir), Err(StoreError::Json(_))));
-        assert!(matches!(load_with_report(&dir), Err(StoreError::Json(_))));
+        // partial write: the strict loader refuses with the precise record
+        // index of the first malformed record.
+        let err = load(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("record index 3"), "{msg}");
+        assert!(msg.contains("caps"), "{msg}");
+
+        // Report mode recovers the intact records and surfaces the skipped
+        // range exactly.
+        let (recovered, report) = load_with_report(&dir).unwrap();
+        assert_eq!(report.dropped_documents, 0);
+        assert_eq!(
+            report.skipped,
+            vec![SkippedRange {
+                collection: "caps".to_string(),
+                first_record: 3,
+                last_record: 4,
+            }]
+        );
+        assert_eq!(recovered.count("caps", &Filter::All), total - 2);
+        assert_eq!(recovered.count("datasets", &Filter::All), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disjoint_mid_file_corruption_reports_separate_ranges() {
+        let dir = temp_dir("midfile-ranges");
+        save(&populated_db(), &dir).unwrap();
+        let caps_path = dir.join("caps.jsonl");
+        let content = fs::read_to_string(&caps_path).unwrap();
+        let mut lines: Vec<&str> = content.lines().collect();
+        lines[1] = "{bad";
+        lines[7] = "{worse";
+        fs::write(&caps_path, lines.join("\n")).unwrap();
+        let (_recovered, report) = load_with_report(&dir).unwrap();
+        let ranges: Vec<(usize, usize)> = report
+            .skipped
+            .iter()
+            .map(|r| (r.first_record, r.last_record))
+            .collect();
+        assert_eq!(ranges, vec![(1, 1), (7, 7)]);
         fs::remove_dir_all(&dir).unwrap();
     }
 

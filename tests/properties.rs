@@ -135,6 +135,57 @@ proptest! {
         );
     }
 
+    /// Every byte-level truncation of a WAL's last record recovers exactly
+    /// the longest committed prefix: the torn frame is detected at its
+    /// offset (never replayed, never blamed on an earlier record), a cut at
+    /// the frame boundary is a clean log, and the untruncated file scans in
+    /// full.
+    #[test]
+    fn torn_wal_tail_recovers_the_longest_committed_prefix(
+        payloads in proptest::collection::vec(json_strategy(), 1..5),
+    ) {
+        use miscela_v::miscela_store::wal::{frame_record, scan};
+        let frames: Vec<String> = payloads.iter().map(frame_record).collect();
+        let full: String = frames.concat();
+        let bytes = full.as_bytes();
+        let last_start = full.len() - frames.last().unwrap().len();
+        let dir = std::env::temp_dir()
+            .join(format!("miscela-props-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        for cut in last_start..=bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let scanned = scan(&path).unwrap();
+            let committed = if cut == bytes.len() {
+                payloads.len()
+            } else {
+                payloads.len() - 1
+            };
+            prop_assert_eq!(scanned.records.len(), committed, "cut at byte {}", cut);
+            for (got, want) in scanned.records.iter().zip(payloads.iter()) {
+                prop_assert_eq!(got, want, "cut at byte {}", cut);
+            }
+            prop_assert_eq!(
+                scanned.valid_bytes as usize,
+                if cut == bytes.len() { cut } else { last_start },
+                "cut at byte {}",
+                cut
+            );
+            match scanned.torn {
+                None => prop_assert!(
+                    cut == last_start || cut == bytes.len(),
+                    "cut at byte {} should have torn the last frame",
+                    cut
+                ),
+                Some(torn) => {
+                    prop_assert_eq!(torn.offset as usize, last_start, "cut at byte {}", cut);
+                    prop_assert_eq!(torn.bytes as usize, cut - last_start, "cut at byte {}", cut);
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// Time-series interpolation fills every gap (when at least one value is
     /// present) and never alters present values.
     #[test]
