@@ -28,17 +28,25 @@ MISCELA_BENCH_SMOKE=1 cargo bench -p miscela-bench --bench search_scaling
 MISCELA_BENCH_SMOKE=1 cargo bench -p miscela-bench --bench extraction_scaling
 MISCELA_BENCH_SMOKE=1 cargo bench -p miscela-bench --bench streaming_append
 
-step "bench_snapshot smoke (schema-4 JSON emitted)"
+step "bench_snapshot smoke (schema-5 JSON emitted)"
 snapshot_out="$(mktemp)"
 MISCELA_BENCH_SMOKE=1 cargo run --release -q -p miscela-bench --bin bench_snapshot -- --out "$snapshot_out" >/dev/null
-grep -q '"schema": 4' "$snapshot_out" || { echo "bench_snapshot did not emit schema-4 JSON" >&2; rm -f "$snapshot_out"; exit 1; }
+grep -q '"schema": 5' "$snapshot_out" || { echo "bench_snapshot did not emit schema-5 JSON" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"extraction_ns"' "$snapshot_out" || { echo "bench_snapshot is missing extraction_ns" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"append_remine_ns"' "$snapshot_out" || { echo "bench_snapshot is missing append_remine_ns" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"append_retained_ns"' "$snapshot_out" || { echo "bench_snapshot is missing append_retained_ns" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"recovery_replay_ns"' "$snapshot_out" || { echo "bench_snapshot is missing recovery_replay_ns" >&2; rm -f "$snapshot_out"; exit 1; }
+grep -q '"completed_p99_ns"' "$snapshot_out" || { echo "bench_snapshot is missing the overload summary" >&2; rm -f "$snapshot_out"; exit 1; }
+grep -q '"shed_rate"' "$snapshot_out" || { echo "bench_snapshot is missing shed_rate" >&2; rm -f "$snapshot_out"; exit 1; }
 rm -f "$snapshot_out"
+
+step "load-generator smoke (bounded overload storm, typed outcomes only)"
+MISCELA_OVERLOAD_SMOKE=1 cargo run --release -q -p miscela-bench --bin load_generator >/dev/null
 
 step "recovery-matrix smoke (bounded kill-point subset of the crash-recovery matrix)"
 MISCELA_RECOVERY_SMOKE=1 cargo test --release -q -p miscela-v --test recovery_matrix
+
+step "overload-matrix smoke (bounded chaos storms: shedding, cancellation, degraded mode)"
+MISCELA_OVERLOAD_SMOKE=1 cargo test --release -q -p miscela-v --test overload_matrix
 
 printf '\nCI gate passed.\n'

@@ -37,7 +37,16 @@
 //! difference is the replay cost of the tail alone — recovery is O(rows
 //! since the last snapshot), never O(append history), because sealing a
 //! 256-point block compacts the WAL into a new snapshot.
+//!
+//! Schema 5 adds the top-level `overload` object: one bounded storm of
+//! concurrent mining clients against a deliberately tight admission budget
+//! (the `load_generator` scenario at snapshot scale), summarized as
+//! completed/shed/deadline counters, p50/p99 latency of completed
+//! requests, shed rate and goodput. Counters are load-dependent; the
+//! invariant is that every refused request was a *typed retryable* error
+//! (the harness fails the run otherwise).
 
+use miscela_bench::overload::{run_load, LoadConfig};
 use miscela_bench::{
     china6, periodic_append_rows, retained_history, santander_bench, santander_params,
     split_for_append, ReadOnlyExtractionCache,
@@ -46,9 +55,10 @@ use miscela_cache::EvolvingSetsCache;
 use miscela_core::{Miner, MiningParams, MiningReport};
 use miscela_csv::DatasetWriter;
 use miscela_model::{AppendRow, Dataset, RetentionPolicy, SERIES_BLOCK_LEN};
-use miscela_server::MiscelaService;
+use miscela_server::{AdmissionConfig, MiscelaService};
 use miscela_store::{Database, Json};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// How many trailing timestamps the `append_remine_ns` measurement appends.
 const APPEND_TAIL: usize = 8;
@@ -253,6 +263,48 @@ fn measure_recovery(name: &str, dataset: &Dataset, repeats: usize) -> (u128, u12
     (median_ns(&mut replay_ns), median_ns(&mut snapshot_ns))
 }
 
+/// One bounded overload storm against a tight admission budget: the
+/// `load_generator` scenario at snapshot scale, reported as the schema-5
+/// `overload` object.
+fn snapshot_overload(dataset: &Dataset, smoke: bool) -> Json {
+    let writer = DatasetWriter::new();
+    let svc = MiscelaService::new().with_admission(AdmissionConfig {
+        max_cost_units: 2,
+        max_per_dataset: 2,
+        max_queue_depth: 4,
+        max_queue_wait: Duration::from_millis(250),
+        retry_after_ms: 50,
+    });
+    svc.upload_documents(
+        "overload",
+        &writer.data_csv(dataset),
+        &writer.location_csv(dataset),
+        &writer.attribute_csv(dataset),
+        10_000,
+    )
+    .expect("overload upload");
+    let cfg = LoadConfig {
+        clients: if smoke { 4 } else { 8 },
+        requests_per_client: if smoke { 4 } else { 8 },
+        param_variants: if smoke { 4 } else { 8 },
+        deadline_every: 4,
+        deadline: Duration::from_millis(if smoke { 20 } else { 50 }),
+    };
+    let summary = run_load(&svc, "overload", &santander_params(), &cfg);
+    let stats = svc.admission_stats();
+    assert_eq!(stats.in_flight, 0, "overload storm leaked permits");
+    Json::from_pairs([
+        ("scenario", Json::String("santander_bench_4x".to_string())),
+        ("clients", Json::Number(cfg.clients as f64)),
+        (
+            "requests_per_client",
+            Json::Number(cfg.requests_per_client as f64),
+        ),
+        ("admitted", Json::Number(stats.admitted as f64)),
+        ("summary", summary.to_json()),
+    ])
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_path = args
@@ -296,10 +348,16 @@ fn main() {
         ),
     ];
 
+    let overload = snapshot_overload(
+        &santander,
+        std::env::var_os("MISCELA_BENCH_SMOKE").is_some(),
+    );
+
     let doc = Json::from_pairs([
-        ("schema", Json::Number(4.0)),
+        ("schema", Json::Number(5.0)),
         ("unit", Json::String("nanoseconds".to_string())),
         ("repeats", Json::Number(repeats as f64)),
+        ("overload", overload),
         (
             "note",
             Json::String(

@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod overload;
+
 use miscela_cache::EvolvingSetsCache;
 use miscela_core::evolving::{EvolvingCache, EvolvingSets, ExtractionKey, ExtractionState};
 use miscela_core::MiningParams;

@@ -1,0 +1,255 @@
+//! The shared overload-load harness behind the `load_generator` binary and
+//! `bench_snapshot`'s schema-5 `overload` summary.
+//!
+//! [`run_load`] drives a [`MiscelaService`] with `clients` concurrent mining
+//! clients, each issuing `requests_per_client` requests whose parameters
+//! cycle through `param_variants` distinct cache keys (so the storm mixes
+//! cold mines, cache hits and — once the admission budget fills — shed
+//! requests). Every `deadline_every`-th request carries a wall-clock
+//! deadline. The harness classifies each response (completed, cache hit,
+//! shed, deadline exceeded), records admitted-request latency, and folds
+//! the storm into a [`LoadSummary`]: p50/p99 latency of admitted requests,
+//! shed rate and goodput.
+//!
+//! Any response that is neither success nor a *typed retryable* overload
+//! error fails the run — the harness doubles as a check that the serving
+//! path never leaks panics or untyped errors under pressure.
+
+use miscela_core::MiningParams;
+use miscela_server::{ApiError, MiscelaService};
+use miscela_store::Json;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Shape of one load storm.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Distinct parameter variants (distinct result-cache keys) the
+    /// clients cycle through. `1` makes every request after the first a
+    /// cache hit; larger values keep the miner busy.
+    pub param_variants: usize,
+    /// Every n-th request of each client carries a deadline (`0` = never).
+    pub deadline_every: usize,
+    /// The deadline attached to deadline-carrying requests.
+    pub deadline: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 8,
+            requests_per_client: 8,
+            param_variants: 6,
+            deadline_every: 4,
+            deadline: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Outcome counters and latency percentiles of one load storm.
+#[derive(Debug, Clone)]
+pub struct LoadSummary {
+    /// Requests issued in total.
+    pub requests: u64,
+    /// Requests that returned a mining result.
+    pub completed: u64,
+    /// Completed requests served from the result cache.
+    pub cache_hits: u64,
+    /// Requests shed by admission control ([`ApiError::Overloaded`]).
+    pub shed: u64,
+    /// Requests that hit their deadline ([`ApiError::DeadlineExceeded`]).
+    pub deadline_exceeded: u64,
+    /// Median latency of completed requests, nanoseconds.
+    pub completed_p50_ns: u128,
+    /// 99th-percentile latency of completed requests, nanoseconds.
+    pub completed_p99_ns: u128,
+    /// Wall-clock duration of the whole storm, nanoseconds.
+    pub wall_ns: u128,
+    /// Completed requests per wall-clock second.
+    pub goodput_per_sec: f64,
+    /// Fraction of requests shed or expired instead of served.
+    pub shed_rate: f64,
+}
+
+impl LoadSummary {
+    /// The summary as a JSON object (the shape `bench_snapshot` embeds and
+    /// `load_generator` prints).
+    pub fn to_json(&self) -> Json {
+        Json::from_pairs([
+            ("requests", Json::Number(self.requests as f64)),
+            ("completed", Json::Number(self.completed as f64)),
+            ("cache_hits", Json::Number(self.cache_hits as f64)),
+            ("shed", Json::Number(self.shed as f64)),
+            (
+                "deadline_exceeded",
+                Json::Number(self.deadline_exceeded as f64),
+            ),
+            (
+                "completed_p50_ns",
+                Json::Number(self.completed_p50_ns as f64),
+            ),
+            (
+                "completed_p99_ns",
+                Json::Number(self.completed_p99_ns as f64),
+            ),
+            ("wall_ns", Json::Number(self.wall_ns as f64)),
+            ("goodput_per_sec", Json::Number(self.goodput_per_sec)),
+            ("shed_rate", Json::Number(self.shed_rate)),
+        ])
+    }
+}
+
+/// The percentile of a sorted-in-place sample vector (nearest-rank on the
+/// zero-based index). Empty samples report 0.
+pub fn percentile_ns(samples: &mut [u128], pct: u32) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let idx = (samples.len() - 1) * pct as usize / 100;
+    samples[idx]
+}
+
+/// The `v`-th parameter variant of `base`: a distinct result-cache key with
+/// near-identical mining cost (epsilon nudged by a hair per variant).
+pub fn param_variant(base: &MiningParams, v: usize) -> MiningParams {
+    base.clone().with_epsilon(base.epsilon + 0.0005 * v as f64)
+}
+
+/// Runs one load storm against `dataset` on `svc` and summarizes it.
+///
+/// # Panics
+///
+/// Panics when the service answers with anything other than a mining
+/// result or a typed retryable overload error — an untyped failure under
+/// load is exactly the bug this harness exists to catch.
+pub fn run_load(
+    svc: &MiscelaService,
+    dataset: &str,
+    base: &MiningParams,
+    cfg: &LoadConfig,
+) -> LoadSummary {
+    #[derive(Default)]
+    struct Tally {
+        completed: u64,
+        cache_hits: u64,
+        shed: u64,
+        deadline_exceeded: u64,
+        latencies_ns: Vec<u128>,
+    }
+    let tally = Mutex::new(Tally::default());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..cfg.clients {
+            let tally = &tally;
+            scope.spawn(move || {
+                let mut local = Tally::default();
+                for j in 0..cfg.requests_per_client {
+                    let params = param_variant(base, (client + j) % cfg.param_variants.max(1));
+                    let deadline = (cfg.deadline_every > 0 && j % cfg.deadline_every == 0)
+                        .then(|| Instant::now() + cfg.deadline);
+                    match svc.mine_with_deadline(dataset, &params, deadline) {
+                        Ok(outcome) => {
+                            local.completed += 1;
+                            local.cache_hits += u64::from(outcome.cache_hit);
+                            local.latencies_ns.push(outcome.elapsed.as_nanos());
+                        }
+                        Err(e @ ApiError::Overloaded { .. }) => {
+                            assert!(e.is_retryable() && e.retry_after_ms().is_some());
+                            local.shed += 1;
+                        }
+                        Err(e @ ApiError::DeadlineExceeded(_)) => {
+                            assert!(e.is_retryable());
+                            local.deadline_exceeded += 1;
+                        }
+                        Err(e) => panic!("untyped failure under load: {e:?}"),
+                    }
+                }
+                let mut tally = tally.lock().unwrap();
+                tally.completed += local.completed;
+                tally.cache_hits += local.cache_hits;
+                tally.shed += local.shed;
+                tally.deadline_exceeded += local.deadline_exceeded;
+                tally.latencies_ns.extend(local.latencies_ns);
+            });
+        }
+    });
+    let wall_ns = started.elapsed().as_nanos();
+    let mut tally = tally.into_inner().unwrap();
+    let requests = (cfg.clients * cfg.requests_per_client) as u64;
+    let refused = tally.shed + tally.deadline_exceeded;
+    LoadSummary {
+        requests,
+        completed: tally.completed,
+        cache_hits: tally.cache_hits,
+        shed: tally.shed,
+        deadline_exceeded: tally.deadline_exceeded,
+        completed_p50_ns: percentile_ns(&mut tally.latencies_ns, 50),
+        completed_p99_ns: percentile_ns(&mut tally.latencies_ns, 99),
+        wall_ns,
+        goodput_per_sec: tally.completed as f64 / (wall_ns as f64 / 1e9).max(1e-9),
+        shed_rate: refused as f64 / requests.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miscela_server::AdmissionConfig;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut s: Vec<u128> = (1..=100).collect();
+        assert_eq!(percentile_ns(&mut s, 50), 50);
+        assert_eq!(percentile_ns(&mut s, 99), 99);
+        assert_eq!(percentile_ns(&mut s, 100), 100);
+        assert_eq!(percentile_ns(&mut [], 99), 0);
+    }
+
+    #[test]
+    fn variants_produce_distinct_cache_keys() {
+        let base = crate::santander_params();
+        let a = param_variant(&base, 0);
+        let b = param_variant(&base, 3);
+        assert_eq!(a.epsilon, base.epsilon);
+        assert!(b.epsilon > a.epsilon);
+    }
+
+    #[test]
+    fn a_small_storm_accounts_for_every_request() {
+        let ds = crate::santander_bench();
+        let writer = miscela_csv::DatasetWriter::new();
+        let svc = MiscelaService::new().with_admission(AdmissionConfig {
+            max_queue_wait: Duration::from_millis(500),
+            ..AdmissionConfig::default()
+        });
+        svc.upload_documents(
+            "santander",
+            &writer.data_csv(&ds),
+            &writer.location_csv(&ds),
+            &writer.attribute_csv(&ds),
+            10_000,
+        )
+        .unwrap();
+        let cfg = LoadConfig {
+            clients: 3,
+            requests_per_client: 3,
+            param_variants: 2,
+            deadline_every: 0,
+            deadline: Duration::from_millis(50),
+        };
+        let summary = run_load(&svc, "santander", &crate::santander_params(), &cfg);
+        assert_eq!(summary.requests, 9);
+        assert_eq!(
+            summary.completed + summary.shed + summary.deadline_exceeded,
+            9
+        );
+        assert!(summary.completed >= 1);
+        let text = summary.to_json().to_string();
+        assert!(text.contains("\"completed_p99_ns\""));
+    }
+}

@@ -1,0 +1,154 @@
+//! Cooperative cancellation and deadlines for in-flight mines.
+//!
+//! A [`CancelToken`] is a cheap cloneable handle combining a shared atomic
+//! cancel flag with an optional per-token deadline instant. The mining
+//! pipeline polls it at coarse boundaries — between pipeline phases, at
+//! every scheduler unit boundary, and every [`CANCEL_CHECK_STRIDE`] ESU
+//! expansion steps inside the search loop — so an in-flight mine aborts
+//! within a bounded stride of work after cancellation or deadline expiry
+//! and surfaces a typed [`MiningError::Cancelled`] /
+//! [`MiningError::DeadlineExceeded`] instead of running to completion.
+//!
+//! Cloning a token shares the cancel flag; [`CancelToken::with_deadline`]
+//! derives a token that keeps the shared flag but also expires at an
+//! instant (the tighter of its own and any inherited deadline), which is
+//! how a server attaches a per-request deadline to a caller-cancellable
+//! mine.
+
+use crate::error::MiningError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many ESU expansion steps the search loop runs between cancellation
+/// checks. Bounds the abort latency of an in-flight mine to roughly this
+/// many candidate extensions (plus one scheduler unit boundary) while
+/// keeping the check amortized to noise on the hot path.
+pub const CANCEL_CHECK_STRIDE: usize = 1024;
+
+/// A cooperative cancellation handle: shared atomic flag + optional
+/// deadline.
+///
+/// Work holding a token polls [`CancelToken::check`] and unwinds with the
+/// typed error it returns. Tokens are cheap to clone (one `Arc` bump) and
+/// all clones observe the same [`cancel`](CancelToken::cancel) flag.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh token with no deadline; cancel it explicitly via
+    /// [`cancel`](CancelToken::cancel).
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        }
+    }
+
+    /// A token that can never fire: no deadline, and a flag nothing else
+    /// holds. Used by the infallible mining entry points.
+    pub fn never() -> Self {
+        CancelToken::new()
+    }
+
+    /// Derives a token sharing this token's cancel flag that additionally
+    /// expires at `deadline` (the tighter of `deadline` and any deadline
+    /// this token already carries).
+    pub fn with_deadline(&self, deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            deadline: Some(match self.deadline {
+                Some(existing) => existing.min(deadline),
+                None => deadline,
+            }),
+        }
+    }
+
+    /// Convenience for [`with_deadline`](CancelToken::with_deadline) at
+    /// `now + timeout`.
+    pub fn with_timeout(&self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Sets the shared cancel flag; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// The deadline this token expires at, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Polls the token: `Err(Cancelled)` once any clone was cancelled,
+    /// `Err(DeadlineExceeded)` once the deadline has passed, `Ok(())`
+    /// otherwise.
+    pub fn check(&self) -> Result<(), MiningError> {
+        if self.is_cancelled() {
+            return Err(MiningError::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(MiningError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_passes_checks() {
+        let token = CancelToken::new();
+        assert!(token.check().is_ok());
+        assert!(!token.is_cancelled());
+        assert!(token.deadline().is_none());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones_and_derived_tokens() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        let derived = token.with_timeout(Duration::from_secs(3600));
+        token.cancel();
+        assert_eq!(clone.check(), Err(MiningError::Cancelled));
+        assert_eq!(derived.check(), Err(MiningError::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let past = Instant::now() - Duration::from_millis(1);
+        let token = CancelToken::new().with_deadline(past);
+        assert_eq!(token.check(), Err(MiningError::DeadlineExceeded));
+        // Cancellation takes precedence over deadline expiry.
+        token.cancel();
+        assert_eq!(token.check(), Err(MiningError::Cancelled));
+    }
+
+    #[test]
+    fn derived_deadline_is_the_tighter_of_the_two() {
+        let near = Instant::now() + Duration::from_millis(10);
+        let far = near + Duration::from_secs(3600);
+        let token = CancelToken::new().with_deadline(near).with_deadline(far);
+        assert_eq!(token.deadline(), Some(near));
+        let token = CancelToken::new().with_deadline(far).with_deadline(near);
+        assert_eq!(token.deadline(), Some(near));
+    }
+}

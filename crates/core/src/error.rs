@@ -14,6 +14,11 @@ pub enum MiningError {
     },
     /// The dataset has too few timestamps to mine (fewer than 2).
     DatasetTooSmall(usize),
+    /// The mine was cancelled via its [`CancelToken`](crate::CancelToken)
+    /// before it completed.
+    Cancelled,
+    /// The mine's deadline passed before it completed.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for MiningError {
@@ -27,6 +32,10 @@ impl fmt::Display for MiningError {
                     f,
                     "dataset has only {n} timestamps; at least 2 are required"
                 )
+            }
+            MiningError::Cancelled => write!(f, "mine was cancelled before it completed"),
+            MiningError::DeadlineExceeded => {
+                write!(f, "mine deadline passed before it completed")
             }
         }
     }
@@ -46,5 +55,9 @@ mod tests {
         };
         assert!(e.to_string().contains("psi"));
         assert!(MiningError::DatasetTooSmall(1).to_string().contains('1'));
+        assert!(MiningError::Cancelled.to_string().contains("cancelled"));
+        assert!(MiningError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
     }
 }

@@ -66,6 +66,7 @@
 
 pub mod baseline;
 pub mod bitset;
+pub mod cancel;
 pub mod correlation;
 pub mod delayed;
 pub mod error;
@@ -79,6 +80,7 @@ pub mod segmentation;
 pub mod spatial;
 
 pub use bitset::Bitset;
+pub use cancel::{CancelToken, CANCEL_CHECK_STRIDE};
 pub use error::MiningError;
 pub use evolving::{
     Direction, EvolvingCache, EvolvingSets, ExtractionKey, ExtractionState, SeriesFingerprinter,

@@ -21,6 +21,7 @@
 //! so interactive re-mining with tweaked ψ/η/μ skips steps (1)+(2)
 //! entirely on unchanged series.
 
+use crate::cancel::CancelToken;
 use crate::delayed::{mine_delayed, DelayedCap};
 use crate::error::MiningError;
 use crate::evolving::{
@@ -118,6 +119,25 @@ impl Miner {
         dataset: &Dataset,
         extraction_cache: Option<&dyn EvolvingCache>,
     ) -> Result<MiningResult, MiningError> {
+        self.mine_cancellable(dataset, extraction_cache, &CancelToken::never())
+    }
+
+    /// Cancellation-aware form of [`Miner::mine_with_cache`]: the token is
+    /// polled between pipeline phases, at every scheduler unit boundary, and
+    /// every [`crate::CANCEL_CHECK_STRIDE`] ESU expansion steps inside the
+    /// search, so an in-flight mine aborts within a bounded stride and
+    /// returns [`MiningError::Cancelled`] / [`MiningError::DeadlineExceeded`].
+    ///
+    /// An aborted mine never produces a partial [`MiningResult`]; the only
+    /// externally visible residue is extraction states already written to
+    /// `extraction_cache`, which are keyed by series content + parameters
+    /// and therefore remain correct for any later mine.
+    pub fn mine_cancellable(
+        &self,
+        dataset: &Dataset,
+        extraction_cache: Option<&dyn EvolvingCache>,
+        cancel: &CancelToken,
+    ) -> Result<MiningResult, MiningError> {
         if dataset.timestamp_count() < 2 {
             return Err(MiningError::DatasetTooSmall(dataset.timestamp_count()));
         }
@@ -137,52 +157,54 @@ impl Miner {
         let cache_hits = AtomicUsize::new(0);
         let prefix_hits = AtomicUsize::new(0);
         let append_bases = dataset.append_bases();
-        let evolving: Vec<EvolvingSets> = scheduler::parallel_map(&series, workers, |&s| {
-            let Some(cache) = extraction_cache else {
-                return extract_with_segmentation(
-                    s,
-                    self.params.epsilon,
-                    self.params.segmentation,
-                    self.params.segmentation_error,
-                );
-            };
-            // One rolling-fingerprint pass yields both the full-content key
-            // and the checkpoint at every recorded pre-append length.
-            let (fingerprint, checkpoints) = fingerprint_with_checkpoints(s, append_bases);
-            let key = ExtractionKey::from_fingerprint(
-                fingerprint,
-                self.params.epsilon,
-                self.params.segmentation,
-                self.params.segmentation_error,
-            );
-            if let Some(sets) = cache.get(&key) {
-                cache_hits.fetch_add(1, Ordering::Relaxed);
-                return sets;
-            }
-            // The full content missed; on an appended dataset, probe the
-            // checkpoints for a cached prefix state and resume extraction
-            // over just the tail.
-            let state = match self.lookup_prefix_state(cache, &checkpoints) {
-                Some(prev) => {
-                    prefix_hits.fetch_add(1, Ordering::Relaxed);
-                    extract_resume(
+        cancel.check()?;
+        let evolving: Vec<EvolvingSets> =
+            scheduler::parallel_map_cancellable(&series, workers, cancel, |&s| {
+                let Some(cache) = extraction_cache else {
+                    return Ok(extract_with_segmentation(
                         s,
                         self.params.epsilon,
                         self.params.segmentation,
                         self.params.segmentation_error,
-                        &prev,
-                    )
-                }
-                None => extract_state(
-                    s,
+                    ));
+                };
+                // One rolling-fingerprint pass yields both the full-content
+                // key and the checkpoint at every recorded pre-append length.
+                let (fingerprint, checkpoints) = fingerprint_with_checkpoints(s, append_bases);
+                let key = ExtractionKey::from_fingerprint(
+                    fingerprint,
                     self.params.epsilon,
                     self.params.segmentation,
                     self.params.segmentation_error,
-                ),
-            };
-            cache.put_state(key, &state);
-            state.sets
-        });
+                );
+                if let Some(sets) = cache.get(&key) {
+                    cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(sets);
+                }
+                // The full content missed; on an appended dataset, probe the
+                // checkpoints for a cached prefix state and resume extraction
+                // over just the tail.
+                let state = match self.lookup_prefix_state(cache, &checkpoints) {
+                    Some(prev) => {
+                        prefix_hits.fetch_add(1, Ordering::Relaxed);
+                        extract_resume(
+                            s,
+                            self.params.epsilon,
+                            self.params.segmentation,
+                            self.params.segmentation_error,
+                            &prev,
+                        )
+                    }
+                    None => extract_state(
+                        s,
+                        self.params.epsilon,
+                        self.params.segmentation,
+                        self.params.segmentation_error,
+                    ),
+                };
+                cache.put_state(key, &state);
+                Ok(state.sets)
+            })?;
         let attributes: Vec<AttributeId> = dataset.iter().map(|ss| ss.sensor.attribute).collect();
         report.extraction_time = t0.elapsed();
         report.extraction_cache_hits = cache_hits.into_inner();
@@ -190,6 +212,7 @@ impl Miner {
         report.evolving_events = evolving.iter().map(|e| e.total()).sum();
 
         // Step (3): proximity graph and connected components.
+        cancel.check()?;
         let t1 = Instant::now();
         let graph = ProximityGraph::build(dataset, self.params.eta_km);
         report.spatial_time = t1.elapsed();
@@ -203,6 +226,7 @@ impl Miner {
             .unwrap_or(0);
 
         // Step (4): CAP search per component, in parallel.
+        cancel.check()?;
         let t2 = Instant::now();
         let ctx = SearchContext {
             evolving: &evolving,
@@ -211,7 +235,7 @@ impl Miner {
             params: &self.params,
         };
         let components: Vec<&Vec<SensorIndex>> = graph.components_at_least(2).collect();
-        let caps = search_components_parallel(&ctx, &components);
+        let caps = search_components_parallel(&ctx, &components, cancel)?;
         report.search_time = t2.elapsed();
 
         let caps = CapSet::from_caps(caps);
@@ -219,6 +243,7 @@ impl Miner {
 
         // Optional time-delayed extension.
         let delayed = if self.params.max_delay > 0 {
+            cancel.check()?;
             mine_delayed(&evolving, &attributes, &graph, &self.params)
         } else {
             Vec::new()
@@ -315,7 +340,8 @@ enum WorkUnit<'c> {
 fn search_components_parallel(
     ctx: &SearchContext<'_>,
     components: &[&Vec<SensorIndex>],
-) -> Vec<Cap> {
+    cancel: &CancelToken,
+) -> Result<Vec<Cap>, MiningError> {
     let mut units: Vec<(usize, WorkUnit<'_>)> = Vec::new();
     for comp in components {
         if comp.len() >= SPLIT_COMPONENT_SIZE {
@@ -337,19 +363,22 @@ fn search_components_parallel(
         }
     }
     if units.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     // Largest units first: the expensive subtrees start immediately and the
     // cheap tail backfills idle workers.
     units.sort_by_key(|u| std::cmp::Reverse(u.0));
 
-    scheduler::run_units(
+    scheduler::run_units_cancellable(
         &units,
         scheduler::available_workers(),
+        cancel,
         SearchScratch::new,
         |(_, unit), scratch, out| match *unit {
-            WorkUnit::Component(comp) => ctx.search_component_into(comp, scratch, out),
-            WorkUnit::Seed(seed) => ctx.search_seed_into(seed, scratch, out),
+            WorkUnit::Component(comp) => {
+                ctx.search_component_cancellable(comp, scratch, out, cancel)
+            }
+            WorkUnit::Seed(seed) => ctx.search_seed_cancellable(seed, scratch, out, cancel),
         },
     )
 }
@@ -788,6 +817,83 @@ mod tests {
                 assert_eq!(miner.mine(&ds).unwrap().caps, cold.caps);
             }
         }
+    }
+
+    #[test]
+    fn cancelled_and_expired_mines_return_typed_errors() {
+        let ds = clustered_dataset(2, 240);
+        let miner = Miner::new(params()).unwrap();
+        let cache = StateCache::default();
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            miner
+                .mine_cancellable(&ds, Some(&cache), &token)
+                .unwrap_err(),
+            MiningError::Cancelled
+        );
+        let expired = CancelToken::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(
+            miner.mine_cancellable(&ds, None, &expired).unwrap_err(),
+            MiningError::DeadlineExceeded
+        );
+    }
+
+    #[test]
+    fn mine_cancelled_mid_extraction_leaves_cache_consistent() {
+        use crate::evolving::EvolvingCache;
+
+        // A cache wrapper that fires the cancel token from inside the N-th
+        // extraction-state put: the mine deterministically aborts at the next
+        // unit boundary with the cache only partially populated.
+        struct CancellingCache {
+            inner: StateCache,
+            token: CancelToken,
+            cancel_after: usize,
+            puts: AtomicUsize,
+        }
+        impl EvolvingCache for CancellingCache {
+            fn get(&self, key: &ExtractionKey) -> Option<EvolvingSets> {
+                self.inner.get(key)
+            }
+            fn put(&self, key: ExtractionKey, sets: &EvolvingSets) {
+                self.inner.put(key, sets)
+            }
+            fn get_state(&self, key: &ExtractionKey) -> Option<std::sync::Arc<ExtractionState>> {
+                self.inner.get_state(key)
+            }
+            fn put_state(&self, key: ExtractionKey, state: &ExtractionState) {
+                if self.puts.fetch_add(1, Ordering::Relaxed) + 1 == self.cancel_after {
+                    self.token.cancel();
+                }
+                self.inner.put_state(key, state);
+            }
+        }
+
+        let ds = clustered_dataset(2, 240);
+        let miner = Miner::new(params()).unwrap();
+        let baseline = miner.mine(&ds).unwrap();
+        let token = CancelToken::new();
+        let cache = CancellingCache {
+            inner: StateCache::default(),
+            token: token.clone(),
+            cancel_after: 2,
+            puts: AtomicUsize::new(0),
+        };
+        assert_eq!(
+            miner
+                .mine_cancellable(&ds, Some(&cache), &token)
+                .unwrap_err(),
+            MiningError::Cancelled
+        );
+        // The abort left some extraction states behind; they are keyed by
+        // content + parameters, so the identical retry over the same cache
+        // must reproduce the cold-mine CAPs exactly.
+        assert!(cache.inner.0.lock().unwrap().len() >= 2);
+        let retry = miner
+            .mine_cancellable(&ds, Some(&cache), &CancelToken::never())
+            .unwrap();
+        assert_eq!(retry.caps, baseline.caps);
     }
 
     #[test]

@@ -18,13 +18,99 @@
 //! * results are reassembled in **unit order**, so the output is
 //!   deterministic regardless of which worker ran which unit.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::cancel::CancelToken;
+use crate::error::MiningError;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Number of workers the host offers (`available_parallelism`, 1 on error).
 pub fn available_workers() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Cancellation-aware form of [`run_units`]: the token is polled at every
+/// unit boundary, `run` may fail, and the first error (from any worker)
+/// aborts the whole batch — remaining workers stop claiming units at their
+/// next boundary, so the abort latency is bounded by one unit.
+///
+/// On success the result equals the infallible [`run_units`] output; on
+/// failure partial results are discarded.
+pub fn run_units_cancellable<U, S, R, NS, RU>(
+    units: &[U],
+    workers: usize,
+    cancel: &CancelToken,
+    new_scratch: NS,
+    run: RU,
+) -> Result<Vec<R>, MiningError>
+where
+    U: Sync,
+    R: Send,
+    NS: Fn() -> S + Sync,
+    RU: Fn(&U, &mut S, &mut Vec<R>) -> Result<(), MiningError> + Sync,
+{
+    if units.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = workers.clamp(1, units.len());
+    if workers == 1 {
+        let mut scratch = new_scratch();
+        let mut out = Vec::new();
+        for unit in units {
+            cancel.check()?;
+            run(unit, &mut scratch, &mut out)?;
+        }
+        return Ok(out);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    // First error poisons the batch: other workers observe the flag at
+    // their next unit boundary and stop claiming work.
+    let poisoned = AtomicBool::new(false);
+    let mut indexed: Vec<(usize, Vec<R>)> = Vec::with_capacity(units.len());
+    let mut first_error: Option<MiningError> = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut scratch = new_scratch();
+                let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                loop {
+                    if poisoned.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Err(e) = cancel.check() {
+                        poisoned.store(true, Ordering::Release);
+                        return Err(e);
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= units.len() {
+                        break;
+                    }
+                    let mut out = Vec::new();
+                    if let Err(e) = run(&units[i], &mut scratch, &mut out) {
+                        poisoned.store(true, Ordering::Release);
+                        return Err(e);
+                    }
+                    local.push((i, out));
+                }
+                Ok(local)
+            }));
+        }
+        for h in handles {
+            match h.join().expect("scheduler worker panicked") {
+                Ok(local) => indexed.extend(local),
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+    });
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    indexed.sort_by_key(|(i, _)| *i);
+    Ok(indexed.into_iter().flat_map(|(_, out)| out).collect())
 }
 
 /// Runs every unit in `units` through `run`, on up to `workers` threads
@@ -42,45 +128,39 @@ where
     NS: Fn() -> S + Sync,
     RU: Fn(&U, &mut S, &mut Vec<R>) + Sync,
 {
-    if units.is_empty() {
-        return Vec::new();
-    }
-    let workers = workers.clamp(1, units.len());
-    if workers == 1 {
-        let mut scratch = new_scratch();
-        let mut out = Vec::new();
-        for unit in units {
-            run(unit, &mut scratch, &mut out);
+    run_units_cancellable(units, workers, &CancelToken::never(), new_scratch, {
+        let run = &run;
+        move |unit: &U, scratch: &mut S, out: &mut Vec<R>| {
+            run(unit, scratch, out);
+            Ok(())
         }
-        return out;
-    }
+    })
+    .expect("a never-token batch of infallible units cannot fail")
+}
 
-    let cursor = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, Vec<R>)> = Vec::with_capacity(units.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..workers {
-            handles.push(scope.spawn(|| {
-                let mut scratch = new_scratch();
-                let mut local: Vec<(usize, Vec<R>)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= units.len() {
-                        break;
-                    }
-                    let mut out = Vec::new();
-                    run(&units[i], &mut scratch, &mut out);
-                    local.push((i, out));
-                }
-                local
-            }));
-        }
-        for h in handles {
-            indexed.extend(h.join().expect("scheduler worker panicked"));
-        }
-    });
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().flat_map(|(_, out)| out).collect()
+/// Cancellation-aware form of [`parallel_map`]: the token is polled before
+/// each item and the first `Err` from `f` (or the token) aborts the map.
+pub fn parallel_map_cancellable<T, R, F>(
+    items: &[T],
+    workers: usize,
+    cancel: &CancelToken,
+    f: F,
+) -> Result<Vec<R>, MiningError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Result<R, MiningError> + Sync,
+{
+    run_units_cancellable(
+        items,
+        workers,
+        cancel,
+        || (),
+        |item, (), out| {
+            out.push(f(item)?);
+            Ok(())
+        },
+    )
 }
 
 /// Order-preserving parallel map over a slice: `out[i] == f(&items[i])`,
@@ -162,6 +242,59 @@ mod tests {
         // counters can never exceed the unit total.
         assert!(out.iter().map(|&(_, c)| c).max().unwrap() <= items.len());
         assert!(out.iter().map(|&(_, c)| c).max().unwrap() > 1);
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_before_any_unit_runs() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ran = AtomicUsize::new(0);
+        for workers in [1, 4] {
+            let out = parallel_map_cancellable(&[1, 2, 3], workers, &token, |&x: &i32| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                Ok(x)
+            });
+            assert_eq!(out, Err(MiningError::Cancelled));
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn first_unit_error_poisons_the_batch() {
+        // A mid-batch error aborts the run; workers stop claiming units, so
+        // far fewer than all units run (exact count depends on timing, but
+        // the serial path is deterministic).
+        let items: Vec<usize> = (0..1000).collect();
+        let ran = AtomicUsize::new(0);
+        let out = parallel_map_cancellable(&items, 1, &CancelToken::never(), |&i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if i == 5 {
+                Err(MiningError::Cancelled)
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(out, Err(MiningError::Cancelled));
+        assert_eq!(ran.load(Ordering::Relaxed), 6);
+        let out = parallel_map_cancellable(&items, 4, &CancelToken::never(), |&i| {
+            if i == 5 {
+                Err(MiningError::DeadlineExceeded)
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(out, Err(MiningError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancellable_success_matches_infallible_output() {
+        let items: Vec<usize> = (0..300).collect();
+        for workers in [1, 3, 8] {
+            let cancellable =
+                parallel_map_cancellable(&items, workers, &CancelToken::never(), |&i| Ok(i * 7))
+                    .expect("no failures injected");
+            assert_eq!(cancellable, parallel_map(&items, workers, |&i| i * 7));
+        }
     }
 
     #[test]

@@ -41,6 +41,8 @@
 //! produce identical [`Cap`] sets.
 
 use crate::bitset::Bitset;
+use crate::cancel::{CancelToken, CANCEL_CHECK_STRIDE};
+use crate::error::MiningError;
 use crate::evolving::{Direction, EvolvingSets};
 use crate::params::MiningParams;
 use crate::pattern::{Cap, CapMember};
@@ -221,12 +223,31 @@ impl<'a> SearchContext<'a> {
         scratch: &mut SearchScratch,
         out: &mut Vec<Cap>,
     ) {
+        self.search_component_cancellable(component, scratch, out, &CancelToken::never())
+            .expect("a never-token search cannot be cancelled")
+    }
+
+    /// Cancellation-aware form of
+    /// [`search_component_into`](SearchContext::search_component_into): the
+    /// token is polled every [`CANCEL_CHECK_STRIDE`] ESU expansion steps, so
+    /// an abort lands within a bounded stride of work. On `Err`, `out` may
+    /// hold CAPs from already-completed seeds and must be discarded;
+    /// `scratch` stays reusable (every seed resets it).
+    pub fn search_component_cancellable(
+        &self,
+        component: &[SensorIndex],
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Cap>,
+        cancel: &CancelToken,
+    ) -> Result<(), MiningError> {
         if component.len() < 2 {
-            return;
+            return Ok(());
         }
         for &seed in component {
-            self.search_seed_into(seed, scratch, out);
+            cancel.check()?;
+            self.search_seed_cancellable(seed, scratch, out, cancel)?;
         }
+        Ok(())
     }
 
     /// Runs the ESU pattern-tree search rooted at one seed sensor.
@@ -240,6 +261,21 @@ impl<'a> SearchContext<'a> {
         scratch: &mut SearchScratch,
         out: &mut Vec<Cap>,
     ) {
+        self.search_seed_cancellable(seed, scratch, out, &CancelToken::never())
+            .expect("a never-token search cannot be cancelled")
+    }
+
+    /// Cancellation-aware form of
+    /// [`search_seed_into`](SearchContext::search_seed_into); see
+    /// [`search_component_cancellable`](SearchContext::search_component_cancellable)
+    /// for the abort contract.
+    pub fn search_seed_cancellable(
+        &self,
+        seed: SensorIndex,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Cap>,
+        cancel: &CancelToken,
+    ) -> Result<(), MiningError> {
         scratch.reset_for_seed(self.graph.sensor_count());
 
         // Seed candidates: the seed sensor in each direction that alone
@@ -256,7 +292,7 @@ impl<'a> SearchContext<'a> {
             }
         }
         if cand_count == 0 {
-            return;
+            return Ok(());
         }
         scratch.subset.push(seed);
         scratch.attrs.push(self.attributes[seed.index()]);
@@ -282,18 +318,32 @@ impl<'a> SearchContext<'a> {
             closed_log_start: 0,
             added_attr: None,
         });
-        self.run(seed, scratch, out);
+        self.run(seed, scratch, out, cancel)
     }
 
-    /// The iterative ESU traversal over the scratch arenas.
-    fn run(&self, seed: SensorIndex, sc: &mut SearchScratch, out: &mut Vec<Cap>) {
+    /// The iterative ESU traversal over the scratch arenas. Polls `cancel`
+    /// every [`CANCEL_CHECK_STRIDE`] loop turns (each turn is one ESU
+    /// expansion step or frame pop), bounding the abort latency of an
+    /// in-flight search.
+    fn run(
+        &self,
+        seed: SensorIndex,
+        sc: &mut SearchScratch,
+        out: &mut Vec<Cap>,
+        cancel: &CancelToken,
+    ) -> Result<(), MiningError> {
+        let mut steps: usize = 0;
         loop {
+            steps += 1;
+            if steps.is_multiple_of(CANCEL_CHECK_STRIDE) {
+                cancel.check()?;
+            }
             let top = sc.frames.len() - 1;
             if sc.frames[top].ext_cursor == sc.frames[top].ext_start {
                 // Frame exhausted: undo its arena growth and pop it.
                 let fr = sc.frames.pop().expect("frame stack underflow");
                 if sc.frames.is_empty() {
-                    return; // Root popped: this seed is done.
+                    return Ok(()); // Root popped: this seed is done.
                 }
                 sc.subset.pop();
                 if let Some(a) = fr.added_attr {
@@ -891,6 +941,73 @@ mod tests {
         let caps = ctx.search_component(&graph.components()[0]);
         assert!(caps.iter().all(|c| c.size() <= 3));
         assert!(caps.iter().any(|c| c.size() == 3));
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_at_the_seed_boundary() {
+        let n = 60;
+        let series = vec![saw(n, 10, 1.0), saw(n, 10, 1.5)];
+        let params = MiningParams::new()
+            .with_epsilon(0.4)
+            .with_psi(5)
+            .with_segmentation(false);
+        let (evolving, attributes, graph) = context_fixture(&series, &[0, 1], false, &params);
+        let ctx = SearchContext {
+            evolving: &evolving,
+            attributes: &attributes,
+            graph: &graph,
+            params: &params,
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let result = ctx.search_component_cancellable(
+            &graph.components()[0],
+            &mut scratch,
+            &mut out,
+            &token,
+        );
+        assert_eq!(result, Err(MiningError::Cancelled));
+        assert!(out.is_empty());
+        // The scratch remains reusable for a later uncancelled search.
+        ctx.search_component_into(&graph.components()[0], &mut scratch, &mut out);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_aborts_a_large_search_within_the_stride() {
+        // A clique of identical sensors makes the ESU tree enormous (every
+        // subset of the clique survives the support prune), so a run to
+        // completion would take far longer than this test is allowed to; the
+        // expired deadline must cut it off at a stride boundary instead.
+        let n = 120;
+        let k = 14;
+        let series: Vec<TimeSeries> = (0..k).map(|_| saw(n, 10, 1.0)).collect();
+        let attrs: Vec<u16> = (0..k as u16).collect();
+        let params = MiningParams::new()
+            .with_epsilon(0.4)
+            .with_psi(1)
+            .with_mu(k)
+            .with_max_sensors(None)
+            .with_segmentation(false);
+        let (evolving, attributes, graph) = context_fixture(&series, &attrs, false, &params);
+        let ctx = SearchContext {
+            evolving: &evolving,
+            attributes: &attributes,
+            graph: &graph,
+            params: &params,
+        };
+        let token = CancelToken::new()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        // Driving one seed directly bypasses the component-loop boundary
+        // check, so the abort below can only come from the in-loop stride
+        // check — the deadline is already expired, so it fires at exactly
+        // step CANCEL_CHECK_STRIDE.
+        let result = ctx.search_seed_cancellable(SensorIndex(0), &mut scratch, &mut out, &token);
+        assert_eq!(result, Err(MiningError::DeadlineExceeded));
     }
 
     // ---- Equivalence with the retained recursive reference ----

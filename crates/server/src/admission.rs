@@ -1,0 +1,375 @@
+//! Admission control for the serving path.
+//!
+//! [`AdmissionController`] bounds in-flight work with a **cost-weighted
+//! budget**: each request acquires a [`Permit`] for a number of cost units
+//! estimated from the work it will do (dataset size × grid size for a
+//! mine), bounded per-dataset concurrency, and a bounded wait queue.
+//! Requests beyond the queue are shed *immediately* with a typed
+//! [`ApiError::Overloaded`] carrying a retry-after hint — under overload the
+//! system degrades to fast rejections rather than unbounded queueing, so
+//! admitted requests keep a bounded latency. A request carrying a deadline
+//! gives up with [`ApiError::DeadlineExceeded`] once the deadline passes
+//! while it is still queued.
+//!
+//! Dropping the [`Permit`] releases the budget and wakes queued waiters, so
+//! releases are panic-safe.
+
+use crate::message::ApiError;
+use miscela_model::Dataset;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// How long an `admit` call may wait for the controller's own state lock
+/// before shedding. The critical sections under the lock are tiny, so a
+/// miss here means the process is badly wedged and fast rejection is the
+/// right answer.
+const LOCK_PATIENCE: Duration = Duration::from_secs(1);
+
+/// One mine cost unit per this many dataset cells (sensors × timestamps).
+const CELLS_PER_COST_UNIT: usize = 1 << 14;
+
+/// Tuning knobs for [`AdmissionController`].
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Total in-flight cost units across all datasets. A single request
+    /// costing more than this is still admissible when the controller is
+    /// otherwise idle (its cost is clamped to the budget).
+    pub max_cost_units: u64,
+    /// Concurrent admitted requests per dataset.
+    pub max_per_dataset: usize,
+    /// Requests allowed to wait for budget; arrivals beyond this are shed
+    /// immediately.
+    pub max_queue_depth: usize,
+    /// Longest a deadline-less request waits in the queue before being
+    /// shed. Deadline-carrying requests wait at most until their deadline.
+    pub max_queue_wait: Duration,
+    /// The back-off hint attached to shed responses, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_cost_units: 64,
+            max_per_dataset: 4,
+            max_queue_depth: 32,
+            max_queue_wait: Duration::from_secs(5),
+            retry_after_ms: 100,
+        }
+    }
+}
+
+/// Counters exposed for observability and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests admitted (immediately or after queueing).
+    pub admitted: u64,
+    /// Requests shed with [`ApiError::Overloaded`].
+    pub shed: u64,
+    /// Requests that gave up with [`ApiError::DeadlineExceeded`] while
+    /// queued.
+    pub deadline_expired: u64,
+    /// Cost units currently held by admitted requests.
+    pub in_flight_cost: u64,
+    /// Admitted requests currently in flight.
+    pub in_flight: usize,
+    /// Requests currently waiting in the queue.
+    pub queued: usize,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    in_flight_cost: u64,
+    in_flight: usize,
+    queued: usize,
+    per_dataset: HashMap<String, usize>,
+    admitted: u64,
+    shed: u64,
+    deadline_expired: u64,
+}
+
+/// Cost-weighted admission controller; see the module docs.
+#[derive(Debug, Default)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    state: Mutex<State>,
+    released: Condvar,
+}
+
+/// RAII lease on admission budget: dropping it releases the cost units and
+/// the per-dataset slot, and wakes queued waiters.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    controller: &'a AdmissionController,
+    dataset: String,
+    cost: u64,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.controller.release(&self.dataset, self.cost);
+    }
+}
+
+impl AdmissionController {
+    /// A controller with the given budget configuration.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionController {
+            config,
+            state: Mutex::new(State::default()),
+            released: Condvar::new(),
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Estimated admission cost of mining `dataset`: one unit per
+    /// `CELLS_PER_COST_UNIT` (2^14) cells of the sensors × timestamps
+    /// grid, minimum 1.
+    pub fn mine_cost(dataset: &Dataset) -> u64 {
+        let cells = dataset
+            .sensor_count()
+            .saturating_mul(dataset.timestamp_count());
+        ((cells / CELLS_PER_COST_UNIT) as u64).max(1)
+    }
+
+    /// Acquires a permit for `cost` units of work on `dataset`, waiting in
+    /// the bounded queue if the budget is exhausted.
+    ///
+    /// Sheds with [`ApiError::Overloaded`] when the queue is full or the
+    /// queue wait runs out, and with [`ApiError::DeadlineExceeded`] when
+    /// `deadline` passes first.
+    pub fn admit(
+        &self,
+        dataset: &str,
+        cost: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Permit<'_>, ApiError> {
+        // An oversize request must not be unadmittable: clamp its cost to
+        // the whole budget so it runs (alone) rather than waiting forever.
+        let cost = cost.clamp(1, self.config.max_cost_units);
+        let mut state = self
+            .state
+            .try_lock_for(LOCK_PATIENCE)
+            .ok_or_else(|| self.overloaded("admission controller lock is contended"))?;
+        // The queue-wait clock starts at arrival; a deadline tightens it.
+        let mut give_up_at = Instant::now() + self.config.max_queue_wait;
+        if let Some(d) = deadline {
+            give_up_at = give_up_at.min(d);
+        }
+        let mut queued = false;
+        loop {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    if queued {
+                        state.queued -= 1;
+                    }
+                    state.deadline_expired += 1;
+                    return Err(ApiError::DeadlineExceeded(format!(
+                        "deadline expired while waiting for admission to {dataset:?}"
+                    )));
+                }
+            }
+            let dataset_slots = state.per_dataset.get(dataset).copied().unwrap_or(0);
+            let fits = state.in_flight_cost.saturating_add(cost) <= self.config.max_cost_units
+                && dataset_slots < self.config.max_per_dataset;
+            if fits {
+                if queued {
+                    state.queued -= 1;
+                }
+                state.in_flight_cost += cost;
+                state.in_flight += 1;
+                *state.per_dataset.entry(dataset.to_string()).or_insert(0) += 1;
+                state.admitted += 1;
+                return Ok(Permit {
+                    controller: self,
+                    dataset: dataset.to_string(),
+                    cost,
+                });
+            }
+            let now = Instant::now();
+            if now >= give_up_at {
+                if queued {
+                    state.queued -= 1;
+                }
+                state.shed += 1;
+                return Err(self.overloaded(&format!(
+                    "gave up waiting for admission to {dataset:?} after {:?}",
+                    self.config.max_queue_wait.min(
+                        deadline
+                            .map(|d| d.saturating_duration_since(now))
+                            .unwrap_or(self.config.max_queue_wait)
+                    )
+                )));
+            }
+            if !queued {
+                if state.queued >= self.config.max_queue_depth {
+                    state.shed += 1;
+                    return Err(self.overloaded(&format!(
+                        "admission queue for in-flight work is full ({} waiting)",
+                        state.queued
+                    )));
+                }
+                state.queued += 1;
+                queued = true;
+            }
+            let (reacquired, _timed_out) = self.released.wait_timeout(state, give_up_at - now);
+            state = reacquired;
+            // Spurious wakeups and timeouts both just re-run the loop: the
+            // predicate and the give-up clock decide, not the wake reason.
+        }
+    }
+
+    /// A snapshot of the admission counters.
+    pub fn stats(&self) -> AdmissionStats {
+        let state = self.state.lock();
+        AdmissionStats {
+            admitted: state.admitted,
+            shed: state.shed,
+            deadline_expired: state.deadline_expired,
+            in_flight_cost: state.in_flight_cost,
+            in_flight: state.in_flight,
+            queued: state.queued,
+        }
+    }
+
+    fn overloaded(&self, message: &str) -> ApiError {
+        ApiError::Overloaded {
+            message: message.to_string(),
+            retry_after_ms: self.config.retry_after_ms,
+        }
+    }
+
+    fn release(&self, dataset: &str, cost: u64) {
+        let mut state = self.state.lock();
+        state.in_flight_cost = state.in_flight_cost.saturating_sub(cost);
+        state.in_flight = state.in_flight.saturating_sub(1);
+        if let Some(slots) = state.per_dataset.get_mut(dataset) {
+            *slots -= 1;
+            if *slots == 0 {
+                state.per_dataset.remove(dataset);
+            }
+        }
+        drop(state);
+        self.released.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight_config() -> AdmissionConfig {
+        AdmissionConfig {
+            max_cost_units: 4,
+            max_per_dataset: 2,
+            max_queue_depth: 1,
+            max_queue_wait: Duration::from_millis(50),
+            retry_after_ms: 25,
+        }
+    }
+
+    #[test]
+    fn permits_are_released_on_drop() {
+        let ctl = AdmissionController::new(tight_config());
+        let p1 = ctl.admit("a", 2, None).expect("fits");
+        let p2 = ctl.admit("b", 2, None).expect("fills the budget");
+        assert_eq!(ctl.stats().in_flight_cost, 4);
+        assert_eq!(ctl.stats().in_flight, 2);
+        drop(p1);
+        drop(p2);
+        let stats = ctl.stats();
+        assert_eq!(stats.in_flight_cost, 0);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_immediately_with_a_retry_hint() {
+        let ctl = AdmissionController::new(tight_config());
+        let _hold = ctl.admit("a", 4, None).expect("fills the budget");
+        // One waiter fits in the queue; it eventually sheds on queue-wait
+        // expiry. A second concurrent waiter would be shed immediately —
+        // emulate it by filling the queue from another thread and observing
+        // the immediate rejection.
+        std::thread::scope(|scope| {
+            let queued = scope.spawn(|| ctl.admit("a", 1, None));
+            // Wait until the first waiter is actually queued.
+            while ctl.stats().queued == 0 {
+                std::thread::yield_now();
+            }
+            let shed = ctl.admit("a", 1, None).expect_err("queue is full");
+            match &shed {
+                ApiError::Overloaded { retry_after_ms, .. } => assert_eq!(*retry_after_ms, 25),
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+            assert!(shed.is_retryable());
+            let waited = queued.join().unwrap().expect_err("budget never freed");
+            assert!(matches!(waited, ApiError::Overloaded { .. }));
+        });
+        let stats = ctl.stats();
+        assert_eq!(stats.shed, 2);
+        assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn expired_deadline_beats_queueing() {
+        let ctl = AdmissionController::new(tight_config());
+        let _hold = ctl.admit("a", 4, None).expect("fills the budget");
+        let past = Instant::now() - Duration::from_millis(1);
+        let err = ctl.admit("a", 1, Some(past)).expect_err("deadline passed");
+        assert!(matches!(err, ApiError::DeadlineExceeded(_)));
+        assert_eq!(ctl.stats().deadline_expired, 1);
+    }
+
+    #[test]
+    fn per_dataset_cap_holds_even_with_budget_to_spare() {
+        let ctl = AdmissionController::new(AdmissionConfig {
+            max_cost_units: 100,
+            ..tight_config()
+        });
+        let _p1 = ctl.admit("a", 1, None).expect("slot 1");
+        let _p2 = ctl.admit("a", 1, None).expect("slot 2");
+        let past = Instant::now() - Duration::from_millis(1);
+        assert!(matches!(
+            ctl.admit("a", 1, Some(past)),
+            Err(ApiError::DeadlineExceeded(_))
+        ));
+        // A different dataset is unaffected by the cap.
+        assert!(ctl.admit("b", 1, None).is_ok());
+    }
+
+    #[test]
+    fn oversize_request_is_admitted_when_idle() {
+        let ctl = AdmissionController::new(tight_config());
+        let permit = ctl
+            .admit("a", 1_000_000, None)
+            .expect("cost clamps to the whole budget");
+        assert_eq!(ctl.stats().in_flight_cost, 4);
+        drop(permit);
+        assert_eq!(ctl.stats().in_flight_cost, 0);
+    }
+
+    #[test]
+    fn queued_request_is_admitted_when_budget_frees() {
+        let ctl = AdmissionController::new(AdmissionConfig {
+            max_queue_wait: Duration::from_secs(30),
+            ..tight_config()
+        });
+        let hold = ctl.admit("a", 4, None).expect("fills the budget");
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| ctl.admit("b", 2, None).map(|p| p.cost));
+            while ctl.stats().queued == 0 {
+                std::thread::yield_now();
+            }
+            drop(hold);
+            assert_eq!(waiter.join().unwrap().expect("admitted after release"), 2);
+        });
+        assert_eq!(ctl.stats().admitted, 2);
+    }
+}

@@ -9,6 +9,10 @@
 //!
 //! * [`message`] — request/response envelopes (method, path, JSON body,
 //!   status code), mirroring the HTTP shapes of the original API;
+//! * [`admission`] — admission control for the serving path: a
+//!   cost-weighted in-flight budget, per-dataset concurrency caps and a
+//!   bounded wait queue, shedding excess load with typed retryable errors
+//!   instead of queueing without bound;
 //! * [`service`] — [`service::MiscelaService`]: dataset upload (including the
 //!   10,000-line chunked `data.csv` protocol), dataset registry backed by the
 //!   document store, mining with the parameter-keyed result cache, and
@@ -51,11 +55,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod durability;
 pub mod message;
 pub mod router;
 pub mod service;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats, Permit};
 pub use message::{ApiError, ApiRequest, ApiResponse, Method, StatusCode};
 pub use router::Router;
 pub use service::{

@@ -33,6 +33,14 @@ pub enum StatusCode {
     BadRequest,
     /// The resource does not exist.
     NotFound,
+    /// The request conflicts with the resource's current state.
+    Conflict,
+    /// Admission control shed the request; retry after backing off.
+    TooManyRequests,
+    /// The resource is temporarily degraded (e.g. read-only); retryable.
+    ServiceUnavailable,
+    /// The request's deadline expired before the work completed.
+    GatewayTimeout,
     /// The server failed to process a valid request.
     InternalError,
 }
@@ -45,7 +53,11 @@ impl StatusCode {
             StatusCode::Created => 201,
             StatusCode::BadRequest => 400,
             StatusCode::NotFound => 404,
+            StatusCode::Conflict => 409,
+            StatusCode::TooManyRequests => 429,
             StatusCode::InternalError => 500,
+            StatusCode::ServiceUnavailable => 503,
+            StatusCode::GatewayTimeout => 504,
         }
     }
 
@@ -151,6 +163,17 @@ impl ApiResponse {
         }
     }
 
+    /// The error response for a service error: the message, plus a
+    /// `retry_after_ms` hint when the error is retryable (the analogue of
+    /// HTTP's `Retry-After` header).
+    pub fn from_error(error: &ApiError) -> Self {
+        let mut response = ApiResponse::error(error.status(), error.message());
+        if let Some(ms) = error.retry_after_ms() {
+            response.body.set("retry_after_ms", Json::Number(ms as f64));
+        }
+        response
+    }
+
     /// Whether the response is a success.
     pub fn is_success(&self) -> bool {
         self.status.is_success()
@@ -165,6 +188,28 @@ pub enum ApiError {
     BadRequest(String),
     /// A referenced dataset or resource does not exist.
     NotFound(String),
+    /// The request conflicts with the resource's current state (e.g. an
+    /// append session is already open for the dataset).
+    Conflict(String),
+    /// Admission control shed the request — the in-flight work budget or
+    /// wait queue is full. Retryable after `retry_after_ms`.
+    Overloaded {
+        /// What was full.
+        message: String,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The resource is temporarily unable to serve this kind of request
+    /// (e.g. durability is degraded and the dataset is read-only).
+    /// Retryable after `retry_after_ms`.
+    Unavailable {
+        /// Why the resource is unavailable.
+        message: String,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before the work completed.
+    DeadlineExceeded(String),
     /// An internal processing failure (store, miner, ...).
     Internal(String),
 }
@@ -175,6 +220,10 @@ impl ApiError {
         match self {
             ApiError::BadRequest(_) => StatusCode::BadRequest,
             ApiError::NotFound(_) => StatusCode::NotFound,
+            ApiError::Conflict(_) => StatusCode::Conflict,
+            ApiError::Overloaded { .. } => StatusCode::TooManyRequests,
+            ApiError::Unavailable { .. } => StatusCode::ServiceUnavailable,
+            ApiError::DeadlineExceeded(_) => StatusCode::GatewayTimeout,
             ApiError::Internal(_) => StatusCode::InternalError,
         }
     }
@@ -182,8 +231,35 @@ impl ApiError {
     /// The error message.
     pub fn message(&self) -> &str {
         match self {
-            ApiError::BadRequest(m) | ApiError::NotFound(m) | ApiError::Internal(m) => m,
+            ApiError::BadRequest(m)
+            | ApiError::NotFound(m)
+            | ApiError::Conflict(m)
+            | ApiError::Overloaded { message: m, .. }
+            | ApiError::Unavailable { message: m, .. }
+            | ApiError::DeadlineExceeded(m)
+            | ApiError::Internal(m) => m,
         }
+    }
+
+    /// The retry-after hint, for the retryable variants.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ApiError::Overloaded { retry_after_ms, .. }
+            | ApiError::Unavailable { retry_after_ms, .. } => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
+
+    /// Whether a client may retry the identical request and expect it to
+    /// eventually succeed (shed, degraded, or timed-out work — not
+    /// malformed or conflicting requests).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ApiError::Overloaded { .. }
+                | ApiError::Unavailable { .. }
+                | ApiError::DeadlineExceeded(_)
+        )
     }
 }
 
@@ -203,9 +279,51 @@ mod tests {
     fn status_codes() {
         assert_eq!(StatusCode::Ok.as_u16(), 200);
         assert_eq!(StatusCode::NotFound.as_u16(), 404);
+        assert_eq!(StatusCode::Conflict.as_u16(), 409);
+        assert_eq!(StatusCode::TooManyRequests.as_u16(), 429);
+        assert_eq!(StatusCode::ServiceUnavailable.as_u16(), 503);
+        assert_eq!(StatusCode::GatewayTimeout.as_u16(), 504);
         assert!(StatusCode::Created.is_success());
         assert!(!StatusCode::BadRequest.is_success());
+        assert!(!StatusCode::TooManyRequests.is_success());
         assert_eq!(StatusCode::InternalError.to_string(), "500");
+    }
+
+    #[test]
+    fn overload_errors_carry_retry_hints() {
+        let shed = ApiError::Overloaded {
+            message: "wait queue full".to_string(),
+            retry_after_ms: 125,
+        };
+        assert_eq!(shed.status(), StatusCode::TooManyRequests);
+        assert_eq!(shed.retry_after_ms(), Some(125));
+        assert!(shed.is_retryable());
+        let response = ApiResponse::from_error(&shed);
+        assert_eq!(response.status.as_u16(), 429);
+        assert_eq!(
+            response.body.get("retry_after_ms").and_then(Json::as_f64),
+            Some(125.0)
+        );
+
+        let degraded = ApiError::Unavailable {
+            message: "durability degraded".to_string(),
+            retry_after_ms: 500,
+        };
+        assert_eq!(degraded.status(), StatusCode::ServiceUnavailable);
+        assert!(degraded.is_retryable());
+
+        let late = ApiError::DeadlineExceeded("mine ran past its deadline".to_string());
+        assert_eq!(late.status(), StatusCode::GatewayTimeout);
+        assert_eq!(late.retry_after_ms(), None);
+        assert!(late.is_retryable());
+        assert!(ApiResponse::from_error(&late)
+            .body
+            .get("retry_after_ms")
+            .is_none());
+
+        let conflict = ApiError::Conflict("session open".to_string());
+        assert_eq!(conflict.status(), StatusCode::Conflict);
+        assert!(!conflict.is_retryable());
     }
 
     #[test]

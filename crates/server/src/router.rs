@@ -14,9 +14,30 @@
 //! | POST   | `/datasets/{name}/append/begin` | start a chunked append of new rows to an existing dataset |
 //! | POST   | `/datasets/{name}/append/chunk` | submit one append `data.csv` chunk (`index`, `total`, `content`) |
 //! | POST   | `/datasets/{name}/append/finish` | apply the appended rows in place and bump the revision |
+//! | GET    | `/datasets/{name}/retention` | current retention policy and window position |
+//! | POST   | `/datasets/{name}/retention` | install a sliding-window retention policy |
 //! | POST   | `/datasets/{name}/mine` | run CAP mining with the parameters in the body (revision-aware) |
-//! | GET    | `/datasets/{name}/durability` | WAL/snapshot statistics for a durable dataset |
+//! | GET    | `/datasets/{name}/durability` | WAL/snapshot statistics (incl. degraded state) for a durable dataset |
+//! | GET    | `/admission/stats` | admission-control counters (admitted / shed / queued) |
 //! | GET    | `/cache/stats` | result- and extraction-cache hit/miss statistics |
+//!
+//! # Deadlines and overload responses
+//!
+//! `POST .../mine` accepts an optional `deadline_ms` query parameter: the
+//! request must complete within that many milliseconds or it fails with
+//! `504 deadline_exceeded` (cache hits are still served — they cost
+//! nothing). Under load the serving path answers with typed errors rather
+//! than queueing without bound:
+//!
+//! * `429` — admission control shed the request (budget/queue full);
+//! * `503` — the dataset is in read-only degraded mode (durable writes
+//!   failing); reads and mines keep serving;
+//! * `504` — the request's deadline expired first;
+//! * `409` — the request conflicts with current state (e.g. an append
+//!   session is already open).
+//!
+//! Retryable responses (`429`/`503`) carry a `retry_after_ms` back-off hint
+//! in the body, the JSON analogue of HTTP's `Retry-After` header.
 
 use crate::message::{ApiError, ApiRequest, ApiResponse, Method};
 use crate::service::MiscelaService;
@@ -25,6 +46,7 @@ use miscela_core::MiningParams;
 use miscela_csv::chunk::Chunk;
 use miscela_store::Json;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The API router.
 pub struct Router {
@@ -46,7 +68,7 @@ impl Router {
     pub fn handle(&self, request: &ApiRequest) -> ApiResponse {
         match self.dispatch(request) {
             Ok(resp) => resp,
-            Err(e) => ApiResponse::error(e.status(), e.message()),
+            Err(e) => ApiResponse::from_error(&e),
         }
     }
 
@@ -84,6 +106,7 @@ impl Router {
             (Method::Post, ["datasets", name, "retention"]) => self.set_retention(name, request),
             (Method::Get, ["datasets", name, "durability"]) => self.durability(name),
             (Method::Post, ["datasets", name, "mine"]) => self.mine(name, request),
+            (Method::Get, ["admission", "stats"]) => Ok(self.admission_stats()),
             (Method::Get, ["cache", "stats"]) => Ok(self.cache_stats()),
             _ => Err(ApiError::NotFound(format!(
                 "no route for {:?} {}",
@@ -223,12 +246,20 @@ impl Router {
                 Json::from(stats.snapshot_generation as i64),
             ),
             ("compactions", Json::from(stats.compactions as i64)),
+            (
+                "degraded",
+                self.service
+                    .degraded_reason(name)
+                    .map(Json::from)
+                    .unwrap_or(Json::Null),
+            ),
         ])))
     }
 
     fn mine(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
         let params = params_from_json(&request.body)?;
-        let outcome = self.service.mine(name, &params)?;
+        let deadline = deadline_from_query(request)?;
+        let outcome = self.service.mine_with_deadline(name, &params, deadline)?;
         Ok(ApiResponse::ok(Json::from_pairs([
             ("dataset", Json::from(name)),
             ("revision", Json::from(outcome.revision as i64)),
@@ -245,6 +276,21 @@ impl Router {
             ("elapsed_seconds", Json::from(outcome.elapsed.as_secs_f64())),
             ("caps", capset_to_json(&outcome.result.caps)),
         ])))
+    }
+
+    fn admission_stats(&self) -> ApiResponse {
+        let stats = self.service.admission_stats();
+        ApiResponse::ok(Json::from_pairs([
+            ("admitted", Json::from(stats.admitted as i64)),
+            ("shed", Json::from(stats.shed as i64)),
+            (
+                "deadline_expired",
+                Json::from(stats.deadline_expired as i64),
+            ),
+            ("in_flight", Json::from(stats.in_flight)),
+            ("in_flight_cost", Json::from(stats.in_flight_cost as i64)),
+            ("queued", Json::from(stats.queued)),
+        ]))
     }
 
     fn cache_stats(&self) -> ApiResponse {
@@ -338,6 +384,19 @@ pub fn retention_from_json(body: &Json) -> Result<miscela_model::RetentionPolicy
         policy.max_age = Some(miscela_model::Duration::seconds(n));
     }
     Ok(policy)
+}
+
+/// Parses the optional `deadline_ms` query parameter into an absolute
+/// deadline: the request must complete within that many milliseconds of
+/// now, or it fails with a 504.
+fn deadline_from_query(request: &ApiRequest) -> Result<Option<Instant>, ApiError> {
+    let Some(raw) = request.query.get("deadline_ms") else {
+        return Ok(None);
+    };
+    let ms: u64 = raw
+        .parse()
+        .map_err(|_| ApiError::BadRequest("deadline_ms must be a non-negative integer".into()))?;
+    Ok(Some(Instant::now() + Duration::from_millis(ms)))
 }
 
 /// Parses the shared chunk envelope (`index`, `total`, `content`) used by
@@ -676,6 +735,66 @@ mod tests {
         let missing = router.handle(&ApiRequest::get("/datasets/ghost/durability"));
         assert_eq!(missing.status, StatusCode::NotFound);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mine_deadline_and_admission_routes() {
+        let router = router_with_dataset();
+        // Malformed deadline is a 400 before any work happens.
+        let bad = router.handle(
+            &ApiRequest::post("/datasets/santander/mine", mine_body(20))
+                .with_query("deadline_ms", "soon"),
+        );
+        assert_eq!(bad.status, StatusCode::BadRequest);
+        // An already-expired deadline on a cold mine is a 504 with the
+        // typed error body (no retry_after_ms: the hint is for 429/503).
+        let late = router.handle(
+            &ApiRequest::post("/datasets/santander/mine", mine_body(20))
+                .with_query("deadline_ms", "0"),
+        );
+        assert_eq!(late.status, StatusCode::GatewayTimeout);
+        assert!(late.body.get("error").is_some());
+        assert!(late.body.get("retry_after_ms").is_none());
+        // Without a deadline the mine completes and fills the cache...
+        let warm = router.handle(&ApiRequest::post("/datasets/santander/mine", mine_body(20)));
+        assert!(warm.is_success(), "{:?}", warm.body);
+        // ...after which even an expired deadline is served from cache.
+        let hit = router.handle(
+            &ApiRequest::post("/datasets/santander/mine", mine_body(20))
+                .with_query("deadline_ms", "0"),
+        );
+        assert!(hit.is_success(), "{:?}", hit.body);
+        assert_eq!(hit.body.get("cache_hit").unwrap().as_bool(), Some(true));
+        // The admission counters reflect the admitted mine and the expired
+        // request.
+        let stats = router.handle(&ApiRequest::get("/admission/stats"));
+        assert!(stats.is_success());
+        assert!(stats.body.get("admitted").unwrap().as_i64().unwrap() >= 1);
+        assert!(
+            stats
+                .body
+                .get("deadline_expired")
+                .unwrap()
+                .as_i64()
+                .unwrap()
+                >= 1
+        );
+        assert_eq!(stats.body.get("in_flight").unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn double_append_begin_is_a_409_conflict() {
+        let router = router_with_dataset();
+        let begin = ApiRequest::post("/datasets/santander/append/begin", Json::object());
+        assert_eq!(router.handle(&begin).status, StatusCode::Created);
+        let conflict = router.handle(&begin);
+        assert_eq!(conflict.status, StatusCode::Conflict);
+        assert!(conflict
+            .body
+            .get("error")
+            .and_then(|e| e.as_str())
+            .unwrap()
+            .contains("already open"));
     }
 
     #[test]

@@ -167,6 +167,23 @@ impl FailPoint {
         self.0.lock().dead
     }
 
+    /// Trips the fail point immediately: every later write or sync through
+    /// it fails, with no partial prefix — the deterministic analogue of the
+    /// disk filling up between two writes.
+    pub fn exhaust(&self) {
+        self.0.lock().dead = true;
+    }
+
+    /// Re-arms a tripped fail point with an unlimited budget, so the sinks
+    /// it wraps work again — the deterministic analogue of the disk
+    /// recovering (space freed, device back). Degraded-mode recovery tests
+    /// pair this with [`FailPoint::exhaust`].
+    pub fn heal(&self) {
+        let mut state = self.0.lock();
+        state.budget = u64::MAX;
+        state.dead = false;
+    }
+
     /// Total bytes successfully written through this fail point.
     pub fn written(&self) -> u64 {
         self.0.lock().written
@@ -582,6 +599,37 @@ mod tests {
         assert_eq!(scan.valid_bytes, frame.len() as u64);
         let torn = scan.torn.expect("torn tail detected");
         assert_eq!(torn.bytes, budget - frame.len() as u64);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn exhaust_and_heal_toggle_the_write_path() {
+        let path = temp_path("exhaust-heal");
+        let _ = fs::remove_file(&path);
+        let fail = FailPoint::unlimited();
+        let opener = FailingOpener::new(fail.clone());
+        let mut wal = Wal::fresh(opener.open_truncate(&path).unwrap());
+        wal.append(&payload(0)).unwrap();
+        wal.commit().unwrap();
+
+        // Exhausting kills writes and syncs with no torn prefix.
+        let written_before = fail.written();
+        fail.exhaust();
+        assert!(fail.tripped());
+        assert!(wal.append(&payload(1)).is_err());
+        assert!(wal.commit().is_err());
+        assert_eq!(fail.written(), written_before, "no bytes leak while dead");
+
+        // Healing re-arms the same sink: a fresh (truncated) log opened
+        // through the healed opener writes and scans cleanly.
+        fail.heal();
+        assert!(!fail.tripped());
+        let mut wal = Wal::fresh(opener.open_truncate(&path).unwrap());
+        wal.append(&payload(2)).unwrap();
+        wal.commit().unwrap();
+        let scan = scan(&path).unwrap();
+        assert_eq!(scan.records, vec![payload(2)]);
+        assert!(scan.torn.is_none());
         fs::remove_file(&path).unwrap();
     }
 

@@ -1,17 +1,27 @@
 //! Offline stand-in for the subset of the
 //! [`parking_lot`](https://crates.io/crates/parking_lot) crate used by this
 //! workspace: [`Mutex`] and [`RwLock`] with non-poisoning, guard-returning
-//! `lock`/`read`/`write` methods.
+//! `lock`/`read`/`write` methods, their timed `try_*_for` forms, and a
+//! [`Condvar`].
 //!
 //! Internally these wrap the `std::sync` primitives; a poisoned lock is
 //! recovered rather than propagated, matching `parking_lot`'s semantics of
 //! never poisoning. Performance characteristics are those of `std`, which is
-//! ample for the in-process workloads in this repository.
+//! ample for the in-process workloads in this repository. Two deliberate
+//! departures from the real crate's surface:
+//!
+//! * the timed acquisitions (`try_lock_for` etc.) are try-then-yield loops —
+//!   `std` exposes no native timed lock — which is fine for the short,
+//!   bounded critical sections this workspace holds;
+//! * [`Condvar::wait_timeout`] consumes and returns the guard (`std` style)
+//!   instead of taking `&mut` as `parking_lot` does, because the shim's
+//!   guards are plain `std` guards.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
 /// A mutual-exclusion lock whose `lock` returns a guard directly
 /// (no poisoning), mirroring `parking_lot::Mutex`.
@@ -34,6 +44,21 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Acquire the lock, giving up after `timeout`. Implemented as a
+    /// try-then-yield loop (see the crate docs).
+    pub fn try_lock_for(&self, timeout: Duration) -> Option<MutexGuard<'_, T>> {
+        timed(timeout, || self.try_lock())
     }
 
     /// Get mutable access without locking (requires exclusive access).
@@ -70,9 +95,99 @@ impl<T: ?Sized> RwLock<T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Acquire shared read access only if it is available right now.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Acquire exclusive write access only if it is available right now.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Acquire shared read access, giving up after `timeout`.
+    pub fn try_read_for(&self, timeout: Duration) -> Option<RwLockReadGuard<'_, T>> {
+        timed(timeout, || self.try_read())
+    }
+
+    /// Acquire exclusive write access, giving up after `timeout`.
+    pub fn try_write_for(&self, timeout: Duration) -> Option<RwLockWriteGuard<'_, T>> {
+        timed(timeout, || self.try_write())
+    }
+
     /// Get mutable access without locking (requires exclusive access).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Repeats `attempt` until it succeeds or `timeout` elapses, yielding the
+/// scheduler between attempts. The first attempt always runs, so a zero
+/// timeout degenerates to the plain `try_*` form.
+fn timed<G>(timeout: Duration, attempt: impl Fn() -> Option<G>) -> Option<G> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(guard) = attempt() {
+            return Some(guard);
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// A condition variable usable with the shim [`Mutex`]'s guards.
+///
+/// Unlike `parking_lot`'s `Condvar`, `wait`/`wait_timeout` consume and
+/// return the guard (`std` style); callers rebind it.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Wake one thread blocked on this condition variable.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all threads blocked on this condition variable.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Block until notified, releasing `guard` while waiting. Spurious
+    /// wakeups are possible; callers re-check their predicate in a loop.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Block until notified or `timeout` elapses. Returns the reacquired
+    /// guard and whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match self.0.wait_timeout(guard, timeout) {
+            Ok((guard, result)) => (guard, result.timed_out()),
+            Err(e) => {
+                let (guard, result) = e.into_inner();
+                (guard, result.timed_out())
+            }
+        }
     }
 }
 
@@ -99,6 +214,80 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 800);
+    }
+
+    #[test]
+    fn try_lock_succeeds_when_free_and_fails_while_held() {
+        let m = Mutex::new(5u32);
+        {
+            let g = m.try_lock().expect("free mutex must try_lock");
+            assert_eq!(*g, 5);
+            // Held: a zero-timeout timed acquire gives up.
+            assert!(m.try_lock().is_none());
+            assert!(m.try_lock_for(Duration::ZERO).is_none());
+        }
+        assert!(m.try_lock_for(Duration::ZERO).is_some());
+    }
+
+    #[test]
+    fn try_lock_for_acquires_once_the_holder_releases() {
+        let m = Arc::new(Mutex::new(0u32));
+        let held = Arc::clone(&m);
+        let guard = held.lock();
+        let waiter = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || m.try_lock_for(Duration::from_secs(30)).map(|g| *g))
+        };
+        drop(guard);
+        assert_eq!(waiter.join().unwrap(), Some(0));
+    }
+
+    #[test]
+    fn rwlock_timed_reads_and_writes() {
+        let l = RwLock::new(1u32);
+        {
+            let r = l.try_read_for(Duration::ZERO).expect("read a free lock");
+            assert_eq!(*r, 1);
+            // A reader blocks writers but not other readers.
+            assert!(l.try_read().is_some());
+            assert!(l.try_write().is_none());
+            assert!(l.try_write_for(Duration::ZERO).is_none());
+        }
+        *l.try_write_for(Duration::ZERO).expect("write a free lock") = 2;
+        assert_eq!(*l.read(), 2);
+    }
+
+    #[test]
+    fn condvar_handshake_and_timeout() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // A wait with an unmet predicate times out.
+        let (lock, cv) = (&pair.0, &pair.1);
+        let mut guard = lock.lock();
+        let mut timed_out = false;
+        while !*guard && !timed_out {
+            (guard, timed_out) = cv.wait_timeout(guard, Duration::from_millis(10));
+        }
+        assert!(timed_out);
+        drop(guard);
+
+        // A notified wait observes the flag.
+        let signaller = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                *pair.0.lock() = true;
+                pair.1.notify_all();
+            })
+        };
+        let (lock, cv) = (&pair.0, &pair.1);
+        let mut guard = lock.lock();
+        while !*guard {
+            let (g, timed_out) = cv.wait_timeout(guard, Duration::from_secs(30));
+            guard = g;
+            assert!(*guard || !timed_out, "flag never arrived");
+        }
+        assert!(*guard);
+        drop(guard);
+        signaller.join().unwrap();
     }
 
     #[test]
