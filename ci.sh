@@ -28,16 +28,18 @@ MISCELA_BENCH_SMOKE=1 cargo bench -p miscela-bench --bench search_scaling
 MISCELA_BENCH_SMOKE=1 cargo bench -p miscela-bench --bench extraction_scaling
 MISCELA_BENCH_SMOKE=1 cargo bench -p miscela-bench --bench streaming_append
 
-step "bench_snapshot smoke (schema-5 JSON emitted)"
+step "bench_snapshot smoke (schema-6 JSON emitted)"
 snapshot_out="$(mktemp)"
 MISCELA_BENCH_SMOKE=1 cargo run --release -q -p miscela-bench --bin bench_snapshot -- --out "$snapshot_out" >/dev/null
-grep -q '"schema": 5' "$snapshot_out" || { echo "bench_snapshot did not emit schema-5 JSON" >&2; rm -f "$snapshot_out"; exit 1; }
+grep -q '"schema": 6' "$snapshot_out" || { echo "bench_snapshot did not emit schema-6 JSON" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"extraction_ns"' "$snapshot_out" || { echo "bench_snapshot is missing extraction_ns" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"append_remine_ns"' "$snapshot_out" || { echo "bench_snapshot is missing append_remine_ns" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"append_retained_ns"' "$snapshot_out" || { echo "bench_snapshot is missing append_retained_ns" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"recovery_replay_ns"' "$snapshot_out" || { echo "bench_snapshot is missing recovery_replay_ns" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"completed_p99_ns"' "$snapshot_out" || { echo "bench_snapshot is missing the overload summary" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"shed_rate"' "$snapshot_out" || { echo "bench_snapshot is missing shed_rate" >&2; rm -f "$snapshot_out"; exit 1; }
+grep -q '"duplicate_suppressions"' "$snapshot_out" || { echo "bench_snapshot is missing the chaos summary" >&2; rm -f "$snapshot_out"; exit 1; }
+grep -q '"goodput"' "$snapshot_out" || { echo "bench_snapshot is missing chaos goodput" >&2; rm -f "$snapshot_out"; exit 1; }
 rm -f "$snapshot_out"
 
 step "load-generator smoke (bounded overload storm, typed outcomes only)"
@@ -48,5 +50,8 @@ MISCELA_RECOVERY_SMOKE=1 cargo test --release -q -p miscela-v --test recovery_ma
 
 step "overload-matrix smoke (bounded chaos storms: shedding, cancellation, degraded mode)"
 MISCELA_OVERLOAD_SMOKE=1 cargo test --release -q -p miscela-v --test overload_matrix
+
+step "chaos-matrix smoke (every transport fault class converges to the undisturbed twin)"
+MISCELA_CHAOS_SMOKE=1 cargo test --release -q -p miscela-v --test chaos_transport_matrix
 
 printf '\nCI gate passed.\n'

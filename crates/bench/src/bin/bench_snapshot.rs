@@ -45,6 +45,15 @@
 //! requests, shed rate and goodput. Counters are load-dependent; the
 //! invariant is that every refused request was a *typed retryable* error
 //! (the harness fails the run otherwise).
+//!
+//! Schema 6 adds the top-level `chaos` object: the full register → append
+//! → mine workflow driven by the resilient client through a seeded lossy
+//! storm (request drops, response drops, duplicated and delayed
+//! deliveries), summarized as client retry counters, the server's
+//! duplicate-suppression hits (idempotency-key replays + sequence-number
+//! chunk dedup), and goodput — the fraction of delivery attempts that were
+//! first tries rather than retries. The harness fails the run if the storm
+//! injected no faults or the server suppressed no repeats.
 
 use miscela_bench::overload::{run_load, LoadConfig};
 use miscela_bench::{
@@ -55,7 +64,8 @@ use miscela_cache::EvolvingSetsCache;
 use miscela_core::{Miner, MiningParams, MiningReport};
 use miscela_csv::DatasetWriter;
 use miscela_model::{AppendRow, Dataset, RetentionPolicy, SERIES_BLOCK_LEN};
-use miscela_server::{AdmissionConfig, MiscelaService};
+use miscela_server::client::{ChaosConfig, ChaosTransport, ResilientClient, RouterTransport};
+use miscela_server::{AdmissionConfig, MiscelaService, Router};
 use miscela_store::{Database, Json};
 use std::sync::Arc;
 use std::time::Duration;
@@ -305,6 +315,94 @@ fn snapshot_overload(dataset: &Dataset, smoke: bool) -> Json {
     ])
 }
 
+/// One lossy storm through the resilient client: register → append → mine
+/// at snapshot scale over a seeded [`ChaosTransport`], reported as the
+/// schema-6 `chaos` object.
+fn snapshot_chaos(dataset: &Dataset, smoke: bool) -> Json {
+    let writer = DatasetWriter::new();
+    let n = dataset.timestamp_count();
+    let grid = dataset.grid();
+    let split_t = grid.at(n - 16).expect("split on grid");
+    let prefix = dataset
+        .slice_time(grid.start(), split_t)
+        .expect("prefix slice");
+    let tail = dataset
+        .slice_time(split_t, grid.range().end)
+        .expect("tail slice");
+
+    let service = Arc::new(MiscelaService::new());
+    let router = Arc::new(Router::new(Arc::clone(&service)));
+    let storm = if smoke { 0.15 } else { 0.25 };
+    let chaos = ChaosTransport::new(RouterTransport::new(router), ChaosConfig::storm(storm), 42);
+    let mut client = ResilientClient::new(chaos, "bench-chaos");
+
+    let t = std::time::Instant::now();
+    client
+        .register(
+            "chaos",
+            &writer.location_csv(&prefix),
+            &writer.attribute_csv(&prefix),
+            &writer.data_csv(&prefix),
+            2_000,
+        )
+        .expect("chaos register must converge");
+    client
+        .append("chaos", &writer.data_csv(&tail), 500)
+        .expect("chaos append must converge");
+    let mined = client
+        .mine(
+            "chaos",
+            Json::from_pairs([
+                ("epsilon", Json::from(0.4)),
+                ("eta_km", Json::from(0.5)),
+                ("mu", Json::from(3i64)),
+                ("psi", Json::from(20usize)),
+                ("segmentation", Json::from(false)),
+            ]),
+        )
+        .expect("chaos mine must converge");
+    let workflow_ns = t.elapsed().as_nanos();
+    client.transport_mut().drain();
+
+    let cs = client.stats();
+    let fs = client.transport().stats();
+    let ps = service.protocol_stats();
+    let suppressed = ps.key_replays + ps.chunk_duplicates + ps.stale_sessions;
+    assert!(fs.total_faults() > 0, "chaos storm injected no faults");
+    assert!(
+        suppressed > 0,
+        "chaos storm exercised no duplicate suppression: {ps:?}"
+    );
+    assert!(
+        mined.get("cap_count").and_then(|c| c.as_i64()).is_some(),
+        "chaos mine returned no cap count"
+    );
+    // Useful fraction of delivery attempts: first tries over all attempts.
+    let goodput = (cs.attempts - cs.retries) as f64 / cs.attempts.max(1) as f64;
+    Json::from_pairs([
+        (
+            "scenario",
+            Json::String("santander_bench_storm".to_string()),
+        ),
+        ("storm_probability", Json::Number(storm)),
+        ("seed", Json::Number(42.0)),
+        ("workflow_ns", Json::Number(workflow_ns as f64)),
+        ("attempts", Json::Number(cs.attempts as f64)),
+        ("retries", Json::Number(cs.retries as f64)),
+        ("losses", Json::Number(cs.losses as f64)),
+        (
+            "replayed_responses",
+            Json::Number(cs.replayed_responses as f64),
+        ),
+        ("faults_injected", Json::Number(fs.total_faults() as f64)),
+        ("key_replays", Json::Number(ps.key_replays as f64)),
+        ("chunk_duplicates", Json::Number(ps.chunk_duplicates as f64)),
+        ("sequence_gaps", Json::Number(ps.sequence_gaps as f64)),
+        ("duplicate_suppressions", Json::Number(suppressed as f64)),
+        ("goodput", Json::Number(goodput)),
+    ])
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_path = args
@@ -348,16 +446,16 @@ fn main() {
         ),
     ];
 
-    let overload = snapshot_overload(
-        &santander,
-        std::env::var_os("MISCELA_BENCH_SMOKE").is_some(),
-    );
+    let smoke = std::env::var_os("MISCELA_BENCH_SMOKE").is_some();
+    let overload = snapshot_overload(&santander, smoke);
+    let chaos = snapshot_chaos(&santander, smoke);
 
     let doc = Json::from_pairs([
-        ("schema", Json::Number(5.0)),
+        ("schema", Json::Number(6.0)),
         ("unit", Json::String("nanoseconds".to_string())),
         ("repeats", Json::Number(repeats as f64)),
         ("overload", overload),
+        ("chaos", chaos),
         (
             "note",
             Json::String(

@@ -44,9 +44,19 @@ pub struct AdmissionConfig {
     /// Longest a deadline-less request waits in the queue before being
     /// shed. Deadline-carrying requests wait at most until their deadline.
     pub max_queue_wait: Duration,
-    /// The back-off hint attached to shed responses, in milliseconds.
+    /// The *base* back-off hint attached to shed responses, in
+    /// milliseconds. The actual hint is load-adaptive: it grows with the
+    /// number of queued waiters ahead of the retry and with how much of
+    /// the in-flight budget is held (see
+    /// [`AdmissionController::retry_hint_ms`]), so clients back off
+    /// proportionally to how long the queue will actually take to drain.
     pub retry_after_ms: u64,
 }
+
+/// Ceiling on the adaptive hint, as a multiple of the configured base:
+/// even a pathologically deep queue should not tell clients to go away for
+/// minutes.
+const MAX_RETRY_HINT_MULTIPLIER: u64 = 20;
 
 impl Default for AdmissionConfig {
     fn default() -> Self {
@@ -155,7 +165,12 @@ impl AdmissionController {
         let mut state = self
             .state
             .try_lock_for(LOCK_PATIENCE)
-            .ok_or_else(|| self.overloaded("admission controller lock is contended"))?;
+            // The state is unreadable, so no drain estimate exists; be
+            // pessimistic — a wedged lock is worse than a deep queue.
+            .ok_or_else(|| ApiError::Overloaded {
+                message: "admission controller lock is contended".to_string(),
+                retry_after_ms: self.config.retry_after_ms * MAX_RETRY_HINT_MULTIPLIER,
+            })?;
         // The queue-wait clock starts at arrival; a deadline tightens it.
         let mut give_up_at = Instant::now() + self.config.max_queue_wait;
         if let Some(d) = deadline {
@@ -197,22 +212,28 @@ impl AdmissionController {
                     state.queued -= 1;
                 }
                 state.shed += 1;
-                return Err(self.overloaded(&format!(
-                    "gave up waiting for admission to {dataset:?} after {:?}",
-                    self.config.max_queue_wait.min(
-                        deadline
-                            .map(|d| d.saturating_duration_since(now))
-                            .unwrap_or(self.config.max_queue_wait)
-                    )
-                )));
+                return Err(self.overloaded(
+                    &state,
+                    &format!(
+                        "gave up waiting for admission to {dataset:?} after {:?}",
+                        self.config.max_queue_wait.min(
+                            deadline
+                                .map(|d| d.saturating_duration_since(now))
+                                .unwrap_or(self.config.max_queue_wait)
+                        )
+                    ),
+                ));
             }
             if !queued {
                 if state.queued >= self.config.max_queue_depth {
                     state.shed += 1;
-                    return Err(self.overloaded(&format!(
-                        "admission queue for in-flight work is full ({} waiting)",
-                        state.queued
-                    )));
+                    return Err(self.overloaded(
+                        &state,
+                        &format!(
+                            "admission queue for in-flight work is full ({} waiting)",
+                            state.queued
+                        ),
+                    ));
                 }
                 state.queued += 1;
                 queued = true;
@@ -237,10 +258,26 @@ impl AdmissionController {
         }
     }
 
-    fn overloaded(&self, message: &str) -> ApiError {
+    /// The load-adaptive back-off hint, in milliseconds, for the given
+    /// queue depth and held in-flight cost.
+    ///
+    /// The base hint covers one drain interval of in-flight work; each
+    /// queued waiter ahead of the retry adds roughly one more interval,
+    /// and a fully held budget adds one. The result is clamped to 20× the
+    /// base, so a deep queue tells clients to back off longer without ever
+    /// quoting minutes.
+    pub fn retry_hint_ms(&self, queued: usize, in_flight_cost: u64) -> u64 {
+        let base = self.config.retry_after_ms;
+        let budget = self.config.max_cost_units.max(1);
+        let load = base * in_flight_cost.min(budget) / budget;
+        (base + load + base.saturating_mul(queued as u64))
+            .min(base.saturating_mul(MAX_RETRY_HINT_MULTIPLIER))
+    }
+
+    fn overloaded(&self, state: &State, message: &str) -> ApiError {
         ApiError::Overloaded {
             message: message.to_string(),
-            retry_after_ms: self.config.retry_after_ms,
+            retry_after_ms: self.retry_hint_ms(state.queued, state.in_flight_cost),
         }
     }
 
@@ -305,7 +342,9 @@ mod tests {
             }
             let shed = ctl.admit("a", 1, None).expect_err("queue is full");
             match &shed {
-                ApiError::Overloaded { retry_after_ms, .. } => assert_eq!(*retry_after_ms, 25),
+                // The adaptive hint: base 25, plus 25 for the fully held
+                // budget, plus 25 for the one waiter already queued ahead.
+                ApiError::Overloaded { retry_after_ms, .. } => assert_eq!(*retry_after_ms, 75),
                 other => panic!("expected Overloaded, got {other:?}"),
             }
             assert!(shed.is_retryable());
@@ -315,6 +354,30 @@ mod tests {
         let stats = ctl.stats();
         assert_eq!(stats.shed, 2);
         assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn retry_hint_grows_with_queue_depth_and_load() {
+        let ctl = AdmissionController::new(tight_config());
+        let idle = ctl.retry_hint_ms(0, 0);
+        assert_eq!(idle, 25, "an idle controller quotes the base hint");
+        // Deeper queues quote strictly longer waits…
+        let mut prev = idle;
+        for queued in 1..=8 {
+            let hint = ctl.retry_hint_ms(queued, 4);
+            assert!(
+                hint > prev,
+                "hint must grow with queue depth: {queued} waiters → {hint}ms ≤ {prev}ms"
+            );
+            prev = hint;
+        }
+        // …as does a fuller in-flight budget at equal depth…
+        assert!(ctl.retry_hint_ms(2, 4) > ctl.retry_hint_ms(2, 1));
+        // …but never past the pessimistic ceiling.
+        assert_eq!(
+            ctl.retry_hint_ms(10_000, u64::MAX),
+            25 * MAX_RETRY_HINT_MULTIPLIER
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!   parser as the live path.
 
 use crate::message::ApiError;
+use crate::service::{AppendSummary, DatasetSummary, ReplayOutcome, RetentionSummary};
 use miscela_csv::chunk::Chunk;
 use miscela_model::{
     Dataset, DatasetBuilder, Duration, GeoPoint, RetentionPolicy, TimeGrid, TimeSeries, Timestamp,
@@ -33,11 +34,30 @@ fn corrupt(what: &str) -> ApiError {
 /// `revision` is the registry revision the snapshot corresponds to;
 /// `applied_session` is the highest committed append-session id whose rows
 /// the snapshot already contains — replay skips sessions at or below it.
-pub fn snapshot_data(ds: &Dataset, revision: u64, applied_session: u64) -> Json {
+/// `replay` is the dataset's slice of the idempotency-key cache (bounded),
+/// so a keyed mutation retried across a crash replays its original
+/// response instead of re-applying.
+pub fn snapshot_data(
+    ds: &Dataset,
+    revision: u64,
+    applied_session: u64,
+    replay: &[(String, ReplayOutcome)],
+) -> Json {
     let mut doc = Json::object();
     doc.set("name", Json::from(ds.name()));
     doc.set("revision", Json::from(revision as i64));
     doc.set("applied_session", Json::from(applied_session as i64));
+    if !replay.is_empty() {
+        doc.set(
+            "idempotency",
+            Json::Array(
+                replay
+                    .iter()
+                    .map(|(key, outcome)| replay_entry_json(key, outcome))
+                    .collect(),
+            ),
+        );
+    }
     let mut grid = Json::object();
     grid.set("start", Json::from(ds.grid().start().epoch_seconds()));
     grid.set("interval", Json::from(ds.grid().interval().as_secs()));
@@ -100,6 +120,9 @@ pub struct RestoredDataset {
     /// Highest committed append-session id already contained in the
     /// snapshot; WAL replay must skip sessions at or below this.
     pub applied_session: u64,
+    /// The idempotency-key entries persisted with the snapshot, oldest
+    /// first, to be reinstalled into the service's replayed-response cache.
+    pub replay: Vec<(String, ReplayOutcome)>,
 }
 
 /// Decodes a snapshot payload written by [`snapshot_data`].
@@ -204,10 +227,17 @@ pub fn restore_dataset(data: &Json) -> Result<RestoredDataset, ApiError> {
     let dataset = builder
         .build()
         .map_err(|e| corrupt(&format!("rebuild: {e}")))?;
+    let mut replay = Vec::new();
+    if let Some(entries) = data.get("idempotency").and_then(|e| e.as_array()) {
+        for entry in entries {
+            replay.push(parse_replay_entry(entry)?);
+        }
+    }
     Ok(RestoredDataset {
         dataset,
         revision,
         applied_session,
+        replay,
     })
 }
 
@@ -218,11 +248,18 @@ pub enum WalOp {
     Begin {
         /// Per-dataset session id (monotone).
         session: u64,
+        /// The caller-supplied idempotency key, when the begin carried one:
+        /// recovery reinstalls `key → Begin{session}` into the replayed-
+        /// response cache so a retried begin replays the same session id.
+        key: Option<String>,
     },
     /// A `data.csv` chunk was accepted (and acknowledged) for a session.
     Chunk {
         /// Session the chunk belongs to.
         session: u64,
+        /// The chunk's per-session sequence number — the acked-sequence
+        /// watermark recovery restores is the highest `seq` replayed.
+        seq: u64,
         /// The raw chunk, exactly as the client sent it.
         chunk: Chunk,
     },
@@ -230,34 +267,66 @@ pub enum WalOp {
     Commit {
         /// Session that committed.
         session: u64,
+        /// The caller-supplied idempotency key, when the finish carried
+        /// one.
+        key: Option<String>,
+        /// The acknowledged summary, carried so a finish retried across a
+        /// crash replays the *original* response instead of re-committing.
+        summary: Option<AppendSummary>,
+        /// Wall-clock nanoseconds of the original append session, for the
+        /// replayed response body.
+        elapsed_ns: u64,
     },
 }
 
 /// Builds the WAL record for `begin_append`.
-pub fn begin_record(session: u64) -> Json {
-    Json::from_pairs([
+pub fn begin_record(session: u64, key: Option<&str>) -> Json {
+    let mut doc = Json::from_pairs([
         ("op", Json::from("begin")),
         ("session", Json::from(session as i64)),
-    ])
+    ]);
+    if let Some(key) = key {
+        doc.set("key", Json::from(key));
+    }
+    doc
 }
 
 /// Builds the WAL record for one acknowledged `append_chunk`.
-pub fn chunk_record(session: u64, chunk: &Chunk) -> Json {
+pub fn chunk_record(session: u64, seq: u64, chunk: &Chunk) -> Json {
     Json::from_pairs([
         ("op", Json::from("chunk")),
         ("session", Json::from(session as i64)),
+        ("seq", Json::from(seq as i64)),
         ("index", Json::from(chunk.index)),
         ("total", Json::from(chunk.total)),
         ("content", Json::from(chunk.content.as_str())),
     ])
 }
 
-/// Builds the WAL record for a committed `finish_append`.
-pub fn commit_record(session: u64) -> Json {
-    Json::from_pairs([
+/// Builds the WAL record for a committed `finish_append`. The record
+/// carries the acknowledged summary (and the idempotency key, when the
+/// finish had one) so recovery can reinstall the replayed-response entry:
+/// a finish retried after a crash replays this exact outcome.
+pub fn commit_record(
+    session: u64,
+    key: Option<&str>,
+    summary: &AppendSummary,
+    elapsed_ns: u64,
+) -> Json {
+    let mut doc = Json::from_pairs([
         ("op", Json::from("commit")),
         ("session", Json::from(session as i64)),
-    ])
+        ("elapsed_ns", Json::from(elapsed_ns as i64)),
+        ("new_timestamps", Json::from(summary.new_timestamps)),
+        ("measurements", Json::from(summary.measurements)),
+        ("trimmed_timestamps", Json::from(summary.trimmed_timestamps)),
+        ("timestamps", Json::from(summary.timestamps)),
+        ("revision", Json::from(summary.revision as i64)),
+    ]);
+    if let Some(key) = key {
+        doc.set("key", Json::from(key));
+    }
+    doc
 }
 
 /// Decodes one WAL record for replay.
@@ -271,9 +340,45 @@ pub fn parse_op(record: &Json) -> Result<WalOp, ApiError> {
         .get("session")
         .and_then(|s| s.as_i64())
         .ok_or_else(|| bad("missing session"))? as u64;
+    let key = record
+        .get("key")
+        .and_then(|k| k.as_str())
+        .map(|k| k.to_string());
     match op {
-        "begin" => Ok(WalOp::Begin { session }),
-        "commit" => Ok(WalOp::Commit { session }),
+        "begin" => Ok(WalOp::Begin { session, key }),
+        "commit" => {
+            // Records written before commits carried summaries decode with
+            // `summary: None`; recovery then simply has no response to
+            // replay for that session's key.
+            let summary = record.get("revision").and_then(|r| r.as_i64()).map(|rev| {
+                let field = |name: &str| {
+                    record
+                        .get(name)
+                        .and_then(|v| v.as_i64())
+                        .unwrap_or(0)
+                        .max(0) as usize
+                };
+                AppendSummary {
+                    name: String::new(),
+                    new_timestamps: field("new_timestamps"),
+                    measurements: field("measurements"),
+                    trimmed_timestamps: field("trimmed_timestamps"),
+                    timestamps: field("timestamps"),
+                    revision: rev.max(0) as u64,
+                }
+            });
+            let elapsed_ns = record
+                .get("elapsed_ns")
+                .and_then(|e| e.as_i64())
+                .unwrap_or(0)
+                .max(0) as u64;
+            Ok(WalOp::Commit {
+                session,
+                key,
+                summary,
+                elapsed_ns,
+            })
+        }
         "chunk" => {
             let index = record
                 .get("index")
@@ -288,8 +393,18 @@ pub fn parse_op(record: &Json) -> Result<WalOp, ApiError> {
                 .and_then(|c| c.as_str())
                 .ok_or_else(|| bad("chunk missing content"))?
                 .to_string();
+            // Chunk records written before sequence numbers existed carry
+            // no `seq`; they were only ever written in client order, so the
+            // chunk's 1-based position (its index + 1) is the right
+            // watermark.
+            let seq = record
+                .get("seq")
+                .and_then(|s| s.as_i64())
+                .map(|s| s.max(0) as u64)
+                .unwrap_or(index as u64 + 1);
             Ok(WalOp::Chunk {
                 session,
+                seq,
                 chunk: Chunk {
                     index,
                     total,
@@ -299,6 +414,134 @@ pub fn parse_op(record: &Json) -> Result<WalOp, ApiError> {
         }
         other => Err(bad(&format!("unknown op {other:?}"))),
     }
+}
+
+/// Serializes one idempotency-key cache entry for a snapshot.
+pub fn replay_entry_json(key: &str, outcome: &ReplayOutcome) -> Json {
+    let mut doc = Json::object();
+    doc.set("key", Json::from(key));
+    match outcome {
+        ReplayOutcome::UploadBegin => {
+            doc.set("kind", Json::from("upload_begin"));
+        }
+        ReplayOutcome::Begin { session } => {
+            doc.set("kind", Json::from("begin"));
+            doc.set("session", Json::from(*session as i64));
+        }
+        ReplayOutcome::Finish {
+            summary,
+            elapsed_ns,
+        } => {
+            doc.set("kind", Json::from("finish"));
+            doc.set("name", Json::from(summary.name.as_str()));
+            doc.set("new_timestamps", Json::from(summary.new_timestamps));
+            doc.set("measurements", Json::from(summary.measurements));
+            doc.set("trimmed_timestamps", Json::from(summary.trimmed_timestamps));
+            doc.set("timestamps", Json::from(summary.timestamps));
+            doc.set("revision", Json::from(summary.revision as i64));
+            doc.set("elapsed_ns", Json::from(*elapsed_ns as i64));
+        }
+        ReplayOutcome::Retention { summary } => {
+            doc.set("kind", Json::from("retention"));
+            doc.set("name", Json::from(summary.name.as_str()));
+            doc.set("trimmed_timestamps", Json::from(summary.trimmed_timestamps));
+            doc.set("trimmed_total", Json::from(summary.trimmed_total));
+            doc.set("timestamps", Json::from(summary.timestamps));
+            doc.set("revision", Json::from(summary.revision as i64));
+        }
+        ReplayOutcome::Register {
+            summary,
+            elapsed_ns,
+        } => {
+            doc.set("kind", Json::from("register"));
+            doc.set("name", Json::from(summary.name.as_str()));
+            doc.set("sensors", Json::from(summary.sensors));
+            doc.set("records", Json::from(summary.records));
+            doc.set(
+                "attributes",
+                Json::Array(
+                    summary
+                        .attributes
+                        .iter()
+                        .map(|a| Json::from(a.as_str()))
+                        .collect(),
+                ),
+            );
+            doc.set("elapsed_ns", Json::from(*elapsed_ns as i64));
+        }
+        ReplayOutcome::Delete => {
+            doc.set("kind", Json::from("delete"));
+        }
+    }
+    doc
+}
+
+/// Decodes one idempotency-key cache entry from a snapshot.
+pub fn parse_replay_entry(entry: &Json) -> Result<(String, ReplayOutcome), ApiError> {
+    let bad = |what: &str| corrupt(&format!("idempotency entry: {what}"));
+    let key = entry
+        .get("key")
+        .and_then(|k| k.as_str())
+        .ok_or_else(|| bad("missing key"))?
+        .to_string();
+    let kind = entry
+        .get("kind")
+        .and_then(|k| k.as_str())
+        .ok_or_else(|| bad("missing kind"))?;
+    let field = |name: &str| entry.get(name).and_then(|v| v.as_i64()).unwrap_or(0).max(0) as usize;
+    let name = || {
+        entry
+            .get("name")
+            .and_then(|n| n.as_str())
+            .unwrap_or_default()
+            .to_string()
+    };
+    let outcome = match kind {
+        "upload_begin" => ReplayOutcome::UploadBegin,
+        "begin" => ReplayOutcome::Begin {
+            session: field("session") as u64,
+        },
+        "finish" => ReplayOutcome::Finish {
+            summary: AppendSummary {
+                name: name(),
+                new_timestamps: field("new_timestamps"),
+                measurements: field("measurements"),
+                trimmed_timestamps: field("trimmed_timestamps"),
+                timestamps: field("timestamps"),
+                revision: field("revision") as u64,
+            },
+            elapsed_ns: field("elapsed_ns") as u64,
+        },
+        "retention" => ReplayOutcome::Retention {
+            summary: RetentionSummary {
+                name: name(),
+                trimmed_timestamps: field("trimmed_timestamps"),
+                trimmed_total: field("trimmed_total"),
+                timestamps: field("timestamps"),
+                revision: field("revision") as u64,
+            },
+        },
+        "register" => ReplayOutcome::Register {
+            summary: DatasetSummary {
+                name: name(),
+                sensors: field("sensors"),
+                records: field("records"),
+                attributes: entry
+                    .get("attributes")
+                    .and_then(|a| a.as_array())
+                    .map(|a| {
+                        a.iter()
+                            .filter_map(|v| v.as_str().map(|s| s.to_string()))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            },
+            elapsed_ns: field("elapsed_ns") as u64,
+        },
+        "delete" => ReplayOutcome::Delete,
+        other => return Err(bad(&format!("unknown kind {other:?}"))),
+    };
+    Ok((key, outcome))
 }
 
 #[cfg(test)]
@@ -345,12 +588,60 @@ mod tests {
     #[test]
     fn snapshot_round_trips_exactly() {
         let original = awkward_dataset();
-        let data = snapshot_data(&original, 7, 3);
+        let replay = vec![
+            ("c1-upload".to_string(), ReplayOutcome::UploadBegin),
+            (
+                "c1-begin-0".to_string(),
+                ReplayOutcome::Begin { session: 3 },
+            ),
+            (
+                "c1-finish-0".to_string(),
+                ReplayOutcome::Finish {
+                    summary: AppendSummary {
+                        name: "awkward".to_string(),
+                        new_timestamps: 4,
+                        measurements: 9,
+                        trimmed_timestamps: 1,
+                        timestamps: 5,
+                        revision: 7,
+                    },
+                    elapsed_ns: 1234,
+                },
+            ),
+            (
+                "c1-retention-0".to_string(),
+                ReplayOutcome::Retention {
+                    summary: RetentionSummary {
+                        name: "awkward".to_string(),
+                        trimmed_timestamps: 2,
+                        trimmed_total: 6,
+                        timestamps: 3,
+                        revision: 8,
+                    },
+                },
+            ),
+            (
+                "c1-register-0".to_string(),
+                ReplayOutcome::Register {
+                    summary: DatasetSummary {
+                        name: "awkward".to_string(),
+                        sensors: 2,
+                        records: 10,
+                        attributes: vec!["temperature".to_string(), "traffic".to_string()],
+                    },
+                    elapsed_ns: 77,
+                },
+            ),
+            ("c1-delete-0".to_string(), ReplayOutcome::Delete),
+        ];
+        let data = snapshot_data(&original, 7, 3, &replay);
         // Through a serialize/parse cycle, as recovery reads it from disk.
         let data = Json::parse(&data.to_string_compact()).unwrap();
         let restored = restore_dataset(&data).unwrap();
         assert_eq!(restored.revision, 7);
         assert_eq!(restored.applied_session, 3);
+        // The idempotency-key cache slice round-trips exactly, in order.
+        assert_eq!(restored.replay, replay);
         let ds = restored.dataset;
         assert_eq!(ds.name(), original.name());
         assert_eq!(ds.grid(), original.grid());
@@ -382,12 +673,37 @@ mod tests {
     #[test]
     fn wal_ops_round_trip() {
         assert_eq!(
-            parse_op(&begin_record(4)).unwrap(),
-            WalOp::Begin { session: 4 }
+            parse_op(&begin_record(4, None)).unwrap(),
+            WalOp::Begin {
+                session: 4,
+                key: None
+            }
         );
         assert_eq!(
-            parse_op(&commit_record(9)).unwrap(),
-            WalOp::Commit { session: 9 }
+            parse_op(&begin_record(4, Some("c7-begin-2"))).unwrap(),
+            WalOp::Begin {
+                session: 4,
+                key: Some("c7-begin-2".to_string())
+            }
+        );
+        let summary = AppendSummary {
+            // The commit record intentionally does not persist the dataset
+            // name — the WAL is per-dataset — so it decodes empty.
+            name: String::new(),
+            new_timestamps: 3,
+            measurements: 6,
+            trimmed_timestamps: 0,
+            timestamps: 8,
+            revision: 2,
+        };
+        assert_eq!(
+            parse_op(&commit_record(9, Some("c7-finish-2"), &summary, 555)).unwrap(),
+            WalOp::Commit {
+                session: 9,
+                key: Some("c7-finish-2".to_string()),
+                summary: Some(summary.clone()),
+                elapsed_ns: 555,
+            }
         );
         let chunk = Chunk {
             index: 2,
@@ -395,19 +711,35 @@ mod tests {
             content: "id,attribute,time,value\ns1,temperature,2016-03-01 00:00:00,9.5\n"
                 .to_string(),
         };
-        let parsed = parse_op(&chunk_record(4, &chunk)).unwrap();
+        let parsed = parse_op(&chunk_record(4, 3, &chunk)).unwrap();
         assert_eq!(
             parsed,
             WalOp::Chunk {
                 session: 4,
+                seq: 3,
                 chunk: chunk.clone()
             }
         );
         // And through the on-disk serialization.
-        let reparsed = Json::parse(&chunk_record(4, &chunk).to_string_compact()).unwrap();
+        let reparsed = Json::parse(&chunk_record(4, 3, &chunk).to_string_compact()).unwrap();
         assert_eq!(
             parse_op(&reparsed).unwrap(),
-            WalOp::Chunk { session: 4, chunk }
+            WalOp::Chunk {
+                session: 4,
+                seq: 3,
+                chunk: chunk.clone()
+            }
+        );
+        // Pre-sequence-number chunk records fall back to index + 1.
+        let mut legacy = chunk_record(4, 3, &chunk);
+        legacy.set("seq", Json::Null);
+        assert_eq!(
+            parse_op(&legacy).unwrap(),
+            WalOp::Chunk {
+                session: 4,
+                seq: 3,
+                chunk
+            }
         );
     }
 
@@ -421,10 +753,17 @@ mod tests {
             parse_op(&Json::from_pairs([("op", Json::from("nope"))])),
             Err(ApiError::Internal(_))
         ));
-        let mut missing_values = snapshot_data(&awkward_dataset(), 1, 0);
+        let mut missing_values = snapshot_data(&awkward_dataset(), 1, 0, &[]);
         missing_values.set("sensors", Json::Array(vec![Json::object()]));
         assert!(matches!(
             restore_dataset(&missing_values),
+            Err(ApiError::Internal(_))
+        ));
+        assert!(matches!(
+            parse_replay_entry(&Json::from_pairs([
+                ("key", Json::from("k")),
+                ("kind", Json::from("nope"))
+            ])),
             Err(ApiError::Internal(_))
         ));
     }

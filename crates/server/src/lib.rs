@@ -22,7 +22,12 @@
 //! * [`durability`] — the snapshot codec and WAL record vocabulary behind
 //!   durable append sessions ([`service::MiscelaService::with_durability`]):
 //!   `append_chunk` fsyncs a WAL record before acknowledging, `finish_append`
-//!   commits, and service startup replays outstanding WAL tails.
+//!   commits, and service startup replays outstanding WAL tails;
+//! * [`client`] — the resilient client ([`client::ResilientClient`]) that
+//!   makes a lossy transport safe: deadline-budgeted retries with full
+//!   jitter, idempotency keys on every mutation, sequence-numbered chunk
+//!   deliveries and `412`-driven append resume — plus the deterministic
+//!   [`client::ChaosTransport`] fault injector used to prove it.
 //!
 //! # Example
 //!
@@ -56,14 +61,20 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod client;
 pub mod durability;
 pub mod message;
 pub mod router;
 pub mod service;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats, Permit};
+pub use client::{
+    ChaosConfig, ChaosStats, ChaosTransport, ClientError, ClientStats, ResilientClient,
+    RetryPolicy, RouterTransport, SwappableRouter, Transport, TransportError,
+};
 pub use message::{ApiError, ApiRequest, ApiResponse, Method, StatusCode};
 pub use router::Router;
 pub use service::{
-    AppendSession, AppendSummary, DatasetSummary, MineOutcome, MiscelaService, UploadSession,
+    AppendSession, AppendStatus, AppendSummary, BeginAppendOutcome, ChunkAck, DatasetSummary,
+    MineOutcome, MiscelaService, ProtocolStats, ReplayOutcome, UploadSession,
 };

@@ -35,6 +35,9 @@ pub enum StatusCode {
     NotFound,
     /// The request conflicts with the resource's current state.
     Conflict,
+    /// A protocol precondition failed: the request's sequence number does
+    /// not follow the server's acked watermark (gap or stale session).
+    PreconditionFailed,
     /// Admission control shed the request; retry after backing off.
     TooManyRequests,
     /// The resource is temporarily degraded (e.g. read-only); retryable.
@@ -54,6 +57,7 @@ impl StatusCode {
             StatusCode::BadRequest => 400,
             StatusCode::NotFound => 404,
             StatusCode::Conflict => 409,
+            StatusCode::PreconditionFailed => 412,
             StatusCode::TooManyRequests => 429,
             StatusCode::InternalError => 500,
             StatusCode::ServiceUnavailable => 503,
@@ -171,6 +175,19 @@ impl ApiResponse {
         if let Some(ms) = error.retry_after_ms() {
             response.body.set("retry_after_ms", Json::Number(ms as f64));
         }
+        if let ApiError::SequenceGap {
+            expected_session,
+            expected_seq,
+            ..
+        } = error
+        {
+            response
+                .body
+                .set("expected_session", Json::Number(*expected_session as f64));
+            response
+                .body
+                .set("expected_seq", Json::Number(*expected_seq as f64));
+        }
         response
     }
 
@@ -191,6 +208,19 @@ pub enum ApiError {
     /// The request conflicts with the resource's current state (e.g. an
     /// append session is already open for the dataset).
     Conflict(String),
+    /// An `append_chunk` arrived out of sequence: its sequence number
+    /// leaves a gap after the server's acked watermark, or it names a
+    /// session that is no longer current. The body carries the watermark
+    /// (`expected_session`, `expected_seq`) so the client can resume from
+    /// exactly what the server has acknowledged.
+    SequenceGap {
+        /// What went out of sequence.
+        message: String,
+        /// The append session the server currently has open.
+        expected_session: u64,
+        /// The next sequence number the server will accept.
+        expected_seq: u64,
+    },
     /// Admission control shed the request — the in-flight work budget or
     /// wait queue is full. Retryable after `retry_after_ms`.
     Overloaded {
@@ -221,6 +251,7 @@ impl ApiError {
             ApiError::BadRequest(_) => StatusCode::BadRequest,
             ApiError::NotFound(_) => StatusCode::NotFound,
             ApiError::Conflict(_) => StatusCode::Conflict,
+            ApiError::SequenceGap { .. } => StatusCode::PreconditionFailed,
             ApiError::Overloaded { .. } => StatusCode::TooManyRequests,
             ApiError::Unavailable { .. } => StatusCode::ServiceUnavailable,
             ApiError::DeadlineExceeded(_) => StatusCode::GatewayTimeout,
@@ -234,6 +265,7 @@ impl ApiError {
             ApiError::BadRequest(m)
             | ApiError::NotFound(m)
             | ApiError::Conflict(m)
+            | ApiError::SequenceGap { message: m, .. }
             | ApiError::Overloaded { message: m, .. }
             | ApiError::Unavailable { message: m, .. }
             | ApiError::DeadlineExceeded(m)
@@ -280,6 +312,7 @@ mod tests {
         assert_eq!(StatusCode::Ok.as_u16(), 200);
         assert_eq!(StatusCode::NotFound.as_u16(), 404);
         assert_eq!(StatusCode::Conflict.as_u16(), 409);
+        assert_eq!(StatusCode::PreconditionFailed.as_u16(), 412);
         assert_eq!(StatusCode::TooManyRequests.as_u16(), 429);
         assert_eq!(StatusCode::ServiceUnavailable.as_u16(), 503);
         assert_eq!(StatusCode::GatewayTimeout.as_u16(), 504);
@@ -324,6 +357,29 @@ mod tests {
         let conflict = ApiError::Conflict("session open".to_string());
         assert_eq!(conflict.status(), StatusCode::Conflict);
         assert!(!conflict.is_retryable());
+    }
+
+    #[test]
+    fn sequence_gaps_carry_the_acked_watermark() {
+        let gap = ApiError::SequenceGap {
+            message: "chunk seq 5 leaves a gap".to_string(),
+            expected_session: 3,
+            expected_seq: 2,
+        };
+        assert_eq!(gap.status(), StatusCode::PreconditionFailed);
+        assert_eq!(gap.retry_after_ms(), None);
+        // Not blindly retryable: the client must resume from the watermark.
+        assert!(!gap.is_retryable());
+        let response = ApiResponse::from_error(&gap);
+        assert_eq!(response.status.as_u16(), 412);
+        assert_eq!(
+            response.body.get("expected_session").and_then(Json::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            response.body.get("expected_seq").and_then(Json::as_f64),
+            Some(2.0)
+        );
     }
 
     #[test]

@@ -12,14 +12,28 @@
 //! | POST   | `/datasets/{name}/upload/chunk` | submit one `data.csv` chunk (`index`, `total`, `content`) |
 //! | POST   | `/datasets/{name}/upload/finish` | assemble and register the dataset |
 //! | POST   | `/datasets/{name}/append/begin` | start a chunked append of new rows to an existing dataset |
-//! | POST   | `/datasets/{name}/append/chunk` | submit one append `data.csv` chunk (`index`, `total`, `content`) |
+//! | POST   | `/datasets/{name}/append/chunk` | submit one append `data.csv` chunk (`index`, `total`, `content`, optional `session` + `seq`) |
 //! | POST   | `/datasets/{name}/append/finish` | apply the appended rows in place and bump the revision |
+//! | GET    | `/datasets/{name}/append` | in-progress append session status (session id, acked-sequence watermark) |
 //! | GET    | `/datasets/{name}/retention` | current retention policy and window position |
 //! | POST   | `/datasets/{name}/retention` | install a sliding-window retention policy |
 //! | POST   | `/datasets/{name}/mine` | run CAP mining with the parameters in the body (revision-aware) |
 //! | GET    | `/datasets/{name}/durability` | WAL/snapshot statistics (incl. degraded state) for a durable dataset |
 //! | GET    | `/admission/stats` | admission-control counters (admitted / shed / queued) |
+//! | GET    | `/protocol/stats` | exactly-once protocol counters (key replays, duplicate suppression) |
 //! | GET    | `/cache/stats` | result- and extraction-cache hit/miss statistics |
+//!
+//! # Retries and exactly-once mutations
+//!
+//! Every mutating route accepts an optional `idempotency_key` (string body
+//! field; also honored as a query parameter on `DELETE`). Retrying a keyed
+//! mutation replays the original response — flagged `"replayed": true` —
+//! instead of applying twice. Append chunks are additionally protected by
+//! per-session sequence numbers: a chunk body carrying `session` (from the
+//! begin response) and `seq` (1, 2, 3… per delivery) gets its original ack
+//! replayed when duplicated, and a typed `412` carrying `expected_session` /
+//! `expected_seq` when it skips ahead or targets a superseded session, so a
+//! reconnecting client resumes from the server's watermark.
 //!
 //! # Deadlines and overload responses
 //!
@@ -78,11 +92,13 @@ impl Router {
             (Method::Get, ["datasets"]) => Ok(self.list_datasets()),
             (Method::Get, ["datasets", name]) => self.dataset_stats(name),
             (Method::Delete, ["datasets", name]) => {
-                self.service.delete_dataset(name)?;
-                Ok(ApiResponse::ok(Json::from_pairs([(
-                    "deleted",
-                    Json::from(*name),
-                )])))
+                let replayed = self
+                    .service
+                    .delete_dataset_keyed(name, key_from_request(request))?;
+                Ok(ApiResponse::ok(Json::from_pairs([
+                    ("deleted", Json::from(*name)),
+                    ("replayed", Json::from(replayed)),
+                ])))
             }
             (Method::Post, ["datasets", name, "upload", "begin"]) => {
                 self.begin_upload(name, request)
@@ -90,23 +106,32 @@ impl Router {
             (Method::Post, ["datasets", name, "upload", "chunk"]) => {
                 self.upload_chunk(name, request)
             }
-            (Method::Post, ["datasets", name, "upload", "finish"]) => self.finish_upload(name),
+            (Method::Post, ["datasets", name, "upload", "finish"]) => {
+                self.finish_upload(name, request)
+            }
             (Method::Post, ["datasets", name, "append", "begin"]) => {
-                self.service.begin_append(name)?;
-                Ok(ApiResponse::created(Json::from_pairs([(
-                    "append",
-                    Json::from(*name),
-                )])))
+                let outcome = self
+                    .service
+                    .begin_append_keyed(name, key_from_request(request))?;
+                Ok(ApiResponse::created(Json::from_pairs([
+                    ("append", Json::from(*name)),
+                    ("session", Json::from(outcome.session as i64)),
+                    ("replayed", Json::from(outcome.replayed)),
+                ])))
             }
             (Method::Post, ["datasets", name, "append", "chunk"]) => {
                 self.append_chunk(name, request)
             }
-            (Method::Post, ["datasets", name, "append", "finish"]) => self.finish_append(name),
+            (Method::Post, ["datasets", name, "append", "finish"]) => {
+                self.finish_append(name, request)
+            }
+            (Method::Get, ["datasets", name, "append"]) => self.append_status(name),
             (Method::Get, ["datasets", name, "retention"]) => self.get_retention(name),
             (Method::Post, ["datasets", name, "retention"]) => self.set_retention(name, request),
             (Method::Get, ["datasets", name, "durability"]) => self.durability(name),
             (Method::Post, ["datasets", name, "mine"]) => self.mine(name, request),
             (Method::Get, ["admission", "stats"]) => Ok(self.admission_stats()),
+            (Method::Get, ["protocol", "stats"]) => Ok(self.protocol_stats()),
             (Method::Get, ["cache", "stats"]) => Ok(self.cache_stats()),
             _ => Err(ApiError::NotFound(format!(
                 "no route for {:?} {}",
@@ -153,11 +178,16 @@ impl Router {
     fn begin_upload(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
         let location = body_str(request, "location_csv")?;
         let attributes = body_str(request, "attribute_csv")?;
-        self.service.begin_upload(name, location, attributes)?;
-        Ok(ApiResponse::created(Json::from_pairs([(
-            "upload",
-            Json::from(name),
-        )])))
+        let replayed = self.service.begin_upload_keyed(
+            name,
+            location,
+            attributes,
+            key_from_request(request),
+        )?;
+        Ok(ApiResponse::created(Json::from_pairs([
+            ("upload", Json::from(name)),
+            ("replayed", Json::from(replayed)),
+        ])))
     }
 
     fn upload_chunk(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
@@ -166,24 +196,42 @@ impl Router {
         Ok(chunk_accepted(&chunk, missing))
     }
 
-    fn finish_upload(&self, name: &str) -> Result<ApiResponse, ApiError> {
-        let (summary, elapsed) = self.service.finish_upload(name)?;
+    fn finish_upload(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+        let (summary, elapsed, replayed) = self
+            .service
+            .finish_upload_keyed(name, key_from_request(request))?;
         Ok(ApiResponse::created(Json::from_pairs([
             ("name", Json::from(summary.name)),
             ("sensors", Json::from(summary.sensors)),
             ("records", Json::from(summary.records)),
             ("upload_seconds", Json::from(elapsed.as_secs_f64())),
+            ("replayed", Json::from(replayed)),
         ])))
     }
 
     fn append_chunk(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
         let chunk = chunk_from_body(request)?;
+        // A chunk carrying a sequence number speaks the exactly-once
+        // protocol: its session id is required and its ack is replayable.
+        if request.body.get("seq").is_some() {
+            let session = body_u64(request, "session")?;
+            let seq = body_u64(request, "seq")?;
+            let ack = self.service.append_chunk_seq(name, session, seq, &chunk)?;
+            return Ok(ApiResponse::ok(Json::from_pairs([
+                ("accepted", Json::from(ack.accepted)),
+                ("missing_chunks", Json::from(ack.missing)),
+                ("acked_seq", Json::from(ack.acked_seq as i64)),
+                ("replayed", Json::from(ack.replayed)),
+            ])));
+        }
         let missing = self.service.append_chunk(name, &chunk)?;
         Ok(chunk_accepted(&chunk, missing))
     }
 
-    fn finish_append(&self, name: &str) -> Result<ApiResponse, ApiError> {
-        let (summary, elapsed) = self.service.finish_append(name)?;
+    fn finish_append(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+        let (summary, elapsed, replayed) = self
+            .service
+            .finish_append_keyed(name, key_from_request(request))?;
         Ok(ApiResponse::ok(Json::from_pairs([
             ("name", Json::from(summary.name)),
             ("new_timestamps", Json::from(summary.new_timestamps)),
@@ -192,7 +240,26 @@ impl Router {
             ("timestamps", Json::from(summary.timestamps)),
             ("revision", Json::from(summary.revision as i64)),
             ("append_seconds", Json::from(elapsed.as_secs_f64())),
+            ("replayed", Json::from(replayed)),
         ])))
+    }
+
+    fn append_status(&self, name: &str) -> Result<ApiResponse, ApiError> {
+        let status = self.service.append_status(name)?;
+        Ok(match status {
+            Some(s) => ApiResponse::ok(Json::from_pairs([
+                ("name", Json::from(name)),
+                ("open", Json::from(true)),
+                ("session", Json::from(s.session as i64)),
+                ("acked_seq", Json::from(s.acked_seq as i64)),
+                ("received", Json::from(s.received)),
+                ("missing_chunks", Json::from(s.missing)),
+            ])),
+            None => ApiResponse::ok(Json::from_pairs([
+                ("name", Json::from(name)),
+                ("open", Json::from(false)),
+            ])),
+        })
     }
 
     fn get_retention(&self, name: &str) -> Result<ApiResponse, ApiError> {
@@ -218,13 +285,16 @@ impl Router {
 
     fn set_retention(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
         let policy = retention_from_json(&request.body)?;
-        let summary = self.service.set_retention(name, policy)?;
+        let (summary, replayed) =
+            self.service
+                .set_retention_keyed(name, policy, key_from_request(request))?;
         Ok(ApiResponse::ok(Json::from_pairs([
             ("name", Json::from(summary.name)),
             ("trimmed_timestamps", Json::from(summary.trimmed_timestamps)),
             ("trimmed_total", Json::from(summary.trimmed_total)),
             ("timestamps", Json::from(summary.timestamps)),
             ("revision", Json::from(summary.revision as i64)),
+            ("replayed", Json::from(replayed)),
         ])))
     }
 
@@ -290,6 +360,20 @@ impl Router {
             ("in_flight", Json::from(stats.in_flight)),
             ("in_flight_cost", Json::from(stats.in_flight_cost as i64)),
             ("queued", Json::from(stats.queued)),
+        ]))
+    }
+
+    fn protocol_stats(&self) -> ApiResponse {
+        let stats = self.service.protocol_stats();
+        ApiResponse::ok(Json::from_pairs([
+            ("cached_keys", Json::from(stats.cached_keys)),
+            ("key_replays", Json::from(stats.key_replays as i64)),
+            (
+                "chunk_duplicates",
+                Json::from(stats.chunk_duplicates as i64),
+            ),
+            ("sequence_gaps", Json::from(stats.sequence_gaps as i64)),
+            ("stale_sessions", Json::from(stats.stale_sessions as i64)),
         ]))
     }
 
@@ -397,6 +481,17 @@ fn deadline_from_query(request: &ApiRequest) -> Result<Option<Instant>, ApiError
         .parse()
         .map_err(|_| ApiError::BadRequest("deadline_ms must be a non-negative integer".into()))?;
     Ok(Some(Instant::now() + Duration::from_millis(ms)))
+}
+
+/// The optional idempotency key of a mutating request: the
+/// `idempotency_key` string body field, or (for bodyless requests like
+/// `DELETE`) the query parameter of the same name.
+fn key_from_request(request: &ApiRequest) -> Option<&str> {
+    request
+        .body
+        .get("idempotency_key")
+        .and_then(|k| k.as_str())
+        .or_else(|| request.query.get("idempotency_key").map(|k| k.as_str()))
 }
 
 /// Parses the shared chunk envelope (`index`, `total`, `content`) used by

@@ -28,8 +28,9 @@ use miscela_store::recovery::{DatasetLog, DurabilityStats, RecoveryStore};
 use miscela_store::wal::SinkOpener;
 use miscela_store::{Database, Filter, Json, StoreError};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -47,6 +48,17 @@ pub const DEGRADED_RETRY_AFTER_MS: u64 = 250;
 /// Fixed admission cost of applying a finished append session: the apply is
 /// O(tail), so it is charged one unit regardless of dataset size.
 const APPEND_COST: u64 = 1;
+
+/// Capacity of the replayed-response cache: the oldest keyed response is
+/// evicted once this many are cached. Retries arrive close behind their
+/// originals, so a bounded FIFO is enough — a key evicted here can only be
+/// retried so late that the client has long given up.
+const REPLAY_CACHE_CAPACITY: usize = 512;
+
+/// How many of a dataset's most recent keyed responses are persisted into
+/// its snapshot, bounding snapshot growth while keeping every response a
+/// reasonable client could still retry replayable across a crash.
+const SNAPSHOT_REPLAY_LIMIT: usize = 32;
 
 /// An in-progress chunked upload of one dataset.
 #[derive(Debug)]
@@ -68,11 +80,25 @@ pub struct AppendSession {
     pub dataset: String,
     uploader: ChunkedUploader,
     started: Instant,
-    /// Durable session id (0 when durability is disabled).
+    /// Session id: durable (per-dataset monotone) on a durable service,
+    /// from a service-wide counter otherwise. Chunk requests that carry a
+    /// different id are stale (they target a session that no longer
+    /// exists) and are rejected with the current watermark.
     session: u64,
+    /// The idempotency key the begin carried (if any), kept so a
+    /// snapshot-triggered WAL reset re-logs the begin record with it.
+    key: Option<String>,
     /// Raw chunks as acknowledged, kept only when durability is enabled so
     /// a snapshot-triggered WAL reset can re-log the in-flight session.
     chunks: Vec<Chunk>,
+    /// Highest chunk sequence number acknowledged so far (0 = none). A
+    /// sequenced chunk at or below this replays its original ack; one more
+    /// than one past it is a gap (typed 412 carrying this watermark).
+    acked_seq: u64,
+    /// The ack returned when each sequence number was first accepted —
+    /// `acks[seq - 1]` is `(chunk index, chunks still missing)` — so a
+    /// duplicate delivery replays the byte-identical acknowledgment.
+    acks: Vec<(usize, usize)>,
 }
 
 /// A registered dataset together with its revision counter.
@@ -126,6 +152,117 @@ pub struct DatasetSummary {
     pub records: usize,
     /// Attribute names.
     pub attributes: Vec<String>,
+}
+
+/// The response payload cached for one caller-supplied idempotency key: a
+/// retried mutation whose key is found here replays this outcome instead of
+/// re-applying.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayOutcome {
+    /// A `begin_upload` — acknowledged, no payload beyond success.
+    UploadBegin,
+    /// A `begin_append` — replays the session id the begin was assigned.
+    Begin {
+        /// The session id originally handed out.
+        session: u64,
+    },
+    /// A `finish_append` — replays the full append summary.
+    Finish {
+        /// The summary originally acknowledged.
+        summary: AppendSummary,
+        /// Wall-clock nanoseconds of the original session.
+        elapsed_ns: u64,
+    },
+    /// A `set_retention` — replays the retention summary.
+    Retention {
+        /// The summary originally acknowledged.
+        summary: RetentionSummary,
+    },
+    /// A `finish_upload` / dataset registration — replays the summary.
+    Register {
+        /// The summary originally acknowledged.
+        summary: DatasetSummary,
+        /// Wall-clock nanoseconds of the original upload.
+        elapsed_ns: u64,
+    },
+    /// A `delete_dataset` — acknowledged, no payload beyond success.
+    Delete,
+}
+
+/// One cached keyed response, tagged with the dataset it belongs to so key
+/// reuse across datasets is a typed conflict (and so snapshots can persist
+/// each dataset's slice of the cache).
+#[derive(Debug, Clone)]
+struct ReplayEntry {
+    dataset: String,
+    outcome: ReplayOutcome,
+}
+
+/// The exactly-once protocol state: the bounded replayed-response cache
+/// plus the dedup counters surfaced by [`MiscelaService::protocol_stats`].
+#[derive(Debug, Default)]
+struct ProtocolState {
+    entries: HashMap<String, ReplayEntry>,
+    /// Insertion order for FIFO eviction (and for snapshot slices).
+    order: VecDeque<String>,
+    key_replays: u64,
+    chunk_duplicates: u64,
+    sequence_gaps: u64,
+    stale_sessions: u64,
+}
+
+/// Counters for the exactly-once request protocol, served by
+/// `GET /protocol/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProtocolStats {
+    /// Idempotency keys currently cached with their responses.
+    pub cached_keys: usize,
+    /// Mutations answered by replaying a cached keyed response.
+    pub key_replays: u64,
+    /// Duplicate chunk deliveries suppressed by the sequence watermark.
+    pub chunk_duplicates: u64,
+    /// Chunk deliveries rejected for skipping ahead of the watermark.
+    pub sequence_gaps: u64,
+    /// Chunk deliveries rejected for targeting a superseded session.
+    pub stale_sessions: u64,
+}
+
+/// The acknowledgment for one sequenced `append_chunk`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkAck {
+    /// Index of the chunk this ack covers.
+    pub accepted: usize,
+    /// Chunks still missing from the session at the time of this ack.
+    pub missing: usize,
+    /// The session's acknowledged-sequence watermark after this chunk.
+    pub acked_seq: u64,
+    /// Whether this ack was replayed for a duplicate delivery rather than
+    /// freshly produced.
+    pub replayed: bool,
+}
+
+/// The outcome of a (possibly replayed) `begin_append`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeginAppendOutcome {
+    /// The session id the client must echo on every sequenced chunk.
+    pub session: u64,
+    /// Whether an idempotency-key replay produced this outcome.
+    pub replayed: bool,
+}
+
+/// The observable state of an in-progress append session, served by
+/// `GET /datasets/{name}/append` so a reconnecting client can resume from
+/// the server's watermark instead of resending everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendStatus {
+    /// The open session's id.
+    pub session: u64,
+    /// Highest chunk sequence number the server has acknowledged.
+    pub acked_seq: u64,
+    /// Distinct chunks received so far.
+    pub received: usize,
+    /// Chunks still missing (0 once the announced total has arrived).
+    pub missing: usize,
 }
 
 /// The outcome of one mining request.
@@ -183,6 +320,12 @@ pub struct MiscelaService {
     /// Present when the service persists append sessions through a WAL +
     /// snapshot directory (see [`MiscelaService::with_durability`]).
     durability: Option<Durability>,
+    /// Exactly-once bookkeeping: the replayed-response cache keyed by
+    /// caller-supplied idempotency keys, plus dedup counters.
+    protocol: Mutex<ProtocolState>,
+    /// Session-id counter for non-durable services (durable services hand
+    /// out per-dataset monotone ids from their WAL state instead).
+    session_ids: AtomicU64,
     /// Admission control for the serving path: a cost-weighted in-flight
     /// budget, per-dataset concurrency caps and a bounded wait queue (see
     /// [`crate::admission`]).
@@ -218,6 +361,8 @@ impl MiscelaService {
             uploads: Mutex::new(HashMap::new()),
             appends: Mutex::new(HashMap::new()),
             durability: None,
+            protocol: Mutex::new(ProtocolState::default()),
+            session_ids: AtomicU64::new(1),
             admission: AdmissionController::new(AdmissionConfig::default()),
         }
     }
@@ -282,6 +427,11 @@ impl MiscelaService {
             };
             let restored = durability::restore_dataset(&snapshot.data)?;
             let applied = restored.applied_session;
+            // Reinstall the snapshot's keyed responses first, then layer
+            // any the WAL tail re-derives (begin/commit records below) on
+            // top — a mutation retried across the crash replays its
+            // original response.
+            self.reinstall_replay(&name, restored.replay);
             let mut ds = restored.dataset;
             let mut revision = restored.revision;
             let sealed_at_load = ds.sealed_timestamps();
@@ -293,24 +443,43 @@ impl MiscelaService {
             // chunks. A begin for a session at or below the snapshot's
             // watermark is stale — its outcome is already in the snapshot.
             let mut outstanding: Option<(u64, Vec<Chunk>)> = None;
+            let mut outstanding_key: Option<String> = None;
             for record in log.take_replay() {
                 match durability::parse_op(&record)? {
-                    WalOp::Begin { session } => {
+                    WalOp::Begin { session, key } => {
                         max_session = max_session.max(session);
                         outstanding = (session > applied).then_some((session, Vec::new()));
+                        outstanding_key = if session > applied { key } else { None };
+                        if let Some(k) = &outstanding_key {
+                            // A begin retried across the crash must replay
+                            // the same session id.
+                            self.remember(Some(k), &name, ReplayOutcome::Begin { session });
+                        }
                     }
-                    WalOp::Chunk { session, chunk } => {
+                    WalOp::Chunk { session, chunk, .. } => {
                         if let Some((current, chunks)) = &mut outstanding {
                             if *current == session {
-                                chunks.push(chunk);
+                                // A chunk re-accepted after a failed ack is
+                                // logged twice; the later record wins, as
+                                // on the live path.
+                                match chunks.iter_mut().find(|c| c.index == chunk.index) {
+                                    Some(slot) => *slot = chunk,
+                                    None => chunks.push(chunk),
+                                }
                             }
                         }
                     }
-                    WalOp::Commit { session } => {
+                    WalOp::Commit {
+                        session,
+                        key,
+                        summary,
+                        elapsed_ns,
+                    } => {
                         max_session = max_session.max(session);
                         let Some((current, chunks)) = outstanding.take() else {
                             continue;
                         };
+                        outstanding_key = None;
                         if current != session {
                             continue;
                         }
@@ -327,6 +496,19 @@ impl MiscelaService {
                         revision += 1;
                         replayed_commits += 1;
                         watermark = session;
+                        if let (Some(k), Some(mut s)) = (key, summary) {
+                            // A finish retried across the crash must replay
+                            // the original acknowledgment, not re-commit.
+                            s.name = name.clone();
+                            self.remember(
+                                Some(&k),
+                                &name,
+                                ReplayOutcome::Finish {
+                                    summary: s,
+                                    elapsed_ns,
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -355,14 +537,22 @@ impl MiscelaService {
                 // The replay sealed blocks (or trimmed): fold it into a
                 // fresh snapshot and re-log the in-flight session into the
                 // reset WAL so its acked chunks stay durable.
-                log.install_snapshot(&durability::snapshot_data(&ds, revision, watermark))
-                    .map_err(wal_err)?;
+                log.install_snapshot(&durability::snapshot_data(
+                    &ds,
+                    revision,
+                    watermark,
+                    &self.replay_entries_for(&name),
+                ))
+                .map_err(wal_err)?;
                 sealed_at_snapshot = ds.sealed_timestamps();
                 if let Some((session, chunks)) = &outstanding {
-                    log.log(&durability::begin_record(*session))
-                        .map_err(wal_err)?;
-                    for chunk in chunks {
-                        log.log(&durability::chunk_record(*session, chunk))
+                    log.log(&durability::begin_record(
+                        *session,
+                        outstanding_key.as_deref(),
+                    ))
+                    .map_err(wal_err)?;
+                    for (i, chunk) in chunks.iter().enumerate() {
+                        log.log(&durability::chunk_record(*session, i as u64 + 1, chunk))
                             .map_err(wal_err)?;
                     }
                     log.commit().map_err(wal_err)?;
@@ -370,9 +560,15 @@ impl MiscelaService {
             }
             if let Some((session, chunks)) = outstanding {
                 let mut uploader = ChunkedUploader::new();
+                let mut acks = Vec::with_capacity(chunks.len());
                 for chunk in &chunks {
                     uploader.accept(chunk).map_err(|e| replay_err(&e))?;
+                    // Rebuild the per-sequence acks exactly as the live
+                    // path produced them, so duplicates retried across the
+                    // crash still replay identical acknowledgments.
+                    acks.push((chunk.index, uploader.missing().len()));
                 }
+                let acked_seq = acks.len() as u64;
                 self.appends.lock().insert(
                     name.clone(),
                     AppendSession {
@@ -380,7 +576,10 @@ impl MiscelaService {
                         uploader,
                         started: Instant::now(),
                         session,
+                        key: outstanding_key,
                         chunks,
+                        acked_seq,
+                        acks,
                     },
                 );
             }
@@ -458,19 +657,21 @@ impl MiscelaService {
     fn relog_inflight(&self, name: &str, state: &mut DurableState) -> Result<(), ApiError> {
         let inflight = {
             let appends = self.appends.lock();
-            appends.get(name).map(|s| (s.session, s.chunks.clone()))
+            appends
+                .get(name)
+                .map(|s| (s.session, s.key.clone(), s.chunks.clone()))
         };
-        let Some((session, chunks)) = inflight else {
+        let Some((session, key, chunks)) = inflight else {
             return Ok(());
         };
         state
             .log
-            .log(&durability::begin_record(session))
+            .log(&durability::begin_record(session, key.as_deref()))
             .map_err(wal_err)?;
-        for chunk in &chunks {
+        for (i, chunk) in chunks.iter().enumerate() {
             state
                 .log
-                .log(&durability::chunk_record(session, chunk))
+                .log(&durability::chunk_record(session, i as u64 + 1, chunk))
                 .map_err(wal_err)?;
         }
         state.log.commit().map_err(wal_err)
@@ -508,6 +709,7 @@ impl MiscelaService {
                     &entry.dataset,
                     entry.revision,
                     state.watermark,
+                    &self.replay_entries_for(name),
                 ))
                 .map_err(wal_err)?;
             state.sealed_at_snapshot = entry.dataset.sealed_timestamps();
@@ -535,6 +737,120 @@ impl MiscelaService {
             .get(name)
             .ok_or_else(|| ApiError::NotFound(format!("dataset {name:?} has no durability log")))?;
         Ok(state.log.stats())
+    }
+
+    // ----- exactly-once protocol ----------------------------------------
+
+    /// Counters for the exactly-once request protocol, served by
+    /// `GET /protocol/stats`.
+    pub fn protocol_stats(&self) -> ProtocolStats {
+        let p = self.protocol.lock();
+        ProtocolStats {
+            cached_keys: p.entries.len(),
+            key_replays: p.key_replays,
+            chunk_duplicates: p.chunk_duplicates,
+            sequence_gaps: p.sequence_gaps,
+            stale_sessions: p.stale_sessions,
+        }
+    }
+
+    /// Looks up a caller-supplied idempotency key. `Ok(Some(outcome))`
+    /// means the mutation already ran and the caller must replay `outcome`
+    /// verbatim; reusing a key against a different dataset is a typed
+    /// conflict.
+    fn replay_lookup(
+        &self,
+        key: Option<&str>,
+        dataset: &str,
+    ) -> Result<Option<ReplayOutcome>, ApiError> {
+        let Some(key) = key else { return Ok(None) };
+        let mut p = self.protocol.lock();
+        let Some(entry) = p.entries.get(key) else {
+            return Ok(None);
+        };
+        if entry.dataset != dataset {
+            return Err(ApiError::Conflict(format!(
+                "idempotency key {key:?} was already used for dataset {:?}",
+                entry.dataset
+            )));
+        }
+        let outcome = entry.outcome.clone();
+        p.key_replays += 1;
+        Ok(Some(outcome))
+    }
+
+    /// The conflict returned when a cached key's outcome is for a
+    /// different operation than the one being retried.
+    fn key_conflict(key: &str) -> ApiError {
+        ApiError::Conflict(format!(
+            "idempotency key {key:?} was already used for a different operation"
+        ))
+    }
+
+    /// Caches the response for a keyed mutation (FIFO-bounded). No-op
+    /// without a key.
+    fn remember(&self, key: Option<&str>, dataset: &str, outcome: ReplayOutcome) {
+        let Some(key) = key else { return };
+        let mut p = self.protocol.lock();
+        if p.entries
+            .insert(
+                key.to_string(),
+                ReplayEntry {
+                    dataset: dataset.to_string(),
+                    outcome,
+                },
+            )
+            .is_none()
+        {
+            p.order.push_back(key.to_string());
+        }
+        while p.entries.len() > REPLAY_CACHE_CAPACITY {
+            let Some(evicted) = p.order.pop_front() else {
+                break;
+            };
+            p.entries.remove(&evicted);
+        }
+    }
+
+    /// One dataset's slice of the replayed-response cache, oldest first,
+    /// bounded to the most recent [`SNAPSHOT_REPLAY_LIMIT`] — this is what
+    /// snapshots persist so keyed replay survives a crash.
+    fn replay_entries_for(&self, dataset: &str) -> Vec<(String, ReplayOutcome)> {
+        let p = self.protocol.lock();
+        let mut slice: Vec<(String, ReplayOutcome)> = p
+            .order
+            .iter()
+            .filter_map(|key| {
+                let entry = p.entries.get(key)?;
+                (entry.dataset == dataset).then(|| (key.clone(), entry.outcome.clone()))
+            })
+            .collect();
+        if slice.len() > SNAPSHOT_REPLAY_LIMIT {
+            slice.drain(..slice.len() - SNAPSHOT_REPLAY_LIMIT);
+        }
+        slice
+    }
+
+    /// Reinstalls recovered keyed responses (snapshot slice plus WAL-tail
+    /// entries) into the replayed-response cache, oldest first.
+    fn reinstall_replay(&self, dataset: &str, entries: Vec<(String, ReplayOutcome)>) {
+        for (key, outcome) in entries {
+            self.remember(Some(&key), dataset, outcome);
+        }
+    }
+
+    /// The observable state of the in-progress append session for `name`
+    /// (`Ok(None)` when no session is open), so a reconnecting client can
+    /// resume from the acked-sequence watermark.
+    pub fn append_status(&self, name: &str) -> Result<Option<AppendStatus>, ApiError> {
+        self.dataset_revision(name)?;
+        let appends = self.appends.lock();
+        Ok(appends.get(name).map(|s| AppendStatus {
+            session: s.session,
+            acked_seq: s.acked_seq,
+            received: s.acks.len(),
+            missing: s.uploader.missing().len(),
+        }))
     }
 
     /// The extraction cache serving one dataset (created on first use).
@@ -596,7 +912,7 @@ impl MiscelaService {
     /// [`MiscelaService::register_dataset_checked`] when the caller needs
     /// the durable acknowledgment.
     pub fn register_dataset(&self, dataset: Dataset) -> DatasetSummary {
-        let (summary, _durable) = self.register_dataset_impl(dataset);
+        let (summary, _durable) = self.register_dataset_impl(dataset, None, 0);
         summary
     }
 
@@ -604,11 +920,36 @@ impl MiscelaService {
     /// snapshot failure as an error: on `Ok` the registration is on disk
     /// and survives a crash.
     pub fn register_dataset_checked(&self, dataset: Dataset) -> Result<DatasetSummary, ApiError> {
-        let (summary, durable) = self.register_dataset_impl(dataset);
+        let (summary, durable) = self.register_dataset_impl(dataset, None, 0);
         durable.map(|()| summary)
     }
 
-    fn register_dataset_impl(&self, dataset: Dataset) -> (DatasetSummary, Result<(), ApiError>) {
+    /// Like [`MiscelaService::register_dataset_checked`], with an optional
+    /// idempotency key: a retry that carries the same key replays the
+    /// original summary (`replayed = true`) instead of re-registering —
+    /// re-registering would bump the revision and invalidate caches twice.
+    pub fn register_dataset_keyed(
+        &self,
+        dataset: Dataset,
+        key: Option<&str>,
+    ) -> Result<(DatasetSummary, bool), ApiError> {
+        let name = dataset.name().to_string();
+        if let Some(outcome) = self.replay_lookup(key, &name)? {
+            return match outcome {
+                ReplayOutcome::Register { summary, .. } => Ok((summary, true)),
+                _ => Err(Self::key_conflict(key.unwrap_or_default())),
+            };
+        }
+        let (summary, durable) = self.register_dataset_impl(dataset, key, 0);
+        durable.map(|()| (summary, false))
+    }
+
+    fn register_dataset_impl(
+        &self,
+        dataset: Dataset,
+        key: Option<&str>,
+        elapsed_ns: u64,
+    ) -> (DatasetSummary, Result<(), ApiError>) {
         let name = dataset.name().to_string();
         self.cache.invalidate_dataset(&name);
         // A re-registration is a revision bump like any other: age this
@@ -632,6 +973,27 @@ impl MiscelaService {
             .delete_where(DATASETS_COLLECTION, &Filter::eq("name", name.as_str()));
         self.db
             .insert(DATASETS_COLLECTION, dataset_record(&dataset, revision));
+        let summary = DatasetSummary {
+            name: name.clone(),
+            sensors: dataset.sensor_count(),
+            records: dataset.record_count(),
+            attributes: dataset
+                .attributes()
+                .names()
+                .map(|s| s.to_string())
+                .collect(),
+        };
+        // Cache the keyed response before the durable snapshot below, so
+        // the snapshot persists it and a retry replayed across a crash
+        // still finds it.
+        self.remember(
+            key,
+            &name,
+            ReplayOutcome::Register {
+                summary: summary.clone(),
+                elapsed_ns,
+            },
+        );
         let durable = match self.durable(&name, |state| {
             // The replaced content makes any in-flight append session
             // meaningless (its begin/chunk records would not survive the
@@ -646,6 +1008,7 @@ impl MiscelaService {
                     &dataset,
                     revision,
                     state.watermark,
+                    &self.replay_entries_for(&name),
                 ))
                 .map_err(wal_err)?;
             state.sealed_at_snapshot = dataset.sealed_timestamps();
@@ -653,16 +1016,6 @@ impl MiscelaService {
         }) {
             Some(result) => result,
             None => Ok(()),
-        };
-        let summary = DatasetSummary {
-            name,
-            sensors: dataset.sensor_count(),
-            records: dataset.record_count(),
-            attributes: dataset
-                .attributes()
-                .names()
-                .map(|s| s.to_string())
-                .collect(),
         };
         (summary, durable)
     }
@@ -735,6 +1088,25 @@ impl MiscelaService {
         name: &str,
         policy: RetentionPolicy,
     ) -> Result<RetentionSummary, ApiError> {
+        self.set_retention_keyed(name, policy, None).map(|(s, _)| s)
+    }
+
+    /// Like [`MiscelaService::set_retention`], with an optional idempotency
+    /// key: a retry carrying the same key replays the original summary
+    /// (`replayed = true`) instead of re-applying — a blind retry would
+    /// observe `trimmed_timestamps = 0` and a different revision.
+    pub fn set_retention_keyed(
+        &self,
+        name: &str,
+        policy: RetentionPolicy,
+        key: Option<&str>,
+    ) -> Result<(RetentionSummary, bool), ApiError> {
+        if let Some(outcome) = self.replay_lookup(key, name)? {
+            return match outcome {
+                ReplayOutcome::Retention { summary } => Ok((summary, true)),
+                _ => Err(Self::key_conflict(key.unwrap_or_default())),
+            };
+        }
         // A retention change is durable only through a snapshot write, so a
         // degraded dataset refuses it (typed, retryable) until re-armed.
         self.ensure_durable_writable(name)?;
@@ -775,6 +1147,15 @@ impl MiscelaService {
             self.db
                 .insert(DATASETS_COLLECTION, dataset_record(&ds, summary.revision));
         }
+        // Cache the keyed response before the durable snapshot so the
+        // snapshot persists it for replay across a crash.
+        self.remember(
+            key,
+            name,
+            ReplayOutcome::Retention {
+                summary: summary.clone(),
+            },
+        );
         // A retention change is only durable through a snapshot (there is
         // no WAL record for it), and a retention *trim* is exactly when the
         // WAL should compact — the trimmed history must not be replayed.
@@ -785,6 +1166,7 @@ impl MiscelaService {
                     &ds,
                     summary.revision,
                     state.watermark,
+                    &self.replay_entries_for(name),
                 ))
                 .map_err(wal_err)?;
             state.sealed_at_snapshot = ds.sealed_timestamps();
@@ -792,7 +1174,7 @@ impl MiscelaService {
         }) {
             result?;
         }
-        Ok(summary)
+        Ok((summary, false))
     }
 
     /// Lists registered datasets (from the store, so names uploaded by
@@ -822,6 +1204,23 @@ impl MiscelaService {
     /// along with any in-flight upload/append session targeting it and its
     /// on-disk durability log.
     pub fn delete_dataset(&self, name: &str) -> Result<(), ApiError> {
+        self.delete_dataset_keyed(name, None).map(|_| ())
+    }
+
+    /// Like [`MiscelaService::delete_dataset`], with an optional
+    /// idempotency key: a retry carrying the same key replays the original
+    /// acknowledgment (`replayed = true`) instead of reporting 404 for the
+    /// already-deleted dataset. The delete entry lives only in the
+    /// in-memory cache — the durability log is removed with the dataset —
+    /// so across a crash a retried delete falls back to 404, which clients
+    /// treat as confirmation.
+    pub fn delete_dataset_keyed(&self, name: &str, key: Option<&str>) -> Result<bool, ApiError> {
+        if let Some(outcome) = self.replay_lookup(key, name)? {
+            return match outcome {
+                ReplayOutcome::Delete => Ok(true),
+                _ => Err(Self::key_conflict(key.unwrap_or_default())),
+            };
+        }
         let existed = self.datasets.write().remove(name).is_some();
         self.extraction.write().remove(name);
         self.uploads.lock().remove(name);
@@ -835,7 +1234,8 @@ impl MiscelaService {
             .delete_where(DATASETS_COLLECTION, &Filter::eq("name", name));
         self.cache.invalidate_dataset(name);
         if existed || stored > 0 {
-            Ok(())
+            self.remember(key, name, ReplayOutcome::Delete);
+            Ok(false)
         } else {
             Err(ApiError::NotFound(format!(
                 "dataset {name:?} is not registered"
@@ -853,6 +1253,27 @@ impl MiscelaService {
         location_csv_text: &str,
         attribute_csv_text: &str,
     ) -> Result<(), ApiError> {
+        self.begin_upload_keyed(dataset, location_csv_text, attribute_csv_text, None)
+            .map(|_| ())
+    }
+
+    /// Like [`MiscelaService::begin_upload`], with an optional idempotency
+    /// key: a retry carrying the same key acknowledges without resetting
+    /// the session (`replayed = true`) — a blind retried begin would
+    /// discard every chunk accepted since the original.
+    pub fn begin_upload_keyed(
+        &self,
+        dataset: &str,
+        location_csv_text: &str,
+        attribute_csv_text: &str,
+        key: Option<&str>,
+    ) -> Result<bool, ApiError> {
+        if let Some(outcome) = self.replay_lookup(key, dataset)? {
+            return match outcome {
+                ReplayOutcome::UploadBegin => Ok(true),
+                _ => Err(Self::key_conflict(key.unwrap_or_default())),
+            };
+        }
         // Validate the two small files immediately so a typo fails fast.
         location_csv::parse_document(location_csv_text)
             .map_err(|e| ApiError::BadRequest(format!("location.csv: {e}")))?;
@@ -869,7 +1290,9 @@ impl MiscelaService {
                 started: Instant::now(),
             },
         );
-        Ok(())
+        drop(uploads);
+        self.remember(key, dataset, ReplayOutcome::UploadBegin);
+        Ok(false)
     }
 
     /// Accepts one `data.csv` chunk for an upload in progress. Returns the
@@ -889,6 +1312,28 @@ impl MiscelaService {
     /// Completes an upload: assembles the chunks, builds the dataset and
     /// registers it. Returns the dataset summary and the upload duration.
     pub fn finish_upload(&self, dataset: &str) -> Result<(DatasetSummary, Duration), ApiError> {
+        self.finish_upload_keyed(dataset, None)
+            .map(|(s, d, _)| (s, d))
+    }
+
+    /// Like [`MiscelaService::finish_upload`], with an optional idempotency
+    /// key: a retry carrying the same key replays the original summary
+    /// (`replayed = true`) instead of reporting "no upload in progress" —
+    /// the original finish consumed the session.
+    pub fn finish_upload_keyed(
+        &self,
+        dataset: &str,
+        key: Option<&str>,
+    ) -> Result<(DatasetSummary, Duration, bool), ApiError> {
+        if let Some(outcome) = self.replay_lookup(key, dataset)? {
+            return match outcome {
+                ReplayOutcome::Register {
+                    summary,
+                    elapsed_ns,
+                } => Ok((summary, Duration::from_nanos(elapsed_ns), true)),
+                _ => Err(Self::key_conflict(key.unwrap_or_default())),
+            };
+        }
         let session =
             self.uploads.lock().remove(dataset).ok_or_else(|| {
                 ApiError::NotFound(format!("no upload in progress for {dataset:?}"))
@@ -905,7 +1350,8 @@ impl MiscelaService {
         let ds = DatasetLoader::new(dataset)
             .assemble(&attributes, &locations, &rows)
             .map_err(|e| ApiError::BadRequest(e.to_string()))?;
-        Ok((self.register_dataset_checked(ds)?, elapsed))
+        let (summary, durable) = self.register_dataset_impl(ds, key, elapsed.as_nanos() as u64);
+        durable.map(|()| (summary, elapsed, false))
     }
 
     // ----- chunked append -----------------------------------------------
@@ -916,6 +1362,28 @@ impl MiscelaService {
     /// `location.csv`/`attribute.csv` are sent — the sensors must already
     /// exist.
     pub fn begin_append(&self, dataset: &str) -> Result<(), ApiError> {
+        self.begin_append_keyed(dataset, None).map(|_| ())
+    }
+
+    /// Like [`MiscelaService::begin_append`], with an optional idempotency
+    /// key, returning the session id the client must echo on every
+    /// sequenced chunk. A retry carrying the same key replays the original
+    /// session id (`replayed = true`) instead of reporting a conflict with
+    /// the session it itself opened.
+    pub fn begin_append_keyed(
+        &self,
+        dataset: &str,
+        key: Option<&str>,
+    ) -> Result<BeginAppendOutcome, ApiError> {
+        if let Some(outcome) = self.replay_lookup(key, dataset)? {
+            return match outcome {
+                ReplayOutcome::Begin { session } => Ok(BeginAppendOutcome {
+                    session,
+                    replayed: true,
+                }),
+                _ => Err(Self::key_conflict(key.unwrap_or_default())),
+            };
+        }
         // Fail fast when the target does not exist.
         self.entry(dataset)?;
         // A degraded dataset is read-only; probe the durable write path
@@ -944,7 +1412,10 @@ impl MiscelaService {
                     uploader: ChunkedUploader::new(),
                     started: Instant::now(),
                     session: 0,
+                    key: key.map(|k| k.to_string()),
                     chunks: Vec::new(),
+                    acked_seq: 0,
+                    acks: Vec::new(),
                 },
             );
         }
@@ -955,7 +1426,7 @@ impl MiscelaService {
             let id = state.next_session;
             state
                 .log
-                .log(&durability::begin_record(id))
+                .log(&durability::begin_record(id, key))
                 .map_err(wal_err)?;
             state.log.commit().map_err(wal_err)?;
             state.next_session = id + 1;
@@ -966,12 +1437,18 @@ impl MiscelaService {
                 self.appends.lock().remove(dataset);
                 return Err(e);
             }
-            None => 0,
+            // Without durability, session ids come from the service-wide
+            // counter: still unique, so a stale client is still detected.
+            None => self.session_ids.fetch_add(1, Ordering::Relaxed),
         };
         if let Some(s) = self.appends.lock().get_mut(dataset) {
             s.session = session;
         }
-        Ok(())
+        self.remember(key, dataset, ReplayOutcome::Begin { session });
+        Ok(BeginAppendOutcome {
+            session,
+            replayed: false,
+        })
     }
 
     /// Accepts one `data.csv` chunk for an append in progress — the same
@@ -987,7 +1464,7 @@ impl MiscelaService {
         // before any new chunk is accepted.
         self.ensure_durable_writable(dataset)?;
         let durable = self.durability.is_some();
-        let (missing, session_id) = {
+        let (missing, session_id, seq) = {
             let mut appends = self.appends.lock();
             let session = appends.get_mut(dataset).ok_or_else(|| {
                 ApiError::NotFound(format!("no append in progress for {dataset:?}"))
@@ -997,14 +1474,24 @@ impl MiscelaService {
                 .accept(chunk)
                 .map_err(|e| ApiError::BadRequest(format!("chunk {}: {e}", chunk.index)))?;
             if durable {
-                session.chunks.push(chunk.clone());
+                // A chunk re-sent after a lost ack replaces its earlier
+                // copy (the uploader already did), so the re-log list never
+                // grows duplicates.
+                match session.chunks.iter_mut().find(|c| c.index == chunk.index) {
+                    Some(slot) => *slot = chunk.clone(),
+                    None => session.chunks.push(chunk.clone()),
+                }
             }
-            (session.uploader.missing().len(), session.session)
+            (
+                session.uploader.missing().len(),
+                session.session,
+                session.chunks.len() as u64,
+            )
         };
         if let Some(result) = self.durable(dataset, |state| {
             state
                 .log
-                .log(&durability::chunk_record(session_id, chunk))
+                .log(&durability::chunk_record(session_id, seq, chunk))
                 .map_err(wal_err)?;
             state.log.commit().map_err(wal_err)
         }) {
@@ -1013,11 +1500,151 @@ impl MiscelaService {
         Ok(missing)
     }
 
+    /// Sequenced [`MiscelaService::append_chunk`]: the client numbers each
+    /// chunk delivery 1, 2, 3… within the session and echoes the session id
+    /// from [`MiscelaService::begin_append_keyed`]. This makes chunk
+    /// delivery exactly-once under loss, duplication and reordering:
+    ///
+    /// * `seq` at or below the acked watermark → the chunk was already
+    ///   accepted (the ack got lost); the original acknowledgment is
+    ///   replayed byte-identically and nothing is re-applied or re-logged;
+    /// * `seq` more than one past the watermark → a gap (an earlier chunk
+    ///   is still in flight); typed 412 carrying the watermark so the
+    ///   client rewinds instead of blindly retrying;
+    /// * a session id other than the open session's → the session is stale
+    ///   (the server restarted it, or a registration dropped it); typed
+    ///   412 telling the client which session is current.
+    pub fn append_chunk_seq(
+        &self,
+        dataset: &str,
+        session_id: u64,
+        seq: u64,
+        chunk: &Chunk,
+    ) -> Result<ChunkAck, ApiError> {
+        if seq == 0 {
+            return Err(ApiError::BadRequest(
+                "chunk sequence numbers start at 1".to_string(),
+            ));
+        }
+        self.ensure_durable_writable(dataset)?;
+        let durable = self.durability.is_some();
+        {
+            let mut appends = self.appends.lock();
+            let session = appends.get_mut(dataset).ok_or_else(|| {
+                ApiError::NotFound(format!("no append in progress for {dataset:?}"))
+            })?;
+            if session.session != session_id {
+                let expected_session = session.session;
+                let expected_seq = session.acked_seq + 1;
+                drop(appends);
+                self.protocol.lock().stale_sessions += 1;
+                return Err(ApiError::SequenceGap {
+                    message: format!(
+                        "append session {session_id} for {dataset:?} is stale; \
+                         the open session is {expected_session}"
+                    ),
+                    expected_session,
+                    expected_seq,
+                });
+            }
+            if seq <= session.acked_seq {
+                // Duplicate delivery: replay the original ack verbatim.
+                let (accepted, missing) = session.acks[(seq - 1) as usize];
+                let acked_seq = session.acked_seq;
+                drop(appends);
+                self.protocol.lock().chunk_duplicates += 1;
+                return Ok(ChunkAck {
+                    accepted,
+                    missing,
+                    acked_seq,
+                    replayed: true,
+                });
+            }
+            if seq > session.acked_seq + 1 {
+                let expected_session = session.session;
+                let expected_seq = session.acked_seq + 1;
+                drop(appends);
+                self.protocol.lock().sequence_gaps += 1;
+                return Err(ApiError::SequenceGap {
+                    message: format!(
+                        "chunk sequence gap for {dataset:?}: got {seq}, expected {expected_seq}"
+                    ),
+                    expected_session,
+                    expected_seq,
+                });
+            }
+            session
+                .uploader
+                .accept(chunk)
+                .map_err(|e| ApiError::BadRequest(format!("chunk {}: {e}", chunk.index)))?;
+            if durable {
+                match session.chunks.iter_mut().find(|c| c.index == chunk.index) {
+                    Some(slot) => *slot = chunk.clone(),
+                    None => session.chunks.push(chunk.clone()),
+                }
+            }
+        }
+        // The WAL write happens outside the appends lock (same discipline
+        // as the unsequenced path); the ack — and the watermark bump — only
+        // after it fsyncs, so an acknowledged sequence number is always
+        // durable.
+        if let Some(result) = self.durable(dataset, |state| {
+            state
+                .log
+                .log(&durability::chunk_record(session_id, seq, chunk))
+                .map_err(wal_err)?;
+            state.log.commit().map_err(wal_err)
+        }) {
+            result?;
+        }
+        let mut appends = self.appends.lock();
+        let session = appends
+            .get_mut(dataset)
+            .ok_or_else(|| ApiError::NotFound(format!("no append in progress for {dataset:?}")))?;
+        let missing = session.uploader.missing().len();
+        if session.acked_seq < seq {
+            session.acked_seq = seq;
+            session.acks.push((chunk.index, missing));
+        }
+        Ok(ChunkAck {
+            accepted: chunk.index,
+            missing,
+            acked_seq: session.acked_seq,
+            replayed: false,
+        })
+    }
+
     /// Completes an append: applies the assembled rows to the registered
     /// dataset in place (grid and every series extended with missing-value
     /// fill), bumps the dataset revision, and drops cached results of the
     /// superseded revisions. Returns the summary and the session duration.
     pub fn finish_append(&self, dataset: &str) -> Result<(AppendSummary, Duration), ApiError> {
+        self.finish_append_keyed(dataset, None)
+            .map(|(s, d, _)| (s, d))
+    }
+
+    /// Like [`MiscelaService::finish_append`], with an optional idempotency
+    /// key: a retry carrying the same key replays the original summary
+    /// (`replayed = true`) instead of re-applying — the original finish
+    /// consumed the session, so a blind retry would double-apply (or
+    /// report "no append in progress" and leave the client unable to tell
+    /// whether its rows committed). The keyed response is also carried in
+    /// the session's WAL commit record, so the replay survives a crash
+    /// between the commit and the retry.
+    pub fn finish_append_keyed(
+        &self,
+        dataset: &str,
+        key: Option<&str>,
+    ) -> Result<(AppendSummary, Duration, bool), ApiError> {
+        if let Some(outcome) = self.replay_lookup(key, dataset)? {
+            return match outcome {
+                ReplayOutcome::Finish {
+                    summary,
+                    elapsed_ns,
+                } => Ok((summary, Duration::from_nanos(elapsed_ns), true)),
+                _ => Err(Self::key_conflict(key.unwrap_or_default())),
+            };
+        }
         self.ensure_durable_writable(dataset)?;
         // Applying the assembled rows is real work: it holds an admission
         // permit (fixed cost — the apply is O(tail)) so an append storm
@@ -1083,6 +1710,18 @@ impl MiscelaService {
             .delete_where(DATASETS_COLLECTION, &Filter::eq("name", dataset));
         self.db
             .insert(DATASETS_COLLECTION, dataset_record(&ds, summary.revision));
+        // The append is applied: cache the keyed response *before* the
+        // durable commit, so even a retry that arrives while the commit
+        // record is still being written (or after it failed and the
+        // dataset degraded) replays this outcome instead of re-applying.
+        self.remember(
+            key,
+            dataset,
+            ReplayOutcome::Finish {
+                summary: summary.clone(),
+                elapsed_ns: elapsed.as_nanos() as u64,
+            },
+        );
         // Durable commit: the session's commit record is fsynced before the
         // ack. When the append sealed new 256-point blocks (or trimmed the
         // window) a snapshot follows, compacting the WAL so recovery stays
@@ -1090,7 +1729,12 @@ impl MiscelaService {
         if let Some(result) = self.durable(dataset, |state| {
             state
                 .log
-                .log(&durability::commit_record(session_id))
+                .log(&durability::commit_record(
+                    session_id,
+                    key,
+                    &summary,
+                    elapsed.as_nanos() as u64,
+                ))
                 .map_err(wal_err)?;
             state.log.commit().map_err(wal_err)?;
             state.watermark = session_id;
@@ -1101,6 +1745,7 @@ impl MiscelaService {
                         &ds,
                         summary.revision,
                         state.watermark,
+                        &self.replay_entries_for(dataset),
                     ))
                     .map_err(wal_err)?;
                 state.sealed_at_snapshot = ds.sealed_timestamps();
@@ -1110,7 +1755,7 @@ impl MiscelaService {
         }) {
             result?;
         }
-        Ok((summary, elapsed))
+        Ok((summary, elapsed, false))
     }
 
     /// Convenience wrapper: appends a full `data.csv` document of new rows

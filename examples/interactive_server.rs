@@ -1,21 +1,35 @@
 //! Drive the system through its API layer exactly as the web front end
-//! would: chunked upload of the three CSV files, parameter input, CAP
-//! results as JSON, cache-accelerated re-querying (Figure 2's loop) — and
-//! the live-feed loop on top: append a chunk of new readings and re-mine
-//! incrementally, with the cache hit/reuse counters printed so the
-//! incremental win is visible from the output alone.
+//! would — but over a deliberately faulty transport, through the resilient
+//! client: chunked upload of the three CSV files, parameter input, CAP
+//! results as JSON, cache-accelerated re-querying (Figure 2's loop), the
+//! live-feed append + incremental re-mine, and a sliding-window retention
+//! policy. The transport drops, duplicates, delays and reorders messages
+//! the whole time; idempotency keys and sequence-numbered chunks keep every
+//! mutation exactly-once, and the closing stats show how much chaos the
+//! client absorbed.
 //!
 //! Run with: `cargo run --example interactive_server`
 
-use miscela_v::miscela_csv::{split_into_chunks, DatasetWriter};
+use miscela_v::miscela_csv::DatasetWriter;
 use miscela_v::miscela_datagen::SantanderGenerator;
-use miscela_v::miscela_server::{ApiRequest, Router};
+use miscela_v::miscela_server::client::{
+    ChaosConfig, ChaosTransport, ClientError, ResilientClient, RouterTransport,
+};
+use miscela_v::miscela_server::{ApiRequest, MiscelaService, Router};
 use miscela_v::miscela_store::Json;
-use miscela_v::MiscelaV;
+use std::sync::Arc;
 
-fn main() {
-    let system = MiscelaV::new();
-    let router: &Router = system.router();
+const DATASET: &str = "santander-upload";
+
+fn main() -> Result<(), ClientError> {
+    let router = Arc::new(Router::new(Arc::new(MiscelaService::new())));
+
+    // A storm of transport faults: 15% request loss, 15% response loss,
+    // 7.5% duplication and delay each. Every operation below still applies
+    // exactly once.
+    let chaos = ChaosConfig::storm(0.15);
+    let transport = ChaosTransport::new(RouterTransport::new(router), chaos, 101);
+    let mut client = ResilientClient::new(transport, "interactive");
 
     // Export a generated dataset to the paper's three-file upload format,
     // holding back the final day of readings to play the live feed later.
@@ -39,48 +53,13 @@ fn main() {
         live_tail.timestamp_count(),
     );
 
-    // 1. Begin the upload (location.csv + attribute.csv up front).
-    let resp = router.handle(&ApiRequest::post(
-        "/datasets/santander-upload/upload/begin",
-        Json::from_pairs([
-            ("location_csv", Json::from(location_csv)),
-            ("attribute_csv", Json::from(attribute_csv)),
-        ]),
-    ));
-    println!("POST upload/begin -> {}", resp.status);
+    // 1. Register the dataset: the client drives keyed upload/begin, the
+    //    chunk stream (2,000-line chunks so several are visible; the paper
+    //    uses 10,000) and keyed upload/finish, retrying every lost message.
+    let registered = client.register(DATASET, &location_csv, &attribute_csv, &data_csv, 2_000)?;
+    println!("register -> {registered}");
 
-    // 2. Stream data.csv in chunks (the paper uses 10,000-line chunks; the
-    //    small example uses 2,000 so several chunks are visible).
-    let chunks = split_into_chunks(&data_csv, 2_000);
-    for chunk in &chunks {
-        let resp = router.handle(&ApiRequest::post(
-            "/datasets/santander-upload/upload/chunk",
-            Json::from_pairs([
-                ("index", Json::from(chunk.index)),
-                ("total", Json::from(chunk.total)),
-                ("content", Json::from(chunk.content.clone())),
-            ]),
-        ));
-        println!(
-            "POST upload/chunk {}/{} -> {} (missing: {})",
-            chunk.index + 1,
-            chunk.total,
-            resp.status,
-            resp.body
-                .get("missing_chunks")
-                .and_then(|v| v.as_i64())
-                .unwrap_or(-1)
-        );
-    }
-
-    // 3. Finish the upload: the dataset is assembled and registered.
-    let resp = router.handle(&ApiRequest::post(
-        "/datasets/santander-upload/upload/finish",
-        Json::object(),
-    ));
-    println!("POST upload/finish -> {}: {}", resp.status, resp.body);
-
-    // 4. Parameter input + mining, twice with the same parameters and once
+    // 2. Parameter input + mining, twice with the same parameters and once
     //    with different ones, to show the caching behaviour of Section 3.3.
     let mine_body = Json::from_pairs([
         ("epsilon", Json::from(0.4)),
@@ -89,33 +68,22 @@ fn main() {
         ("psi", Json::from(20i64)),
         ("segmentation", Json::from(false)),
     ]);
-    let print_mine = |label: &str, resp: &miscela_v::miscela_server::ApiResponse| {
+    let print_mine = |label: &str, body: &Json| {
         println!(
-            "POST mine ({label}) -> {}: {} CAPs, revision={}, cache_hit={}, \
+            "mine ({label}) -> {} CAPs, revision={}, cache_hit={}, \
              extraction hits={} prefix_resumes={}, {:.1} ms",
-            resp.status,
-            resp.body
-                .get("cap_count")
-                .and_then(|v| v.as_i64())
-                .unwrap_or(0),
-            resp.body
-                .get("revision")
-                .and_then(|v| v.as_i64())
-                .unwrap_or(0),
-            resp.body
-                .get("cache_hit")
+            body.get("cap_count").and_then(|v| v.as_i64()).unwrap_or(0),
+            body.get("revision").and_then(|v| v.as_i64()).unwrap_or(0),
+            body.get("cache_hit")
                 .and_then(|v| v.as_bool())
                 .unwrap_or(false),
-            resp.body
-                .get("extraction_cache_hits")
+            body.get("extraction_cache_hits")
                 .and_then(|v| v.as_i64())
                 .unwrap_or(0),
-            resp.body
-                .get("extraction_prefix_hits")
+            body.get("extraction_prefix_hits")
                 .and_then(|v| v.as_i64())
                 .unwrap_or(0),
-            resp.body
-                .get("elapsed_seconds")
+            body.get("elapsed_seconds")
                 .and_then(|v| v.as_f64())
                 .unwrap_or(0.0)
                 * 1000.0
@@ -130,79 +98,72 @@ fn main() {
             b
         }),
     ] {
-        let resp = router.handle(&ApiRequest::post("/datasets/santander-upload/mine", body));
-        print_mine(label, &resp);
+        let mined = client.mine(DATASET, body)?;
+        print_mine(label, &mined);
     }
 
-    // 5. The live loop: a day of new readings arrives. Stream it through
-    //    the append-chunk protocol — no re-upload, no rebuild.
-    let resp = router.handle(&ApiRequest::post(
-        "/datasets/santander-upload/append/begin",
-        Json::object(),
-    ));
-    println!("POST append/begin -> {}", resp.status);
-    for chunk in split_into_chunks(&writer.data_csv(&live_tail), 2_000) {
-        let resp = router.handle(&ApiRequest::post(
-            "/datasets/santander-upload/append/chunk",
-            Json::from_pairs([
-                ("index", Json::from(chunk.index)),
-                ("total", Json::from(chunk.total)),
-                ("content", Json::from(chunk.content.clone())),
-            ]),
-        ));
-        println!(
-            "POST append/chunk {}/{} -> {}",
-            chunk.index + 1,
-            chunk.total,
-            resp.status
-        );
-    }
-    let resp = router.handle(&ApiRequest::post(
-        "/datasets/santander-upload/append/finish",
-        Json::object(),
-    ));
-    println!("POST append/finish -> {}: {}", resp.status, resp.body);
+    // 3. The live loop: a day of new readings arrives. The client streams
+    //    it through the exactly-once append protocol — keyed begin,
+    //    sequence-numbered chunks, 412 watermark resume, keyed finish — so
+    //    no amount of transport chaos can double-apply a row.
+    let appended = client.append(DATASET, &writer.data_csv(&live_tail), 2_000)?;
+    println!("append -> {appended}");
 
-    // 6. Re-mine: the revision moved, so this is a true re-mine — but the
+    // 4. Re-mine: the revision moved, so this is a true re-mine — but the
     //    extraction cache resumes every unchanged series from its prefix
     //    state, so only the appended tail is re-extracted.
-    let resp = router.handle(&ApiRequest::post(
-        "/datasets/santander-upload/mine",
-        mine_body.clone(),
-    ));
-    print_mine("after append (incremental)", &resp);
-    let resp = router.handle(&ApiRequest::post(
-        "/datasets/santander-upload/mine",
-        mine_body.clone(),
-    ));
-    print_mine("after append, repeated", &resp);
+    let mined = client.mine(DATASET, mine_body.clone())?;
+    print_mine("after append (incremental)", &mined);
+    let mined = client.mine(DATASET, mine_body.clone())?;
+    print_mine("after append, repeated", &mined);
 
-    // 7. Bound the live feed: install a sliding-window retention policy.
+    // 5. Bound the live feed: install a sliding-window retention policy.
     //    The tight window trims expired whole storage blocks immediately,
     //    bumps the revision (trimmed content must never be served from
-    //    cache), and keeps re-applying on every future append.
-    let resp = router.handle(&ApiRequest::post(
-        "/datasets/santander-upload/retention",
+    //    cache), and keeps re-applying on every future append. The client
+    //    attaches an idempotency key, so a replayed install is a no-op.
+    let retained = client.set_retention(
+        DATASET,
         Json::from_pairs([("max_timestamps", Json::from(48i64))]),
-    ));
-    println!(
-        "POST retention (keep last 48) -> {}: {}",
-        resp.status, resp.body
-    );
-    let resp = router.handle(&ApiRequest::get("/datasets/santander-upload/retention"));
+    )?;
+    println!("retention (keep last 48) -> {retained}");
+    let resp = client.request(&ApiRequest::get(format!("/datasets/{DATASET}/retention")))?;
     println!("GET retention -> {}", resp.body);
-    let resp = router.handle(&ApiRequest::post(
-        "/datasets/santander-upload/mine",
-        mine_body,
-    ));
-    print_mine("after trim (bounded window)", &resp);
+    let mined = client.mine(DATASET, mine_body)?;
+    print_mine("after trim (bounded window)", &mined);
 
-    // 8. Inspect the cache statistics endpoint (extraction tier with its
+    // 6. Inspect the cache statistics endpoint (extraction tier with its
     //    prefix-resume counters, plus the revision-GC eviction counts).
-    let resp = router.handle(&ApiRequest::get("/cache/stats"));
+    let resp = client.request(&ApiRequest::get("/cache/stats"))?;
     println!("GET cache/stats -> {}", resp.body);
 
-    // 9. List registered datasets.
-    let resp = router.handle(&ApiRequest::get("/datasets"));
+    // 7. List registered datasets, then show what the transport did to us
+    //    and what it cost the client to hide it.
+    let resp = client.request(&ApiRequest::get("/datasets"))?;
     println!("GET datasets -> {}", resp.body);
+
+    client.transport_mut().drain();
+    let faults = client.transport().stats();
+    let stats = client.stats();
+    println!(
+        "transport chaos: {} faults injected ({} requests dropped, {} responses dropped, \
+         {} duplicated, {} delayed, {} delivered late)",
+        faults.total_faults(),
+        faults.dropped_requests,
+        faults.dropped_responses,
+        faults.duplicated_requests,
+        faults.delayed_requests,
+        faults.late_deliveries,
+    );
+    println!(
+        "client: {} attempts, {} retries, {} transport losses seen, {} server-side replays, \
+         {} append resumes, {} ms virtual backoff",
+        stats.attempts,
+        stats.retries,
+        stats.losses,
+        stats.replayed_responses,
+        stats.resumes,
+        stats.slept_ms,
+    );
+    Ok(())
 }

@@ -219,3 +219,166 @@ fn json_strategy() -> impl Strategy<Value = Json> {
         ]
     })
 }
+
+// ---------------------------------------------------------------------------
+// chaos-transport convergence
+// ---------------------------------------------------------------------------
+
+/// A small register → append → mine fixture shared by every chaos schedule
+/// (generated once: the property varies the chaos, not the data), plus the
+/// clean twin's final state to converge to.
+struct ChaosFixture {
+    location_csv: String,
+    attribute_csv: String,
+    prefix_csv: String,
+    tail_csv: String,
+    twin_caps: String,
+    twin_snapshot: String,
+    twin_revision: u64,
+}
+
+fn chaos_fixture() -> &'static ChaosFixture {
+    use miscela_v::miscela_csv::DatasetWriter;
+    use miscela_v::miscela_datagen::SantanderGenerator;
+    static FIXTURE: std::sync::OnceLock<ChaosFixture> = std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let full = SantanderGenerator::small().with_scale(0.01).generate();
+        let n = full.timestamp_count();
+        let split_t = full.grid().at(n - 24).unwrap();
+        let prefix = full.slice_time(full.grid().start(), split_t).unwrap();
+        let tail = full.slice_time(split_t, full.grid().range().end).unwrap();
+        let writer = DatasetWriter::new();
+        let fx = ChaosFixture {
+            location_csv: writer.location_csv(&prefix),
+            attribute_csv: writer.attribute_csv(&prefix),
+            prefix_csv: writer.data_csv(&prefix),
+            tail_csv: writer.data_csv(&tail),
+            twin_caps: String::new(),
+            twin_snapshot: String::new(),
+            twin_revision: 0,
+        };
+        let (caps, snapshot, revision) =
+            chaos_workflow(&fx, None, 0).expect("the clean twin must converge");
+        ChaosFixture {
+            twin_caps: caps,
+            twin_snapshot: snapshot,
+            twin_revision: revision,
+            ..fx
+        }
+    })
+}
+
+/// Runs register → append → mine through a resilient client — over perfect
+/// transport when `config` is `None`, through seeded chaos otherwise —
+/// and returns (mined caps JSON, final snapshot encoding, final revision).
+/// Also asserts the client's per-request backoff budget held.
+fn chaos_workflow(
+    fx: &ChaosFixture,
+    config: Option<miscela_v::miscela_server::client::ChaosConfig>,
+    seed: u64,
+) -> Result<(String, String, u64), String> {
+    use miscela_v::miscela_server::client::{
+        ChaosTransport, ResilientClient, RetryPolicy, RouterTransport,
+    };
+    use miscela_v::miscela_server::durability::snapshot_data;
+    use miscela_v::miscela_server::{MiscelaService, Router};
+    use std::sync::Arc;
+
+    let service = Arc::new(MiscelaService::new());
+    let router = Arc::new(Router::new(Arc::clone(&service)));
+    let inner = RouterTransport::new(router);
+    let mine_body = Json::from_pairs([
+        ("epsilon", Json::from(0.4)),
+        ("eta_km", Json::from(0.5)),
+        ("mu", Json::from(3i64)),
+        ("psi", Json::from(20usize)),
+        ("segmentation", Json::from(false)),
+    ]);
+    let run = |caps: Result<Json, _>, budget_held: bool| -> Result<(String, String, u64), String> {
+        let caps = caps.map_err(|e| format!("mine failed: {e}"))?;
+        if !budget_held {
+            return Err("per-request backoff exceeded the budget".to_string());
+        }
+        let ds = service
+            .dataset("prop")
+            .map_err(|e| format!("dataset lost: {e:?}"))?;
+        let revision = service.dataset_revision("prop").unwrap();
+        Ok((
+            caps.get("caps").unwrap().to_string_compact(),
+            snapshot_data(&ds, revision, 0, &[]).to_string(),
+            revision,
+        ))
+    };
+    match config {
+        None => {
+            let mut client = ResilientClient::new(inner, "twin");
+            client
+                .register(
+                    "prop",
+                    &fx.location_csv,
+                    &fx.attribute_csv,
+                    &fx.prefix_csv,
+                    500,
+                )
+                .map_err(|e| format!("twin register failed: {e}"))?;
+            client
+                .append("prop", &fx.tail_csv, 100)
+                .map_err(|e| format!("twin append failed: {e}"))?;
+            let caps = client.mine("prop", mine_body);
+            run(caps, true)
+        }
+        Some(config) => {
+            let chaos = ChaosTransport::new(inner, config, seed);
+            let mut client = ResilientClient::new(chaos, format!("prop-{seed}"));
+            client
+                .register(
+                    "prop",
+                    &fx.location_csv,
+                    &fx.attribute_csv,
+                    &fx.prefix_csv,
+                    500,
+                )
+                .map_err(|e| format!("register failed: {e}"))?;
+            client
+                .append("prop", &fx.tail_csv, 100)
+                .map_err(|e| format!("append failed: {e}"))?;
+            let caps = client.mine("prop", mine_body);
+            client.transport_mut().drain();
+            let budget_held =
+                client.stats().max_request_slept_ms <= RetryPolicy::default().budget_ms;
+            run(caps, budget_held)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seeded schedule of request drops, response drops, duplicated
+    /// and delayed deliveries converges to the clean twin's exact CapSet,
+    /// snapshot bytes and revision — and the client never backs off past
+    /// its per-request budget.
+    #[test]
+    fn chaos_schedules_converge_to_the_clean_twin(
+        seed in 0u64..1_000_000,
+        drop_request in 0.0f64..0.3,
+        drop_response in 0.0f64..0.3,
+        duplicate in 0.0f64..0.3,
+        delay in 0.0f64..0.2,
+    ) {
+        use miscela_v::miscela_server::client::ChaosConfig;
+        let fx = chaos_fixture();
+        let config = ChaosConfig {
+            drop_request,
+            delay_request: delay,
+            duplicate_request: duplicate,
+            drop_response,
+            max_delayed: 4,
+        };
+        let (caps, snapshot, revision) = chaos_workflow(fx, Some(config), seed)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        prop_assert_eq!(&caps, &fx.twin_caps, "CapSet diverged under chaos");
+        prop_assert_eq!(&snapshot, &fx.twin_snapshot, "snapshot bytes diverged under chaos");
+        prop_assert_eq!(revision, fx.twin_revision, "revision diverged under chaos");
+    }
+}

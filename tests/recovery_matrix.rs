@@ -95,6 +95,11 @@ fn script(fx: &Fixture) -> Vec<Op> {
     ops
 }
 
+/// The idempotency key the workflow's finish carries: the same key on the
+/// original attempt and on the post-recovery retry, exactly as a real
+/// client that never saw the first acknowledgement would resend it.
+const FINISH_KEY: &str = "recovery-matrix-finish";
+
 fn run_op(svc: &MiscelaService, fx: &Fixture, op: Op) -> Result<(), ApiError> {
     match op {
         Op::Upload => svc
@@ -108,7 +113,9 @@ fn run_op(svc: &MiscelaService, fx: &Fixture, op: Op) -> Result<(), ApiError> {
             .map(|_| ()),
         Op::Begin => svc.begin_append(DATASET),
         Op::Chunk(i) => svc.append_chunk(DATASET, &fx.tail_chunks[i]).map(|_| ()),
-        Op::Finish => svc.finish_append(DATASET).map(|_| ()),
+        Op::Finish => svc
+            .finish_append_keyed(DATASET, Some(FINISH_KEY))
+            .map(|_| ()),
     }
 }
 
@@ -212,21 +219,35 @@ fn run_with_kill(fx: &Fixture, budget: u64) -> CapSet {
                 // retry the op whose acknowledgement never arrived.
                 svc = MiscelaService::with_database_and_durability(Arc::new(Database::new()), &dir)
                     .unwrap();
-                match (ops[i], run_op(&svc, fx, ops[i])) {
-                    (_, Ok(())) => {}
-                    (Op::Finish, Err(ApiError::NotFound(_))) => {
-                        // The commit record was durable before the crash, so
-                        // recovery already applied the session; the retried
-                        // finish correctly reports no session in progress.
-                        assert_eq!(
-                            svc.dataset(DATASET).unwrap().timestamp_count(),
-                            fx.full_timestamps,
-                            "budget {budget}: finish replay lost rows"
-                        );
-                    }
-                    (op, Err(e)) => {
-                        panic!("budget {budget}: retry of {op:?} failed after recovery: {e:?}")
-                    }
+                if ops[i] == Op::Finish {
+                    // The retried finish carries the same idempotency key
+                    // as the attempt whose acknowledgement never arrived,
+                    // so it must succeed either way the crash landed: if
+                    // the commit record died with the process, the session
+                    // (restored from the WAL) is applied now; if the
+                    // commit was durable, the *original response* is
+                    // replayed from the recovered watermark — never a
+                    // NotFound, never a double-apply.
+                    let (summary, _elapsed, replayed) = svc
+                        .finish_append_keyed(DATASET, Some(FINISH_KEY))
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "budget {budget}: keyed finish retry failed after recovery: {e:?}"
+                            )
+                        });
+                    assert_eq!(
+                        summary.timestamps, fx.full_timestamps,
+                        "budget {budget}: finish retry (replayed: {replayed}) reported wrong rows"
+                    );
+                    assert_eq!(
+                        summary.revision, 2,
+                        "budget {budget}: finish retry (replayed: {replayed}) double-applied"
+                    );
+                } else if let Err(e) = run_op(&svc, fx, ops[i]) {
+                    panic!(
+                        "budget {budget}: retry of {:?} failed after recovery: {e:?}",
+                        ops[i]
+                    )
                 }
                 i += 1;
             }
