@@ -46,6 +46,14 @@
 //! invariant is that every refused request was a *typed retryable* error
 //! (the harness fails the run otherwise).
 //!
+//! Schema 7 adds the top-level `sweep` object: the china-scale 4×4×3
+//! ψ/η/μ tuning grid mined as one batch (`Miner::mine_sweep`) vs as a
+//! per-point loop, back-to-back in each repeat, reported as
+//! `sweep_batch_ns` / `sweep_loop_ns` medians plus the plan shape (one
+//! extraction class, 4 graphs, 12 search groups). The harness asserts
+//! every batch point byte-identical to its independent mine before
+//! timing; `identical: true` records that the check ran.
+//!
 //! Schema 6 adds the top-level `chaos` object: the full register → append
 //! → mine workflow driven by the resilient client through a seeded lossy
 //! storm (request drops, response drops, duplicated and delayed
@@ -299,6 +307,7 @@ fn snapshot_overload(dataset: &Dataset, smoke: bool) -> Json {
         param_variants: if smoke { 4 } else { 8 },
         deadline_every: 4,
         deadline: Duration::from_millis(if smoke { 20 } else { 50 }),
+        ..LoadConfig::default()
     };
     let summary = run_load(&svc, "overload", &santander_params(), &cfg);
     let stats = svc.admission_stats();
@@ -312,6 +321,72 @@ fn snapshot_overload(dataset: &Dataset, smoke: bool) -> Json {
         ),
         ("admitted", Json::Number(stats.admitted as f64)),
         ("summary", summary.to_json()),
+    ])
+}
+
+/// The china-scale ψ/η/μ grid mined as one batch vs as a per-point loop,
+/// back-to-back in each repeat, reported as the schema-7 `sweep` object.
+/// In smoke mode the grid shrinks to 2×2×2 so CI stays bounded; the
+/// committed snapshot uses the full 4×4×3 grid.
+fn snapshot_sweep(dataset: &Dataset, repeats: usize, smoke: bool) -> Json {
+    let grid: Vec<MiningParams> = if smoke {
+        miscela_bench::sweep_grid()
+            .into_iter()
+            .filter(|p| p.psi <= 40 && p.eta_km <= 250.0 && p.mu <= 2)
+            .collect()
+    } else {
+        miscela_bench::sweep_grid()
+    };
+    let cancel = miscela_core::CancelToken::never();
+
+    // Correctness gate before any timing: every grid point of the batch
+    // sweep must be byte-identical to an independent mine.
+    let batch = Miner::mine_sweep(dataset, &grid, None, &cancel).expect("sweep failed");
+    for (p, got) in grid.iter().zip(&batch.results) {
+        let solo = Miner::new(p.clone())
+            .expect("grid point must validate")
+            .mine(dataset)
+            .expect("solo mine failed");
+        assert_eq!(got.caps, solo.caps, "sweep diverged at {}", p.signature());
+        assert_eq!(got.delayed, solo.delayed, "delayed diverged");
+    }
+    let stats = batch.stats;
+
+    let miners: Vec<Miner> = grid
+        .iter()
+        .map(|p| Miner::new(p.clone()).expect("grid point must validate"))
+        .collect();
+    let mut batch_ns: Vec<u128> = Vec::with_capacity(repeats);
+    let mut loop_ns: Vec<u128> = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let t = std::time::Instant::now();
+        let out = Miner::mine_sweep(dataset, &grid, None, &cancel).expect("sweep failed");
+        batch_ns.push(t.elapsed().as_nanos());
+        assert_eq!(out.results.len(), grid.len());
+        let t = std::time::Instant::now();
+        for m in &miners {
+            m.mine(dataset).expect("loop mine failed");
+        }
+        loop_ns.push(t.elapsed().as_nanos());
+    }
+    let batch_med = median_ns(&mut batch_ns);
+    let loop_med = median_ns(&mut loop_ns);
+    Json::from_pairs([
+        ("scenario", Json::String("china6_bench_grid".to_string())),
+        ("grid_points", Json::Number(grid.len() as f64)),
+        (
+            "extraction_classes",
+            Json::Number(stats.extraction_classes as f64),
+        ),
+        ("graphs_built", Json::Number(stats.graphs_built as f64)),
+        ("search_groups", Json::Number(stats.search_groups as f64)),
+        ("sweep_batch_ns", Json::Number(batch_med as f64)),
+        ("sweep_loop_ns", Json::Number(loop_med as f64)),
+        (
+            "speedup",
+            Json::Number(loop_med as f64 / (batch_med as f64).max(1.0)),
+        ),
+        ("identical", Json::Bool(true)),
     ])
 }
 
@@ -449,13 +524,15 @@ fn main() {
     let smoke = std::env::var_os("MISCELA_BENCH_SMOKE").is_some();
     let overload = snapshot_overload(&santander, smoke);
     let chaos = snapshot_chaos(&santander, smoke);
+    let sweep = snapshot_sweep(&china, repeats, smoke);
 
     let doc = Json::from_pairs([
-        ("schema", Json::Number(6.0)),
+        ("schema", Json::Number(7.0)),
         ("unit", Json::String("nanoseconds".to_string())),
         ("repeats", Json::Number(repeats as f64)),
         ("overload", overload),
         ("chaos", chaos),
+        ("sweep", sweep),
         (
             "note",
             Json::String(

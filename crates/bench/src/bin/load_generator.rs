@@ -58,20 +58,38 @@ fn main() {
     )
     .expect("bench upload");
 
+    // `--sweeps` mixes batch parameter-sweep requests into the storm:
+    // every 4th request of each client becomes a 4-point ψ-grid sweep,
+    // admission-charged once at grid-scaled cost, so batch jobs compete
+    // with solo mines for the same tight budget.
+    let sweeps = args.iter().any(|a| a == "--sweeps");
     let cfg = LoadConfig {
         clients: if smoke { 6 } else { 12 },
         requests_per_client: if smoke { 4 } else { 16 },
         param_variants: if smoke { 4 } else { 12 },
         deadline_every: 4,
         deadline: Duration::from_millis(if smoke { 20 } else { 50 }),
+        sweep_every: if sweeps { 4 } else { 0 },
+        sweep_points: 4,
     };
     let summary = run_load(&svc, "santander", &santander_params(), &cfg);
     let stats = svc.admission_stats();
     assert_eq!(stats.in_flight, 0, "permits leaked: {stats:?}");
     assert_eq!(stats.queued, 0, "waiters leaked: {stats:?}");
+    if sweeps {
+        assert!(
+            summary.sweeps > 0 || summary.shed + summary.deadline_exceeded > 0,
+            "sweep traffic neither completed nor was shed: {summary:?}"
+        );
+    }
 
+    let scenario = if sweeps {
+        "santander_bench_4x_sweeps"
+    } else {
+        "santander_bench_4x"
+    };
     let doc = Json::from_pairs([
-        ("scenario", Json::String("santander_bench_4x".to_string())),
+        ("scenario", Json::String(scenario.to_string())),
         ("clients", Json::Number(cfg.clients as f64)),
         (
             "requests_per_client",

@@ -270,6 +270,32 @@ pub fn china_params() -> MiningParams {
         .with_segmentation(false)
 }
 
+/// The china-scale ψ/η/μ benchmark grid for the batch-sweep experiment:
+/// 4 ψ × 4 η × 3 μ = 48 points over [`china_params`]-style settings.
+///
+/// The shape is deliberately sweep-friendly in the way real tuning grids
+/// are: all points share one extraction class (same ε, segmentation off),
+/// only 4 distinct η values need a spatial graph, and each (η, μ) cell
+/// collapses to a single ψ_min search group, so the batch miner runs
+/// 12 searches instead of 48.
+pub fn sweep_grid() -> Vec<MiningParams> {
+    let mut grid = Vec::with_capacity(48);
+    for &psi in &[36usize, 40, 44, 48] {
+        for &eta in &[150.0f64, 250.0, 350.0, 450.0] {
+            for &mu in &[1usize, 2, 3] {
+                grid.push(
+                    china_params()
+                        .with_psi(psi)
+                        .with_eta_km(eta)
+                        .with_mu(mu)
+                        .with_min_attributes(1),
+                );
+            }
+        }
+    }
+    grid
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

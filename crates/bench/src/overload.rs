@@ -15,8 +15,8 @@
 //! error fails the run — the harness doubles as a check that the serving
 //! path never leaks panics or untyped errors under pressure.
 
-use miscela_core::MiningParams;
-use miscela_server::{ApiError, MiscelaService};
+use miscela_core::{CancelToken, MiningParams};
+use miscela_server::{ApiError, MiscelaService, SweepServed};
 use miscela_store::Json;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -36,6 +36,14 @@ pub struct LoadConfig {
     pub deadline_every: usize,
     /// The deadline attached to deadline-carrying requests.
     pub deadline: Duration,
+    /// Every n-th request of each client is a batch parameter sweep over
+    /// [`LoadConfig::sweep_points`] ψ-variants instead of a solo mine
+    /// (`0` = never). Sweeps go through the same admission gate, charged
+    /// once at grid-scaled cost, so they compete with solo mines for the
+    /// budget.
+    pub sweep_every: usize,
+    /// Grid points per sweep request.
+    pub sweep_points: usize,
 }
 
 impl Default for LoadConfig {
@@ -46,6 +54,8 @@ impl Default for LoadConfig {
             param_variants: 6,
             deadline_every: 4,
             deadline: Duration::from_millis(50),
+            sweep_every: 0,
+            sweep_points: 4,
         }
     }
 }
@@ -63,6 +73,8 @@ pub struct LoadSummary {
     pub shed: u64,
     /// Requests that hit their deadline ([`ApiError::DeadlineExceeded`]).
     pub deadline_exceeded: u64,
+    /// Completed requests that were batch sweeps.
+    pub sweeps: u64,
     /// Median latency of completed requests, nanoseconds.
     pub completed_p50_ns: u128,
     /// 99th-percentile latency of completed requests, nanoseconds.
@@ -88,6 +100,7 @@ impl LoadSummary {
                 "deadline_exceeded",
                 Json::Number(self.deadline_exceeded as f64),
             ),
+            ("sweeps", Json::Number(self.sweeps as f64)),
             (
                 "completed_p50_ns",
                 Json::Number(self.completed_p50_ns as f64),
@@ -139,6 +152,7 @@ pub fn run_load(
         cache_hits: u64,
         shed: u64,
         deadline_exceeded: u64,
+        sweeps: u64,
         latencies_ns: Vec<u128>,
     }
     let tally = Mutex::new(Tally::default());
@@ -152,11 +166,34 @@ pub fn run_load(
                     let params = param_variant(base, (client + j) % cfg.param_variants.max(1));
                     let deadline = (cfg.deadline_every > 0 && j % cfg.deadline_every == 0)
                         .then(|| Instant::now() + cfg.deadline);
-                    match svc.mine_with_deadline(dataset, &params, deadline) {
-                        Ok(outcome) => {
+                    let sweep = cfg.sweep_every > 0 && j % cfg.sweep_every == 0;
+                    let outcome = if sweep {
+                        // ψ-variants of the same base: one extraction
+                        // class and one spatial graph, the sweep-friendly
+                        // shape real tuning grids have.
+                        let points: Vec<MiningParams> = (0..cfg.sweep_points.max(1))
+                            .map(|v| params.clone().with_psi(params.psi + v))
+                            .collect();
+                        let t = Instant::now();
+                        svc.mine_sweep(dataset, &points, deadline, &CancelToken::never(), None)
+                            .map(|served| match served {
+                                SweepServed::Replayed(_) => {
+                                    unreachable!("keyless sweep cannot replay")
+                                }
+                                SweepServed::Fresh(out) => {
+                                    (out.cache_hits.iter().all(|&h| h), t.elapsed())
+                                }
+                            })
+                    } else {
+                        svc.mine_with_deadline(dataset, &params, deadline)
+                            .map(|out| (out.cache_hit, out.elapsed))
+                    };
+                    match outcome {
+                        Ok((cache_hit, elapsed)) => {
                             local.completed += 1;
-                            local.cache_hits += u64::from(outcome.cache_hit);
-                            local.latencies_ns.push(outcome.elapsed.as_nanos());
+                            local.cache_hits += u64::from(cache_hit);
+                            local.sweeps += u64::from(sweep);
+                            local.latencies_ns.push(elapsed.as_nanos());
                         }
                         Err(e @ ApiError::Overloaded { .. }) => {
                             assert!(e.is_retryable() && e.retry_after_ms().is_some());
@@ -174,6 +211,7 @@ pub fn run_load(
                 tally.cache_hits += local.cache_hits;
                 tally.shed += local.shed;
                 tally.deadline_exceeded += local.deadline_exceeded;
+                tally.sweeps += local.sweeps;
                 tally.latencies_ns.extend(local.latencies_ns);
             });
         }
@@ -188,6 +226,7 @@ pub fn run_load(
         cache_hits: tally.cache_hits,
         shed: tally.shed,
         deadline_exceeded: tally.deadline_exceeded,
+        sweeps: tally.sweeps,
         completed_p50_ns: percentile_ns(&mut tally.latencies_ns, 50),
         completed_p99_ns: percentile_ns(&mut tally.latencies_ns, 99),
         wall_ns,
@@ -241,6 +280,8 @@ mod tests {
             param_variants: 2,
             deadline_every: 0,
             deadline: Duration::from_millis(50),
+            sweep_every: 3,
+            sweep_points: 3,
         };
         let summary = run_load(&svc, "santander", &crate::santander_params(), &cfg);
         assert_eq!(summary.requests, 9);
@@ -249,7 +290,11 @@ mod tests {
             9
         );
         assert!(summary.completed >= 1);
+        // Every client's j=0 request was a 3-point sweep; each either
+        // completed or was refused with a typed error, never dropped.
+        assert!(summary.sweeps + summary.shed + summary.deadline_exceeded >= 3);
         let text = summary.to_json().to_string();
         assert!(text.contains("\"completed_p99_ns\""));
+        assert!(text.contains("\"sweeps\""));
     }
 }

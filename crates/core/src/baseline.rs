@@ -47,8 +47,8 @@ impl<'a> NaiveMiner<'a> {
             .iter()
             .map(|ev| {
                 [
-                    ev.up.indices().into_iter().map(|i| i as u32).collect(),
-                    ev.down.indices().into_iter().map(|i| i as u32).collect(),
+                    ev.up().indices().into_iter().map(|i| i as u32).collect(),
+                    ev.down().indices().into_iter().map(|i| i as u32).collect(),
                 ]
             })
             .collect();

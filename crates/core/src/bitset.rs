@@ -12,6 +12,129 @@ pub struct Bitset {
     words: Vec<u64>,
 }
 
+/// A borrowed, read-only view over a packed bit run: a length plus a word
+/// slice, with bits at positions `>= len` guaranteed zero.
+///
+/// This is how the search and correlation layers read evolving sets since
+/// those moved to a single contiguous word allocation per series
+/// (`EvolvingSets` stores `[up | down]` back to back): a view costs nothing
+/// to hand out, is `Copy`, and supports the same counting/intersection
+/// operations as an owned [`Bitset`] without requiring the bits to live in
+/// their own `Vec`.
+#[derive(Debug, Clone, Copy)]
+pub struct BitsetRef<'a> {
+    len: usize,
+    words: &'a [u64],
+}
+
+impl<'a> BitsetRef<'a> {
+    /// Wraps a word slice holding `len` bits. Bits at positions `>= len`
+    /// must be zero, as everywhere else in this module.
+    pub(crate) fn from_words(len: usize, words: &'a [u64]) -> Self {
+        debug_assert_eq!(words.len(), len.div_ceil(64));
+        BitsetRef { len, words }
+    }
+
+    /// Bit capacity.
+    pub fn len(self) -> usize {
+        self.len
+    }
+
+    /// Whether the capacity is zero.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing words (bits at positions `>= len` are zero).
+    pub(crate) fn words(self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Whether bit `i` is set (`false` when out of range).
+    #[inline]
+    pub fn get(self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Size of the intersection with another view (capacities must match).
+    pub fn and_count(self, other: BitsetRef<'_>) -> usize {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words
+            .iter()
+            .zip(other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Indices of the set bits, ascending.
+    pub fn indices(self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count());
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// Materializes the view into an owned [`Bitset`].
+    pub fn to_bitset(self) -> Bitset {
+        Bitset {
+            len: self.len,
+            words: self.words.to_vec(),
+        }
+    }
+
+    /// The view shifted right by `delta` positions, materialized as an owned
+    /// [`Bitset`]: bit `i` of the result is bit `i + delta` of the input.
+    /// See [`Bitset::shift_earlier`].
+    pub fn shift_earlier(self, delta: usize) -> Bitset {
+        let mut out = Bitset::new(self.len);
+        if delta < self.len {
+            shift_words_earlier(self.words, &mut out.words, delta);
+        }
+        out
+    }
+}
+
+impl<'a> From<&'a Bitset> for BitsetRef<'a> {
+    fn from(b: &'a Bitset) -> Self {
+        b.view()
+    }
+}
+
+/// Writes `src` shifted earlier by `delta` bit positions into `dst`: bit `i`
+/// of `dst` becomes bit `i + delta` of `src` (zero where that is out of
+/// range). One funnel shift per output word; `dst` may be shorter than
+/// `src`, which is how the trim-derivation path in `evolving` drops a
+/// leading run of a longer series' words.
+pub(crate) fn shift_words_earlier(src: &[u64], dst: &mut [u64], delta: usize) {
+    let n = src.len();
+    let word_shift = delta / 64;
+    let bit_shift = delta % 64;
+    for (i, slot) in dst.iter_mut().enumerate() {
+        let j = i + word_shift;
+        let lo = if j < n { src[j] >> bit_shift } else { 0 };
+        let hi = if bit_shift != 0 && j + 1 < n {
+            src[j + 1] << (64 - bit_shift)
+        } else {
+            0
+        };
+        *slot = lo | hi;
+    }
+}
+
 impl Bitset {
     /// Creates an all-zero bitset with capacity for `len` bits.
     pub fn new(len: usize) -> Self {
@@ -108,25 +231,32 @@ impl Bitset {
     /// the result, computed in the same pass over the words. Lets the search
     /// core materialize a candidate intersection and test it against ψ with
     /// a single traversal instead of an `and_count` followed by a re-AND.
-    pub fn assign_and_count(&mut self, a: &Bitset, b: &Bitset) -> usize {
+    pub fn assign_and_count(&mut self, a: &Bitset, b: BitsetRef<'_>) -> usize {
         assert_eq!(a.len, b.len, "bitset length mismatch");
         self.len = a.len;
         self.words.clear();
         let mut count = 0;
-        self.words
-            .extend(a.words.iter().zip(&b.words).map(|(x, y)| {
-                let w = x & y;
-                count += w.count_ones() as usize;
-                w
-            }));
+        self.words.extend(a.words.iter().zip(b.words).map(|(x, y)| {
+            let w = x & y;
+            count += w.count_ones() as usize;
+            w
+        }));
         count
     }
 
     /// Overwrites `self` with a copy of `other`, reusing `self`'s buffer.
-    pub fn assign_from(&mut self, other: &Bitset) {
+    pub fn assign_from(&mut self, other: BitsetRef<'_>) {
         self.len = other.len;
         self.words.clear();
-        self.words.extend_from_slice(&other.words);
+        self.words.extend_from_slice(other.words);
+    }
+
+    /// A borrowed [`BitsetRef`] view of this bitset.
+    pub fn view(&self) -> BitsetRef<'_> {
+        BitsetRef {
+            len: self.len,
+            words: &self.words,
+        }
     }
 
     /// Union with another bitset.
@@ -153,20 +283,6 @@ impl Bitset {
             .sum()
     }
 
-    /// Mutable view of the backing words, for bulk word-level writers (the
-    /// evolving-timestamp scan). Callers must keep bits at positions
-    /// `>= len` zero — every other operation assumes the tail is clear.
-    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
-        &mut self.words
-    }
-
-    /// Read-only view of the backing words (bits at positions `>= len` are
-    /// zero). Used by the tail-resume extraction to carry unchanged prefix
-    /// words into a lengthened bitset without a per-bit round trip.
-    pub(crate) fn words(&self) -> &[u64] {
-        &self.words
-    }
-
     /// Indices of the set bits, ascending.
     pub fn indices(&self) -> Vec<usize> {
         let mut out = Vec::with_capacity(self.count());
@@ -190,27 +306,7 @@ impl Bitset {
     /// on the `delayed` mining hot path, which evaluates every (pair, delay,
     /// direction²) combination.
     pub fn shift_earlier(&self, delta: usize) -> Bitset {
-        let mut out = Bitset::new(self.len);
-        if delta >= self.len {
-            return out;
-        }
-        let word_shift = delta / 64;
-        let bit_shift = delta % 64;
-        let n = self.words.len();
-        if bit_shift == 0 {
-            out.words[..n - word_shift].copy_from_slice(&self.words[word_shift..]);
-        } else {
-            for i in 0..n - word_shift {
-                let lo = self.words[i + word_shift] >> bit_shift;
-                let hi = if i + word_shift + 1 < n {
-                    self.words[i + word_shift + 1] << (64 - bit_shift)
-                } else {
-                    0
-                };
-                out.words[i] = lo | hi;
-            }
-        }
-        out
+        self.view().shift_earlier(delta)
     }
 }
 
@@ -304,11 +400,41 @@ mod tests {
         let mut scratch = Bitset::from_indices(300, &[7, 250]);
         scratch.assign_and(&a, &b);
         assert_eq!(scratch, a.and(&b));
-        scratch.assign_from(&a);
+        scratch.assign_from(a.view());
         assert_eq!(scratch, a);
         let mut counted = Bitset::new(0);
-        assert_eq!(counted.assign_and_count(&a, &b), a.and_count(&b));
+        assert_eq!(counted.assign_and_count(&a, b.view()), a.and_count(&b));
         assert_eq!(counted, a.and(&b));
+    }
+
+    #[test]
+    fn views_mirror_owned_bitsets() {
+        let a = Bitset::from_indices(200, &[0, 5, 63, 64, 130, 199]);
+        let b = Bitset::from_indices(200, &[5, 64, 199]);
+        let va = a.view();
+        assert_eq!(va.len(), a.len());
+        assert!(!va.is_empty());
+        assert_eq!(va.count(), a.count());
+        assert_eq!(va.indices(), a.indices());
+        assert!(va.get(63) && !va.get(62) && !va.get(1000));
+        assert_eq!(va.and_count(b.view()), a.and_count(&b));
+        assert_eq!(va.to_bitset(), a);
+        assert_eq!(BitsetRef::from(&a).to_bitset(), a);
+        for delta in [0, 1, 64, 67, 199, 500] {
+            assert_eq!(va.shift_earlier(delta), a.shift_earlier(delta));
+        }
+        assert!(Bitset::new(0).view().is_empty());
+    }
+
+    #[test]
+    fn shift_words_earlier_into_shorter_destination() {
+        // Dropping the first 70 bits of a 200-bit run into a 130-bit view:
+        // exactly what the trim-derivation path does with evolving words.
+        let src = Bitset::from_indices(200, &[0, 69, 70, 71, 133, 199]);
+        let mut dst_words = vec![0u64; 130usize.div_ceil(64)];
+        shift_words_earlier(src.view().words(), &mut dst_words, 70);
+        let dst = BitsetRef::from_words(130, &dst_words);
+        assert_eq!(dst.indices(), vec![0, 1, 63, 129]);
     }
 
     #[test]

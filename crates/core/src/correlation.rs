@@ -118,8 +118,8 @@ pub fn co_evolution_score_sets(ea: &EvolvingSets, eb: &EvolvingSets) -> f64 {
     if denom == 0 {
         return 0.0;
     }
-    let same = ea.up.and_count(&eb.up) + ea.down.and_count(&eb.down);
-    let opposite = ea.up.and_count(&eb.down) + ea.down.and_count(&eb.up);
+    let same = ea.up().and_count(eb.up()) + ea.down().and_count(eb.down());
+    let opposite = ea.up().and_count(eb.down()) + ea.down().and_count(eb.up());
     same.max(opposite) as f64 / denom as f64
 }
 

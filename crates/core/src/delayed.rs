@@ -91,7 +91,7 @@ pub fn best_delayed_pair(
                     let follow_shifted = evolving[follower.index()]
                         .for_direction(fd)
                         .shift_earlier(delay);
-                    let support = lead_bits.and_count(&follow_shifted);
+                    let support = lead_bits.and_count(follow_shifted.view());
                     if support < params.psi {
                         continue;
                     }

@@ -10,7 +10,7 @@
 //! the timestamps at which the measurement rises by at least ε and those at
 //! which it falls by at least ε.
 
-use crate::bitset::Bitset;
+use crate::bitset::{shift_words_earlier, Bitset, BitsetRef};
 use crate::segmentation::{self, Segmentation};
 use miscela_model::TimeSeries;
 
@@ -45,36 +45,86 @@ impl Direction {
 }
 
 /// The evolving timestamps of one sensor.
+///
+/// Both direction sets live in **one contiguous word allocation** laid out
+/// `[up words | down words]`, each half `len.div_ceil(64)` words long. The
+/// support-count and evolving-scan inner loops stream over plain `&[u64]`
+/// runs with no pointer chase between the two directions, which is what
+/// lets the compiler autovectorize them (see the layout note in
+/// ARCHITECTURE.md); callers read each half through a cheap, `Copy`
+/// [`BitsetRef`] view instead of owning per-direction `Bitset`s.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvolvingSets {
-    /// Timestamps with a rise of at least ε.
-    pub up: Bitset,
-    /// Timestamps with a fall of at least ε.
-    pub down: Bitset,
+    len: usize,
+    words: Vec<u64>,
 }
 
 impl EvolvingSets {
-    /// The bitset for a direction.
-    pub fn for_direction(&self, dir: Direction) -> &Bitset {
-        match dir {
-            Direction::Up => &self.up,
-            Direction::Down => &self.down,
+    /// All-zero evolving sets over `len` grid positions.
+    pub fn new(len: usize) -> Self {
+        EvolvingSets {
+            len,
+            words: vec![0u64; 2 * len.div_ceil(64)],
         }
+    }
+
+    /// Builds the contiguous layout from two owned per-direction bitsets
+    /// (whose capacities must match). Test and oracle code constructs sets
+    /// bit-by-bit through [`Bitset`] and converts once at the end.
+    pub fn from_bitsets(up: &Bitset, down: &Bitset) -> Self {
+        assert_eq!(up.len(), down.len(), "direction capacity mismatch");
+        let mut words = Vec::with_capacity(2 * up.view().words().len());
+        words.extend_from_slice(up.view().words());
+        words.extend_from_slice(down.view().words());
+        EvolvingSets {
+            len: up.len(),
+            words,
+        }
+    }
+
+    /// Words per direction half.
+    fn half(&self) -> usize {
+        self.words.len() / 2
+    }
+
+    /// The Up-direction bits.
+    pub fn up(&self) -> BitsetRef<'_> {
+        BitsetRef::from_words(self.len, &self.words[..self.half()])
+    }
+
+    /// The Down-direction bits.
+    pub fn down(&self) -> BitsetRef<'_> {
+        BitsetRef::from_words(self.len, &self.words[self.half()..])
+    }
+
+    /// The bits for a direction.
+    pub fn for_direction(&self, dir: Direction) -> BitsetRef<'_> {
+        match dir {
+            Direction::Up => self.up(),
+            Direction::Down => self.down(),
+        }
+    }
+
+    /// Mutable `(up, down)` word halves, for the word-level scan writers.
+    /// Callers must keep bits at positions `>= len` zero in both halves.
+    fn halves_mut(&mut self) -> (&mut [u64], &mut [u64]) {
+        let half = self.words.len() / 2;
+        self.words.split_at_mut(half)
     }
 
     /// Total number of evolving timestamps (either direction).
     pub fn total(&self) -> usize {
-        self.up.count() + self.down.count()
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Number of grid positions the bitsets cover.
     pub fn len(&self) -> usize {
-        self.up.len()
+        self.len
     }
 
     /// Whether the bitsets cover no grid positions.
     pub fn is_empty(&self) -> bool {
-        self.up.is_empty()
+        self.len == 0
     }
 }
 
@@ -91,20 +141,20 @@ impl EvolvingSets {
 /// so there is no per-timestamp `Option` branch at all.
 pub fn extract_evolving(series: &TimeSeries, epsilon: f64) -> EvolvingSets {
     let n = series.len();
-    let mut up = Bitset::new(n);
-    let mut down = Bitset::new(n);
+    let mut sets = EvolvingSets::new(n);
     if n >= 2 {
+        let (up_words, down_words) = sets.halves_mut();
         if epsilon > 0.0 {
-            scan_series_from(series, up.words_mut(), down.words_mut(), 0, |delta| {
+            scan_series_from(series, up_words, down_words, 0, |delta| {
                 (delta >= epsilon, -delta >= epsilon)
             });
         } else {
-            scan_series_from(series, up.words_mut(), down.words_mut(), 0, |delta| {
+            scan_series_from(series, up_words, down_words, 0, |delta| {
                 (delta > 0.0, delta < 0.0)
             });
         }
     }
-    EvolvingSets { up, down }
+    sets
 }
 
 /// Word-level delta scan over a series' storage chunks, recomputing words
@@ -342,6 +392,114 @@ pub fn extract_resume(
     }
 }
 
+/// Front-trim derivation of steps (1)+(2): converts the [`ExtractionState`]
+/// of a series' untrimmed *origin* into the state of the trimmed window,
+/// byte-identical to a cold [`extract_state`] on the window.
+///
+/// `origin` must be the state of the same value stream before its first
+/// `dropped` values were removed, under the **same** extraction parameters;
+/// the surviving values are unchanged (the miner enforces both with
+/// origin-anchored fingerprints, [`ExtractionKey::from_origin_fingerprint`]).
+///
+/// Without segmentation the conversion is pure word arithmetic: evolving bit
+/// `t` depends only on values `t-1` and `t`, so the window's bits are the
+/// origin's shifted `dropped` positions earlier — one funnel shift per
+/// direction half — with bit 0 cleared (the new first timestamp has no
+/// predecessor). With segmentation the retained origin segmentation is
+/// spliced via [`segmentation::segment_series_trimmed`] and only the words
+/// before its resync point are rescanned.
+///
+/// Returns `None` when the derivation cannot be proven byte-identical (no
+/// trim, shape or parameter mismatch, or the trim changed the segmentation
+/// tolerance); the caller falls back to a cold extraction.
+pub fn derive_trimmed(
+    series: &TimeSeries,
+    epsilon: f64,
+    segmentation_enabled: bool,
+    segmentation_error: f64,
+    origin: &ExtractionState,
+    dropped: usize,
+) -> Option<ExtractionState> {
+    let n = series.len();
+    let effective = segmentation_enabled && segmentation_error > 0.0;
+    if dropped == 0 || origin.len() != n + dropped || effective != origin.segmentation.is_some() {
+        return None;
+    }
+    if !effective {
+        let mut sets = EvolvingSets::new(n);
+        if n >= 2 {
+            let (up_words, down_words) = sets.halves_mut();
+            shift_words_earlier(origin.sets.up().words(), up_words, dropped);
+            shift_words_earlier(origin.sets.down().words(), down_words, dropped);
+            // The new first timestamp has no predecessor: clear the
+            // shifted-in origin bit.
+            up_words[0] &= !1;
+            down_words[0] &= !1;
+        }
+        return Some(ExtractionState {
+            sets,
+            segmentation: None,
+        });
+    }
+    let prev_seg = origin.segmentation.as_ref()?;
+    let (seg, resync) =
+        segmentation::segment_series_trimmed(series, segmentation_error, prev_seg, dropped)?;
+    let mut sets = EvolvingSets::new(n);
+    if n >= 2 {
+        // Bits at timestamps past the resync point see only smoothed values
+        // the splice left identical (shifted), so their words transfer by
+        // funnel shift; words holding any timestamp `<= resync` are rescanned
+        // from the reconstructed smoothed prefix.
+        let half = n.div_ceil(64);
+        let w_cut = (resync + 1).div_ceil(64).min(half);
+        {
+            let (up_words, down_words) = sets.halves_mut();
+            shift_words_earlier(origin.sets.up().words(), up_words, dropped);
+            shift_words_earlier(origin.sets.down().words(), down_words, dropped);
+        }
+        let vlen = (w_cut * 64).min(n);
+        let raw = series.copy_range(0, vlen);
+        let mut values = vec![f64::NAN; vlen];
+        for s in &seg.segments {
+            if s.start >= vlen {
+                break;
+            }
+            for (i, slot) in values
+                .iter_mut()
+                .enumerate()
+                .take(s.end.min(vlen - 1) + 1)
+                .skip(s.start)
+            {
+                if !raw[i].is_nan() {
+                    *slot = s.value_at(i);
+                }
+            }
+        }
+        let (up_words, down_words) = sets.halves_mut();
+        if epsilon > 0.0 {
+            scan_words_from(
+                &values,
+                &mut up_words[..w_cut],
+                &mut down_words[..w_cut],
+                0,
+                |delta| (delta >= epsilon, -delta >= epsilon),
+            );
+        } else {
+            scan_words_from(
+                &values,
+                &mut up_words[..w_cut],
+                &mut down_words[..w_cut],
+                0,
+                |delta| (delta > 0.0, delta < 0.0),
+            );
+        }
+    }
+    Some(ExtractionState {
+        sets,
+        segmentation: Some(seg),
+    })
+}
+
 /// [`resume_scan`] operating directly on a series' storage chunks (no
 /// contiguous materialization): words whose 64 bits all lie below
 /// `changed_from` are copied from `prev`; every word at or beyond it is
@@ -353,31 +511,23 @@ fn resume_scan_series(
     epsilon: f64,
 ) -> EvolvingSets {
     let n = series.len();
-    let mut up = Bitset::new(n);
-    let mut down = Bitset::new(n);
+    let mut sets = EvolvingSets::new(n);
     if n >= 2 {
-        let first_word = (changed_from / 64).min(prev.up.words().len());
-        up.words_mut()[..first_word].copy_from_slice(&prev.up.words()[..first_word]);
-        down.words_mut()[..first_word].copy_from_slice(&prev.down.words()[..first_word]);
+        let first_word = (changed_from / 64).min(prev.half());
+        let (up_words, down_words) = sets.halves_mut();
+        up_words[..first_word].copy_from_slice(&prev.up().words()[..first_word]);
+        down_words[..first_word].copy_from_slice(&prev.down().words()[..first_word]);
         if epsilon > 0.0 {
-            scan_series_from(
-                series,
-                up.words_mut(),
-                down.words_mut(),
-                first_word,
-                |delta| (delta >= epsilon, -delta >= epsilon),
-            );
+            scan_series_from(series, up_words, down_words, first_word, |delta| {
+                (delta >= epsilon, -delta >= epsilon)
+            });
         } else {
-            scan_series_from(
-                series,
-                up.words_mut(),
-                down.words_mut(),
-                first_word,
-                |delta| (delta > 0.0, delta < 0.0),
-            );
+            scan_series_from(series, up_words, down_words, first_word, |delta| {
+                (delta > 0.0, delta < 0.0)
+            });
         }
     }
-    EvolvingSets { up, down }
+    sets
 }
 
 /// Rebuilds the evolving sets of a lengthened series: words whose 64 bits
@@ -393,31 +543,23 @@ fn resume_scan(
     epsilon: f64,
 ) -> EvolvingSets {
     let n = values.len();
-    let mut up = Bitset::new(n);
-    let mut down = Bitset::new(n);
+    let mut sets = EvolvingSets::new(n);
     if n >= 2 {
-        let first_word = (changed_from / 64).min(prev.up.words().len());
-        up.words_mut()[..first_word].copy_from_slice(&prev.up.words()[..first_word]);
-        down.words_mut()[..first_word].copy_from_slice(&prev.down.words()[..first_word]);
+        let first_word = (changed_from / 64).min(prev.half());
+        let (up_words, down_words) = sets.halves_mut();
+        up_words[..first_word].copy_from_slice(&prev.up().words()[..first_word]);
+        down_words[..first_word].copy_from_slice(&prev.down().words()[..first_word]);
         if epsilon > 0.0 {
-            scan_words_from(
-                values,
-                up.words_mut(),
-                down.words_mut(),
-                first_word,
-                |delta| (delta >= epsilon, -delta >= epsilon),
-            );
+            scan_words_from(values, up_words, down_words, first_word, |delta| {
+                (delta >= epsilon, -delta >= epsilon)
+            });
         } else {
-            scan_words_from(
-                values,
-                up.words_mut(),
-                down.words_mut(),
-                first_word,
-                |delta| (delta > 0.0, delta < 0.0),
-            );
+            scan_words_from(values, up_words, down_words, first_word, |delta| {
+                (delta > 0.0, delta < 0.0)
+            });
         }
     }
-    EvolvingSets { up, down }
+    sets
 }
 
 /// Cache key for one series' extraction result: a content fingerprint of
@@ -509,79 +651,46 @@ impl ExtractionKey {
             },
         }
     }
-}
 
-const FNV_OFFSET_1: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_OFFSET_2: u64 = 0x9e37_79b9_7f4a_7c15;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    /// XOR salt separating **origin-anchored** keys from plain content keys.
+    ///
+    /// An origin key's fingerprint covers a series' *full history* —
+    /// trimmed-away front included — while the state stored under it covers
+    /// only the surviving window. An untrimmed series with identical full
+    /// content computes the same raw fingerprint as its own content key; if
+    /// the two families shared a key space, the shorter window state would
+    /// answer (and evict) the untrimmed series' content probes. The salt
+    /// keeps the domains disjoint.
+    const ORIGIN_KEY_SALT: u128 = 0x9e37_79b9_7f4a_7c15_85eb_ca6b_27d4_eb2f;
 
-/// Rolling two-stream FNV-1a fingerprinter over raw series values.
-///
-/// Values are streamed left to right and [`checkpoint`](Self::checkpoint)
-/// yields the fingerprint of everything pushed so far (the stream state is
-/// finalized with the current length, so prefixes of different lengths
-/// never collide trivially). This is the prefix-fingerprint scheme of the
-/// append-aware extraction cache: while fingerprinting an appended series,
-/// the miner takes checkpoints at each recorded pre-append length and
-/// probes the cache for a reusable prefix extraction — one pass over the
-/// values serves every candidate prefix.
-#[derive(Debug, Clone)]
-pub struct SeriesFingerprinter {
-    h1: u64,
-    h2: u64,
-    len: usize,
-}
-
-impl SeriesFingerprinter {
-    /// A fingerprinter over the empty prefix.
-    pub fn new() -> Self {
-        SeriesFingerprinter {
-            h1: FNV_OFFSET_1,
-            h2: FNV_OFFSET_2,
-            len: 0,
+    /// Builds the **origin-anchored** key for a front-trimmed series.
+    ///
+    /// `fingerprint` must be a checkpoint of a rolling fingerprinter seeded
+    /// from [`miscela_model::TimeSeries::front_digest`] (i.e. it hashes the
+    /// dropped front *and* the values streamed after it), so it identifies a
+    /// prefix of the series' full untrimmed history. States cached under
+    /// origin keys are retrieved by later, deeper-trimmed windows of the
+    /// same stream and converted via [`derive_trimmed`].
+    pub fn from_origin_fingerprint(
+        fingerprint: u128,
+        epsilon: f64,
+        segmentation_enabled: bool,
+        segmentation_error: f64,
+    ) -> Self {
+        let key = Self::from_fingerprint(
+            fingerprint,
+            epsilon,
+            segmentation_enabled,
+            segmentation_error,
+        );
+        ExtractionKey {
+            fingerprint: key.fingerprint ^ Self::ORIGIN_KEY_SALT,
+            ..key
         }
     }
-
-    /// Streams one raw value (`NaN` missing markers included, so presence
-    /// patterns are part of the fingerprint).
-    #[inline]
-    pub fn push(&mut self, raw: f64) {
-        let bits = raw.to_bits();
-        self.h1 ^= bits;
-        self.h1 = self.h1.wrapping_mul(FNV_PRIME);
-        self.h2 ^= bits.rotate_left(29);
-        self.h2 = self.h2.wrapping_mul(FNV_PRIME);
-        self.len += 1;
-    }
-
-    /// Number of values streamed so far.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// Whether no values have been streamed yet.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// The fingerprint of everything pushed so far. Two independent FNV-1a
-    /// streams — the second with a different offset basis and bit-rotated
-    /// input — are finalized with the current length and packed into one
-    /// `u128`. A single 64-bit FNV collision is constructible; colliding
-    /// both streams simultaneously is not practically so, which is what
-    /// lets the extraction cache trust a key hit and skip steps (1)+(2).
-    pub fn checkpoint(&self) -> u128 {
-        let h1 = (self.h1 ^ self.len as u64).wrapping_mul(FNV_PRIME);
-        let h2 = (self.h2 ^ (self.len as u64).rotate_left(32)).wrapping_mul(FNV_PRIME);
-        ((h1 as u128) << 64) | h2 as u128
-    }
 }
 
-impl Default for SeriesFingerprinter {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+pub use miscela_model::SeriesFingerprinter;
 
 /// 128-bit content fingerprint over a series' length and raw value bit
 /// patterns: the final [`SeriesFingerprinter`] checkpoint.
@@ -650,7 +759,7 @@ pub(crate) mod reference {
                 }
             }
         }
-        EvolvingSets { up, down }
+        EvolvingSets::from_bitsets(&up, &down)
     }
 }
 
@@ -672,22 +781,22 @@ mod tests {
         // deltas: +1.0, +0.3, -1.0, -0.3, 0.0
         let s = TimeSeries::from_values(vec![0.0, 1.0, 1.3, 0.3, 0.0, 0.0]);
         let ev = extract_evolving(&s, 0.5);
-        assert_eq!(ev.up.indices(), vec![1]);
-        assert_eq!(ev.down.indices(), vec![3]);
+        assert_eq!(ev.up().indices(), vec![1]);
+        assert_eq!(ev.down().indices(), vec![3]);
         assert_eq!(ev.total(), 2);
 
         // With a smaller epsilon the 0.3-sized changes count too.
         let ev = extract_evolving(&s, 0.25);
-        assert_eq!(ev.up.indices(), vec![1, 2]);
-        assert_eq!(ev.down.indices(), vec![3, 4]);
+        assert_eq!(ev.up().indices(), vec![1, 2]);
+        assert_eq!(ev.down().indices(), vec![3, 4]);
     }
 
     #[test]
     fn zero_epsilon_counts_any_strict_change() {
         let s = TimeSeries::from_values(vec![1.0, 1.0, 1.001, 1.0]);
         let ev = extract_evolving(&s, 0.0);
-        assert_eq!(ev.up.indices(), vec![2]);
-        assert_eq!(ev.down.indices(), vec![3]);
+        assert_eq!(ev.up().indices(), vec![2]);
+        assert_eq!(ev.down().indices(), vec![3]);
     }
 
     #[test]
@@ -706,16 +815,16 @@ mod tests {
         let s = TimeSeries::from_options(&[Some(0.0), None, Some(5.0), Some(0.0)]);
         let ev = extract_evolving(&s, 0.5);
         // t=1 and t=2 involve a missing value; only t=3 (5.0 -> 0.0) evolves.
-        assert_eq!(ev.up.count(), 0);
-        assert_eq!(ev.down.indices(), vec![3]);
+        assert_eq!(ev.up().count(), 0);
+        assert_eq!(ev.down().indices(), vec![3]);
     }
 
     #[test]
     fn first_timestamp_never_evolves() {
         let s = TimeSeries::from_values(vec![100.0, 100.0]);
         let ev = extract_evolving(&s, 0.1);
-        assert!(!ev.up.get(0));
-        assert!(!ev.down.get(0));
+        assert!(!ev.up().get(0));
+        assert!(!ev.down().get(0));
     }
 
     #[test]
@@ -729,11 +838,11 @@ mod tests {
         );
         let raw = extract_with_segmentation(&s, 0.2, false, 0.05);
         let smoothed = extract_with_segmentation(&s, 0.2, true, 0.05);
-        assert!(raw.down.count() > 50);
+        assert!(raw.down().count() > 50);
         assert!(
-            smoothed.down.count() < raw.down.count() / 4,
+            smoothed.down().count() < raw.down().count() / 4,
             "segmentation left {} down-events",
-            smoothed.down.count()
+            smoothed.down().count()
         );
     }
 
@@ -981,11 +1090,79 @@ mod tests {
     }
 
     #[test]
+    fn trim_derivation_matches_cold_extraction() {
+        // Non-seg path: pure word arithmetic, no tolerance precondition.
+        let vals: Vec<f64> = (0..400).map(|i| ((i as f64) * 0.7).sin() * 3.0).collect();
+        let mut options: Vec<Option<f64>> = vals.iter().map(|&v| Some(v)).collect();
+        for i in [5usize, 130, 131, 260] {
+            options[i] = None;
+        }
+        let series = TimeSeries::from_options(&options);
+        for eps in [0.0, 0.3, 1.0] {
+            let origin = extract_state(&series, eps, false, 0.0);
+            for d in [1usize, 63, 64, 65, 256, 399] {
+                let trimmed = TimeSeries::from_options(&options[d..]);
+                let derived = derive_trimmed(&trimmed, eps, false, 0.0, &origin, d)
+                    .expect("non-seg derivation never falls back");
+                assert_eq!(
+                    derived,
+                    extract_state(&trimmed, eps, false, 0.0),
+                    "eps={eps} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trim_derivation_matches_cold_extraction_with_segmentation() {
+        // Periodic fixture (periods 12 and 13): every suffix of at least
+        // 156 points attains the same value range bit-for-bit, so the
+        // segmentation tolerance survives the trim.
+        let vals: Vec<f64> = (0..480usize)
+            .map(|i| ((i % 12) as f64) * 2.0 + ((i.wrapping_mul(2654435761)) % 13) as f64 * 0.01)
+            .collect();
+        let series = TimeSeries::from_values(vals.clone());
+        for eps in [0.3, 1.0] {
+            let origin = extract_state(&series, eps, true, 0.05);
+            for d in [1usize, 64, 156, 300] {
+                let trimmed = TimeSeries::from_values(vals[d..].to_vec());
+                let derived = derive_trimmed(&trimmed, eps, true, 0.05, &origin, d)
+                    .unwrap_or_else(|| panic!("fell back for eps={eps} d={d}"));
+                assert_eq!(
+                    derived,
+                    extract_state(&trimmed, eps, true, 0.05),
+                    "eps={eps} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trim_derivation_rejects_mismatches() {
+        let vals: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let series = TimeSeries::from_values(vals.clone());
+        let trimmed = TimeSeries::from_values(vals[10..].to_vec());
+        let raw = extract_state(&series, 0.5, false, 0.0);
+        // No trim at all, a wrong trim depth, and a segmentation-parameter
+        // mismatch all refuse to derive.
+        assert!(derive_trimmed(&series, 0.5, false, 0.0, &raw, 0).is_none());
+        assert!(derive_trimmed(&trimmed, 0.5, false, 0.0, &raw, 5).is_none());
+        assert!(derive_trimmed(&trimmed, 0.5, true, 0.05, &raw, 10).is_none());
+        // Origin-anchored keys live in their own salted domain: the same
+        // fingerprint never collides with its content key.
+        let fp = series_fingerprint(&series);
+        assert_ne!(
+            ExtractionKey::from_origin_fingerprint(fp, 0.5, false, 0.0),
+            ExtractionKey::from_fingerprint(fp, 0.5, false, 0.0),
+        );
+    }
+
+    #[test]
     fn directional_bitsets_are_disjoint_for_positive_epsilon() {
         let s = TimeSeries::from_values((0..300).map(|i| ((i * 37) % 17) as f64 * 0.5).collect());
         let ev = extract_evolving(&s, 0.4);
-        assert_eq!(ev.up.and_count(&ev.down), 0);
-        assert_eq!(ev.for_direction(Direction::Up).count(), ev.up.count());
-        assert_eq!(ev.for_direction(Direction::Down).count(), ev.down.count());
+        assert_eq!(ev.up().and_count(ev.down()), 0);
+        assert_eq!(ev.for_direction(Direction::Up).count(), ev.up().count());
+        assert_eq!(ev.for_direction(Direction::Down).count(), ev.down().count());
     }
 }

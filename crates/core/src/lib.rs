@@ -79,13 +79,13 @@ pub mod search;
 pub mod segmentation;
 pub mod spatial;
 
-pub use bitset::Bitset;
+pub use bitset::{Bitset, BitsetRef};
 pub use cancel::{CancelToken, CANCEL_CHECK_STRIDE};
 pub use error::MiningError;
 pub use evolving::{
     Direction, EvolvingCache, EvolvingSets, ExtractionKey, ExtractionState, SeriesFingerprinter,
 };
-pub use miner::{Miner, MiningReport, MiningResult};
+pub use miner::{Miner, MiningReport, MiningResult, SweepOutput, SweepStats};
 pub use params::MiningParams;
 pub use pattern::{Cap, CapMember, CapSet};
 pub use spatial::ProximityGraph;

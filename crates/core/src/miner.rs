@@ -25,8 +25,8 @@ use crate::cancel::CancelToken;
 use crate::delayed::{mine_delayed, DelayedCap};
 use crate::error::MiningError;
 use crate::evolving::{
-    extract_resume, extract_state, extract_with_segmentation, EvolvingCache, EvolvingSets,
-    ExtractionKey, ExtractionState, SeriesFingerprinter,
+    derive_trimmed, extract_resume, extract_state, extract_with_segmentation, EvolvingCache,
+    EvolvingSets, ExtractionKey, ExtractionState, SeriesFingerprinter,
 };
 use crate::params::MiningParams;
 use crate::pattern::{Cap, CapSet};
@@ -34,6 +34,8 @@ use crate::scheduler;
 use crate::search::{SearchContext, SearchScratch};
 use crate::spatial::ProximityGraph;
 use miscela_model::{AttributeId, Dataset, SensorIndex};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -50,6 +52,16 @@ pub struct MiningReport {
     /// content but hit on a pre-append prefix fingerprint, so only the
     /// appended tail was re-extracted.
     pub extraction_prefix_hits: usize,
+    /// Number of series whose extraction was *derived* from the cached
+    /// state of their untrimmed origin — the retained-window path: after a
+    /// block-granular front trim, an origin-anchored fingerprint found the
+    /// pre-trim state and [`derive_trimmed`] converted it by word shifts
+    /// instead of a full re-extraction.
+    pub extraction_trim_hits: usize,
+    /// Number of series where an origin state was found after a trim but
+    /// the derivation could not be proven byte-identical (e.g. the trim
+    /// changed the segmentation tolerance), forcing a cold re-extraction.
+    pub extraction_trim_fallbacks: usize,
     /// Time spent building the proximity graph and its components.
     pub spatial_time: Duration,
     /// Time spent in the CAP search.
@@ -83,6 +95,57 @@ pub struct MiningResult {
     pub delayed: Vec<DelayedCap>,
     /// Pipeline statistics.
     pub report: MiningReport,
+}
+
+/// What the grid planner of [`Miner::mine_sweep`] shared across the batch,
+/// plus the sweep-wide extraction cache counters (per-point reports carry
+/// zeros for these — a cache probe happens once per extraction class, not
+/// once per point).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Grid points requested (including duplicates).
+    pub requested_points: usize,
+    /// Distinct grid points after deduplication.
+    pub unique_points: usize,
+    /// Distinct (ε, segmentation) extraction classes — steps (1)+(2) ran
+    /// once per class instead of once per point.
+    pub extraction_classes: usize,
+    /// Distinct η values — step (3) built one proximity graph per value.
+    pub graphs_built: usize,
+    /// Distinct searches — step (4) ran once per group of points that
+    /// differ only in ψ, at the group's minimum ψ.
+    pub search_groups: usize,
+    /// Series extractions served whole from the evolving-sets cache.
+    pub extraction_cache_hits: usize,
+    /// Series extractions resumed from a cached pre-append prefix state.
+    pub extraction_prefix_hits: usize,
+    /// Series extractions derived from a cached pre-trim origin state.
+    pub extraction_trim_hits: usize,
+    /// Origin states found after a trim but not provably derivable,
+    /// forcing a cold re-extraction.
+    pub extraction_trim_fallbacks: usize,
+}
+
+/// The result of one batch parameter sweep ([`Miner::mine_sweep`]):
+/// one [`MiningResult`] per requested grid point (in request order,
+/// duplicates sharing their unique point's result) plus the planner
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct SweepOutput {
+    /// Per-point results; `results[i]` corresponds to `points[i]`.
+    pub results: Vec<MiningResult>,
+    /// What the planner shared across the grid.
+    pub stats: SweepStats,
+}
+
+/// Extraction cache counters shared across the scheduler workers of one
+/// mine or sweep.
+#[derive(Default)]
+struct ExtractionTallies {
+    cache_hits: AtomicUsize,
+    prefix_hits: AtomicUsize,
+    trim_hits: AtomicUsize,
+    trim_fallbacks: AtomicUsize,
 }
 
 /// The MISCELA miner.
@@ -154,61 +217,19 @@ impl Miner {
         } else {
             1
         };
-        let cache_hits = AtomicUsize::new(0);
-        let prefix_hits = AtomicUsize::new(0);
+        let tallies = ExtractionTallies::default();
         let append_bases = dataset.append_bases();
         cancel.check()?;
         let evolving: Vec<EvolvingSets> =
             scheduler::parallel_map_cancellable(&series, workers, cancel, |&s| {
-                let Some(cache) = extraction_cache else {
-                    return Ok(extract_with_segmentation(
-                        s,
-                        self.params.epsilon,
-                        self.params.segmentation,
-                        self.params.segmentation_error,
-                    ));
-                };
-                // One rolling-fingerprint pass yields both the full-content
-                // key and the checkpoint at every recorded pre-append length.
-                let (fingerprint, checkpoints) = fingerprint_with_checkpoints(s, append_bases);
-                let key = ExtractionKey::from_fingerprint(
-                    fingerprint,
-                    self.params.epsilon,
-                    self.params.segmentation,
-                    self.params.segmentation_error,
-                );
-                if let Some(sets) = cache.get(&key) {
-                    cache_hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(sets);
-                }
-                // The full content missed; on an appended dataset, probe the
-                // checkpoints for a cached prefix state and resume extraction
-                // over just the tail.
-                let state = match self.lookup_prefix_state(cache, &checkpoints) {
-                    Some(prev) => {
-                        prefix_hits.fetch_add(1, Ordering::Relaxed);
-                        extract_resume(
-                            s,
-                            self.params.epsilon,
-                            self.params.segmentation,
-                            self.params.segmentation_error,
-                            &prev,
-                        )
-                    }
-                    None => extract_state(
-                        s,
-                        self.params.epsilon,
-                        self.params.segmentation,
-                        self.params.segmentation_error,
-                    ),
-                };
-                cache.put_state(key, &state);
-                Ok(state.sets)
+                Ok(self.extract_series(s, append_bases, extraction_cache, &tallies))
             })?;
         let attributes: Vec<AttributeId> = dataset.iter().map(|ss| ss.sensor.attribute).collect();
         report.extraction_time = t0.elapsed();
-        report.extraction_cache_hits = cache_hits.into_inner();
-        report.extraction_prefix_hits = prefix_hits.into_inner();
+        report.extraction_cache_hits = tallies.cache_hits.into_inner();
+        report.extraction_prefix_hits = tallies.prefix_hits.into_inner();
+        report.extraction_trim_hits = tallies.trim_hits.into_inner();
+        report.extraction_trim_fallbacks = tallies.trim_fallbacks.into_inner();
         report.evolving_events = evolving.iter().map(|e| e.total()).sum();
 
         // Step (3): proximity graph and connected components.
@@ -256,6 +277,415 @@ impl Miner {
         })
     }
 
+    /// Mines an entire parameter grid over one dataset as a single
+    /// scheduled job, sharing every stage the grid permits.
+    ///
+    /// An interactive sweep over ψ/η/μ re-runs the pipeline once per grid
+    /// point; almost all of that work is identical between points. This
+    /// batch entry point plans the grid instead:
+    ///
+    /// * **extraction classes** — steps (1)+(2) depend only on
+    ///   (ε, segmentation, segmentation error), normalized exactly like
+    ///   [`ExtractionKey`]; each class extracts once, and all class×series
+    ///   extractions fan through the shared scheduler as one
+    ///   work-stealing batch (with the same cache probe chain as
+    ///   [`Miner::mine_with_cache`]);
+    /// * **one proximity graph per distinct η** — step (3) ignores every
+    ///   other parameter;
+    /// * **search groups** — distinct points that differ only in ψ share
+    ///   one step-(4) search, run at the group's minimum ψ. The search
+    ///   consults ψ only as a support floor (candidate pruning and emit
+    ///   gating) and supports are nonincreasing along ESU extension
+    ///   paths, so the ψ_min run's caps are a superset of every member's
+    ///   and filtering them by `support >= ψ` reproduces each member's
+    ///   independent mine byte-for-byte ([`CapSet::from_caps`] applies a
+    ///   ψ-independent total order). The same argument covers the delayed
+    ///   extension: its per-edge best pair maximizes support before the ψ
+    ///   floor is consulted, so the group result filters exactly.
+    ///
+    /// All search groups' work units (whole small components, per-seed
+    /// subtrees of oversized ones) are tagged with their group, globally
+    /// sorted by estimated cost, and claimed through **one** scheduler
+    /// batch, so a cheap grid point's units backfill workers that would
+    /// otherwise idle behind an expensive point.
+    ///
+    /// Duplicate grid points are deduplicated and share one result;
+    /// `results[i]` always corresponds to `points[i]`. Per-point reports
+    /// carry the sweep's *shared* phase timings (each point paid them once,
+    /// together) and zero cache counters — the sweep-wide cache counters
+    /// live in [`SweepStats`]. The token is polled exactly like
+    /// [`Miner::mine_cancellable`]; an aborted sweep leaves at most
+    /// content-keyed extraction states in the cache, which remain correct
+    /// for any later mine.
+    pub fn mine_sweep(
+        dataset: &Dataset,
+        points: &[MiningParams],
+        extraction_cache: Option<&dyn EvolvingCache>,
+        cancel: &CancelToken,
+    ) -> Result<SweepOutput, MiningError> {
+        for p in points {
+            p.validate()?;
+        }
+        if dataset.timestamp_count() < 2 {
+            return Err(MiningError::DatasetTooSmall(dataset.timestamp_count()));
+        }
+        if points.is_empty() {
+            return Ok(SweepOutput {
+                results: Vec::new(),
+                stats: SweepStats::default(),
+            });
+        }
+
+        // Grid planning: collapse repeated points, then factor the distinct
+        // ones into the equivalence classes each pipeline stage admits.
+        let mut unique: Vec<MiningParams> = Vec::new();
+        let mut point_of: Vec<usize> = Vec::with_capacity(points.len());
+        {
+            let mut by_sig: HashMap<String, usize> = HashMap::new();
+            for p in points {
+                let idx = *by_sig.entry(p.signature()).or_insert_with(|| {
+                    unique.push(p.clone());
+                    unique.len() - 1
+                });
+                point_of.push(idx);
+            }
+        }
+
+        // Extraction classes, keyed by what steps (1)+(2) consume —
+        // normalized the same way `ExtractionKey` is, so an ineffective
+        // segmentation setting collapses into the unsegmented class and
+        // class members share cache entries with their solo mines.
+        let class_key = |p: &MiningParams| -> (u64, bool, u64) {
+            let effective = p.segmentation && p.segmentation_error > 0.0;
+            (
+                p.epsilon.to_bits(),
+                effective,
+                if effective {
+                    p.segmentation_error.to_bits()
+                } else {
+                    0
+                },
+            )
+        };
+        let mut classes: Vec<Miner> = Vec::new();
+        let mut class_of: Vec<usize> = Vec::with_capacity(unique.len());
+        {
+            let mut by_key: HashMap<(u64, bool, u64), usize> = HashMap::new();
+            for p in &unique {
+                let idx = *by_key.entry(class_key(p)).or_insert_with(|| {
+                    classes.push(Miner { params: p.clone() });
+                    classes.len() - 1
+                });
+                class_of.push(idx);
+            }
+        }
+
+        // Steps (1)+(2): one scheduler batch over class × series.
+        let t0 = Instant::now();
+        let series: Vec<&miscela_model::TimeSeries> = dataset.iter().map(|ss| ss.series).collect();
+        let n_series = series.len();
+        let cells = classes.len() * n_series * dataset.timestamp_count();
+        let workers = if cells >= PARALLEL_EXTRACTION_CELLS {
+            scheduler::available_workers()
+        } else {
+            1
+        };
+        let tallies = ExtractionTallies::default();
+        let append_bases = dataset.append_bases();
+        let items: Vec<(usize, &miscela_model::TimeSeries)> = (0..classes.len())
+            .flat_map(|ci| series.iter().map(move |&s| (ci, s)))
+            .collect();
+        cancel.check()?;
+        let flat: Vec<EvolvingSets> =
+            scheduler::parallel_map_cancellable(&items, workers, cancel, |&(ci, s)| {
+                Ok(classes[ci].extract_series(s, append_bases, extraction_cache, &tallies))
+            })?;
+        let attributes: Vec<AttributeId> = dataset.iter().map(|ss| ss.sensor.attribute).collect();
+        let extraction_time = t0.elapsed();
+
+        // Step (3): one proximity graph per distinct η.
+        let t1 = Instant::now();
+        let mut graphs: Vec<ProximityGraph> = Vec::new();
+        let mut graph_of: Vec<usize> = Vec::with_capacity(unique.len());
+        {
+            let mut by_eta: HashMap<u64, usize> = HashMap::new();
+            for p in &unique {
+                let idx = match by_eta.entry(p.eta_km.to_bits()) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        cancel.check()?;
+                        let idx = graphs.len();
+                        graphs.push(ProximityGraph::build(dataset, p.eta_km));
+                        e.insert(idx);
+                        idx
+                    }
+                };
+                graph_of.push(idx);
+            }
+        }
+        let spatial_time = t1.elapsed();
+
+        // Search groups: distinct points that differ only in ψ, searched
+        // once at the group minimum.
+        struct SweepGroup {
+            /// Representative parameters with ψ lowered to the group min.
+            params: MiningParams,
+            class: usize,
+            graph: usize,
+        }
+        let mut groups: Vec<SweepGroup> = Vec::new();
+        let mut group_of: Vec<usize> = Vec::with_capacity(unique.len());
+        {
+            type GroupKey = (u64, u64, usize, usize, bool, u64, Option<usize>, usize);
+            let mut by_key: HashMap<GroupKey, usize> = HashMap::new();
+            for (ui, p) in unique.iter().enumerate() {
+                let key = (
+                    p.epsilon.to_bits(),
+                    p.eta_km.to_bits(),
+                    p.mu,
+                    p.min_attributes,
+                    p.segmentation,
+                    p.segmentation_error.to_bits(),
+                    p.max_sensors,
+                    p.max_delay,
+                );
+                match by_key.entry(key) {
+                    Entry::Occupied(e) => {
+                        let g = &mut groups[*e.get()];
+                        g.params.psi = g.params.psi.min(p.psi);
+                        group_of.push(*e.get());
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(groups.len());
+                        group_of.push(groups.len());
+                        groups.push(SweepGroup {
+                            params: p.clone(),
+                            class: class_of[ui],
+                            graph: graph_of[ui],
+                        });
+                    }
+                }
+            }
+        }
+
+        // Step (4): every group's work units in one globally cost-sorted
+        // scheduler batch, each unit tagged with its group so the caps can
+        // be routed back.
+        cancel.check()?;
+        let t2 = Instant::now();
+        let ctxs: Vec<SearchContext<'_>> = groups
+            .iter()
+            .map(|g| SearchContext {
+                evolving: &flat[g.class * n_series..(g.class + 1) * n_series],
+                attributes: &attributes,
+                graph: &graphs[g.graph],
+                params: &g.params,
+            })
+            .collect();
+        let mut units: Vec<(usize, usize, WorkUnit<'_>)> = Vec::new();
+        for (gi, ctx) in ctxs.iter().enumerate() {
+            for comp in ctx.graph.components_at_least(2) {
+                if comp.len() >= SPLIT_COMPONENT_SIZE {
+                    let mut suffix = 0usize;
+                    for &seed in comp.iter().rev() {
+                        suffix += ctx.graph.degree(seed) + 1;
+                        units.push((suffix, gi, WorkUnit::Seed(seed)));
+                    }
+                } else {
+                    units.push((
+                        ctx.graph.estimated_search_cost(comp),
+                        gi,
+                        WorkUnit::Component(comp),
+                    ));
+                }
+            }
+        }
+        units.sort_by_key(|u| std::cmp::Reverse(u.0));
+        let tagged: Vec<(usize, Cap)> = scheduler::run_units_cancellable(
+            &units,
+            scheduler::available_workers(),
+            cancel,
+            || (SearchScratch::new(), Vec::new()),
+            |&(_, gi, ref unit), (scratch, tmp), out| {
+                tmp.clear();
+                match *unit {
+                    WorkUnit::Component(comp) => {
+                        ctxs[gi].search_component_cancellable(comp, scratch, tmp, cancel)?
+                    }
+                    WorkUnit::Seed(seed) => {
+                        ctxs[gi].search_seed_cancellable(seed, scratch, tmp, cancel)?
+                    }
+                }
+                out.extend(tmp.drain(..).map(|c| (gi, c)));
+                Ok(())
+            },
+        )?;
+        let mut group_caps: Vec<Vec<Cap>> = (0..groups.len()).map(|_| Vec::new()).collect();
+        for (gi, cap) in tagged {
+            group_caps[gi].push(cap);
+        }
+        let search_time = t2.elapsed();
+
+        // Delayed extension once per group at ψ_min.
+        let mut group_delayed: Vec<Vec<DelayedCap>> = Vec::with_capacity(groups.len());
+        for (gi, g) in groups.iter().enumerate() {
+            if g.params.max_delay > 0 {
+                cancel.check()?;
+                group_delayed.push(mine_delayed(
+                    ctxs[gi].evolving,
+                    &attributes,
+                    &graphs[g.graph],
+                    &g.params,
+                ));
+            } else {
+                group_delayed.push(Vec::new());
+            }
+        }
+
+        // Per-point results: the ψ-filter of the owning group's superset.
+        let mut unique_results: Vec<MiningResult> = Vec::with_capacity(unique.len());
+        for (ui, p) in unique.iter().enumerate() {
+            let gi = group_of[ui];
+            let g = &groups[gi];
+            let caps = CapSet::from_caps(
+                group_caps[gi]
+                    .iter()
+                    .filter(|c| c.support >= p.psi)
+                    .cloned()
+                    .collect(),
+            );
+            let delayed: Vec<DelayedCap> = group_delayed[gi]
+                .iter()
+                .filter(|d| d.support >= p.psi)
+                .cloned()
+                .collect();
+            let class_sets = &flat[g.class * n_series..(g.class + 1) * n_series];
+            let graph = &graphs[g.graph];
+            let report = MiningReport {
+                extraction_time,
+                spatial_time,
+                search_time,
+                extraction_cache_hits: 0,
+                extraction_prefix_hits: 0,
+                extraction_trim_hits: 0,
+                extraction_trim_fallbacks: 0,
+                evolving_events: class_sets.iter().map(|e| e.total()).sum(),
+                proximity_edges: graph.edge_count(),
+                searchable_components: graph.components_at_least(2).count(),
+                largest_component: graph
+                    .components()
+                    .iter()
+                    .map(|c| c.len())
+                    .max()
+                    .unwrap_or(0),
+                cap_count: caps.len(),
+            };
+            unique_results.push(MiningResult {
+                caps,
+                delayed,
+                report,
+            });
+        }
+        let results: Vec<MiningResult> = point_of
+            .iter()
+            .map(|&ui| unique_results[ui].clone())
+            .collect();
+        Ok(SweepOutput {
+            results,
+            stats: SweepStats {
+                requested_points: points.len(),
+                unique_points: unique.len(),
+                extraction_classes: classes.len(),
+                graphs_built: graphs.len(),
+                search_groups: groups.len(),
+                extraction_cache_hits: tallies.cache_hits.into_inner(),
+                extraction_prefix_hits: tallies.prefix_hits.into_inner(),
+                extraction_trim_hits: tallies.trim_hits.into_inner(),
+                extraction_trim_fallbacks: tallies.trim_fallbacks.into_inner(),
+            },
+        })
+    }
+
+    /// Steps (1)+(2) for one series: the shared per-series extraction unit
+    /// of [`Miner::mine_cancellable`] and [`Miner::mine_sweep`].
+    ///
+    /// With a cache, one rolling-fingerprint pass yields the full-content
+    /// key, the checkpoint at every recorded pre-append length, and — when
+    /// the series has a trimmed-away front — the origin-anchored
+    /// checkpoints at the same positions. The probe order is: full content,
+    /// then a content prefix to resume over the appended tail, then an
+    /// origin state to derive the trimmed window from. The fresh state is
+    /// published under both its content key and its origin-anchored key.
+    fn extract_series(
+        &self,
+        s: &miscela_model::TimeSeries,
+        append_bases: &[usize],
+        extraction_cache: Option<&dyn EvolvingCache>,
+        tallies: &ExtractionTallies,
+    ) -> EvolvingSets {
+        let Some(cache) = extraction_cache else {
+            return extract_with_segmentation(
+                s,
+                self.params.epsilon,
+                self.params.segmentation,
+                self.params.segmentation_error,
+            );
+        };
+        let keys = fingerprint_with_checkpoints(s, append_bases);
+        let key = ExtractionKey::from_fingerprint(
+            keys.fingerprint,
+            self.params.epsilon,
+            self.params.segmentation,
+            self.params.segmentation_error,
+        );
+        if let Some(sets) = cache.get(&key) {
+            tallies.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return sets;
+        }
+        let state = if let Some(prev) = self.lookup_prefix_state(cache, &keys.checkpoints) {
+            tallies.prefix_hits.fetch_add(1, Ordering::Relaxed);
+            extract_resume(
+                s,
+                self.params.epsilon,
+                self.params.segmentation,
+                self.params.segmentation_error,
+                &prev,
+            )
+        } else if let Some(state) = self.lookup_trimmed_state(
+            cache,
+            s,
+            &keys.origin_checkpoints,
+            &tallies.trim_hits,
+            &tallies.trim_fallbacks,
+        ) {
+            state
+        } else {
+            extract_state(
+                s,
+                self.params.epsilon,
+                self.params.segmentation,
+                self.params.segmentation_error,
+            )
+        };
+        cache.put_state(key, &state);
+        // Also publish under the origin-anchored key (full history, salted
+        // domain) so later deeper-trimmed windows of this stream can derive
+        // from the state just computed.
+        if let Some(&(pos, origin_fp)) = keys.origin_checkpoints.last() {
+            debug_assert_eq!(pos, s.len());
+            cache.put_state(
+                ExtractionKey::from_origin_fingerprint(
+                    origin_fp,
+                    self.params.epsilon,
+                    self.params.segmentation,
+                    self.params.segmentation_error,
+                ),
+                &state,
+            );
+        }
+        state.sets
+    }
+
     /// Probes the extraction cache with prefix-fingerprint checkpoints,
     /// newest first, for a state that can seed a tail-resume.
     fn lookup_prefix_state(
@@ -278,18 +708,114 @@ impl Miner {
         }
         None
     }
+
+    /// Probes the extraction cache with origin-anchored checkpoints, newest
+    /// first, for the state of this series' untrimmed origin and derives the
+    /// window state from it ([`derive_trimmed`]). A checkpoint below the
+    /// full length yields a prefix state which is then resumed over the
+    /// appended tail (the trim-then-append case). Returns `None` on a clean
+    /// miss; a found-but-underivable origin counts a fallback and also
+    /// returns `None` (the caller extracts cold).
+    fn lookup_trimmed_state(
+        &self,
+        cache: &dyn EvolvingCache,
+        series: &miscela_model::TimeSeries,
+        origin_checkpoints: &[(usize, u128)],
+        trim_hits: &AtomicUsize,
+        trim_fallbacks: &AtomicUsize,
+    ) -> Option<ExtractionState> {
+        let n = series.len();
+        for &(p, fingerprint) in origin_checkpoints.iter().rev() {
+            let key = ExtractionKey::from_origin_fingerprint(
+                fingerprint,
+                self.params.epsilon,
+                self.params.segmentation,
+                self.params.segmentation_error,
+            );
+            let Some(origin) = cache.get_state(&key) else {
+                continue;
+            };
+            if origin.len() <= p {
+                // Equal length means identical content to our prefix — the
+                // content-keyed probes already cover that; shorter cannot
+                // seed a derivation.
+                continue;
+            }
+            let dropped = origin.len() - p;
+            let derived = if p == n {
+                derive_trimmed(
+                    series,
+                    self.params.epsilon,
+                    self.params.segmentation,
+                    self.params.segmentation_error,
+                    &origin,
+                    dropped,
+                )
+            } else {
+                let prefix = series.window(0, p);
+                derive_trimmed(
+                    &prefix,
+                    self.params.epsilon,
+                    self.params.segmentation,
+                    self.params.segmentation_error,
+                    &origin,
+                    dropped,
+                )
+                .map(|st| {
+                    extract_resume(
+                        series,
+                        self.params.epsilon,
+                        self.params.segmentation,
+                        self.params.segmentation_error,
+                        &st,
+                    )
+                })
+            };
+            return match derived {
+                Some(state) => {
+                    trim_hits.fetch_add(1, Ordering::Relaxed);
+                    Some(state)
+                }
+                None => {
+                    trim_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            };
+        }
+        None
+    }
+}
+
+/// The fingerprints one rolling pass yields for a series: its full-content
+/// key plus the checkpoints the prefix-resume and trim-derivation probes
+/// use.
+struct SeriesKeys {
+    /// Fingerprint of the full window content.
+    fingerprint: u128,
+    /// Content checkpoints `(window_len, fingerprint)` at each recorded
+    /// pre-append length.
+    checkpoints: Vec<(usize, u128)>,
+    /// Origin-anchored checkpoints `(window_pos, fingerprint)` at each
+    /// pre-append length *and* the full length: each fingerprint covers the
+    /// trimmed-away front plus the window values up to `window_pos`, i.e. a
+    /// prefix of the series' full untrimmed history. These index the salted
+    /// [`ExtractionKey::from_origin_fingerprint`] domain.
+    origin_checkpoints: Vec<(usize, u128)>,
 }
 
 /// One pass over a series' raw values computing the full-content
-/// fingerprint together with the rolling checkpoint at each length in
+/// fingerprint together with the rolling checkpoints at each length in
 /// `bases` (ascending; lengths at or beyond the series length are ignored,
-/// as is the empty prefix).
-fn fingerprint_with_checkpoints(
-    series: &miscela_model::TimeSeries,
-    bases: &[usize],
-) -> (u128, Vec<(usize, u128)>) {
+/// as is the empty prefix). The origin-anchored fingerprinter is seeded
+/// from the series' streamed front digest and advanced in the same pass;
+/// for a never-trimmed series it coincides with the content fingerprinter
+/// and is not run twice.
+fn fingerprint_with_checkpoints(series: &miscela_model::TimeSeries, bases: &[usize]) -> SeriesKeys {
     let mut fp = SeriesFingerprinter::new();
+    let mut origin: Option<SeriesFingerprinter> =
+        (series.dropped_front() > 0).then(|| series.front_digest());
     let mut checkpoints: Vec<(usize, u128)> = Vec::with_capacity(bases.len());
+    let mut origin_checkpoints: Vec<(usize, u128)> = Vec::with_capacity(bases.len() + 1);
     let mut bi = 0usize;
     let mut i = 0usize;
     // Stream the shared storage blocks in place — the rolling pass never
@@ -300,15 +826,35 @@ fn fingerprint_with_checkpoints(
                 while bi < bases.len() && bases[bi] == i {
                     if i > 0 {
                         checkpoints.push((i, fp.checkpoint()));
+                        if let Some(ofp) = &origin {
+                            origin_checkpoints.push((i, ofp.checkpoint()));
+                        }
                     }
                     bi += 1;
                 }
             }
             fp.push(v);
+            if let Some(ofp) = &mut origin {
+                ofp.push(v);
+            }
             i += 1;
         }
     }
-    (fp.checkpoint(), checkpoints)
+    let fingerprint = fp.checkpoint();
+    match origin {
+        Some(ofp) => origin_checkpoints.push((i, ofp.checkpoint())),
+        None => {
+            // Never trimmed: the origin history *is* the window content, so
+            // the content checkpoints double as origin checkpoints.
+            origin_checkpoints = checkpoints.clone();
+            origin_checkpoints.push((i, fingerprint));
+        }
+    }
+    SeriesKeys {
+        fingerprint,
+        checkpoints,
+        origin_checkpoints,
+    }
 }
 
 /// Components at or above this many sensors are split into one work unit
@@ -792,6 +1338,7 @@ mod tests {
                 (true, 12),
             ];
             for &(is_append, k) in &ops {
+                let trimmed_before = ds.trimmed();
                 if is_append {
                     let from = ds.trimmed() + ds.timestamp_count();
                     let rows = append_rows(from, from + k);
@@ -802,6 +1349,22 @@ mod tests {
                     ds.set_retention(RetentionPolicy::unbounded());
                 }
                 let warm = miner.mine_with_cache(&ds, Some(&cache)).unwrap();
+                // The fixture's value ranges recur in every retained
+                // window, so the trim derivation must never fall back to a
+                // cold re-extraction...
+                assert_eq!(
+                    warm.report.extraction_trim_fallbacks, 0,
+                    "append={is_append} k={k} fell back"
+                );
+                // ...and a window whose front was actually dropped must be
+                // served by it (block-granular retention may leave a small
+                // keep-target untrimmed).
+                if ds.trimmed() > trimmed_before {
+                    assert!(
+                        warm.report.extraction_trim_hits > 0,
+                        "trim to {k} derived no extraction from origin states"
+                    );
+                }
                 // Cold twin: the same retained window, re-chunked from
                 // zero with no lineage and no cache.
                 let twin = ds
@@ -816,6 +1379,35 @@ mod tests {
                 // The cache-less path over the shared storage agrees too.
                 assert_eq!(miner.mine(&ds).unwrap().caps, cold.caps);
             }
+
+            // Trim *and* append between two mines: the origin probe lands on
+            // a pre-append checkpoint, derives the prefix state, and resumes
+            // it over the appended tail. Grow the window past a block
+            // boundary first so the trim has a sealed block to drop.
+            let from = ds.trimmed() + ds.timestamp_count();
+            ds.append_rows(&append_rows(from, from + SERIES_BLOCK_LEN))
+                .unwrap();
+            miner.mine_with_cache(&ds, Some(&cache)).unwrap();
+            let trimmed_before = ds.trimmed();
+            ds.set_retention(RetentionPolicy::keep_last(SERIES_BLOCK_LEN / 2));
+            ds.trim_expired();
+            ds.set_retention(RetentionPolicy::unbounded());
+            assert!(
+                ds.trimmed() > trimmed_before,
+                "combined scenario must actually drop a block"
+            );
+            let from = ds.trimmed() + ds.timestamp_count();
+            ds.append_rows(&append_rows(from, from + 25)).unwrap();
+            let warm = miner.mine_with_cache(&ds, Some(&cache)).unwrap();
+            assert_eq!(warm.report.extraction_trim_fallbacks, 0);
+            assert!(
+                warm.report.extraction_trim_hits > 0,
+                "combined trim+append derived no extraction from origin states"
+            );
+            let twin = ds
+                .slice_time(ds.grid().start(), ds.grid().range().end)
+                .unwrap();
+            assert_eq!(warm.caps, miner.mine(&twin).unwrap().caps);
         }
     }
 
@@ -897,6 +1489,174 @@ mod tests {
     }
 
     #[test]
+    fn sweep_matches_independent_mines_and_shares_work() {
+        let ds = clustered_dataset(3, 240);
+        let grid: Vec<MiningParams> = vec![
+            params().with_psi(5),
+            params().with_psi(30),
+            params().with_psi(5).with_eta_km(5.0),
+            params().with_psi(30).with_eta_km(5.0),
+            params().with_psi(5).with_mu(2),
+            params().with_psi(30), // duplicate of an earlier point
+            params().with_psi(5).with_max_delay(2),
+            params().with_psi(30).with_max_delay(2),
+            params()
+                .with_psi(5)
+                .with_segmentation(true)
+                .with_segmentation_error(0.05),
+        ];
+        let out = Miner::mine_sweep(&ds, &grid, None, &CancelToken::never()).unwrap();
+        assert_eq!(out.results.len(), grid.len());
+        // Byte-identity oracle: every grid point against its independent
+        // mine — including points whose search ran at a lower group ψ.
+        for (p, r) in grid.iter().zip(&out.results) {
+            let solo = Miner::new(p.clone()).unwrap().mine(&ds).unwrap();
+            assert_eq!(r.caps, solo.caps, "sweep diverged for {}", p.signature());
+            assert_eq!(
+                r.delayed,
+                solo.delayed,
+                "delayed diverged for {}",
+                p.signature()
+            );
+            assert_eq!(r.report.cap_count, solo.report.cap_count);
+            assert_eq!(r.report.proximity_edges, solo.report.proximity_edges);
+            assert_eq!(r.report.evolving_events, solo.report.evolving_events);
+        }
+        // The planner shared what the grid permits.
+        assert_eq!(out.stats.requested_points, grid.len());
+        assert_eq!(out.stats.unique_points, grid.len() - 1);
+        assert_eq!(out.stats.extraction_classes, 2); // ε shared; one seg class
+        assert_eq!(out.stats.graphs_built, 2); // η ∈ {1.0, 5.0}
+                                               // Groups: base {ψ5,ψ30}, η5 {ψ5,ψ30}, μ2 {ψ5}, delay {ψ5,ψ30},
+                                               // seg {ψ5}.
+        assert_eq!(out.stats.search_groups, 5);
+        // ψ-monotonicity is visible inside one group.
+        assert!(out.results[0].caps.len() >= out.results[1].caps.len());
+    }
+
+    #[test]
+    fn sweep_uses_and_populates_the_extraction_cache() {
+        let ds = clustered_dataset(2, 240);
+        let grid = vec![params().with_psi(5), params().with_psi(30)];
+        let miner = Miner::new(params()).unwrap();
+
+        // A solo mine's cache entries serve the whole sweep class.
+        let cache = StateCache::default();
+        miner.mine_with_cache(&ds, Some(&cache)).unwrap();
+        let out = Miner::mine_sweep(&ds, &grid, Some(&cache), &CancelToken::never()).unwrap();
+        assert_eq!(out.stats.extraction_cache_hits, ds.sensor_count());
+        for (p, r) in grid.iter().zip(&out.results) {
+            assert_eq!(
+                r.caps,
+                Miner::new(p.clone()).unwrap().mine(&ds).unwrap().caps
+            );
+        }
+
+        // A cold sweep leaves the cache warm for a follow-up solo mine; the
+        // clusters' duplicate waveforms already hit within the run.
+        let cache2 = StateCache::default();
+        let out2 = Miner::mine_sweep(&ds, &grid, Some(&cache2), &CancelToken::never()).unwrap();
+        assert_eq!(out2.stats.extraction_cache_hits, 2);
+        let warm = miner.mine_with_cache(&ds, Some(&cache2)).unwrap();
+        assert_eq!(warm.report.extraction_cache_hits, ds.sensor_count());
+    }
+
+    #[test]
+    fn sweep_validates_rejects_and_handles_empty_grids() {
+        let ds = clustered_dataset(1, 240);
+        let out = Miner::mine_sweep(&ds, &[], None, &CancelToken::never()).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats, SweepStats::default());
+        // One invalid point fails the whole job before any work is done.
+        assert!(matches!(
+            Miner::mine_sweep(
+                &ds,
+                &[params(), params().with_psi(0)],
+                None,
+                &CancelToken::never()
+            ),
+            Err(MiningError::InvalidParameter { .. })
+        ));
+        // Tiny datasets are rejected like in the solo path.
+        let mut b = DatasetBuilder::new("tiny");
+        b.set_grid(TimeGrid::new(Timestamp::EPOCH, ModelDuration::hours(1), 1).unwrap());
+        b.add_sensor("s", "temperature", GeoPoint::new_unchecked(0.0, 0.0))
+            .unwrap();
+        let tiny = b.build().unwrap();
+        assert!(matches!(
+            Miner::mine_sweep(&tiny, &[params()], None, &CancelToken::never()),
+            Err(MiningError::DatasetTooSmall(1))
+        ));
+        // A pre-cancelled token aborts before any unit runs.
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            Miner::mine_sweep(&ds, &[params()], None, &token).unwrap_err(),
+            MiningError::Cancelled
+        );
+    }
+
+    #[test]
+    fn sweep_cancelled_mid_extraction_leaves_cache_consistent() {
+        use crate::evolving::EvolvingCache;
+
+        // Fires the cancel token from inside the N-th extraction-state put,
+        // mirroring the solo-mine cancellation test: the sweep aborts at the
+        // next unit boundary with the cache only partially populated.
+        struct CancellingCache {
+            inner: StateCache,
+            token: CancelToken,
+            cancel_after: usize,
+            puts: AtomicUsize,
+        }
+        impl EvolvingCache for CancellingCache {
+            fn get(&self, key: &ExtractionKey) -> Option<EvolvingSets> {
+                self.inner.get(key)
+            }
+            fn put(&self, key: ExtractionKey, sets: &EvolvingSets) {
+                self.inner.put(key, sets)
+            }
+            fn get_state(&self, key: &ExtractionKey) -> Option<std::sync::Arc<ExtractionState>> {
+                self.inner.get_state(key)
+            }
+            fn put_state(&self, key: ExtractionKey, state: &ExtractionState) {
+                if self.puts.fetch_add(1, Ordering::Relaxed) + 1 == self.cancel_after {
+                    self.token.cancel();
+                }
+                self.inner.put_state(key, state);
+            }
+        }
+
+        let ds = clustered_dataset(2, 240);
+        let grid = vec![
+            params().with_psi(5),
+            params().with_psi(30),
+            params().with_psi(5).with_epsilon(0.25),
+        ];
+        let token = CancelToken::new();
+        let cache = CancellingCache {
+            inner: StateCache::default(),
+            token: token.clone(),
+            cancel_after: 7, // inside the second extraction class
+            puts: AtomicUsize::new(0),
+        };
+        assert_eq!(
+            Miner::mine_sweep(&ds, &grid, Some(&cache), &token).unwrap_err(),
+            MiningError::Cancelled
+        );
+        // The abort left content-keyed states behind; the identical retry
+        // over the same cache must match independent mines exactly.
+        assert!(cache.inner.0.lock().unwrap().len() >= 2);
+        let retry = Miner::mine_sweep(&ds, &grid, Some(&cache), &CancelToken::never()).unwrap();
+        for (p, r) in grid.iter().zip(&retry.results) {
+            assert_eq!(
+                r.caps,
+                Miner::new(p.clone()).unwrap().mine(&ds).unwrap().caps
+            );
+        }
+    }
+
+    #[test]
     fn psi_and_eta_monotonicity_end_to_end() {
         let ds = clustered_dataset(2, 240);
         let count = |p: MiningParams| Miner::new(p).unwrap().mine(&ds).unwrap().caps.len();
@@ -904,5 +1664,68 @@ mod tests {
         assert!(count(params().with_psi(5)) >= count(params().with_psi(30)));
         // Larger eta => at least as many CAPs.
         assert!(count(params().with_eta_km(5.0)) >= count(params().with_eta_km(0.05)));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        /// `mine_sweep` over random grids — duplicated, unsorted points
+        /// mixing every parameter axis — matches per-point independent
+        /// mines exactly, both cold and again warm over the cache the cold
+        /// sweep populated.
+        #[test]
+        fn sweep_equivalence_on_random_grids(
+            specs in proptest::collection::vec(
+                (0usize..4, 0usize..3, 0usize..2, 0usize..2, 0usize..2),
+                1..7,
+            ),
+        ) {
+            let psis = [3usize, 8, 20, 45];
+            let etas = [0.05f64, 1.0, 5.0];
+            let ds = clustered_dataset(2, 120);
+            let grid: Vec<MiningParams> = specs
+                .iter()
+                .map(|&(pi, ei, mi, si, di)| {
+                    let p = params()
+                        .with_psi(psis[pi])
+                        .with_eta_km(etas[ei])
+                        .with_mu([2, 3][mi])
+                        .with_max_delay([0, 2][di]);
+                    if si == 1 {
+                        p.with_segmentation(true).with_segmentation_error(0.05)
+                    } else {
+                        p
+                    }
+                })
+                .collect();
+            let solos: Vec<MiningResult> = grid
+                .iter()
+                .map(|p| Miner::new(p.clone()).unwrap().mine(&ds).unwrap())
+                .collect();
+            let cache = StateCache::default();
+            for pass in 0..2 {
+                let out =
+                    Miner::mine_sweep(&ds, &grid, Some(&cache), &CancelToken::never()).unwrap();
+                assert_eq!(out.results.len(), grid.len());
+                for ((p, solo), r) in grid.iter().zip(&solos).zip(&out.results) {
+                    assert_eq!(
+                        r.caps,
+                        solo.caps,
+                        "pass {pass} diverged for {}",
+                        p.signature()
+                    );
+                    assert_eq!(r.delayed, solo.delayed);
+                }
+                if pass == 1 {
+                    // The cold pass left one content entry per class ×
+                    // series; the warm pass must be served entirely from
+                    // them.
+                    assert_eq!(
+                        out.stats.extraction_cache_hits,
+                        out.stats.extraction_classes * ds.sensor_count()
+                    );
+                }
+            }
+        }
     }
 }

@@ -40,7 +40,7 @@
 //! (`reference`) as the equivalence oracle; property tests assert both
 //! produce identical [`Cap`] sets.
 
-use crate::bitset::Bitset;
+use crate::bitset::{Bitset, BitsetRef};
 use crate::cancel::{CancelToken, CANCEL_CHECK_STRIDE};
 use crate::error::MiningError;
 use crate::evolving::{Direction, EvolvingSets};
@@ -92,18 +92,18 @@ impl BitsetArena {
     }
 
     /// Pushes a copy of `src` into the next recycled slot.
-    fn push_copy(&mut self, src: &Bitset) {
+    fn push_copy(&mut self, src: BitsetRef<'_>) {
         if self.len < self.slots.len() {
             self.slots[self.len].assign_from(src);
         } else {
-            self.slots.push(src.clone());
+            self.slots.push(src.to_bitset());
         }
         self.len += 1;
     }
 
     /// Pushes `slots[src_slot] & other` into the next recycled slot and
     /// returns the popcount of the result, computed in the same pass.
-    fn push_and_counted(&mut self, src_slot: usize, other: &Bitset) -> usize {
+    fn push_and_counted(&mut self, src_slot: usize, other: BitsetRef<'_>) -> usize {
         debug_assert!(src_slot < self.len);
         if self.len >= self.slots.len() {
             self.slots.push(Bitset::default());
@@ -531,7 +531,7 @@ pub(crate) mod reference {
             let seed_candidates: Vec<Candidate> = Direction::BOTH
                 .iter()
                 .filter_map(|&dir| {
-                    let bits = ctx.evolving[seed.index()].for_direction(dir).clone();
+                    let bits = ctx.evolving[seed.index()].for_direction(dir).to_bitset();
                     (bits.count() >= ctx.params.psi).then_some(Candidate {
                         directions: vec![dir],
                         bits,
@@ -595,10 +595,10 @@ pub(crate) mod reference {
             let mut new_candidates = Vec::new();
             for cand in candidates {
                 for &dir in &Direction::BOTH {
-                    let w_bits = ctx.evolving[w.index()].for_direction(dir);
-                    if cand.bits.and_count(w_bits) >= ctx.params.psi {
+                    let w_bits = ctx.evolving[w.index()].for_direction(dir).to_bitset();
+                    if cand.bits.and_count(&w_bits) >= ctx.params.psi {
                         let mut bits = cand.bits.clone();
-                        bits.and_assign(w_bits);
+                        bits.and_assign(&w_bits);
                         let mut directions = cand.directions.clone();
                         directions.push(dir);
                         new_candidates.push(Candidate { directions, bits });

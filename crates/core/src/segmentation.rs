@@ -76,12 +76,24 @@ impl Segment {
 }
 
 /// Result of segmenting one series.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Segmentation {
     /// The segments, in order, covering every present index range.
     pub segments: Vec<Segment>,
     /// Length of the original series.
     pub len: usize,
+    /// Absolute deviation tolerance the segments were fitted against
+    /// (`error_fraction` × value range). Stored so a front-trimmed window can
+    /// prove its tolerance unchanged before splicing origin segments
+    /// ([`segment_series_trimmed`]); excluded from equality because it is
+    /// derived from the same inputs as the segments.
+    pub tolerance: f64,
+}
+
+impl PartialEq for Segmentation {
+    fn eq(&self, other: &Self) -> bool {
+        self.segments == other.segments && self.len == other.len
+    }
 }
 
 impl Segmentation {
@@ -128,6 +140,7 @@ pub fn segment_series(series: &TimeSeries, error_fraction: f64) -> Segmentation 
         return Segmentation {
             segments: Vec::new(),
             len: 0,
+            tolerance: 0.0,
         };
     }
     // One pass over the storage chunks: value range (interpolation never
@@ -150,6 +163,7 @@ pub fn segment_series(series: &TimeSeries, error_fraction: f64) -> Segmentation 
         return Segmentation {
             segments: Vec::new(),
             len: n,
+            tolerance: 0.0,
         };
     }
     // The cone loop wants one contiguous slice: fully-present single-chunk
@@ -173,11 +187,19 @@ pub fn segment_series(series: &TimeSeries, error_fraction: f64) -> Segmentation 
             start_value: values[0],
             end_value: values[0],
         });
-        return Segmentation { segments, len: n };
+        return Segmentation {
+            segments,
+            len: n,
+            tolerance,
+        };
     }
     segment_values(values, tolerance, 0, 0, &mut segments);
 
-    Segmentation { segments, len: n }
+    Segmentation {
+        segments,
+        len: n,
+        tolerance,
+    }
 }
 
 /// Runs the greedy feasible-slope-cone loop over `values[from..]`, pushing
@@ -196,52 +218,62 @@ fn segment_values(
     let n = values.len();
     let mut start = from;
     while start < n - 1 {
-        let v0 = values[start];
-        // A two-point segment fits its endpoints exactly, so the first
-        // candidate end is always accepted; from there the feasible slope
-        // cone over the interior points decides each one-point extension in
-        // O(1) amortized. The cone bounds are kept as fractions
-        // (`num / den`, all denominators positive) and every comparison is
-        // cross-multiplied, so the hot loop performs no division at all —
-        // on noisy series the segments are short and per-point `divsd`
-        // latency would otherwise dominate the whole front end.
-        let mut end = start + 1;
-        let mut lo_num = f64::NEG_INFINITY;
-        let mut lo_den = 1.0f64;
-        let mut hi_num = f64::INFINITY;
-        let mut hi_den = 1.0f64;
-        while end + 1 < n {
-            // `end` becomes an interior point of the extended candidate:
-            // tighten the cone with its slope interval
-            // `[(v - tol - v0)/d, (v + tol - v0)/d]`.
-            let d = (end - start) as f64;
-            let lo_cand = values[end] - tolerance - v0;
-            if lo_cand * lo_den > lo_num * d {
-                lo_num = lo_cand;
-                lo_den = d;
-            }
-            let hi_cand = values[end] + tolerance - v0;
-            if hi_cand * hi_den < hi_num * d {
-                hi_num = hi_cand;
-                hi_den = d;
-            }
-            // Candidate slope `(values[end + 1] - v0) / (d + 1)` must lie
-            // inside the cone.
-            let m_num = values[end + 1] - v0;
-            let m_den = d + 1.0;
-            if m_num * lo_den < lo_num * m_den || m_num * hi_den > hi_num * m_den {
-                break;
-            }
-            end += 1;
-        }
+        let end = greedy_end(values, tolerance, start);
         segments.push(Segment {
             start: base + start,
             end: base + end,
-            start_value: v0,
+            start_value: values[start],
             end_value: values[end],
         });
         start = end;
     }
+}
+
+/// Runs one feasible-slope-cone extension from `start` and returns the
+/// greedy segment end. Factored out of [`segment_values`] so the
+/// front-trim derivation ([`segment_series_trimmed`]) executes the exact
+/// same float operations per produced segment as a cold run.
+fn greedy_end(values: &[f64], tolerance: f64, start: usize) -> usize {
+    let n = values.len();
+    let v0 = values[start];
+    // A two-point segment fits its endpoints exactly, so the first
+    // candidate end is always accepted; from there the feasible slope
+    // cone over the interior points decides each one-point extension in
+    // O(1) amortized. The cone bounds are kept as fractions
+    // (`num / den`, all denominators positive) and every comparison is
+    // cross-multiplied, so the hot loop performs no division at all —
+    // on noisy series the segments are short and per-point `divsd`
+    // latency would otherwise dominate the whole front end.
+    let mut end = start + 1;
+    let mut lo_num = f64::NEG_INFINITY;
+    let mut lo_den = 1.0f64;
+    let mut hi_num = f64::INFINITY;
+    let mut hi_den = 1.0f64;
+    while end + 1 < n {
+        // `end` becomes an interior point of the extended candidate:
+        // tighten the cone with its slope interval
+        // `[(v - tol - v0)/d, (v + tol - v0)/d]`.
+        let d = (end - start) as f64;
+        let lo_cand = values[end] - tolerance - v0;
+        if lo_cand * lo_den > lo_num * d {
+            lo_num = lo_cand;
+            lo_den = d;
+        }
+        let hi_cand = values[end] + tolerance - v0;
+        if hi_cand * hi_den < hi_num * d {
+            hi_num = hi_cand;
+            hi_den = d;
+        }
+        // Candidate slope `(values[end + 1] - v0) / (d + 1)` must lie
+        // inside the cone.
+        let m_num = values[end + 1] - v0;
+        let m_den = d + 1.0;
+        if m_num * lo_den < lo_num * m_den || m_num * hi_den > hi_num * m_den {
+            break;
+        }
+        end += 1;
+    }
+    end
 }
 
 /// Tail-resume segmentation for an appended series: re-segments only from
@@ -341,7 +373,139 @@ pub fn segment_series_tail(
     let tolerance = error_fraction.max(0.0) * (pmax - pmin).max(1e-12);
     let mut segments = prev.segments[..prev.segments.len() - 1].to_vec();
     segment_values(values, tolerance, wstart, resume - wstart, &mut segments);
-    (Segmentation { segments, len: n }, resume)
+    (
+        Segmentation {
+            segments,
+            len: n,
+            tolerance,
+        },
+        resume,
+    )
+}
+
+/// Derives the segmentation of a front-trimmed window from the segmentation
+/// of its untrimmed origin, reusing origin segments instead of re-running
+/// the cone loop over the whole window.
+///
+/// `prev` must be the segmentation of the origin window (length
+/// `series.len() + dropped`, same `error_fraction`) whose first `dropped`
+/// values were removed to produce `series`; the surviving values are
+/// unchanged. Returns the new segmentation — byte-identical to a cold
+/// [`segment_series`] run on `series` — together with `resync`, the first
+/// trimmed-window index from which every remaining segment was spliced from
+/// `prev` (rebased by `-dropped`). Smoothed reconstructions agree with the
+/// origin's (shifted) from `resync` on, so an evolving-set derivation only
+/// needs to rescan timestamps `<= resync`. `resync == series.len()` means no
+/// splice happened and everything was recomputed (still byte-identical).
+///
+/// Returns `None` when reuse cannot be proven byte-identical — when the trim
+/// changed the value range (and with it the tolerance every origin segment
+/// was fitted against) or `prev` does not match the expected origin length.
+///
+/// Splice soundness: the greedy cone segmenter is memoryless — the segment
+/// produced from index `i` depends only on `values[i..]` and the tolerance.
+/// Interior interpolation anchors are pairs of present values, so
+/// trimmed-window values at indices at or past the first present index equal
+/// the origin's values shifted by `dropped` (only the leading gap, which
+/// loses its left anchor, interpolates differently). Once the greedy run
+/// reaches such an index whose origin image is an origin segment start, a
+/// cold run would reproduce the origin's remaining segments verbatim, so
+/// they are spliced without re-deriving them.
+pub fn segment_series_trimmed(
+    series: &TimeSeries,
+    error_fraction: f64,
+    prev: &Segmentation,
+    dropped: usize,
+) -> Option<(Segmentation, usize)> {
+    let n = series.len();
+    if prev.len != n + dropped {
+        return None;
+    }
+    if n < 2 {
+        // Degenerate windows are as cheap cold as derived.
+        return Some((segment_series(series, error_fraction), n));
+    }
+    // Range, missingness and first present index of the trimmed window, one
+    // chunk pass as in the cold path.
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut missing = 0usize;
+    let mut first_present = n;
+    let mut idx = 0usize;
+    for chunk in series.chunks() {
+        for &v in chunk {
+            if v.is_nan() {
+                missing += 1;
+            } else {
+                if first_present == n {
+                    first_present = idx;
+                }
+                min = min.min(v);
+                max = max.max(v);
+            }
+            idx += 1;
+        }
+    }
+    if missing == n {
+        return Some((segment_series(series, error_fraction), n));
+    }
+    let tolerance = error_fraction.max(0.0) * (max - min).max(1e-12);
+    if tolerance.to_bits() != prev.tolerance.to_bits() {
+        // The trim changed the value range: every origin segment was fitted
+        // against a different tolerance and none can be reused.
+        return None;
+    }
+    let storage: std::borrow::Cow<'_, [f64]> = if missing == 0 {
+        series.contiguous()
+    } else {
+        let mut filled = series.copy_values();
+        miscela_model::interpolate_in_place(&mut filled);
+        std::borrow::Cow::Owned(filled)
+    };
+    let values: &[f64] = &storage;
+
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut start = 0usize;
+    let mut resync = n;
+    while start < n - 1 {
+        // Resync test at the segment start: past the first present index the
+        // window's (interpolated) values equal the origin's shifted by
+        // `dropped`, so hitting an origin segment start means the rest of a
+        // cold run is the origin's tail verbatim.
+        if start >= first_present {
+            if let Ok(pos) = prev
+                .segments
+                .binary_search_by(|s| s.start.cmp(&(start + dropped)))
+            {
+                for s in &prev.segments[pos..] {
+                    segments.push(Segment {
+                        start: s.start - dropped,
+                        end: s.end - dropped,
+                        start_value: s.start_value,
+                        end_value: s.end_value,
+                    });
+                }
+                resync = start;
+                break;
+            }
+        }
+        let end = greedy_end(values, tolerance, start);
+        segments.push(Segment {
+            start,
+            end,
+            start_value: values[start],
+            end_value: values[end],
+        });
+        start = end;
+    }
+    Some((
+        Segmentation {
+            segments,
+            len: n,
+            tolerance,
+        },
+        resync,
+    ))
 }
 
 /// Convenience helper: smooths a series by segmentation and reconstruction.
@@ -389,6 +553,7 @@ pub(crate) mod reference {
             return Segmentation {
                 segments: Vec::new(),
                 len: 0,
+                tolerance: 0.0,
             };
         }
         let filled = series.interpolate_missing();
@@ -396,6 +561,7 @@ pub(crate) mod reference {
             return Segmentation {
                 segments: Vec::new(),
                 len: n,
+                tolerance: 0.0,
             };
         }
         let values: Vec<f64> = (0..n).map(|i| filled.get(i).unwrap_or(0.0)).collect();
@@ -436,7 +602,11 @@ pub(crate) mod reference {
             end = start + 1;
         }
 
-        Segmentation { segments, len: n }
+        Segmentation {
+            segments,
+            len: n,
+            tolerance,
+        }
     }
 }
 
@@ -759,6 +929,7 @@ mod tests {
         let bogus = Segmentation {
             segments: Vec::new(),
             len: 7,
+            tolerance: 0.0,
         };
         let (seg, changed_from) = segment_series_tail(&series, 0.05, &bogus, 50);
         assert_eq!(seg, cold);
@@ -767,6 +938,81 @@ mod tests {
         let (seg, changed_from) = segment_series_tail(&series, 0.05, &cold, 100);
         assert_eq!(seg, cold);
         assert_eq!(changed_from, 100);
+    }
+
+    /// Sawtooth plus a small deterministic residue. Both components repeat
+    /// exactly (periods 12 and 13), so every suffix of at least 156 points
+    /// attains the same value range bit-for-bit — the precondition for
+    /// front-trim segment reuse.
+    fn periodic_values(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i % 12) as f64) * 2.0 + ((i.wrapping_mul(2654435761)) % 13) as f64 * 0.01)
+            .collect()
+    }
+
+    #[test]
+    fn trimmed_derivation_matches_cold() {
+        let n = 400;
+        let mut vals = periodic_values(n);
+        // Interior gaps exercise the interpolation-equivalence argument.
+        for i in [30usize, 31, 77, 140, 141, 142, 320] {
+            vals[i] = f64::NAN;
+        }
+        let series = TimeSeries::from_values(vals.clone());
+        for error_fraction in [0.01, 0.05, 0.2] {
+            let origin = segment_series(&series, error_fraction);
+            for d in [0usize, 1, 5, 64, 128] {
+                let trimmed = TimeSeries::from_values(vals[d..].to_vec());
+                let cold = segment_series(&trimmed, error_fraction);
+                let (derived, resync) =
+                    segment_series_trimmed(&trimmed, error_fraction, &origin, d)
+                        .unwrap_or_else(|| panic!("fell back for d={d} ef={error_fraction}"));
+                assert_eq!(derived, cold);
+                assert_eq!(derived.tolerance.to_bits(), cold.tolerance.to_bits());
+                assert!(resync <= trimmed.len());
+                if d == 0 {
+                    // No trim: the whole origin splices back immediately.
+                    assert_eq!(resync, 0);
+                    assert_eq!(derived, origin);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trimmed_derivation_survives_a_trimmed_leading_gap() {
+        // The trim lands inside a gap: the new window starts with missing
+        // values whose interpolation loses its left anchor. The derivation
+        // must still match cold (the resync test refuses indices below the
+        // first present one).
+        let n = 380;
+        let mut vals = periodic_values(n);
+        for v in vals.iter_mut().take(70).skip(60) {
+            *v = f64::NAN;
+        }
+        let series = TimeSeries::from_values(vals.clone());
+        let origin = segment_series(&series, 0.05);
+        for d in [61usize, 65, 69] {
+            let trimmed = TimeSeries::from_values(vals[d..].to_vec());
+            let cold = segment_series(&trimmed, 0.05);
+            let (derived, _) = segment_series_trimmed(&trimmed, 0.05, &origin, d)
+                .unwrap_or_else(|| panic!("fell back for d={d}"));
+            assert_eq!(derived, cold);
+        }
+    }
+
+    #[test]
+    fn trimmed_derivation_falls_back_when_range_changes() {
+        // The global max lives only in the dropped prefix, so the trimmed
+        // window's tolerance differs and no origin segment can be reused.
+        let mut vals: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        vals[3] = 50.0;
+        let series = TimeSeries::from_values(vals.clone());
+        let origin = segment_series(&series, 0.05);
+        let trimmed = TimeSeries::from_values(vals[10..].to_vec());
+        assert!(segment_series_trimmed(&trimmed, 0.05, &origin, 10).is_none());
+        // A prev whose recorded length disagrees with the trim also bails.
+        assert!(segment_series_trimmed(&trimmed, 0.05, &origin, 9).is_none());
     }
 
     mod tail_resume_proptest {

@@ -1,0 +1,117 @@
+//! Rolling content fingerprints over raw series values.
+//!
+//! [`SeriesFingerprinter`] is a two-stream FNV-1a accumulator: values are
+//! streamed left to right and [`SeriesFingerprinter::checkpoint`] yields the
+//! fingerprint of everything pushed so far. The mining layer keys its
+//! extraction cache on these fingerprints; the model layer uses the same
+//! accumulator to keep a *front digest* on every [`crate::TimeSeries`] — the
+//! fingerprint state of the values dropped by sliding-window trims — so a
+//! trimmed window can still be keyed against its untrimmed origin stream
+//! (resume the front digest over the retained values and the checkpoint is
+//! the origin-stream fingerprint, as if no trim had happened).
+
+const FNV_OFFSET_1: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET_2: u64 = 0x9e37_79b9_7f4a_7c15;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Rolling two-stream FNV-1a fingerprinter over raw series values.
+///
+/// Values are streamed left to right and [`checkpoint`](Self::checkpoint)
+/// yields the fingerprint of everything pushed so far (the stream state is
+/// finalized with the current length, so prefixes of different lengths
+/// never collide trivially). This is the prefix-fingerprint scheme of the
+/// append-aware extraction cache: while fingerprinting an appended series,
+/// the miner takes checkpoints at each recorded pre-append length and
+/// probes the cache for a reusable prefix extraction — one pass over the
+/// values serves every candidate prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesFingerprinter {
+    h1: u64,
+    h2: u64,
+    len: usize,
+}
+
+impl SeriesFingerprinter {
+    /// A fingerprinter over the empty prefix.
+    pub fn new() -> Self {
+        SeriesFingerprinter {
+            h1: FNV_OFFSET_1,
+            h2: FNV_OFFSET_2,
+            len: 0,
+        }
+    }
+
+    /// Streams one raw value (`NaN` missing markers included, so presence
+    /// patterns are part of the fingerprint).
+    #[inline]
+    pub fn push(&mut self, raw: f64) {
+        let bits = raw.to_bits();
+        self.h1 ^= bits;
+        self.h1 = self.h1.wrapping_mul(FNV_PRIME);
+        self.h2 ^= bits.rotate_left(29);
+        self.h2 = self.h2.wrapping_mul(FNV_PRIME);
+        self.len += 1;
+    }
+
+    /// Number of values streamed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no values have been streamed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fingerprint of everything pushed so far. Two independent FNV-1a
+    /// streams — the second with a different offset basis and bit-rotated
+    /// input — are finalized with the current length and packed into one
+    /// `u128`. A single 64-bit FNV collision is constructible; colliding
+    /// both streams simultaneously is not practically so, which is what
+    /// lets the extraction cache trust a key hit and skip steps (1)+(2).
+    pub fn checkpoint(&self) -> u128 {
+        let h1 = (self.h1 ^ self.len as u64).wrapping_mul(FNV_PRIME);
+        let h2 = (self.h2 ^ (self.len as u64).rotate_left(32)).wrapping_mul(FNV_PRIME);
+        ((h1 as u128) << 64) | h2 as u128
+    }
+}
+
+impl Default for SeriesFingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoints_depend_on_values_and_length() {
+        let mut a = SeriesFingerprinter::new();
+        assert!(a.is_empty());
+        let empty = a.checkpoint();
+        a.push(1.0);
+        assert_eq!(a.len(), 1);
+        assert_ne!(a.checkpoint(), empty);
+        let one = a.checkpoint();
+        a.push(1.0);
+        // Same value again: length finalization still separates prefixes.
+        assert_ne!(a.checkpoint(), one);
+        // Streaming the same values reproduces the same checkpoint.
+        let mut b = SeriesFingerprinter::new();
+        b.push(1.0);
+        b.push(1.0);
+        assert_eq!(a.checkpoint(), b.checkpoint());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nan_is_part_of_the_stream() {
+        let mut a = SeriesFingerprinter::new();
+        a.push(f64::NAN);
+        let mut b = SeriesFingerprinter::new();
+        b.push(0.0);
+        assert_ne!(a.checkpoint(), b.checkpoint());
+    }
+}

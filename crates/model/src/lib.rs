@@ -61,6 +61,7 @@
 pub mod attribute;
 pub mod dataset;
 pub mod error;
+pub mod fingerprint;
 pub mod geo;
 pub mod retention;
 pub mod sensor;
@@ -74,6 +75,7 @@ pub use dataset::{
     MAX_APPEND_TIMESTAMPS,
 };
 pub use error::ModelError;
+pub use fingerprint::SeriesFingerprinter;
 pub use geo::{BoundingBox, GeoPoint};
 pub use retention::RetentionPolicy;
 pub use sensor::{Sensor, SensorId, SensorIndex};

@@ -38,6 +38,7 @@
 //! ([`TimeSeries::drop_front_blocks`]); freeing a block is one `Arc` drop,
 //! so trimming is O(blocks dropped) and never rewrites retained data.
 
+use crate::fingerprint::SeriesFingerprinter;
 use std::borrow::Cow;
 use std::fmt;
 use std::sync::Arc;
@@ -55,6 +56,13 @@ pub struct TimeSeries {
     blocks: Vec<Arc<Vec<f64>>>,
     /// The mutable tail: fewer than [`SERIES_BLOCK_LEN`] values.
     tail: Vec<f64>, // NaN encodes "missing"
+    /// Rolling fingerprint of every value dropped from the front by
+    /// sliding-window trims, in drop order. Resuming this digest over the
+    /// retained values yields the fingerprint of the untrimmed *origin
+    /// stream*, which is how a trimmed window stays addressable in
+    /// content-keyed caches. Freshly built series (including windows and
+    /// slices) start with an empty digest; equality ignores it.
+    front: SeriesFingerprinter,
 }
 
 impl fmt::Debug for TimeSeries {
@@ -141,7 +149,11 @@ impl TimeSeries {
             .chunks(SERIES_BLOCK_LEN)
             .map(|c| Arc::new(c.to_vec()))
             .collect();
-        TimeSeries { blocks, tail }
+        TimeSeries {
+            blocks,
+            tail,
+            front: SeriesFingerprinter::new(),
+        }
     }
 
     /// Builds a series from optional values.
@@ -194,7 +206,28 @@ impl TimeSeries {
             "cannot drop {count} of {} blocks",
             self.blocks.len()
         );
+        for block in &self.blocks[..count] {
+            for &v in block.iter() {
+                self.front.push(v);
+            }
+        }
         self.blocks.drain(..count);
+    }
+
+    /// Number of values dropped from the front of this series by
+    /// [`TimeSeries::drop_front_blocks`] since it was built. Zero for a
+    /// freshly constructed series (windows and slices reset lineage).
+    pub fn dropped_front(&self) -> usize {
+        self.front.len()
+    }
+
+    /// A clone of the front digest: the rolling fingerprint state of the
+    /// [`TimeSeries::dropped_front`] values trimmed from this series.
+    /// Resume it over the retained values (left to right) and its
+    /// checkpoints are origin-stream fingerprints — the fingerprint the
+    /// same extent would have had before any trim.
+    pub fn front_digest(&self) -> SeriesFingerprinter {
+        self.front.clone()
     }
 
     /// The storage chunks in order: every sealed block, then the tail (if
@@ -624,6 +657,37 @@ mod tests {
         s.drop_front_blocks(1);
         assert_eq!(s.len(), 40);
         assert_eq!(s.block_count(), 0);
+    }
+
+    #[test]
+    fn drop_front_blocks_streams_the_front_digest() {
+        let full = long_series();
+        let mut s = full.clone();
+        assert_eq!(s.dropped_front(), 0);
+        s.drop_front_blocks(1);
+        assert_eq!(s.dropped_front(), SERIES_BLOCK_LEN);
+        s.drop_front_blocks(1);
+        assert_eq!(s.dropped_front(), 2 * SERIES_BLOCK_LEN);
+        // Resuming the digest over the retained values reproduces the
+        // origin-stream fingerprint: the trim is invisible to checkpoints.
+        let mut resumed = s.front_digest();
+        for chunk in s.chunks() {
+            for &v in chunk {
+                resumed.push(v);
+            }
+        }
+        let mut origin = SeriesFingerprinter::new();
+        for chunk in full.chunks() {
+            for &v in chunk {
+                origin.push(v);
+            }
+        }
+        assert_eq!(resumed.checkpoint(), origin.checkpoint());
+        // Fresh constructions (windows included) reset lineage.
+        assert_eq!(s.window(0, 10).dropped_front(), 0);
+        assert_eq!(TimeSeries::from_values(s.copy_values()).dropped_front(), 0);
+        // Equality ignores the digest.
+        assert_eq!(s, TimeSeries::from_values(s.copy_values()));
     }
 
     #[test]

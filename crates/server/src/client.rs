@@ -713,6 +713,23 @@ impl<T: Transport> ResilientClient<T> {
         Ok(response.body)
     }
 
+    /// Batch-mines a whole parameter grid in one keyed request. `points`
+    /// is an array of parameter objects (the same shape as a `mine` body);
+    /// a retry after a lost response replays the original sweep body
+    /// (flagged `"replayed": true`) instead of re-mining. Returns the
+    /// response body.
+    pub fn mine_sweep(&mut self, name: &str, points: Json) -> Result<Json, ClientError> {
+        let key = self.next_key("sweep");
+        let mut body = Json::object();
+        body.set("points", points);
+        body.set("idempotency_key", Json::from(key.as_str()));
+        let response = self.request_success(&ApiRequest::post(
+            format!("/datasets/{name}/mine/sweep"),
+            body,
+        ))?;
+        Ok(response.body)
+    }
+
     /// Installs a retention policy with a keyed, exactly-once request.
     /// Returns the response body.
     pub fn set_retention(&mut self, name: &str, mut policy: Json) -> Result<Json, ClientError> {

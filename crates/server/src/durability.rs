@@ -53,7 +53,7 @@ pub fn snapshot_data(
             Json::Array(
                 replay
                     .iter()
-                    .map(|(key, outcome)| replay_entry_json(key, outcome))
+                    .filter_map(|(key, outcome)| replay_entry_json(key, outcome))
                     .collect(),
             ),
         );
@@ -417,7 +417,12 @@ pub fn parse_op(record: &Json) -> Result<WalOp, ApiError> {
 }
 
 /// Serializes one idempotency-key cache entry for a snapshot.
-pub fn replay_entry_json(key: &str, outcome: &ReplayOutcome) -> Json {
+///
+/// Returns `None` for outcomes that are deliberately **not** persisted:
+/// [`ReplayOutcome::Sweep`] bodies can be large and are pure derived data,
+/// so a retried sweep after a restart re-mines instead of replaying (safe —
+/// sweeps mutate nothing).
+pub fn replay_entry_json(key: &str, outcome: &ReplayOutcome) -> Option<Json> {
     let mut doc = Json::object();
     doc.set("key", Json::from(key));
     match outcome {
@@ -472,8 +477,9 @@ pub fn replay_entry_json(key: &str, outcome: &ReplayOutcome) -> Json {
         ReplayOutcome::Delete => {
             doc.set("kind", Json::from("delete"));
         }
+        ReplayOutcome::Sweep { .. } => return None,
     }
-    doc
+    Some(doc)
 }
 
 /// Decodes one idempotency-key cache entry from a snapshot.
@@ -668,6 +674,43 @@ mod tests {
         let s2 = ds.index_of_id(&SensorId::new("s2")).unwrap();
         assert_eq!(ds.series(s2).get(0), Some(0.1 + 0.2));
         assert_eq!(ds.series(s2).get(3), Some(-1.5e-300));
+    }
+
+    #[test]
+    fn sweep_replay_entries_are_not_persisted() {
+        // Sweep replay bodies are deliberately memory-only: the snapshot
+        // codec drops them, so a restart re-mines instead of replaying.
+        assert_eq!(
+            replay_entry_json(
+                "c1-sweep-0",
+                &ReplayOutcome::Sweep {
+                    body: "{\"results\":[]}".to_string(),
+                },
+            ),
+            None
+        );
+        let replay = vec![
+            ("c1-upload".to_string(), ReplayOutcome::UploadBegin),
+            (
+                "c1-sweep-0".to_string(),
+                ReplayOutcome::Sweep {
+                    body: "{\"results\":[]}".to_string(),
+                },
+            ),
+            ("c1-delete-0".to_string(), ReplayOutcome::Delete),
+        ];
+        let data = snapshot_data(&awkward_dataset(), 1, 0, &replay);
+        let data = Json::parse(&data.to_string_compact()).unwrap();
+        let restored = restore_dataset(&data).unwrap();
+        // Only the durable entries survive, in order.
+        assert_eq!(
+            restored
+                .replay
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect::<Vec<_>>(),
+            vec!["c1-upload", "c1-delete-0"]
+        );
     }
 
     #[test]

@@ -76,5 +76,6 @@ pub use message::{ApiError, ApiRequest, ApiResponse, Method, StatusCode};
 pub use router::Router;
 pub use service::{
     AppendSession, AppendStatus, AppendSummary, BeginAppendOutcome, ChunkAck, DatasetSummary,
-    MineOutcome, MiscelaService, ProtocolStats, ReplayOutcome, UploadSession,
+    MineOutcome, MiscelaService, ProtocolStats, ReplayOutcome, SweepOutcome, SweepServed,
+    UploadSession,
 };

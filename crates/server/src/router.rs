@@ -18,6 +18,7 @@
 //! | GET    | `/datasets/{name}/retention` | current retention policy and window position |
 //! | POST   | `/datasets/{name}/retention` | install a sliding-window retention policy |
 //! | POST   | `/datasets/{name}/mine` | run CAP mining with the parameters in the body (revision-aware) |
+//! | POST   | `/datasets/{name}/mine/sweep` | batch-mine a whole parameter grid (`points` array of parameter objects in the body; deduplicated server-side; admission-charged once for the job) |
 //! | GET    | `/datasets/{name}/durability` | WAL/snapshot statistics (incl. degraded state) for a durable dataset |
 //! | GET    | `/admission/stats` | admission-control counters (admitted / shed / queued) |
 //! | GET    | `/protocol/stats` | exactly-once protocol counters (key replays, duplicate suppression) |
@@ -54,9 +55,9 @@
 //! in the body, the JSON analogue of HTTP's `Retry-After` header.
 
 use crate::message::{ApiError, ApiRequest, ApiResponse, Method};
-use crate::service::MiscelaService;
+use crate::service::{MiscelaService, SweepServed};
 use miscela_cache::codec::capset_to_json;
-use miscela_core::MiningParams;
+use miscela_core::{CancelToken, MiningParams};
 use miscela_csv::chunk::Chunk;
 use miscela_store::Json;
 use std::sync::Arc;
@@ -130,6 +131,7 @@ impl Router {
             (Method::Post, ["datasets", name, "retention"]) => self.set_retention(name, request),
             (Method::Get, ["datasets", name, "durability"]) => self.durability(name),
             (Method::Post, ["datasets", name, "mine"]) => self.mine(name, request),
+            (Method::Post, ["datasets", name, "mine", "sweep"]) => self.mine_sweep(name, request),
             (Method::Get, ["admission", "stats"]) => Ok(self.admission_stats()),
             (Method::Get, ["protocol", "stats"]) => Ok(self.protocol_stats()),
             (Method::Get, ["cache", "stats"]) => Ok(self.cache_stats()),
@@ -346,6 +348,65 @@ impl Router {
             ("elapsed_seconds", Json::from(outcome.elapsed.as_secs_f64())),
             ("caps", capset_to_json(&outcome.result.caps)),
         ])))
+    }
+
+    fn mine_sweep(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+        let raw = request
+            .body
+            .get("points")
+            .and_then(|p| p.as_array())
+            .ok_or_else(|| {
+                ApiError::BadRequest("body must carry a `points` array of parameter objects".into())
+            })?;
+        let points = raw
+            .iter()
+            .map(params_from_json)
+            .collect::<Result<Vec<MiningParams>, ApiError>>()?;
+        let deadline = deadline_from_query(request)?;
+        let key = key_from_request(request);
+        let served =
+            self.service
+                .mine_sweep(name, &points, deadline, &CancelToken::never(), key)?;
+        let outcome = match served {
+            SweepServed::Replayed(body) => {
+                let mut doc = Json::parse(&body)
+                    .map_err(|e| ApiError::Internal(format!("corrupt sweep replay body: {e}")))?;
+                doc.set("replayed", Json::from(true));
+                return Ok(ApiResponse::ok(doc));
+            }
+            SweepServed::Fresh(outcome) => outcome,
+        };
+        let results: Vec<Json> = outcome
+            .results
+            .iter()
+            .zip(&outcome.cache_hits)
+            .map(|(result, &hit)| {
+                Json::from_pairs([
+                    ("cache_hit", Json::from(hit)),
+                    ("cap_count", Json::from(result.caps.len())),
+                    ("delayed_count", Json::from(result.delayed.len())),
+                    ("caps", capset_to_json(&result.caps)),
+                ])
+            })
+            .collect();
+        let doc = Json::from_pairs([
+            ("dataset", Json::from(name)),
+            ("revision", Json::from(outcome.revision as i64)),
+            ("requested_points", Json::from(points.len())),
+            ("unique_points", Json::from(outcome.stats.unique_points)),
+            (
+                "extraction_classes",
+                Json::from(outcome.stats.extraction_classes),
+            ),
+            ("graphs_built", Json::from(outcome.stats.graphs_built)),
+            ("search_groups", Json::from(outcome.stats.search_groups)),
+            ("elapsed_seconds", Json::from(outcome.elapsed.as_secs_f64())),
+            ("replayed", Json::from(false)),
+            ("results", Json::Array(results)),
+        ]);
+        self.service
+            .remember_sweep(key, name, doc.to_string_compact());
+        Ok(ApiResponse::ok(doc))
     }
 
     fn admission_stats(&self) -> ApiResponse {
@@ -592,6 +653,146 @@ mod tests {
             Json::from_pairs([("psi", Json::from(0i64))]),
         ));
         assert_eq!(bad.status, StatusCode::BadRequest);
+    }
+
+    #[test]
+    fn sweep_route_matches_solo_mines_dedupes_and_replays() {
+        let router = router_with_dataset();
+        // One grid point is pre-mined solo, so the sweep finds it cached.
+        let solo25 = router.handle(&ApiRequest::post("/datasets/santander/mine", mine_body(25)));
+        assert!(solo25.is_success(), "{:?}", solo25.body);
+        let sweep_body = || {
+            Json::from_pairs([
+                (
+                    "points",
+                    Json::Array(vec![mine_body(20), mine_body(25), mine_body(20)]),
+                ),
+                ("idempotency_key", Json::from("sweep-route-1")),
+            ])
+        };
+        let req = ApiRequest::post("/datasets/santander/mine/sweep", sweep_body());
+        let first = router.handle(&req);
+        assert!(first.is_success(), "{:?}", first.body);
+        assert_eq!(first.body.get("replayed").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            first.body.get("requested_points").unwrap().as_i64(),
+            Some(3)
+        );
+        // The duplicate ψ=20 point is deduplicated server-side.
+        assert_eq!(first.body.get("unique_points").unwrap().as_i64(), Some(2));
+        let results = first.body.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].get("cache_hit").unwrap().as_bool(), Some(false));
+        assert_eq!(results[1].get("cache_hit").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            results[0].to_string_compact(),
+            results[2].to_string_compact()
+        );
+        // Per-point payloads are byte-identical to independent mines, and
+        // the sweep populated the result cache for later solo mines.
+        let solo20 = router.handle(&ApiRequest::post("/datasets/santander/mine", mine_body(20)));
+        assert_eq!(solo20.body.get("cache_hit").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            results[0].get("caps").unwrap().to_string_compact(),
+            solo20.body.get("caps").unwrap().to_string_compact()
+        );
+        assert_eq!(
+            results[1].get("caps").unwrap().to_string_compact(),
+            solo25.body.get("caps").unwrap().to_string_compact()
+        );
+        // A keyed retry replays the original body verbatim.
+        let retry = router.handle(&ApiRequest::post(
+            "/datasets/santander/mine/sweep",
+            sweep_body(),
+        ));
+        assert!(retry.is_success(), "{:?}", retry.body);
+        assert_eq!(retry.body.get("replayed").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            retry.body.get("results").unwrap().to_string_compact(),
+            first.body.get("results").unwrap().to_string_compact()
+        );
+        let stats = router.handle(&ApiRequest::get("/protocol/stats"));
+        assert!(stats.body.get("key_replays").unwrap().as_i64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn sweep_route_deadline_admission_and_validation() {
+        let router = router_with_dataset();
+        // Missing / empty / invalid grids are 400s before any work.
+        let bad = router.handle(&ApiRequest::post(
+            "/datasets/santander/mine/sweep",
+            Json::object(),
+        ));
+        assert_eq!(bad.status, StatusCode::BadRequest);
+        let empty = router.handle(&ApiRequest::post(
+            "/datasets/santander/mine/sweep",
+            Json::from_pairs([("points", Json::Array(Vec::new()))]),
+        ));
+        assert_eq!(empty.status, StatusCode::BadRequest);
+        let invalid = router.handle(&ApiRequest::post(
+            "/datasets/santander/mine/sweep",
+            Json::from_pairs([("points", Json::Array(vec![mine_body(0)]))]),
+        ));
+        assert_eq!(invalid.status, StatusCode::BadRequest);
+        // An already-expired deadline on a cold sweep is a 504.
+        let late = router.handle(
+            &ApiRequest::post(
+                "/datasets/santander/mine/sweep",
+                Json::from_pairs([("points", Json::Array(vec![mine_body(20)]))]),
+            )
+            .with_query("deadline_ms", "0"),
+        );
+        assert_eq!(late.status, StatusCode::GatewayTimeout);
+        // A whole grid is admitted as one job: the admission counter moves
+        // by exactly one for a two-point cold sweep.
+        let before = router
+            .handle(&ApiRequest::get("/admission/stats"))
+            .body
+            .get("admitted")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        let fresh = router.handle(&ApiRequest::post(
+            "/datasets/santander/mine/sweep",
+            Json::from_pairs([("points", Json::Array(vec![mine_body(20), mine_body(30)]))]),
+        ));
+        assert!(fresh.is_success(), "{:?}", fresh.body);
+        let after = router
+            .handle(&ApiRequest::get("/admission/stats"))
+            .body
+            .get("admitted")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert_eq!(after, before + 1);
+        // An all-cache-hit sweep is served without an admission charge,
+        // even under an expired deadline (cache hits cost nothing).
+        let warm = router.handle(
+            &ApiRequest::post(
+                "/datasets/santander/mine/sweep",
+                Json::from_pairs([("points", Json::Array(vec![mine_body(20), mine_body(30)]))]),
+            )
+            .with_query("deadline_ms", "0"),
+        );
+        assert!(warm.is_success(), "{:?}", warm.body);
+        let results = warm.body.get("results").unwrap().as_array().unwrap();
+        assert!(results
+            .iter()
+            .all(|r| { r.get("cache_hit").unwrap().as_bool() == Some(true) }));
+        let final_admitted = router
+            .handle(&ApiRequest::get("/admission/stats"))
+            .body
+            .get("admitted")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert_eq!(final_admitted, after);
+        // Unknown datasets are a 404.
+        let ghost = router.handle(&ApiRequest::post(
+            "/datasets/ghost/mine/sweep",
+            Json::from_pairs([("points", Json::Array(vec![mine_body(20)]))]),
+        ));
+        assert_eq!(ghost.status, StatusCode::NotFound);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use miscela_cache::{
     CacheKey, CacheStats, EvolvingSetsCache, ExtractionCacheStats, PersistentCache,
     DEFAULT_KEEP_GENERATIONS,
 };
-use miscela_core::{CancelToken, Miner, MiningError, MiningParams, MiningResult};
+use miscela_core::{CancelToken, Miner, MiningError, MiningParams, MiningResult, SweepStats};
 use miscela_csv::chunk::{Chunk, ChunkedUploader};
 use miscela_csv::loader::DatasetLoader;
 use miscela_csv::location_csv;
@@ -187,6 +187,16 @@ pub enum ReplayOutcome {
     },
     /// A `delete_dataset` — acknowledged, no payload beyond success.
     Delete,
+    /// A keyed `mine/sweep` — replays the serialized response body
+    /// verbatim. Kept **in memory only**: `replay_entries_for` excludes
+    /// this variant from the snapshot slice (the durability codec has no
+    /// encoding for it, deliberately — sweep bodies can be large and are
+    /// pure derived data), so after a restart a retried sweep re-mines
+    /// instead of replaying. That is safe because a sweep mutates nothing.
+    Sweep {
+        /// The serialized JSON response body originally returned.
+        body: String,
+    },
 }
 
 /// One cached keyed response, tagged with the dataset it belongs to so key
@@ -276,6 +286,33 @@ pub struct MineOutcome {
     pub revision: u64,
     /// Wall-clock time spent serving the request.
     pub elapsed: Duration,
+}
+
+/// The outcome of one freshly served batch sweep
+/// ([`MiscelaService::mine_sweep`]).
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-point results, in request order (duplicates share one result).
+    pub results: Vec<MiningResult>,
+    /// Per-point: whether the CAPs were served from the result cache.
+    pub cache_hits: Vec<bool>,
+    /// Planner statistics for the freshly mined remainder of the grid
+    /// (default when every point was a cache hit).
+    pub stats: SweepStats,
+    /// The dataset revision all results correspond to.
+    pub revision: u64,
+    /// Wall-clock time spent serving the request.
+    pub elapsed: Duration,
+}
+
+/// How a (possibly keyed) sweep submission was served.
+#[derive(Debug)]
+pub enum SweepServed {
+    /// The serialized body of an earlier submission with the same
+    /// idempotency key, to be replayed verbatim.
+    Replayed(String),
+    /// A freshly planned and mined sweep.
+    Fresh(SweepOutcome),
 }
 
 /// Durable bookkeeping for one dataset: its open WAL/snapshot log plus the
@@ -814,7 +851,9 @@ impl MiscelaService {
 
     /// One dataset's slice of the replayed-response cache, oldest first,
     /// bounded to the most recent [`SNAPSHOT_REPLAY_LIMIT`] — this is what
-    /// snapshots persist so keyed replay survives a crash.
+    /// snapshots persist so keyed replay survives a crash. Sweep replays
+    /// ([`ReplayOutcome::Sweep`]) are excluded: they are memory-only by
+    /// design, so the durability codec never needs to encode them.
     fn replay_entries_for(&self, dataset: &str) -> Vec<(String, ReplayOutcome)> {
         let p = self.protocol.lock();
         let mut slice: Vec<(String, ReplayOutcome)> = p
@@ -822,7 +861,8 @@ impl MiscelaService {
             .iter()
             .filter_map(|key| {
                 let entry = p.entries.get(key)?;
-                (entry.dataset == dataset).then(|| (key.clone(), entry.outcome.clone()))
+                (entry.dataset == dataset && !matches!(entry.outcome, ReplayOutcome::Sweep { .. }))
+                    .then(|| (key.clone(), entry.outcome.clone()))
             })
             .collect();
         if slice.len() > SNAPSHOT_REPLAY_LIMIT {
@@ -1920,6 +1960,150 @@ impl MiscelaService {
         })
     }
 
+    /// Serves a batch parameter sweep: the whole ψ/η/μ grid as **one**
+    /// scheduled job ([`Miner::mine_sweep`]) instead of one request per
+    /// point.
+    ///
+    /// The serving path mirrors [`MiscelaService::mine_cancellable`], batch
+    /// style: a keyed retry replays the original response body; duplicate
+    /// grid points are deduplicated server-side; each distinct point is
+    /// probed against the revision-aware result cache; and only the misses
+    /// are mined — under a **single** admission permit charged at the
+    /// per-mine cost scaled by the number of points actually mined (an
+    /// all-hit sweep is admission-free, like a solo cache hit). Freshly
+    /// mined points are written back to the result cache individually, so
+    /// a later solo mine of any grid point is a cache hit.
+    ///
+    /// The caller is responsible for serializing the fresh outcome and
+    /// handing the body to [`MiscelaService::remember_sweep`] so retries
+    /// can replay it.
+    pub fn mine_sweep(
+        &self,
+        dataset: &str,
+        points: &[MiningParams],
+        deadline: Option<Instant>,
+        cancel: &CancelToken,
+        key: Option<&str>,
+    ) -> Result<SweepServed, ApiError> {
+        let started = Instant::now();
+        if let Some(outcome) = self.replay_lookup(key, dataset)? {
+            return match outcome {
+                ReplayOutcome::Sweep { body } => Ok(SweepServed::Replayed(body)),
+                _ => Err(Self::key_conflict(key.expect("replay hit requires a key"))),
+            };
+        }
+        if points.is_empty() {
+            return Err(ApiError::BadRequest(
+                "sweep requires at least one grid point".into(),
+            ));
+        }
+        for p in points {
+            p.validate()
+                .map_err(|e| ApiError::BadRequest(e.to_string()))?;
+        }
+        let entry = self.entry(dataset).ok();
+        let (revision, trimmed) = match &entry {
+            Some(e) => (e.revision, e.dataset.trimmed() as u64),
+            None => self.stored_version(dataset)?,
+        };
+        // Server-side dedup: repeated grid points cost one cache probe and
+        // at most one mine, and always share one result.
+        let mut unique: Vec<&MiningParams> = Vec::new();
+        let mut point_of: Vec<usize> = Vec::with_capacity(points.len());
+        {
+            let mut by_sig: HashMap<String, usize> = HashMap::new();
+            for p in points {
+                let idx = *by_sig.entry(p.signature()).or_insert_with(|| {
+                    unique.push(p);
+                    unique.len() - 1
+                });
+                point_of.push(idx);
+            }
+        }
+        let probe = |i: usize| -> Option<MiningResult> {
+            let ck = CacheKey::for_state(dataset, revision, trimmed, unique[i]);
+            self.cache.get(&ck).map(|caps| MiningResult {
+                caps,
+                delayed: Vec::new(),
+                report: Default::default(),
+            })
+        };
+        let mut results: Vec<Option<MiningResult>> = (0..unique.len()).map(probe).collect();
+        let was_cached: Vec<bool> = results.iter().map(|r| r.is_some()).collect();
+        let missing: Vec<usize> = (0..unique.len())
+            .filter(|&i| results[i].is_none())
+            .collect();
+        let mut stats = SweepStats::default();
+        if !missing.is_empty() {
+            let entry = entry.ok_or_else(|| {
+                ApiError::NotFound(format!("dataset {dataset:?} is not resident; re-upload it"))
+            })?;
+            // One admission charge for the whole job, scaled by the grid
+            // points that actually need mining.
+            let cost =
+                AdmissionController::mine_cost(&entry.dataset).saturating_mul(missing.len() as u64);
+            let _permit = self.admission.admit(dataset, cost, deadline)?;
+            // Identical requests may have filled entries while this one
+            // waited for admission.
+            let still: Vec<usize> = missing
+                .into_iter()
+                .filter(|&i| match probe(i) {
+                    Some(result) => {
+                        results[i] = Some(result);
+                        false
+                    }
+                    None => true,
+                })
+                .collect();
+            if !still.is_empty() {
+                let grid: Vec<MiningParams> = still.iter().map(|&i| unique[i].clone()).collect();
+                let extraction = self.extraction_for(dataset);
+                let token = match deadline {
+                    Some(d) => cancel.with_deadline(d),
+                    None => cancel.clone(),
+                };
+                let out = Miner::mine_sweep(&entry.dataset, &grid, Some(&*extraction), &token)
+                    .map_err(|e| match e {
+                        MiningError::Cancelled => ApiError::DeadlineExceeded(format!(
+                            "sweep of {dataset:?} was cancelled"
+                        )),
+                        MiningError::DeadlineExceeded => ApiError::DeadlineExceeded(format!(
+                            "sweep of {dataset:?} passed its deadline before completing"
+                        )),
+                        other => ApiError::Internal(other.to_string()),
+                    })?;
+                stats = out.stats;
+                for (&i, result) in still.iter().zip(out.results) {
+                    let ck = CacheKey::for_state(dataset, revision, trimmed, unique[i]);
+                    self.cache.put(&ck, &result.caps);
+                    results[i] = Some(result);
+                }
+            }
+        }
+        // The miner only saw the cache-missing subset of the grid; report
+        // the request's true shape (work counters stay as performed).
+        stats.requested_points = points.len();
+        stats.unique_points = unique.len();
+        Ok(SweepServed::Fresh(SweepOutcome {
+            cache_hits: point_of.iter().map(|&ui| was_cached[ui]).collect(),
+            results: point_of
+                .iter()
+                .map(|&ui| results[ui].clone().expect("every unique point resolved"))
+                .collect(),
+            stats,
+            revision,
+            elapsed: started.elapsed(),
+        }))
+    }
+
+    /// Caches the serialized response body of a keyed sweep so an
+    /// identical retry replays it verbatim ([`ReplayOutcome::Sweep`];
+    /// memory-only — excluded from snapshot persistence). No-op without a
+    /// key.
+    pub fn remember_sweep(&self, key: Option<&str>, dataset: &str, body: String) {
+        self.remember(key, dataset, ReplayOutcome::Sweep { body });
+    }
+
     /// Dataset statistics for a registered dataset.
     pub fn dataset_stats(&self, name: &str) -> Result<DatasetStats, ApiError> {
         Ok(self.dataset(name)?.stats())
@@ -2015,9 +2199,12 @@ mod tests {
         assert_eq!(first.result.report.extraction_cache_hits, 0);
         let sensors = svc.dataset("santander").unwrap().sensor_count();
         let stats = svc.extraction_cache_stats();
+        // Two entries per series: the content key, plus the salted
+        // origin-anchored alias that lets trimmed descendants recover the
+        // pre-trim state.
         assert_eq!(
             (stats.hits, stats.misses, stats.entries),
-            (0, sensors, sensors)
+            (0, sensors, 2 * sensors)
         );
         // A ψ tweak misses the result cache but hits the extraction cache
         // for every series — steps (1)+(2) are skipped entirely.

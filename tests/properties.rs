@@ -79,7 +79,7 @@ proptest! {
         let e_lo = extract_evolving(&series, lo);
         let e_hi = extract_evolving(&series, hi);
         prop_assert!(e_hi.total() <= e_lo.total());
-        prop_assert_eq!(e_lo.up.and_count(&e_lo.down), 0);
+        prop_assert_eq!(e_lo.up().and_count(e_lo.down()), 0);
     }
 
     /// JSON serialization round-trips for arbitrary nested values built from

@@ -17,6 +17,21 @@
 //! which matters now that benchmark numbers drive optimisation decisions.
 //! There is still no HTML report or baseline comparison.
 //!
+//! Two robustness refinements harden the loop for the fast-kernel
+//! benchmarks (tens of nanoseconds per iteration) that proxy
+//! autovectorization health:
+//!
+//! * **Minimum-iteration floor** — a sample whose routine finishes below
+//!   the timer's useful resolution is re-invoked until the sample spans at
+//!   least [`MIN_SAMPLE_TIME`] (capped at [`MAX_FLOOR_ITERATIONS`]
+//!   iterations), so call overhead and clock granularity cannot dominate a
+//!   one-iteration observation.
+//! * **IQR outlier discard** — with five or more samples, observations
+//!   outside the Tukey fences `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` are dropped
+//!   before the median/MAD are computed, and the printed line reports how
+//!   many were discarded. A preempted sample thus cannot widen the MAD of
+//!   an otherwise stable benchmark.
+//!
 //! Setting the `MISCELA_BENCH_SMOKE` environment variable (to any value)
 //! clamps every benchmark to a single warm-up call, two samples and a tiny
 //! time budget — used by `ci.sh` to *execute* (not just compile) the bench
@@ -252,6 +267,42 @@ impl Bencher {
     }
 }
 
+/// Minimum measured time one sample should span. Routines faster than
+/// this are iterated repeatedly inside the sample (the minimum-iteration
+/// floor) so that clock granularity and call overhead are amortized.
+pub const MIN_SAMPLE_TIME: Duration = Duration::from_micros(20);
+
+/// Hard cap on the per-sample iteration floor, so a pathologically cheap
+/// (or constant-folded) routine still terminates promptly.
+pub const MAX_FLOOR_ITERATIONS: u64 = 10_000;
+
+/// Discards samples outside the Tukey fences `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]`
+/// and returns how many were dropped. Quartiles are linearly interpolated
+/// on the sorted samples. Applied only when at least five samples exist —
+/// quartiles of fewer are noise. The median always survives (it sits
+/// inside the fences by construction), so the result is never empty.
+fn discard_outliers(samples: &mut Vec<f64>) -> usize {
+    if samples.len() < 5 {
+        return 0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    let quartile = |p: f64| -> f64 {
+        let idx = p * (samples.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        let frac = idx - lo as f64;
+        samples[lo] * (1.0 - frac) + samples[hi] * frac
+    };
+    let q1 = quartile(0.25);
+    let q3 = quartile(0.75);
+    let iqr = q3 - q1;
+    let fence_lo = q1 - 1.5 * iqr;
+    let fence_hi = q3 + 1.5 * iqr;
+    let before = samples.len();
+    samples.retain(|&x| (fence_lo..=fence_hi).contains(&x));
+    before - samples.len()
+}
+
 /// Median of a sample set. The slice is sorted in place.
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
@@ -308,6 +359,12 @@ fn run_benchmark<F>(
     for _ in 0..sample_size {
         let mut b = Bencher::default();
         f(&mut b);
+        // Minimum-iteration floor: keep re-invoking the routine into the
+        // same sample until it spans enough wall-clock time to measure.
+        while b.iterations > 0 && b.iterations < MAX_FLOOR_ITERATIONS && b.elapsed < MIN_SAMPLE_TIME
+        {
+            f(&mut b);
+        }
         if b.iterations > 0 {
             samples.push(b.elapsed.as_nanos() as f64 / b.iterations as f64);
         }
@@ -323,6 +380,7 @@ fn run_benchmark<F>(
         samples.push(warmup.elapsed.as_nanos() as f64 / warmup.iterations as f64);
     }
 
+    let discarded = discard_outliers(&mut samples);
     let n = samples.len();
     let med = median(&mut samples);
     let mad = median_abs_deviation(&samples, med);
@@ -335,7 +393,14 @@ fn run_benchmark<F>(
         }
         _ => String::new(),
     };
-    println!("bench: {label}: {med:.0} ns/iter (median of {n} samples, ±{mad:.0} ns MAD){rate}");
+    let dropped = if discarded > 0 {
+        format!(", {discarded} outliers discarded")
+    } else {
+        String::new()
+    };
+    println!(
+        "bench: {label}: {med:.0} ns/iter (median of {n} samples, ±{mad:.0} ns MAD{dropped}){rate}"
+    );
 }
 
 /// Collect benchmark functions into a runnable group function, mirroring
@@ -398,6 +463,47 @@ mod tests {
             })
         });
         assert!(ran);
+    }
+
+    #[test]
+    fn iqr_discard_keeps_the_bulk_and_drops_fence_violations() {
+        // One wild sample among nine stable ones is discarded.
+        let mut s = vec![10.0, 11.0, 12.0, 10.5, 11.5, 10.2, 11.8, 10.9, 500.0];
+        assert_eq!(discard_outliers(&mut s), 1);
+        assert_eq!(s.len(), 8);
+        assert!(s.iter().all(|&x| x < 13.0));
+        // A tight cluster survives untouched (IQR 0 keeps exact repeats).
+        let mut flat = vec![5.0; 6];
+        assert_eq!(discard_outliers(&mut flat), 0);
+        assert_eq!(flat.len(), 6);
+        // Fewer than five samples: quartiles are noise, nothing is dropped.
+        let mut tiny = vec![1.0, 2.0, 1_000_000.0, 3.0];
+        assert_eq!(discard_outliers(&mut tiny), 0);
+        assert_eq!(tiny.len(), 4);
+        // Low-side violations are fenced too.
+        let mut low = vec![100.0, 101.0, 99.0, 100.5, 99.5, 100.2, 0.001];
+        assert_eq!(discard_outliers(&mut low), 1);
+        assert!(low.iter().all(|&x| x > 90.0));
+    }
+
+    #[test]
+    fn fast_routines_hit_the_minimum_iteration_floor() {
+        // A near-zero-cost routine must be iterated many times per sample,
+        // not observed once at clock granularity.
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::ZERO);
+        let mut runs = 0u64;
+        c.bench_function("floor", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // Warm-up contributes one run; each sample then iterates until it
+        // spans MIN_SAMPLE_TIME, which for an empty body takes far more
+        // than one iteration.
+        assert!(runs > 10, "floor did not engage: {runs} runs");
     }
 
     #[test]
