@@ -31,10 +31,10 @@ MISCELA_BENCH_SMOKE=1 cargo bench -p miscela-bench --bench streaming_append
 step "sweep-bench smoke (bounded grid; asserts batch/loop byte-identity before timing)"
 MISCELA_BENCH_SMOKE=1 MISCELA_SWEEP_SMOKE=1 cargo bench -p miscela-bench --bench sweep
 
-step "bench_snapshot smoke (schema-7 JSON emitted)"
+step "bench_snapshot smoke (schema-8 JSON emitted)"
 snapshot_out="$(mktemp)"
 MISCELA_BENCH_SMOKE=1 cargo run --release -q -p miscela-bench --bin bench_snapshot -- --out "$snapshot_out" >/dev/null
-grep -q '"schema": 7' "$snapshot_out" || { echo "bench_snapshot did not emit schema-7 JSON" >&2; rm -f "$snapshot_out"; exit 1; }
+grep -q '"schema": 8' "$snapshot_out" || { echo "bench_snapshot did not emit schema-8 JSON" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"extraction_ns"' "$snapshot_out" || { echo "bench_snapshot is missing extraction_ns" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"append_remine_ns"' "$snapshot_out" || { echo "bench_snapshot is missing append_remine_ns" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"append_retained_ns"' "$snapshot_out" || { echo "bench_snapshot is missing append_retained_ns" >&2; rm -f "$snapshot_out"; exit 1; }
@@ -45,11 +45,17 @@ grep -q '"duplicate_suppressions"' "$snapshot_out" || { echo "bench_snapshot is 
 grep -q '"goodput"' "$snapshot_out" || { echo "bench_snapshot is missing chaos goodput" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"sweep_batch_ns"' "$snapshot_out" || { echo "bench_snapshot is missing sweep_batch_ns" >&2; rm -f "$snapshot_out"; exit 1; }
 grep -q '"sweep_loop_ns"' "$snapshot_out" || { echo "bench_snapshot is missing sweep_loop_ns" >&2; rm -f "$snapshot_out"; exit 1; }
+grep -q '"contended_wall_ns"' "$snapshot_out" || { echo "bench_snapshot is missing the sharded comparison" >&2; rm -f "$snapshot_out"; exit 1; }
+grep -q '"sharded_wall_ns"' "$snapshot_out" || { echo "bench_snapshot is missing sharded_wall_ns" >&2; rm -f "$snapshot_out"; exit 1; }
+grep -q '"watch_wakeup_p99_ns"' "$snapshot_out" || { echo "bench_snapshot is missing watch_wakeup_p99_ns" >&2; rm -f "$snapshot_out"; exit 1; }
 rm -f "$snapshot_out"
 
 step "load-generator smoke (bounded overload storm, typed outcomes only)"
 MISCELA_OVERLOAD_SMOKE=1 cargo run --release -q -p miscela-bench --bin load_generator >/dev/null
 MISCELA_OVERLOAD_SMOKE=1 cargo run --release -q -p miscela-bench --bin load_generator -- --sweeps >/dev/null
+
+step "subscriber-storm smoke (watch wakeups on single-shard vs sharded stores)"
+MISCELA_OVERLOAD_SMOKE=1 cargo run --release -q -p miscela-bench --bin load_generator -- --subscribers >/dev/null
 
 step "recovery-matrix smoke (bounded kill-point subset of the crash-recovery matrix)"
 MISCELA_RECOVERY_SMOKE=1 cargo test --release -q -p miscela-v --test recovery_matrix

@@ -54,6 +54,14 @@
 //! every batch point byte-identical to its independent mine before
 //! timing; `identical: true` records that the check ran.
 //!
+//! Schema 8 adds the top-level `sharded` object: the watch/subscribe storm
+//! (many long-poll watchers parked across many datasets while a bumper
+//! drives revision bumps) run against a single-shard store — one lock, one
+//! condvar, every bump wakes every parked watcher — and against the
+//! default sharded store, alternating arms over several rounds and
+//! reporting each arm's least-disturbed wall clock, the speedup between
+//! them, and the sharded arm's bump-to-wakeup p99.
+//!
 //! Schema 6 adds the top-level `chaos` object: the full register → append
 //! → mine workflow driven by the resilient client through a seeded lossy
 //! storm (request drops, response drops, duplicated and delayed
@@ -63,7 +71,7 @@
 //! first tries rather than retries. The harness fails the run if the storm
 //! injected no faults or the server suppressed no repeats.
 
-use miscela_bench::overload::{run_load, LoadConfig};
+use miscela_bench::overload::{run_load, run_sharded_comparison, LoadConfig, SubscriberConfig};
 use miscela_bench::{
     china6, periodic_append_rows, retained_history, santander_bench, santander_params,
     split_for_append, ReadOnlyExtractionCache,
@@ -390,6 +398,32 @@ fn snapshot_sweep(dataset: &Dataset, repeats: usize, smoke: bool) -> Json {
     ])
 }
 
+/// The watch/subscribe storm on a single-shard store vs the default
+/// sharded store, reported as the schema-8 `sharded` object. Both arms run
+/// the identical storm; the contended arm's single condvar wakes every
+/// parked watcher on every bump, which is exactly the thundering herd the
+/// per-shard condvars eliminate.
+fn snapshot_sharded(smoke: bool) -> Json {
+    let cfg = SubscriberConfig {
+        datasets: if smoke { 4 } else { 8 },
+        watchers_per_dataset: if smoke { 4 } else { 8 },
+        bumps_per_dataset: if smoke { 5 } else { 25 },
+        ..SubscriberConfig::default()
+    };
+    let cmp = run_sharded_comparison(
+        &cfg,
+        miscela_server::DEFAULT_SHARDS,
+        if smoke { 2 } else { 5 },
+    );
+    for arm in [&cmp.contended, &cmp.sharded] {
+        assert!(
+            arm.wakeups >= arm.watchers,
+            "a watcher missed its final revision: {arm:?}"
+        );
+    }
+    cmp.to_json()
+}
+
 /// One lossy storm through the resilient client: register → append → mine
 /// at snapshot scale over a seeded [`ChaosTransport`], reported as the
 /// schema-6 `chaos` object.
@@ -525,14 +559,16 @@ fn main() {
     let overload = snapshot_overload(&santander, smoke);
     let chaos = snapshot_chaos(&santander, smoke);
     let sweep = snapshot_sweep(&china, repeats, smoke);
+    let sharded = snapshot_sharded(smoke);
 
     let doc = Json::from_pairs([
-        ("schema", Json::Number(7.0)),
+        ("schema", Json::Number(8.0)),
         ("unit", Json::String("nanoseconds".to_string())),
         ("repeats", Json::Number(repeats as f64)),
         ("overload", overload),
         ("chaos", chaos),
         ("sweep", sweep),
+        ("sharded", sharded),
         (
             "note",
             Json::String(

@@ -21,13 +21,19 @@
 //! machine-dependent; the *shape* (bounded p99 for admitted requests, typed
 //! shedding beyond the queue) is the invariant worth reading.
 //!
+//! `--subscribers` switches to the watch/subscribe storm: long-poll
+//! watchers parked across many datasets while a bumper drives revision
+//! bumps, run on a single-shard store and on the default sharded store
+//! back to back, printing the contended-vs-sharded wall clocks, the
+//! speedup, and the bump-to-wakeup latency percentiles.
+//!
 //! [`LoadSummary`]: miscela_bench::overload::LoadSummary
 //! [`MiscelaService`]: miscela_server::MiscelaService
 
-use miscela_bench::overload::{run_load, LoadConfig};
+use miscela_bench::overload::{run_load, run_sharded_comparison, LoadConfig, SubscriberConfig};
 use miscela_bench::{santander_bench, santander_params};
 use miscela_csv::DatasetWriter;
-use miscela_server::{AdmissionConfig, MiscelaService};
+use miscela_server::{AdmissionConfig, MiscelaService, DEFAULT_SHARDS};
 use miscela_store::Json;
 use std::time::Duration;
 
@@ -39,6 +45,40 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
     let smoke = std::env::var_os("MISCELA_OVERLOAD_SMOKE").is_some();
+
+    // `--subscribers` runs the watch/subscribe storm instead of the mining
+    // storm: a fleet of long-poll watchers parked across many datasets
+    // while a bumper drives revision bumps, on a single-shard store and on
+    // the default sharded store back to back. The printed JSON is the same
+    // `sharded` comparison `bench_snapshot` embeds: contended vs sharded
+    // wall clock, the wakeup-latency percentiles, and the speedup the
+    // sharded condvars buy by waking only the bumped shard's cohort.
+    if args.iter().any(|a| a == "--subscribers") {
+        let cfg = SubscriberConfig {
+            datasets: if smoke { 4 } else { 8 },
+            watchers_per_dataset: if smoke { 4 } else { 8 },
+            bumps_per_dataset: if smoke { 5 } else { 25 },
+            ..SubscriberConfig::default()
+        };
+        let cmp = run_sharded_comparison(&cfg, DEFAULT_SHARDS, if smoke { 2 } else { 5 });
+        for arm in [&cmp.contended, &cmp.sharded] {
+            assert!(
+                arm.wakeups >= arm.watchers,
+                "a watcher missed its final revision: {arm:?}"
+            );
+        }
+        let doc = Json::from_pairs([
+            ("scenario", Json::String("subscriber_storm".to_string())),
+            ("summary", cmp.to_json()),
+        ]);
+        let text = doc.to_string_pretty();
+        println!("{text}");
+        if let Some(path) = out_path {
+            std::fs::write(&path, text + "\n").expect("failed to write summary");
+            eprintln!("wrote {path}");
+        }
+        return;
+    }
 
     let dataset = santander_bench();
     let writer = DatasetWriter::new();

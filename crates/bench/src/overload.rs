@@ -16,8 +16,10 @@
 //! path never leaks panics or untyped errors under pressure.
 
 use miscela_core::{CancelToken, MiningParams};
+use miscela_model::{Dataset, DatasetBuilder, GeoPoint, SensorId, TimeGrid, Timestamp};
 use miscela_server::{ApiError, MiscelaService, SweepServed};
 use miscela_store::Json;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -235,6 +237,272 @@ pub fn run_load(
     }
 }
 
+/// Shape of one watch/subscribe storm: a fleet of watchers parked on the
+/// long-poll feed while one bumper drives revision bumps through every
+/// dataset.
+#[derive(Debug, Clone)]
+pub struct SubscriberConfig {
+    /// Tiny datasets registered for the storm (hashed across shards).
+    pub datasets: usize,
+    /// Watcher threads parked on each dataset's watch feed.
+    pub watchers_per_dataset: usize,
+    /// Revision bumps driven through each dataset.
+    pub bumps_per_dataset: usize,
+    /// Long-poll deadline each watch call carries.
+    pub watch_deadline: Duration,
+}
+
+impl Default for SubscriberConfig {
+    fn default() -> Self {
+        SubscriberConfig {
+            datasets: 8,
+            watchers_per_dataset: 8,
+            bumps_per_dataset: 25,
+            watch_deadline: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Outcome counters and wakeup latencies of one subscriber storm.
+#[derive(Debug, Clone)]
+pub struct SubscriberSummary {
+    /// Datasets the storm registered and bumped.
+    pub datasets: u64,
+    /// Watcher threads parked across all datasets.
+    pub watchers: u64,
+    /// Revision bumps driven in total.
+    pub bumps: u64,
+    /// `changed` watch replies observed across all watchers.
+    pub wakeups: u64,
+    /// Median bump-to-wakeup latency, nanoseconds.
+    pub wakeup_p50_ns: u128,
+    /// 99th-percentile bump-to-wakeup latency, nanoseconds.
+    pub wakeup_p99_ns: u128,
+    /// Wall-clock duration of the storm (bumps plus watcher drain).
+    pub wall_ns: u128,
+    /// Revision bumps per wall-clock second.
+    pub bumps_per_sec: f64,
+}
+
+impl SubscriberSummary {
+    /// The summary as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::from_pairs([
+            ("datasets", Json::Number(self.datasets as f64)),
+            ("watchers", Json::Number(self.watchers as f64)),
+            ("bumps", Json::Number(self.bumps as f64)),
+            ("wakeups", Json::Number(self.wakeups as f64)),
+            ("wakeup_p50_ns", Json::Number(self.wakeup_p50_ns as f64)),
+            ("wakeup_p99_ns", Json::Number(self.wakeup_p99_ns as f64)),
+            ("wall_ns", Json::Number(self.wall_ns as f64)),
+            ("bumps_per_sec", Json::Number(self.bumps_per_sec)),
+        ])
+    }
+}
+
+/// A minimal registrable dataset (two sensors, four timestamps) whose
+/// re-registration is a near-free revision bump — the storm's cost is the
+/// watcher wakeups, not the content swap.
+pub fn tiny_watch_dataset(name: &str) -> Dataset {
+    let mut b = DatasetBuilder::new(name);
+    let grid =
+        TimeGrid::new(Timestamp::EPOCH, miscela_model::Duration::hours(1), 4).expect("tiny grid");
+    b.set_grid(grid.clone());
+    b.add_sensor("s1", "temperature", GeoPoint::new_unchecked(43.0, -3.0))
+        .expect("tiny sensor");
+    b.add_sensor("s2", "traffic", GeoPoint::new_unchecked(43.001, -3.001))
+        .expect("tiny sensor");
+    let s1 = SensorId::from("s1");
+    let s2 = SensorId::from("s2");
+    for i in 0..grid.len() {
+        let t = grid.at(i).expect("grid point");
+        b.add_measurement(&s1, "temperature", t, Some(10.0 + i as f64))
+            .expect("tiny measurement");
+        b.add_measurement(&s2, "traffic", t, Some(100.0 - i as f64))
+            .expect("tiny measurement");
+    }
+    b.build().expect("tiny dataset")
+}
+
+/// Runs one subscriber storm against `svc` and summarizes it.
+///
+/// Registers [`SubscriberConfig::datasets`] tiny datasets, parks
+/// [`SubscriberConfig::watchers_per_dataset`] watcher threads on each
+/// dataset's watch feed, then drives
+/// [`SubscriberConfig::bumps_per_dataset`] revision bumps round-robin
+/// through every dataset. Each bump is stamped just before it publishes,
+/// so a watcher waking on revision `r` can report the bump-to-wakeup
+/// latency for `r` exactly. Watchers run a pure watch loop — no mining,
+/// no polling reads — and exit once they have observed the final revision.
+///
+/// # Panics
+///
+/// Panics when a watch call fails: the storm only ever bumps revisions of
+/// registered datasets, so any error is a wakeup-path bug.
+pub fn run_subscriber_storm(svc: &MiscelaService, cfg: &SubscriberConfig) -> SubscriberSummary {
+    let final_rev = 1 + cfg.bumps_per_dataset as u64;
+    let datasets: Vec<Dataset> = (0..cfg.datasets)
+        .map(|d| tiny_watch_dataset(&format!("ws-{d}")))
+        .collect();
+    for ds in &datasets {
+        svc.register_dataset(ds.clone());
+    }
+    // bump_times[d][r] is the instant just before the bump that published
+    // revision r of dataset d; written before the bump, so any watcher
+    // that can see revision r can also see its stamp.
+    let bump_times: Vec<Mutex<Vec<Option<Instant>>>> = (0..cfg.datasets)
+        .map(|_| Mutex::new(vec![None; final_rev as usize + 1]))
+        .collect();
+    let latencies = Mutex::new(Vec::new());
+    // Bumping only starts once every watcher is at its first watch call:
+    // otherwise on a busy machine the bumps can outrun thread spawning and
+    // the wall clock measures spawn latency instead of wakeup traffic.
+    let ready = AtomicUsize::new(0);
+    let mut started = Instant::now();
+    std::thread::scope(|scope| {
+        for (d, ds) in datasets.iter().enumerate() {
+            for _ in 0..cfg.watchers_per_dataset {
+                let latencies = &latencies;
+                let bump_times = &bump_times;
+                let ready = &ready;
+                scope.spawn(move || {
+                    let mut local: Vec<u128> = Vec::new();
+                    let mut last = 1u64;
+                    let mut first = true;
+                    while last < final_rev {
+                        if std::mem::take(&mut first) {
+                            ready.fetch_add(1, Ordering::SeqCst);
+                        }
+                        let deadline = Instant::now() + cfg.watch_deadline;
+                        match svc.watch(ds.name(), last, deadline) {
+                            Ok(out) => {
+                                if out.changed {
+                                    let woke = Instant::now();
+                                    let stamp =
+                                        bump_times[d].lock().unwrap()[out.revision as usize];
+                                    let stamp = stamp.expect("observed revision was stamped");
+                                    local.push(woke.duration_since(stamp).as_nanos());
+                                    last = out.revision;
+                                }
+                            }
+                            Err(e) => panic!("watch failed during subscriber storm: {e:?}"),
+                        }
+                    }
+                    latencies.lock().unwrap().extend(local);
+                });
+            }
+        }
+        let total = cfg.datasets * cfg.watchers_per_dataset;
+        while ready.load(Ordering::SeqCst) < total {
+            std::thread::yield_now();
+        }
+        // Give the announced watchers a beat to actually park.
+        std::thread::sleep(Duration::from_millis(5));
+        started = Instant::now();
+        for r in 2..=final_rev {
+            for (d, ds) in datasets.iter().enumerate() {
+                bump_times[d].lock().unwrap()[r as usize] = Some(Instant::now());
+                svc.register_dataset(ds.clone());
+            }
+        }
+    });
+    let wall_ns = started.elapsed().as_nanos();
+    let mut latencies = latencies.into_inner().unwrap();
+    let bumps = (cfg.datasets * cfg.bumps_per_dataset) as u64;
+    SubscriberSummary {
+        datasets: cfg.datasets as u64,
+        watchers: (cfg.datasets * cfg.watchers_per_dataset) as u64,
+        bumps,
+        wakeups: latencies.len() as u64,
+        wakeup_p50_ns: percentile_ns(&mut latencies, 50),
+        wakeup_p99_ns: percentile_ns(&mut latencies, 99),
+        wall_ns,
+        bumps_per_sec: bumps as f64 / (wall_ns as f64 / 1e9).max(1e-9),
+    }
+}
+
+/// The identical subscriber storm run against a single-shard store (one
+/// lock, one condvar — every bump wakes every parked watcher) and a
+/// sharded store (bumps wake only the target shard's cohort), on fresh
+/// services.
+#[derive(Debug, Clone)]
+pub struct ShardedComparison {
+    /// Shard count of the contended arm (always 1).
+    pub contended_shards: usize,
+    /// Shard count of the sharded arm.
+    pub sharded_shards: usize,
+    /// Storm summary on the single-shard store.
+    pub contended: SubscriberSummary,
+    /// Storm summary on the sharded store.
+    pub sharded: SubscriberSummary,
+    /// `contended.wall_ns / sharded.wall_ns`.
+    pub speedup: f64,
+}
+
+impl ShardedComparison {
+    /// The comparison as a JSON object (the shape `bench_snapshot` embeds
+    /// as the schema-8 `sharded` object).
+    pub fn to_json(&self) -> Json {
+        Json::from_pairs([
+            (
+                "contended_shards",
+                Json::Number(self.contended_shards as f64),
+            ),
+            ("sharded_shards", Json::Number(self.sharded_shards as f64)),
+            (
+                "contended_wall_ns",
+                Json::Number(self.contended.wall_ns as f64),
+            ),
+            ("sharded_wall_ns", Json::Number(self.sharded.wall_ns as f64)),
+            ("speedup", Json::Number(self.speedup)),
+            (
+                "watch_wakeup_p99_ns",
+                Json::Number(self.sharded.wakeup_p99_ns as f64),
+            ),
+            ("contended", self.contended.to_json()),
+            ("sharded", self.sharded.to_json()),
+        ])
+    }
+}
+
+/// Runs the subscriber storm on a single-shard store and on a
+/// `sharded_shards`-shard store, alternating arms for `repeats` rounds on
+/// fresh services, and reports each arm's least-disturbed (minimum-wall)
+/// round — storm walls are tens of milliseconds, so a single scheduler
+/// hiccup would otherwise swamp the comparison. On any core count the
+/// single-shard arm pays the thundering herd: every bump wakes every
+/// parked watcher in the process, each of which re-checks its predicate
+/// and parks again, while the sharded arm wakes only the watchers sharing
+/// the bumped dataset's shard.
+pub fn run_sharded_comparison(
+    cfg: &SubscriberConfig,
+    sharded_shards: usize,
+    repeats: usize,
+) -> ShardedComparison {
+    let best = |best: Option<SubscriberSummary>, run: SubscriberSummary| match best {
+        Some(b) if b.wall_ns <= run.wall_ns => Some(b),
+        _ => Some(run),
+    };
+    let mut contended: Option<SubscriberSummary> = None;
+    let mut sharded: Option<SubscriberSummary> = None;
+    for _ in 0..repeats.max(1) {
+        let svc = MiscelaService::new().with_shards(1);
+        contended = best(contended, run_subscriber_storm(&svc, cfg));
+        let svc = MiscelaService::new().with_shards(sharded_shards);
+        sharded = best(sharded, run_subscriber_storm(&svc, cfg));
+    }
+    let contended = contended.expect("at least one round");
+    let sharded = sharded.expect("at least one round");
+    let speedup = contended.wall_ns as f64 / (sharded.wall_ns as f64).max(1.0);
+    ShardedComparison {
+        contended_shards: 1,
+        sharded_shards,
+        contended,
+        sharded,
+        speedup,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +564,30 @@ mod tests {
         let text = summary.to_json().to_string();
         assert!(text.contains("\"completed_p99_ns\""));
         assert!(text.contains("\"sweeps\""));
+    }
+
+    #[test]
+    fn a_small_subscriber_storm_wakes_every_watcher() {
+        let cfg = SubscriberConfig {
+            datasets: 2,
+            watchers_per_dataset: 2,
+            bumps_per_dataset: 3,
+            watch_deadline: Duration::from_millis(200),
+        };
+        let svc = MiscelaService::new();
+        let summary = run_subscriber_storm(&svc, &cfg);
+        assert_eq!(summary.datasets, 2);
+        assert_eq!(summary.watchers, 4);
+        assert_eq!(summary.bumps, 6);
+        // Every watcher observed at least the final revision of its
+        // dataset, so there are at least as many wakeups as watchers.
+        assert!(summary.wakeups >= summary.watchers);
+        assert!(summary.wakeup_p99_ns >= summary.wakeup_p50_ns);
+        let cmp = run_sharded_comparison(&cfg, miscela_server::DEFAULT_SHARDS, 1);
+        assert_eq!(cmp.contended_shards, 1);
+        assert!(cmp.speedup > 0.0);
+        let text = cmp.to_json().to_string();
+        assert!(text.contains("\"contended_wall_ns\""));
+        assert!(text.contains("\"watch_wakeup_p99_ns\""));
     }
 }

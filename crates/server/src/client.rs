@@ -439,6 +439,9 @@ pub struct ResilientClient<T: Transport> {
     op_counter: u64,
     stats: ClientStats,
     real_sleep: bool,
+    /// Path prefix selecting the tenant namespace: empty for the default
+    /// tenant, `/tenants/{t}` after [`ResilientClient::with_tenant`].
+    prefix: String,
 }
 
 impl<T: Transport> ResilientClient<T> {
@@ -458,7 +461,17 @@ impl<T: Transport> ResilientClient<T> {
             op_counter: 0,
             stats: ClientStats::default(),
             real_sleep: false,
+            prefix: String::new(),
         }
+    }
+
+    /// Scopes every subsequent operation to a tenant's namespace by
+    /// prefixing request paths with `/tenants/{tenant}` (builder style).
+    /// Without it the client addresses the default tenant, exactly as
+    /// before tenancy existed.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.prefix = format!("/tenants/{}", tenant.into());
+        self
     }
 
     /// Replaces the retry policy (builder style).
@@ -610,7 +623,7 @@ impl<T: Transport> ResilientClient<T> {
     ) -> Result<Json, ClientError> {
         let begin_key = self.next_key("upload-begin");
         self.request_success(&ApiRequest::post(
-            format!("/datasets/{name}/upload/begin"),
+            format!("{}/datasets/{name}/upload/begin", self.prefix),
             Json::from_pairs([
                 ("location_csv", Json::from(location_csv)),
                 ("attribute_csv", Json::from(attribute_csv)),
@@ -619,7 +632,7 @@ impl<T: Transport> ResilientClient<T> {
         ))?;
         for chunk in miscela_csv::split_into_chunks(data_csv, chunk_lines) {
             self.request_success(&ApiRequest::post(
-                format!("/datasets/{name}/upload/chunk"),
+                format!("{}/datasets/{name}/upload/chunk", self.prefix),
                 Json::from_pairs([
                     ("index", Json::from(chunk.index)),
                     ("total", Json::from(chunk.total)),
@@ -629,7 +642,7 @@ impl<T: Transport> ResilientClient<T> {
         }
         let finish_key = self.next_key("upload-finish");
         let response = self.request_success(&ApiRequest::post(
-            format!("/datasets/{name}/upload/finish"),
+            format!("{}/datasets/{name}/upload/finish", self.prefix),
             Json::from_pairs([("idempotency_key", Json::from(finish_key.as_str()))]),
         ))?;
         Ok(response.body)
@@ -648,7 +661,7 @@ impl<T: Transport> ResilientClient<T> {
     ) -> Result<Json, ClientError> {
         let begin_key = self.next_key("append-begin");
         let begin = self.request_success(&ApiRequest::post(
-            format!("/datasets/{name}/append/begin"),
+            format!("{}/datasets/{name}/append/begin", self.prefix),
             Json::from_pairs([("idempotency_key", Json::from(begin_key.as_str()))]),
         ))?;
         let mut session = begin
@@ -662,7 +675,7 @@ impl<T: Transport> ResilientClient<T> {
             let chunk = &chunks[i];
             let seq = i as u64 + 1;
             let response = self.request(&ApiRequest::post(
-                format!("/datasets/{name}/append/chunk"),
+                format!("{}/datasets/{name}/append/chunk", self.prefix),
                 Json::from_pairs([
                     ("index", Json::from(chunk.index)),
                     ("total", Json::from(chunk.total)),
@@ -699,7 +712,7 @@ impl<T: Transport> ResilientClient<T> {
         }
         let finish_key = self.next_key("append-finish");
         let response = self.request_success(&ApiRequest::post(
-            format!("/datasets/{name}/append/finish"),
+            format!("{}/datasets/{name}/append/finish", self.prefix),
             Json::from_pairs([("idempotency_key", Json::from(finish_key.as_str()))]),
         ))?;
         Ok(response.body)
@@ -708,8 +721,10 @@ impl<T: Transport> ResilientClient<T> {
     /// Mines a dataset (read-only: safely retryable without a key).
     /// Returns the response body, including the serialized CapSet.
     pub fn mine(&mut self, name: &str, params: Json) -> Result<Json, ClientError> {
-        let response =
-            self.request_success(&ApiRequest::post(format!("/datasets/{name}/mine"), params))?;
+        let response = self.request_success(&ApiRequest::post(
+            format!("{}/datasets/{name}/mine", self.prefix),
+            params,
+        ))?;
         Ok(response.body)
     }
 
@@ -724,7 +739,7 @@ impl<T: Transport> ResilientClient<T> {
         body.set("points", points);
         body.set("idempotency_key", Json::from(key.as_str()));
         let response = self.request_success(&ApiRequest::post(
-            format!("/datasets/{name}/mine/sweep"),
+            format!("{}/datasets/{name}/mine/sweep", self.prefix),
             body,
         ))?;
         Ok(response.body)
@@ -736,7 +751,7 @@ impl<T: Transport> ResilientClient<T> {
         let key = self.next_key("retention");
         policy.set("idempotency_key", Json::from(key.as_str()));
         let response = self.request_success(&ApiRequest::post(
-            format!("/datasets/{name}/retention"),
+            format!("{}/datasets/{name}/retention", self.prefix),
             policy,
         ))?;
         Ok(response.body)
@@ -748,8 +763,8 @@ impl<T: Transport> ResilientClient<T> {
     /// the durability log that would have carried it).
     pub fn delete(&mut self, name: &str) -> Result<Json, ClientError> {
         let key = self.next_key("delete");
-        let request =
-            ApiRequest::delete(format!("/datasets/{name}")).with_query("idempotency_key", &key);
+        let request = ApiRequest::delete(format!("{}/datasets/{name}", self.prefix))
+            .with_query("idempotency_key", &key);
         let attempts_before = self.stats.attempts;
         let response = self.request(&request)?;
         if response.is_success() {
@@ -767,10 +782,33 @@ impl<T: Transport> ResilientClient<T> {
         })
     }
 
+    /// Long-polls a dataset's revision feed: returns once the revision
+    /// differs from `since_revision` (pass the last revision this client
+    /// observed; 0 to learn the current one) or after `deadline_ms` with
+    /// `"changed": false`. Read-only and cursor-driven, so it is safely
+    /// retryable without a key: a lost response just re-issues the same
+    /// cursor and the next reply carries the same (or a newer) revision —
+    /// the watcher resumes across faults without missing a bump. A `404`
+    /// is the feed's typed close: the dataset was deleted.
+    pub fn watch(
+        &mut self,
+        name: &str,
+        since_revision: u64,
+        deadline_ms: u64,
+    ) -> Result<Json, ClientError> {
+        let request = ApiRequest::get(format!("{}/datasets/{name}/watch", self.prefix))
+            .with_query("since_revision", since_revision.to_string())
+            .with_query("deadline_ms", deadline_ms.to_string());
+        let response = self.request_success(&request)?;
+        Ok(response.body)
+    }
+
     /// The server-side status of an in-progress append session (if any).
     pub fn append_status(&mut self, name: &str) -> Result<Json, ClientError> {
-        let response =
-            self.request_success(&ApiRequest::get(format!("/datasets/{name}/append")))?;
+        let response = self.request_success(&ApiRequest::get(format!(
+            "{}/datasets/{name}/append",
+            self.prefix
+        )))?;
         Ok(response.body)
     }
 }
@@ -863,6 +901,44 @@ mod tests {
                 assert!(slept_ms <= 100, "slept {slept_ms}ms past the 100ms budget")
             }
             other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tenant_prefix_and_watch_survive_chaos() {
+        let (data, locations, attributes, tail) = small_csvs();
+        let router = fresh_router();
+        let chaotic = ChaosTransport::new(
+            RouterTransport::new(Arc::clone(&router)),
+            ChaosConfig::storm(0.25),
+            21,
+        );
+        let mut client = ResilientClient::new(chaotic, "c4").with_tenant("acme");
+        client
+            .register("demo", &locations, &attributes, &data, 1_000)
+            .unwrap();
+        // The dataset lives in acme's namespace only.
+        assert_eq!(
+            router.handle(&ApiRequest::get("/datasets/demo")).status,
+            StatusCode::NotFound
+        );
+        assert!(router
+            .handle(&ApiRequest::get("/tenants/acme/datasets/demo"))
+            .is_success());
+        // A stale cursor is answered immediately with the current revision,
+        // through the lossy transport (retries re-issue the same cursor).
+        let watched = client.watch("demo", 0, 1_000).unwrap();
+        assert_eq!(watched.get("changed").unwrap().as_bool(), Some(true));
+        assert_eq!(watched.get("revision").unwrap().as_i64(), Some(1));
+        let appended = client.append("demo", &tail, 1_000).unwrap();
+        assert_eq!(appended.get("revision").unwrap().as_i64(), Some(2));
+        let watched = client.watch("demo", 1, 1_000).unwrap();
+        assert_eq!(watched.get("changed").unwrap().as_bool(), Some(true));
+        assert_eq!(watched.get("revision").unwrap().as_i64(), Some(2));
+        // Watching a dataset that does not exist is the typed close.
+        match client.watch("ghost", 0, 50).unwrap_err() {
+            ClientError::Failed { status, .. } => assert_eq!(status, StatusCode::NotFound),
+            other => panic!("expected a typed close, got {other:?}"),
         }
     }
 

@@ -13,10 +13,15 @@
 //!   cost-weighted in-flight budget, per-dataset concurrency caps and a
 //!   bounded wait queue, shedding excess load with typed retryable errors
 //!   instead of queueing without bound;
-//! * [`service`] — [`service::MiscelaService`]: dataset upload (including the
-//!   10,000-line chunked `data.csv` protocol), dataset registry backed by the
-//!   document store, mining with the parameter-keyed result cache, and
-//!   result retrieval;
+//! * [`shard`] — the sharded storage spine ([`shard::ShardedStore`]): every
+//!   piece of per-dataset state (registry, caches, sessions, durability,
+//!   watch sequence) keyed by `tenant/dataset` and hashed into independent
+//!   shards with per-shard locks, plus per-tenant quotas and stats;
+//! * [`service`] — [`service::MiscelaService`]: a stateless facade over the
+//!   sharded store — dataset upload (including the 10,000-line chunked
+//!   `data.csv` protocol), dataset registry backed by the document store,
+//!   mining with the parameter-keyed result cache, result retrieval, and the
+//!   `watch` long-poll feed;
 //! * [`router`] — dispatches requests to the service and serializes responses
 //!   as JSON, like the original URL configuration did;
 //! * [`durability`] — the snapshot codec and WAL record vocabulary behind
@@ -66,6 +71,7 @@ pub mod durability;
 pub mod message;
 pub mod router;
 pub mod service;
+pub mod shard;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats, Permit};
 pub use client::{
@@ -77,5 +83,6 @@ pub use router::Router;
 pub use service::{
     AppendSession, AppendStatus, AppendSummary, BeginAppendOutcome, ChunkAck, DatasetSummary,
     MineOutcome, MiscelaService, ProtocolStats, ReplayOutcome, SweepOutcome, SweepServed,
-    UploadSession,
+    TenantCacheStats, UploadSession, WatchOutcome,
 };
+pub use shard::{ShardedStore, TenantAdmissionStats, TenantQuota, DEFAULT_SHARDS, DEFAULT_TENANT};

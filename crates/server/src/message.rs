@@ -35,6 +35,10 @@ pub enum StatusCode {
     NotFound,
     /// The request conflicts with the resource's current state.
     Conflict,
+    /// The tenant's quota forbids the request (dataset count, retained
+    /// timestamps, or cache budget). Not retryable: the quota must be
+    /// raised or data removed first.
+    Forbidden,
     /// A protocol precondition failed: the request's sequence number does
     /// not follow the server's acked watermark (gap or stale session).
     PreconditionFailed,
@@ -55,6 +59,7 @@ impl StatusCode {
             StatusCode::Ok => 200,
             StatusCode::Created => 201,
             StatusCode::BadRequest => 400,
+            StatusCode::Forbidden => 403,
             StatusCode::NotFound => 404,
             StatusCode::Conflict => 409,
             StatusCode::PreconditionFailed => 412,
@@ -205,6 +210,10 @@ pub enum ApiError {
     BadRequest(String),
     /// A referenced dataset or resource does not exist.
     NotFound(String),
+    /// The tenant's quota forbids the request. Maps to 403: the request is
+    /// well-formed and the resource exists, but the namespace's budget
+    /// (dataset count, retained timestamps, cache entries) is exhausted.
+    QuotaExceeded(String),
     /// The request conflicts with the resource's current state (e.g. an
     /// append session is already open for the dataset).
     Conflict(String),
@@ -250,6 +259,7 @@ impl ApiError {
         match self {
             ApiError::BadRequest(_) => StatusCode::BadRequest,
             ApiError::NotFound(_) => StatusCode::NotFound,
+            ApiError::QuotaExceeded(_) => StatusCode::Forbidden,
             ApiError::Conflict(_) => StatusCode::Conflict,
             ApiError::SequenceGap { .. } => StatusCode::PreconditionFailed,
             ApiError::Overloaded { .. } => StatusCode::TooManyRequests,
@@ -264,6 +274,7 @@ impl ApiError {
         match self {
             ApiError::BadRequest(m)
             | ApiError::NotFound(m)
+            | ApiError::QuotaExceeded(m)
             | ApiError::Conflict(m)
             | ApiError::SequenceGap { message: m, .. }
             | ApiError::Overloaded { message: m, .. }
@@ -310,6 +321,7 @@ mod tests {
     #[test]
     fn status_codes() {
         assert_eq!(StatusCode::Ok.as_u16(), 200);
+        assert_eq!(StatusCode::Forbidden.as_u16(), 403);
         assert_eq!(StatusCode::NotFound.as_u16(), 404);
         assert_eq!(StatusCode::Conflict.as_u16(), 409);
         assert_eq!(StatusCode::PreconditionFailed.as_u16(), 412);
@@ -357,6 +369,14 @@ mod tests {
         let conflict = ApiError::Conflict("session open".to_string());
         assert_eq!(conflict.status(), StatusCode::Conflict);
         assert!(!conflict.is_retryable());
+
+        let quota = ApiError::QuotaExceeded("dataset quota reached".to_string());
+        assert_eq!(quota.status(), StatusCode::Forbidden);
+        assert_eq!(quota.retry_after_ms(), None);
+        // Not retryable: the same request keeps failing until the quota is
+        // raised or datasets are deleted.
+        assert!(!quota.is_retryable());
+        assert_eq!(ApiResponse::from_error(&quota).status.as_u16(), 403);
     }
 
     #[test]

@@ -20,9 +20,30 @@
 //! | POST   | `/datasets/{name}/mine` | run CAP mining with the parameters in the body (revision-aware) |
 //! | POST   | `/datasets/{name}/mine/sweep` | batch-mine a whole parameter grid (`points` array of parameter objects in the body; deduplicated server-side; admission-charged once for the job) |
 //! | GET    | `/datasets/{name}/durability` | WAL/snapshot statistics (incl. degraded state) for a durable dataset |
-//! | GET    | `/admission/stats` | admission-control counters (admitted / shed / queued) |
-//! | GET    | `/protocol/stats` | exactly-once protocol counters (key replays, duplicate suppression) |
-//! | GET    | `/cache/stats` | result- and extraction-cache hit/miss statistics |
+//! | GET    | `/datasets/{name}/watch` | long-poll for a revision change (`since_revision`, optional `deadline_ms`) |
+//! | GET    | `/admission/stats` | service-wide admission-control counters (admitted / shed / queued) |
+//! | GET    | `/protocol/stats` | service-wide exactly-once protocol counters (key replays, duplicate suppression) |
+//! | GET    | `/cache/stats` | service-wide result- and extraction-cache hit/miss statistics |
+//!
+//! # Tenancy
+//!
+//! Every route above (except the three service-wide stats routes) also
+//! exists under a `/tenants/{tenant}` prefix and then operates on that
+//! tenant's namespace: `POST /tenants/acme/datasets/d/mine` mines `acme`'s
+//! dataset `d`, invisible to every other tenant. A bare path addresses the
+//! built-in default tenant, so all pre-tenancy URLs keep working
+//! unchanged. Tenant-scoped additions:
+//!
+//! | Method | Path | Purpose |
+//! |--------|------|---------|
+//! | GET    | `/tenants/{t}/quota` | the tenant's quota (`null` caps = unlimited) |
+//! | POST   | `/tenants/{t}/quota` | set the quota (`max_datasets`, `max_retained_timestamps`, `max_cache_entries`) |
+//! | GET    | `/tenants/{t}/admission/stats` | the tenant's slice of the admission counters |
+//! | GET    | `/tenants/{t}/protocol/stats` | the tenant's exactly-once protocol counters |
+//! | GET    | `/tenants/{t}/cache/stats` | the tenant's dataset count and extraction-cache counters |
+//!
+//! Quota violations are typed `403` responses; an invalid tenant name
+//! (anything outside `[A-Za-z0-9_-]+`) is a `400`.
 //!
 //! # Retries and exactly-once mutations
 //!
@@ -56,12 +77,18 @@
 
 use crate::message::{ApiError, ApiRequest, ApiResponse, Method};
 use crate::service::{MiscelaService, SweepServed};
+use crate::shard::{TenantQuota, DEFAULT_TENANT};
 use miscela_cache::codec::capset_to_json;
 use miscela_core::{CancelToken, MiningParams};
 use miscela_csv::chunk::Chunk;
 use miscela_store::Json;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How long `GET .../watch` parks when the request carries no
+/// `deadline_ms`: a bounded default long-poll window, so an abandoned
+/// watcher never pins a thread forever.
+const DEFAULT_WATCH_DEADLINE: Duration = Duration::from_secs(30);
 
 /// The API router.
 pub struct Router {
@@ -89,31 +116,57 @@ impl Router {
 
     fn dispatch(&self, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
         let segments = request.segments();
+        // The service-wide stats routes are matched on the raw path first:
+        // they aggregate across every tenant and take no tenant prefix.
         match (request.method, segments.as_slice()) {
-            (Method::Get, ["datasets"]) => Ok(self.list_datasets()),
-            (Method::Get, ["datasets", name]) => self.dataset_stats(name),
+            (Method::Get, ["admission", "stats"]) => return Ok(self.admission_stats()),
+            (Method::Get, ["protocol", "stats"]) => return Ok(self.protocol_stats()),
+            (Method::Get, ["cache", "stats"]) => return Ok(self.cache_stats()),
+            _ => {}
+        }
+        // Every other route lives in a tenant namespace: a `/tenants/{t}`
+        // prefix selects it, its absence selects the default tenant — so
+        // every pre-tenancy URL keeps working unchanged.
+        let (tenant, rest) = match segments.as_slice() {
+            ["tenants", tenant, rest @ ..] => (*tenant, rest),
+            rest => (DEFAULT_TENANT, rest),
+        };
+        self.dispatch_in(tenant, rest, request)
+    }
+
+    fn dispatch_in(
+        &self,
+        tenant: &str,
+        segments: &[&str],
+        request: &ApiRequest,
+    ) -> Result<ApiResponse, ApiError> {
+        match (request.method, segments) {
+            (Method::Get, ["datasets"]) => self.list_datasets(tenant),
+            (Method::Get, ["datasets", name]) => self.dataset_stats(tenant, name),
             (Method::Delete, ["datasets", name]) => {
-                let replayed = self
-                    .service
-                    .delete_dataset_keyed(name, key_from_request(request))?;
+                let replayed = self.service.delete_dataset_keyed_in(
+                    tenant,
+                    name,
+                    key_from_request(request),
+                )?;
                 Ok(ApiResponse::ok(Json::from_pairs([
                     ("deleted", Json::from(*name)),
                     ("replayed", Json::from(replayed)),
                 ])))
             }
             (Method::Post, ["datasets", name, "upload", "begin"]) => {
-                self.begin_upload(name, request)
+                self.begin_upload(tenant, name, request)
             }
             (Method::Post, ["datasets", name, "upload", "chunk"]) => {
-                self.upload_chunk(name, request)
+                self.upload_chunk(tenant, name, request)
             }
             (Method::Post, ["datasets", name, "upload", "finish"]) => {
-                self.finish_upload(name, request)
+                self.finish_upload(tenant, name, request)
             }
             (Method::Post, ["datasets", name, "append", "begin"]) => {
-                let outcome = self
-                    .service
-                    .begin_append_keyed(name, key_from_request(request))?;
+                let outcome =
+                    self.service
+                        .begin_append_keyed_in(tenant, name, key_from_request(request))?;
                 Ok(ApiResponse::created(Json::from_pairs([
                     ("append", Json::from(*name)),
                     ("session", Json::from(outcome.session as i64)),
@@ -121,20 +174,27 @@ impl Router {
                 ])))
             }
             (Method::Post, ["datasets", name, "append", "chunk"]) => {
-                self.append_chunk(name, request)
+                self.append_chunk(tenant, name, request)
             }
             (Method::Post, ["datasets", name, "append", "finish"]) => {
-                self.finish_append(name, request)
+                self.finish_append(tenant, name, request)
             }
-            (Method::Get, ["datasets", name, "append"]) => self.append_status(name),
-            (Method::Get, ["datasets", name, "retention"]) => self.get_retention(name),
-            (Method::Post, ["datasets", name, "retention"]) => self.set_retention(name, request),
-            (Method::Get, ["datasets", name, "durability"]) => self.durability(name),
-            (Method::Post, ["datasets", name, "mine"]) => self.mine(name, request),
-            (Method::Post, ["datasets", name, "mine", "sweep"]) => self.mine_sweep(name, request),
-            (Method::Get, ["admission", "stats"]) => Ok(self.admission_stats()),
-            (Method::Get, ["protocol", "stats"]) => Ok(self.protocol_stats()),
-            (Method::Get, ["cache", "stats"]) => Ok(self.cache_stats()),
+            (Method::Get, ["datasets", name, "append"]) => self.append_status(tenant, name),
+            (Method::Get, ["datasets", name, "retention"]) => self.get_retention(tenant, name),
+            (Method::Post, ["datasets", name, "retention"]) => {
+                self.set_retention(tenant, name, request)
+            }
+            (Method::Get, ["datasets", name, "durability"]) => self.durability(tenant, name),
+            (Method::Get, ["datasets", name, "watch"]) => self.watch(tenant, name, request),
+            (Method::Post, ["datasets", name, "mine"]) => self.mine(tenant, name, request),
+            (Method::Post, ["datasets", name, "mine", "sweep"]) => {
+                self.mine_sweep(tenant, name, request)
+            }
+            (Method::Get, ["quota"]) => self.get_quota(tenant),
+            (Method::Post, ["quota"]) => self.set_quota(tenant, request),
+            (Method::Get, ["admission", "stats"]) => self.tenant_admission_stats(tenant),
+            (Method::Get, ["protocol", "stats"]) => self.tenant_protocol_stats(tenant),
+            (Method::Get, ["cache", "stats"]) => self.tenant_cache_stats(tenant),
             _ => Err(ApiError::NotFound(format!(
                 "no route for {:?} {}",
                 request.method, request.path
@@ -142,10 +202,10 @@ impl Router {
         }
     }
 
-    fn list_datasets(&self) -> ApiResponse {
+    fn list_datasets(&self, tenant: &str) -> Result<ApiResponse, ApiError> {
         let datasets: Vec<Json> = self
             .service
-            .list_datasets()
+            .list_datasets_in(tenant)?
             .into_iter()
             .map(|d| {
                 Json::from_pairs([
@@ -159,11 +219,14 @@ impl Router {
                 ])
             })
             .collect();
-        ApiResponse::ok(Json::from_pairs([("datasets", Json::Array(datasets))]))
+        Ok(ApiResponse::ok(Json::from_pairs([(
+            "datasets",
+            Json::Array(datasets),
+        )])))
     }
 
-    fn dataset_stats(&self, name: &str) -> Result<ApiResponse, ApiError> {
-        let stats = self.service.dataset_stats(name)?;
+    fn dataset_stats(&self, tenant: &str, name: &str) -> Result<ApiResponse, ApiError> {
+        let stats = self.service.dataset_stats_in(tenant, name)?;
         Ok(ApiResponse::ok(Json::from_pairs([
             ("name", Json::from(stats.name)),
             ("sensors", Json::from(stats.sensors)),
@@ -177,10 +240,16 @@ impl Router {
         ])))
     }
 
-    fn begin_upload(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+    fn begin_upload(
+        &self,
+        tenant: &str,
+        name: &str,
+        request: &ApiRequest,
+    ) -> Result<ApiResponse, ApiError> {
         let location = body_str(request, "location_csv")?;
         let attributes = body_str(request, "attribute_csv")?;
-        let replayed = self.service.begin_upload_keyed(
+        let replayed = self.service.begin_upload_keyed_in(
+            tenant,
             name,
             location,
             attributes,
@@ -192,16 +261,26 @@ impl Router {
         ])))
     }
 
-    fn upload_chunk(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+    fn upload_chunk(
+        &self,
+        tenant: &str,
+        name: &str,
+        request: &ApiRequest,
+    ) -> Result<ApiResponse, ApiError> {
         let chunk = chunk_from_body(request)?;
-        let missing = self.service.upload_chunk(name, &chunk)?;
+        let missing = self.service.upload_chunk_in(tenant, name, &chunk)?;
         Ok(chunk_accepted(&chunk, missing))
     }
 
-    fn finish_upload(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
-        let (summary, elapsed, replayed) = self
-            .service
-            .finish_upload_keyed(name, key_from_request(request))?;
+    fn finish_upload(
+        &self,
+        tenant: &str,
+        name: &str,
+        request: &ApiRequest,
+    ) -> Result<ApiResponse, ApiError> {
+        let (summary, elapsed, replayed) =
+            self.service
+                .finish_upload_keyed_in(tenant, name, key_from_request(request))?;
         Ok(ApiResponse::created(Json::from_pairs([
             ("name", Json::from(summary.name)),
             ("sensors", Json::from(summary.sensors)),
@@ -211,14 +290,21 @@ impl Router {
         ])))
     }
 
-    fn append_chunk(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+    fn append_chunk(
+        &self,
+        tenant: &str,
+        name: &str,
+        request: &ApiRequest,
+    ) -> Result<ApiResponse, ApiError> {
         let chunk = chunk_from_body(request)?;
         // A chunk carrying a sequence number speaks the exactly-once
         // protocol: its session id is required and its ack is replayable.
         if request.body.get("seq").is_some() {
             let session = body_u64(request, "session")?;
             let seq = body_u64(request, "seq")?;
-            let ack = self.service.append_chunk_seq(name, session, seq, &chunk)?;
+            let ack = self
+                .service
+                .append_chunk_seq_in(tenant, name, session, seq, &chunk)?;
             return Ok(ApiResponse::ok(Json::from_pairs([
                 ("accepted", Json::from(ack.accepted)),
                 ("missing_chunks", Json::from(ack.missing)),
@@ -226,14 +312,19 @@ impl Router {
                 ("replayed", Json::from(ack.replayed)),
             ])));
         }
-        let missing = self.service.append_chunk(name, &chunk)?;
+        let missing = self.service.append_chunk_in(tenant, name, &chunk)?;
         Ok(chunk_accepted(&chunk, missing))
     }
 
-    fn finish_append(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
-        let (summary, elapsed, replayed) = self
-            .service
-            .finish_append_keyed(name, key_from_request(request))?;
+    fn finish_append(
+        &self,
+        tenant: &str,
+        name: &str,
+        request: &ApiRequest,
+    ) -> Result<ApiResponse, ApiError> {
+        let (summary, elapsed, replayed) =
+            self.service
+                .finish_append_keyed_in(tenant, name, key_from_request(request))?;
         Ok(ApiResponse::ok(Json::from_pairs([
             ("name", Json::from(summary.name)),
             ("new_timestamps", Json::from(summary.new_timestamps)),
@@ -246,8 +337,8 @@ impl Router {
         ])))
     }
 
-    fn append_status(&self, name: &str) -> Result<ApiResponse, ApiError> {
-        let status = self.service.append_status(name)?;
+    fn append_status(&self, tenant: &str, name: &str) -> Result<ApiResponse, ApiError> {
+        let status = self.service.append_status_in(tenant, name)?;
         Ok(match status {
             Some(s) => ApiResponse::ok(Json::from_pairs([
                 ("name", Json::from(name)),
@@ -264,9 +355,9 @@ impl Router {
         })
     }
 
-    fn get_retention(&self, name: &str) -> Result<ApiResponse, ApiError> {
-        let policy = self.service.retention(name)?;
-        let ds = self.service.dataset(name)?;
+    fn get_retention(&self, tenant: &str, name: &str) -> Result<ApiResponse, ApiError> {
+        let policy = self.service.retention_in(tenant, name)?;
+        let ds = self.service.dataset_in(tenant, name)?;
         Ok(ApiResponse::ok(Json::from_pairs([
             ("name", Json::from(name)),
             (
@@ -285,11 +376,16 @@ impl Router {
         ])))
     }
 
-    fn set_retention(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+    fn set_retention(
+        &self,
+        tenant: &str,
+        name: &str,
+        request: &ApiRequest,
+    ) -> Result<ApiResponse, ApiError> {
         let policy = retention_from_json(&request.body)?;
         let (summary, replayed) =
             self.service
-                .set_retention_keyed(name, policy, key_from_request(request))?;
+                .set_retention_keyed_in(tenant, name, policy, key_from_request(request))?;
         Ok(ApiResponse::ok(Json::from_pairs([
             ("name", Json::from(summary.name)),
             ("trimmed_timestamps", Json::from(summary.trimmed_timestamps)),
@@ -300,8 +396,8 @@ impl Router {
         ])))
     }
 
-    fn durability(&self, name: &str) -> Result<ApiResponse, ApiError> {
-        let stats = self.service.durability_stats(name)?;
+    fn durability(&self, tenant: &str, name: &str) -> Result<ApiResponse, ApiError> {
+        let stats = self.service.durability_stats_in(tenant, name)?;
         Ok(ApiResponse::ok(Json::from_pairs([
             ("name", Json::from(name)),
             ("wal_records", Json::from(stats.wal_records as i64)),
@@ -321,17 +417,28 @@ impl Router {
             (
                 "degraded",
                 self.service
-                    .degraded_reason(name)
+                    .degraded_reason_in(tenant, name)
                     .map(Json::from)
                     .unwrap_or(Json::Null),
             ),
         ])))
     }
 
-    fn mine(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+    fn mine(
+        &self,
+        tenant: &str,
+        name: &str,
+        request: &ApiRequest,
+    ) -> Result<ApiResponse, ApiError> {
         let params = params_from_json(&request.body)?;
         let deadline = deadline_from_query(request)?;
-        let outcome = self.service.mine_with_deadline(name, &params, deadline)?;
+        let outcome = self.service.mine_cancellable_in(
+            tenant,
+            name,
+            &params,
+            deadline,
+            &CancelToken::never(),
+        )?;
         Ok(ApiResponse::ok(Json::from_pairs([
             ("dataset", Json::from(name)),
             ("revision", Json::from(outcome.revision as i64)),
@@ -350,7 +457,12 @@ impl Router {
         ])))
     }
 
-    fn mine_sweep(&self, name: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+    fn mine_sweep(
+        &self,
+        tenant: &str,
+        name: &str,
+        request: &ApiRequest,
+    ) -> Result<ApiResponse, ApiError> {
         let raw = request
             .body
             .get("points")
@@ -364,9 +476,14 @@ impl Router {
             .collect::<Result<Vec<MiningParams>, ApiError>>()?;
         let deadline = deadline_from_query(request)?;
         let key = key_from_request(request);
-        let served =
-            self.service
-                .mine_sweep(name, &points, deadline, &CancelToken::never(), key)?;
+        let served = self.service.mine_sweep_in(
+            tenant,
+            name,
+            &points,
+            deadline,
+            &CancelToken::never(),
+            key,
+        )?;
         let outcome = match served {
             SweepServed::Replayed(body) => {
                 let mut doc = Json::parse(&body)
@@ -405,8 +522,93 @@ impl Router {
             ("results", Json::Array(results)),
         ]);
         self.service
-            .remember_sweep(key, name, doc.to_string_compact());
+            .remember_sweep_in(tenant, name, key, doc.to_string_compact());
         Ok(ApiResponse::ok(doc))
+    }
+
+    fn watch(
+        &self,
+        tenant: &str,
+        name: &str,
+        request: &ApiRequest,
+    ) -> Result<ApiResponse, ApiError> {
+        let since = match request.query.get("since_revision") {
+            Some(raw) => raw.parse().map_err(|_| {
+                ApiError::BadRequest("since_revision must be a non-negative integer".into())
+            })?,
+            None => 0,
+        };
+        // A long poll always has a bound: an omitted deadline defaults to
+        // the standard long-poll window rather than parking forever.
+        let deadline = deadline_from_query(request)?
+            .unwrap_or_else(|| Instant::now() + DEFAULT_WATCH_DEADLINE);
+        let out = self.service.watch_in(tenant, name, since, deadline)?;
+        Ok(ApiResponse::ok(Json::from_pairs([
+            ("dataset", Json::from(name)),
+            ("revision", Json::from(out.revision as i64)),
+            ("changed", Json::from(out.changed)),
+            ("timestamps", Json::from(out.timestamps)),
+            ("trimmed_total", Json::from(out.trimmed_total)),
+            ("deadline_expired", Json::from(out.deadline_expired)),
+        ])))
+    }
+
+    fn get_quota(&self, tenant: &str) -> Result<ApiResponse, ApiError> {
+        let quota = self.service.quota(tenant)?;
+        Ok(ApiResponse::ok(quota_doc(tenant, &quota)))
+    }
+
+    fn set_quota(&self, tenant: &str, request: &ApiRequest) -> Result<ApiResponse, ApiError> {
+        let quota = quota_from_json(&request.body)?;
+        self.service.set_quota(tenant, quota)?;
+        Ok(ApiResponse::ok(quota_doc(tenant, &quota)))
+    }
+
+    fn tenant_admission_stats(&self, tenant: &str) -> Result<ApiResponse, ApiError> {
+        let stats = self.service.tenant_admission_stats(tenant)?;
+        Ok(ApiResponse::ok(Json::from_pairs([
+            ("tenant", Json::from(tenant)),
+            ("admitted", Json::from(stats.admitted as i64)),
+            ("shed", Json::from(stats.shed as i64)),
+            (
+                "deadline_expired",
+                Json::from(stats.deadline_expired as i64),
+            ),
+        ])))
+    }
+
+    fn tenant_protocol_stats(&self, tenant: &str) -> Result<ApiResponse, ApiError> {
+        let stats = self.service.protocol_stats_in(tenant)?;
+        Ok(ApiResponse::ok(Json::from_pairs([
+            ("tenant", Json::from(tenant)),
+            ("cached_keys", Json::from(stats.cached_keys)),
+            ("key_replays", Json::from(stats.key_replays as i64)),
+            (
+                "chunk_duplicates",
+                Json::from(stats.chunk_duplicates as i64),
+            ),
+            ("sequence_gaps", Json::from(stats.sequence_gaps as i64)),
+            ("stale_sessions", Json::from(stats.stale_sessions as i64)),
+        ])))
+    }
+
+    fn tenant_cache_stats(&self, tenant: &str) -> Result<ApiResponse, ApiError> {
+        let stats = self.service.tenant_cache_stats(tenant)?;
+        Ok(ApiResponse::ok(Json::from_pairs([
+            ("tenant", Json::from(tenant)),
+            ("datasets", Json::from(stats.datasets)),
+            (
+                "extraction",
+                Json::from_pairs([
+                    ("hits", Json::from(stats.extraction.hits)),
+                    ("misses", Json::from(stats.extraction.misses)),
+                    ("prefix_hits", Json::from(stats.extraction.prefix_hits)),
+                    ("prefix_misses", Json::from(stats.extraction.prefix_misses)),
+                    ("entries", Json::from(stats.extraction.entries)),
+                    ("evicted", Json::from(stats.extraction.evicted)),
+                ]),
+            ),
+        ])))
     }
 
     fn admission_stats(&self) -> ApiResponse {
@@ -529,6 +731,43 @@ pub fn retention_from_json(body: &Json) -> Result<miscela_model::RetentionPolicy
         policy.max_age = Some(miscela_model::Duration::seconds(n));
     }
     Ok(policy)
+}
+
+/// The JSON rendering of one tenant's quota: `null` means unlimited.
+fn quota_doc(tenant: &str, quota: &TenantQuota) -> Json {
+    let opt = |v: Option<usize>| v.map(Json::from).unwrap_or(Json::Null);
+    Json::from_pairs([
+        ("tenant", Json::from(tenant)),
+        ("max_datasets", opt(quota.max_datasets)),
+        (
+            "max_retained_timestamps",
+            opt(quota.max_retained_timestamps),
+        ),
+        ("max_cache_entries", opt(quota.max_cache_entries)),
+    ])
+}
+
+/// Parses a tenant quota from a JSON body: each of `max_datasets`,
+/// `max_retained_timestamps` and `max_cache_entries` is an optional
+/// non-negative integer; absent or `null` means unlimited, so posting an
+/// empty body clears every cap.
+fn quota_from_json(body: &Json) -> Result<TenantQuota, ApiError> {
+    let field = |name: &str| -> Result<Option<usize>, ApiError> {
+        match body.get(name) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => {
+                let n = v.as_i64().filter(|n| *n >= 0).ok_or_else(|| {
+                    ApiError::BadRequest(format!("{name} must be a non-negative integer"))
+                })?;
+                Ok(Some(n as usize))
+            }
+        }
+    };
+    Ok(TenantQuota {
+        max_datasets: field("max_datasets")?,
+        max_retained_timestamps: field("max_retained_timestamps")?,
+        max_cache_entries: field("max_cache_entries")?,
+    })
 }
 
 /// Parses the optional `deadline_ms` query parameter into an absolute
@@ -1091,6 +1330,201 @@ mod tests {
             .and_then(|e| e.as_str())
             .unwrap()
             .contains("already open"));
+    }
+
+    #[test]
+    fn tenant_routes_are_namespaced() {
+        let router = router_with_dataset();
+        // The same dataset name registered under a tenant prefix is a
+        // distinct dataset; bare URLs keep addressing the default tenant.
+        router
+            .service()
+            .register_dataset_keyed_in(
+                "acme",
+                SantanderGenerator::small().with_scale(0.02).generate(),
+                None,
+            )
+            .unwrap();
+        let listed = router.handle(&ApiRequest::get("/tenants/acme/datasets"));
+        assert!(listed.is_success(), "{:?}", listed.body);
+        assert_eq!(
+            listed
+                .body
+                .get("datasets")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            1
+        );
+        let stats = router.handle(&ApiRequest::get("/tenants/acme/datasets/santander"));
+        assert!(stats.is_success(), "{:?}", stats.body);
+        // Deleting the tenant's copy leaves the default tenant's intact.
+        let del = router.handle(&ApiRequest::delete("/tenants/acme/datasets/santander"));
+        assert!(del.is_success(), "{:?}", del.body);
+        let gone = router.handle(&ApiRequest::get("/tenants/acme/datasets/santander"));
+        assert_eq!(gone.status, StatusCode::NotFound);
+        let still = router.handle(&ApiRequest::get("/datasets/santander"));
+        assert!(still.is_success(), "{:?}", still.body);
+        // An invalid tenant name is a 400, and the explicit default prefix
+        // aliases the bare path.
+        let bad = router.handle(&ApiRequest::get("/tenants/no.pe/datasets"));
+        assert_eq!(bad.status, StatusCode::BadRequest);
+        let aliased = router.handle(&ApiRequest::get("/tenants/default/datasets/santander"));
+        assert!(aliased.is_success(), "{:?}", aliased.body);
+    }
+
+    #[test]
+    fn watch_route_reports_revisions_and_deadlines() {
+        let router = router_with_dataset();
+        // since_revision defaults to 0: an immediate changed reply carrying
+        // the current revision.
+        let resp = router.handle(&ApiRequest::get("/datasets/santander/watch"));
+        assert!(resp.is_success(), "{:?}", resp.body);
+        assert_eq!(resp.body.get("changed").unwrap().as_bool(), Some(true));
+        assert_eq!(resp.body.get("revision").unwrap().as_i64(), Some(1));
+        // An up-to-date watcher with a tiny deadline times out unchanged.
+        let resp = router.handle(
+            &ApiRequest::get("/datasets/santander/watch")
+                .with_query("since_revision", "1")
+                .with_query("deadline_ms", "5"),
+        );
+        assert!(resp.is_success(), "{:?}", resp.body);
+        assert_eq!(resp.body.get("changed").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            resp.body.get("deadline_expired").unwrap().as_bool(),
+            Some(true)
+        );
+        // Unknown datasets close with a 404; malformed cursors are 400s.
+        let resp = router.handle(&ApiRequest::get("/datasets/ghost/watch"));
+        assert_eq!(resp.status, StatusCode::NotFound);
+        let resp = router.handle(
+            &ApiRequest::get("/datasets/santander/watch").with_query("since_revision", "x"),
+        );
+        assert_eq!(resp.status, StatusCode::BadRequest);
+    }
+
+    #[test]
+    fn quota_routes_round_trip_and_enforce() {
+        let router = router_with_dataset();
+        // Defaults are unlimited.
+        let got = router.handle(&ApiRequest::get("/tenants/capped/quota"));
+        assert!(got.is_success(), "{:?}", got.body);
+        assert!(got.body.get("max_datasets").unwrap().is_null());
+        // Set a one-dataset cap and verify it reads back.
+        let set = router.handle(&ApiRequest::post(
+            "/tenants/capped/quota",
+            Json::from_pairs([("max_datasets", Json::from(1i64))]),
+        ));
+        assert!(set.is_success(), "{:?}", set.body);
+        let got = router.handle(&ApiRequest::get("/tenants/capped/quota"));
+        assert_eq!(got.body.get("max_datasets").unwrap().as_i64(), Some(1));
+        // The cap turns a second registration into a 403 on the upload
+        // path.
+        let generated = SantanderGenerator::small().with_scale(0.02).generate();
+        let writer = DatasetWriter::new();
+        router
+            .service()
+            .register_dataset_keyed_in("capped", generated.clone(), None)
+            .unwrap();
+        let upload = |name: &str| {
+            let begin = router.handle(&ApiRequest::post(
+                format!("/tenants/capped/datasets/{name}/upload/begin"),
+                Json::from_pairs([
+                    ("location_csv", Json::from(writer.location_csv(&generated))),
+                    (
+                        "attribute_csv",
+                        Json::from(writer.attribute_csv(&generated)),
+                    ),
+                ]),
+            ));
+            assert!(begin.is_success(), "{:?}", begin.body);
+            for chunk in miscela_csv::split_into_chunks(&writer.data_csv(&generated), 5_000) {
+                let resp = router.handle(&ApiRequest::post(
+                    format!("/tenants/capped/datasets/{name}/upload/chunk"),
+                    Json::from_pairs([
+                        ("index", Json::from(chunk.index)),
+                        ("total", Json::from(chunk.total)),
+                        ("content", Json::from(chunk.content.clone())),
+                    ]),
+                ));
+                assert!(resp.is_success(), "{:?}", resp.body);
+            }
+            router.handle(&ApiRequest::post(
+                format!("/tenants/capped/datasets/{name}/upload/finish"),
+                Json::object(),
+            ))
+        };
+        let denied = upload("second");
+        assert_eq!(denied.status, StatusCode::Forbidden);
+        assert!(denied
+            .body
+            .get("error")
+            .and_then(|e| e.as_str())
+            .unwrap()
+            .contains("quota"));
+        // Clearing the cap (empty body) lets the same upload through.
+        let cleared = router.handle(&ApiRequest::post("/tenants/capped/quota", Json::object()));
+        assert!(cleared.is_success(), "{:?}", cleared.body);
+        let allowed = upload("third");
+        assert_eq!(allowed.status, StatusCode::Created, "{:?}", allowed.body);
+        // Malformed quota bodies are 400s.
+        let bad = router.handle(&ApiRequest::post(
+            "/tenants/capped/quota",
+            Json::from_pairs([("max_datasets", Json::from("lots"))]),
+        ));
+        assert_eq!(bad.status, StatusCode::BadRequest);
+    }
+
+    #[test]
+    fn tenant_stats_routes_slice_the_global_counters() {
+        let router = router_with_dataset();
+        router
+            .service()
+            .register_dataset_keyed_in(
+                "acme",
+                SantanderGenerator::small().with_scale(0.02).generate(),
+                Some("k1"),
+            )
+            .unwrap();
+        router
+            .service()
+            .register_dataset_keyed_in(
+                "acme",
+                SantanderGenerator::small().with_scale(0.02).generate(),
+                Some("k1"),
+            )
+            .unwrap();
+        let mined = router.handle(&ApiRequest::post(
+            "/tenants/acme/datasets/santander/mine",
+            mine_body(20),
+        ));
+        assert!(mined.is_success(), "{:?}", mined.body);
+        // The tenant slices report acme's activity...
+        let adm = router.handle(&ApiRequest::get("/tenants/acme/admission/stats"));
+        assert!(adm.is_success(), "{:?}", adm.body);
+        assert_eq!(adm.body.get("admitted").unwrap().as_i64(), Some(1));
+        let proto = router.handle(&ApiRequest::get("/tenants/acme/protocol/stats"));
+        assert_eq!(proto.body.get("key_replays").unwrap().as_i64(), Some(1));
+        let cache = router.handle(&ApiRequest::get("/tenants/acme/cache/stats"));
+        assert_eq!(cache.body.get("datasets").unwrap().as_i64(), Some(1));
+        assert!(
+            cache
+                .body
+                .get("extraction")
+                .unwrap()
+                .get("entries")
+                .unwrap()
+                .as_i64()
+                .unwrap()
+                > 0
+        );
+        // ...while a fresh tenant's slices are empty and the service-wide
+        // routes aggregate across tenants.
+        let other = router.handle(&ApiRequest::get("/tenants/other/admission/stats"));
+        assert_eq!(other.body.get("admitted").unwrap().as_i64(), Some(0));
+        let global = router.handle(&ApiRequest::get("/protocol/stats"));
+        assert!(global.body.get("key_replays").unwrap().as_i64().unwrap() >= 1);
     }
 
     #[test]

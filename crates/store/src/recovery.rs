@@ -35,6 +35,7 @@ pub const SNAPSHOT_FILE: &str = "snapshot.json";
 pub const WAL_FILE: &str = "wal.log";
 
 /// A directory of per-dataset durability logs.
+#[derive(Clone)]
 pub struct RecoveryStore {
     root: PathBuf,
     opener: Arc<dyn SinkOpener>,
@@ -59,6 +60,17 @@ impl RecoveryStore {
     /// The directory this store lives in.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// A store rooted at `sub` inside this store's root, writing through
+    /// the same [`SinkOpener`] — the hook a multi-tenant service uses to
+    /// give each tenant its own durability directory while one injected
+    /// fail point still covers every write path.
+    pub fn namespace(&self, sub: impl AsRef<Path>) -> RecoveryStore {
+        RecoveryStore {
+            root: self.root.join(sub),
+            opener: Arc::clone(&self.opener),
+        }
     }
 
     /// Names of datasets with a durability log on disk, sorted.
